@@ -1,0 +1,52 @@
+"""Benchmark fixtures.
+
+One bench-scale study is built per session (REPRO_BENCH_SCALE, default
+0.002 ≈ 12.5K listings — every table/figure shape is stable there).  The
+heavy analysis artifacts are pre-computed so that each experiment bench
+times the experiment's own aggregation; the detector benches re-run the
+heavy stages explicitly.
+
+Every experiment bench also prints its paper-vs-measured report, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the generator for
+EXPERIMENTS.md content.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import Study, StudyConfig
+
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.002"))
+
+
+@pytest.fixture(scope="session")
+def bench_study():
+    """The shared bench-scale study with all analysis artifacts warm."""
+    result = Study(StudyConfig(seed=BENCH_SEED, scale=BENCH_SCALE)).run()
+    # Warm the cached analysis artifacts so experiment benches measure
+    # their own aggregation, not one lucky first call.
+    result.units
+    result.library_detection
+    result.vt_scan
+    result.signature_clones
+    result.code_clones
+    result.fakes
+    result.overprivilege
+    result.removal
+    return result
+
+
+def run_and_report(benchmark, experiment_id, study, rounds=3):
+    """Benchmark one experiment and print its report."""
+    from repro.experiments import run_experiment
+
+    report = benchmark.pedantic(
+        run_experiment, args=(experiment_id, study), rounds=rounds, iterations=1
+    )
+    print()
+    print(report.render())
+    return report

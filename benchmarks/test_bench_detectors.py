@@ -1,0 +1,68 @@
+"""Benchmarks for the heavy analysis stages (detectors).
+
+These re-run the detection algorithms from scratch on the shared corpus
+— the costs the paper's measurement pipeline pays at 6M-app scale.
+"""
+
+from repro.analysis.clones import CodeCloneDetector, detect_signature_clones
+from repro.analysis.corpus import build_units
+from repro.analysis.fake import detect_fakes
+from repro.analysis.libraries import LibraryDetector
+from repro.analysis.malware import scan_units
+from repro.analysis.permissions import analyze_overprivilege
+from repro.analysis.virustotal import VirusTotalService
+
+
+def test_bench_unit_building(benchmark, bench_study):
+    units = benchmark.pedantic(
+        build_units, args=(bench_study.snapshot,), rounds=3, iterations=1
+    )
+    assert units
+
+
+def test_bench_library_detection(benchmark, bench_study):
+    detector = LibraryDetector()
+    detection = benchmark.pedantic(
+        detector.fit, args=(bench_study.units,), rounds=3, iterations=1
+    )
+    assert detection.libraries
+
+
+def test_bench_signature_clone_detection(benchmark, bench_study):
+    analysis = benchmark.pedantic(
+        detect_signature_clones, args=(bench_study.units,), rounds=3, iterations=1
+    )
+    assert analysis.clone_units
+
+
+def test_bench_code_clone_detection(benchmark, bench_study):
+    detector = CodeCloneDetector()
+    analysis = benchmark.pedantic(
+        detector.detect,
+        args=(bench_study.units, bench_study.library_detection),
+        rounds=2,
+        iterations=1,
+    )
+    assert analysis.clone_units
+
+
+def test_bench_fake_detection(benchmark, bench_study):
+    analysis = benchmark.pedantic(
+        detect_fakes, args=(bench_study.units,), rounds=3, iterations=1
+    )
+    assert analysis.fake_units is not None
+
+
+def test_bench_virustotal_scan(benchmark, bench_study):
+    def scan_fresh():
+        return scan_units(bench_study.units, VirusTotalService())
+
+    scan = benchmark.pedantic(scan_fresh, rounds=2, iterations=1)
+    assert scan.reports
+
+
+def test_bench_overprivilege(benchmark, bench_study):
+    result = benchmark.pedantic(
+        analyze_overprivilege, args=(bench_study.units,), rounds=3, iterations=1
+    )
+    assert result.unused

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Figure 13."""
+
+from conftest import run_and_report
+
+
+def test_bench_figure13(benchmark, bench_study):
+    report = run_and_report(benchmark, "figure13", bench_study)
+    assert report.data

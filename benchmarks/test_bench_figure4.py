@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Figure 4."""
+
+from conftest import run_and_report
+
+
+def test_bench_figure4(benchmark, bench_study):
+    report = run_and_report(benchmark, "figure4", bench_study)
+    assert report.data

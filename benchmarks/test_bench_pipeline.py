@@ -1,0 +1,58 @@
+"""Benchmarks for the pipeline's heavy stages.
+
+These time the substrate itself — world generation, store building, APK
+serialization/parsing, one full crawl — at a smaller scale than the
+shared study so each round stays bounded.
+"""
+
+import pytest
+
+from repro import Study, StudyConfig
+from repro.apk.archive import parse_apk, serialize_apk
+from repro.ecosystem.apps import build_apk
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.ecosystem.libraries import default_catalog
+from repro.markets.profiles import get_profile
+from repro.markets.store import build_stores
+
+PIPELINE_SEED = 1234
+PIPELINE_SCALE = 0.0004
+
+
+def test_bench_world_generation(benchmark):
+    def generate():
+        return EcosystemGenerator(seed=PIPELINE_SEED, scale=PIPELINE_SCALE).generate()
+
+    world = benchmark.pedantic(generate, rounds=3, iterations=1)
+    assert world.apps
+
+
+def test_bench_store_building(benchmark):
+    world = EcosystemGenerator(seed=PIPELINE_SEED, scale=PIPELINE_SCALE).generate()
+    stores = benchmark.pedantic(build_stores, args=(world,), rounds=3, iterations=1)
+    assert stores["google_play"]
+
+
+def test_bench_full_study(benchmark):
+    def run():
+        return Study(StudyConfig(seed=PIPELINE_SEED, scale=PIPELINE_SCALE)).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.snapshot) > 0
+
+
+def test_bench_apk_roundtrip(benchmark):
+    world = EcosystemGenerator(seed=PIPELINE_SEED, scale=0.0002).generate()
+    catalog = default_catalog()
+    profile = get_profile("tencent")
+    apps = [a for a in world.apps if a.placements][:200]
+
+    def roundtrip():
+        total = 0
+        for app in apps:
+            blob = build_apk(app, 0, profile, catalog)
+            total += parse_apk(blob).size_bytes
+        return total
+
+    total = benchmark.pedantic(roundtrip, rounds=3, iterations=1)
+    assert total > 0

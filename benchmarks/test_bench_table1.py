@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Table 1."""
+
+from conftest import run_and_report
+
+
+def test_bench_table1(benchmark, bench_study):
+    report = run_and_report(benchmark, "table1", bench_study)
+    assert report.rows

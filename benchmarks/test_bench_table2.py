@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Table 2."""
+
+from conftest import run_and_report
+
+
+def test_bench_table2(benchmark, bench_study):
+    report = run_and_report(benchmark, "table2", bench_study)
+    assert report.rows

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Table 6."""
+
+from conftest import run_and_report
+
+
+def test_bench_table6(benchmark, bench_study):
+    report = run_and_report(benchmark, "table6", bench_study)
+    assert report.rows

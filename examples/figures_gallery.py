@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Scenario: render the paper's key figures as terminal charts.
+
+Uses :mod:`repro.core.plots` to draw Figure 2 (download bins), Figure 6
+(rating CDFs), Figure 9 (outdated apps) and Figure 10 (clone heatmap)
+from one study run.
+
+    python examples/figures_gallery.py
+"""
+
+from repro import Study, StudyConfig
+from repro.analysis.downloads import download_bin_distribution
+from repro.analysis.publishing import highest_version_shares
+from repro.analysis.ratings import rating_cdf
+from repro.core.plots import bar_chart, cdf_plot, grouped_bars, heatmap
+from repro.markets.profiles import (
+    ALL_MARKET_IDS,
+    DOWNLOAD_BIN_LABELS,
+    get_profile,
+)
+
+
+def main() -> None:
+    result = Study(StudyConfig(seed=42, scale=0.0006)).run()
+    snapshot = result.snapshot
+
+    print("=" * 70)
+    print("Figure 2 — download bins, measured vs paper (Tencent Myapp)")
+    print("=" * 70)
+    measured = download_bin_distribution(snapshot, "tencent")
+    paper = get_profile("tencent").download_bin_shares
+    print(grouped_bars({
+        "measured": dict(zip(DOWNLOAD_BIN_LABELS, measured)),
+        "paper": dict(zip(DOWNLOAD_BIN_LABELS, paper)),
+    }))
+
+    print()
+    print("=" * 70)
+    print("Figure 6 — rating CDF, Google Play (mass at 0 = unrated)")
+    print("=" * 70)
+    xs, cdf = rating_cdf(snapshot, "google_play")
+    print(cdf_plot(xs, cdf, height=8, width=42))
+
+    print()
+    print("=" * 70)
+    print("Figure 9 — share of apps at the globally-highest version")
+    print("=" * 70)
+    shares = highest_version_shares(snapshot)
+    print(bar_chart(
+        {get_profile(m).display_name: shares.get(m) for m in ALL_MARKET_IDS},
+        width=36, fmt="{:.1%}", sort=True,
+    ))
+
+    print()
+    print("=" * 70)
+    print("Figure 10 — clone flows (rows: source, columns: destination)")
+    print("=" * 70)
+    flows = result.code_clones.heatmap(result.units_by_key, ALL_MARKET_IDS)
+    print(heatmap(flows, rows=ALL_MARKET_IDS, columns=ALL_MARKET_IDS))
+
+
+if __name__ == "__main__":
+    main()

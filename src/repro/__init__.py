@@ -1,0 +1,42 @@
+"""repro — reproduction of "Beyond Google Play: A Large-Scale Comparative
+Study of Chinese Android App Markets" (Wang et al., IMC 2018).
+
+Quickstart::
+
+    from repro import Study, StudyConfig
+    result = Study(StudyConfig(seed=42, scale=0.001)).run()
+    from repro.experiments import run_experiment
+    print(run_experiment("table4", result).render())
+
+Subpackages
+-----------
+``repro.ecosystem``
+    Synthetic app-ecosystem generator (developers, apps, libraries,
+    misbehavior), calibrated to the paper's published statistics.
+``repro.markets``
+    The 17 market profiles, stores, vetting pipelines, and HTTP-like
+    servers.
+``repro.crawler``
+    Discovery strategies, the parallel cross-market search, APK
+    collection with rate-limit handling and archive backfill.
+``repro.analysis``
+    The measurement toolkit: library/clone/fake detection, permission
+    gap analysis, the simulated VirusTotal, and post-analysis.
+``repro.experiments``
+    One module per paper table and figure, regenerating its data.
+"""
+
+from repro.core.config import StudyConfig
+from repro.core.study import Study, StudyResult
+from repro.core.reports import FigureReport, TableReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Study",
+    "StudyConfig",
+    "StudyResult",
+    "TableReport",
+    "FigureReport",
+    "__version__",
+]

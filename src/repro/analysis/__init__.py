@@ -1,0 +1,30 @@
+"""Analysis toolkit.
+
+Every analysis consumes crawl snapshots (:mod:`repro.crawler.snapshot`)
+and parsed APKs only — never ecosystem ground truth.  One module per
+measurement of the paper:
+
+========================  =====================================
+Module                    Paper artifact
+========================  =====================================
+``taxonomy``              Figure 1 (category consolidation)
+``downloads``             Figure 2, Table 1 aggregate downloads
+``apilevel``              Figure 3
+``freshness``             Figure 4
+``libraries``             Figure 5, Table 2 (LibRadar-style)
+``ratings``               Figure 6
+``publishing``            Figures 7-9, Table 1 developer stats
+``identity``              Section 5.3 (MD5 vs package identity)
+``fake``                  Table 3 fake apps (Section 6.1)
+``clones``                Table 3 clones, Figure 10 (WuKong-style)
+``permissions``           Figure 11 (PScout-style over-privilege)
+``virustotal``            simulated VirusTotal service
+``malware``               Table 4, Table 5, Figure 12 (AVClass)
+``postanalysis``          Table 6 (Section 7)
+``radar``                 Figure 13
+========================  =====================================
+"""
+
+from repro.analysis.corpus import AppUnit, build_units
+
+__all__ = ["AppUnit", "build_units"]

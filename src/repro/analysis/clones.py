@@ -1,0 +1,302 @@
+"""Clone detection (Section 6.2, Table 3, Figure 10).
+
+Two detectors, as in the paper:
+
+* **Signature-based**: apps sharing a package name but signed with
+  different developer keys.  Package names are supposed to be globally
+  unique, so a multi-signature package cluster means someone repackaged
+  someone else's app.  The member with the most downloads is taken as
+  the original (the paper's heuristic).
+* **Code-based** (WuKong): apps with different package names whose
+  feature vectors — Android API calls, Intents, Content Providers, with
+  third-party library code removed first — sit within a normalized
+  Manhattan distance of 0.05 (95% similarity), refined by a second
+  phase requiring >=85% shared code segments.
+
+Candidate pairing for the code-based phase uses an inverted index over
+code-segment hashes (library segments removed), which keeps the search
+near-linear — the same engineering need WuKong's two-phase design
+addresses at 6M-app scale.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.corpus import AppUnit
+from repro.analysis.libraries import LibraryDetection
+from repro.crawler.snapshot import Snapshot
+
+__all__ = [
+    "feature_distance",
+    "block_overlap",
+    "SignatureCloneAnalysis",
+    "detect_signature_clones",
+    "ClonePair",
+    "CodeCloneAnalysis",
+    "CodeCloneDetector",
+]
+
+UnitKey = Tuple[str, Optional[str]]
+
+
+def feature_distance(a: Dict[int, int], b: Dict[int, int]) -> float:
+    """The paper's normalized Manhattan distance:
+    sum(|A_i - B_i|) / sum(A_i + B_i)."""
+    num = 0
+    den = 0
+    for fid, count in a.items():
+        other = b.get(fid, 0)
+        num += abs(count - other)
+        den += count + other
+    for fid, count in b.items():
+        if fid not in a:
+            num += count
+            den += count
+    if den == 0:
+        return 0.0
+    return num / den
+
+
+def block_overlap(a: Sequence[int], b: Sequence[int]) -> float:
+    """Shared code-segment ratio (against the larger segment set)."""
+    sa, sb = set(a), set(b)
+    if not sa or not sb:
+        return 0.0
+    return len(sa & sb) / max(len(sa), len(sb))
+
+
+# ---------------------------------------------------------------------------
+# signature-based clones
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SignatureCloneAnalysis:
+    """Multi-signature package clusters."""
+
+    clusters: Dict[str, List[AppUnit]]  # package -> units (>=2 signers)
+    originals: Dict[str, UnitKey]  # package -> original unit key
+    clone_units: Set[UnitKey]
+
+    def market_rates(self, snapshot: Snapshot) -> Dict[str, float]:
+        """Table 3's SB column: share of each market's listings that are
+        signature-based clones (non-original cluster members)."""
+        rates: Dict[str, float] = {}
+        clone_index: Dict[str, Set[Optional[str]]] = {}
+        for package, signer in self.clone_units:
+            clone_index.setdefault(package, set()).add(signer)
+        for market in snapshot.markets():
+            records = snapshot.in_market(market)
+            if not records:
+                rates[market] = 0.0
+                continue
+            clones = 0
+            for record in records:
+                signers = clone_index.get(record.package)
+                if signers and record.signer in signers:
+                    clones += 1
+            rates[market] = clones / len(records)
+        return rates
+
+    def developers_per_package(self) -> List[int]:
+        """Figure 8(c)'s data: signer count per multi-signature package."""
+        return sorted(
+            len({u.signer for u in units}) for units in self.clusters.values()
+        )
+
+
+def detect_signature_clones(units: Sequence[AppUnit]) -> SignatureCloneAnalysis:
+    """Cluster units by package; flag multi-signer clusters."""
+    by_package: Dict[str, List[AppUnit]] = {}
+    for unit in units:
+        if unit.signer is None:
+            continue
+        by_package.setdefault(unit.package, []).append(unit)
+
+    clusters: Dict[str, List[AppUnit]] = {}
+    originals: Dict[str, UnitKey] = {}
+    clone_units: Set[UnitKey] = set()
+    for package, members in by_package.items():
+        signers = {u.signer for u in members}
+        if len(signers) < 2:
+            continue
+        clusters[package] = members
+        original = max(members, key=lambda u: (u.max_downloads or -1))
+        originals[package] = (original.package, original.signer)
+        for unit in members:
+            if unit.signer != original.signer:
+                clone_units.add((unit.package, unit.signer))
+    return SignatureCloneAnalysis(
+        clusters=clusters, originals=originals, clone_units=clone_units
+    )
+
+
+# ---------------------------------------------------------------------------
+# code-based clones (WuKong)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClonePair:
+    """One detected (original, clone) pair."""
+
+    original: UnitKey
+    clone: UnitKey
+    distance: float
+    overlap: float
+
+
+@dataclass
+class CodeCloneAnalysis:
+    pairs: List[ClonePair]
+    clone_units: Set[UnitKey]
+    original_of: Dict[UnitKey, UnitKey]  # clone -> its best original
+
+    def market_rates(self, snapshot: Snapshot) -> Dict[str, float]:
+        """Table 3's CB column."""
+        rates: Dict[str, float] = {}
+        clone_index: Dict[str, Set[Optional[str]]] = {}
+        for package, signer in self.clone_units:
+            clone_index.setdefault(package, set()).add(signer)
+        for market in snapshot.markets():
+            records = snapshot.in_market(market)
+            if not records:
+                rates[market] = 0.0
+                continue
+            clones = sum(
+                1 for record in records
+                if record.signer in clone_index.get(record.package, ())
+            )
+            rates[market] = clones / len(records)
+        return rates
+
+    def heatmap(
+        self, units_by_key: Dict[UnitKey, AppUnit], markets: Sequence[str]
+    ) -> Dict[Tuple[str, str], int]:
+        """Figure 10: (source market, destination market) -> clone count.
+
+        The source is the market where the original has the most
+        downloads; each market listing of the clone counts once.
+        """
+        counts: Dict[Tuple[str, str], int] = {
+            (src, dst): 0 for src in markets for dst in markets
+        }
+        from repro.analysis.corpus import normalized_downloads
+
+        for clone_key, original_key in self.original_of.items():
+            original = units_by_key.get(original_key)
+            clone = units_by_key.get(clone_key)
+            if original is None or clone is None:
+                continue
+            best_market = None
+            best_downloads = -1
+            for record in original.records:
+                downloads = normalized_downloads(record) or 0
+                if downloads > best_downloads:
+                    best_downloads = downloads
+                    best_market = record.market_id
+            if best_market is None:
+                continue
+            for market in clone.markets:
+                if (best_market, market) in counts:
+                    counts[(best_market, market)] += 1
+        return counts
+
+
+class CodeCloneDetector:
+    """WuKong-style two-phase detector with inverted-index candidates."""
+
+    def __init__(
+        self,
+        distance_threshold: float = 0.05,
+        overlap_threshold: float = 0.85,
+        min_shared_blocks: int = 8,
+        max_block_bucket: int = 200,
+    ):
+        self.distance_threshold = distance_threshold
+        self.overlap_threshold = overlap_threshold
+        self.min_shared_blocks = min_shared_blocks
+        self.max_block_bucket = max_block_bucket
+
+    def detect(
+        self,
+        units: Sequence[AppUnit],
+        library_detection: Optional[LibraryDetection] = None,
+    ) -> CodeCloneAnalysis:
+        lib_digests = (
+            library_detection.library_digests if library_detection else set()
+        )
+        keys: List[UnitKey] = []
+        residual_features: List[Dict[int, int]] = []
+        residual_blocks: List[Tuple[int, ...]] = []
+        downloads: List[int] = []
+        for unit in units:
+            if unit.apk is None or unit.signer is None:
+                continue
+            features: Dict[int, int] = {}
+            blocks: List[int] = []
+            for pkg in unit.apk.packages:
+                if pkg.feature_digest in lib_digests:
+                    continue
+                for fid, count in pkg.features.items():
+                    features[fid] = features.get(fid, 0) + count
+                blocks.extend(pkg.blocks)
+            keys.append((unit.package, unit.signer))
+            residual_features.append(features)
+            residual_blocks.append(tuple(blocks))
+            downloads.append(unit.max_downloads or 0)
+
+        candidates = self._candidate_pairs(residual_blocks)
+
+        pairs: List[ClonePair] = []
+        best_original: Dict[UnitKey, Tuple[float, UnitKey]] = {}
+        clone_units: Set[UnitKey] = set()
+        for i, j in candidates:
+            key_i, key_j = keys[i], keys[j]
+            if key_i[0] == key_j[0]:
+                continue  # same package: signature-based territory
+            if key_i[1] == key_j[1]:
+                continue  # same developer: legitimate reuse
+            overlap = block_overlap(residual_blocks[i], residual_blocks[j])
+            if overlap < self.overlap_threshold:
+                continue
+            distance = feature_distance(residual_features[i], residual_features[j])
+            if distance > self.distance_threshold:
+                continue
+            if downloads[i] >= downloads[j]:
+                original, clone = key_i, key_j
+            else:
+                original, clone = key_j, key_i
+            pairs.append(
+                ClonePair(original=original, clone=clone, distance=distance, overlap=overlap)
+            )
+            clone_units.add(clone)
+            prior = best_original.get(clone)
+            if prior is None or distance < prior[0]:
+                best_original[clone] = (distance, original)
+
+        return CodeCloneAnalysis(
+            pairs=pairs,
+            clone_units=clone_units,
+            original_of={clone: orig for clone, (_, orig) in best_original.items()},
+        )
+
+    def _candidate_pairs(
+        self, residual_blocks: Sequence[Tuple[int, ...]]
+    ) -> List[Tuple[int, int]]:
+        """Pairs sharing enough code segments to be worth comparing."""
+        bucket: Dict[int, List[int]] = {}
+        for idx, blocks in enumerate(residual_blocks):
+            for block in set(blocks):
+                bucket.setdefault(block, []).append(idx)
+        shared: Counter = Counter()
+        for members in bucket.values():
+            if len(members) < 2 or len(members) > self.max_block_bucket:
+                continue
+            for a in range(len(members)):
+                for b in range(a + 1, len(members)):
+                    shared[(members[a], members[b])] += 1
+        return [pair for pair, n in shared.items() if n >= self.min_shared_blocks]

@@ -1,0 +1,105 @@
+"""Corpus preparation: from per-market records to unique app units.
+
+Section 5 identifies unique apps across markets by package name; within
+a package, distinct developer signatures indicate distinct actors
+(potential clones).  An :class:`AppUnit` is one (package, signer) pair
+with a representative parsed APK and the per-market records backing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.apk.archive import ParsedApk
+from repro.crawler.snapshot import CrawlRecord, Snapshot
+
+__all__ = ["AppUnit", "build_units", "normalized_downloads"]
+
+
+def normalized_downloads(record: CrawlRecord) -> Optional[int]:
+    """Install count normalized across reporting styles.
+
+    Markets reporting exact counts pass through; Google Play's install
+    ranges use the lower bound (the paper's estimation rule, footnote 8).
+    Returns None when the market does not report installs.
+    """
+    if record.downloads is not None:
+        return record.downloads
+    if record.install_range is not None:
+        return record.install_range[0]
+    return None
+
+
+@dataclass
+class AppUnit:
+    """One unique app: a (package, signer) pair observed across markets."""
+
+    package: str
+    signer: Optional[str]  # None when no APK was obtained anywhere
+    records: List[CrawlRecord] = field(default_factory=list)
+    apk: Optional[ParsedApk] = None
+
+    @property
+    def markets(self) -> Tuple[str, ...]:
+        return tuple(sorted({r.market_id for r in self.records}))
+
+    @property
+    def app_name(self) -> str:
+        return self.records[0].app_name
+
+    @property
+    def max_downloads(self) -> Optional[int]:
+        values = [
+            d for d in (normalized_downloads(r) for r in self.records)
+            if d is not None
+        ]
+        return max(values) if values else None
+
+    @property
+    def max_version_code(self) -> int:
+        return max(r.version_code for r in self.records)
+
+
+def build_units(snapshot: Snapshot) -> List[AppUnit]:
+    """Group records into (package, signer) units.
+
+    Records lacking an APK join the unit of their package's sole signer
+    when that is unambiguous; otherwise they form a signer-``None`` unit
+    (they still carry metadata for market-level analyses).
+    The representative APK is the one with the highest version code —
+    the most up-to-date code the crawl saw.
+    """
+    by_key: Dict[Tuple[str, Optional[str]], AppUnit] = {}
+    deferred: List[CrawlRecord] = []
+    for record in snapshot:
+        if record.apk is None:
+            deferred.append(record)
+            continue
+        key = (record.package, record.apk.signer_fingerprint)
+        unit = by_key.get(key)
+        if unit is None:
+            unit = AppUnit(package=record.package, signer=record.apk.signer_fingerprint)
+            by_key[key] = unit
+        unit.records.append(record)
+        if unit.apk is None or record.apk.manifest.version_code > unit.apk.manifest.version_code:
+            unit.apk = record.apk
+
+    signers_of_package: Dict[str, List[Tuple[str, Optional[str]]]] = {}
+    for key in by_key:
+        signers_of_package.setdefault(key[0], []).append(key)
+
+    for record in deferred:
+        keys = signers_of_package.get(record.package, [])
+        if len(keys) == 1:
+            by_key[keys[0]].records.append(record)
+            continue
+        key = (record.package, None)
+        unit = by_key.get(key)
+        if unit is None:
+            unit = AppUnit(package=record.package, signer=None)
+            by_key[key] = unit
+            signers_of_package.setdefault(record.package, [])
+        unit.records.append(record)
+
+    return list(by_key.values())

@@ -1,0 +1,91 @@
+"""Download analysis (Section 4.2, Figure 2, Table 1 aggregates).
+
+Install counts are normalized to Google Play's ranges: exact counts from
+Chinese markets fall into the same bins Google Play reports, aggregated
+downloads use the range lower bound (footnote 8), and markets that do
+not report installs (Xiaomi, App China) yield empty rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.corpus import normalized_downloads
+from repro.crawler.snapshot import CrawlRecord, Snapshot
+from repro.markets.profiles import DOWNLOAD_BIN_EDGES, DOWNLOAD_BIN_LABELS
+from repro.util.stats import top_share
+
+__all__ = [
+    "bin_index",
+    "bin_label",
+    "download_bin_distribution",
+    "download_matrix",
+    "aggregated_downloads",
+    "top_download_share",
+]
+
+
+def bin_index(downloads: int) -> int:
+    """Figure 2 bin index for a normalized install count."""
+    if downloads < 0:
+        raise ValueError("downloads must be non-negative")
+    idx = int(np.searchsorted(DOWNLOAD_BIN_EDGES, downloads, side="right")) - 1
+    return max(0, min(idx, len(DOWNLOAD_BIN_LABELS) - 1))
+
+
+def bin_label(downloads: int) -> str:
+    return DOWNLOAD_BIN_LABELS[bin_index(downloads)]
+
+
+def download_bin_distribution(snapshot: Snapshot, market_id: str) -> List[float]:
+    """Per-bin shares for one market (a Figure 2 row).
+
+    All-zero when the market does not report installs.
+    """
+    counts = [0] * len(DOWNLOAD_BIN_LABELS)
+    total = 0
+    for record in snapshot.in_market(market_id):
+        downloads = normalized_downloads(record)
+        if downloads is None:
+            continue
+        counts[bin_index(downloads)] += 1
+        total += 1
+    if total == 0:
+        return [0.0] * len(DOWNLOAD_BIN_LABELS)
+    return [c / total for c in counts]
+
+
+def download_matrix(snapshot: Snapshot) -> Dict[str, List[float]]:
+    """Figure 2: market -> per-bin shares."""
+    return {m: download_bin_distribution(snapshot, m) for m in snapshot.markets()}
+
+
+def aggregated_downloads(snapshot: Snapshot, market_id: str) -> int:
+    """Table 1's aggregated downloads (sum of normalized installs)."""
+    return sum(
+        d
+        for d in (
+            normalized_downloads(r) for r in snapshot.in_market(market_id)
+        )
+        if d is not None
+    )
+
+
+def top_download_share(
+    snapshot: Snapshot, market_id: str, fraction: float
+) -> Optional[float]:
+    """Share of a market's installs owned by its top ``fraction`` of apps.
+
+    Section 4.2: the top 0.1% of apps account for >50% of downloads, over
+    80% for Tencent Myapp.  None when the market reports no installs.
+    """
+    values = [
+        d
+        for d in (normalized_downloads(r) for r in snapshot.in_market(market_id))
+        if d is not None
+    ]
+    if not values or sum(values) == 0:
+        return None
+    return top_share(values, fraction)

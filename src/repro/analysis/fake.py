@@ -1,0 +1,107 @@
+"""Fake app detection (Section 6.1, Table 3, Figure 8b).
+
+Fake apps masquerade under the *name* of a popular app while carrying a
+different package name and signature.  The paper's clustering heuristic:
+
+1. cluster apps by exact display name;
+2. keep small clusters (size < 5) with uncommon names that contain one
+   popular "official" member (>1M installs) and unpopular members
+   (<=1,000 installs) signed by someone else — those members are fakes.
+
+Markets that report no install counts (Xiaomi, App China) cannot anchor
+the popularity test, so no fakes are identified there — reproducing the
+paper's 0.0 entries for exactly those stores.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.corpus import AppUnit
+from repro.crawler.snapshot import Snapshot
+
+__all__ = ["FakeAppAnalysis", "detect_fakes", "name_cluster_sizes"]
+
+UnitKey = Tuple[str, Optional[str]]
+
+OFFICIAL_MIN_DOWNLOADS = 1_000_000
+FAKE_MAX_DOWNLOADS = 1_000
+MAX_CLUSTER_SIZE = 5
+
+
+@dataclass
+class FakeAppAnalysis:
+    fake_units: Set[UnitKey]
+    official_of: Dict[UnitKey, UnitKey]
+
+    def market_rates(self, snapshot: Snapshot) -> Dict[str, float]:
+        """Table 3's Fake column: share of each market's listings."""
+        fake_index: Dict[str, Set[Optional[str]]] = {}
+        for package, signer in self.fake_units:
+            fake_index.setdefault(package, set()).add(signer)
+        rates: Dict[str, float] = {}
+        for market in snapshot.markets():
+            records = snapshot.in_market(market)
+            if not records:
+                rates[market] = 0.0
+                continue
+            fakes = sum(
+                1 for record in records
+                if record.signer in fake_index.get(record.package, ())
+            )
+            rates[market] = fakes / len(records)
+        return rates
+
+
+def _common_names(units: Sequence[AppUnit], threshold: int = 8) -> Set[str]:
+    """Names shared by many unrelated packages are generic (Flashlight,
+    Calculator, ...), not masquerade targets."""
+    counts: Counter = Counter()
+    for unit in units:
+        counts[unit.app_name] += 1
+    return {name for name, count in counts.items() if count >= threshold}
+
+
+def detect_fakes(units: Sequence[AppUnit]) -> FakeAppAnalysis:
+    clusters: Dict[str, List[AppUnit]] = {}
+    for unit in units:
+        clusters.setdefault(unit.app_name, []).append(unit)
+    common = _common_names(units)
+
+    fake_units: Set[UnitKey] = set()
+    official_of: Dict[UnitKey, UnitKey] = {}
+    for name, members in clusters.items():
+        packages = {u.package for u in members}
+        if len(packages) < 2 or len(packages) >= MAX_CLUSTER_SIZE:
+            continue
+        if name in common:
+            continue
+        officials = [
+            u for u in members
+            if (u.max_downloads or 0) >= OFFICIAL_MIN_DOWNLOADS
+        ]
+        if not officials:
+            continue
+        official = max(officials, key=lambda u: u.max_downloads or 0)
+        for unit in members:
+            if unit.package == official.package:
+                continue
+            if unit.signer is not None and unit.signer == official.signer:
+                continue  # same developer: multi-platform variants
+            downloads = unit.max_downloads
+            if downloads is not None and downloads > FAKE_MAX_DOWNLOADS:
+                continue
+            key = (unit.package, unit.signer)
+            fake_units.add(key)
+            official_of[key] = (official.package, official.signer)
+    return FakeAppAnalysis(fake_units=fake_units, official_of=official_of)
+
+
+def name_cluster_sizes(units: Sequence[AppUnit]) -> List[int]:
+    """Figure 8(b): sizes of same-name clusters (distinct packages)."""
+    clusters: Dict[str, Set[str]] = {}
+    for unit in units:
+        clusters.setdefault(unit.app_name, set()).add(unit.package)
+    return sorted(len(packages) for packages in clusters.values())

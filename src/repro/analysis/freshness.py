@@ -1,0 +1,98 @@
+"""Release/update date analysis (Section 4.3, Figure 4).
+
+Markets report each listing's release or last-update date; the paper
+compares the cumulative distribution for Chinese markets against Google
+Play and measures the share updated within six months of the crawl.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.crawler.snapshot import CrawlRecord, Snapshot
+from repro.markets.profiles import GOOGLE_PLAY
+from repro.util.simtime import FIRST_CRAWL_DAY, date_to_day
+
+__all__ = [
+    "YEAR_BUCKETS",
+    "release_year_distribution",
+    "pre2017_share",
+    "recent_update_share",
+    "figure4_series",
+]
+
+#: Figure 4's x-axis: update year buckets.
+YEAR_BUCKETS: Sequence[str] = (
+    "<2012", "2012", "2013", "2014", "2015", "2016", "2017",
+)
+
+_YEAR_STARTS: Tuple[int, ...] = tuple(
+    date_to_day(datetime.date(year, 1, 1)) for year in range(2012, 2018)
+)
+
+
+def _bucket(update_day: int) -> int:
+    for i, start in enumerate(_YEAR_STARTS):
+        if update_day < start:
+            return i
+    return len(YEAR_BUCKETS) - 1
+
+
+def release_year_distribution(records: Iterable[CrawlRecord]) -> List[float]:
+    counts = [0] * len(YEAR_BUCKETS)
+    total = 0
+    for record in records:
+        counts[_bucket(record.updated_day)] += 1
+        total += 1
+    if total == 0:
+        return [0.0] * len(YEAR_BUCKETS)
+    return [c / total for c in counts]
+
+
+def pre2017_share(records: Iterable[CrawlRecord]) -> float:
+    """Share of listings last updated before 2017.
+
+    Section 4.3: ~90% for Chinese markets versus 66% for Google Play.
+    """
+    boundary = date_to_day(datetime.date(2017, 1, 1))
+    total = 0
+    old = 0
+    for record in records:
+        total += 1
+        if record.updated_day < boundary:
+            old += 1
+    return old / total if total else 0.0
+
+
+def recent_update_share(records: Iterable[CrawlRecord], months: int = 6) -> float:
+    """Share updated within ``months`` months before the first crawl.
+
+    Section 4.3: ~5% for Chinese stores versus >23% for Google Play.
+    """
+    boundary = FIRST_CRAWL_DAY - months * 30
+    total = 0
+    recent = 0
+    for record in records:
+        total += 1
+        if record.updated_day >= boundary:
+            recent += 1
+    return recent / total if total else 0.0
+
+
+def figure4_series(snapshot: Snapshot) -> Dict[str, object]:
+    """Figure 4: year distribution, Chinese aggregate vs Google Play."""
+    gp_records = snapshot.in_market(GOOGLE_PLAY)
+    cn_records = [
+        r for m in snapshot.markets() if m != GOOGLE_PLAY
+        for r in snapshot.in_market(m)
+    ]
+    return {
+        "buckets": list(YEAR_BUCKETS),
+        "google_play": release_year_distribution(gp_records),
+        "chinese": release_year_distribution(cn_records),
+        "google_play_pre2017": pre2017_share(gp_records),
+        "chinese_pre2017": pre2017_share(cn_records),
+        "google_play_recent6mo": recent_update_share(gp_records),
+        "chinese_recent6mo": recent_update_share(cn_records),
+    }

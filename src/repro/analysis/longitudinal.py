@@ -1,0 +1,89 @@
+"""Longitudinal comparison of two crawl snapshots (Section 7 support).
+
+The paper's second campaign (April 2018) re-crawled the stores to see
+what changed over eight months.  Given two snapshots this module
+measures catalog churn per market — listings removed, listings that
+survived, version upgrades among survivors — and joins removals against
+a flagged set to separate security cleanup from ordinary churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Set
+
+from repro.crawler.snapshot import Snapshot
+
+__all__ = ["MarketChurn", "compare_snapshots"]
+
+
+@dataclass
+class MarketChurn:
+    """Catalog changes in one market between two campaigns."""
+
+    market_id: str
+    first_size: int
+    second_size: int
+    removed: int  # in first, gone in second
+    added: int  # in second, absent from first
+    survivors: int
+    upgraded: int  # survivors whose version_code increased
+    flagged_removed: int  # removed listings that were in the flagged set
+    flagged_total: int  # flagged listings present at the first crawl
+
+    @property
+    def removal_share(self) -> float:
+        return self.removed / self.first_size if self.first_size else 0.0
+
+    @property
+    def flagged_removal_share(self) -> float:
+        if not self.flagged_total:
+            return 0.0
+        return self.flagged_removed / self.flagged_total
+
+    @property
+    def upgrade_share(self) -> float:
+        return self.upgraded / self.survivors if self.survivors else 0.0
+
+
+def compare_snapshots(
+    first: Snapshot,
+    second: Snapshot,
+    flagged: Optional[Mapping[str, Set[str]]] = None,
+) -> Dict[str, MarketChurn]:
+    """Per-market churn between two campaigns.
+
+    Markets absent from the second snapshot entirely (dead web
+    interfaces) are skipped — there is nothing to compare against.
+    """
+    flagged = flagged or {}
+    churn: Dict[str, MarketChurn] = {}
+    for market_id in first.markets():
+        second_records = {
+            r.package: r for r in second.in_market(market_id)
+        }
+        if not second_records and not second.market_size(market_id):
+            continue
+        first_records = {r.package: r for r in first.in_market(market_id)}
+        removed = set(first_records) - set(second_records)
+        added = set(second_records) - set(first_records)
+        survivors = set(first_records) & set(second_records)
+        upgraded = sum(
+            1
+            for package in survivors
+            if second_records[package].version_code
+            > first_records[package].version_code
+        )
+        market_flagged = flagged.get(market_id, set()) & set(first_records)
+        churn[market_id] = MarketChurn(
+            market_id=market_id,
+            first_size=len(first_records),
+            second_size=len(second_records),
+            removed=len(removed),
+            added=len(added),
+            survivors=len(survivors),
+            upgraded=upgraded,
+            flagged_removed=len(removed & market_flagged),
+            flagged_total=len(market_flagged),
+        )
+    return churn

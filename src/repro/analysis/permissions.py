@@ -1,0 +1,161 @@
+"""Over-privilege analysis (Section 6.3, Figure 11).
+
+PScout-style: the platform's API->permission specification tells us
+which permissions an app's code can actually exercise; anything
+requested in the manifest beyond that set is an unused ("over-
+privileged") permission.  As in the paper, the static view covers the
+whole DEX — first-party code, libraries, and anything else shipped in
+the APK.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.analysis.corpus import AppUnit
+from repro.android.permissions import PermissionSpec, platform_spec
+from repro.crawler.snapshot import Snapshot
+from repro.markets.profiles import GOOGLE_PLAY
+from repro.util.stats import BoxStats
+
+__all__ = [
+    "OverprivilegeResult",
+    "analyze_overprivilege",
+    "market_overprivilege",
+    "figure11_series",
+    "dangerous_request_stats",
+]
+
+#: Figure 11 histogram buckets: 0..9 and ">9".
+COUNT_BUCKETS = tuple(str(i) for i in range(10)) + (">9",)
+
+
+@dataclass
+class OverprivilegeResult:
+    """Per-unit over-privilege measurements."""
+
+    unused: Dict[Tuple[str, Optional[str]], FrozenSet[str]]
+    spec: PermissionSpec
+
+    def unused_of(self, unit: AppUnit) -> Optional[FrozenSet[str]]:
+        return self.unused.get((unit.package, unit.signer))
+
+    def top_unused_dangerous(self, top_n: int = 10) -> List[Tuple[str, float]]:
+        """Most common unused *dangerous* permissions, as the share of
+        over-privileged apps requesting each (Section 6.3's list)."""
+        over_units = [perms for perms in self.unused.values() if perms]
+        if not over_units:
+            return []
+        counter: Counter = Counter()
+        for perms in over_units:
+            for perm in perms:
+                if self.spec.is_dangerous(perm):
+                    counter[perm] += 1
+        return [
+            (perm, count / len(over_units))
+            for perm, count in counter.most_common(top_n)
+        ]
+
+
+def analyze_overprivilege(
+    units: Sequence[AppUnit], spec: Optional[PermissionSpec] = None
+) -> OverprivilegeResult:
+    """Compute unused permissions for every APK-backed unit."""
+    spec = spec or platform_spec()
+    unused: Dict[Tuple[str, Optional[str]], FrozenSet[str]] = {}
+    for unit in units:
+        if unit.apk is None:
+            continue
+        requested = set(unit.apk.manifest.permissions)
+        used = spec.permissions_for(unit.apk.merged_features())
+        unused[(unit.package, unit.signer)] = frozenset(requested - used)
+    return OverprivilegeResult(unused=unused, spec=spec)
+
+
+def market_overprivilege(
+    snapshot: Snapshot, units: Sequence[AppUnit], result: OverprivilegeResult
+) -> Dict[str, Dict[str, object]]:
+    """Per-market over-privilege statistics.
+
+    Returns ``{market: {share, histogram}}`` where ``share`` is the
+    fraction of apps requesting at least one unused permission and
+    ``histogram`` the Figure 11 bucket shares.
+    """
+    per_market_counts: Dict[str, List[int]] = {}
+    for unit in units:
+        perms = result.unused_of(unit)
+        if perms is None:
+            continue
+        for market in unit.markets:
+            per_market_counts.setdefault(market, []).append(len(perms))
+    stats: Dict[str, Dict[str, object]] = {}
+    for market in snapshot.markets():
+        counts = per_market_counts.get(market, [])
+        if not counts:
+            stats[market] = {
+                "share": 0.0,
+                "histogram": [0.0] * len(COUNT_BUCKETS),
+            }
+            continue
+        histogram = [0] * len(COUNT_BUCKETS)
+        for count in counts:
+            histogram[min(count, len(COUNT_BUCKETS) - 1)] += 1
+        stats[market] = {
+            "share": sum(1 for c in counts if c > 0) / len(counts),
+            "histogram": [h / len(counts) for h in histogram],
+        }
+    return stats
+
+
+def dangerous_request_stats(
+    units: Sequence[AppUnit], spec: Optional[PermissionSpec] = None
+) -> Dict[str, float]:
+    """Average number of *dangerous* permissions requested, per market.
+
+    Section 6.3: apps in Chinese markets tend to request more sensitive
+    permissions than Google Play apps.
+    """
+    spec = spec or platform_spec()
+    sums: Dict[str, int] = {}
+    counts: Dict[str, int] = {}
+    for unit in units:
+        if unit.apk is None:
+            continue
+        dangerous = sum(
+            1 for perm in unit.apk.manifest.permissions
+            if spec.is_dangerous(perm)
+        )
+        for market in unit.markets:
+            sums[market] = sums.get(market, 0) + dangerous
+            counts[market] = counts.get(market, 0) + 1
+    return {
+        market: sums[market] / counts[market]
+        for market in sums
+        if counts[market]
+    }
+
+
+def figure11_series(
+    snapshot: Snapshot, units: Sequence[AppUnit], result: OverprivilegeResult
+) -> Dict[str, object]:
+    """Figure 11: Google Play histogram vs per-bucket Chinese box stats."""
+    stats = market_overprivilege(snapshot, units, result)
+    gp = stats.get(GOOGLE_PLAY, {"histogram": [0.0] * len(COUNT_BUCKETS)})
+    chinese = [v["histogram"] for m, v in stats.items() if m != GOOGLE_PLAY]
+    boxes = []
+    for i in range(len(COUNT_BUCKETS)):
+        values = [row[i] for row in chinese] or [0.0]
+        boxes.append(BoxStats(values).as_dict())
+    return {
+        "buckets": list(COUNT_BUCKETS),
+        "google_play": gp["histogram"],
+        "chinese_box": boxes,
+        "gp_share": stats.get(GOOGLE_PLAY, {}).get("share", 0.0),
+        "chinese_share_mean": (
+            sum(v["share"] for m, v in stats.items() if m != GOOGLE_PLAY)
+            / max(1, len(stats) - 1)
+        ),
+        "top_unused_dangerous": result.top_unused_dangerous(),
+    }

@@ -1,0 +1,112 @@
+"""Post-analysis: malware removal between crawls (Section 7, Table 6).
+
+Joins the first crawl's flagged apps against the second campaign's
+presence checks: what share of each market's malware was removed, how
+many of its flagged apps were also removed from Google Play (GPRM), and
+how many Google-Play-removed malicious apps still survive in Chinese
+stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.corpus import AppUnit
+from repro.analysis.malware import DEFAULT_MALWARE_THRESHOLD, MalwareScan
+from repro.crawler.snapshot import Snapshot
+from repro.markets.profiles import GOOGLE_PLAY
+
+__all__ = ["RemovalReport", "flagged_packages_by_market", "removal_report"]
+
+
+def flagged_packages_by_market(
+    snapshot: Snapshot,
+    units: Sequence[AppUnit],
+    scan: MalwareScan,
+    threshold: int = DEFAULT_MALWARE_THRESHOLD,
+) -> Dict[str, Set[str]]:
+    """Per market: the packages flagged at or above the AV-rank threshold.
+
+    Flagging is signer-aware: a market hosting a *clean* app whose
+    package name is shared by a flagged clone elsewhere is not charged
+    with hosting that malware.
+    """
+    flagged_units = scan.flagged_units(threshold)
+    flagged_signers: Dict[str, Set[Optional[str]]] = {}
+    for package, signer in flagged_units:
+        flagged_signers.setdefault(package, set()).add(signer)
+    result: Dict[str, Set[str]] = {}
+    for market in snapshot.markets():
+        result[market] = {
+            r.package for r in snapshot.in_market(market)
+            if r.signer in flagged_signers.get(r.package, ())
+        }
+    return result
+
+
+@dataclass
+class RemovalReport:
+    """Table 6's rows."""
+
+    removal_share: Dict[str, float]  # market -> share of flagged removed
+    gprm_overlap: Dict[str, int]  # market -> flagged apps also removed from GP
+    gprm_removed_share: Dict[str, float]  # ... share of those also removed here
+    gprm_survivor_share: float  # GP-removed malware still hosted somewhere
+    excluded_markets: List[str]  # markets unreachable at the second crawl
+
+
+def removal_report(
+    flagged: Mapping[str, Set[str]],
+    presence: Mapping[str, Mapping[str, bool]],
+) -> RemovalReport:
+    """Compute Table 6 from flagged sets and second-crawl presence.
+
+    ``presence[market][package]`` is True when the package was still
+    listed at the second crawl.  Markets absent from ``presence`` (dead
+    web interfaces: HiApk, OPPO) are excluded, as in the paper.
+    """
+    removal_share: Dict[str, float] = {}
+    excluded: List[str] = []
+    for market, packages in flagged.items():
+        checks = presence.get(market)
+        if checks is None:
+            excluded.append(market)
+            continue
+        if not packages:
+            removal_share[market] = 0.0
+            continue
+        removed = sum(1 for p in packages if not checks.get(p, False))
+        removal_share[market] = removed / len(packages)
+
+    gp_flagged = flagged.get(GOOGLE_PLAY, set())
+    gp_checks = presence.get(GOOGLE_PLAY, {})
+    gprm = {p for p in gp_flagged if not gp_checks.get(p, False)}
+
+    gprm_overlap: Dict[str, int] = {}
+    gprm_removed_share: Dict[str, float] = {}
+    survivors: Set[str] = set()
+    for market, packages in flagged.items():
+        if market == GOOGLE_PLAY or market not in presence:
+            continue
+        overlap = packages & gprm
+        gprm_overlap[market] = len(overlap)
+        if overlap:
+            removed = sum(
+                1 for p in overlap if not presence[market].get(p, False)
+            )
+            gprm_removed_share[market] = removed / len(overlap)
+            survivors.update(
+                p for p in overlap if presence[market].get(p, False)
+            )
+        else:
+            gprm_removed_share[market] = 0.0
+
+    survivor_share = len(survivors) / len(gprm) if gprm else 0.0
+    return RemovalReport(
+        removal_share=removal_share,
+        gprm_overlap=gprm_overlap,
+        gprm_removed_share=gprm_removed_share,
+        gprm_survivor_share=survivor_share,
+        excluded_markets=sorted(excluded),
+    )

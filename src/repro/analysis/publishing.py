@@ -1,0 +1,179 @@
+"""Publishing dynamics (Section 5, Figures 7-9, Table 1 developer stats).
+
+Developers are identified by the signing certificate extracted from
+their APKs (ApkSigner, Section 5.1); apps are identified by package
+name.  The analyses here cover developer market coverage, single- vs
+multi-store apps, simultaneous multi-version packages, and outdated
+listings.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.corpus import AppUnit
+from repro.crawler.snapshot import Snapshot
+from repro.markets.profiles import GOOGLE_PLAY
+
+__all__ = [
+    "developer_markets",
+    "developer_market_cdf_counts",
+    "developer_stats",
+    "developer_name_variants",
+    "market_developer_counts",
+    "single_store_shares",
+    "gp_overlap_share",
+    "versions_per_package",
+    "highest_version_shares",
+]
+
+
+def developer_markets(units: Sequence[AppUnit]) -> Dict[str, Set[str]]:
+    """Map developer signature -> set of markets they publish in."""
+    coverage: Dict[str, Set[str]] = {}
+    for unit in units:
+        if unit.signer is None:
+            continue
+        coverage.setdefault(unit.signer, set()).update(unit.markets)
+    return coverage
+
+
+def developer_market_cdf_counts(units: Sequence[AppUnit]) -> List[int]:
+    """Figure 7's data: per developer, the number of markets targeted."""
+    return sorted(len(markets) for markets in developer_markets(units).values())
+
+
+def developer_stats(units: Sequence[AppUnit]) -> Dict[str, float]:
+    """Section 5.1 headline shares.
+
+    * ``gp_share``: developers publishing in Google Play;
+    * ``chinese_only_share``: developers publishing only in Chinese markets;
+    * ``gp_exclusive_share``: among Google Play developers, those with no
+      Chinese-market presence (the paper's 57%);
+    * ``single_chinese_store_share``: developers exclusive to exactly one
+      Chinese store (the paper's >10%);
+    * ``all_market_devs``: developers present in all 17 markets.
+    """
+    coverage = developer_markets(units)
+    if not coverage:
+        return {}
+    n = len(coverage)
+    gp_devs = [m for m in coverage.values() if GOOGLE_PLAY in m]
+    chinese_only = [m for m in coverage.values() if GOOGLE_PLAY not in m]
+    gp_exclusive = [m for m in gp_devs if len(m) == 1]
+    single_cn = [m for m in chinese_only if len(m) == 1]
+    all_17 = [m for m in coverage.values() if len(m) >= 17]
+    return {
+        "developers": float(n),
+        "gp_share": len(gp_devs) / n,
+        "chinese_only_share": len(chinese_only) / n,
+        "gp_exclusive_share": len(gp_exclusive) / max(1, len(gp_devs)),
+        "single_chinese_store_share": len(single_cn) / n,
+        "all_market_devs": float(len(all_17)),
+    }
+
+
+def developer_name_variants(units: Sequence[AppUnit]) -> Dict[str, float]:
+    """Signature-vs-display-name consistency (the paper's footnote 11).
+
+    One signing key may appear under several display names across markets
+    (e.g. a Chinese name in one store, an English one in another).
+    Returns the number of signers observed, the share with more than one
+    display name, and the maximum variants seen for one signer.
+    """
+    names_of: Dict[str, Set[str]] = {}
+    for unit in units:
+        if unit.signer is None:
+            continue
+        bucket = names_of.setdefault(unit.signer, set())
+        for record in unit.records:
+            bucket.add(record.developer_name)
+    if not names_of:
+        return {"signers": 0.0, "multi_name_share": 0.0, "max_variants": 0.0}
+    multi = sum(1 for names in names_of.values() if len(names) > 1)
+    return {
+        "signers": float(len(names_of)),
+        "multi_name_share": multi / len(names_of),
+        "max_variants": float(max(len(names) for names in names_of.values())),
+    }
+
+
+def market_developer_counts(units: Sequence[AppUnit]) -> Dict[str, Dict[str, float]]:
+    """Table 1's #Developers and %Unique Developers per market."""
+    devs_in: Dict[str, Set[str]] = {}
+    coverage = developer_markets(units)
+    for signer, markets in coverage.items():
+        for market in markets:
+            devs_in.setdefault(market, set()).add(signer)
+    stats: Dict[str, Dict[str, float]] = {}
+    for market, devs in devs_in.items():
+        unique = sum(1 for d in devs if len(coverage[d]) == 1)
+        stats[market] = {
+            "developers": float(len(devs)),
+            "unique_share": unique / len(devs) if devs else 0.0,
+        }
+    return stats
+
+
+def single_store_shares(snapshot: Snapshot) -> Dict[str, float]:
+    """Section 5.2: per market, the share of its apps found nowhere else."""
+    market_count: Dict[str, int] = {}
+    for package in snapshot.packages():
+        market_count[package] = len(snapshot.markets_of(package))
+    shares: Dict[str, float] = {}
+    for market in snapshot.markets():
+        records = snapshot.in_market(market)
+        if not records:
+            shares[market] = 0.0
+            continue
+        single = sum(1 for r in records if market_count[r.package] == 1)
+        shares[market] = single / len(records)
+    return shares
+
+
+def gp_overlap_share(snapshot: Snapshot, market_id: str) -> float:
+    """Share of a Chinese market's apps also present in Google Play
+    (Section 5.2: between 20% and 30%)."""
+    records = snapshot.in_market(market_id)
+    if not records:
+        return 0.0
+    gp_packages = {r.package for r in snapshot.in_market(GOOGLE_PLAY)}
+    return sum(1 for r in records if r.package in gp_packages) / len(records)
+
+
+def versions_per_package(snapshot: Snapshot) -> List[int]:
+    """Figure 8(a): simultaneous distinct versions per package across stores."""
+    counts: List[int] = []
+    for package in snapshot.packages():
+        versions = {r.version_code for r in snapshot.for_package(package)}
+        counts.append(len(versions))
+    return sorted(counts)
+
+
+def highest_version_shares(snapshot: Snapshot) -> Dict[str, float]:
+    """Figure 9: per market, the share of its multi-store apps listed at
+    the globally-highest version number.
+
+    Single-store apps are excluded — they are trivially up to date.
+    """
+    best_version: Dict[str, int] = {}
+    market_counts: Dict[str, int] = {}
+    for package in snapshot.packages():
+        records = snapshot.for_package(package)
+        market_counts[package] = len({r.market_id for r in records})
+        best_version[package] = max(r.version_code for r in records)
+    shares: Dict[str, float] = {}
+    for market in snapshot.markets():
+        multi = [
+            r for r in snapshot.in_market(market) if market_counts[r.package] > 1
+        ]
+        if not multi:
+            shares[market] = 1.0
+            continue
+        current = sum(
+            1 for r in multi if r.version_code >= best_version[r.package]
+        )
+        shares[market] = current / len(multi)
+    return shares

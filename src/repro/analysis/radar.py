@@ -1,0 +1,63 @@
+"""Multi-dimensional market comparison (Section 8, Figure 13).
+
+Normalizes several per-market quality metrics to [0, 100] (100 = best)
+and produces the radar series for the paper's five showcase markets:
+Google Play, Tencent Myapp, PC Online, Huawei, and Lenovo MM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["RADAR_MARKETS", "RADAR_DIMENSIONS", "radar_series"]
+
+RADAR_MARKETS = ("google_play", "tencent", "pconline", "huawei", "lenovo")
+
+#: dimension name -> whether a higher raw value is better.
+RADAR_DIMENSIONS = {
+    "malware_resistance": False,  # raw: malware share
+    "fake_resistance": False,  # raw: fake share
+    "clone_resistance": False,  # raw: code-clone share
+    "app_ratings": True,  # raw: mean rating
+    "catalog_freshness": True,  # raw: highest-version share
+    "malware_removal": True,  # raw: removal share
+}
+
+
+def _normalize(values: Dict[str, float], higher_is_better: bool) -> Dict[str, float]:
+    present = {m: v for m, v in values.items() if v is not None}
+    if not present:
+        return {m: 0.0 for m in values}
+    lo, hi = min(present.values()), max(present.values())
+    span = hi - lo
+    out: Dict[str, float] = {}
+    for market, value in values.items():
+        if value is None:
+            out[market] = 0.0
+            continue
+        score = 0.5 if span == 0 else (value - lo) / span
+        if not higher_is_better:
+            score = 1.0 - score
+        out[market] = round(100.0 * score, 1)
+    return out
+
+
+def radar_series(
+    raw_metrics: Mapping[str, Mapping[str, Optional[float]]],
+    markets: Sequence[str] = RADAR_MARKETS,
+) -> Dict[str, Dict[str, float]]:
+    """Build Figure 13's series.
+
+    ``raw_metrics[dimension][market]`` holds raw values; output is
+    ``{market: {dimension: score_0_100}}``.
+    """
+    for dimension in raw_metrics:
+        if dimension not in RADAR_DIMENSIONS:
+            raise KeyError(f"unknown radar dimension {dimension!r}")
+    series: Dict[str, Dict[str, float]] = {m: {} for m in markets}
+    for dimension, per_market in raw_metrics.items():
+        values = {m: per_market.get(m) for m in markets}
+        normalized = _normalize(values, RADAR_DIMENSIONS[dimension])
+        for market in markets:
+            series[market][dimension] = normalized[market]
+    return series

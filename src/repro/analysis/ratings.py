@@ -1,0 +1,89 @@
+"""App rating analysis (Section 4.5, Figure 6).
+
+Ratings come from market metadata; unrated apps are recorded as 0 (the
+paper's convention).  The analysis surfaces the paper's two patterns —
+the mass of unrated apps in Chinese stores, and PC Online's suspicious
+spike between 2.5 and 3 caused by its default rating of 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.corpus import normalized_downloads
+from repro.crawler.snapshot import Snapshot
+from repro.util.stats import cdf_points
+
+__all__ = [
+    "rating_cdf",
+    "rating_cdfs",
+    "unrated_share",
+    "high_rating_share",
+    "default_rating_spike_share",
+    "unrated_low_download_share",
+]
+
+_GRID = tuple(np.round(np.arange(0.0, 5.01, 0.25), 2))
+
+
+def rating_cdf(snapshot: Snapshot, market_id: str) -> Tuple[List[float], List[float]]:
+    """Empirical rating CDF on a fixed 0..5 grid."""
+    ratings = [r.rating for r in snapshot.in_market(market_id)]
+    if not ratings:
+        return list(_GRID), [0.0] * len(_GRID)
+    xs, cdf = cdf_points(ratings, grid=_GRID)
+    return list(map(float, xs)), list(map(float, cdf))
+
+
+def rating_cdfs(snapshot: Snapshot) -> Dict[str, Tuple[List[float], List[float]]]:
+    """Figure 6: per-market rating CDFs."""
+    return {m: rating_cdf(snapshot, m) for m in snapshot.markets()}
+
+
+def unrated_share(snapshot: Snapshot, market_id: str) -> float:
+    """Share of listings with no user rating (reported as 0)."""
+    records = snapshot.in_market(market_id)
+    if not records:
+        return 0.0
+    return sum(1 for r in records if r.rating == 0.0) / len(records)
+
+
+def high_rating_share(snapshot: Snapshot, market_id: str, threshold: float = 4.0) -> float:
+    """Share of listings rated above ``threshold`` (GP: >50% above 4)."""
+    records = snapshot.in_market(market_id)
+    if not records:
+        return 0.0
+    return sum(1 for r in records if r.rating > threshold) / len(records)
+
+
+def default_rating_spike_share(
+    snapshot: Snapshot, market_id: str, low: float = 2.5, high: float = 3.0
+) -> float:
+    """Share of listings rated in (low, high] — PC Online's default-3
+    artifact shows up as a spike here (Pattern #2)."""
+    records = snapshot.in_market(market_id)
+    if not records:
+        return 0.0
+    return sum(1 for r in records if low < r.rating <= high) / len(records)
+
+
+def unrated_low_download_share(snapshot: Snapshot, market_id: str) -> float:
+    """Among unrated listings, the share with fewer than 1,000 downloads.
+
+    Section 4.5, Pattern #1: ~90% of unrated apps are low-download apps.
+    """
+    unrated = [r for r in snapshot.in_market(market_id) if r.rating == 0.0]
+    if not unrated:
+        return 0.0
+    low = 0
+    known = 0
+    for record in unrated:
+        downloads = normalized_downloads(record)
+        if downloads is None:
+            continue
+        known += 1
+        if downloads < 1_000:
+            low += 1
+    return low / known if known else 0.0

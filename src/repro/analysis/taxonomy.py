@@ -1,0 +1,96 @@
+"""Category consolidation (Section 4.1, Figure 1).
+
+Every market publishes its own category taxonomy; the paper manually
+consolidates them into 22 canonical categories.  The alias table in
+:func:`repro.markets.categories.consolidation_table` plays the role of
+that manual mapping; unknown or non-descriptive labels map to
+``Null/Other`` — which is how 40% of Tencent/360/OPPO/25PP listings end
+up there.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.crawler.snapshot import Snapshot
+from repro.markets.categories import (
+    CANONICAL_CATEGORIES,
+    OTHER_CATEGORY,
+    consolidation_table,
+)
+
+__all__ = [
+    "consolidate_label",
+    "category_distribution",
+    "category_distributions",
+    "category_similarity",
+    "similarity_to_google_play",
+]
+
+_TABLE = None
+
+
+def consolidate_label(label: str) -> str:
+    """Map one market-reported label onto the canonical taxonomy."""
+    global _TABLE
+    if _TABLE is None:
+        _TABLE = consolidation_table()
+    return _TABLE.get(label.strip(), OTHER_CATEGORY)
+
+
+def category_distribution(snapshot: Snapshot, market_id: str) -> Dict[str, float]:
+    """Share of a market's listings per canonical category."""
+    records = snapshot.in_market(market_id)
+    if not records:
+        return {c: 0.0 for c in CANONICAL_CATEGORIES}
+    counts = {c: 0 for c in CANONICAL_CATEGORIES}
+    for record in records:
+        counts[consolidate_label(record.category)] += 1
+    total = len(records)
+    return {c: counts[c] / total for c in CANONICAL_CATEGORIES}
+
+
+def category_distributions(snapshot: Snapshot) -> Dict[str, Dict[str, float]]:
+    """Figure 1's matrix: per-market canonical category shares."""
+    return {m: category_distribution(snapshot, m) for m in snapshot.markets()}
+
+
+def category_similarity(
+    a: Dict[str, float], b: Dict[str, float], ignore_other: bool = True
+) -> float:
+    """Cosine similarity of two category distributions.
+
+    ``ignore_other`` drops the Null/Other bucket first — markets with lax
+    metadata (Section 4.1's 40% NULL categories) would otherwise look
+    artificially dissimilar for reporting reasons, not catalog reasons.
+    """
+    import math
+
+    keys = [
+        c for c in CANONICAL_CATEGORIES
+        if not (ignore_other and c == OTHER_CATEGORY)
+    ]
+    va = [a.get(c, 0.0) for c in keys]
+    vb = [b.get(c, 0.0) for c in keys]
+    norm_a = math.sqrt(sum(x * x for x in va))
+    norm_b = math.sqrt(sum(x * x for x in vb))
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+    return sum(x * y for x, y in zip(va, vb)) / (norm_a * norm_b)
+
+
+def similarity_to_google_play(snapshot: Snapshot) -> Dict[str, float]:
+    """Per-market category-mix similarity to Google Play.
+
+    Section 4.1: most Chinese stores follow Google Play's distribution
+    closely, while vendor stores (Meizu, Huawei, Lenovo) diverge.
+    """
+    matrix = category_distributions(snapshot)
+    reference = matrix.get("google_play")
+    if reference is None:
+        return {}
+    return {
+        market: category_similarity(reference, dist)
+        for market, dist in matrix.items()
+        if market != "google_play"
+    }

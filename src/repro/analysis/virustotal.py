@@ -1,0 +1,250 @@
+"""Simulated VirusTotal (Section 6.4).
+
+The paper uploads every APK to VirusTotal and aggregates 60+ anti-virus
+engines.  The simulation keeps the parts that matter for AV-rank
+analysis:
+
+* ~60 engines of varying quality (strong / medium / weak tiers),
+* per-engine signature databases over known malware payloads — vendors
+  possess the samples, so databases derive from the *pure*
+  ``payload_code(family, variant)`` function, not from world state,
+* weak-engine-only grayware signatures for aggressive ad SDK builds,
+* weak-engine heuristics on 360-Jiagubao-packed apps (the ``jiagu``
+  labels of Figure 12) and a tiny generic false-positive rate,
+* vendor-specific label formats and family aliases, which is what makes
+  AVClass-style label normalization (in :mod:`repro.analysis.malware`)
+  a real task.
+
+Everything is hash-deterministic: scanning the same APK always yields
+the same report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.apk.archive import ParsedApk
+from repro.apk.obfuscation import JiaguObfuscator
+from repro.util.rng import stable_hash32
+
+__all__ = ["EngineProfile", "ScanReport", "VirusTotalService", "default_engines"]
+
+#: How many payload variants per family the vendor sample feeds cover.
+VARIANTS_PER_FAMILY = 64
+
+_TIER_MULTIPLIER = {"strong": 1.2, "medium": 1.0, "weak": 0.75}
+
+#: Vendor-specific family alias spellings (AVClass must undo these).
+_FAMILY_ALIASES: Mapping[str, Tuple[str, ...]] = {
+    "kuguo": ("kuguo", "kugou", "kuguopush"),
+    "dowgin": ("dowgin", "dowjin"),
+    "airpush": ("airpush", "stopsms", "airpushad"),
+    "revmob": ("revmob", "revmobads"),
+    "youmi": ("youmi", "yomi"),
+    "leadbolt": ("leadbolt", "leadbolder"),
+    "adwo": ("adwo", "adwoad"),
+    "domob": ("domob", "duomob"),
+    "smsreg": ("smsreg", "smsregister"),
+    "gappusin": ("gappusin", "gapusin"),
+    "smspay": ("smspay", "smcharger"),
+    "droidkungfu": ("droidkungfu", "kungfu"),
+    "basebridge": ("basebridge", "bridge"),
+    "ramnit": ("ramnit", "nimnul"),
+    "eicar": ("eicar", "eicartest"),
+}
+
+_VENDOR_ROOTS = (
+    "Aegis", "Bluehat", "Cerberus", "DeepScan", "Everest", "Falconet",
+    "Guardia", "Hawkbit", "Ironclad", "Jadefort", "Kitefin", "Lumosec",
+    "Mistral", "Nightowl", "Obsidian", "Pangolin", "Quartzav", "Redwall",
+    "Sentryx", "Tigershark",
+)
+_VENDOR_SUFFIXES = ("AV", "Secure", "Shield")
+
+
+@dataclass(frozen=True)
+class EngineProfile:
+    """One anti-virus engine."""
+
+    name: str
+    tier: str  # "strong" | "medium" | "weak"
+    style: str  # "dot" | "slash" | "adware" | "generic"
+
+    def __post_init__(self) -> None:
+        if self.tier not in _TIER_MULTIPLIER:
+            raise ValueError(f"bad tier {self.tier!r}")
+
+
+def default_engines(count: int = 60) -> List[EngineProfile]:
+    """The default engine roster: 25 strong, 20 medium, the rest weak."""
+    engines: List[EngineProfile] = []
+    styles = ("dot", "slash", "adware", "generic")
+    for i in range(count):
+        root = _VENDOR_ROOTS[i % len(_VENDOR_ROOTS)]
+        suffix = _VENDOR_SUFFIXES[i // len(_VENDOR_ROOTS) % len(_VENDOR_SUFFIXES)]
+        name = f"{root}{suffix}"
+        if i < 25:
+            tier = "strong"
+        elif i < 45:
+            tier = "medium"
+        else:
+            tier = "weak"
+        style = styles[i % 3] if tier != "weak" else styles[(i % 4)]
+        engines.append(EngineProfile(name=name, tier=tier, style=style))
+    return engines
+
+
+@dataclass
+class ScanReport:
+    """One APK's scan result."""
+
+    md5: str
+    detections: Dict[str, str]  # engine name -> label
+
+    @property
+    def av_rank(self) -> int:
+        return len(self.detections)
+
+    def labels(self) -> List[str]:
+        return list(self.detections.values())
+
+
+class VirusTotalService:
+    """Scans parsed APKs against the engine roster."""
+
+    def __init__(self, engines: Optional[List[EngineProfile]] = None):
+        self._engines = engines or default_engines()
+        self._weak = [e for e in self._engines if e.tier == "weak"]
+        self._signature_db = self._build_signature_db()
+        self._grayware_db = self._build_grayware_db()
+        self._jiagu_digest = JiaguObfuscator.stub_digest()
+        self._cache: Dict[str, ScanReport] = {}
+
+    @property
+    def engines(self) -> List[EngineProfile]:
+        return list(self._engines)
+
+    # -- databases ---------------------------------------------------------
+
+    @staticmethod
+    def _build_signature_db() -> Dict[int, Tuple[str, int]]:
+        """digest -> (family, variant) over the vendor sample feeds."""
+        from repro.ecosystem.threats import MALWARE_FAMILIES, payload_code
+
+        db: Dict[int, Tuple[str, int]] = {}
+        for family in MALWARE_FAMILIES:
+            for variant in range(VARIANTS_PER_FAMILY):
+                digest = payload_code(family, variant).feature_digest
+                db[digest] = (family, variant)
+        return db
+
+    @staticmethod
+    def _build_grayware_db() -> Dict[int, str]:
+        """digest -> grayware family for aggressive ad SDK builds."""
+        from repro.ecosystem.libraries import default_catalog
+
+        db: Dict[int, str] = {}
+        catalog = default_catalog()
+        for lib in catalog.aggressive_libraries:
+            for version in range(lib.n_versions):
+                code = catalog.version_code(lib.package, version).as_code_package()
+                db[code.feature_digest] = lib.grayware_family
+        return db
+
+    # -- detection ------------------------------------------------------------
+
+    def _engine_knows(self, engine: EngineProfile, family: str, variant: int,
+                      breadth: float) -> bool:
+        effective = min(1.0, breadth * _TIER_MULTIPLIER[engine.tier])
+        roll = stable_hash32("sigdb", engine.name, family, variant) % 100_000
+        return roll < int(effective * 100_000)
+
+    def _weak_knows(self, engine: EngineProfile, key: str, target: str,
+                    per_engine_p: float) -> bool:
+        roll = stable_hash32(key, engine.name, target) % 100_000
+        return roll < int(per_engine_p * 100_000)
+
+    def _label(self, engine: EngineProfile, family: str, variant: int,
+               kind: str, md5: str) -> str:
+        aliases = _FAMILY_ALIASES.get(family, (family,))
+        alias = aliases[stable_hash32("alias", engine.name, family) % len(aliases)]
+        pretty = alias.capitalize()
+        letter = chr(ord("a") + variant % 26)
+        if engine.style == "generic":
+            return f"Artemis!{md5[:8]}"
+        if kind in ("adware", "grayware"):
+            if engine.style == "adware":
+                return f"AdWare.AndroidOS.{pretty}.{letter}"
+            if engine.style == "slash":
+                return f"Adware/ANDR.{pretty}.gen"
+            return f"Android.AdWare.{pretty}.{letter}"
+        if engine.style == "slash":
+            return f"Trojan/AndroidOS.{alias}.{variant}"
+        return f"Android.Trojan.{pretty}.{letter}"
+
+    def scan(self, apk: ParsedApk) -> ScanReport:
+        """Scan one APK (cached by MD5)."""
+        cached = self._cache.get(apk.md5)
+        if cached is not None:
+            return cached
+
+        from repro.ecosystem.threats import (
+            GRAYWARE_BREADTH,
+            JIAGU_HEURISTIC_BREADTH,
+            MALWARE_FAMILIES,
+        )
+
+        detections: Dict[str, str] = {}
+        digests = [pkg.feature_digest for pkg in apk.packages]
+        n_weak = max(1, len(self._weak))
+        scale = len(self._engines) / n_weak
+
+        for digest in digests:
+            hit = self._signature_db.get(digest)
+            if hit is not None:
+                family, variant = hit
+                breadth = MALWARE_FAMILIES[family].breadth
+                kind = MALWARE_FAMILIES[family].kind
+                for engine in self._engines:
+                    if engine.name in detections:
+                        continue
+                    if self._engine_knows(engine, family, variant, breadth):
+                        detections[engine.name] = self._label(
+                            engine, family, variant, kind, apk.md5
+                        )
+                continue
+            gray = self._grayware_db.get(digest)
+            if gray is not None:
+                per_engine = min(1.0, GRAYWARE_BREADTH * scale)
+                for engine in self._weak:
+                    if engine.name in detections:
+                        continue
+                    if self._weak_knows(engine, "graydb", f"{gray}:{digest}", per_engine):
+                        detections[engine.name] = self._label(
+                            engine, gray, digest % 26, "grayware", apk.md5
+                        )
+            if digest == self._jiagu_digest:
+                per_engine = min(1.0, JIAGU_HEURISTIC_BREADTH * scale)
+                for engine in self._weak:
+                    if engine.name in detections:
+                        continue
+                    if self._weak_knows(engine, "jiagu-heur", apk.md5, per_engine):
+                        detections[engine.name] = self._label(
+                            engine, "jiagu", 0, "grayware", apk.md5
+                        )
+
+        # Tiny generic false-positive rate on weak engines.
+        for engine in self._weak:
+            if engine.name in detections:
+                continue
+            if self._weak_knows(engine, "weak-fp", apk.md5, 0.0002 * scale):
+                detections[engine.name] = f"Artemis!{apk.md5[:8]}"
+
+        report = ScanReport(md5=apk.md5, detections=detections)
+        self._cache[apk.md5] = report
+        return report
+
+    def family_aliases(self) -> Mapping[str, Tuple[str, ...]]:
+        """The alias table (exposed for AVClass-style normalization)."""
+        return _FAMILY_ALIASES

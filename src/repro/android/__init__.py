@@ -1,0 +1,15 @@
+"""Android platform model: permissions and the API-permission specification."""
+
+from repro.android.permissions import (
+    ALL_PERMISSIONS,
+    DANGEROUS_PERMISSIONS,
+    PermissionSpec,
+    platform_spec,
+)
+
+__all__ = [
+    "ALL_PERMISSIONS",
+    "DANGEROUS_PERMISSIONS",
+    "PermissionSpec",
+    "platform_spec",
+]

@@ -1,0 +1,33 @@
+"""Synthetic APK toolchain.
+
+An :class:`~repro.apk.models.Apk` is a structured model of an Android
+package: manifest, DEX code organized as top-level code packages with
+API-call features and code blocks, a developer signature, and META-INF
+entries (including per-market channel files).  ``archive`` serializes an
+APK to a binary blob and parses it back; all analyzers work on parsed
+archives, never on ecosystem ground truth.
+"""
+
+from repro.apk.models import (
+    Apk,
+    ChannelFile,
+    CodePackage,
+    Manifest,
+)
+from repro.apk.archive import ApkParseError, ParsedApk, parse_apk, serialize_apk
+from repro.apk.signing import SigningKey, extract_signature
+from repro.apk.obfuscation import JiaguObfuscator
+
+__all__ = [
+    "Apk",
+    "Manifest",
+    "CodePackage",
+    "ChannelFile",
+    "ParsedApk",
+    "ApkParseError",
+    "parse_apk",
+    "serialize_apk",
+    "SigningKey",
+    "extract_signature",
+    "JiaguObfuscator",
+]

@@ -1,0 +1,147 @@
+"""Binary APK archive format.
+
+``serialize_apk`` turns an :class:`~repro.apk.models.Apk` into a
+compressed binary blob (magic ``RAPK1``); ``parse_apk`` reverses it.
+Analyzers only ever receive blobs (from crawler downloads) and work on
+the resulting :class:`ParsedApk` — this enforces the boundary between
+the synthetic world and the measurement code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.apk.models import Apk, ChannelFile, CodePackage, Manifest
+
+__all__ = ["MAGIC", "ApkParseError", "ParsedApk", "serialize_apk", "parse_apk"]
+
+MAGIC = b"RAPK1"
+
+
+class ApkParseError(Exception):
+    """Raised when a blob is not a valid APK archive."""
+
+
+def serialize_apk(apk: Apk) -> bytes:
+    """Serialize an APK to its on-the-wire binary form."""
+    doc = {
+        "manifest": {
+            "package": apk.manifest.package,
+            "version_code": apk.manifest.version_code,
+            "version_name": apk.manifest.version_name,
+            "min_sdk": apk.manifest.min_sdk,
+            "target_sdk": apk.manifest.target_sdk,
+            "permissions": list(apk.manifest.permissions),
+        },
+        "dex": [
+            {
+                "name": pkg.name,
+                "features": sorted(pkg.features.items()),
+                "blocks": list(pkg.blocks),
+            }
+            for pkg in apk.packages
+        ],
+        "signature": {
+            "fingerprint": apk.signer_fingerprint,
+            "signer": apk.signer_name,
+        },
+        "meta_inf": [[entry.name, entry.content] for entry in apk.meta_inf],
+        "obfuscated_by": apk.obfuscated_by,
+    }
+    payload = zlib.compress(json.dumps(doc, separators=(",", ":")).encode("utf-8"), 6)
+    return MAGIC + struct.pack(">I", len(payload)) + payload
+
+
+@dataclass
+class ParsedApk:
+    """The analyzer-facing view of one APK file.
+
+    Produced only by :func:`parse_apk`, so everything here is derived
+    from the archive bytes, exactly as androguard/ApkSigner would derive
+    it from a real APK.
+    """
+
+    manifest: Manifest
+    packages: Tuple[CodePackage, ...]
+    signer_fingerprint: str
+    signer_name: str
+    meta_inf: Tuple[ChannelFile, ...]
+    obfuscated_by: Optional[str]
+    md5: str
+    size_bytes: int
+
+    def merged_features(self) -> Dict[int, int]:
+        merged: Dict[int, int] = {}
+        for pkg in self.packages:
+            for fid, count in pkg.features.items():
+                merged[fid] = merged.get(fid, 0) + count
+        return merged
+
+    def package_names(self) -> Tuple[str, ...]:
+        return tuple(pkg.name for pkg in self.packages)
+
+    def package_digests(self) -> Dict[str, int]:
+        """Map code-package name -> feature digest (AV/library lookups)."""
+        return {pkg.name: pkg.feature_digest for pkg in self.packages}
+
+    @property
+    def identity(self) -> Tuple[str, int]:
+        """The (package, version_code) primary key used throughout §5."""
+        return (self.manifest.package, self.manifest.version_code)
+
+
+def parse_apk(blob: bytes) -> ParsedApk:
+    """Parse a serialized APK blob.
+
+    Raises :class:`ApkParseError` on malformed input (bad magic,
+    truncation, corrupt payload, or schema violations).
+    """
+    if len(blob) < len(MAGIC) + 4:
+        raise ApkParseError("blob too short")
+    if blob[: len(MAGIC)] != MAGIC:
+        raise ApkParseError("bad magic")
+    (length,) = struct.unpack(">I", blob[len(MAGIC) : len(MAGIC) + 4])
+    payload = blob[len(MAGIC) + 4 :]
+    if len(payload) != length:
+        raise ApkParseError(f"payload length mismatch: {len(payload)} != {length}")
+    try:
+        doc = json.loads(zlib.decompress(payload).decode("utf-8"))
+    except (zlib.error, ValueError) as exc:
+        raise ApkParseError(f"corrupt payload: {exc}") from exc
+
+    try:
+        mdoc = doc["manifest"]
+        manifest = Manifest(
+            package=mdoc["package"],
+            version_code=int(mdoc["version_code"]),
+            version_name=mdoc["version_name"],
+            min_sdk=int(mdoc["min_sdk"]),
+            target_sdk=int(mdoc["target_sdk"]),
+            permissions=tuple(mdoc["permissions"]),
+        )
+        packages = tuple(
+            CodePackage(
+                name=p["name"],
+                features={int(fid): int(count) for fid, count in p["features"]},
+                blocks=tuple(int(b) for b in p["blocks"]),
+            )
+            for p in doc["dex"]
+        )
+        meta_inf = tuple(ChannelFile(name, content) for name, content in doc["meta_inf"])
+        return ParsedApk(
+            manifest=manifest,
+            packages=packages,
+            signer_fingerprint=doc["signature"]["fingerprint"],
+            signer_name=doc["signature"]["signer"],
+            meta_inf=meta_inf,
+            obfuscated_by=doc.get("obfuscated_by"),
+            md5=hashlib.md5(blob).hexdigest(),
+            size_bytes=len(blob),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ApkParseError(f"schema violation: {exc}") from exc

@@ -1,0 +1,120 @@
+"""Structured APK model.
+
+The model captures exactly the artifacts the paper's analyses read:
+
+* the manifest (package name, version code/name, SDK levels, requested
+  permissions),
+* the DEX code as a set of top-level *code packages*, each with a sparse
+  multiset of feature identifiers (Android API calls, Intents, Content
+  Provider URIs share one feature-id space) and a list of code-block
+  hashes (for WuKong's second-phase code-segment comparison),
+* the developer signature block, and
+* META-INF entries such as the per-market channel files of Section 5.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "FEATURE_SPACE",
+    "API_FEATURE_RANGE",
+    "INTENT_FEATURE_RANGE",
+    "PROVIDER_FEATURE_RANGE",
+    "Manifest",
+    "CodePackage",
+    "ChannelFile",
+    "Apk",
+]
+
+#: Unified feature-id space for DEX features.  The paper's WuKong vectors
+#: have >45K dimensions (32,445 APIs + Intents + Providers); we keep the
+#: same structure at reduced width.
+API_FEATURE_RANGE = (0, 10_000)
+INTENT_FEATURE_RANGE = (10_000, 10_200)
+PROVIDER_FEATURE_RANGE = (10_200, 10_400)
+FEATURE_SPACE = PROVIDER_FEATURE_RANGE[1]
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """AndroidManifest.xml as analyzers see it."""
+
+    package: str
+    version_code: int
+    version_name: str
+    min_sdk: int
+    target_sdk: int
+    permissions: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.version_code < 0:
+            raise ValueError("version_code must be non-negative")
+        if self.min_sdk < 1 or self.target_sdk < self.min_sdk:
+            raise ValueError(
+                f"invalid SDK range: min={self.min_sdk} target={self.target_sdk}"
+            )
+
+
+@dataclass(frozen=True)
+class CodePackage:
+    """One top-level code package inside the DEX.
+
+    ``features`` maps feature id -> occurrence count.  ``blocks`` are
+    stable hashes of code segments.  ``feature_digest`` is a
+    content-derived digest of the feature multiset; it is what both the
+    library detector clusters on and what AV signature databases store.
+    """
+
+    name: str
+    features: Mapping[int, int]
+    blocks: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        for fid, count in self.features.items():
+            if not (0 <= fid < FEATURE_SPACE):
+                raise ValueError(f"feature id {fid} outside feature space")
+            if count <= 0:
+                raise ValueError(f"feature count must be positive, got {count}")
+
+    @property
+    def feature_digest(self) -> int:
+        from repro.util.rng import stable_hash64
+
+        items = tuple(sorted(self.features.items()))
+        return stable_hash64("pkg-features", items)
+
+    def total_features(self) -> int:
+        return sum(self.features.values())
+
+
+@dataclass(frozen=True)
+class ChannelFile:
+    """A META-INF entry, e.g. the ``kgchannel`` market-channel marker."""
+
+    name: str
+    content: str
+
+
+@dataclass
+class Apk:
+    """A complete APK ready for serialization."""
+
+    manifest: Manifest
+    packages: Tuple[CodePackage, ...]
+    signer_fingerprint: str
+    signer_name: str
+    meta_inf: Tuple[ChannelFile, ...] = ()
+    obfuscated_by: Optional[str] = None
+
+    def merged_features(self) -> Dict[int, int]:
+        """Merge feature multisets across all code packages."""
+        merged: Dict[int, int] = {}
+        for pkg in self.packages:
+            for fid, count in pkg.features.items():
+                merged[fid] = merged.get(fid, 0) + count
+        return merged
+
+    def package_names(self) -> Tuple[str, ...]:
+        return tuple(pkg.name for pkg in self.packages)

@@ -1,0 +1,74 @@
+"""360 Jiagubao-style packaging/obfuscation.
+
+The 360 market requires developers to run their APKs through the 360
+Jiagubao packer before submission (Section 2, Section 5.3).  The packer:
+
+* renames every code-package to a meaningless identifier (feature
+  multisets are untouched, which is why the paper's clustering-based
+  library detection is obfuscation resilient),
+* injects a small loader stub package, and
+* stamps the archive with the packer's name.
+
+Weak anti-virus engines heuristically flag packed apps (the ``jiagu``
+family visible in the paper's Figure 12), which the simulated VirusTotal
+reproduces by matching on the stub package digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apk.models import Apk, CodePackage
+from repro.util.rng import stable_hash32
+
+__all__ = ["JiaguObfuscator", "JIAGU_STUB_PACKAGE"]
+
+#: Name of the loader stub the packer injects.
+JIAGU_STUB_PACKAGE = "com.qihoo.util"
+
+#: The stub's code is byte-identical across packed apps, so its feature
+#: digest is a stable, recognisable signature.
+_STUB_FEATURES = {101: 3, 202: 1, 303: 2, 404: 1}
+_STUB_BLOCKS = (0x360360, 0x360361)
+
+
+@dataclass(frozen=True)
+class JiaguObfuscator:
+    """Applies 360 Jiagubao-style packing to an APK model."""
+
+    packer_name: str = "360jiagubao"
+
+    def obfuscate(self, apk: Apk) -> Apk:
+        """Return a packed copy of ``apk``; the input is not modified."""
+        renamed = tuple(
+            CodePackage(
+                name=self._mangle(pkg.name, apk.manifest.package),
+                features=dict(pkg.features),
+                blocks=pkg.blocks,
+            )
+            for pkg in apk.packages
+        )
+        stub = CodePackage(
+            name=JIAGU_STUB_PACKAGE,
+            features=dict(_STUB_FEATURES),
+            blocks=_STUB_BLOCKS,
+        )
+        return Apk(
+            manifest=apk.manifest,
+            packages=renamed + (stub,),
+            signer_fingerprint=apk.signer_fingerprint,
+            signer_name=apk.signer_name,
+            meta_inf=apk.meta_inf,
+            obfuscated_by=self.packer_name,
+        )
+
+    @staticmethod
+    def _mangle(package_name: str, app_package: str) -> str:
+        """Deterministic opaque rename, stable per (app, package)."""
+        tag = stable_hash32("jiagu-rename", app_package, package_name)
+        return f"o.{tag:08x}"
+
+    @staticmethod
+    def stub_digest() -> int:
+        """Feature digest of the loader stub (used by AV heuristics)."""
+        return CodePackage(JIAGU_STUB_PACKAGE, dict(_STUB_FEATURES), _STUB_BLOCKS).feature_digest

@@ -1,0 +1,163 @@
+"""Command-line interface.
+
+    python -m repro list
+    python -m repro markets
+    python -m repro run --scale 0.001 --seed 42
+    python -m repro experiment table4 figure9 --scale 0.001
+    python -m repro report --scale 0.002 --output EXPERIMENTS.md
+
+``run`` executes the full study and prints a summary; ``experiment``
+additionally renders the requested tables/figures; ``report`` writes all
+of them to a markdown file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro import Study, StudyConfig, __version__
+from repro.experiments import EXPERIMENT_IDS, run_experiment
+from repro.markets.profiles import ALL_MARKET_IDS, GOOGLE_PLAY, get_profile
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Beyond Google Play' (IMC 2018): simulate the "
+            "app-market ecosystem, crawl it, and regenerate the paper's "
+            "tables and figures."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiment ids")
+    sub.add_parser("markets", help="print the 17 market profiles")
+
+    def add_study_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=42, help="master seed")
+        p.add_argument("--scale", type=float, default=0.001,
+                       help="fraction of the paper's 6.27M-listing corpus")
+        p.add_argument("--no-apks", action="store_true",
+                       help="metadata-only crawl (faster)")
+        p.add_argument("--full-second-crawl", action="store_true",
+                       help="run a full second campaign (enables 'churn')")
+
+    run_parser = sub.add_parser("run", help="run a study and print a summary")
+    add_study_args(run_parser)
+
+    exp_parser = sub.add_parser("experiment", help="run specific experiments")
+    add_study_args(exp_parser)
+    exp_parser.add_argument("ids", nargs="+", metavar="EXPERIMENT",
+                            help="experiment ids (see 'list')")
+
+    report_parser = sub.add_parser("report", help="write all experiments to markdown")
+    add_study_args(report_parser)
+    report_parser.add_argument("--output", default="EXPERIMENTS.md")
+    return parser
+
+
+def _config_from(args: argparse.Namespace) -> StudyConfig:
+    return StudyConfig(
+        seed=args.seed,
+        scale=args.scale,
+        download_apks=not args.no_apks,
+        full_second_crawl=args.full_second_crawl,
+    )
+
+
+def _cmd_list(out) -> int:
+    for experiment_id in EXPERIMENT_IDS:
+        print(experiment_id, file=out)
+    return 0
+
+
+def _cmd_markets(out) -> int:
+    header = (f"{'id':12s} {'name':16s} {'kind':12s} {'paper size':>11s} "
+              f"{'vetting':>8s} {'security':>9s}")
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for market_id in ALL_MARKET_IDS:
+        profile = get_profile(market_id)
+        print(
+            f"{market_id:12s} {profile.display_name:16s} {profile.kind:12s} "
+            f"{profile.paper_size:>11,d} "
+            f"{'yes' if profile.app_vetting else 'no':>8s} "
+            f"{'yes' if profile.security_check else 'no':>9s}",
+            file=out,
+        )
+    return 0
+
+
+def _run_study(args, out):
+    config = _config_from(args)
+    print(f"running study: seed={config.seed} scale={config.scale}", file=out)
+    start = time.time()
+    result = Study(config).run()
+    print(f"done in {time.time() - start:.1f}s: "
+          f"{len(result.snapshot):,} listings, "
+          f"{len(result.snapshot.packages()):,} packages", file=out)
+    return result
+
+
+def _cmd_run(args, out) -> int:
+    result = _run_study(args, out)
+    snapshot = result.snapshot
+    print(f"google play apk coverage: "
+          f"{snapshot.apk_coverage(GOOGLE_PLAY):.1%}", file=out)
+    if result.config.download_apks:
+        from repro.analysis.malware import av_rank_rates
+        from repro.markets.profiles import CHINESE_MARKET_IDS
+
+        rates = av_rank_rates(snapshot, result.units, result.vt_scan)
+        cn = sum(rates[m][10] for m in CHINESE_MARKET_IDS) / len(CHINESE_MARKET_IDS)
+        print(f"malware (AV-rank>=10): GP {rates[GOOGLE_PLAY][10]:.1%} "
+              f"vs Chinese avg {cn:.1%}", file=out)
+    return 0
+
+
+def _cmd_experiment(args, out) -> int:
+    unknown = [i for i in args.ids if i not in EXPERIMENT_IDS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)} "
+              f"(try 'repro list')", file=sys.stderr)
+        return 2
+    result = _run_study(args, out)
+    for experiment_id in args.ids:
+        print(file=out)
+        print(run_experiment(experiment_id, result).render(), file=out)
+    return 0
+
+
+def _cmd_report(args, out) -> int:
+    result = _run_study(args, out)
+    lines = ["# EXPERIMENTS — paper vs. measured", ""]
+    for experiment_id in EXPERIMENT_IDS:
+        report = run_experiment(experiment_id, result)
+        lines.extend([f"## {experiment_id}", "", "```", report.render(), "```", ""])
+    with open(args.output, "w") as handle:
+        handle.write("\n".join(lines))
+    print(f"wrote {args.output}", file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "markets":
+        return _cmd_markets(out)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "experiment":
+        return _cmd_experiment(args, out)
+    if args.command == "report":
+        return _cmd_report(args, out)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -1,0 +1,7 @@
+"""Study orchestration: configuration, pipeline, and report rendering."""
+
+from repro.core.config import StudyConfig
+from repro.core.study import Study, StudyResult
+from repro.core.reports import FigureReport, TableReport
+
+__all__ = ["StudyConfig", "Study", "StudyResult", "TableReport", "FigureReport"]

@@ -1,0 +1,134 @@
+"""Plain-text chart rendering.
+
+The paper's figures are bar charts, CDFs, box plots, and a heatmap; this
+module renders their data as aligned unicode-free ASCII so reports read
+in any terminal and diff cleanly in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["bar_chart", "cdf_plot", "heatmap", "grouped_bars"]
+
+_BAR = "#"
+_SHADES = " .:-=+*%@"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    fmt: str = "{:.2f}",
+    sort: bool = False,
+) -> str:
+    """Horizontal bar chart; one row per labeled value."""
+    if not values:
+        return "(no data)"
+    items: List[Tuple[str, float]] = list(values.items())
+    if sort:
+        items.sort(key=lambda kv: kv[1], reverse=True)
+    label_width = max(len(str(k)) for k, _ in items)
+    peak = max((v for _, v in items if v is not None), default=0.0)
+    lines = []
+    for label, value in items:
+        if value is None:
+            lines.append(f"{str(label):<{label_width}}  (n/a)")
+            continue
+        filled = 0 if peak <= 0 else int(round(width * value / peak))
+        lines.append(
+            f"{str(label):<{label_width}}  {_BAR * filled:<{width}}  "
+            + fmt.format(value)
+        )
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    series: Mapping[str, Mapping[str, float]],
+    width: int = 30,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Several named series over the same categories, rendered per category."""
+    if not series:
+        return "(no data)"
+    categories: List[str] = []
+    for per_category in series.values():
+        for category in per_category:
+            if category not in categories:
+                categories.append(category)
+    peak = max(
+        (v for per_category in series.values() for v in per_category.values()
+         if v is not None),
+        default=0.0,
+    )
+    name_width = max(len(name) for name in series)
+    lines = []
+    for category in categories:
+        lines.append(f"[{category}]")
+        for name, per_category in series.items():
+            value = per_category.get(category)
+            if value is None:
+                lines.append(f"  {name:<{name_width}}  (n/a)")
+                continue
+            filled = 0 if peak <= 0 else int(round(width * value / peak))
+            lines.append(
+                f"  {name:<{name_width}}  {_BAR * filled:<{width}}  "
+                + fmt.format(value)
+            )
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    xs: Sequence[float],
+    cdf: Sequence[float],
+    height: int = 10,
+    width: Optional[int] = None,
+) -> str:
+    """A coarse ASCII CDF curve: x on columns, cumulative share on rows."""
+    if len(xs) != len(cdf) or not xs:
+        raise ValueError("xs and cdf must be equal-length and non-empty")
+    width = width or min(60, len(xs))
+    # Resample columns evenly across the x index range.
+    columns = [
+        cdf[min(len(cdf) - 1, int(round(i * (len(cdf) - 1) / max(1, width - 1))))]
+        for i in range(width)
+    ]
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = level / height
+        row = "".join(_BAR if value >= threshold else " " for value in columns)
+        rows.append(f"{threshold:4.1f} |{row}")
+    rows.append("     +" + "-" * width)
+    rows.append(f"      x: {xs[0]:g} .. {xs[-1]:g}")
+    return "\n".join(rows)
+
+
+def heatmap(
+    counts: Mapping[Tuple[str, str], float],
+    rows: Sequence[str],
+    columns: Sequence[str],
+    cell_width: int = 4,
+) -> str:
+    """Shaded grid (row = source, column = destination)."""
+    peak = max((v for v in counts.values() if v), default=0.0)
+    label_width = max((len(r) for r in rows), default=4)
+    header = " " * label_width + " " + " ".join(
+        f"{c[:cell_width]:>{cell_width}}" for c in columns
+    )
+    lines = [header]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = counts.get((row, column), 0)
+            if peak <= 0 or not value:
+                shade = _SHADES[0]
+            else:
+                idx = min(len(_SHADES) - 1,
+                          1 + int((len(_SHADES) - 2) * value / peak))
+                shade = _SHADES[idx]
+            cells.append(shade * cell_width)
+        lines.append(f"{row:<{label_width}} " + " ".join(cells))
+    if peak > 0:
+        lines.append(f"(scale: blank=0 .. '{_SHADES[-1]}'={peak:g})")
+    else:
+        lines.append("(all cells zero)")
+    return "\n".join(lines)

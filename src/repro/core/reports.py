@@ -1,0 +1,110 @@
+"""Report structures: tables and figures with text rendering.
+
+Experiments return :class:`TableReport` / :class:`FigureReport` objects.
+``render()`` produces aligned plain-text suitable for terminals and for
+EXPERIMENTS.md; cells may carry paper-reference values for side-by-side
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["TableReport", "FigureReport", "format_cell"]
+
+
+def format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+@dataclass
+class TableReport:
+    """A table with named columns."""
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"{self.experiment_id}: row has {len(cells)} cells, "
+                f"table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def column(self, name: str) -> List[object]:
+        idx = list(self.columns).index(name)
+        return [row[idx] for row in self.rows]
+
+    def row_map(self, key_column: str = None) -> Dict[object, Sequence[object]]:
+        """Rows keyed by their first (or named) column."""
+        idx = 0 if key_column is None else list(self.columns).index(key_column)
+        return {row[idx]: row for row in self.rows}
+
+    def render(self) -> str:
+        cells = [[format_cell(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(str(col)), *(len(r[i]) for r in cells)) if cells else len(str(col))
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        header = "  ".join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FigureReport:
+    """A figure's underlying data series."""
+
+    experiment_id: str
+    title: str
+    data: Dict[str, object] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self, max_items: int = 24) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for key, value in self.data.items():
+            lines.append(f"[{key}]")
+            lines.extend(self._render_value(value, max_items))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _render_value(value: object, max_items: int) -> List[str]:
+        if isinstance(value, dict):
+            items = list(value.items())
+            lines = [
+                f"  {k}: {format_cell(v) if not isinstance(v, (list, dict)) else v}"
+                for k, v in items[:max_items]
+            ]
+            if len(items) > max_items:
+                lines.append(f"  ... ({len(items) - max_items} more)")
+            return lines
+        if isinstance(value, (list, tuple)):
+            rendered = ", ".join(format_cell(v) for v in list(value)[:max_items])
+            suffix = ", ..." if len(value) > max_items else ""
+            return [f"  [{rendered}{suffix}]"]
+        return [f"  {format_cell(value)}"]

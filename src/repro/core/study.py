@@ -1,0 +1,208 @@
+"""The end-to-end study pipeline.
+
+``Study(config).run()`` executes the paper's methodology:
+
+1. synthesize the ecosystem (:mod:`repro.ecosystem`),
+2. stand up the 17 market servers and crawl them (August 2017 campaign:
+   BFS/index/category discovery, parallel cross-market search, APK
+   downloads with Google Play rate limiting + archive backfill),
+3. let markets clean up their catalogs over the following 8 months,
+4. run the second, targeted campaign (April 2018) checking whether
+   flagged apps are still hosted.
+
+The returned :class:`StudyResult` exposes the crawl snapshot plus
+lazily-computed analysis artifacts (app units, library detection,
+VirusTotal scans, clone/fake detections, over-privilege measurements,
+and the removal report) that the experiment modules consume.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis.clones import (
+    CodeCloneAnalysis,
+    CodeCloneDetector,
+    SignatureCloneAnalysis,
+    detect_signature_clones,
+)
+from repro.analysis.corpus import AppUnit, build_units
+from repro.analysis.fake import FakeAppAnalysis, detect_fakes
+from repro.analysis.libraries import LibraryDetection, LibraryDetector
+from repro.analysis.malware import MalwareScan, scan_units
+from repro.analysis.permissions import OverprivilegeResult, analyze_overprivilege
+from repro.analysis.postanalysis import (
+    RemovalReport,
+    flagged_packages_by_market,
+    removal_report,
+)
+from repro.analysis.virustotal import VirusTotalService
+from repro.core.config import StudyConfig
+from repro.crawler.backfill import ArchiveBackfill
+from repro.crawler.crawler import CrawlCoordinator
+from repro.crawler.snapshot import Snapshot
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.ecosystem.world import World
+from repro.markets.evolution import apply_catalog_updates
+from repro.markets.profiles import GOOGLE_PLAY
+from repro.markets.removal_apply import apply_store_removals
+from repro.markets.server import MarketServer
+from repro.markets.store import MarketStore, build_stores
+from repro.util.rng import RngFactory, stable_hash32
+from repro.util.simtime import SECOND_CRAWL_DAY, SimClock
+
+__all__ = ["Study", "StudyResult"]
+
+
+class StudyResult:
+    """Everything one study run produced."""
+
+    def __init__(
+        self,
+        config: StudyConfig,
+        world: World,
+        stores: Mapping[str, MarketStore],
+        servers: Mapping[str, MarketServer],
+        clock: SimClock,
+        snapshot: Snapshot,
+        presence: Mapping[str, Mapping[str, bool]],
+        removal_outcome: Mapping[str, Tuple[int, int]],
+        second_snapshot: Optional[Snapshot] = None,
+        update_outcome: Optional[Mapping[str, int]] = None,
+    ):
+        self.config = config
+        self.world = world
+        self.stores = dict(stores)
+        self.servers = dict(servers)
+        self.clock = clock
+        self.snapshot = snapshot
+        self.presence = dict(presence)
+        self.removal_outcome = dict(removal_outcome)
+        self.second_snapshot = second_snapshot
+        self.update_outcome = dict(update_outcome or {})
+
+    # -- lazily computed analysis artifacts --------------------------------
+
+    @cached_property
+    def units(self) -> List[AppUnit]:
+        return build_units(self.snapshot)
+
+    @cached_property
+    def units_by_key(self) -> Dict[Tuple[str, Optional[str]], AppUnit]:
+        return {(u.package, u.signer): u for u in self.units}
+
+    @cached_property
+    def library_detection(self) -> LibraryDetection:
+        return LibraryDetector().fit(self.units)
+
+    @cached_property
+    def vt_scan(self) -> MalwareScan:
+        return scan_units(self.units, VirusTotalService())
+
+    @cached_property
+    def signature_clones(self) -> SignatureCloneAnalysis:
+        return detect_signature_clones(self.units)
+
+    @cached_property
+    def code_clones(self) -> CodeCloneAnalysis:
+        return CodeCloneDetector().detect(self.units, self.library_detection)
+
+    @cached_property
+    def fakes(self) -> FakeAppAnalysis:
+        return detect_fakes(self.units)
+
+    @cached_property
+    def overprivilege(self) -> OverprivilegeResult:
+        return analyze_overprivilege(self.units)
+
+    @cached_property
+    def flagged_by_market(self) -> Dict[str, Set[str]]:
+        return flagged_packages_by_market(self.snapshot, self.units, self.vt_scan)
+
+    @cached_property
+    def removal(self) -> RemovalReport:
+        return removal_report(self.flagged_by_market, self.presence)
+
+    @cached_property
+    def all_clone_units(self) -> Set[Tuple[str, Optional[str]]]:
+        return set(self.signature_clones.clone_units) | set(
+            self.code_clones.clone_units
+        )
+
+
+class Study:
+    """Runs the full two-campaign study."""
+
+    def __init__(self, config: Optional[StudyConfig] = None):
+        self.config = config or StudyConfig()
+
+    def _gp_seeds(self, stores: Mapping[str, MarketStore], clock: SimClock) -> List[str]:
+        """The public seed list (PrivacyGrade substitution): a stable
+        ~74% sample of Google Play package names."""
+        cutoff = int(self.config.gp_seed_share * 10_000)
+        return [
+            listing.package
+            for listing in stores[GOOGLE_PLAY].iter_live(clock.now)
+            if stable_hash32("privacygrade", listing.package) % 10_000 < cutoff
+        ]
+
+    def run(self) -> StudyResult:
+        config = self.config
+        rngs = RngFactory(config.seed)
+
+        world = EcosystemGenerator(
+            seed=config.seed,
+            scale=config.scale,
+            min_market_size=config.min_market_size,
+        ).generate()
+        stores = build_stores(world)
+        clock = SimClock()
+        servers = {m: MarketServer(store, clock) for m, store in stores.items()}
+
+        backfill = ArchiveBackfill(world) if config.download_apks else None
+        coordinator = CrawlCoordinator(
+            servers,
+            clock,
+            gp_seeds=self._gp_seeds(stores, clock),
+            backfill=backfill,
+            download_apks=config.download_apks,
+        )
+        snapshot = coordinator.crawl("first", duration_days=config.first_crawl_days)
+
+        # Between campaigns: markets clean up flagged apps, developers'
+        # lagged listings catch up, and we advance to April 2018.
+        apply_removals = apply_store_removals(stores, world, rngs.child("cleanup"))
+        updates = apply_catalog_updates(stores, world, rngs.child("evolution"))
+        clock.advance_to(max(clock.now, SECOND_CRAWL_DAY))
+
+        result = StudyResult(
+            config=config,
+            world=world,
+            stores=stores,
+            servers=servers,
+            clock=clock,
+            snapshot=snapshot,
+            presence={},
+            removal_outcome=apply_removals,
+            update_outcome=updates,
+        )
+        if config.download_apks:
+            # Second campaign: targeted recheck of every flagged app.
+            result.presence = coordinator.recheck(
+                result.flagged_by_market, duration_days=config.second_crawl_days
+            )
+        if config.full_second_crawl:
+            # The paper's one-week April 2018 campaign, in full.  APKs
+            # are skipped: the longitudinal analysis is metadata-driven.
+            second_coordinator = CrawlCoordinator(
+                servers,
+                clock,
+                gp_seeds=self._gp_seeds(stores, clock),
+                backfill=None,
+                download_apks=False,
+            )
+            result.second_snapshot = second_coordinator.crawl(
+                "second", duration_days=config.second_crawl_days
+            )
+        return result

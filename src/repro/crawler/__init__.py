@@ -1,0 +1,15 @@
+"""Market crawler: discovery strategies, parallel search, snapshots."""
+
+from repro.crawler.snapshot import CrawlRecord, Snapshot
+from repro.crawler.frontier import Frontier
+from repro.crawler.backfill import ArchiveBackfill
+from repro.crawler.crawler import CrawlCoordinator, CrawlStats
+
+__all__ = [
+    "CrawlRecord",
+    "Snapshot",
+    "Frontier",
+    "ArchiveBackfill",
+    "CrawlCoordinator",
+    "CrawlStats",
+]

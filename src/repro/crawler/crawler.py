@@ -1,0 +1,210 @@
+"""Crawl coordination.
+
+``CrawlCoordinator`` reproduces the paper's campaign structure:
+
+* per-market discovery with the appropriate strategy (Section 3),
+* the **parallel search**: the moment a new package surfaces anywhere,
+  it is searched (by package name and by app name) in every other
+  market so cross-market observations are near-simultaneous,
+* APK downloading with rate-limit handling, and offline-archive
+  backfill for Google Play's quota-blocked APKs (AndroZoo substitute),
+* a targeted *recheck* used by the second campaign to test whether
+  flagged apps are still hosted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.apk.archive import ApkParseError, parse_apk
+from repro.crawler.backfill import ArchiveBackfill
+from repro.crawler.snapshot import (
+    APK_FROM_ARCHIVE,
+    APK_FROM_MARKET,
+    CrawlRecord,
+    Snapshot,
+)
+from repro.crawler.strategies import strategy_for
+from repro.crawler.workers import WorkerPool
+from repro.markets.server import MarketServer
+from repro.net.client import HttpClient
+from repro.net.http import HttpError, NotFoundError, RateLimitedError
+from repro.util.simtime import SimClock
+
+__all__ = ["CrawlCoordinator", "CrawlStats"]
+
+
+@dataclass
+class CrawlStats:
+    """Counters for one campaign."""
+
+    records: int = 0
+    searches: int = 0
+    apk_downloaded: int = 0
+    apk_backfilled: int = 0
+    apk_missing: int = 0
+    apk_parse_errors: int = 0
+    rate_limited_markets: Set[str] = field(default_factory=set)
+
+
+class CrawlCoordinator:
+    """Runs crawl campaigns against a set of market servers."""
+
+    def __init__(
+        self,
+        servers: Mapping[str, MarketServer],
+        clock: SimClock,
+        gp_seeds: Iterable[str] = (),
+        backfill: Optional[ArchiveBackfill] = None,
+        download_apks: bool = True,
+        search_by_name: bool = True,
+        worker_pool: Optional[WorkerPool] = None,
+    ):
+        self._servers = dict(servers)
+        self._clock = clock
+        self._gp_seeds = list(gp_seeds)
+        self._backfill = backfill
+        self._download_apks = download_apks
+        self._search_by_name = search_by_name
+        self._worker_pool = worker_pool or WorkerPool()
+        self._clients: Dict[str, HttpClient] = {
+            market_id: HttpClient(server.handle, clock, max_rate_limit_waits=0)
+            for market_id, server in self._servers.items()
+        }
+
+    def client(self, market_id: str) -> HttpClient:
+        return self._clients[market_id]
+
+    # ------------------------------------------------------------------
+    # campaign
+    # ------------------------------------------------------------------
+
+    def crawl(self, label: str, duration_days: Optional[float] = 15.0) -> Snapshot:
+        """Run one full campaign and return its snapshot.
+
+        ``duration_days=None`` derives the campaign's simulated duration
+        from the number of requests issued, under the worker-pool model
+        (the paper's 50-server fleet); a float pins it explicitly (the
+        paper's campaign dates).
+        """
+        snapshot = Snapshot(label)
+        stats = CrawlStats()
+        pending: Deque[Tuple[str, str]] = deque()  # (package, app_name)
+        searched: Set[str] = set()
+
+        def ingest(market_id: str, meta: Mapping[str, object]) -> None:
+            record = CrawlRecord.from_metadata(market_id, meta, self._clock.now)
+            if not snapshot.add(record):
+                return
+            stats.records += 1
+            if record.package not in searched:
+                searched.add(record.package)
+                pending.append((record.package, record.app_name))
+
+        for market_id, server in self._servers.items():
+            if not server.web_available:
+                continue
+            strategy = strategy_for(server.store.profile.crawl_strategy, self._gp_seeds)
+            for meta in strategy.discover(self._clients[market_id]):
+                ingest(market_id, meta)
+                self._drain_parallel_search(pending, ingest, stats)
+        self._drain_parallel_search(pending, ingest, stats)
+
+        if self._download_apks:
+            self._collect_apks(snapshot, stats)
+
+        snapshot.stats = stats  # type: ignore[attr-defined]
+        if duration_days is None:
+            total_requests = sum(
+                client.stats.requests for client in self._clients.values()
+            )
+            duration_days = self._worker_pool.duration_days(total_requests)
+        self._clock.advance(duration_days)
+        return snapshot
+
+    def _drain_parallel_search(self, pending, ingest, stats: CrawlStats) -> None:
+        """Immediately search each newly-seen app in all other markets."""
+        while pending:
+            package, app_name = pending.popleft()
+            queries = [package]
+            if self._search_by_name:
+                queries.append(app_name)
+            for market_id, server in self._servers.items():
+                if not server.web_available:
+                    continue
+                client = self._clients[market_id]
+                for query in queries:
+                    stats.searches += 1
+                    try:
+                        results = client.get_json("/search", {"q": query})
+                    except HttpError:
+                        continue
+                    for meta in results:
+                        ingest(market_id, meta)
+
+    # ------------------------------------------------------------------
+    # APKs
+    # ------------------------------------------------------------------
+
+    def _collect_apks(self, snapshot: Snapshot, stats: CrawlStats) -> None:
+        for record in snapshot:
+            blob: Optional[bytes] = None
+            source: Optional[str] = None
+            client = self._clients[record.market_id]
+            try:
+                blob = client.get_bytes("/download", {"package": record.package})
+                source = APK_FROM_MARKET
+            except RateLimitedError:
+                stats.rate_limited_markets.add(record.market_id)
+            except (NotFoundError, HttpError):
+                pass
+            if blob is None and self._backfill is not None:
+                blob = self._backfill.lookup(record.package, record.version_name)
+                if blob is not None:
+                    source = APK_FROM_ARCHIVE
+            if blob is None:
+                stats.apk_missing += 1
+                continue
+            try:
+                record.apk = parse_apk(blob)
+            except ApkParseError:
+                stats.apk_parse_errors += 1
+                continue
+            record.apk_source = source
+            if source == APK_FROM_MARKET:
+                stats.apk_downloaded += 1
+            else:
+                stats.apk_backfilled += 1
+
+    # ------------------------------------------------------------------
+    # targeted recheck (second campaign helper)
+    # ------------------------------------------------------------------
+
+    def recheck(
+        self, targets: Mapping[str, Iterable[str]], duration_days: float = 7.0
+    ) -> Dict[str, Dict[str, bool]]:
+        """For each market, test which packages are still listed.
+
+        Markets whose web interface has gone dark (HiApk, OPPO at the
+        second crawl) are reported as absent from the result entirely, so
+        callers can exclude them — as the paper excludes both from its
+        Table 6 analysis.
+        """
+        presence: Dict[str, Dict[str, bool]] = {}
+        for market_id, packages in targets.items():
+            server = self._servers.get(market_id)
+            if server is None or not server.web_available:
+                continue
+            client = self._clients[market_id]
+            market_presence: Dict[str, bool] = {}
+            for package in packages:
+                try:
+                    client.get_json("/app", {"package": package})
+                    market_presence[package] = True
+                except HttpError:
+                    market_presence[package] = False
+            presence[market_id] = market_presence
+        self._clock.advance(duration_days)
+        return presence

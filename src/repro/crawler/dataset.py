@@ -1,0 +1,163 @@
+"""Snapshot persistence.
+
+The paper released its dataset to the research community; this module
+plays that role for the simulated study: a crawl snapshot round-trips
+through a gzipped JSON-lines file, including the parsed-APK content the
+analyses consume (manifest, code packages, signature, META-INF entries,
+MD5).  Loading reconstructs an equivalent :class:`Snapshot` without
+re-running the crawl.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.apk.archive import ParsedApk
+from repro.apk.models import ChannelFile, CodePackage, Manifest
+from repro.crawler.snapshot import CrawlRecord, Snapshot
+
+__all__ = ["save_snapshot", "load_snapshot", "DATASET_FORMAT_VERSION"]
+
+DATASET_FORMAT_VERSION = 1
+
+
+class DatasetFormatError(Exception):
+    """Raised for unreadable or incompatible dataset files."""
+
+
+def _apk_to_doc(apk: ParsedApk) -> dict:
+    return {
+        "manifest": {
+            "package": apk.manifest.package,
+            "version_code": apk.manifest.version_code,
+            "version_name": apk.manifest.version_name,
+            "min_sdk": apk.manifest.min_sdk,
+            "target_sdk": apk.manifest.target_sdk,
+            "permissions": list(apk.manifest.permissions),
+        },
+        "packages": [
+            {
+                "name": pkg.name,
+                "features": sorted(pkg.features.items()),
+                "blocks": list(pkg.blocks),
+            }
+            for pkg in apk.packages
+        ],
+        "signer": apk.signer_fingerprint,
+        "signer_name": apk.signer_name,
+        "meta_inf": [[e.name, e.content] for e in apk.meta_inf],
+        "obfuscated_by": apk.obfuscated_by,
+        "md5": apk.md5,
+        "size_bytes": apk.size_bytes,
+    }
+
+
+def _apk_from_doc(doc: dict) -> ParsedApk:
+    mdoc = doc["manifest"]
+    return ParsedApk(
+        manifest=Manifest(
+            package=mdoc["package"],
+            version_code=int(mdoc["version_code"]),
+            version_name=mdoc["version_name"],
+            min_sdk=int(mdoc["min_sdk"]),
+            target_sdk=int(mdoc["target_sdk"]),
+            permissions=tuple(mdoc["permissions"]),
+        ),
+        packages=tuple(
+            CodePackage(
+                name=p["name"],
+                features={int(f): int(c) for f, c in p["features"]},
+                blocks=tuple(int(b) for b in p["blocks"]),
+            )
+            for p in doc["packages"]
+        ),
+        signer_fingerprint=doc["signer"],
+        signer_name=doc["signer_name"],
+        meta_inf=tuple(ChannelFile(n, c) for n, c in doc["meta_inf"]),
+        obfuscated_by=doc.get("obfuscated_by"),
+        md5=doc["md5"],
+        size_bytes=int(doc["size_bytes"]),
+    )
+
+
+def _record_to_doc(record: CrawlRecord) -> dict:
+    return {
+        "market": record.market_id,
+        "package": record.package,
+        "name": record.app_name,
+        "version_name": record.version_name,
+        "version_code": record.version_code,
+        "category": record.category,
+        "downloads": record.downloads,
+        "install_range": list(record.install_range) if record.install_range else None,
+        "rating": record.rating,
+        "updated_day": record.updated_day,
+        "developer": record.developer_name,
+        "crawl_day": record.crawl_day,
+        "apk_source": record.apk_source,
+        "apk": _apk_to_doc(record.apk) if record.apk is not None else None,
+    }
+
+
+def _record_from_doc(doc: dict) -> CrawlRecord:
+    install_range = doc.get("install_range")
+    return CrawlRecord(
+        market_id=doc["market"],
+        package=doc["package"],
+        app_name=doc["name"],
+        version_name=doc["version_name"],
+        version_code=int(doc["version_code"]),
+        category=doc["category"],
+        downloads=doc.get("downloads"),
+        install_range=tuple(install_range) if install_range else None,
+        rating=float(doc["rating"]),
+        updated_day=int(doc["updated_day"]),
+        developer_name=doc["developer"],
+        crawl_day=float(doc["crawl_day"]),
+        apk=_apk_from_doc(doc["apk"]) if doc.get("apk") else None,
+        apk_source=doc.get("apk_source"),
+    )
+
+
+def save_snapshot(snapshot: Snapshot, path: Union[str, Path]) -> int:
+    """Write a snapshot to a gzipped JSON-lines file; returns #records."""
+    path = Path(path)
+    count = 0
+    with gzip.open(path, "wt", encoding="utf-8") as handle:
+        header = {
+            "format": "repro-snapshot",
+            "version": DATASET_FORMAT_VERSION,
+            "label": snapshot.label,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for record in snapshot:
+            handle.write(json.dumps(_record_to_doc(record),
+                                    separators=(",", ":")) + "\n")
+            count += 1
+    return count
+
+
+def load_snapshot(path: Union[str, Path]) -> Snapshot:
+    """Read a snapshot saved by :func:`save_snapshot`."""
+    path = Path(path)
+    try:
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            header_line = handle.readline()
+            if not header_line:
+                raise DatasetFormatError(f"{path}: empty file")
+            header = json.loads(header_line)
+            if header.get("format") != "repro-snapshot":
+                raise DatasetFormatError(f"{path}: not a repro snapshot")
+            if header.get("version") != DATASET_FORMAT_VERSION:
+                raise DatasetFormatError(
+                    f"{path}: unsupported version {header.get('version')}"
+                )
+            snapshot = Snapshot(header.get("label", "loaded"))
+            for line in handle:
+                snapshot.add(_record_from_doc(json.loads(line)))
+            return snapshot
+    except (OSError, ValueError, KeyError) as exc:
+        raise DatasetFormatError(f"{path}: {exc}") from exc

@@ -1,0 +1,46 @@
+"""BFS crawl frontier with de-duplication."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Optional, Set
+
+__all__ = ["Frontier"]
+
+
+class Frontier:
+    """A FIFO frontier of work items that never re-admits a seen item."""
+
+    def __init__(self, seeds: Iterable[str] = ()):
+        self._queue: Deque[str] = deque()
+        self._seen: Set[str] = set()
+        self.push_many(seeds)
+
+    def push(self, item: str) -> bool:
+        """Enqueue ``item`` unless it was ever enqueued before."""
+        if item in self._seen:
+            return False
+        self._seen.add(item)
+        self._queue.append(item)
+        return True
+
+    def push_many(self, items: Iterable[str]) -> int:
+        return sum(1 for item in items if self.push(item))
+
+    def pop(self) -> Optional[str]:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    @property
+    def seen_count(self) -> int:
+        return len(self._seen)
+
+    def has_seen(self, item: str) -> bool:
+        return item in self._seen

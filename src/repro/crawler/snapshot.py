@@ -1,0 +1,132 @@
+"""Crawl snapshots.
+
+A :class:`Snapshot` is the dataset one crawl campaign produces: one
+:class:`CrawlRecord` per (market, package) with the market-reported
+metadata and, when the APK could be downloaded (or backfilled from the
+offline archive), the parsed APK.  All analyses in
+:mod:`repro.analysis` consume snapshots, never the ground-truth world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.apk.archive import ParsedApk
+
+__all__ = ["CrawlRecord", "Snapshot"]
+
+APK_FROM_MARKET = "market"
+APK_FROM_ARCHIVE = "archive"
+
+
+@dataclass
+class CrawlRecord:
+    """One (market, package) observation."""
+
+    market_id: str
+    package: str
+    app_name: str
+    version_name: str
+    version_code: int
+    category: str
+    downloads: Optional[int]
+    install_range: Optional[Tuple[int, int]]
+    rating: float
+    updated_day: int
+    developer_name: str
+    crawl_day: float
+    apk: Optional[ParsedApk] = None
+    apk_source: Optional[str] = None  # "market" | "archive" | None
+
+    @classmethod
+    def from_metadata(
+        cls, market_id: str, meta: Mapping[str, object], crawl_day: float
+    ) -> "CrawlRecord":
+        """Build a record from a market endpoint's JSON payload."""
+        install_range = meta.get("install_range")
+        return cls(
+            market_id=market_id,
+            package=str(meta["package"]),
+            app_name=str(meta["name"]),
+            version_name=str(meta["version_name"]),
+            version_code=int(meta["version_code"]),  # type: ignore[arg-type]
+            category=str(meta["category"]),
+            downloads=(None if meta.get("downloads") is None
+                       else int(meta["downloads"])),  # type: ignore[arg-type]
+            install_range=(None if install_range is None
+                           else (int(install_range[0]), int(install_range[1]))),
+            rating=float(meta["rating"]),  # type: ignore[arg-type]
+            updated_day=int(meta["updated_day"]),  # type: ignore[arg-type]
+            developer_name=str(meta["developer"]),
+            crawl_day=crawl_day,
+        )
+
+    @property
+    def has_apk(self) -> bool:
+        return self.apk is not None
+
+    @property
+    def signer(self) -> Optional[str]:
+        return self.apk.signer_fingerprint if self.apk is not None else None
+
+    @property
+    def md5(self) -> Optional[str]:
+        return self.apk.md5 if self.apk is not None else None
+
+
+class Snapshot:
+    """The dataset of one crawl campaign."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self._records: Dict[Tuple[str, str], CrawlRecord] = {}
+        self._by_market: Dict[str, List[CrawlRecord]] = {}
+        self._by_package: Dict[str, List[CrawlRecord]] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[CrawlRecord]:
+        return iter(self._records.values())
+
+    def add(self, record: CrawlRecord) -> bool:
+        """Insert a record; returns False if (market, package) already seen."""
+        key = (record.market_id, record.package)
+        if key in self._records:
+            return False
+        self._records[key] = record
+        self._by_market.setdefault(record.market_id, []).append(record)
+        self._by_package.setdefault(record.package, []).append(record)
+        return True
+
+    def get(self, market_id: str, package: str) -> Optional[CrawlRecord]:
+        return self._records.get((market_id, package))
+
+    def in_market(self, market_id: str) -> List[CrawlRecord]:
+        return list(self._by_market.get(market_id, ()))
+
+    def market_size(self, market_id: str) -> int:
+        return len(self._by_market.get(market_id, ()))
+
+    def markets(self) -> List[str]:
+        return sorted(self._by_market)
+
+    def for_package(self, package: str) -> List[CrawlRecord]:
+        return list(self._by_package.get(package, ()))
+
+    def packages(self) -> List[str]:
+        return sorted(self._by_package)
+
+    def markets_of(self, package: str) -> List[str]:
+        return sorted(r.market_id for r in self._by_package.get(package, ()))
+
+    def with_apk(self) -> Iterator[CrawlRecord]:
+        return (r for r in self if r.has_apk)
+
+    def apk_coverage(self, market_id: str) -> float:
+        """Share of a market's records with a parsed APK."""
+        records = self._by_market.get(market_id, ())
+        if not records:
+            return 0.0
+        return sum(1 for r in records if r.has_apk) / len(records)

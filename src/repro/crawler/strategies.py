@@ -1,0 +1,150 @@
+"""Per-market discovery strategies.
+
+Section 3: "We follow different strategies to crawl each market."
+
+* :class:`BfsRelatedStrategy` — Google Play: start from a public seed
+  list (PrivacyGrade's 1.5M package names in the paper) and BFS through
+  "related apps" recommendations and same-developer listings.
+* :class:`IntegerIndexStrategy` — Baidu: the catalog is an incrementally
+  numbered index (``shouji.baidu.com/software/INTEGER.html``).
+* :class:`CategoryPagesStrategy` — everything else: enumerate category
+  listing pages.
+
+A strategy yields metadata dictionaries; the coordinator ingests them,
+downloads APKs, and runs the cross-market parallel search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional
+
+from repro.crawler.frontier import Frontier
+from repro.net.client import HttpClient
+from repro.net.http import HttpError, NotFoundError
+
+__all__ = [
+    "DiscoveryStrategy",
+    "BfsRelatedStrategy",
+    "IntegerIndexStrategy",
+    "CategoryPagesStrategy",
+    "strategy_for",
+]
+
+Metadata = Mapping[str, object]
+
+
+class DiscoveryStrategy:
+    """Interface: enumerate a market's catalog via its web endpoints."""
+
+    def discover(self, client: HttpClient) -> Iterator[Metadata]:
+        raise NotImplementedError
+
+
+class BfsRelatedStrategy(DiscoveryStrategy):
+    """Google Play style BFS from a seed package list."""
+
+    def __init__(self, seeds: Iterable[str], max_apps: Optional[int] = None):
+        self._seeds = list(seeds)
+        self._max_apps = max_apps
+
+    def discover(self, client: HttpClient) -> Iterator[Metadata]:
+        frontier = Frontier(self._seeds)
+        yielded = 0
+        while frontier:
+            package = frontier.pop()
+            if package is None:
+                break
+            try:
+                meta = client.get_json("/app", {"package": package})
+            except NotFoundError:
+                continue
+            except HttpError:
+                continue
+            yield meta
+            yielded += 1
+            if self._max_apps is not None and yielded >= self._max_apps:
+                return
+            for neighbor in self._expand(client, package, str(meta["developer"])):
+                if frontier.push(str(neighbor["package"])):
+                    # Neighbor metadata came along for free; surface it so
+                    # the coordinator does not need a second /app call.
+                    yield neighbor
+                    yielded += 1
+                    if self._max_apps is not None and yielded >= self._max_apps:
+                        return
+
+    @staticmethod
+    def _expand(client: HttpClient, package: str, developer: str) -> List[Metadata]:
+        neighbors: List[Metadata] = []
+        try:
+            neighbors.extend(client.get_json("/related", {"package": package}))
+        except HttpError:
+            pass
+        try:
+            neighbors.extend(client.get_json("/developer", {"name": developer}))
+        except HttpError:
+            pass
+        return neighbors
+
+
+class IntegerIndexStrategy(DiscoveryStrategy):
+    """Baidu style: walk the incremental integer index until it ends."""
+
+    def __init__(self, max_consecutive_missing: int = 50):
+        self._max_consecutive_missing = max_consecutive_missing
+
+    def discover(self, client: HttpClient) -> Iterator[Metadata]:
+        index = 0
+        missing_streak = 0
+        while missing_streak < self._max_consecutive_missing:
+            try:
+                meta = client.get_json("/index", {"i": index})
+            except NotFoundError:
+                missing_streak += 1
+                index += 1
+                continue
+            except HttpError:
+                index += 1
+                continue
+            missing_streak = 0
+            index += 1
+            if meta is not None:  # None: slot exists but app was removed
+                yield meta
+
+
+class CategoryPagesStrategy(DiscoveryStrategy):
+    """Generic Chinese market: walk every category's listing pages."""
+
+    def discover(self, client: HttpClient) -> Iterator[Metadata]:
+        try:
+            categories = client.get_json("/categories")
+        except HttpError:
+            return
+        for category in categories:
+            page = 0
+            while True:
+                try:
+                    listings = client.get_json(
+                        "/category", {"name": category, "page": page}
+                    )
+                except HttpError:
+                    break
+                if not listings:
+                    break
+                for meta in listings:
+                    yield meta
+                page += 1
+
+
+def strategy_for(
+    crawl_strategy: str,
+    gp_seeds: Optional[Iterable[str]] = None,
+) -> DiscoveryStrategy:
+    """Instantiate the strategy named by a market profile."""
+    if crawl_strategy == "bfs_related":
+        return BfsRelatedStrategy(gp_seeds or ())
+    if crawl_strategy == "int_index":
+        return IntegerIndexStrategy()
+    if crawl_strategy == "category_pages":
+        return CategoryPagesStrategy()
+    raise ValueError(f"unknown crawl strategy {crawl_strategy!r}")

@@ -1,0 +1,39 @@
+"""Synthetic app-ecosystem generator.
+
+Produces a ground-truth world — developers, apps, third-party library
+adoption, per-market publication plans, and injected misbehavior (fake
+apps, clones, malware, over-privilege) — calibrated to the paper's
+published statistics.  The world is then served through
+:mod:`repro.markets` and measured through :mod:`repro.analysis`; the
+analysis never touches the ground truth kept here.
+"""
+
+from repro.ecosystem.libraries import (
+    Library,
+    LibraryCatalog,
+    default_catalog,
+)
+from repro.ecosystem.threats import (
+    MALWARE_FAMILIES,
+    ThreatFeed,
+    ThreatProfile,
+)
+from repro.ecosystem.developers import Developer
+from repro.ecosystem.apps import AppBlueprint, AppVersion, Placement
+from repro.ecosystem.world import World
+from repro.ecosystem.generator import EcosystemGenerator
+
+__all__ = [
+    "Library",
+    "LibraryCatalog",
+    "default_catalog",
+    "MALWARE_FAMILIES",
+    "ThreatFeed",
+    "ThreatProfile",
+    "Developer",
+    "AppBlueprint",
+    "AppVersion",
+    "Placement",
+    "World",
+    "EcosystemGenerator",
+]

@@ -1,0 +1,56 @@
+"""Developer identities.
+
+A developer owns a signing key (Section 5.1: every released app must be
+signed).  The fingerprint derived from the key is the unforgeable
+identity the analyses rely on; display names may vary across markets
+(footnote 11 — e.g. a Chinese name in one store and an English one in
+another), which :meth:`Developer.name_for_market` models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.apk.signing import SigningKey
+from repro.util.rng import stable_hash32
+
+__all__ = ["Developer"]
+
+
+@dataclass(frozen=True)
+class Developer:
+    """One app developer (an individual or a company)."""
+
+    dev_id: int
+    name: str
+    region: str  # "global" | "china"
+    alt_names: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.region not in ("global", "china"):
+            raise ValueError(f"bad developer region {self.region!r}")
+
+    @property
+    def key(self) -> SigningKey:
+        """The developer's signing key (derived deterministically)."""
+        return SigningKey(key_id=self.dev_id, owner_name=self.name)
+
+    @property
+    def fingerprint(self) -> str:
+        return self.key.fingerprint
+
+    def name_for_market(self, market_id: str) -> str:
+        """Display name used in one market.
+
+        Most markets see the canonical name; a minority see an alternate
+        spelling, chosen stably per market.
+        """
+        if not self.alt_names:
+            return self.name
+        choice = stable_hash32("devname", self.dev_id, market_id) % (
+            len(self.alt_names) + 3
+        )
+        if choice < len(self.alt_names):
+            return self.alt_names[choice]
+        return self.name

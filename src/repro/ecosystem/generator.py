@@ -1,0 +1,1094 @@
+"""World generation.
+
+``EcosystemGenerator`` synthesizes a complete app ecosystem in stages:
+
+1. **Quotas** — per-market catalog sizes proportional to Table 1, scaled.
+2. **Base population** — Google-Play-only, mixed, and Chinese-only legit
+   apps filling the quotas, with popularity-driven cross-listing
+   (Section 5.2's single/multi-store structure).
+3. **Developers** — heavy-tailed partition of apps into signing
+   identities, scope-pure (Section 5.1's publishing strategies).
+4. **Celebrity malware** — the paper's Table 5 apps, seeded verbatim.
+5. **Fake apps** (Table 3) — same-name masquerades of popular officials.
+6. **Signature-based clones** (Table 3) — same package, different key.
+7. **Code-based clones** (Table 3, Figure 10) — repackaged code under a
+   new package name.
+8. **Threats** (Table 4) — malware payload assignment (38.3% onto
+   clones, per Section 6.4) and grayware (aggressive ad SDK) top-up,
+   both passing through each market's vetting pipeline.
+9. **Finalize** — per-market downloads via rank-mapping onto the
+   market's Figure 2 bin row, ratings per Figure 6 patterns, category
+   labels (including the NULL-category artifact of Section 4.1).
+
+Misbehavior injection uses *vetting-aware top-up loops*: targets are the
+paper's post-vetting rates, and every submission really passes through
+:class:`~repro.markets.vetting.VettingPipeline`, so stricter markets
+genuinely reject more attempts on the way to the same final rate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.android.permissions import DANGEROUS_PERMISSIONS, NORMAL_PERMISSIONS, platform_spec
+from repro.ecosystem.apps import (
+    AppBlueprint,
+    AppVersion,
+    Placement,
+    PROVENANCE_CB_CLONE,
+    PROVENANCE_FAKE,
+    PROVENANCE_LEGIT,
+    PROVENANCE_SB_CLONE,
+    generate_own_code,
+    perturb_own_code,
+)
+from repro.ecosystem.calibration import (
+    CELEBRITY_MALWARE,
+    MIXED_GP_TO_CN_SHARE,
+    OVERPRIV_PERMISSION_WEIGHTS,
+    REPACKAGED_MALWARE_SHARE,
+    SINGLE_STORE_GP_SHARE,
+    sample_cn_market_count,
+    sample_min_sdk,
+    sample_overprivilege_count,
+    sample_release_day,
+    sample_version_count,
+)
+from repro.ecosystem.developers import Developer
+from repro.ecosystem.libraries import LibraryCatalog, default_catalog
+from repro.ecosystem.popularity import sample_listing_downloads, sample_listing_rating
+from repro.ecosystem.threats import (
+    CHINESE_FAMILY_WEIGHTS,
+    GP_FAMILY_WEIGHTS,
+    MALWARE_FAMILIES,
+    ThreatProfile,
+)
+from repro.ecosystem.world import VettingRecord, World
+from repro.markets.categories import CANONICAL_WEIGHTS, VENDOR_WEIGHTS, taxonomy_for
+from repro.markets.profiles import (
+    ALL_MARKET_IDS,
+    CHINESE_MARKET_IDS,
+    GOOGLE_PLAY,
+    MarketProfile,
+    get_profile,
+)
+from repro.markets.vetting import Submission, VettingPipeline
+from repro.util.rng import RngFactory
+from repro.util.simtime import FIRST_CRAWL_DAY
+from repro.util import text
+
+__all__ = ["EcosystemGenerator"]
+
+#: P(>=1 engine flags a clean 360-packed app); see JIAGU_HEURISTIC_BREADTH.
+_JIAGU_FLAG_SHARE = 0.15
+
+#: P(AV-rank >= 10 | malware payload), used to convert Table 4 rates into
+#: injection targets (Binomial(60, breadth>=0.22) clears 10 ~97% of the time).
+_MALWARE_DETECTION_RATE = 0.97
+
+#: Developer team-size distribution (mean ~3 apps per developer).
+_DEV_SIZES = (1, 2, 3, 4, 5, 6, 8, 12, 20, 40)
+_DEV_SIZE_WEIGHTS = (0.45, 0.20, 0.12, 0.07, 0.05, 0.03, 0.03, 0.03, 0.015, 0.005)
+
+
+class EcosystemGenerator:
+    """Generates a :class:`~repro.ecosystem.world.World`."""
+
+    def __init__(
+        self,
+        seed: int,
+        scale: float,
+        catalog: Optional[LibraryCatalog] = None,
+        min_market_size: int = 40,
+    ):
+        if not 0 < scale <= 1:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        self._seed = seed
+        self._scale = scale
+        self._rngs = RngFactory(seed).child("ecosystem")
+        self._catalog = catalog or default_catalog()
+        self._min_market_size = min_market_size
+        self._spec = platform_spec()
+
+        self._world = World(seed=seed, scale=scale, catalog=self._catalog)
+        self._package_markets: Dict[str, Set[str]] = {}
+        self._market_members: Dict[str, List[int]] = {m: [] for m in ALL_MARKET_IDS}
+        self._name_pool: List[str] = []
+        self._vetting: Dict[str, VettingPipeline] = {}
+        self._next_dev_id = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def generate(self) -> World:
+        """Run all stages and return the finished world."""
+        rng = self._rngs.stream("pipeline")
+        self._vetting = {
+            m: VettingPipeline(get_profile(m), self._rngs.stream("vetting", m))
+            for m in ALL_MARKET_IDS
+        }
+        quotas = self._market_quotas()
+        self._build_name_pool(sum(quotas.values()))
+        self._create_base_population(quotas)
+        self._assign_developers()
+        self._seed_celebrities()
+        self._inject_fakes()
+        self._inject_sb_clones()
+        self._inject_cb_clones()
+        self._inject_threats()
+        self._finalize_listings()
+        del rng
+        return self._world
+
+    # ------------------------------------------------------------------
+    # stage 1: quotas
+    # ------------------------------------------------------------------
+
+    def _market_quotas(self) -> Dict[str, int]:
+        quotas = {}
+        for market_id in ALL_MARKET_IDS:
+            profile = get_profile(market_id)
+            quotas[market_id] = max(
+                self._min_market_size, int(round(profile.paper_size * self._scale))
+            )
+        return quotas
+
+    # ------------------------------------------------------------------
+    # stage 2: base population
+    # ------------------------------------------------------------------
+
+    def _build_name_pool(self, total_quota: int) -> None:
+        rng = self._rngs.stream("name-pool")
+        pool_size = max(30, total_quota // 60)
+        self._name_pool = [
+            text.app_display_name(rng, common_fraction=0.0) for _ in range(pool_size)
+        ]
+
+    def _sample_display_name(self, rng: np.random.Generator) -> str:
+        """Display name; drawn from a shared pool ~22% of the time.
+
+        Shared-pool draws create the same-name clusters of Figure 8(b)
+        (22% of apps share a name with at least one other app).
+        """
+        roll = rng.random()
+        if roll < 0.02:
+            return text.COMMON_APP_NAMES[int(rng.integers(0, len(text.COMMON_APP_NAMES)))]
+        if roll < 0.20:
+            idx = int(len(self._name_pool) * rng.power(2.5))
+            return self._name_pool[min(idx, len(self._name_pool) - 1)]
+        return text.app_display_name(rng, common_fraction=0.0)
+
+    def _create_base_population(self, quotas: Dict[str, int]) -> None:
+        rng = self._rngs.stream("base-population")
+        gp_quota = quotas[GOOGLE_PLAY]
+        n_gp_only = int(round(gp_quota * SINGLE_STORE_GP_SHARE))
+        n_mixed = gp_quota - n_gp_only
+
+        for _ in range(n_gp_only):
+            self._new_app(rng, scope="global", popularity=float(rng.random()),
+                          markets=(GOOGLE_PLAY,))
+
+        cn_remaining = {m: quotas[m] for m in CHINESE_MARKET_IDS}
+
+        for _ in range(n_mixed):
+            popularity = float(rng.beta(1.8, 1.1))
+            markets = (GOOGLE_PLAY,) + self._pick_cn_markets(
+                rng, popularity, cn_remaining, cap=4 if popularity < 0.99 else None
+            )
+            self._new_app(rng, scope="mixed", popularity=popularity, markets=markets)
+
+        # Chinese-only apps fill the remaining Chinese quotas.
+        while any(v > 0 for v in cn_remaining.values()):
+            popularity = float(rng.beta(1.0, 1.6))
+            markets = self._pick_cn_markets(rng, popularity, cn_remaining)
+            if not markets:
+                break
+            scope = "china"
+            if rng.random() < MIXED_GP_TO_CN_SHARE * 0.08:
+                # A slice of Chinese developers cross-list to Google Play
+                # beyond the mixed population above.
+                markets = (GOOGLE_PLAY,) + markets
+                scope = "mixed"
+            self._new_app(rng, scope=scope, popularity=popularity, markets=markets)
+
+    def _pick_cn_markets(
+        self,
+        rng: np.random.Generator,
+        popularity: float,
+        remaining: Dict[str, int],
+        cap: Optional[int] = None,
+    ) -> Tuple[str, ...]:
+        """Choose Chinese markets weighted by remaining quota.
+
+        Single-market apps favor stores with high single-store shares
+        (AnZhi, OPPO, 25PP per Section 5.2); multi-market picks follow
+        quota so totals land on Table 1's proportions.  ``cap`` bounds
+        the spread (used for GP-first developers, who cross-list into a
+        handful of Chinese stores at most — Section 5.2's 20-30% overlap).
+        """
+        open_markets = [m for m in CHINESE_MARKET_IDS if remaining[m] > 0]
+        if not open_markets:
+            return ()
+        k = min(sample_cn_market_count(popularity, rng), len(open_markets))
+        if cap is not None:
+            k = min(k, cap)
+        if k == 1:
+            weights = np.asarray(
+                [remaining[m] * (0.02 + get_profile(m).single_store_share)
+                 for m in open_markets]
+            )
+        else:
+            weights = np.asarray([float(remaining[m]) for m in open_markets])
+        weights = weights / weights.sum()
+        chosen = rng.choice(len(open_markets), size=k, replace=False, p=weights)
+        picked = tuple(open_markets[int(i)] for i in chosen)
+        for m in picked:
+            remaining[m] -= 1
+        return picked
+
+    # ------------------------------------------------------------------
+    # app factory
+    # ------------------------------------------------------------------
+
+    def _unique_package(self, rng: np.random.Generator) -> str:
+        for _ in range(20):
+            package = text.package_name(rng)
+            if package not in self._package_markets:
+                return package
+        raise RuntimeError("could not find a unique package name")
+
+    def _sample_category(self, rng: np.random.Generator, markets: Sequence[str]) -> str:
+        vendorish = sum(1 for m in markets if get_profile(m).kind == "vendor")
+        weights = VENDOR_WEIGHTS if vendorish > len(markets) / 2 else CANONICAL_WEIGHTS
+        names = [c for c, w in weights.items() if w > 0]
+        probs = np.asarray([weights[c] for c in names])
+        return str(rng.choice(names, p=probs / probs.sum()))
+
+    @staticmethod
+    def _clone_versions(
+        rng: np.random.Generator, victim: AppBlueprint
+    ) -> Tuple[AppVersion, ...]:
+        """A clone's version history: a prefix of the victim's.
+
+        Repackagers take an existing build and re-sign it, so the clone's
+        version numbering never runs ahead of the original's — which is
+        also what keeps Figure 9 sound (a clone cannot make the original
+        look outdated).
+        """
+        cut = int(rng.integers(1, len(victim.versions) + 1))
+        return victim.versions[:cut]
+
+    def _sample_versions(
+        self, rng: np.random.Generator, popularity: float, scope: str
+    ) -> Tuple[AppVersion, ...]:
+        n = sample_version_count(popularity, rng)
+        last_day = sample_release_day(scope, rng)
+        days = [last_day]
+        for _ in range(n - 1):
+            days.append(days[-1] - int(rng.integers(20, 260)))
+        days = sorted(max(d, 400) for d in days)
+        versions = []
+        for i, day in enumerate(days):
+            code = (i + 1) * int(rng.integers(1, 4))
+            if i > 0:
+                code = max(code, versions[-1].version_code + 1)
+            versions.append(
+                AppVersion(
+                    version_code=code,
+                    version_name=f"{1 + i // 4}.{i % 4}.{int(rng.integers(0, 10))}",
+                    release_day=day,
+                )
+            )
+        return tuple(versions)
+
+    def _sample_permissions(
+        self,
+        rng: np.random.Generator,
+        scope: str,
+        lib_perms: Set[str],
+        own: Optional[Set[str]] = None,
+    ) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        """Return (own_used, requested) permission tuples.
+
+        ``own`` is given for repackaged apps, whose first-party code (and
+        thus its permission footprint) is inherited from the victim — a
+        repackager ships the original manifest plus its own additions.
+        """
+        if own is None:
+            n_dangerous = int(rng.integers(1, 5))
+            n_normal = int(rng.integers(2, 5))
+            own = set(rng.choice(DANGEROUS_PERMISSIONS, size=n_dangerous, replace=False))
+            own |= set(rng.choice(NORMAL_PERMISSIONS, size=n_normal, replace=False))
+        used = own | lib_perms
+
+        # Developers habitually paste permission boilerplate; each line
+        # that happens to cover an API the app really calls is harmless,
+        # the rest become the measured over-privilege.  Draws that hit an
+        # already-used permission are NOT redrawn — that would merely
+        # funnel probability mass into the rarer permissions and invert
+        # the paper's READ_PHONE_STATE-first ranking.
+        extra_count = sample_overprivilege_count(scope, rng)
+        extras: Set[str] = set()
+        perms = list(OVERPRIV_PERMISSION_WEIGHTS)
+        probs = np.asarray([OVERPRIV_PERMISSION_WEIGHTS[p] for p in perms])
+        probs = probs / probs.sum()
+        for _ in range(extra_count):
+            p = str(rng.choice(perms, p=probs))
+            if p not in used:
+                extras.add(p)
+        requested = tuple(sorted(str(p) for p in used | extras))
+        return tuple(sorted(str(p) for p in own)), requested
+
+    def _sample_libraries(
+        self, rng: np.random.Generator, scope: str, markets: Sequence[str]
+    ) -> Tuple[Tuple[str, int], ...]:
+        profiles = [get_profile(m) for m in markets]
+        presence = float(np.mean([p.tpl_presence for p in profiles]))
+        if rng.random() >= presence:
+            return ()
+        target_count = float(np.mean([p.tpl_avg_count for p in profiles]))
+        region = "global" if scope == "global" else "china"
+
+        def expected(tier: str) -> float:
+            if scope == "mixed":
+                return 0.5 * (
+                    self._catalog.expected_count("global", tier)
+                    + self._catalog.expected_count("china", tier)
+                )
+            return self._catalog.expected_count(region, tier)
+
+        # Named libraries are adopted at their Table 2 usage rates; the
+        # anonymous long tail absorbs per-market library-count targets
+        # (Figure 5a) so measured top-10 usages stay faithful.
+        tail_bias = max(
+            0.0, (target_count - expected("named")) / max(expected("tail"), 1e-9)
+        )
+
+        chosen: List[Tuple[str, int]] = []
+        for lib in self._catalog:
+            if scope == "mixed":
+                usage = 0.5 * (lib.gp_usage + lib.cn_usage)
+            else:
+                usage = self._catalog.usage(lib, region)
+            # Aggressive ad SDK adoption is never amplified: markets whose
+            # apps embed more libraries overall do not proportionally
+            # attract more grayware (the Table 4 ">=1" top-up handles
+            # per-market grayware calibration).
+            p = min(0.97, usage * tail_bias if lib.tail else usage)
+            if rng.random() < p:
+                version = int(rng.integers(0, lib.n_versions))
+                chosen.append((lib.package, version))
+        return tuple(chosen)
+
+    def _new_app(
+        self,
+        rng: np.random.Generator,
+        scope: str,
+        popularity: float,
+        markets: Sequence[str],
+        display_name: Optional[str] = None,
+        package: Optional[str] = None,
+        provenance: str = PROVENANCE_LEGIT,
+        related_app_id: Optional[int] = None,
+        own_code=None,
+        libraries: Optional[Tuple[Tuple[str, int], ...]] = None,
+        threat: Optional[ThreatProfile] = None,
+        developer: Optional[Developer] = None,
+        forced: bool = False,
+        versions: Optional[Tuple[AppVersion, ...]] = None,
+    ) -> Optional[AppBlueprint]:
+        """Create an app, submit it to its markets, and register it.
+
+        Returns the blueprint, or ``None`` if vetting rejected it from
+        every market.  Placements only exist for accepting markets.
+        ``versions`` overrides the sampled history — clones ship under
+        their victim's version numbering, never ahead of it.
+        """
+        app_id = len(self._world.apps)
+        package = package or self._unique_package(rng)
+        if versions is None:
+            versions = self._sample_versions(rng, popularity, scope)
+        libraries = (
+            libraries
+            if libraries is not None
+            else self._sample_libraries(rng, scope, markets)
+        )
+        lib_perms: Set[str] = set()
+        for lib_package, _ in libraries:
+            lib_perms |= set(self._catalog.get(lib_package).permissions)
+        if own_code is None:
+            own_perms, requested = self._sample_permissions(rng, scope, lib_perms)
+            own_code = generate_own_code(rng, self._spec, package, own_perms)
+        else:
+            # Repackaged code: the permission footprint comes from the
+            # inherited first-party code, not a fresh draw.
+            inherited = set(self._spec.permissions_for(own_code.features))
+            _, requested = self._sample_permissions(
+                rng, scope, lib_perms, own=inherited
+            )
+        quality = float(np.clip(0.30 + 0.45 * popularity + rng.normal(0, 0.15), 0.05, 1.0))
+        first_release = versions[0].release_day
+
+        blueprint = AppBlueprint(
+            app_id=app_id,
+            package=package,
+            display_name=display_name or self._sample_display_name(rng),
+            category=self._sample_category(rng, markets),
+            developer=developer,  # may be assigned later for base apps
+            scope=scope,
+            popularity=popularity,
+            quality=quality,
+            min_sdk=sample_min_sdk(first_release, rng, scope),
+            target_sdk=0,  # fixed up below
+            release_day=first_release,
+            versions=versions,
+            own_code=own_code,
+            libraries=libraries,
+            permissions_requested=requested,
+            threat=threat,
+            provenance=provenance,
+            related_app_id=related_app_id,
+        )
+        blueprint.target_sdk = blueprint.min_sdk + int(rng.integers(0, 9))
+
+        accepted_any = False
+        for market_id in markets:
+            if self._submit(blueprint, market_id, rng, forced=forced):
+                accepted_any = True
+        if not accepted_any:
+            return None
+        self._world.apps.append(blueprint)
+        if blueprint.threat is not None:
+            self._world.threat_feed.record(blueprint.threat)
+        return blueprint
+
+    def _submit(
+        self,
+        blueprint: AppBlueprint,
+        market_id: str,
+        rng: np.random.Generator,
+        forced: bool = False,
+    ) -> bool:
+        """Submit one app to one market through its vetting pipeline."""
+        occupied = self._package_markets.setdefault(blueprint.package, set())
+        if market_id in occupied:
+            return False  # a market lists at most one app per package
+        pipeline = self._vetting[market_id]
+        threat_kind = (
+            blueprint.threat.family_def.kind if blueprint.threat is not None else None
+        )
+        submission = Submission(
+            package=blueprint.package,
+            developer_is_company=blueprint.popularity > 0.15 or rng.random() < 0.6,
+            apk_size_mb=float(rng.uniform(2, 80)),
+            threat_kind=threat_kind,
+            is_fake=blueprint.provenance == PROVENANCE_FAKE,
+            is_clone=blueprint.provenance in (PROVENANCE_SB_CLONE, PROVENANCE_CB_CLONE),
+            forced=forced,
+        )
+        verdict = pipeline.review(submission)
+        self._world.vetting_log.append(
+            VettingRecord(market_id, blueprint.app_id, verdict.accepted, verdict.reason)
+        )
+        if not verdict.accepted:
+            return False
+
+        profile = get_profile(market_id)
+        version_index = self._version_index_for(blueprint, profile, rng)
+        listed_day = int(
+            blueprint.versions[version_index].release_day
+            + pipeline.vetting_delay_days()
+        )
+        blueprint.placements[market_id] = Placement(
+            market_id=market_id,
+            version_index=version_index,
+            category_label="",  # finalized later
+            downloads=None,
+            rating=None,
+            listed_day=min(listed_day, FIRST_CRAWL_DAY - 1),
+        )
+        occupied.add(market_id)
+        self._market_members[market_id].append(blueprint.app_id)
+        return True
+
+    @staticmethod
+    def _version_index_for(
+        blueprint: AppBlueprint, profile: MarketProfile, rng: np.random.Generator
+    ) -> int:
+        latest = blueprint.latest_version_index
+        if latest == 0 or rng.random() < profile.highest_version_share:
+            return latest
+        lag = 1 + int(rng.geometric(0.55)) - 1
+        return max(0, latest - lag)
+
+    # ------------------------------------------------------------------
+    # stage 3: developers
+    # ------------------------------------------------------------------
+
+    def _new_developer(self, rng: np.random.Generator, region: str) -> Developer:
+        dev_id = self._next_dev_id
+        self._next_dev_id += 1
+        name = text.developer_name(rng, region)
+        alt_names = ()
+        if region == "china" and rng.random() < 0.15:
+            alt_names = (name.replace("Co., Ltd.", "Technology").strip(),)
+        dev = Developer(dev_id=dev_id, name=name, region=region, alt_names=alt_names)
+        self._world.developers.append(dev)
+        return dev
+
+    def _assign_developers(self) -> None:
+        rng = self._rngs.stream("developers")
+        groups: Dict[str, List[AppBlueprint]] = {"global": [], "mixed": [], "china": []}
+        for app in self._world.apps:
+            if app.developer is None:
+                groups[app.scope].append(app)
+        sizes = np.asarray(_DEV_SIZES)
+        size_probs = np.asarray(_DEV_SIZE_WEIGHTS)
+        size_probs = size_probs / size_probs.sum()
+        for scope, apps in groups.items():
+            order = rng.permutation(len(apps))
+            i = 0
+            while i < len(apps):
+                team = int(rng.choice(sizes, p=size_probs))
+                if scope == "global":
+                    region = "global"
+                elif scope == "china":
+                    region = "china"
+                else:
+                    region = "china" if rng.random() < 0.6 else "global"
+                dev = self._new_developer(rng, region)
+                for j in order[i : i + team]:
+                    apps[int(j)].developer = dev
+                i += team
+
+    # ------------------------------------------------------------------
+    # stage 4: celebrity malware (Table 5)
+    # ------------------------------------------------------------------
+
+    def _seed_celebrities(self) -> None:
+        rng = self._rngs.stream("celebrities")
+        for celeb in CELEBRITY_MALWARE:
+            dev = self._new_developer(rng, "china")
+            threat = ThreatProfile(family=celeb.family, variant=0)
+            self._new_app(
+                rng,
+                scope="china" if GOOGLE_PLAY not in celeb.markets else "mixed",
+                popularity=float(rng.uniform(0.5, 0.9)),
+                markets=celeb.markets,
+                display_name=celeb.display_name,
+                package=celeb.package,
+                threat=threat,
+                developer=dev,
+                forced=True,
+            )
+
+    # ------------------------------------------------------------------
+    # stage 5-7: fakes and clones
+    # ------------------------------------------------------------------
+
+    def _bernoulli_round(self, rng: np.random.Generator, x: float) -> int:
+        base = int(math.floor(x))
+        return base + (1 if rng.random() < (x - base) else 0)
+
+    def _misbehavior_target(self, market_id: str, rate_pct: float) -> float:
+        """Target count so the final share (after injections grow the
+        denominator) lands on the paper's rate."""
+        profile = get_profile(market_id)
+        inflow = (profile.fake_rate + profile.sb_clone_rate + profile.cb_clone_rate) / 100.0
+        current = len(self._market_members[market_id])
+        final_size = current / max(0.4, 1.0 - inflow)
+        return final_size * rate_pct / 100.0
+
+    def _official_candidates(self) -> List[AppBlueprint]:
+        """Popular, distinctively-named apps — fake-app targets.
+
+        Restricted to apps that will plausibly show >1M installs in some
+        store (top of the popularity range, listed in a market with a
+        meaningful >1M bin) under a name no other app uses — the shape
+        the Section 6.1 heuristic anchors on.
+        """
+        name_counts: Dict[str, int] = {}
+        for app in self._world.apps:
+            name_counts[app.display_name] = name_counts.get(app.display_name, 0) + 1
+
+        def has_big_market(app: AppBlueprint) -> bool:
+            return any(
+                get_profile(m).download_bin_shares[-1] >= 0.004
+                for m in app.placements
+            )
+
+        return [
+            app
+            for app in self._world.apps
+            if app.popularity >= 0.997
+            and app.provenance == PROVENANCE_LEGIT
+            and name_counts[app.display_name] == 1
+            and has_big_market(app)
+        ]
+
+    def _inject_fakes(self) -> None:
+        rng = self._rngs.stream("fakes")
+        officials = self._official_candidates()
+        if not officials:
+            return
+        weights = np.asarray([app.popularity for app in officials])
+        weights = weights / weights.sum()
+        deficits = {
+            m: self._bernoulli_round(
+                rng, self._misbehavior_target(m, get_profile(m).fake_rate)
+            )
+            for m in ALL_MARKET_IDS
+        }
+        attempts = 0
+        budget = 40 * (sum(deficits.values()) + 1)
+        while any(d > 0 for d in deficits.values()) and attempts < budget:
+            attempts += 1
+            market = max(deficits, key=deficits.get)
+            if deficits[market] <= 0:
+                break
+            official = officials[int(rng.choice(len(officials), p=weights))]
+            extra = [
+                m for m in ALL_MARKET_IDS
+                if deficits[m] > 0 and m != market and rng.random() < 0.25
+            ][:2]
+            dev = self._new_developer(rng, "china" if market != GOOGLE_PLAY else "global")
+            threat = None
+            if rng.random() < 0.4:
+                family = self._sample_family(rng, "china" if market != GOOGLE_PLAY else "global")
+                threat = ThreatProfile(family=family, variant=int(rng.integers(0, 30)))
+            app = self._new_app(
+                rng,
+                scope="china" if market != GOOGLE_PLAY else "global",
+                popularity=float(rng.uniform(0.0, 0.10)),
+                markets=[market] + extra,
+                display_name=official.display_name,
+                provenance=PROVENANCE_FAKE,
+                related_app_id=official.app_id,
+                threat=threat,
+                developer=dev,
+            )
+            if app is None:
+                continue
+            for m in app.placements:
+                deficits[m] -= 1
+
+    def _inject_sb_clones(self) -> None:
+        rng = self._rngs.stream("sb-clones")
+        victims = [
+            app for app in self._world.apps
+            if app.provenance == PROVENANCE_LEGIT and app.popularity >= 0.6
+        ]
+        if not victims:
+            return
+        # Popular apps attract cloning; purely-global apps a bit less,
+        # since repackagers target the Chinese distribution channels.
+        weights = np.asarray([
+            app.popularity ** 3 * (0.6 if app.scope == "global" else 1.0)
+            for app in victims
+        ])
+        weights = weights / weights.sum()
+        deficits = {
+            m: self._bernoulli_round(
+                rng, self._misbehavior_target(m, get_profile(m).sb_clone_rate)
+            )
+            for m in ALL_MARKET_IDS
+        }
+        attempts = 0
+        budget = 40 * (sum(deficits.values()) + 1)
+        while any(d > 0 for d in deficits.values()) and attempts < budget:
+            attempts += 1
+            market = max(deficits, key=deficits.get)
+            if deficits[market] <= 0:
+                break
+            victim = victims[int(rng.choice(len(victims), p=weights))]
+            occupied = self._package_markets.get(victim.package, set())
+            if market in occupied:
+                continue
+            targets = [market] + [
+                m for m in ALL_MARKET_IDS
+                if deficits[m] > 0 and m != market and m not in occupied
+                and rng.random() < 0.3
+            ][:3]
+            dev = self._new_developer(rng, "china")
+            own = perturb_own_code(rng, victim.own_code)
+            app = self._new_app(
+                rng,
+                scope="china" if market != GOOGLE_PLAY else "global",
+                popularity=float(rng.uniform(0.0, 0.35)),
+                markets=targets,
+                display_name=victim.display_name,
+                package=victim.package,
+                provenance=PROVENANCE_SB_CLONE,
+                related_app_id=victim.app_id,
+                own_code=own,
+                libraries=victim.libraries,
+                developer=dev,
+                versions=self._clone_versions(rng, victim),
+            )
+            if app is None:
+                continue
+            for m in app.placements:
+                deficits[m] -= 1
+
+    def _inject_cb_clones(self) -> None:
+        rng = self._rngs.stream("cb-clones")
+        victims = [
+            app for app in self._world.apps
+            if app.provenance == PROVENANCE_LEGIT and app.popularity >= 0.5
+        ]
+        if not victims:
+            return
+        weights = np.asarray([
+            app.popularity ** 2 * (0.6 if app.scope == "global" else 1.0)
+            for app in victims
+        ])
+        weights = weights / weights.sum()
+        deficits = {
+            m: self._bernoulli_round(
+                rng, self._misbehavior_target(m, get_profile(m).cb_clone_rate)
+            )
+            for m in ALL_MARKET_IDS
+        }
+        attempts = 0
+        budget = 30 * (sum(deficits.values()) + 1)
+        while any(d > 0 for d in deficits.values()) and attempts < budget:
+            attempts += 1
+            market = max(deficits, key=deficits.get)
+            if deficits[market] <= 0:
+                break
+            victim = victims[int(rng.choice(len(victims), p=weights))]
+            targets = [market] + [
+                m for m in ALL_MARKET_IDS
+                if deficits[m] > 0 and m != market and rng.random() < 0.3
+            ][:3]
+            dev = self._new_developer(rng, "china")
+            package = self._unique_package(rng)
+            own = perturb_own_code(rng, victim.own_code, new_package=package)
+            if rng.random() < 0.5:
+                name = victim.display_name + " " + str(rng.integers(2, 9))
+            else:
+                name = self._sample_display_name(rng)
+            app = self._new_app(
+                rng,
+                scope="china" if market != GOOGLE_PLAY else "global",
+                popularity=float(rng.uniform(0.0, 0.35)),
+                markets=targets,
+                display_name=name,
+                package=package,
+                provenance=PROVENANCE_CB_CLONE,
+                related_app_id=victim.app_id,
+                own_code=own,
+                libraries=victim.libraries,
+                developer=dev,
+                versions=self._clone_versions(rng, victim),
+            )
+            if app is None:
+                continue
+            for m in app.placements:
+                deficits[m] -= 1
+
+    # ------------------------------------------------------------------
+    # stage 8: threats
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _sample_family(rng: np.random.Generator, region: str) -> str:
+        weights = GP_FAMILY_WEIGHTS if region == "global" else CHINESE_FAMILY_WEIGHTS
+        names = list(weights)
+        probs = np.asarray([weights[n] for n in names])
+        return str(rng.choice(names, p=probs / probs.sum()))
+
+    def _market_malware_count(self, market_id: str) -> int:
+        return sum(
+            1
+            for app_id in self._market_members[market_id]
+            if self._world.apps[app_id].threat is not None
+        )
+
+    def _inject_threats(self) -> None:
+        self._inject_malware()
+        self._inject_grayware()
+
+    def _inject_malware(self) -> None:
+        rng = self._rngs.stream("malware")
+        deficits: Dict[str, int] = {}
+        for m in ALL_MARKET_IDS:
+            size = len(self._market_members[m])
+            target = get_profile(m).av10_rate / 100.0 / _MALWARE_DETECTION_RATE * size
+            deficits[m] = self._bernoulli_round(rng, target) - self._market_malware_count(m)
+
+        clone_pool = [
+            a for a in self._world.apps
+            if a.provenance in (PROVENANCE_SB_CLONE, PROVENANCE_CB_CLONE)
+            and a.threat is None
+        ]
+        legit_pool = [
+            a for a in self._world.apps
+            if a.provenance == PROVENANCE_LEGIT and a.threat is None
+            and a.popularity < 0.9
+        ]
+        rng.shuffle(clone_pool)
+        rng.shuffle(legit_pool)
+
+        attempts = 0
+        budget = 60 * (sum(max(0, d) for d in deficits.values()) + 1)
+        while any(d > 0 for d in deficits.values()) and attempts < budget:
+            attempts += 1
+            market = max(deficits, key=deficits.get)
+            candidate = self._pop_threat_candidate(rng, market, clone_pool, legit_pool, deficits)
+            if candidate is None:
+                candidate = self._new_junk_app(rng, market)
+                if candidate is None:
+                    deficits[market] -= 1  # vetting ate it; avoid livelock
+                    continue
+            # Family mix follows where the app is actually distributed:
+            # an app hosted in any Chinese market draws from the Chinese
+            # family distribution (Figure 12), GP-only apps from GP's.
+            region = (
+                "global"
+                if set(candidate.placements) <= {GOOGLE_PLAY}
+                else "china"
+            )
+            repackaged = candidate.provenance in (PROVENANCE_SB_CLONE, PROVENANCE_CB_CLONE)
+            threat = ThreatProfile(
+                family=self._sample_family(rng, region),
+                variant=int(rng.integers(0, 30)),
+                repackaged=repackaged,
+            )
+            self._apply_threat(rng, candidate, threat, deficits)
+
+    def _pop_threat_candidate(
+        self,
+        rng: np.random.Generator,
+        market: str,
+        clone_pool: List[AppBlueprint],
+        legit_pool: List[AppBlueprint],
+        deficits: Dict[str, int],
+    ) -> Optional[AppBlueprint]:
+        """Pick an existing listed app to infect; clones preferred at the
+        paper's 38.3% repackaged-malware share."""
+        pools = (
+            (clone_pool, legit_pool)
+            if rng.random() < REPACKAGED_MALWARE_SHARE
+            else (legit_pool, clone_pool)
+        )
+        for pool in pools:
+            for _ in range(min(len(pool), 60)):
+                idx = int(rng.integers(0, len(pool)))
+                app = pool[idx]
+                if app.threat is not None or market not in app.placements:
+                    continue
+                in_deficit = sum(1 for m in app.placements if deficits.get(m, 0) > 0)
+                if in_deficit * 2 >= len(app.placements):
+                    pool[idx] = pool[-1]
+                    pool.pop()
+                    return app
+        return None
+
+    def _new_junk_app(self, rng: np.random.Generator, market: str) -> Optional[AppBlueprint]:
+        scope = "global" if market == GOOGLE_PLAY else "china"
+        dev = self._new_developer(rng, scope if scope == "china" else "global")
+        return self._new_app(
+            rng,
+            scope=scope,
+            popularity=float(rng.uniform(0.0, 0.25)),
+            markets=(market,),
+            developer=dev,
+        )
+
+    def _apply_threat(
+        self,
+        rng: np.random.Generator,
+        app: AppBlueprint,
+        threat: ThreatProfile,
+        deficits: Dict[str, int],
+    ) -> None:
+        """Attach a payload and re-run security vetting in every hosting
+        market; markets that catch it delist the app."""
+        app.threat = threat
+        self._world.threat_feed.record(threat)
+        for market_id in list(app.placements):
+            pipeline = self._vetting[market_id]
+            submission = Submission(
+                package=app.package,
+                threat_kind=threat.family_def.kind,
+            )
+            verdict = pipeline.review(submission)
+            self._world.vetting_log.append(
+                VettingRecord(market_id, app.app_id, verdict.accepted,
+                              "update:" + verdict.reason)
+            )
+            if verdict.accepted:
+                deficits[market_id] = deficits.get(market_id, 0) - 1
+            else:
+                self._remove_placement(app, market_id)
+
+    def _remove_placement(self, app: AppBlueprint, market_id: str) -> None:
+        app.placements.pop(market_id, None)
+        self._package_markets.get(app.package, set()).discard(market_id)
+        try:
+            self._market_members[market_id].remove(app.app_id)
+        except ValueError:
+            pass
+
+    def _inject_grayware(self) -> None:
+        """Top up 'flagged by >=1 engine' rates with aggressive ad SDKs."""
+        rng = self._rngs.stream("grayware")
+        aggressive = self._catalog.aggressive_libraries
+        if not aggressive:
+            return
+        aggressive_packages = {lib.package for lib in aggressive}
+
+        def flaggable(app: AppBlueprint) -> bool:
+            if app.threat is not None:
+                return True
+            return any(pkg in aggressive_packages for pkg, _ in app.libraries)
+
+        deficits: Dict[str, int] = {}
+        for m in ALL_MARKET_IDS:
+            profile = get_profile(m)
+            size = len(self._market_members[m])
+            rate = profile.av1_rate / 100.0
+            if profile.requires_obfuscation:
+                rate = max(0.0, (rate - _JIAGU_FLAG_SHARE) / (1.0 - _JIAGU_FLAG_SHARE))
+            flagged = sum(
+                1 for app_id in self._market_members[m]
+                if flaggable(self._world.apps[app_id])
+            )
+            deficits[m] = self._bernoulli_round(rng, rate * size) - flagged
+
+        pool = [
+            a for a in self._world.apps
+            if not flaggable(a) and a.popularity < 0.95
+        ]
+        rng.shuffle(pool)
+        attempts = 0
+        budget = 40 * (sum(max(0, d) for d in deficits.values()) + 1)
+        while any(d > 0 for d in deficits.values()) and attempts < budget and pool:
+            attempts += 1
+            market = max(deficits, key=deficits.get)
+            candidate = None
+            for _ in range(min(len(pool), 80)):
+                idx = int(rng.integers(0, len(pool)))
+                app = pool[idx]
+                if market not in app.placements:
+                    continue
+                in_deficit = sum(1 for m in app.placements if deficits.get(m, 0) > 0)
+                if in_deficit * 2 >= len(app.placements):
+                    pool[idx] = pool[-1]
+                    pool.pop()
+                    candidate = app
+                    break
+            if candidate is None:
+                candidate = self._new_junk_app(rng, market)
+                if candidate is None:
+                    deficits[market] -= 1
+                    continue
+                pool_added = True
+                del pool_added
+            region = "global" if candidate.scope == "global" else "china"
+            lib = self._pick_aggressive_lib(rng, region, aggressive)
+            candidate.libraries = candidate.libraries + (
+                (lib.package, int(rng.integers(0, lib.n_versions))),
+            )
+            # Re-vet in each hosting market as a grayware update.
+            for market_id in list(candidate.placements):
+                verdict = self._vetting[market_id].review(
+                    Submission(package=candidate.package, threat_kind="grayware")
+                )
+                if verdict.accepted:
+                    deficits[market_id] = deficits.get(market_id, 0) - 1
+                else:
+                    self._remove_placement(candidate, market_id)
+
+    def _pick_aggressive_lib(self, rng, region, aggressive):
+        weights = np.asarray(
+            [self._catalog.usage(lib, region) + 1e-4 for lib in aggressive]
+        )
+        weights = weights / weights.sum()
+        return aggressive[int(rng.choice(len(aggressive), p=weights))]
+
+    # ------------------------------------------------------------------
+    # stage 9: finalize listings
+    # ------------------------------------------------------------------
+
+    def _finalize_listings(self) -> None:
+        rng = self._rngs.stream("finalize")
+        for market_id in ALL_MARKET_IDS:
+            profile = get_profile(market_id)
+            taxonomy = taxonomy_for(market_id)
+            members = self._market_members[market_id]
+            if not members:
+                continue
+            # Noise keeps per-market rankings correlated with global
+            # popularity without being identical across stores.  It
+            # shrinks toward the top of the ranking: globally famous apps
+            # hold the top slots of every store (so they land in the >1M
+            # bin everywhere — the anchor the fake-app heuristic needs),
+            # while the long tail shuffles freely between stores.
+            scores = []
+            for a in members:
+                popularity = self._world.apps[a].popularity
+                sigma = 0.02 * min(1.0, (1.0 - popularity) * 25.0)
+                scores.append((popularity + rng.normal(0, sigma), a))
+            scores.sort()
+            n = len(scores)
+            for rank, (_, app_id) in enumerate(scores):
+                app = self._world.apps[app_id]
+                placement = app.placements[market_id]
+                percentile = (rank + 0.5) / n
+                downloads = self._downloads_for_percentile(rng, profile, percentile)
+                if app.provenance == PROVENANCE_FAKE and downloads is not None:
+                    downloads = min(downloads, int(rng.integers(40, 1000)))
+                placement.downloads = downloads
+                placement.rating = sample_listing_rating(
+                    profile, app.quality, downloads, rng
+                )
+                if profile.category_null_share > 0 and rng.random() < profile.category_null_share:
+                    placement.category_label = taxonomy.null_label(rng)
+                else:
+                    placement.category_label = taxonomy.market_label(app.category)
+
+    @staticmethod
+    def _downloads_for_percentile(
+        rng: np.random.Generator, profile: MarketProfile, percentile: float
+    ) -> Optional[int]:
+        """Map a within-market rank percentile onto the market's Figure 2
+        bin row, then draw within the bin.
+
+        The within-bin position blends the app's rank position with
+        noise, so the market's very top apps reliably land near the top
+        of the open-ended ">1M" bin — Section 4.2's power law (top 0.1%
+        of apps owning >50% of installs) depends on the head of the
+        distribution, not only on the bin mix.
+        """
+        if not profile.reports_downloads:
+            return None
+        shares = np.asarray(profile.download_bin_shares, dtype=float)
+        total = shares.sum()
+        if total <= 0:
+            return None
+        cdf = np.cumsum(shares / total)
+        bin_idx = int(np.searchsorted(cdf, percentile, side="right"))
+        bin_idx = min(bin_idx, len(shares) - 1)
+        from repro.markets.profiles import DOWNLOAD_BIN_EDGES
+
+        lo = DOWNLOAD_BIN_EDGES[bin_idx]
+        hi = (
+            DOWNLOAD_BIN_EDGES[bin_idx + 1]
+            if bin_idx + 1 < len(DOWNLOAD_BIN_EDGES)
+            else 5_000_000_000
+        )
+        if lo == 0:
+            return int(rng.integers(0, 10))
+        bin_lo_p = cdf[bin_idx - 1] if bin_idx > 0 else 0.0
+        bin_hi_p = cdf[bin_idx] if bin_idx < len(cdf) else 1.0
+        span = max(bin_hi_p - bin_lo_p, 1e-9)
+        within = min(1.0, max(0.0, (percentile - bin_lo_p) / span))
+        position = 0.7 * within + 0.3 * rng.random()
+        exponent = np.log10(lo) + (np.log10(hi) - np.log10(lo)) * position
+        return int(10 ** exponent)

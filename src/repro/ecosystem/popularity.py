@@ -1,0 +1,127 @@
+"""Popularity, downloads, and rating models.
+
+Downloads follow the power-law shape of Section 4.2: per market, an
+app's reported installs are drawn from that market's Figure 2 bin
+distribution by inverse-CDF mapping of the app's (noisy) global
+popularity percentile — so an app popular worldwide lands in the top
+bins of every store it appears in, while the bin *mix* per store matches
+the paper's measured row exactly in expectation.
+
+Ratings follow the Figure 6 patterns: unpopular listings are typically
+unrated (reported as 0 in the dataset), rated listings skew high with a
+market-specific bias, and PC Online assigns a default rating of 3 to
+unrated apps (the artifact the paper discovered by uploading test apps).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.markets.profiles import DOWNLOAD_BIN_EDGES, MarketProfile
+
+__all__ = [
+    "sample_listing_downloads",
+    "sample_listing_rating",
+    "downloads_bin_index",
+    "popularity_from_rank",
+]
+
+#: Upper bound used when sampling within the open-ended ">1M" bin.
+_TOP_BIN_CAP = 5_000_000_000.0
+
+#: Noise added to the global percentile before the per-market inverse-CDF
+#: mapping; keeps per-market bins correlated with global popularity
+#: without being identical across stores.
+_PERCENTILE_NOISE = 0.06
+
+
+def popularity_from_rank(rank: int, total: int) -> float:
+    """Percentile in [0, 1) for an app ranked ``rank`` of ``total`` (0 = least popular)."""
+    if not 0 <= rank < total:
+        raise ValueError(f"rank {rank} out of range for {total}")
+    return (rank + 0.5) / total
+
+
+def downloads_bin_index(downloads: float) -> int:
+    """Figure 2 bin index (0..6) for a download count."""
+    if downloads < 0:
+        raise ValueError("downloads must be non-negative")
+    edges = DOWNLOAD_BIN_EDGES
+    for i in range(len(edges) - 1, 0, -1):
+        if downloads >= edges[i]:
+            return i
+    return 0
+
+
+def sample_listing_downloads(
+    profile: MarketProfile,
+    popularity: float,
+    rng: np.random.Generator,
+) -> Optional[int]:
+    """Sample the install count one market reports for one app.
+
+    Returns ``None`` for markets that do not report installs (Xiaomi,
+    App China).  Otherwise: perturb the global percentile, invert the
+    market's bin CDF, then draw log-uniformly within the bin.
+    """
+    if not profile.reports_downloads:
+        return None
+    shares = np.asarray(profile.download_bin_shares, dtype=float)
+    total = shares.sum()
+    if total <= 0:
+        return None
+    cdf = np.cumsum(shares / total)
+
+    p = popularity + rng.normal(0.0, _PERCENTILE_NOISE)
+    p = min(max(p, 0.0), 1.0 - 1e-9)
+    bin_idx = int(np.searchsorted(cdf, p, side="right"))
+    bin_idx = min(bin_idx, len(shares) - 1)
+
+    lo = DOWNLOAD_BIN_EDGES[bin_idx]
+    hi = (
+        DOWNLOAD_BIN_EDGES[bin_idx + 1]
+        if bin_idx + 1 < len(DOWNLOAD_BIN_EDGES)
+        else _TOP_BIN_CAP
+    )
+    if lo == 0:
+        return int(rng.integers(0, max(int(hi), 1)))
+    log_lo, log_hi = np.log10(lo), np.log10(hi)
+    return int(10 ** rng.uniform(log_lo, log_hi))
+
+
+def sample_listing_rating(
+    profile: MarketProfile,
+    quality: float,
+    downloads: Optional[int],
+    rng: np.random.Generator,
+) -> Optional[float]:
+    """Sample the rating one market reports for one app.
+
+    ``None`` means the listing is unrated (the dataset records those as
+    0; PC Online instead reports its default of 3.0, via
+    ``profile.default_rating``).  Unrated probability rises sharply for
+    low-download listings: the paper observes ~90% of unrated apps have
+    fewer than 1,000 downloads.
+    """
+    base = profile.unrated_share
+    if downloads is None:
+        unrated_p = base
+    elif downloads < 1_000:
+        unrated_p = min(1.0, base * 1.45)
+    elif downloads < 100_000:
+        unrated_p = base * 0.45
+    else:
+        unrated_p = base * 0.05
+    if rng.random() < unrated_p:
+        return profile.default_rating
+
+    # Rated: a Beta draw whose mean blends app quality with the market's
+    # high-rating bias, mapped onto [1, 5].
+    mean = 0.35 + 0.65 * (0.55 * quality + 0.45 * profile.rating_high_bias)
+    concentration = 8.0
+    a = mean * concentration
+    b = (1.0 - mean) * concentration
+    score = 1.0 + 4.0 * rng.beta(a, b)
+    return round(min(5.0, max(1.0, score)), 1)

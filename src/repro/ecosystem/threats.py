@@ -1,0 +1,192 @@
+"""Malware families, payloads, and grayware.
+
+The simulated threat landscape mirrors Figure 12's family mix:
+
+* **Adware families** (kuguo, airpush, revmob, dowgin, ...) — SMS/IMEI
+  harvesting ad payloads detected by a fifth or so of engines each, the
+  bulk of "AV-rank >= 10" malware in Chinese markets.
+* **Trojan families** (smsreg, gappusin, smspay, ...) — broader engine
+  coverage.
+* **High-profile families** (ramnit, mofin) and the **EICAR** test file —
+  detected by most engines, populating the paper's Table 5 top-10.
+
+A *threat profile* attached to an app blueprint injects a payload code
+package into every APK built for it.  Payload features are a pure
+function of (family, variant), so anti-virus vendors — who possess the
+samples — can build signature databases without touching any other
+ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.apk.models import API_FEATURE_RANGE, CodePackage
+from repro.util.rng import stable_hash64
+
+__all__ = [
+    "MalwareFamily",
+    "MALWARE_FAMILIES",
+    "CHINESE_FAMILY_WEIGHTS",
+    "GP_FAMILY_WEIGHTS",
+    "ThreatProfile",
+    "ThreatFeed",
+    "payload_code",
+    "GRAYWARE_BREADTH",
+    "JIAGU_HEURISTIC_BREADTH",
+]
+
+#: Fraction of engines whose signature DB covers a grayware (aggressive
+#: ad SDK) entry.  Low: only weak/aggressive engines flag these, so they
+#: produce AV-rank 1–9 ("flagged by at least one engine") but rarely >=10.
+GRAYWARE_BREADTH = 0.055
+
+#: Fraction of engines heuristically flagging 360-Jiagubao-packed apps.
+#: Tuned so a packed, otherwise-clean app is flagged by >=1 engine ~15%
+#: of the time (1 - (1-b)^60), keeping 360 Market's Table 4 ">=1" rate
+#: near the paper's 41.4% once grayware and malware are added.
+JIAGU_HEURISTIC_BREADTH = 0.0027
+
+
+@dataclass(frozen=True)
+class MalwareFamily:
+    """One malware family and its detection characteristics."""
+
+    name: str
+    kind: str  # "adware" | "trojan" | "high_profile" | "test"
+    breadth: float  # mean fraction of engines with signatures for it
+    payload_package: str
+
+    def __post_init__(self) -> None:
+        if not 0 < self.breadth <= 1:
+            raise ValueError(f"{self.name}: breadth must be in (0,1]")
+
+
+def _fam(name: str, kind: str, breadth: float, pkg: Optional[str] = None):
+    return MalwareFamily(name, kind, breadth, pkg or f"com.{name}.core")
+
+
+MALWARE_FAMILIES: Dict[str, MalwareFamily] = {
+    f.name: f
+    for f in (
+        # Adware-class families (Figure 12's Chinese-market leaders).
+        _fam("kuguo", "adware", 0.25, "com.kuguo.push"),
+        _fam("airpush", "adware", 0.26, "com.airpush.inject"),
+        _fam("revmob", "adware", 0.25, "com.revmob.ads.inject"),
+        _fam("dowgin", "adware", 0.25),
+        _fam("youmi", "adware", 0.24, "net.youmi.android.inject"),
+        _fam("leadbolt", "adware", 0.24, "com.pad.android.inject"),
+        _fam("adwo", "adware", 0.23, "com.adwo.adsdk.inject"),
+        _fam("domob", "adware", 0.23, "cn.domob.android.inject"),
+        _fam("commplat", "adware", 0.22),
+        _fam("adend", "adware", 0.22),
+        _fam("kyview", "adware", 0.22),
+        _fam("feiwo", "adware", 0.22),
+        _fam("utchi", "adware", 0.22),
+        # Trojan-class families.
+        _fam("smsreg", "trojan", 0.36),
+        _fam("gappusin", "trojan", 0.33),
+        _fam("secapk", "trojan", 0.31),
+        _fam("smspay", "trojan", 0.36),
+        _fam("plankton", "trojan", 0.30),
+        _fam("basebridge", "trojan", 0.33),
+        _fam("droidkungfu", "trojan", 0.35),
+        _fam("ginmaster", "trojan", 0.31),
+        # High-profile families and the EICAR test signature (Table 5).
+        _fam("ramnit", "high_profile", 0.74),
+        _fam("mofin", "high_profile", 0.72),
+        _fam("eicar", "test", 0.76, "com.eicar.test"),
+    )
+}
+
+#: Family sampling weights for malware injected into Chinese-market apps
+#: (Figure 12, Chinese markets series: kuguo leads at 12.69%).
+CHINESE_FAMILY_WEIGHTS: Dict[str, float] = {
+    "kuguo": 0.1269, "smsreg": 0.095, "dowgin": 0.085, "gappusin": 0.072,
+    "secapk": 0.062, "youmi": 0.058, "airpush": 0.050, "leadbolt": 0.047,
+    "adwo": 0.043, "domob": 0.042, "commplat": 0.038, "adend": 0.033,
+    "smspay": 0.032, "revmob": 0.020, "kyview": 0.035, "feiwo": 0.030,
+    "utchi": 0.028, "plankton": 0.040, "basebridge": 0.035,
+    "droidkungfu": 0.040, "ginmaster": 0.035, "ramnit": 0.012,
+    "mofin": 0.002,
+}
+
+#: Family weights for Google Play malware (airpush 29.04%, revmob 15.09%).
+GP_FAMILY_WEIGHTS: Dict[str, float] = {
+    "airpush": 0.2904, "revmob": 0.1509, "leadbolt": 0.075, "youmi": 0.032,
+    "dowgin": 0.022, "kuguo": 0.006, "smsreg": 0.045, "plankton": 0.060,
+    "ginmaster": 0.045, "droidkungfu": 0.040, "basebridge": 0.035,
+    "gappusin": 0.030, "secapk": 0.025, "smspay": 0.020, "kyview": 0.015,
+    "feiwo": 0.012, "utchi": 0.010, "adwo": 0.015, "domob": 0.015,
+    "commplat": 0.010, "adend": 0.008, "ramnit": 0.004, "mofin": 0.001,
+}
+
+
+@dataclass(frozen=True)
+class ThreatProfile:
+    """Ground-truth malice attached to one app blueprint."""
+
+    family: str
+    variant: int
+    repackaged: bool = False  # True when this malware is a clone/repack
+
+    @property
+    def family_def(self) -> MalwareFamily:
+        return MALWARE_FAMILIES[self.family]
+
+
+def payload_code(family: str, variant: int) -> CodePackage:
+    """Generate the payload code package for a (family, variant) pair.
+
+    Pure and deterministic: the ecosystem uses it to infect APKs, and
+    anti-virus vendors use it to compute the signatures in their
+    databases (they have the samples).  Payloads call permission-guarded
+    APIs — SMS, phone state — which also inflates the permission
+    footprint of infected apps.
+    """
+    fam = MALWARE_FAMILIES[family]
+    rng = np.random.default_rng(stable_hash64("payload", family, variant) % 2**63)
+    api_lo, api_hi = API_FEATURE_RANGE
+    # Payloads are small relative to the host app's own code, as in real
+    # repackaged malware — a repack stays within clone-detection range.
+    size = int(rng.integers(6, 11))
+    features: Dict[int, int] = {}
+    for _ in range(size):
+        features[int(rng.integers(api_lo, api_hi))] = int(rng.integers(1, 3))
+    blocks = tuple(
+        int(stable_hash64("payload-block", family, variant, i) & 0xFFFFFFFF)
+        for i in range(6)
+    )
+    return CodePackage(name=fam.payload_package, features=features, blocks=blocks)
+
+
+class ThreatFeed:
+    """Registry of the threat variants actually present in a world.
+
+    The generator records every (family, variant) it injects; tests and
+    detector-quality experiments use it as ground truth.  The simulated
+    VirusTotal does *not* read it — engines recognize payloads through
+    :func:`payload_code` digests, mirroring vendors' sample collections.
+    """
+
+    def __init__(self) -> None:
+        self._variants: Dict[Tuple[str, int], int] = {}
+
+    def record(self, profile: ThreatProfile) -> None:
+        key = (profile.family, profile.variant)
+        self._variants[key] = self._variants.get(key, 0) + 1
+
+    @property
+    def variants(self) -> Tuple[Tuple[str, int], ...]:
+        return tuple(sorted(self._variants))
+
+    def count(self, family: str) -> int:
+        return sum(
+            n for (fam, _), n in self._variants.items() if fam == family
+        )
+
+    def __len__(self) -> int:
+        return len(self._variants)

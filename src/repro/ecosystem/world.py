@@ -1,0 +1,81 @@
+"""The generated world: ground truth for one study run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.ecosystem.apps import AppBlueprint, Placement
+from repro.ecosystem.developers import Developer
+from repro.ecosystem.libraries import LibraryCatalog
+from repro.ecosystem.threats import ThreatFeed
+
+__all__ = ["World", "VettingRecord"]
+
+
+@dataclass(frozen=True)
+class VettingRecord:
+    """One vetting decision made by a market at submission time."""
+
+    market_id: str
+    app_id: int
+    accepted: bool
+    reason: str
+
+
+@dataclass
+class World:
+    """Ground truth for one study: apps, developers, libraries, threats.
+
+    Markets and analyses must not reach into this object; it exists for
+    generation, for serving stores, and for ground-truth validation in
+    tests and detector-quality experiments.
+    """
+
+    seed: int
+    scale: float
+    catalog: LibraryCatalog
+    developers: List[Developer] = field(default_factory=list)
+    apps: List[AppBlueprint] = field(default_factory=list)
+    threat_feed: ThreatFeed = field(default_factory=ThreatFeed)
+    vetting_log: List[VettingRecord] = field(default_factory=list)
+
+    def app(self, app_id: int) -> AppBlueprint:
+        blueprint = self.apps[app_id]
+        if blueprint.app_id != app_id:
+            raise AssertionError("app list out of order")
+        return blueprint
+
+    def iter_placements(self) -> Iterator[Tuple[AppBlueprint, Placement]]:
+        """Yield every (app, placement) pair."""
+        for app in self.apps:
+            for placement in app.placements.values():
+                yield app, placement
+
+    def apps_in_market(self, market_id: str) -> List[AppBlueprint]:
+        return [app for app in self.apps if market_id in app.placements]
+
+    def market_size(self, market_id: str) -> int:
+        return sum(1 for app in self.apps if market_id in app.placements)
+
+    def total_listings(self) -> int:
+        return sum(len(app.placements) for app in self.apps)
+
+    def find_by_package(self, package: str) -> List[AppBlueprint]:
+        return [app for app in self.apps if app.package == package]
+
+    def summary(self) -> Dict[str, int]:
+        """Quick ground-truth tallies (for logging and examples)."""
+        n_threat = sum(1 for a in self.apps if a.threat is not None)
+        n_fake = sum(1 for a in self.apps if a.provenance == "fake")
+        n_sb = sum(1 for a in self.apps if a.provenance == "sb_clone")
+        n_cb = sum(1 for a in self.apps if a.provenance == "cb_clone")
+        return {
+            "apps": len(self.apps),
+            "developers": len(self.developers),
+            "listings": self.total_listings(),
+            "threat_apps": n_threat,
+            "fake_apps": n_fake,
+            "sb_clones": n_sb,
+            "cb_clones": n_cb,
+        }

@@ -1,0 +1,11 @@
+"""Experiments: one module per paper table and figure.
+
+``run_experiment("table4", result)`` regenerates the corresponding
+artifact from a :class:`~repro.core.study.StudyResult`.  The DESIGN.md
+per-experiment index maps each id to its paper artifact, workload, and
+bench target.
+"""
+
+from repro.experiments.runner import EXPERIMENT_IDS, run_all, run_experiment
+
+__all__ = ["EXPERIMENT_IDS", "run_all", "run_experiment"]

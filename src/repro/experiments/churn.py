@@ -1,0 +1,50 @@
+"""Longitudinal catalog churn between the two campaigns (Section 7 extra).
+
+Requires a study run with ``full_second_crawl=True``; otherwise the
+report carries a note and no rows.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.longitudinal import compare_snapshots
+from repro.core.reports import TableReport
+from repro.core.study import StudyResult
+from repro.markets.profiles import ALL_MARKET_IDS, get_profile
+
+__all__ = ["run"]
+
+
+def run(result: StudyResult) -> TableReport:
+    table = TableReport(
+        experiment_id="churn",
+        title="Catalog churn between campaigns (longitudinal extra)",
+        columns=(
+            "market", "first", "second", "removed_pct", "upgraded_pct",
+            "flagged_removed_pct",
+        ),
+    )
+    if result.second_snapshot is None:
+        table.notes.append(
+            "no second snapshot: run the study with full_second_crawl=True"
+        )
+        return table
+    churn = compare_snapshots(
+        result.snapshot, result.second_snapshot, result.flagged_by_market
+    )
+    for market_id in ALL_MARKET_IDS:
+        stats = churn.get(market_id)
+        if stats is None:
+            continue
+        table.add_row(
+            get_profile(market_id).display_name,
+            stats.first_size,
+            stats.second_size,
+            round(100 * stats.removal_share, 2),
+            round(100 * stats.upgrade_share, 2),
+            round(100 * stats.flagged_removal_share, 2),
+        )
+    table.notes.append(
+        "flagged removals should exceed background churn in markets with "
+        "active security cleanup (GP most; PC Online not at all)"
+    )
+    return table

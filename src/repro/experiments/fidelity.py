@@ -1,0 +1,141 @@
+"""Fidelity scorecard: how close is measured to the paper, numerically.
+
+One row per calibrated artifact with an appropriate agreement metric:
+
+* **rank correlation** (Spearman's rho) where the paper's finding is an
+  *ordering* of markets (Figure 9 freshness, Table 4 malware rates,
+  Table 6 removal rates);
+* **mean absolute error** in percentage points where the paper reports
+  per-market percentages (Tables 3-4, Figure 5);
+* **mean L1 distance** between share vectors where the artifact is a
+  distribution (Figure 2's download-bin rows).
+
+This experiment is the reproduction's self-check; it also anchors the
+summary at the top of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.downloads import download_bin_distribution
+from repro.analysis.libraries import market_tpl_stats
+from repro.analysis.malware import av_rank_rates
+from repro.analysis.publishing import highest_version_shares
+from repro.core.reports import TableReport
+from repro.core.study import StudyResult
+from repro.markets.profiles import ALL_MARKET_IDS, get_profile
+from repro.util.stats import l1_distance, mean_absolute_error, spearman_rank_correlation
+
+__all__ = ["run", "scorecard"]
+
+
+def _paired(
+    measured: Dict[str, float], paper: Dict[str, float]
+) -> Tuple[List[float], List[float]]:
+    markets = [
+        m for m in ALL_MARKET_IDS
+        if measured.get(m) is not None and paper.get(m) is not None
+    ]
+    return (
+        [measured[m] for m in markets],
+        [paper[m] for m in markets],
+    )
+
+
+def scorecard(result: StudyResult) -> List[Tuple[str, str, float]]:
+    """Compute (artifact, metric, value) rows."""
+    snapshot = result.snapshot
+    rows: List[Tuple[str, str, float]] = []
+
+    # Figure 2: download bin rows, mean L1 across reporting markets.
+    distances = []
+    for market_id in ALL_MARKET_IDS:
+        profile = get_profile(market_id)
+        if not profile.reports_downloads:
+            continue
+        target = list(profile.download_bin_shares)
+        total = sum(target)
+        if total <= 0:
+            continue
+        target = [v / total for v in target]
+        measured = download_bin_distribution(snapshot, market_id)
+        if sum(measured) == 0:
+            continue
+        distances.append(l1_distance(measured, target))
+    if distances:
+        rows.append(("figure2 download bins", "mean L1 distance",
+                     sum(distances) / len(distances)))
+
+    # Table 3: fake / SB / CB rates, MAE in percentage points.
+    fake = result.fakes.market_rates(snapshot)
+    sb = result.signature_clones.market_rates(snapshot)
+    cb = result.code_clones.market_rates(snapshot)
+    for name, measured_rates, attr in (
+        ("table3 fake apps", fake, "fake_rate"),
+        ("table3 signature clones", sb, "sb_clone_rate"),
+        ("table3 code clones", cb, "cb_clone_rate"),
+    ):
+        measured = {m: 100 * measured_rates.get(m, 0.0) for m in ALL_MARKET_IDS}
+        paper = {m: getattr(get_profile(m), attr) for m in ALL_MARKET_IDS}
+        a, b = _paired(measured, paper)
+        rows.append((name, "MAE (pct points)", mean_absolute_error(a, b)))
+
+    # Table 4: AV-rank rates, MAE + rank correlation on >=10.
+    rates = av_rank_rates(snapshot, result.units, result.vt_scan)
+    for threshold, attr in ((1, "av1_rate"), (10, "av10_rate"), (20, "av20_rate")):
+        measured = {m: 100 * rates.get(m, {}).get(threshold, 0.0)
+                    for m in ALL_MARKET_IDS}
+        paper = {m: getattr(get_profile(m), attr) for m in ALL_MARKET_IDS}
+        a, b = _paired(measured, paper)
+        rows.append((f"table4 AV-rank >= {threshold}", "MAE (pct points)",
+                     mean_absolute_error(a, b)))
+        if threshold == 10:
+            rows.append((f"table4 AV-rank >= {threshold}", "rank correlation",
+                         spearman_rank_correlation(a, b)))
+
+    # Table 6: removal shares, rank correlation.
+    measured = {m: 100 * v for m, v in result.removal.removal_share.items()}
+    paper = {
+        m: get_profile(m).malware_removal_rate
+        for m in ALL_MARKET_IDS
+        if get_profile(m).malware_removal_rate is not None
+    }
+    a, b = _paired(measured, paper)
+    if len(a) >= 2:
+        rows.append(("table6 malware removal", "rank correlation",
+                     spearman_rank_correlation(a, b)))
+        rows.append(("table6 malware removal", "MAE (pct points)",
+                     mean_absolute_error(a, b)))
+
+    # Figure 9: freshness ordering.
+    measured = highest_version_shares(snapshot)
+    paper = {m: get_profile(m).highest_version_share for m in ALL_MARKET_IDS}
+    a, b = _paired(measured, paper)
+    rows.append(("figure9 highest-version share", "rank correlation",
+                 spearman_rank_correlation(a, b)))
+
+    # Figure 5: TPL presence and average counts.
+    stats = market_tpl_stats(result.units, result.library_detection)
+    measured = {m: stats.get(m, {}).get("avg_count") for m in ALL_MARKET_IDS}
+    paper = {m: get_profile(m).tpl_avg_count for m in ALL_MARKET_IDS}
+    a, b = _paired(measured, paper)
+    if len(a) >= 2:
+        rows.append(("figure5 avg TPL count", "MAE (libraries)",
+                     mean_absolute_error(a, b)))
+    return rows
+
+
+def run(result: StudyResult) -> TableReport:
+    table = TableReport(
+        experiment_id="fidelity",
+        title="Fidelity scorecard: measured vs paper",
+        columns=("artifact", "metric", "value"),
+    )
+    for artifact, metric, value in scorecard(result):
+        table.add_row(artifact, metric, round(value, 3))
+    table.notes.append(
+        "rank correlations near 1.0 mean the per-market ordering matches "
+        "the paper; MAE rows are in the units named"
+    )
+    return table

@@ -1,0 +1,44 @@
+"""Figure 10: intra- and inter-market app clone heatmap."""
+
+from __future__ import annotations
+
+from repro.core.plots import heatmap as render_heatmap
+from repro.core.reports import FigureReport
+from repro.core.study import StudyResult
+from repro.markets.profiles import ALL_MARKET_IDS, GOOGLE_PLAY
+
+__all__ = ["run"]
+
+
+def run(result: StudyResult) -> FigureReport:
+    heatmap = result.code_clones.heatmap(result.units_by_key, ALL_MARKET_IDS)
+    source_totals = {m: 0 for m in ALL_MARKET_IDS}
+    dest_totals = {m: 0 for m in ALL_MARKET_IDS}
+    intra = 0
+    for (src, dst), count in heatmap.items():
+        source_totals[src] += count
+        dest_totals[dst] += count
+        if src == dst:
+            intra += count
+    total = sum(source_totals.values())
+    figure = FigureReport(
+        experiment_id="figure10",
+        title="Intra- and inter-market app clones (source -> destination)",
+        data={
+            "heatmap": {f"{src}->{dst}": c for (src, dst), c in heatmap.items() if c},
+            "heatmap_plot": "\n" + render_heatmap(
+                heatmap, rows=ALL_MARKET_IDS, columns=ALL_MARKET_IDS
+            ),
+            "source_totals": source_totals,
+            "destination_totals": dest_totals,
+            "intra_market_clones": intra,
+            "gp_source_share": (
+                source_totals.get(GOOGLE_PLAY, 0) / total if total else 0.0
+            ),
+        },
+    )
+    figure.notes.append(
+        "paper: Google Play is the premier clone source; 25PP receives the "
+        "most clones; intra-market clones are also common"
+    )
+    return figure

@@ -1,0 +1,28 @@
+"""Figure 12: top malware families, Google Play vs Chinese markets."""
+
+from __future__ import annotations
+
+from repro.analysis.malware import family_distribution, repackaged_share
+from repro.core.reports import FigureReport
+from repro.core.study import StudyResult
+
+__all__ = ["run"]
+
+
+def run(result: StudyResult) -> FigureReport:
+    families = family_distribution(result.units, result.vt_scan)
+    repack = repackaged_share(result.vt_scan, result.all_clone_units)
+    figure = FigureReport(
+        experiment_id="figure12",
+        title="Top malware families (AVClass-style labeling)",
+        data={
+            "chinese": dict(list(families["chinese"].items())[:15]),
+            "google_play": dict(list(families["google_play"].items())[:15]),
+            "repackaged_malware_share": repack,
+        },
+    )
+    figure.notes.append(
+        "paper: kuguo leads Chinese markets (12.69%); airpush (29.04%) and "
+        "revmob (15.09%) dominate Google Play; 38.3% of malware is repackaged"
+    )
+    return figure

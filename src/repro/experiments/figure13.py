@@ -1,0 +1,47 @@
+"""Figure 13: multi-dimensional market comparison radar."""
+
+from __future__ import annotations
+
+from repro.analysis.downloads import aggregated_downloads
+from repro.analysis.malware import av_rank_rates
+from repro.analysis.publishing import highest_version_shares
+from repro.analysis.radar import RADAR_MARKETS, radar_series
+from repro.core.reports import FigureReport
+from repro.core.study import StudyResult
+
+__all__ = ["run"]
+
+
+def run(result: StudyResult) -> FigureReport:
+    snapshot = result.snapshot
+    rates = av_rank_rates(snapshot, result.units, result.vt_scan)
+    fake_rates = result.fakes.market_rates(snapshot)
+    cb_rates = result.code_clones.market_rates(snapshot)
+    freshness = highest_version_shares(snapshot)
+
+    def mean_rating(market: str) -> float:
+        records = snapshot.in_market(market)
+        rated = [r.rating for r in records if r.rating > 0]
+        return sum(rated) / len(rated) if rated else 0.0
+
+    raw = {
+        "malware_resistance": {m: rates.get(m, {}).get(10) for m in RADAR_MARKETS},
+        "fake_resistance": {m: fake_rates.get(m) for m in RADAR_MARKETS},
+        "clone_resistance": {m: cb_rates.get(m) for m in RADAR_MARKETS},
+        "app_ratings": {m: mean_rating(m) for m in RADAR_MARKETS},
+        "catalog_freshness": {m: freshness.get(m) for m in RADAR_MARKETS},
+        "malware_removal": {
+            m: result.removal.removal_share.get(m) for m in RADAR_MARKETS
+        },
+    }
+    figure = FigureReport(
+        experiment_id="figure13",
+        title="Multi-dimensional comparison (normalized to [0, 100])",
+        data={"series": radar_series(raw), "raw": raw},
+    )
+    figure.notes.append(
+        "paper: Google Play dominates most dimensions; Huawei/Lenovo show "
+        "low malware but many outdated apps; Tencent/PC Online host "
+        "substantial malware"
+    )
+    return figure

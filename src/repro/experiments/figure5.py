@@ -1,0 +1,32 @@
+"""Figure 5: third-party and advertisement library presence per market."""
+
+from __future__ import annotations
+
+from repro.analysis.libraries import market_tpl_stats
+from repro.core.reports import FigureReport
+from repro.core.study import StudyResult
+from repro.markets.profiles import ALL_MARKET_IDS, get_profile
+
+__all__ = ["run"]
+
+
+def run(result: StudyResult) -> FigureReport:
+    stats = market_tpl_stats(result.units, result.library_detection)
+    figure = FigureReport(
+        experiment_id="figure5",
+        title="Third-party / ad library presence across app stores",
+        data={
+            "tpl_presence": {m: stats.get(m, {}).get("presence") for m in ALL_MARKET_IDS},
+            "tpl_avg_count": {m: stats.get(m, {}).get("avg_count") for m in ALL_MARKET_IDS},
+            "ad_presence": {m: stats.get(m, {}).get("ad_presence") for m in ALL_MARKET_IDS},
+            "ad_avg_count": {m: stats.get(m, {}).get("avg_ad_count") for m in ALL_MARKET_IDS},
+            "paper_tpl_presence": {m: get_profile(m).tpl_presence for m in ALL_MARKET_IDS},
+            "paper_tpl_avg_count": {m: get_profile(m).tpl_avg_count for m in ALL_MARKET_IDS},
+            "paper_ad_presence": {m: get_profile(m).adlib_presence for m in ALL_MARKET_IDS},
+        },
+    )
+    figure.notes.append(
+        "paper: GP has the highest TPL presence (~94%) but the lowest "
+        "average count (~8); 360 Market apps average ~20 TPLs"
+    )
+    return figure

@@ -1,0 +1,44 @@
+"""Figure 7: CDF of markets targeted per developer."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis.publishing import (
+    developer_market_cdf_counts,
+    developer_name_variants,
+    developer_stats,
+)
+from repro.core.reports import FigureReport
+from repro.core.study import StudyResult
+
+__all__ = ["run"]
+
+
+def run(result: StudyResult) -> FigureReport:
+    counts = developer_market_cdf_counts(result.units)
+    histogram = Counter(counts)
+    total = len(counts) or 1
+    cdf = {}
+    running = 0
+    for k in range(1, 18):
+        running += histogram.get(k, 0)
+        cdf[k] = running / total
+    stats = developer_stats(result.units)
+    variants = developer_name_variants(result.units)
+    figure = FigureReport(
+        experiment_id="figure7",
+        title="CDF of developer published markets",
+        data={"cdf": cdf, **stats,
+              "name_variants": variants},
+    )
+    figure.notes.append(
+        "footnote 11: one signing key may appear under several display "
+        "names across markets — identity comes from the signature"
+    )
+    figure.notes.append(
+        "paper: >50% of developers publish in Google Play; 57% of those "
+        "publish nowhere else; ~48% are Chinese-market-only; ~20% target "
+        ">3 stores; 696 of ~1M developers cover all 17"
+    )
+    return figure

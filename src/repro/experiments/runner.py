@@ -1,0 +1,73 @@
+"""Experiment registry and runner."""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from repro.core.reports import FigureReport, TableReport
+from repro.core.study import StudyResult
+from repro.experiments import (
+    churn, fidelity, figure1, figure2, figure3, figure4, figure5, figure6,
+    figure7, figure8, figure9, figure10, figure11, figure12, figure13,
+    section52, section53, section64,
+    table1, table2, table3, table4, table5, table6,
+)
+
+__all__ = ["EXPERIMENT_IDS", "PAPER_EXPERIMENT_IDS", "run_experiment", "run_all"]
+
+Report = Union[TableReport, FigureReport]
+
+_REGISTRY = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure9": figure9.run,
+    "figure10": figure10.run,
+    "figure11": figure11.run,
+    "figure12": figure12.run,
+    "figure13": figure13.run,
+    # Section-level findings without a dedicated paper table/figure.
+    "section52": section52.run,
+    "section53": section53.run,
+    "section64": section64.run,
+    # Longitudinal extra (needs full_second_crawl=True).
+    "churn": churn.run,
+    # The reproduction's numeric self-check.
+    "fidelity": fidelity.run,
+}
+
+EXPERIMENT_IDS = tuple(_REGISTRY)
+
+#: The ids corresponding one-to-one to the paper's tables and figures
+#: (6 tables + 13 figures; the rest are section-level/self-check extras).
+PAPER_EXPERIMENT_IDS = tuple(
+    e for e in EXPERIMENT_IDS if e.startswith(("table", "figure"))
+)
+
+
+def run_experiment(experiment_id: str, result: StudyResult) -> Report:
+    """Regenerate one paper table or figure from a study result."""
+    try:
+        runner = _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(EXPERIMENT_IDS)}"
+        ) from None
+    return runner(result)
+
+
+def run_all(result: StudyResult) -> Dict[str, Report]:
+    """Regenerate every table and figure."""
+    return {exp_id: run_experiment(exp_id, result) for exp_id in EXPERIMENT_IDS}

@@ -1,0 +1,38 @@
+"""Section 5.2: single- and multi-store apps."""
+
+from __future__ import annotations
+
+from repro.analysis.publishing import gp_overlap_share, single_store_shares
+from repro.core.reports import TableReport
+from repro.core.study import StudyResult
+from repro.markets.profiles import ALL_MARKET_IDS, GOOGLE_PLAY, get_profile
+
+__all__ = ["run"]
+
+
+def run(result: StudyResult) -> TableReport:
+    table = TableReport(
+        experiment_id="section52",
+        title="Single- and multi-store apps (Section 5.2)",
+        columns=("market", "single_store_pct", "paper_single_pct", "gp_overlap_pct"),
+    )
+    singles = single_store_shares(result.snapshot)
+    for market_id in ALL_MARKET_IDS:
+        profile = get_profile(market_id)
+        overlap = (
+            None
+            if market_id == GOOGLE_PLAY
+            else round(100 * gp_overlap_share(result.snapshot, market_id), 1)
+        )
+        table.add_row(
+            profile.display_name,
+            round(100 * singles.get(market_id, 0.0), 1),
+            round(100 * profile.single_store_share, 1),
+            overlap,
+        )
+    table.notes.append(
+        "paper: 77% of Google Play apps are single-store; 20-30% of Chinese "
+        "markets' apps are also in Google Play; AnZhi/OPPO/25PP exceed 20% "
+        "single-store while Wandoujia/Meizu stay below 1%"
+    )
+    return table

@@ -1,0 +1,33 @@
+"""Section 6.4 extras: repackaged-malware share."""
+
+from __future__ import annotations
+
+from repro.analysis.malware import repackaged_share
+from repro.core.reports import FigureReport
+from repro.core.study import StudyResult
+
+__all__ = ["run"]
+
+
+def run(result: StudyResult) -> FigureReport:
+    share = repackaged_share(result.vt_scan, result.all_clone_units)
+    sb_only = repackaged_share(
+        result.vt_scan, set(result.signature_clones.clone_units)
+    )
+    cb_only = repackaged_share(result.vt_scan, set(result.code_clones.clone_units))
+    figure = FigureReport(
+        experiment_id="section64",
+        title="Repackaged malware share (Section 6.4)",
+        data={
+            "repackaged_share": share,
+            "via_signature_clones": sb_only,
+            "via_code_clones": cb_only,
+            "malware_units": len(result.vt_scan.flagged_units(10)),
+        },
+    )
+    figure.notes.append(
+        "paper: only 38.3% of malware samples are repackaged apps — "
+        "repackaging is no longer the dominant spreading strategy (contrast "
+        "with the Android Genome Project's 86% in 2011)"
+    )
+    return figure

@@ -1,0 +1,98 @@
+"""Table 1: dataset size and market features.
+
+Measured columns (catalog size, aggregated downloads, developer counts,
+unique-developer shares) come from the crawl snapshot; policy feature
+flags come from the market profiles (they describe store behavior, not
+measurements).  Paper values are attached for side-by-side comparison —
+sizes are expected to match the paper's *proportions* at the configured
+scale, not its absolute counts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.downloads import aggregated_downloads
+from repro.analysis.publishing import market_developer_counts
+from repro.core.reports import TableReport
+from repro.core.study import StudyResult
+from repro.markets.profiles import ALL_MARKET_IDS, get_profile
+
+__all__ = ["run"]
+
+_KIND_LABEL = {
+    "official": "Official",
+    "web": "Web Co.",
+    "vendor": "HW Vendor",
+    "specialized": "Specialized",
+}
+
+
+def _flags(profile) -> str:
+    parts = []
+    parts.append("C" if profile.copyright_check else "-")
+    parts.append("V" if profile.app_vetting else "-")
+    parts.append("S" if profile.security_check else "-")
+    parts.append("H" if profile.human_inspection else "-")
+    return "".join(parts)
+
+
+def _incentives(profile) -> str:
+    """Table 1's three publishing-incentive columns plus transparency."""
+    parts = []
+    parts.append("E" if profile.incentive_exclusive else "-")  # exclusivity promo
+    parts.append("Q" if profile.incentive_quality else "-")  # quality promo
+    parts.append("C" if profile.incentive_editors else "-")  # editors' choice
+    parts.append("P" if profile.privacy_policy_required else "-")
+    parts.append("A" if profile.reports_ads else "-")
+    parts.append("I" if profile.reports_iap else "-")
+    return "".join(parts)
+
+
+def run(result: StudyResult) -> TableReport:
+    table = TableReport(
+        experiment_id="table1",
+        title="Dataset size and market features",
+        columns=(
+            "market", "type", "apps", "paper_share", "downloads_B",
+            "developers", "unique_dev_pct", "paper_unique_pct",
+            "checks(CVSH)", "incentives(EQCPAI)", "vetting_days",
+        ),
+    )
+    dev_stats = market_developer_counts(result.units)
+    snapshot = result.snapshot
+    total_listings = max(1, len(snapshot))
+    paper_total = sum(get_profile(m).paper_size for m in ALL_MARKET_IDS)
+    for market_id in ALL_MARKET_IDS:
+        profile = get_profile(market_id)
+        size = snapshot.market_size(market_id)
+        downloads_b = aggregated_downloads(snapshot, market_id) / 1e9
+        devs = dev_stats.get(market_id, {"developers": 0.0, "unique_share": 0.0})
+        vetting = (
+            "-" if profile.vetting_days is None
+            else f"{profile.vetting_days[0]:g}-{profile.vetting_days[1]:g}"
+        )
+        table.add_row(
+            profile.display_name,
+            _KIND_LABEL[profile.kind],
+            size,
+            f"{size / total_listings:.3f} vs {profile.paper_size / paper_total:.3f}",
+            round(downloads_b, 3) if downloads_b else None,
+            int(devs["developers"]),
+            round(100 * devs["unique_share"], 1),
+            profile.paper_unique_dev_pct,
+            _flags(profile),
+            _incentives(profile),
+            vetting,
+        )
+    table.notes.append(
+        f"scale={result.config.scale}: sizes are paper-proportional, "
+        f"not absolute (paper total: 6,267,247 listings)"
+    )
+    table.notes.append(
+        "checks: C=copyright, V=vetting, S=security check, H=human inspection"
+    )
+    table.notes.append(
+        "incentives/transparency: E=exclusive promo, Q=quality promo, "
+        "C=editors' choice, P=privacy policy required, A=reports ads, "
+        "I=reports in-app purchases"
+    )
+    return table

@@ -1,0 +1,58 @@
+"""Table 2: top 10 third-party libraries, Google Play vs Chinese markets."""
+
+from __future__ import annotations
+
+from repro.analysis.libraries import top_libraries_table
+from repro.core.reports import TableReport
+from repro.core.study import StudyResult
+
+__all__ = ["run", "PAPER_TOP_GP", "PAPER_TOP_CHINESE"]
+
+#: The paper's Table 2 (package, type, usage %).
+PAPER_TOP_GP = (
+    ("com.google.android.gms", "Development", 66.1),
+    ("com.google.ads", "Advertisement", 62.1),
+    ("com.facebook", "Social Networking", 21.5),
+    ("org.apache", "Development", 20.5),
+    ("com.squareup", "Payment", 13.8),
+    ("com.google.gson", "Development", 12.9),
+    ("com.android.vending", "Payment", 12.5),
+    ("com.unity3d", "Game Engine", 11.8),
+    ("org.fmod", "Game Engine", 9.6),
+    ("com.google.firebase", "Development", 9.0),
+)
+
+PAPER_TOP_CHINESE = (
+    ("com.google.ads", "Advertisement", 25.7),
+    ("org.apache", "Development", 24.1),
+    ("com.google.android.gms", "Development", 20.5),
+    ("com.tencent.mm", "Social Networking", 17.3),
+    ("com.baidu", "Development, Map", 16.9),
+    ("com.umeng", "Analytics, Advertisement", 16.5),
+    ("com.google.gson", "Development", 16.3),
+    ("com.alipay", "Payment", 11.0),
+    ("com.facebook", "Social Networking", 10.7),
+    ("com.nostra13", "Development", 10.6),
+)
+
+
+def run(result: StudyResult) -> TableReport:
+    table = TableReport(
+        experiment_id="table2",
+        title="Top 10 third-party libraries (LibRadar-style detection)",
+        columns=("corpus", "rank", "library", "category", "usage_pct"),
+    )
+    tops = top_libraries_table(result.units, result.library_detection, top_n=10)
+    for corpus_name, rows in (("google_play", tops["google_play"]),
+                              ("chinese", tops["chinese"])):
+        for rank, (identity, usage, category) in enumerate(rows, start=1):
+            table.add_row(corpus_name, rank, identity, category,
+                          round(100 * usage, 1))
+    table.notes.append(
+        "paper top-10 (GP): " + ", ".join(f"{p} {u}%" for p, _, u in PAPER_TOP_GP)
+    )
+    table.notes.append(
+        "paper top-10 (CN): "
+        + ", ".join(f"{p} {u}%" for p, _, u in PAPER_TOP_CHINESE)
+    )
+    return table

@@ -1,0 +1,41 @@
+"""Table 3: fake and cloned apps across stores."""
+
+from __future__ import annotations
+
+from repro.core.reports import TableReport
+from repro.core.study import StudyResult
+from repro.markets.profiles import ALL_MARKET_IDS, get_profile
+
+__all__ = ["run"]
+
+
+def run(result: StudyResult) -> TableReport:
+    table = TableReport(
+        experiment_id="table3",
+        title="Fake and cloned apps across stores (%)",
+        columns=(
+            "market", "fake_pct", "paper_fake", "sb_pct", "paper_sb",
+            "cb_pct", "paper_cb",
+        ),
+    )
+    fake_rates = result.fakes.market_rates(result.snapshot)
+    sb_rates = result.signature_clones.market_rates(result.snapshot)
+    cb_rates = result.code_clones.market_rates(result.snapshot)
+    for market_id in ALL_MARKET_IDS:
+        profile = get_profile(market_id)
+        table.add_row(
+            profile.display_name,
+            round(100 * fake_rates.get(market_id, 0.0), 2),
+            profile.fake_rate,
+            round(100 * sb_rates.get(market_id, 0.0), 2),
+            profile.sb_clone_rate,
+            round(100 * cb_rates.get(market_id, 0.0), 2),
+            profile.cb_clone_rate,
+        )
+    avg = lambda rates: round(
+        100 * sum(rates.get(m, 0.0) for m in ALL_MARKET_IDS) / len(ALL_MARKET_IDS), 2
+    )
+    table.add_row("Average", avg(fake_rates), 0.60, avg(sb_rates), 7.24,
+                  avg(cb_rates), 19.61)
+    table.notes.append("SB = signature-based clones, CB = code-based (WuKong)")
+    return table

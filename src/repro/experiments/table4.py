@@ -1,0 +1,45 @@
+"""Table 4: percentage of apps labeled as malware, by AV-rank."""
+
+from __future__ import annotations
+
+from repro.analysis.malware import av_rank_rates
+from repro.core.reports import TableReport
+from repro.core.study import StudyResult
+from repro.markets.profiles import ALL_MARKET_IDS, get_profile
+
+__all__ = ["run"]
+
+
+def run(result: StudyResult) -> TableReport:
+    table = TableReport(
+        experiment_id="table4",
+        title="Apps flagged as malware by AV-rank (%)",
+        columns=(
+            "market", "ge1_pct", "paper_ge1", "ge10_pct", "paper_ge10",
+            "ge20_pct", "paper_ge20",
+        ),
+    )
+    rates = av_rank_rates(result.snapshot, result.units, result.vt_scan)
+    for market_id in ALL_MARKET_IDS:
+        profile = get_profile(market_id)
+        market = rates.get(market_id, {1: 0.0, 10: 0.0, 20: 0.0})
+        table.add_row(
+            profile.display_name,
+            round(100 * market[1], 2),
+            profile.av1_rate,
+            round(100 * market[10], 2),
+            profile.av10_rate,
+            round(100 * market[20], 2),
+            profile.av20_rate,
+        )
+
+    def avg(threshold: int) -> float:
+        return round(
+            100
+            * sum(rates.get(m, {threshold: 0.0})[threshold] for m in ALL_MARKET_IDS)
+            / len(ALL_MARKET_IDS),
+            2,
+        )
+
+    table.add_row("Average", avg(1), 36.49, avg(10), 12.30, avg(20), 3.69)
+    return table

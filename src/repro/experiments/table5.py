@@ -1,0 +1,31 @@
+"""Table 5: top malicious apps by AV-rank."""
+
+from __future__ import annotations
+
+from repro.analysis.malware import top_malware
+from repro.core.reports import TableReport
+from repro.core.study import StudyResult
+from repro.markets.profiles import get_profile
+
+__all__ = ["run"]
+
+#: The paper's Table 5 families, for shape comparison.
+PAPER_TOP_FAMILIES = ("eicar", "mofin", "ramnit")
+
+
+def run(result: StudyResult) -> TableReport:
+    table = TableReport(
+        experiment_id="table5",
+        title="Top 10 malicious apps by AV-rank",
+        columns=("package", "family", "av_rank", "markets"),
+    )
+    for row in top_malware(result.units, result.vt_scan, top_n=10):
+        markets = ", ".join(
+            get_profile(m).display_name for m in row["markets"]
+        )
+        table.add_row(row["package"], row["family"], row["av_rank"], markets)
+    table.notes.append(
+        "paper's top-10 are EICAR test files plus ramnit/mofin samples "
+        "with AV-rank 44-48"
+    )
+    return table

@@ -1,0 +1,46 @@
+"""Table 6: malware removal between the two crawls."""
+
+from __future__ import annotations
+
+from repro.core.reports import TableReport
+from repro.core.study import StudyResult
+from repro.markets.profiles import ALL_MARKET_IDS, get_profile
+
+__all__ = ["run"]
+
+
+def run(result: StudyResult) -> TableReport:
+    table = TableReport(
+        experiment_id="table6",
+        title="Malware removed between crawls (%)",
+        columns=(
+            "market", "removed_pct", "paper_removed", "gprm_overlap",
+            "gprm_removed_pct",
+        ),
+    )
+    removal = result.removal
+    for market_id in ALL_MARKET_IDS:
+        profile = get_profile(market_id)
+        if market_id in removal.excluded_markets:
+            continue
+        removed = removal.removal_share.get(market_id)
+        table.add_row(
+            profile.display_name,
+            None if removed is None else round(100 * removed, 2),
+            profile.malware_removal_rate,
+            removal.gprm_overlap.get(market_id),
+            (
+                None
+                if market_id not in removal.gprm_removed_share
+                else round(100 * removal.gprm_removed_share[market_id], 2)
+            ),
+        )
+    table.notes.append(
+        f"excluded (web interface gone at 2nd crawl): "
+        f"{', '.join(removal.excluded_markets) or 'none'}"
+    )
+    table.notes.append(
+        f"GP-removed malware still hosted in >=1 Chinese market: "
+        f"{100 * removal.gprm_survivor_share:.1f}% (paper: over 70%)"
+    )
+    return table

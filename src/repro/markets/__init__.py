@@ -1,0 +1,37 @@
+"""Market substrate: profiles, taxonomies, stores, vetting, and servers."""
+
+from repro.markets.profiles import (
+    ALL_MARKET_IDS,
+    CHINESE_MARKET_IDS,
+    GOOGLE_PLAY,
+    MarketProfile,
+    get_profile,
+    iter_profiles,
+)
+from repro.markets.categories import (
+    CANONICAL_CATEGORIES,
+    MarketTaxonomy,
+    taxonomy_for,
+)
+from repro.markets.store import Listing, MarketStore
+from repro.markets.server import MarketServer
+from repro.markets.vetting import VettingPipeline, VettingVerdict
+from repro.markets.removal import RemovalPolicy
+
+__all__ = [
+    "ALL_MARKET_IDS",
+    "CHINESE_MARKET_IDS",
+    "GOOGLE_PLAY",
+    "MarketProfile",
+    "get_profile",
+    "iter_profiles",
+    "CANONICAL_CATEGORIES",
+    "MarketTaxonomy",
+    "taxonomy_for",
+    "Listing",
+    "MarketStore",
+    "MarketServer",
+    "VettingPipeline",
+    "VettingVerdict",
+    "RemovalPolicy",
+]

@@ -1,0 +1,193 @@
+"""Category taxonomies.
+
+Each market implements its own taxonomy (Google Play has 33 categories,
+Huawei only 18, ...).  The paper manually consolidates them into 22
+canonical categories (Figure 1).  Here the forward direction lives in
+:class:`MarketTaxonomy` (canonical -> market label, used when stores
+list apps) and :mod:`repro.analysis.taxonomy` implements the paper's
+consolidation (market label -> canonical, used by the analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.markets.profiles import MarketProfile, get_profile
+
+__all__ = [
+    "CANONICAL_CATEGORIES",
+    "OTHER_CATEGORY",
+    "CANONICAL_WEIGHTS",
+    "VENDOR_WEIGHTS",
+    "MarketTaxonomy",
+    "taxonomy_for",
+]
+
+#: The paper's consolidated taxonomy of Figure 1 (22 categories).
+CANONICAL_CATEGORIES: Tuple[str, ...] = (
+    "Books", "Browsers", "Business", "Communication", "Education",
+    "Entertainment", "Finance", "Health", "InputMethods", "Lifestyle",
+    "Location", "News", "Music", "Personalization", "Photography",
+    "Security", "Shopping", "Social", "Tools", "Video", "Game",
+    "Null/Other",
+)
+
+OTHER_CATEGORY = "Null/Other"
+
+#: Baseline category mix: Games dominate (~50% in the paper across
+#: markets), Lifestyle and Personalization are next; Browsers,
+#: InputMethods and Security are the least popular.
+CANONICAL_WEIGHTS: Dict[str, float] = {
+    "Game": 0.48,
+    "Lifestyle": 0.08,
+    "Personalization": 0.07,
+    "Tools": 0.06,
+    "Education": 0.05,
+    "Entertainment": 0.045,
+    "Books": 0.03,
+    "Video": 0.03,
+    "Music": 0.025,
+    "Photography": 0.02,
+    "News": 0.02,
+    "Shopping": 0.02,
+    "Social": 0.02,
+    "Business": 0.015,
+    "Finance": 0.015,
+    "Health": 0.015,
+    "Communication": 0.015,
+    "Location": 0.01,
+    "Browsers": 0.005,
+    "InputMethods": 0.005,
+    "Security": 0.005,
+    "Null/Other": 0.0,
+}
+
+#: Vendor stores (Meizu, Huawei, Lenovo) skew away from games toward
+#: device-oriented utility apps, the divergence visible in Figure 1.
+VENDOR_WEIGHTS: Dict[str, float] = {
+    **CANONICAL_WEIGHTS,
+    "Game": 0.30,
+    "Tools": 0.14,
+    "Personalization": 0.11,
+    "Lifestyle": 0.10,
+    "Communication": 0.03,
+}
+
+# Alternative market-facing label spellings keyed by canonical name.
+# Chinese markets often use localized or split labels; the analysis-side
+# consolidation table knows how to map every alias back.
+_LABEL_ALIASES: Dict[str, Tuple[str, ...]] = {
+    "Books": ("Books", "Books & Reference", "Reading", "Novels"),
+    "Browsers": ("Browsers", "Browser"),
+    "Business": ("Business", "Office", "Efficiency"),
+    "Communication": ("Communication", "Calls & Contacts"),
+    "Education": ("Education", "Learning", "Kids Education"),
+    "Entertainment": ("Entertainment", "Fun", "Live Show"),
+    "Finance": ("Finance", "Financial", "Investment"),
+    "Health": ("Health", "Health & Fitness", "Medical"),
+    "InputMethods": ("InputMethods", "Input Method", "Keyboard"),
+    "Lifestyle": ("Lifestyle", "Life", "Daily Life", "Food & Drink"),
+    "Location": ("Location", "Maps & Navigation", "Travel & Local"),
+    "News": ("News", "News & Magazines", "Information"),
+    "Music": ("Music", "Music & Audio"),
+    "Personalization": ("Personalization", "Themes", "Wallpaper", "Ringtone"),
+    "Photography": ("Photography", "Camera", "Photo & Video"),
+    "Security": ("Security", "Antivirus", "Safety"),
+    "Shopping": ("Shopping", "Online Shopping", "Group Buy"),
+    "Social": ("Social", "Social Network", "Dating"),
+    "Tools": ("Tools", "Utilities", "System Tools", "Productivity"),
+    "Video": ("Video", "Media & Video", "Video Players"),
+    "Game": ("Game", "Games", "Casual Games", "Online Games", "Arcade",
+             "Puzzle", "Racing", "Strategy", "Role Playing", "Action",
+             "Card", "Simulation", "Sports Games"),
+}
+
+#: Non-descriptive labels some Chinese markets report (Section 4.1's
+#: "NULL or non-descriptive categories" footnote).
+NULL_LABELS: Tuple[str, ...] = ("", "NULL", "Unclassified", "102229", "9999", "Other")
+
+
+@dataclass(frozen=True)
+class MarketTaxonomy:
+    """One market's category label set and its canonical mapping."""
+
+    market_id: str
+    labels: Tuple[str, ...]
+    canonical_of_label: Dict[str, str]
+    label_of_canonical: Dict[str, str]
+
+    def market_label(self, canonical: str) -> str:
+        """Translate a canonical category to this market's label."""
+        try:
+            return self.label_of_canonical[canonical]
+        except KeyError:
+            raise KeyError(
+                f"{self.market_id} has no label for canonical {canonical!r}"
+            ) from None
+
+    def null_label(self, rng: np.random.Generator) -> str:
+        """A NULL/non-descriptive label as reported by lax markets."""
+        return NULL_LABELS[int(rng.integers(0, len(NULL_LABELS)))]
+
+
+def _build_taxonomy(profile: MarketProfile) -> MarketTaxonomy:
+    """Deterministically derive a market's taxonomy from its profile.
+
+    The market picks one alias per canonical category (seeded by its id),
+    and markets with many categories expose extra split labels for Game.
+    """
+    seed_rng = np.random.default_rng(abs(hash_stable(profile.market_id)) % 2**32)
+    label_of_canonical: Dict[str, str] = {}
+    canonical_of_label: Dict[str, str] = {}
+    for canonical in CANONICAL_CATEGORIES:
+        if canonical == OTHER_CATEGORY:
+            continue
+        aliases = _LABEL_ALIASES[canonical]
+        # Google Play uses the canonical spelling; others sample an alias.
+        if profile.is_google_play:
+            label = aliases[0]
+        else:
+            label = aliases[int(seed_rng.integers(0, len(aliases)))]
+        label_of_canonical[canonical] = label
+        canonical_of_label[label] = canonical
+    labels = tuple(label_of_canonical.values())
+    return MarketTaxonomy(
+        market_id=profile.market_id,
+        labels=labels,
+        canonical_of_label=canonical_of_label,
+        label_of_canonical=label_of_canonical,
+    )
+
+
+def hash_stable(text: str) -> int:
+    from repro.util.rng import stable_hash64
+
+    return stable_hash64("taxonomy", text)
+
+
+_TAXONOMY_CACHE: Dict[str, MarketTaxonomy] = {}
+
+
+def taxonomy_for(market_id: str) -> MarketTaxonomy:
+    """Return (and cache) the taxonomy of one market."""
+    if market_id not in _TAXONOMY_CACHE:
+        _TAXONOMY_CACHE[market_id] = _build_taxonomy(get_profile(market_id))
+    return _TAXONOMY_CACHE[market_id]
+
+
+def consolidation_table() -> Dict[str, str]:
+    """Full alias -> canonical table across every market and alias.
+
+    This is the analysis-side knowledge base mirroring the paper's manual
+    consolidation work; NULL-ish labels map to ``Null/Other``.
+    """
+    table: Dict[str, str] = {}
+    for canonical, aliases in _LABEL_ALIASES.items():
+        for alias in aliases:
+            table[alias] = canonical
+    for null_label in NULL_LABELS:
+        table[null_label] = OTHER_CATEGORY
+    return table

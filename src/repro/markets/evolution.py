@@ -1,0 +1,53 @@
+"""Catalog evolution between crawls.
+
+Besides removing flagged apps (see :mod:`repro.markets.removal_apply`),
+stores change between the two campaigns in a mundane way: listings that
+lagged behind the developer's newest release catch up as developers
+re-submit.  This is what makes the second snapshot's *version upgrades*
+measurable by :mod:`repro.analysis.longitudinal`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Mapping
+
+from repro.markets.store import MarketStore
+from repro.util.rng import RngFactory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ecosystem.world import World
+
+__all__ = ["apply_catalog_updates", "DEFAULT_CATCHUP_PROBABILITY"]
+
+#: Chance that a lagged listing catches up to the newest version over
+#: the eight months between campaigns.
+DEFAULT_CATCHUP_PROBABILITY = 0.35
+
+
+def apply_catalog_updates(
+    stores: Mapping[str, MarketStore],
+    world: "World",
+    rngs: RngFactory,
+    catchup_probability: float = DEFAULT_CATCHUP_PROBABILITY,
+) -> Dict[str, int]:
+    """Advance lagged listings to the latest version; returns per-market
+    counts of updated listings."""
+    updated: Dict[str, int] = {}
+    for market_id, store in stores.items():
+        rng = rngs.stream("catalog-updates", market_id)
+        count = 0
+        for app in world.apps:
+            placement = app.placements.get(market_id)
+            if placement is None:
+                continue
+            latest = app.latest_version_index
+            if placement.version_index >= latest:
+                continue
+            if rng.random() >= catchup_probability:
+                continue
+            version = app.versions[latest]
+            if store.update_listing_version(app.package, latest, version):
+                placement.version_index = latest
+                count += 1
+        updated[market_id] = count
+    return updated

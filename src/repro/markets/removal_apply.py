@@ -1,0 +1,45 @@
+"""Applying removal policies to live stores between crawls.
+
+Market operators react to security feeds: listings carrying known
+malware payloads get removed with the market's Table 6 propensity.  The
+"security feed" here is the operator's own knowledge of which apps carry
+payloads — ground truth the *operators* legitimately hold about their
+own catalogs (the measurement pipeline never reads it; it must
+rediscover removals through the second crawl).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Mapping, Tuple
+
+from repro.markets.removal import RemovalPolicy
+from repro.markets.store import MarketStore
+from repro.util.rng import RngFactory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ecosystem.world import World
+
+__all__ = ["apply_store_removals"]
+
+
+def apply_store_removals(
+    stores: Mapping[str, MarketStore],
+    world: "World",
+    rngs: RngFactory,
+) -> Dict[str, Tuple[int, int]]:
+    """Run every market's cleanup; returns {market: (flagged, removed)}."""
+    outcome: Dict[str, Tuple[int, int]] = {}
+    for market_id, store in stores.items():
+        policy = RemovalPolicy(store.profile, rngs.stream("removal", market_id))
+        flagged = [
+            app.package
+            for app in world.apps
+            if app.threat is not None and market_id in app.placements
+        ]
+        decisions = policy.decide(flagged)
+        removed = 0
+        for package, day in decisions.items():
+            if day is not None and store.remove_listing(package, day):
+                removed += 1
+        outcome[market_id] = (len(flagged), removed)
+    return outcome

@@ -1,0 +1,165 @@
+"""HTTP-like market server.
+
+Each market exposes the web interface the paper's crawlers scraped:
+
+* ``/search?q=``       — exact package/app-name search (parallel search)
+* ``/app?package=``    — one listing's metadata
+* ``/related?package=``— recommendations (Google Play BFS expansion)
+* ``/developer?name=`` — other apps by the same developer (BFS expansion)
+* ``/categories`` and ``/category?name=&page=`` — browsing (Chinese stores)
+* ``/index?i=``        — Baidu's incremental integer index
+* ``/download?package=``— the APK binary
+
+Google Play's ``/download`` is protected by a cumulative quota
+(:class:`~repro.net.ratelimit.QuotaLimiter`): once the crawler's budget
+is spent the endpoint answers 429 forever, reproducing the paper's need
+to backfill APKs from AndroZoo.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import datetime
+
+from repro.markets.store import MarketStore
+from repro.net.http import Request, Response
+from repro.net.ratelimit import QuotaLimiter
+from repro.util.simtime import SimClock, date_to_day
+
+__all__ = ["MarketServer", "DEFAULT_GP_APK_QUOTA_SHARE"]
+
+#: HiApk discontinued its services by the end of 2017 (Section 7).
+HIAPK_SHUTDOWN_DAY = date_to_day(datetime.date(2018, 1, 1))
+
+#: OPPO's market became accessible only through its on-device app before
+#: the second crawl (Section 7); its web interface went dark.
+OPPO_WEB_SHUTDOWN_DAY = date_to_day(datetime.date(2018, 3, 1))
+
+#: The paper's Google Play crawl obtained APKs for 287,110 of 2,031,946
+#: listings (~14.1%) before rate limiting stopped it.
+DEFAULT_GP_APK_QUOTA_SHARE = 0.141
+
+
+class MarketServer:
+    """Serves one market's store over the in-process HTTP layer."""
+
+    def __init__(
+        self,
+        store: MarketStore,
+        clock: SimClock,
+        apk_quota: Optional[int] = None,
+        flakiness: float = 0.0,
+    ):
+        """``flakiness`` is the share of requests answered with a
+        transient 500 (deterministic per request ordinal) — failure
+        injection for exercising client retry paths."""
+        if not 0.0 <= flakiness < 1.0:
+            raise ValueError(f"flakiness must be in [0, 1), got {flakiness}")
+        self._store = store
+        self._clock = clock
+        if apk_quota is None and store.profile.apk_rate_limited:
+            apk_quota = max(1, int(len(store) * DEFAULT_GP_APK_QUOTA_SHARE))
+        self._apk_quota = QuotaLimiter(apk_quota) if apk_quota is not None else None
+        self._flakiness = flakiness
+        self.requests_served = 0
+        self.transient_failures = 0
+
+    @property
+    def market_id(self) -> str:
+        return self._store.market_id
+
+    @property
+    def store(self) -> MarketStore:
+        return self._store
+
+    @property
+    def apk_quota_used(self) -> int:
+        return self._apk_quota.used if self._apk_quota else 0
+
+    @property
+    def web_available(self) -> bool:
+        """Whether the market's web interface is still reachable."""
+        profile = self._store.profile
+        if profile.discontinued_at_second_crawl and self._clock.now >= HIAPK_SHUTDOWN_DAY:
+            return False
+        if profile.app_only_at_second_crawl and self._clock.now >= OPPO_WEB_SHUTDOWN_DAY:
+            return False
+        return True
+
+    def handle(self, request: Request) -> Response:
+        """Dispatch one request; the entry point clients are bound to."""
+        self.requests_served += 1
+        if not self.web_available:
+            return Response.not_found()
+        if self._flakiness:
+            from repro.util.rng import stable_hash32
+
+            roll = stable_hash32(
+                "transient", self.market_id, self.requests_served
+            ) % 10_000
+            if roll < int(self._flakiness * 10_000):
+                self.transient_failures += 1
+                return Response(status=500)
+        handler = getattr(self, "_endpoint_" + request.path.strip("/"), None)
+        if handler is None:
+            return Response.not_found()
+        return handler(request)
+
+    # -- endpoints ---------------------------------------------------------
+
+    def _endpoint_search(self, request: Request) -> Response:
+        query = request.param("q")
+        if not query:
+            return Response.not_found()
+        listings = self._store.search(str(query), self._clock.now)
+        return Response.json_ok([l.metadata() for l in listings])
+
+    def _endpoint_app(self, request: Request) -> Response:
+        package = request.param("package")
+        listing = self._store.get(str(package), self._clock.now)
+        if listing is None:
+            return Response.not_found()
+        return Response.json_ok(listing.metadata())
+
+    def _endpoint_related(self, request: Request) -> Response:
+        package = request.param("package")
+        listings = self._store.related(str(package), self._clock.now)
+        return Response.json_ok([l.metadata() for l in listings])
+
+    def _endpoint_developer(self, request: Request) -> Response:
+        name = request.param("name")
+        listings = self._store.by_developer(str(name), self._clock.now)
+        return Response.json_ok([l.metadata() for l in listings])
+
+    def _endpoint_categories(self, request: Request) -> Response:
+        return Response.json_ok(self._store.categories())
+
+    def _endpoint_category(self, request: Request) -> Response:
+        name = request.param("name")
+        page = int(request.param("page", 0))
+        listings = self._store.category_page(str(name), page, self._clock.now)
+        return Response.json_ok([l.metadata() for l in listings])
+
+    def _endpoint_index(self, request: Request) -> Response:
+        index = int(request.param("i", -1))
+        if index >= self._store.index_size:
+            return Response.not_found()
+        listing = self._store.by_index(index, self._clock.now)
+        if listing is None:
+            # The slot existed but the app was removed: markets answer
+            # with an empty page rather than 404 (the index keeps growing).
+            return Response.json_ok(None)
+        return Response.json_ok(listing.metadata())
+
+    def _endpoint_index_size(self, request: Request) -> Response:
+        return Response.json_ok(self._store.index_size)
+
+    def _endpoint_download(self, request: Request) -> Response:
+        package = str(request.param("package"))
+        if self._apk_quota is not None and not self._apk_quota.try_acquire():
+            return Response.rate_limited(retry_after=30.0)
+        blob = self._store.apk_bytes(package, self._clock.now)
+        if blob is None:
+            return Response.not_found()
+        return Response.bytes_ok(blob)

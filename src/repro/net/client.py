@@ -1,0 +1,128 @@
+"""HTTP client with retries and rate-limit back-off.
+
+``HttpClient`` wraps a server's ``handle`` callable.  On 429 it sleeps
+(advances the simulated clock) for the server-suggested ``retry_after``
+and retries; on 5xx it retries per :class:`~repro.net.retry.RetryPolicy`;
+404 raises :class:`~repro.net.http.NotFoundError`.  Each client keeps
+simple counters, used by the crawler's statistics and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+from repro.net.http import (
+    HTTP_NOT_FOUND,
+    HTTP_SERVER_ERROR,
+    HTTP_TOO_MANY_REQUESTS,
+    NotFoundError,
+    RateLimitedError,
+    Request,
+    Response,
+    ServerError,
+)
+from repro.net.retry import RetryPolicy
+from repro.util.simtime import SimClock
+
+__all__ = ["HttpClient", "ClientStats"]
+
+
+@dataclass
+class ClientStats:
+    """Counters for one client instance."""
+
+    requests: int = 0
+    retries: int = 0
+    rate_limited: int = 0
+    not_found: int = 0
+    failures: int = 0
+    sim_days_slept: float = 0.0
+
+
+class HttpClient:
+    """A retrying client bound to one server endpoint.
+
+    Parameters
+    ----------
+    handler:
+        The server's ``handle(Request) -> Response`` callable.
+    clock:
+        Shared simulated clock; sleeps advance it.
+    retry_policy:
+        Back-off schedule for 5xx responses.
+    max_rate_limit_waits:
+        How many consecutive 429s to tolerate per request before giving
+        up with :class:`RateLimitedError`.  The Google Play crawler uses
+        a low value here and falls back to the offline archive instead of
+        waiting out a multi-day quota.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[Request], Response],
+        clock: SimClock,
+        retry_policy: Optional[RetryPolicy] = None,
+        max_rate_limit_waits: int = 2,
+    ):
+        self._handler = handler
+        self._clock = clock
+        self._retry_policy = retry_policy or RetryPolicy()
+        self._max_rate_limit_waits = max_rate_limit_waits
+        self.stats = ClientStats()
+
+    def _sleep(self, duration: float) -> None:
+        self._clock.advance(duration)
+        self.stats.sim_days_slept += duration
+
+    def request(self, path: str, params: Optional[Mapping[str, Any]] = None) -> Response:
+        """Issue a request, retrying transient failures.
+
+        Raises
+        ------
+        NotFoundError
+            On 404.
+        RateLimitedError
+            When the server keeps answering 429 past the waits budget.
+        ServerError
+            When 5xx persists past the retry budget.
+        """
+        req = Request(path=path, params=dict(params or {}))
+        rate_limit_waits = 0
+        server_retries = 0
+        while True:
+            self.stats.requests += 1
+            resp = self._handler(req)
+            if resp.ok:
+                return resp
+            if resp.status == HTTP_NOT_FOUND:
+                self.stats.not_found += 1
+                raise NotFoundError(path)
+            if resp.status == HTTP_TOO_MANY_REQUESTS:
+                self.stats.rate_limited += 1
+                if rate_limit_waits >= self._max_rate_limit_waits:
+                    raise RateLimitedError(path, resp.retry_after)
+                rate_limit_waits += 1
+                self._sleep(resp.retry_after if resp.retry_after else 1.0 / 24)
+                continue
+            if resp.status >= HTTP_SERVER_ERROR:
+                if server_retries >= self._retry_policy.max_retries:
+                    self.stats.failures += 1
+                    raise ServerError(path)
+                server_retries += 1
+                self.stats.retries += 1
+                self._sleep(self._retry_policy.delay(server_retries))
+                continue
+            self.stats.failures += 1
+            raise ServerError(path)
+
+    def get_json(self, path: str, params: Optional[Mapping[str, Any]] = None) -> Any:
+        """Request and return the JSON payload."""
+        return self.request(path, params).json
+
+    def get_bytes(self, path: str, params: Optional[Mapping[str, Any]] = None) -> bytes:
+        """Request and return the binary body."""
+        body = self.request(path, params).body
+        if body is None:
+            raise ServerError(path)
+        return body

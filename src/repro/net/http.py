@@ -1,0 +1,97 @@
+"""Minimal HTTP-like request/response model.
+
+Market servers implement ``handle(request) -> response``; the client in
+:mod:`repro.net.client` adds retries and rate-limit handling on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+__all__ = [
+    "HTTP_OK",
+    "HTTP_NOT_FOUND",
+    "HTTP_TOO_MANY_REQUESTS",
+    "HTTP_SERVER_ERROR",
+    "Request",
+    "Response",
+    "HttpError",
+    "NotFoundError",
+    "RateLimitedError",
+    "ServerError",
+]
+
+HTTP_OK = 200
+HTTP_NOT_FOUND = 404
+HTTP_TOO_MANY_REQUESTS = 429
+HTTP_SERVER_ERROR = 500
+
+
+@dataclass(frozen=True)
+class Request:
+    """A request to a market endpoint.
+
+    ``path`` selects the endpoint (e.g. ``/search``, ``/app``,
+    ``/download``); ``params`` carries query parameters.
+    """
+
+    path: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def param(self, name: str, default: Any = None) -> Any:
+        return self.params.get(name, default)
+
+
+@dataclass
+class Response:
+    """A response from a market endpoint."""
+
+    status: int
+    json: Any = None
+    body: Optional[bytes] = None
+    retry_after: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == HTTP_OK
+
+    @classmethod
+    def json_ok(cls, payload: Any) -> "Response":
+        return cls(status=HTTP_OK, json=payload)
+
+    @classmethod
+    def bytes_ok(cls, body: bytes) -> "Response":
+        return cls(status=HTTP_OK, body=body)
+
+    @classmethod
+    def not_found(cls) -> "Response":
+        return cls(status=HTTP_NOT_FOUND)
+
+    @classmethod
+    def rate_limited(cls, retry_after: float) -> "Response":
+        return cls(status=HTTP_TOO_MANY_REQUESTS, retry_after=retry_after)
+
+
+class HttpError(Exception):
+    """Base class for client-raised HTTP failures."""
+
+    def __init__(self, message: str, status: int):
+        super().__init__(message)
+        self.status = status
+
+
+class NotFoundError(HttpError):
+    def __init__(self, path: str):
+        super().__init__(f"not found: {path}", HTTP_NOT_FOUND)
+
+
+class RateLimitedError(HttpError):
+    def __init__(self, path: str, retry_after: Optional[float]):
+        super().__init__(f"rate limited: {path}", HTTP_TOO_MANY_REQUESTS)
+        self.retry_after = retry_after
+
+
+class ServerError(HttpError):
+    def __init__(self, path: str):
+        super().__init__(f"server error: {path}", HTTP_SERVER_ERROR)

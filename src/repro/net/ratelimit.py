@@ -1,0 +1,83 @@
+"""Token-bucket rate limiting over simulated time.
+
+Google Play's APK download endpoint rate-limited the paper's crawler (the
+reason their APK sample stops at 287,110 files); the market server uses a
+:class:`TokenBucket` to reproduce that mechanic, and the crawler's client
+backs off when it sees 429s.
+"""
+
+from __future__ import annotations
+
+from repro.util.simtime import SimClock
+
+__all__ = ["TokenBucket", "QuotaLimiter"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens per simulated day, up to ``burst``."""
+
+    def __init__(self, clock: SimClock, rate: float, burst: float):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self._clock = clock
+        self._rate = float(rate)
+        self._burst = float(burst)
+        self._tokens = float(burst)
+        self._last = clock.now
+
+    def _refill(self) -> None:
+        now = self._clock.now
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self._burst, self._tokens + elapsed * self._rate)
+            self._last = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; return whether the take succeeded."""
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def time_until_available(self, tokens: float = 1.0) -> float:
+        """Simulated days until ``tokens`` would be available (0 if now)."""
+        self._refill()
+        deficit = tokens - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self._rate
+
+    @property
+    def available(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+class QuotaLimiter:
+    """A hard cumulative quota: after ``limit`` acquisitions, always refuse.
+
+    Models per-account download caps that no amount of waiting lifts —
+    the behavior that forced the paper to backfill Google Play APKs from
+    AndroZoo.
+    """
+
+    def __init__(self, limit: int):
+        if limit < 0:
+            raise ValueError("limit must be non-negative")
+        self._limit = int(limit)
+        self._used = 0
+
+    def try_acquire(self) -> bool:
+        if self._used >= self._limit:
+            return False
+        self._used += 1
+        return True
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def remaining(self) -> int:
+        return self._limit - self._used

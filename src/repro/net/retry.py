@@ -1,0 +1,39 @@
+"""Retry policy with exponential back-off over simulated time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential back-off schedule.
+
+    ``delay(attempt)`` returns the simulated-days wait before retry
+    number ``attempt`` (1-based).  The default is tuned for transient
+    market-side failures: 3 retries starting at ~1 minute.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 1.0 / (24 * 60)  # one simulated minute
+    multiplier: float = 2.0
+    max_delay: float = 1.0 / 24  # one simulated hour
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_delay <= 0 or self.multiplier < 1 or self.max_delay <= 0:
+            raise ValueError("invalid back-off parameters")
+
+    def delay(self, attempt: int) -> float:
+        """Back-off before the given 1-based retry attempt."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = self.base_delay * self.multiplier ** (attempt - 1)
+        return min(raw, self.max_delay)
+
+    def delays(self):
+        """Iterate over the full back-off schedule."""
+        return (self.delay(i) for i in range(1, self.max_retries + 1))

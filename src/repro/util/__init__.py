@@ -1,0 +1,15 @@
+"""Shared utilities: deterministic RNG streams, statistics, simulated time."""
+
+from repro.util.rng import RngFactory
+from repro.util.simtime import SimClock, days, months
+from repro.util.stats import cdf_points, percentile_shares, top_share
+
+__all__ = [
+    "RngFactory",
+    "SimClock",
+    "days",
+    "months",
+    "cdf_points",
+    "percentile_shares",
+    "top_share",
+]

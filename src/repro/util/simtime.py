@@ -1,0 +1,79 @@
+"""Simulated time.
+
+The pipeline never reads the wall clock.  Time is an integer number of
+days since the epoch 2010-01-01 (the study universe starts when Google
+services were restricted in China).  ``SimClock`` is a tiny mutable
+clock shared by markets and crawlers so that the second crawl of the
+paper (8 months after the first) is a plain ``advance``.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+__all__ = [
+    "EPOCH",
+    "SimClock",
+    "date_to_day",
+    "day_to_date",
+    "days",
+    "months",
+    "FIRST_CRAWL_DAY",
+    "SECOND_CRAWL_DAY",
+]
+
+EPOCH = datetime.date(2010, 1, 1)
+
+
+def date_to_day(date: datetime.date) -> int:
+    """Convert a calendar date to simulated days-since-epoch."""
+    return (date - EPOCH).days
+
+
+def day_to_date(day: int) -> datetime.date:
+    """Convert simulated days-since-epoch back to a calendar date."""
+    return EPOCH + datetime.timedelta(days=day)
+
+
+def days(n: float) -> float:
+    """Readability helper: a duration of ``n`` days."""
+    return float(n)
+
+
+def months(n: float) -> float:
+    """A duration of ``n`` average months (30.44 days each)."""
+    return float(n) * 30.44
+
+
+#: The paper's first crawl campaign started on 2017-08-15.
+FIRST_CRAWL_DAY = date_to_day(datetime.date(2017, 8, 15))
+
+#: The paper's second crawl campaign started on 2018-04-30.
+SECOND_CRAWL_DAY = date_to_day(datetime.date(2018, 4, 30))
+
+
+@dataclass
+class SimClock:
+    """A mutable simulated clock measured in days since :data:`EPOCH`."""
+
+    now: float = field(default=float(FIRST_CRAWL_DAY))
+
+    def advance(self, duration: float) -> float:
+        """Move the clock forward and return the new time."""
+        if duration < 0:
+            raise ValueError(f"cannot advance by a negative duration: {duration}")
+        self.now += duration
+        return self.now
+
+    def advance_to(self, when: float) -> float:
+        """Move the clock forward to an absolute time."""
+        if when < self.now:
+            raise ValueError(f"cannot move clock backwards: {when} < {self.now}")
+        self.now = float(when)
+        return self.now
+
+    @property
+    def today(self) -> datetime.date:
+        """The current simulated calendar date."""
+        return day_to_date(int(self.now))

@@ -1,0 +1,162 @@
+"""Small statistics helpers used across analyses and experiments."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "cdf_points",
+    "percentile_shares",
+    "top_share",
+    "normalize",
+    "histogram_shares",
+    "box_stats",
+    "BoxStats",
+    "spearman_rank_correlation",
+    "mean_absolute_error",
+    "l1_distance",
+]
+
+
+def cdf_points(values: Iterable[float], grid: Optional[Sequence[float]] = None):
+    """Return ``(xs, cdf)`` arrays describing the empirical CDF of ``values``.
+
+    If ``grid`` is given, the CDF is evaluated at those points; otherwise
+    at the sorted unique values.
+    """
+    arr = np.asarray(sorted(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cdf_points requires at least one value")
+    if grid is None:
+        xs = np.unique(arr)
+    else:
+        xs = np.asarray(grid, dtype=float)
+    counts = np.searchsorted(arr, xs, side="right")
+    return xs, counts / arr.size
+
+
+def top_share(values: Iterable[float], fraction: float) -> float:
+    """Share of the total held by the top ``fraction`` of values.
+
+    ``top_share(downloads, 0.01)`` answers the paper's "the top 1% of
+    apps account for over 80% of total downloads".  At least one element
+    is always counted as "top" so tiny corpora behave sensibly.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    arr = np.asarray(sorted(values, reverse=True), dtype=float)
+    if arr.size == 0:
+        raise ValueError("top_share requires at least one value")
+    total = float(arr.sum())
+    if total <= 0:
+        return 0.0
+    k = max(1, int(round(arr.size * fraction)))
+    # Clamp: summation order can push the ratio epsilon past 1.0.
+    return min(1.0, float(arr[:k].sum()) / total)
+
+
+def percentile_shares(values: Iterable[float], fractions: Sequence[float]) -> dict:
+    """Map each fraction to its :func:`top_share`."""
+    vals = list(values)
+    return {f: top_share(vals, f) for f in fractions}
+
+
+def normalize(counts: Sequence[float]) -> np.ndarray:
+    """Normalize counts into shares; an all-zero vector stays all-zero."""
+    arr = np.asarray(counts, dtype=float)
+    total = arr.sum()
+    if total == 0:
+        return arr
+    return arr / total
+
+
+def histogram_shares(values: Iterable[float], edges: Sequence[float]) -> np.ndarray:
+    """Histogram ``values`` into ``edges`` bins and return per-bin shares."""
+    counts, _ = np.histogram(list(values), bins=np.asarray(edges, dtype=float))
+    return normalize(counts)
+
+
+class BoxStats:
+    """Five-number summary used to render the paper's box plots."""
+
+    __slots__ = ("minimum", "q1", "median", "q3", "maximum")
+
+    def __init__(self, values: Iterable[float]):
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            raise ValueError("BoxStats requires at least one value")
+        self.minimum = float(arr.min())
+        self.q1 = float(np.percentile(arr, 25))
+        self.median = float(np.percentile(arr, 50))
+        self.q3 = float(np.percentile(arr, 75))
+        self.maximum = float(arr.max())
+
+    def as_dict(self) -> dict:
+        return {
+            "min": self.minimum,
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+            "max": self.maximum,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"BoxStats(min={self.minimum:.3g}, q1={self.q1:.3g}, "
+            f"median={self.median:.3g}, q3={self.q3:.3g}, max={self.maximum:.3g})"
+        )
+
+
+def box_stats(values: Iterable[float]) -> BoxStats:
+    """Convenience constructor for :class:`BoxStats`."""
+    return BoxStats(values)
+
+
+def spearman_rank_correlation(a: Sequence[float], b: Sequence[float]) -> float:
+    """Spearman's rho between two paired samples.
+
+    Used by the fidelity scorecard to ask "does the measured per-market
+    ordering match the paper's?" without caring about absolute values.
+    """
+    xa, xb = np.asarray(a, dtype=float), np.asarray(b, dtype=float)
+    if xa.shape != xb.shape:
+        raise ValueError("samples must be paired")
+    if xa.size < 2:
+        raise ValueError("need at least two pairs")
+
+    def ranks(values: np.ndarray) -> np.ndarray:
+        order = np.argsort(values)
+        rank = np.empty_like(order, dtype=float)
+        rank[order] = np.arange(len(values), dtype=float)
+        # average ties
+        for value in np.unique(values):
+            mask = values == value
+            if mask.sum() > 1:
+                rank[mask] = rank[mask].mean()
+        return rank
+
+    ra, rb = ranks(xa), ranks(xb)
+    if ra.std() == 0 or rb.std() == 0:
+        return 0.0
+    return float(np.corrcoef(ra, rb)[0, 1])
+
+
+def mean_absolute_error(a: Sequence[float], b: Sequence[float]) -> float:
+    """Mean absolute difference between paired samples."""
+    xa, xb = np.asarray(a, dtype=float), np.asarray(b, dtype=float)
+    if xa.shape != xb.shape:
+        raise ValueError("samples must be paired")
+    if xa.size == 0:
+        raise ValueError("need at least one pair")
+    return float(np.abs(xa - xb).mean())
+
+
+def l1_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Total variation-style L1 distance between two share vectors."""
+    xa, xb = np.asarray(a, dtype=float), np.asarray(b, dtype=float)
+    if xa.shape != xb.shape:
+        raise ValueError("vectors must align")
+    return float(np.abs(xa - xb).sum())

@@ -1,0 +1,106 @@
+"""Deterministic name generation for the synthetic ecosystem.
+
+Generates plausible Android package names, app display names (a mix of
+English and pinyin-flavored Chinese product names), and developer names.
+All functions are pure given an RNG stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "package_name",
+    "app_display_name",
+    "developer_name",
+    "COMMON_APP_NAMES",
+]
+
+_TLDS = ["com", "cn", "net", "org", "io", "mobi"]
+
+_COMPANY_WORDS = [
+    "ant", "apex", "aurora", "banyan", "bamboo", "bit", "blue", "bright",
+    "cloud", "crane", "dragon", "east", "ever", "fast", "feng", "fire",
+    "fox", "fun", "golden", "grand", "great", "happy", "hero", "hill",
+    "hong", "hua", "jade", "jing", "joy", "kai", "kirin", "lan", "leap",
+    "ling", "lion", "long", "lotus", "lucky", "lumen", "magic", "mei",
+    "ming", "moon", "nova", "orient", "panda", "peak", "pear", "phoenix",
+    "pine", "pixel", "plum", "quick", "rain", "red", "river", "rong",
+    "sea", "sharp", "shen", "silk", "silver", "sky", "smart", "snow",
+    "song", "south", "spark", "star", "stone", "sun", "swift", "tao",
+    "tian", "tiger", "true", "wan", "wave", "wei", "west", "wind", "wise",
+    "xin", "yang", "yi", "yuan", "yun", "zen", "zhi", "zhong", "zoom",
+]
+
+_PRODUCT_WORDS = [
+    "album", "assistant", "battle", "book", "browser", "butler", "cam",
+    "camera", "cards", "chat", "chef", "city", "clash", "class", "clean",
+    "clock", "coach", "coin", "craft", "dash", "deal", "diary", "dict",
+    "diet", "draw", "drive", "farm", "fit", "flight", "food", "forum",
+    "fund", "game", "go", "guard", "guide", "gym", "home", "hunt", "idle",
+    "jump", "keyboard", "kitchen", "launcher", "learn", "legend", "life",
+    "live", "lock", "mail", "mall", "manager", "map", "market", "master",
+    "match", "mate", "memo", "mix", "music", "news", "note", "pal", "pay",
+    "pet", "phone", "photo", "pilot", "play", "player", "pop", "puzzle",
+    "quiz", "race", "radio", "reader", "recipe", "ride", "run", "saga",
+    "scan", "shop", "show", "sing", "sketch", "sleep", "space", "sports",
+    "stock", "story", "studio", "study", "style", "tales", "talk", "taxi",
+    "ticket", "tool", "tower", "trade", "train", "travel", "tv", "video",
+    "wallet", "weather", "word", "world", "yoga", "zone",
+]
+
+_NAME_SUFFIXES = [
+    "", "", "", " Pro", " HD", " Lite", " Plus", " 2", " 3D", " Go",
+    " VIP", " Express", " Deluxe",
+]
+
+#: Generic names shared by many unrelated legitimate apps (the paper's
+#: "Flashlight / Calculator / Wallpaper" caveat in Section 6.1).
+COMMON_APP_NAMES = [
+    "Flashlight",
+    "Calculator",
+    "Wallpaper",
+    "Compass",
+    "Notepad",
+    "Alarm Clock",
+    "File Manager",
+    "QR Scanner",
+    "Weather",
+    "Ringtones",
+]
+
+
+def _pick(rng: np.random.Generator, words) -> str:
+    return words[int(rng.integers(0, len(words)))]
+
+
+def package_name(rng: np.random.Generator) -> str:
+    """Generate a plausible, globally unique-ish Android package name."""
+    tld = _pick(rng, _TLDS)
+    company = _pick(rng, _COMPANY_WORDS) + _pick(rng, _COMPANY_WORDS)
+    product = _pick(rng, _PRODUCT_WORDS)
+    # A numeric disambiguator keeps collision probability negligible while
+    # staying a legal Java package segment.
+    tag = int(rng.integers(0, 10**6))
+    return f"{tld}.{company}.{product}{tag:x}"
+
+
+def app_display_name(rng: np.random.Generator, common_fraction: float = 0.02) -> str:
+    """Generate a display name; a small fraction are generic common names."""
+    if rng.random() < common_fraction:
+        return _pick(rng, COMMON_APP_NAMES)
+    brand = _pick(rng, _COMPANY_WORDS).capitalize()
+    product = _pick(rng, _PRODUCT_WORDS).capitalize()
+    suffix = _pick(rng, _NAME_SUFFIXES)
+    return f"{brand} {product}{suffix}"
+
+
+def developer_name(rng: np.random.Generator, region: str) -> str:
+    """Generate a developer/company display name for the given region."""
+    word_a = _pick(rng, _COMPANY_WORDS).capitalize()
+    word_b = _pick(rng, _COMPANY_WORDS).capitalize()
+    if region == "china":
+        kind = _pick(rng, ["Network Technology", "Mobile", "Software", "Keji"])
+        return f"{word_a}{word_b} {kind} Co., Ltd."
+    kind = _pick(rng, ["Labs", "Studio", "Inc.", "Apps", "Games", "LLC"])
+    return f"{word_a} {word_b} {kind}"

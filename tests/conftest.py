@@ -1,0 +1,115 @@
+"""Shared fixtures.
+
+``study`` runs one small end-to-end study per test session; integration
+and shape tests share it.  Unit tests use the lightweight builders
+(``make_apk_bytes``, ``make_record``) instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Study, StudyConfig
+from repro.apk.archive import parse_apk, serialize_apk
+from repro.apk.models import Apk, ChannelFile, CodePackage, Manifest
+from repro.crawler.snapshot import CrawlRecord
+
+#: Session-wide study parameters; small but large enough for shapes.
+STUDY_SEED = 42
+STUDY_SCALE = 0.0005
+
+
+@pytest.fixture(scope="session")
+def study():
+    """One full end-to-end study result shared by the whole session."""
+    return Study(StudyConfig(seed=STUDY_SEED, scale=STUDY_SCALE)).run()
+
+
+@pytest.fixture(scope="session")
+def snapshot(study):
+    return study.snapshot
+
+
+@pytest.fixture(scope="session")
+def units(study):
+    return study.units
+
+
+def build_apk(
+    package="com.example.app",
+    version_code=3,
+    version_name="1.2.0",
+    min_sdk=9,
+    target_sdk=19,
+    permissions=("INTERNET",),
+    packages=None,
+    signer="deadbeef00000001",
+    signer_name="Example Dev",
+    meta_inf=(),
+    obfuscated_by=None,
+):
+    """Build a small in-memory Apk model for unit tests."""
+    if packages is None:
+        packages = (
+            CodePackage(
+                name=package,
+                features={1: 2, 5: 1, 42: 3},
+                blocks=(101, 102, 103),
+            ),
+        )
+    return Apk(
+        manifest=Manifest(
+            package=package,
+            version_code=version_code,
+            version_name=version_name,
+            min_sdk=min_sdk,
+            target_sdk=target_sdk,
+            permissions=tuple(permissions),
+        ),
+        packages=tuple(packages),
+        signer_fingerprint=signer,
+        signer_name=signer_name,
+        meta_inf=tuple(meta_inf),
+        obfuscated_by=obfuscated_by,
+    )
+
+
+def make_apk_bytes(**kwargs) -> bytes:
+    return serialize_apk(build_apk(**kwargs))
+
+
+def make_parsed(**kwargs):
+    return parse_apk(make_apk_bytes(**kwargs))
+
+
+def make_record(
+    market_id="tencent",
+    package="com.example.app",
+    app_name="Example App",
+    version_name="1.2.0",
+    version_code=3,
+    category="Tools",
+    downloads=5000,
+    install_range=None,
+    rating=4.2,
+    updated_day=2500,
+    developer_name="Example Dev",
+    crawl_day=2784.0,
+    apk=None,
+):
+    """Build a CrawlRecord for unit tests."""
+    return CrawlRecord(
+        market_id=market_id,
+        package=package,
+        app_name=app_name,
+        version_name=version_name,
+        version_code=version_code,
+        category=category,
+        downloads=downloads,
+        install_range=install_range,
+        rating=rating,
+        updated_day=updated_day,
+        developer_name=developer_name,
+        crawl_day=crawl_day,
+        apk=apk,
+    )

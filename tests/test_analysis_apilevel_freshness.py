@@ -1,0 +1,82 @@
+"""Tests for API-level and freshness analyses."""
+
+import datetime
+
+import pytest
+
+from repro.analysis.apilevel import (
+    API_LEVEL_BUCKETS,
+    figure3_series,
+    low_api_share,
+    min_api_distribution,
+)
+from repro.analysis.freshness import (
+    YEAR_BUCKETS,
+    pre2017_share,
+    recent_update_share,
+    release_year_distribution,
+)
+from repro.crawler.snapshot import Snapshot
+from repro.util.simtime import FIRST_CRAWL_DAY, date_to_day
+
+from conftest import make_parsed, make_record
+
+
+class TestMinApi:
+    def _snap(self):
+        snap = Snapshot("t")
+        snap.add(make_record(package="com.a", apk=make_parsed(min_sdk=4)))
+        snap.add(make_record(package="com.b", apk=make_parsed(min_sdk=8)))
+        snap.add(make_record(package="com.c",
+                             apk=make_parsed(min_sdk=21, target_sdk=25)))
+        snap.add(make_record(package="com.d"))  # no APK: excluded
+        return snap
+
+    def test_distribution_buckets(self):
+        dist = min_api_distribution(self._snap(), "tencent")
+        assert dist[API_LEVEL_BUCKETS.index("<7")] == pytest.approx(1 / 3)
+        assert dist[API_LEVEL_BUCKETS.index("8")] == pytest.approx(1 / 3)
+        assert dist[API_LEVEL_BUCKETS.index(">16")] == pytest.approx(1 / 3)
+
+    def test_low_api_share(self):
+        assert low_api_share(self._snap(), "tencent") == pytest.approx(2 / 3)
+
+    def test_empty_market(self):
+        assert min_api_distribution(Snapshot("t"), "x") == [0.0] * len(API_LEVEL_BUCKETS)
+
+    def test_figure3_series_shape(self):
+        series = figure3_series(self._snap())
+        assert len(series["google_play"]) == len(API_LEVEL_BUCKETS)
+        assert len(series["chinese_box"]) == len(API_LEVEL_BUCKETS)
+
+
+class TestFreshness:
+    def _records(self):
+        return [
+            make_record(package="com.a",
+                        updated_day=date_to_day(datetime.date(2013, 6, 1))),
+            make_record(package="com.b",
+                        updated_day=date_to_day(datetime.date(2016, 6, 1))),
+            make_record(package="com.c", updated_day=FIRST_CRAWL_DAY - 30),
+        ]
+
+    def test_year_distribution(self):
+        dist = release_year_distribution(self._records())
+        assert dist[YEAR_BUCKETS.index("2013")] == pytest.approx(1 / 3)
+        assert dist[YEAR_BUCKETS.index("2017")] == pytest.approx(1 / 3)
+
+    def test_pre2017_share(self):
+        assert pre2017_share(self._records()) == pytest.approx(2 / 3)
+
+    def test_recent_share(self):
+        assert recent_update_share(self._records()) == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        assert pre2017_share([]) == 0.0
+        assert recent_update_share([]) == 0.0
+        assert release_year_distribution([]) == [0.0] * len(YEAR_BUCKETS)
+
+    def test_old_bucket(self):
+        records = [make_record(updated_day=date_to_day(datetime.date(2011, 1, 5)))]
+        dist = release_year_distribution(records)
+        assert dist[0] == 1.0

@@ -1,0 +1,224 @@
+"""Tests for signature- and code-based clone detection."""
+
+import pytest
+
+from repro.analysis.clones import (
+    CodeCloneDetector,
+    block_overlap,
+    detect_signature_clones,
+    feature_distance,
+)
+from repro.analysis.corpus import build_units
+from repro.apk.models import CodePackage
+from repro.crawler.snapshot import Snapshot
+
+from conftest import make_parsed, make_record
+
+
+class TestFeatureDistance:
+    def test_identical(self):
+        assert feature_distance({1: 2, 3: 4}, {1: 2, 3: 4}) == 0.0
+
+    def test_disjoint(self):
+        assert feature_distance({1: 2}, {2: 2}) == 1.0
+
+    def test_formula(self):
+        # |3-1| / (3+1) = 0.5
+        assert feature_distance({1: 3}, {1: 1}) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        a, b = {1: 3, 2: 1}, {1: 1, 4: 2}
+        assert feature_distance(a, b) == feature_distance(b, a)
+
+    def test_empty(self):
+        assert feature_distance({}, {}) == 0.0
+
+    def test_triangle_like_monotonicity(self):
+        base = {i: 5 for i in range(20)}
+        near = {**base, 0: 6}
+        far = {**base, **{i: 1 for i in range(20, 30)}}
+        assert feature_distance(base, near) < feature_distance(base, far)
+
+
+class TestBlockOverlap:
+    def test_full(self):
+        assert block_overlap((1, 2, 3), (1, 2, 3)) == 1.0
+
+    def test_partial_uses_max(self):
+        assert block_overlap((1, 2, 3, 4), (1, 2)) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert block_overlap((), (1,)) == 0.0
+
+
+def _record(package, signer, own_features, blocks, market="tencent",
+            downloads=100, version_code=3):
+    apk = make_parsed(
+        package=package,
+        version_code=version_code,
+        packages=(CodePackage(package, dict(own_features), tuple(blocks)),),
+        signer=signer,
+    )
+    return make_record(
+        market_id=market, package=package, downloads=downloads,
+        version_code=version_code, apk=apk,
+    )
+
+
+BASE_FEATURES = {i: 10 for i in range(30)}
+BASE_BLOCKS = tuple(range(1000, 1040))
+
+
+class TestSignatureClones:
+    def test_multi_signer_package_flagged(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.a", "1" * 16, BASE_FEATURES, BASE_BLOCKS,
+                         market="google_play", downloads=10**7))
+        snap.add(_record("com.a", "2" * 16, BASE_FEATURES, BASE_BLOCKS,
+                         market="tencent", downloads=50))
+        analysis = detect_signature_clones(build_units(snap))
+        assert ("com.a", "2" * 16) in analysis.clone_units
+        assert analysis.originals["com.a"] == ("com.a", "1" * 16)
+
+    def test_single_signer_not_flagged(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.a", "1" * 16, BASE_FEATURES, BASE_BLOCKS,
+                         market="google_play"))
+        snap.add(_record("com.a", "1" * 16, BASE_FEATURES, BASE_BLOCKS,
+                         market="tencent"))
+        analysis = detect_signature_clones(build_units(snap))
+        assert not analysis.clone_units
+
+    def test_market_rates_exclude_original(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.a", "1" * 16, BASE_FEATURES, BASE_BLOCKS,
+                         market="google_play", downloads=10**7))
+        snap.add(_record("com.a", "2" * 16, BASE_FEATURES, BASE_BLOCKS,
+                         market="tencent", downloads=50))
+        snap.add(_record("com.b", "3" * 16, {50: 1}, (9,), market="tencent"))
+        rates = detect_signature_clones(build_units(snap)).market_rates(snap)
+        assert rates["tencent"] == pytest.approx(0.5)
+        assert rates["google_play"] == 0.0
+
+    def test_developers_per_package(self):
+        snap = Snapshot("t")
+        for i, market in enumerate(("tencent", "baidu", "anzhi")):
+            snap.add(_record("com.a", f"{i}" * 16, BASE_FEATURES, BASE_BLOCKS,
+                             market=market, downloads=100 - i))
+        counts = detect_signature_clones(build_units(snap)).developers_per_package()
+        assert counts == [3]
+
+
+def _clone_features(extra=1):
+    features = dict(BASE_FEATURES)
+    for i in range(extra):
+        features[100 + i] = 2
+    return features
+
+
+def _clone_blocks(keep=37):
+    return BASE_BLOCKS[:keep] + tuple(range(5000, 5000 + len(BASE_BLOCKS) - keep))
+
+
+class TestCodeClones:
+    def _snap_with_clone(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.orig", "1" * 16, BASE_FEATURES, BASE_BLOCKS,
+                         market="google_play", downloads=10**7))
+        snap.add(_record("com.copy", "2" * 16, _clone_features(), _clone_blocks(),
+                         market="tencent", downloads=10))
+        snap.add(_record("com.other", "3" * 16, {i: 3 for i in range(200, 230)},
+                         tuple(range(8000, 8040)), market="tencent"))
+        return snap
+
+    def test_clone_detected(self):
+        snap = self._snap_with_clone()
+        analysis = CodeCloneDetector().detect(build_units(snap))
+        assert ("com.copy", "2" * 16) in analysis.clone_units
+        assert analysis.original_of[("com.copy", "2" * 16)] == ("com.orig", "1" * 16)
+
+    def test_unrelated_app_not_flagged(self):
+        snap = self._snap_with_clone()
+        analysis = CodeCloneDetector().detect(build_units(snap))
+        assert ("com.other", "3" * 16) not in analysis.clone_units
+
+    def test_same_signer_excluded(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.orig", "1" * 16, BASE_FEATURES, BASE_BLOCKS,
+                         market="google_play", downloads=10**7))
+        snap.add(_record("com.port", "1" * 16, _clone_features(), _clone_blocks(),
+                         market="tencent", downloads=10))
+        analysis = CodeCloneDetector().detect(build_units(snap))
+        assert not analysis.clone_units
+
+    def test_same_package_excluded(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.same", "1" * 16, BASE_FEATURES, BASE_BLOCKS,
+                         market="google_play", downloads=10**7))
+        snap.add(_record("com.same", "2" * 16, _clone_features(), _clone_blocks(),
+                         market="tencent", downloads=10))
+        analysis = CodeCloneDetector().detect(build_units(snap))
+        assert not analysis.clone_units  # signature-based territory
+
+    def test_low_block_overlap_rejected(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.orig", "1" * 16, BASE_FEATURES, BASE_BLOCKS,
+                         market="google_play", downloads=10**7))
+        snap.add(_record("com.half", "2" * 16, _clone_features(),
+                         _clone_blocks(keep=20), market="tencent", downloads=10))
+        analysis = CodeCloneDetector().detect(build_units(snap))
+        assert not analysis.clone_units
+
+    def test_large_feature_distance_rejected(self):
+        far = dict(BASE_FEATURES)
+        for i in range(300, 330):
+            far[i] = 10
+        snap = Snapshot("t")
+        snap.add(_record("com.orig", "1" * 16, BASE_FEATURES, BASE_BLOCKS,
+                         market="google_play", downloads=10**7))
+        snap.add(_record("com.far", "2" * 16, far, _clone_blocks(keep=36),
+                         market="tencent", downloads=10))
+        analysis = CodeCloneDetector().detect(build_units(snap))
+        assert not analysis.clone_units
+
+    def test_orientation_by_downloads(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.poor", "1" * 16, BASE_FEATURES, BASE_BLOCKS,
+                         market="tencent", downloads=10))
+        snap.add(_record("com.rich", "2" * 16, _clone_features(), _clone_blocks(),
+                         market="google_play", downloads=10**7))
+        analysis = CodeCloneDetector().detect(build_units(snap))
+        assert ("com.poor", "1" * 16) in analysis.clone_units
+
+    def test_library_code_removed_before_comparison(self):
+        # Two unrelated apps share a big library; removing it must stop a
+        # false positive pairing.
+        lib = CodePackage("com.biglib", {i: 10 for i in range(500, 560)},
+                          tuple(range(9000, 9060)))
+        snap = Snapshot("t")
+        for i in range(4):
+            own = CodePackage(
+                f"com.app{i}", {i * 7 + 1: 2, i * 7 + 2: 1},
+                (i * 13 + 1, i * 13 + 2),
+            )
+            apk = make_parsed(package=f"com.app{i}", packages=(own, lib),
+                              signer=f"{i:016x}")
+            snap.add(make_record(market_id="tencent", package=f"com.app{i}",
+                                 downloads=100, apk=apk))
+        units = build_units(snap)
+        from repro.analysis.libraries import LibraryDetector
+
+        detection = LibraryDetector().fit(units)
+        with_removal = CodeCloneDetector().detect(units, detection)
+        assert not with_removal.clone_units
+        without_removal = CodeCloneDetector().detect(units, None)
+        assert without_removal.clone_units  # the ablation: FPs without LibRadar
+
+    def test_heatmap_source_attribution(self):
+        snap = self._snap_with_clone()
+        units = build_units(snap)
+        analysis = CodeCloneDetector().detect(units)
+        units_by_key = {(u.package, u.signer): u for u in units}
+        heatmap = analysis.heatmap(units_by_key, ("google_play", "tencent"))
+        assert heatmap[("google_play", "tencent")] == 1
+        assert heatmap[("tencent", "google_play")] == 0

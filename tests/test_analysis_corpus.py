@@ -1,0 +1,95 @@
+"""Tests for corpus preparation (app units)."""
+
+from repro.analysis.corpus import build_units, normalized_downloads
+from repro.crawler.snapshot import Snapshot
+
+from conftest import make_parsed, make_record
+
+
+def _snap(*records):
+    snap = Snapshot("t")
+    for record in records:
+        snap.add(record)
+    return snap
+
+
+class TestNormalizedDownloads:
+    def test_exact_passthrough(self):
+        assert normalized_downloads(make_record(downloads=123)) == 123
+
+    def test_range_lower_bound(self):
+        record = make_record(downloads=None, install_range=(50_000, 100_000))
+        assert normalized_downloads(record) == 50_000
+
+    def test_missing(self):
+        assert normalized_downloads(make_record(downloads=None)) is None
+
+
+class TestBuildUnits:
+    def test_groups_by_package_and_signer(self):
+        apk = make_parsed(signer="aa" * 8)
+        snap = _snap(
+            make_record(market_id="tencent", package="com.a", apk=apk),
+            make_record(market_id="baidu", package="com.a", apk=apk),
+        )
+        units = build_units(snap)
+        assert len(units) == 1
+        assert units[0].markets == ("baidu", "tencent")
+
+    def test_different_signers_split(self):
+        snap = _snap(
+            make_record(market_id="tencent", package="com.a",
+                        apk=make_parsed(signer="aa" * 8)),
+            make_record(market_id="baidu", package="com.a",
+                        apk=make_parsed(signer="bb" * 8)),
+        )
+        units = build_units(snap)
+        assert len(units) == 2
+        assert {u.signer for u in units} == {"aa" * 8, "bb" * 8}
+
+    def test_apkless_joins_sole_signer(self):
+        snap = _snap(
+            make_record(market_id="tencent", package="com.a",
+                        apk=make_parsed(signer="aa" * 8)),
+            make_record(market_id="baidu", package="com.a"),
+        )
+        units = build_units(snap)
+        assert len(units) == 1
+        assert len(units[0].records) == 2
+
+    def test_apkless_ambiguous_gets_none_unit(self):
+        snap = _snap(
+            make_record(market_id="tencent", package="com.a",
+                        apk=make_parsed(signer="aa" * 8)),
+            make_record(market_id="baidu", package="com.a",
+                        apk=make_parsed(signer="bb" * 8)),
+            make_record(market_id="anzhi", package="com.a"),
+        )
+        units = build_units(snap)
+        assert len(units) == 3
+        assert any(u.signer is None for u in units)
+
+    def test_representative_apk_highest_version(self):
+        snap = _snap(
+            make_record(market_id="tencent", package="com.a", version_code=1,
+                        apk=make_parsed(signer="aa" * 8, version_code=1)),
+            make_record(market_id="baidu", package="com.a", version_code=5,
+                        apk=make_parsed(signer="aa" * 8, version_code=5)),
+        )
+        units = build_units(snap)
+        assert units[0].apk.manifest.version_code == 5
+        assert units[0].max_version_code == 5
+
+    def test_max_downloads_across_markets(self):
+        apk = make_parsed(signer="aa" * 8)
+        snap = _snap(
+            make_record(market_id="tencent", package="com.a", downloads=10, apk=apk),
+            make_record(market_id="google_play", package="com.a", downloads=None,
+                        install_range=(1_000_000, 10_000_000), apk=apk),
+        )
+        units = build_units(snap)
+        assert units[0].max_downloads == 1_000_000
+
+    def test_no_download_data(self):
+        snap = _snap(make_record(downloads=None, apk=make_parsed()))
+        assert build_units(snap)[0].max_downloads is None

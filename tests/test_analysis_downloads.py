@@ -1,0 +1,82 @@
+"""Tests for download analysis."""
+
+import pytest
+
+from repro.analysis.downloads import (
+    aggregated_downloads,
+    bin_index,
+    bin_label,
+    download_bin_distribution,
+    top_download_share,
+)
+from repro.crawler.snapshot import Snapshot
+
+from conftest import make_record
+
+
+class TestBins:
+    def test_bin_index_edges(self):
+        assert bin_index(0) == 0
+        assert bin_index(10) == 1
+        assert bin_index(99) == 1
+        assert bin_index(100) == 2
+        assert bin_index(10**7) == 6
+
+    def test_bin_label(self):
+        assert bin_label(75_123) == "10K-100K"  # the paper's footnote example
+        assert bin_label(3) == "0-10"
+        assert bin_label(2_000_000) == ">1M"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bin_index(-5)
+
+
+class TestDistribution:
+    def _snap(self):
+        snap = Snapshot("t")
+        snap.add(make_record(package="com.a", downloads=5))
+        snap.add(make_record(package="com.b", downloads=500))
+        snap.add(make_record(package="com.c", downloads=50_000))
+        snap.add(make_record(package="com.d", downloads=None))
+        return snap
+
+    def test_distribution(self):
+        dist = download_bin_distribution(self._snap(), "tencent")
+        assert dist[0] == pytest.approx(1 / 3)
+        assert dist[2] == pytest.approx(1 / 3)
+        assert dist[4] == pytest.approx(1 / 3)
+
+    def test_non_reporting_market_empty(self):
+        snap = Snapshot("t")
+        snap.add(make_record(market_id="xiaomi", downloads=None))
+        assert download_bin_distribution(snap, "xiaomi") == [0.0] * 7
+
+    def test_gp_ranges_normalized(self):
+        snap = Snapshot("t")
+        snap.add(make_record(market_id="google_play", package="com.a",
+                             downloads=None, install_range=(1_000_000, 10_000_000)))
+        dist = download_bin_distribution(snap, "google_play")
+        assert dist[6] == 1.0
+
+
+class TestAggregates:
+    def test_aggregated_downloads(self):
+        snap = Snapshot("t")
+        snap.add(make_record(package="com.a", downloads=100))
+        snap.add(make_record(package="com.b", downloads=None,
+                             install_range=(1000, 10000)))
+        assert aggregated_downloads(snap, "tencent") == 1100
+
+    def test_top_share_concentration(self):
+        snap = Snapshot("t")
+        snap.add(make_record(package="com.big", downloads=10**9))
+        for i in range(99):
+            snap.add(make_record(package=f"com.small{i}", downloads=10))
+        share = top_download_share(snap, "tencent", 0.01)
+        assert share > 0.99
+
+    def test_top_share_none_without_data(self):
+        snap = Snapshot("t")
+        snap.add(make_record(downloads=None))
+        assert top_download_share(snap, "tencent", 0.01) is None

@@ -1,0 +1,96 @@
+"""Tests for fake-app detection on crafted corpora."""
+
+import pytest
+
+from repro.analysis.corpus import build_units
+from repro.analysis.fake import detect_fakes, name_cluster_sizes
+from repro.crawler.snapshot import Snapshot
+
+from conftest import make_parsed, make_record
+
+
+def _record(package, name, signer, downloads, market="tencent",
+            install_range=None):
+    return make_record(
+        market_id=market, package=package, app_name=name,
+        downloads=downloads, install_range=install_range,
+        apk=make_parsed(package=package, signer=signer),
+    )
+
+
+def _official_and_fakes(n_fakes=2, name="Super Messenger"):
+    snap = Snapshot("t")
+    snap.add(_record("com.official", name, "0" * 16, 5_000_000,
+                     market="google_play"))
+    for i in range(n_fakes):
+        snap.add(_record(f"com.fake{i}", name, f"{i + 1:016x}", 200 + i))
+    return snap
+
+
+class TestDetectFakes:
+    def test_classic_cluster(self):
+        analysis = detect_fakes(build_units(_official_and_fakes()))
+        assert len(analysis.fake_units) == 2
+        assert all(
+            official == ("com.official", "0" * 16)
+            for official in analysis.official_of.values()
+        )
+
+    def test_no_popular_anchor_no_fakes(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.a", "Some App", "0" * 16, 5000))
+        snap.add(_record("com.b", "Some App", "1" * 16, 100))
+        assert not detect_fakes(build_units(snap)).fake_units
+
+    def test_common_names_excluded(self):
+        snap = Snapshot("t")
+        # Many unrelated packages share a generic name; one is popular.
+        for i in range(10):
+            snap.add(_record(f"com.flash{i}", "Flashlight", f"{i:016x}",
+                             5_000_000 if i == 0 else 50))
+        assert not detect_fakes(build_units(snap)).fake_units
+
+    def test_same_developer_variants_excluded(self):
+        # The paper's example: Sogou Map phone and pad variants share the
+        # developer signature.
+        snap = Snapshot("t")
+        snap.add(_record("com.sogou.maps", "Sogou Map", "0" * 16, 5_000_000))
+        snap.add(_record("com.sogou.maps.pad", "Sogou Map", "0" * 16, 800))
+        assert not detect_fakes(build_units(snap)).fake_units
+
+    def test_popular_same_name_not_fake(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.official", "Big App", "0" * 16, 5_000_000))
+        snap.add(_record("com.rival", "Big App", "1" * 16, 2_000_000))
+        assert not detect_fakes(build_units(snap)).fake_units
+
+    def test_large_cluster_excluded(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.official", "Niche App", "0" * 16, 5_000_000))
+        for i in range(5):
+            snap.add(_record(f"com.fake{i}", "Niche App", f"{i + 1:016x}", 100))
+        # 6 distinct packages >= MAX_CLUSTER_SIZE: too noisy to call.
+        assert not detect_fakes(build_units(snap)).fake_units
+
+    def test_gp_install_range_anchor(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.official", "Range App", "0" * 16, None,
+                         market="google_play",
+                         install_range=(1_000_000, 10_000_000)))
+        snap.add(_record("com.fake", "Range App", "1" * 16, 100))
+        assert detect_fakes(build_units(snap)).fake_units
+
+    def test_market_rates(self):
+        snap = _official_and_fakes(n_fakes=1)
+        snap.add(_record("com.clean", "Other App", "9" * 16, 100))
+        rates = detect_fakes(build_units(snap)).market_rates(snap)
+        assert rates["tencent"] == pytest.approx(0.5)
+        assert rates["google_play"] == 0.0
+
+
+class TestNameClusters:
+    def test_sizes(self):
+        snap = _official_and_fakes(n_fakes=2)
+        snap.add(_record("com.x", "Unique App", "9" * 16, 10))
+        sizes = name_cluster_sizes(build_units(snap))
+        assert sorted(sizes) == [1, 3]

@@ -1,0 +1,138 @@
+"""Tests for LibRadar-style library detection on crafted corpora."""
+
+import pytest
+
+from repro.analysis.corpus import build_units
+from repro.analysis.libraries import LibraryDetector, market_tpl_stats
+from repro.apk.models import CodePackage
+from repro.crawler.snapshot import Snapshot
+
+from conftest import make_parsed, make_record
+
+LIB_FEATURES = {900: 3, 901: 1, 902: 5}
+OTHER_LIB_FEATURES = {800: 2, 801: 2}
+
+
+def _app(i, with_lib=True, lib_name="com.sharedlib", lib_features=None,
+         market="tencent"):
+    own = CodePackage(f"com.app{i}", {i + 1: 2, i + 50: 1}, (i * 10, i * 10 + 1))
+    packages = [own]
+    if with_lib:
+        packages.append(
+            CodePackage(lib_name, dict(lib_features or LIB_FEATURES), (7000,))
+        )
+    apk = make_parsed(
+        package=f"com.app{i}", packages=tuple(packages),
+        signer=f"{i:016x}",
+    )
+    return make_record(market_id=market, package=f"com.app{i}", apk=apk)
+
+
+def _corpus(n_with_lib=5, n_without=2):
+    snap = Snapshot("t")
+    for i in range(n_with_lib):
+        snap.add(_app(i, with_lib=True))
+    for i in range(n_with_lib, n_with_lib + n_without):
+        snap.add(_app(i, with_lib=False))
+    return snap
+
+
+class TestDetection:
+    def test_shared_code_detected_as_library(self):
+        units = build_units(_corpus())
+        detection = LibraryDetector().fit(units)
+        identities = {lib.identity for lib in detection.libraries}
+        assert "com.sharedlib" in identities
+
+    def test_own_code_not_detected(self):
+        units = build_units(_corpus())
+        detection = LibraryDetector().fit(units)
+        identities = {lib.identity for lib in detection.libraries}
+        assert not any(identity.startswith("com.app") for identity in identities)
+
+    def test_rare_code_not_detected(self):
+        snap = Snapshot("t")
+        snap.add(_app(0, with_lib=True))
+        snap.add(_app(1, with_lib=True))  # only 2 apps: below min_apps=3
+        snap.add(_app(2, with_lib=False))
+        detection = LibraryDetector().fit(build_units(snap))
+        assert not detection.libraries
+
+    def test_unit_library_assignment(self):
+        units = build_units(_corpus())
+        detection = LibraryDetector().fit(units)
+        with_lib = [u for u in units if int(u.package[7:]) < 5]
+        without = [u for u in units if int(u.package[7:]) >= 5]
+        for unit in with_lib:
+            assert "com.sharedlib" in detection.libraries_of(unit)
+        for unit in without:
+            assert not detection.libraries_of(unit)
+
+    def test_obfuscation_resilient_name_resolution(self):
+        snap = Snapshot("t")
+        # Three apps carry the library unobfuscated; one is packed and
+        # carries the same features under a mangled name.
+        for i in range(3):
+            snap.add(_app(i, with_lib=True))
+        snap.add(_app(9, with_lib=True, lib_name="o.deadbeef01"))
+        detection = LibraryDetector().fit(build_units(snap))
+        identities = {lib.identity for lib in detection.libraries}
+        assert "com.sharedlib" in identities
+        assert not any(identity.startswith("o.") for identity in identities)
+        packed_unit = next(u for u in build_units(snap) if u.package == "com.app9")
+        assert "com.sharedlib" in detection.libraries_of(packed_unit)
+
+    def test_version_grouping(self):
+        snap = Snapshot("t")
+        for i in range(3):
+            snap.add(_app(i, with_lib=True))
+        v2 = {**LIB_FEATURES, 903: 2}
+        for i in range(3, 6):
+            snap.add(_app(i, with_lib=True, lib_features=v2))
+        detection = LibraryDetector().fit(build_units(snap))
+        shared = next(l for l in detection.libraries if l.identity == "com.sharedlib")
+        assert shared.version_count == 2
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            LibraryDetector(min_apps=1)
+
+
+class TestUsageAndStats:
+    def test_usage_table(self):
+        units = build_units(_corpus(n_with_lib=6, n_without=2))
+        detection = LibraryDetector().fit(units)
+        table = detection.usage_table(units)
+        identity, usage, _ = table[0]
+        assert identity == "com.sharedlib"
+        assert usage == pytest.approx(6 / 8)
+
+    def test_market_scoped_usage(self):
+        snap = Snapshot("t")
+        for i in range(4):
+            snap.add(_app(i, with_lib=True, market="tencent"))
+        for i in range(4, 8):
+            snap.add(_app(i, with_lib=False, market="baidu"))
+        units = build_units(snap)
+        detection = LibraryDetector().fit(units)
+        tencent = detection.usage_table(units, markets={"tencent"})
+        baidu = detection.usage_table(units, markets={"baidu"})
+        assert tencent and tencent[0][1] == 1.0
+        assert not baidu  # no library usage there
+
+    def test_market_tpl_stats(self):
+        units = build_units(_corpus(n_with_lib=3, n_without=1))
+        detection = LibraryDetector().fit(units)
+        stats = market_tpl_stats(units, detection)["tencent"]
+        assert stats["presence"] == pytest.approx(3 / 4)
+        assert stats["avg_count"] == pytest.approx(3 / 4)
+
+    def test_ad_classification_via_knowledge_base(self):
+        snap = Snapshot("t")
+        for i in range(4):
+            snap.add(_app(i, with_lib=True, lib_name="com.google.ads"))
+        units = build_units(snap)
+        detection = LibraryDetector().fit(units)
+        assert detection.is_ad_identity("com.google.ads")
+        stats = market_tpl_stats(units, detection)["tencent"]
+        assert stats["ad_presence"] == 1.0

@@ -1,0 +1,95 @@
+"""Tests for longitudinal snapshot comparison."""
+
+import pytest
+
+from repro.analysis.longitudinal import compare_snapshots
+from repro.crawler.snapshot import Snapshot
+
+from conftest import make_record
+
+
+def _snap(entries):
+    snap = Snapshot("t")
+    for market, package, version in entries:
+        snap.add(make_record(market_id=market, package=package,
+                             version_code=version))
+    return snap
+
+
+class TestCompareSnapshots:
+    def test_removed_and_added(self):
+        first = _snap([("tencent", "com.a", 1), ("tencent", "com.b", 1)])
+        second = _snap([("tencent", "com.b", 1), ("tencent", "com.c", 1)])
+        churn = compare_snapshots(first, second)["tencent"]
+        assert churn.removed == 1
+        assert churn.added == 1
+        assert churn.survivors == 1
+        assert churn.removal_share == pytest.approx(0.5)
+
+    def test_upgrades_counted(self):
+        first = _snap([("tencent", "com.a", 1), ("tencent", "com.b", 3)])
+        second = _snap([("tencent", "com.a", 2), ("tencent", "com.b", 3)])
+        churn = compare_snapshots(first, second)["tencent"]
+        assert churn.upgraded == 1
+        assert churn.upgrade_share == pytest.approx(0.5)
+
+    def test_flagged_removals(self):
+        first = _snap([("tencent", "com.mal", 1), ("tencent", "com.ok", 1)])
+        second = _snap([("tencent", "com.ok", 1)])
+        churn = compare_snapshots(
+            first, second, flagged={"tencent": {"com.mal"}}
+        )["tencent"]
+        assert churn.flagged_total == 1
+        assert churn.flagged_removed == 1
+        assert churn.flagged_removal_share == 1.0
+
+    def test_dead_market_skipped(self):
+        first = _snap([("hiapk", "com.a", 1)])
+        second = _snap([("tencent", "com.x", 1)])
+        churn = compare_snapshots(first, second)
+        assert "hiapk" not in churn
+
+    def test_empty_first_market(self):
+        churn = compare_snapshots(Snapshot("a"), _snap([("tencent", "com.a", 1)]))
+        assert churn == {}
+
+
+class TestFullSecondCrawlIntegration:
+    @pytest.fixture(scope="class")
+    def dual_study(self):
+        from repro import Study, StudyConfig
+
+        return Study(
+            StudyConfig(seed=9, scale=0.0002, full_second_crawl=True)
+        ).run()
+
+    def test_second_snapshot_produced(self, dual_study):
+        assert dual_study.second_snapshot is not None
+        assert len(dual_study.second_snapshot) > 0
+
+    def test_dead_markets_absent_second_time(self, dual_study):
+        markets = set(dual_study.second_snapshot.markets())
+        assert "hiapk" not in markets
+        assert "oppo" not in markets
+
+    def test_gp_removed_most_flagged(self, dual_study):
+        churn = compare_snapshots(
+            dual_study.snapshot,
+            dual_study.second_snapshot,
+            dual_study.flagged_by_market,
+        )
+        gp = churn["google_play"]
+        assert gp.flagged_total > 0
+        assert gp.flagged_removal_share > 0.5  # paper: 84%
+        assert gp.flagged_removal_share > churn["pconline"].flagged_removal_share
+
+    def test_upgrades_happen(self, dual_study):
+        churn = compare_snapshots(dual_study.snapshot, dual_study.second_snapshot)
+        assert sum(c.upgraded for c in churn.values()) > 0
+
+    def test_churn_experiment_renders(self, dual_study):
+        from repro.experiments import run_experiment
+
+        table = run_experiment("churn", dual_study)
+        assert table.rows
+        assert "HiApk" not in table.column("market")

@@ -1,0 +1,130 @@
+"""Tests for over-privilege analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.corpus import build_units
+from repro.analysis.permissions import (
+    analyze_overprivilege,
+    figure11_series,
+    market_overprivilege,
+)
+from repro.android.permissions import platform_spec
+from repro.apk.models import CodePackage
+from repro.crawler.snapshot import Snapshot
+
+from conftest import make_parsed, make_record
+
+
+def _record(package, requested, used_perms, market="tencent"):
+    spec = platform_spec()
+    rng = np.random.default_rng(hash(package) % 2**31)
+    features = {}
+    for perm in used_perms:
+        features[spec.sample_feature(perm, rng)] = 2
+    features[3] = 1  # an unguarded call
+    apk = make_parsed(
+        package=package,
+        permissions=tuple(requested),
+        packages=(CodePackage(package, features, (1, 2)),),
+        signer=f"{abs(hash(package)) % 10**16:016d}",
+    )
+    return make_record(market_id=market, package=package, apk=apk)
+
+
+class TestAnalyze:
+    def test_exact_gap(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.a", ["CAMERA", "SEND_SMS", "INTERNET"],
+                         ["CAMERA", "INTERNET"]))
+        units = build_units(snap)
+        result = analyze_overprivilege(units)
+        assert result.unused_of(units[0]) == frozenset({"SEND_SMS"})
+
+    def test_no_gap(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.a", ["CAMERA"], ["CAMERA"]))
+        units = build_units(snap)
+        result = analyze_overprivilege(units)
+        assert result.unused_of(units[0]) == frozenset()
+
+    def test_library_usage_counts(self):
+        # Permissions exercised only by embedded library code are used.
+        spec = platform_spec()
+        rng = np.random.default_rng(5)
+        lib = CodePackage(
+            "com.somelib", {spec.sample_feature("READ_PHONE_STATE", rng): 1}, (9,)
+        )
+        own = CodePackage("com.a", {3: 1}, (1,))
+        apk = make_parsed(package="com.a", permissions=("READ_PHONE_STATE",),
+                          packages=(own, lib))
+        snap = Snapshot("t")
+        snap.add(make_record(package="com.a", apk=apk))
+        units = build_units(snap)
+        result = analyze_overprivilege(units)
+        assert result.unused_of(units[0]) == frozenset()
+
+    def test_apkless_units_skipped(self):
+        snap = Snapshot("t")
+        snap.add(make_record(package="com.a"))
+        units = build_units(snap)
+        result = analyze_overprivilege(units)
+        assert result.unused_of(units[0]) is None
+
+    def test_top_unused_dangerous(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.a", ["READ_PHONE_STATE", "CAMERA", "INTERNET"],
+                         ["INTERNET"]))
+        snap.add(_record("com.b", ["READ_PHONE_STATE", "INTERNET"],
+                         ["INTERNET"]))
+        result = analyze_overprivilege(build_units(snap))
+        top = dict(result.top_unused_dangerous())
+        assert top["READ_PHONE_STATE"] == 1.0
+        assert top["CAMERA"] == 0.5
+        assert "INTERNET" not in top  # not dangerous
+
+
+class TestMarketStats:
+    def test_share_and_histogram(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.a", ["CAMERA", "SEND_SMS"], ["CAMERA"]))
+        snap.add(_record("com.b", ["CAMERA"], ["CAMERA"]))
+        units = build_units(snap)
+        result = analyze_overprivilege(units)
+        stats = market_overprivilege(snap, units, result)["tencent"]
+        assert stats["share"] == pytest.approx(0.5)
+        assert stats["histogram"][0] == pytest.approx(0.5)
+        assert stats["histogram"][1] == pytest.approx(0.5)
+
+    def test_dangerous_request_stats(self):
+        from repro.analysis.permissions import dangerous_request_stats
+
+        snap = Snapshot("t")
+        snap.add(_record("com.a", ["CAMERA", "SEND_SMS", "INTERNET"],
+                         ["CAMERA"], market="tencent"))
+        snap.add(_record("com.b", ["INTERNET"], [], market="google_play"))
+        units = build_units(snap)
+        stats = dangerous_request_stats(units)
+        assert stats["tencent"] == pytest.approx(2.0)
+        assert stats["google_play"] == pytest.approx(0.0)
+
+    def test_dangerous_request_gap_in_study(self, study):
+        from repro.analysis.permissions import dangerous_request_stats
+        from repro.markets.profiles import CHINESE_MARKET_IDS, GOOGLE_PLAY
+
+        stats = dangerous_request_stats(study.units)
+        cn = sum(stats[m] for m in CHINESE_MARKET_IDS if m in stats) / 16
+        # Section 6.3: Chinese-market apps request more dangerous perms.
+        assert cn > stats[GOOGLE_PLAY]
+
+    def test_figure11_series(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.a", ["CAMERA", "SEND_SMS"], ["CAMERA"],
+                         market="google_play"))
+        snap.add(_record("com.b", ["CAMERA", "SEND_SMS", "READ_SMS"],
+                         ["CAMERA"], market="tencent"))
+        units = build_units(snap)
+        result = analyze_overprivilege(units)
+        series = figure11_series(snap, units, result)
+        assert len(series["google_play"]) == 11
+        assert series["gp_share"] == 1.0

@@ -1,0 +1,58 @@
+"""Tests for the Table 6 removal analysis."""
+
+import pytest
+
+from repro.analysis.postanalysis import removal_report
+
+
+class TestRemovalReport:
+    def _flagged(self):
+        return {
+            "google_play": {"com.a", "com.b", "com.c", "com.d"},
+            "tencent": {"com.a", "com.b", "com.x"},
+            "pconline": {"com.a"},
+            "hiapk": {"com.a"},
+        }
+
+    def _presence(self):
+        return {
+            # GP removed a, b, c; kept d.
+            "google_play": {"com.a": False, "com.b": False, "com.c": False,
+                            "com.d": True},
+            # Tencent removed only com.b.
+            "tencent": {"com.a": True, "com.b": False, "com.x": True},
+            "pconline": {"com.a": True},
+            # hiapk absent: dead at the second crawl.
+        }
+
+    def test_removal_shares(self):
+        report = removal_report(self._flagged(), self._presence())
+        assert report.removal_share["google_play"] == pytest.approx(0.75)
+        assert report.removal_share["tencent"] == pytest.approx(1 / 3)
+        assert report.removal_share["pconline"] == 0.0
+
+    def test_excluded_markets(self):
+        report = removal_report(self._flagged(), self._presence())
+        assert report.excluded_markets == ["hiapk"]
+        assert "hiapk" not in report.removal_share
+
+    def test_gprm_overlap(self):
+        report = removal_report(self._flagged(), self._presence())
+        # GPRM = {a, b, c}; tencent flagged {a, b, x} -> overlap {a, b}.
+        assert report.gprm_overlap["tencent"] == 2
+        assert report.gprm_removed_share["tencent"] == pytest.approx(0.5)
+        assert report.gprm_overlap["pconline"] == 1
+        assert report.gprm_removed_share["pconline"] == 0.0
+
+    def test_survivor_share(self):
+        report = removal_report(self._flagged(), self._presence())
+        # Of GPRM {a, b, c}: a survives in tencent and pconline.
+        assert report.gprm_survivor_share == pytest.approx(1 / 3)
+
+    def test_empty_flagged_market(self):
+        report = removal_report(
+            {"google_play": set(), "tencent": set()},
+            {"google_play": {}, "tencent": {}},
+        )
+        assert report.removal_share["tencent"] == 0.0
+        assert report.gprm_survivor_share == 0.0

@@ -1,0 +1,127 @@
+"""Tests for publishing dynamics analyses."""
+
+import pytest
+
+from repro.analysis.corpus import build_units
+from repro.analysis.publishing import (
+    developer_market_cdf_counts,
+    developer_name_variants,
+    developer_stats,
+    gp_overlap_share,
+    highest_version_shares,
+    market_developer_counts,
+    single_store_shares,
+    versions_per_package,
+)
+from repro.crawler.snapshot import Snapshot
+
+from conftest import make_parsed, make_record
+
+
+def _record(package, signer, market, version_code=3):
+    return make_record(
+        market_id=market, package=package, version_code=version_code,
+        apk=make_parsed(package=package, signer=signer,
+                        version_code=version_code),
+    )
+
+
+class TestDeveloperCoverage:
+    def _snap(self):
+        snap = Snapshot("t")
+        # dev A: GP only; dev B: GP + 2 CN; dev C: one CN market.
+        snap.add(_record("com.a1", "a" * 16, "google_play"))
+        snap.add(_record("com.b1", "b" * 16, "google_play"))
+        snap.add(_record("com.b1", "b" * 16, "tencent"))
+        snap.add(_record("com.b2", "b" * 16, "baidu"))
+        snap.add(_record("com.c1", "c" * 16, "anzhi"))
+        return snap
+
+    def test_market_counts(self):
+        counts = developer_market_cdf_counts(build_units(self._snap()))
+        assert sorted(counts) == [1, 1, 3]
+
+    def test_developer_stats(self):
+        stats = developer_stats(build_units(self._snap()))
+        assert stats["developers"] == 3
+        assert stats["gp_share"] == pytest.approx(2 / 3)
+        assert stats["chinese_only_share"] == pytest.approx(1 / 3)
+        assert stats["gp_exclusive_share"] == pytest.approx(1 / 2)
+        assert stats["single_chinese_store_share"] == pytest.approx(1 / 3)
+
+    def test_market_developer_counts(self):
+        stats = market_developer_counts(build_units(self._snap()))
+        assert stats["google_play"]["developers"] == 2
+        # dev A publishes only in GP: unique there.
+        assert stats["google_play"]["unique_share"] == pytest.approx(0.5)
+        assert stats["anzhi"]["unique_share"] == 1.0
+
+
+class TestStoreOverlap:
+    def _snap(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.multi", "a" * 16, "google_play"))
+        snap.add(_record("com.multi", "a" * 16, "tencent"))
+        snap.add(_record("com.single", "b" * 16, "tencent"))
+        return snap
+
+    def test_single_store_shares(self):
+        shares = single_store_shares(self._snap())
+        assert shares["tencent"] == pytest.approx(0.5)
+        assert shares["google_play"] == 0.0
+
+    def test_gp_overlap(self):
+        assert gp_overlap_share(self._snap(), "tencent") == pytest.approx(0.5)
+
+    def test_gp_overlap_empty_market(self):
+        assert gp_overlap_share(Snapshot("t"), "tencent") == 0.0
+
+
+class TestVersions:
+    def _snap(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.lagged", "a" * 16, "google_play", version_code=5))
+        snap.add(_record("com.lagged", "a" * 16, "tencent", version_code=3))
+        snap.add(_record("com.synced", "b" * 16, "google_play", version_code=2))
+        snap.add(_record("com.synced", "b" * 16, "baidu", version_code=2))
+        snap.add(_record("com.single", "c" * 16, "baidu", version_code=9))
+        return snap
+
+    def test_versions_per_package(self):
+        assert sorted(versions_per_package(self._snap())) == [1, 1, 2]
+
+    def test_highest_version_shares(self):
+        shares = highest_version_shares(self._snap())
+        assert shares["google_play"] == 1.0
+        assert shares["tencent"] == 0.0  # its only multi-store app lags
+        assert shares["baidu"] == 1.0  # single-store app excluded
+
+    def test_market_without_multistore_apps(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.solo", "a" * 16, "liqu"))
+        assert highest_version_shares(snap)["liqu"] == 1.0
+
+
+class TestNameVariants:
+    def test_multi_name_signer_detected(self):
+        snap = Snapshot("t")
+        record_a = _record("com.a", "a" * 16, "tencent")
+        record_a.developer_name = "FooSoft Co., Ltd."
+        record_b = _record("com.a", "a" * 16, "baidu")
+        record_b.developer_name = "FooSoft Technology"
+        record_c = _record("com.b", "b" * 16, "tencent")
+        record_c.developer_name = "BarWorks"
+        for r in (record_a, record_b, record_c):
+            snap.add(r)
+        stats = developer_name_variants(build_units(snap))
+        assert stats["signers"] == 2
+        assert stats["multi_name_share"] == pytest.approx(0.5)
+        assert stats["max_variants"] == 2
+
+    def test_empty(self):
+        assert developer_name_variants([])["signers"] == 0.0
+
+    def test_session_study_has_variants(self, study):
+        stats = developer_name_variants(study.units)
+        # Footnote 11: some signers appear under multiple display names.
+        assert stats["multi_name_share"] > 0.0

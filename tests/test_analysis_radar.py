@@ -1,0 +1,49 @@
+"""Tests for the Figure 13 radar normalization."""
+
+import pytest
+
+from repro.analysis.radar import RADAR_DIMENSIONS, RADAR_MARKETS, radar_series
+
+
+class TestRadarSeries:
+    def test_inverted_dimensions(self):
+        raw = {"malware_resistance": {
+            "google_play": 0.02, "tencent": 0.11, "pconline": 0.24,
+            "huawei": 0.05, "lenovo": 0.07,
+        }}
+        series = radar_series(raw)
+        assert series["google_play"]["malware_resistance"] == 100.0
+        assert series["pconline"]["malware_resistance"] == 0.0
+        assert 0 < series["tencent"]["malware_resistance"] < 100
+
+    def test_higher_is_better_dimensions(self):
+        raw = {"app_ratings": {
+            "google_play": 4.2, "tencent": 3.0, "pconline": 2.9,
+            "huawei": 3.8, "lenovo": 3.5,
+        }}
+        series = radar_series(raw)
+        assert series["google_play"]["app_ratings"] == 100.0
+        assert series["pconline"]["app_ratings"] == 0.0
+
+    def test_missing_values_zeroed(self):
+        raw = {"malware_removal": {
+            "google_play": 0.84, "tencent": 0.09, "pconline": None,
+            "huawei": 0.27, "lenovo": 0.23,
+        }}
+        series = radar_series(raw)
+        assert series["pconline"]["malware_removal"] == 0.0
+
+    def test_constant_dimension(self):
+        raw = {"app_ratings": {m: 3.0 for m in RADAR_MARKETS}}
+        series = radar_series(raw)
+        assert all(series[m]["app_ratings"] == 50.0 for m in RADAR_MARKETS)
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(KeyError):
+            radar_series({"blockchain": {m: 1.0 for m in RADAR_MARKETS}})
+
+    def test_all_dimensions_known(self):
+        assert set(RADAR_DIMENSIONS) == {
+            "malware_resistance", "fake_resistance", "clone_resistance",
+            "app_ratings", "catalog_freshness", "malware_removal",
+        }

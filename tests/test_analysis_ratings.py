@@ -1,0 +1,55 @@
+"""Tests for rating analysis."""
+
+import pytest
+
+from repro.analysis.ratings import (
+    default_rating_spike_share,
+    high_rating_share,
+    rating_cdf,
+    unrated_share,
+    unrated_low_download_share,
+)
+from repro.crawler.snapshot import Snapshot
+
+from conftest import make_record
+
+
+def _snap(ratings, market="tencent", downloads=None):
+    snap = Snapshot("t")
+    for i, rating in enumerate(ratings):
+        snap.add(
+            make_record(
+                market_id=market,
+                package=f"com.app{i}",
+                rating=rating,
+                downloads=(downloads[i] if downloads else 100),
+            )
+        )
+    return snap
+
+
+class TestRatingStats:
+    def test_unrated_share(self):
+        snap = _snap([0.0, 0.0, 4.5, 3.0])
+        assert unrated_share(snap, "tencent") == 0.5
+
+    def test_high_rating_share(self):
+        snap = _snap([4.5, 4.1, 3.9, 0.0])
+        assert high_rating_share(snap, "tencent") == 0.5
+
+    def test_default3_spike(self):
+        snap = _snap([3.0, 3.0, 2.7, 4.0, 0.0])
+        assert default_rating_spike_share(snap, "tencent") == pytest.approx(3 / 5)
+
+    def test_empty_market(self):
+        assert unrated_share(Snapshot("t"), "x") == 0.0
+
+    def test_cdf_monotone(self):
+        xs, cdf = rating_cdf(_snap([0.0, 2.0, 4.0, 5.0]), "tencent")
+        assert cdf == sorted(cdf)
+        assert cdf[-1] == 1.0
+        assert cdf[0] == pytest.approx(0.25)  # the unrated mass at 0
+
+    def test_unrated_low_download_share(self):
+        snap = _snap([0.0, 0.0, 4.0], downloads=[50, 5000, 100])
+        assert unrated_low_download_share(snap, "tencent") == 0.5

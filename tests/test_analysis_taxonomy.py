@@ -1,0 +1,54 @@
+"""Tests for category consolidation."""
+
+from repro.analysis.taxonomy import (
+    category_distribution,
+    category_distributions,
+    consolidate_label,
+)
+from repro.crawler.snapshot import Snapshot
+from repro.markets.categories import CANONICAL_CATEGORIES, OTHER_CATEGORY
+
+from conftest import make_record
+
+
+class TestConsolidateLabel:
+    def test_canonical_passthrough(self):
+        assert consolidate_label("Game") == "Game"
+
+    def test_aliases(self):
+        assert consolidate_label("Casual Games") == "Game"
+        assert consolidate_label("Themes") == "Personalization"
+        assert consolidate_label("Input Method") == "InputMethods"
+
+    def test_null_labels(self):
+        assert consolidate_label("") == OTHER_CATEGORY
+        assert consolidate_label("102229") == OTHER_CATEGORY
+        assert consolidate_label("Unclassified") == OTHER_CATEGORY
+
+    def test_unknown_label(self):
+        assert consolidate_label("Quantum Chromodynamics") == OTHER_CATEGORY
+
+    def test_whitespace_tolerated(self):
+        assert consolidate_label("  Game ") == "Game"
+
+
+class TestDistribution:
+    def test_shares_sum_to_one(self):
+        snap = Snapshot("t")
+        snap.add(make_record(package="com.a", category="Games"))
+        snap.add(make_record(package="com.b", category="Tools"))
+        snap.add(make_record(package="com.c", category="NULL"))
+        dist = category_distribution(snap, "tencent")
+        assert abs(sum(dist.values()) - 1.0) < 1e-9
+        assert dist["Game"] == dist["Tools"] == dist[OTHER_CATEGORY]
+
+    def test_empty_market(self):
+        dist = category_distribution(Snapshot("t"), "tencent")
+        assert all(v == 0.0 for v in dist.values())
+        assert set(dist) == set(CANONICAL_CATEGORIES)
+
+    def test_matrix_covers_markets(self):
+        snap = Snapshot("t")
+        snap.add(make_record(market_id="tencent"))
+        snap.add(make_record(market_id="baidu"))
+        assert set(category_distributions(snap)) == {"baidu", "tencent"}

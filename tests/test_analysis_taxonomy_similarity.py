@@ -1,0 +1,49 @@
+"""Tests for category-mix similarity (Figure 1's qualitative claim)."""
+
+import pytest
+
+from repro.analysis.taxonomy import category_similarity, similarity_to_google_play
+from repro.crawler.snapshot import Snapshot
+
+from conftest import make_record
+
+
+class TestCategorySimilarity:
+    def test_identical_distributions(self):
+        dist = {"Game": 0.5, "Tools": 0.5}
+        assert category_similarity(dist, dist) == pytest.approx(1.0)
+
+    def test_orthogonal_distributions(self):
+        a = {"Game": 1.0}
+        b = {"Tools": 1.0}
+        assert category_similarity(a, b) == pytest.approx(0.0)
+
+    def test_other_ignored(self):
+        a = {"Game": 0.5, "Null/Other": 0.5}
+        b = {"Game": 0.5, "Null/Other": 0.0}
+        assert category_similarity(a, b) == pytest.approx(1.0)
+        assert category_similarity(a, b, ignore_other=False) < 1.0
+
+    def test_empty(self):
+        assert category_similarity({}, {"Game": 1.0}) == 0.0
+
+    def test_snapshot_helper(self):
+        snap = Snapshot("t")
+        snap.add(make_record(market_id="google_play", package="com.a",
+                             category="Games"))
+        snap.add(make_record(market_id="tencent", package="com.b",
+                             category="Casual Games"))
+        snap.add(make_record(market_id="huawei", package="com.c",
+                             category="Utilities"))
+        sims = similarity_to_google_play(snap)
+        assert sims["tencent"] == pytest.approx(1.0)
+        assert sims["huawei"] == pytest.approx(0.0)
+        assert "google_play" not in sims
+
+    def test_session_study_vendor_divergence(self, study):
+        sims = similarity_to_google_play(study.snapshot)
+        web_stores = [sims[m] for m in ("tencent", "baidu", "pp25")]
+        vendor_stores = [sims[m] for m in ("meizu", "huawei", "lenovo")]
+        # Section 4.1: vendor stores diverge from Google Play's mix.
+        assert min(web_stores) > max(vendor_stores) - 0.1
+        assert sum(web_stores) / 3 > sum(vendor_stores) / 3

@@ -1,0 +1,107 @@
+"""Tests for the simulated VirusTotal service."""
+
+import pytest
+
+from repro.analysis.virustotal import VirusTotalService, default_engines
+from repro.apk.models import CodePackage
+from repro.apk.obfuscation import JiaguObfuscator
+from repro.apk.archive import parse_apk, serialize_apk
+from repro.ecosystem.threats import MALWARE_FAMILIES, payload_code
+
+from conftest import build_apk, make_parsed
+
+
+@pytest.fixture(scope="module")
+def service():
+    return VirusTotalService()
+
+
+def _infected(family, variant=0, package="com.victim.app"):
+    payload = payload_code(family, variant)
+    own = CodePackage(package, {i: 8 for i in range(1, 40)}, tuple(range(50)))
+    return make_parsed(package=package, packages=(own, payload))
+
+
+class TestEngines:
+    def test_default_roster(self):
+        engines = default_engines()
+        assert len(engines) == 60
+        tiers = {e.tier for e in engines}
+        assert tiers == {"strong", "medium", "weak"}
+        assert len({e.name for e in engines}) == 60
+
+    def test_bad_tier_rejected(self):
+        from repro.analysis.virustotal import EngineProfile
+
+        with pytest.raises(ValueError):
+            EngineProfile("X", "ultra", "dot")
+
+
+class TestScanning:
+    def test_clean_app_rarely_flagged(self, service):
+        report = service.scan(make_parsed())
+        assert report.av_rank <= 2  # at most stray weak-engine FPs
+
+    def test_high_profile_family_high_rank(self, service):
+        report = service.scan(_infected("ramnit"))
+        assert report.av_rank >= 35  # paper's Table 5: 44-48 of ~60
+
+    def test_eicar_high_rank(self, service):
+        report = service.scan(_infected("eicar"))
+        assert report.av_rank >= 35
+
+    def test_adware_family_mid_rank(self, service):
+        report = service.scan(_infected("kuguo"))
+        assert 8 <= report.av_rank <= 25
+
+    def test_trojan_between_adware_and_high_profile(self, service):
+        adware = service.scan(_infected("kuguo")).av_rank
+        trojan = service.scan(_infected("smsreg")).av_rank
+        high = service.scan(_infected("ramnit")).av_rank
+        assert adware < high and trojan < high
+
+    def test_deterministic(self):
+        a = VirusTotalService().scan(_infected("kuguo", 3))
+        b = VirusTotalService().scan(_infected("kuguo", 3))
+        assert a.detections == b.detections
+
+    def test_cached_by_md5(self, service):
+        apk = _infected("dowgin", 1)
+        assert service.scan(apk) is service.scan(apk)
+
+    def test_grayware_low_rank_nonzero(self, service):
+        from repro.ecosystem.libraries import default_catalog
+
+        catalog = default_catalog()
+        lib = catalog.get("com.kuguo.ad")
+        code = catalog.version_code(lib.package, 0).as_code_package()
+        own = CodePackage("com.host.app", {i: 8 for i in range(1, 40)},
+                          tuple(range(50)))
+        ranks = []
+        for i in range(6):
+            apk = make_parsed(package=f"com.host{i}.app",
+                              packages=(own, code))
+            ranks.append(service.scan(apk).av_rank)
+        assert max(ranks) >= 1  # weak engines flag the aggressive SDK
+        assert max(ranks) < 10  # but never into malware territory
+
+    def test_jiagu_heuristic(self, service):
+        # Packed clean apps occasionally attract weak-engine jiagu flags.
+        flagged = 0
+        for i in range(60):
+            apk = build_apk(package=f"com.packed{i}.app")
+            packed = parse_apk(serialize_apk(JiaguObfuscator().obfuscate(apk)))
+            report = service.scan(packed)
+            if report.av_rank:
+                flagged += 1
+                assert report.av_rank < 10
+        assert 0 < flagged < 30  # ~15% of packed apps
+
+    def test_labels_vendor_specific(self, service):
+        report = service.scan(_infected("ramnit"))
+        labels = set(report.labels())
+        assert len(labels) > 1  # different engines, different formats
+
+    def test_alias_table_exposed(self, service):
+        aliases = service.family_aliases()
+        assert "kuguo" in aliases and "kugou" in aliases["kuguo"]

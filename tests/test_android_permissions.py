@@ -1,0 +1,71 @@
+"""Tests for the platform permission specification."""
+
+import numpy as np
+
+from repro.android.permissions import (
+    ALL_PERMISSIONS,
+    DANGEROUS_PERMISSIONS,
+    platform_spec,
+)
+from repro.apk.models import API_FEATURE_RANGE
+
+
+class TestPlatformSpec:
+    def test_singleton(self):
+        assert platform_spec() is platform_spec()
+
+    def test_every_permission_has_features(self):
+        spec = platform_spec()
+        for perm in ALL_PERMISSIONS:
+            assert spec.permission_features[perm], perm
+
+    def test_feature_map_consistent(self):
+        spec = platform_spec()
+        for fid, perm in spec.feature_permission.items():
+            assert fid in spec.permission_features[perm]
+
+    def test_permissions_disjoint(self):
+        spec = platform_spec()
+        seen = set()
+        for perm, features in spec.permission_features.items():
+            assert not (seen & features), f"{perm} overlaps another permission"
+            seen |= features
+
+    def test_unguarded_space_exists(self):
+        spec = platform_spec()
+        api_lo, api_hi = API_FEATURE_RANGE
+        guarded = set(spec.feature_permission)
+        lower_half = set(range(api_lo, api_lo + (api_hi - api_lo) // 2))
+        assert not (guarded & lower_half)
+
+    def test_permissions_for(self):
+        spec = platform_spec()
+        perm = DANGEROUS_PERMISSIONS[0]
+        fid = next(iter(spec.permission_features[perm]))
+        assert spec.permissions_for([fid]) == {perm}
+        assert spec.permissions_for([0]) == frozenset()
+
+    def test_sample_feature_guarded_by_permission(self):
+        spec = platform_spec()
+        rng = np.random.default_rng(3)
+        for perm in ("CAMERA", "SEND_SMS", "INTERNET"):
+            for _ in range(5):
+                fid = spec.sample_feature(perm, rng)
+                assert spec.feature_permission[fid] == perm
+
+    def test_is_dangerous(self):
+        spec = platform_spec()
+        assert spec.is_dangerous("READ_PHONE_STATE")
+        assert not spec.is_dangerous("INTERNET")
+
+    def test_dangerous_have_intent_or_provider_features(self):
+        from repro.apk.models import INTENT_FEATURE_RANGE, PROVIDER_FEATURE_RANGE
+
+        spec = platform_spec()
+        for perm in DANGEROUS_PERMISSIONS:
+            features = spec.permission_features[perm]
+            non_api = [
+                f for f in features
+                if f >= INTENT_FEATURE_RANGE[0]
+            ]
+            assert non_api, f"{perm} lacks intent/provider entries"

@@ -1,0 +1,66 @@
+"""Tests for APK model invariants."""
+
+import pytest
+
+from repro.apk.models import Apk, CodePackage, FEATURE_SPACE, Manifest
+
+
+class TestManifest:
+    def test_valid(self):
+        m = Manifest("com.a", 1, "1.0", 9, 19)
+        assert m.package == "com.a"
+
+    def test_negative_version_rejected(self):
+        with pytest.raises(ValueError):
+            Manifest("com.a", -1, "1.0", 9, 19)
+
+    def test_target_below_min_rejected(self):
+        with pytest.raises(ValueError):
+            Manifest("com.a", 1, "1.0", 19, 9)
+
+    def test_min_sdk_positive(self):
+        with pytest.raises(ValueError):
+            Manifest("com.a", 1, "1.0", 0, 9)
+
+
+class TestCodePackage:
+    def test_feature_space_enforced(self):
+        with pytest.raises(ValueError):
+            CodePackage("com.a", {FEATURE_SPACE: 1})
+
+    def test_positive_counts_enforced(self):
+        with pytest.raises(ValueError):
+            CodePackage("com.a", {1: 0})
+
+    def test_digest_ignores_name(self):
+        a = CodePackage("com.a", {1: 2, 3: 4})
+        b = CodePackage("o.deadbeef", {1: 2, 3: 4})
+        assert a.feature_digest == b.feature_digest
+
+    def test_digest_sensitive_to_counts(self):
+        a = CodePackage("com.a", {1: 2})
+        b = CodePackage("com.a", {1: 3})
+        assert a.feature_digest != b.feature_digest
+
+    def test_digest_order_independent(self):
+        a = CodePackage("com.a", {1: 2, 5: 1})
+        b = CodePackage("com.a", {5: 1, 1: 2})
+        assert a.feature_digest == b.feature_digest
+
+    def test_total_features(self):
+        assert CodePackage("com.a", {1: 2, 3: 4}).total_features() == 6
+
+
+class TestApk:
+    def test_merged_features_and_names(self):
+        apk = Apk(
+            manifest=Manifest("com.a", 1, "1.0", 9, 19),
+            packages=(
+                CodePackage("com.a", {1: 1}),
+                CodePackage("com.lib", {1: 2, 7: 3}),
+            ),
+            signer_fingerprint="ab",
+            signer_name="dev",
+        )
+        assert apk.merged_features() == {1: 3, 7: 3}
+        assert apk.package_names() == ("com.a", "com.lib")

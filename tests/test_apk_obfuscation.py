@@ -1,0 +1,55 @@
+"""Tests for 360 Jiagubao-style packing."""
+
+from repro.apk.models import CodePackage
+from repro.apk.obfuscation import JIAGU_STUB_PACKAGE, JiaguObfuscator
+
+from conftest import build_apk
+
+
+class TestJiaguObfuscator:
+    def test_renames_packages(self):
+        apk = build_apk()
+        packed = JiaguObfuscator().obfuscate(apk)
+        renamed = [p.name for p in packed.packages if p.name != JIAGU_STUB_PACKAGE]
+        assert all(name.startswith("o.") for name in renamed)
+
+    def test_preserves_feature_digests(self):
+        apk = build_apk()
+        packed = JiaguObfuscator().obfuscate(apk)
+        original_digests = {p.feature_digest for p in apk.packages}
+        packed_digests = {p.feature_digest for p in packed.packages}
+        assert original_digests <= packed_digests  # stub adds one more
+
+    def test_injects_stub(self):
+        packed = JiaguObfuscator().obfuscate(build_apk())
+        names = [p.name for p in packed.packages]
+        assert JIAGU_STUB_PACKAGE in names
+
+    def test_stub_digest_stable(self):
+        a = JiaguObfuscator().obfuscate(build_apk(package="com.x"))
+        b = JiaguObfuscator().obfuscate(build_apk(package="com.y"))
+        stub_a = [p for p in a.packages if p.name == JIAGU_STUB_PACKAGE][0]
+        stub_b = [p for p in b.packages if p.name == JIAGU_STUB_PACKAGE][0]
+        assert stub_a.feature_digest == stub_b.feature_digest
+        assert stub_a.feature_digest == JiaguObfuscator.stub_digest()
+
+    def test_rename_stable_per_app(self):
+        a = JiaguObfuscator().obfuscate(build_apk(package="com.x"))
+        b = JiaguObfuscator().obfuscate(build_apk(package="com.x"))
+        assert [p.name for p in a.packages] == [p.name for p in b.packages]
+
+    def test_rename_differs_across_apps(self):
+        a = JiaguObfuscator().obfuscate(build_apk(package="com.x"))
+        b = JiaguObfuscator().obfuscate(build_apk(package="com.y"))
+        assert [p.name for p in a.packages] != [p.name for p in b.packages]
+
+    def test_marks_archive(self):
+        packed = JiaguObfuscator().obfuscate(build_apk())
+        assert packed.obfuscated_by == "360jiagubao"
+
+    def test_input_not_modified(self):
+        apk = build_apk()
+        names_before = apk.package_names()
+        JiaguObfuscator().obfuscate(apk)
+        assert apk.package_names() == names_before
+        assert apk.obfuscated_by is None

@@ -1,0 +1,32 @@
+"""Tests for signing keys and signature extraction."""
+
+from repro.apk.archive import parse_apk, serialize_apk
+from repro.apk.signing import SigningKey, extract_signature
+
+from conftest import build_apk
+
+
+class TestSigningKey:
+    def test_fingerprint_deterministic(self):
+        assert SigningKey(1, "a").fingerprint == SigningKey(1, "b").fingerprint
+
+    def test_fingerprint_depends_on_key(self):
+        assert SigningKey(1, "a").fingerprint != SigningKey(2, "a").fingerprint
+
+    def test_fingerprint_hex(self):
+        fp = SigningKey(7, "dev").fingerprint
+        assert len(fp) == 16
+        int(fp, 16)  # parses as hex
+
+
+class TestExtractSignature:
+    def test_reads_from_archive(self):
+        key = SigningKey(99, "Studio")
+        apk = build_apk(signer=key.fingerprint)
+        parsed = parse_apk(serialize_apk(apk))
+        assert extract_signature(parsed) == key.fingerprint
+
+    def test_clone_has_different_signature(self):
+        original = parse_apk(serialize_apk(build_apk(signer=SigningKey(1, "a").fingerprint)))
+        clone = parse_apk(serialize_apk(build_apk(signer=SigningKey(2, "b").fingerprint)))
+        assert extract_signature(original) != extract_signature(clone)

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import EXPERIMENT_IDS
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.seed == 42
+        assert args.scale == 0.001
+        assert not args.no_apks
+
+    def test_experiment_ids_collected(self):
+        args = build_parser().parse_args(["experiment", "table4", "figure9"])
+        assert args.ids == ["table4", "figure9"]
+
+
+class TestCommands:
+    def test_list(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        listed = out.getvalue().split()
+        assert listed == list(EXPERIMENT_IDS)
+
+    def test_markets(self):
+        out = io.StringIO()
+        assert main(["markets"], out=out) == 0
+        text = out.getvalue()
+        assert "Google Play" in text
+        assert "Tencent Myapp" in text
+        assert text.count("\n") >= 18
+
+    def test_run_metadata_only(self):
+        out = io.StringIO()
+        code = main(["run", "--scale", "0.0002", "--no-apks", "--seed", "5"],
+                    out=out)
+        assert code == 0
+        assert "listings" in out.getvalue()
+
+    def test_experiment_unknown_id(self):
+        out = io.StringIO()
+        assert main(["experiment", "table99", "--scale", "0.0002"], out=out) == 2
+
+    def test_experiment_renders(self):
+        out = io.StringIO()
+        code = main(
+            ["experiment", "figure9", "--scale", "0.0002", "--no-apks",
+             "--seed", "5"],
+            out=out,
+        )
+        assert code == 0
+        assert "figure9" in out.getvalue()
+
+    def test_report_writes_file(self, tmp_path):
+        out = io.StringIO()
+        target = tmp_path / "EXP.md"
+        code = main(
+            ["report", "--scale", "0.0002", "--no-apks", "--seed", "5",
+             "--output", str(target)],
+            out=out,
+        )
+        assert code == 0
+        content = target.read_text()
+        assert "## figure9" in content
+        assert "## table1" in content

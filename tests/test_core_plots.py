@@ -1,0 +1,73 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.core.plots import bar_chart, cdf_plot, grouped_bars, heatmap
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        text = bar_chart({"a": 1.0, "b": 0.5}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_none_values(self):
+        assert "(n/a)" in bar_chart({"a": None, "b": 1.0})
+
+    def test_sorting(self):
+        text = bar_chart({"low": 1.0, "high": 5.0}, sort=True)
+        assert text.splitlines()[0].startswith("high")
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_all_zero(self):
+        text = bar_chart({"a": 0.0})
+        assert "#" not in text
+
+
+class TestGroupedBars:
+    def test_categories_covered(self):
+        text = grouped_bars({
+            "measured": {"bin1": 0.5, "bin2": 0.2},
+            "paper": {"bin1": 0.4, "bin2": 0.3},
+        })
+        assert "[bin1]" in text and "[bin2]" in text
+        assert "measured" in text and "paper" in text
+
+    def test_empty(self):
+        assert grouped_bars({}) == "(no data)"
+
+
+class TestCdfPlot:
+    def test_shape(self):
+        xs = list(range(10))
+        cdf = [(i + 1) / 10 for i in range(10)]
+        text = cdf_plot(xs, cdf, height=5, width=10)
+        lines = text.splitlines()
+        assert len(lines) == 7  # 5 levels + axis + caption
+        assert lines[0].startswith(" 1.0")
+        # Monotone curve: the top row has fewer marks than the bottom row.
+        assert lines[0].count("#") <= lines[4].count("#")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cdf_plot([1, 2], [0.5])
+        with pytest.raises(ValueError):
+            cdf_plot([], [])
+
+
+class TestHeatmap:
+    def test_grid_dimensions(self):
+        text = heatmap(
+            {("a", "x"): 10, ("b", "y"): 5},
+            rows=("a", "b"), columns=("x", "y"),
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + 2 rows + caption
+        assert "@" in lines[1]  # the peak cell is darkest
+
+    def test_empty_cells_blank(self):
+        text = heatmap({}, rows=("a",), columns=("x",))
+        assert "@" not in text

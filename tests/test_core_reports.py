@@ -1,0 +1,76 @@
+"""Tests for report structures."""
+
+import pytest
+
+from repro.core.reports import FigureReport, TableReport, format_cell
+
+
+class TestFormatCell:
+    def test_none(self):
+        assert format_cell(None) == "-"
+
+    def test_floats(self):
+        assert format_cell(0.1234) == "0.12"
+        assert format_cell(123.4) == "123.4"
+        assert format_cell(12345.6) == "12,346"
+        assert format_cell(0.0) == "0"
+
+    def test_ints(self):
+        assert format_cell(1234567) == "1,234,567"
+
+    def test_strings(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestTableReport:
+    def _table(self):
+        table = TableReport("t1", "Demo", columns=("market", "value"))
+        table.add_row("tencent", 1.5)
+        table.add_row("baidu", 2.5)
+        return table
+
+    def test_add_row_validates_width(self):
+        table = self._table()
+        with pytest.raises(ValueError):
+            table.add_row("only-one-cell")
+
+    def test_column_access(self):
+        assert self._table().column("value") == [1.5, 2.5]
+
+    def test_row_map(self):
+        rows = self._table().row_map()
+        assert rows["baidu"][1] == 2.5
+
+    def test_render_contains_data(self):
+        table = self._table()
+        table.notes.append("a note")
+        text = table.render()
+        assert "t1: Demo" in text
+        assert "tencent" in text and "2.50" in text
+        assert "note: a note" in text
+
+    def test_render_alignment(self):
+        lines = self._table().render().splitlines()
+        header, sep = lines[1], lines[2]
+        assert len(sep) == len(header)
+
+
+class TestFigureReport:
+    def test_render_dict_and_list(self):
+        figure = FigureReport("f1", "Curve", data={
+            "series": {"a": 1.0, "b": 2.0},
+            "points": [1, 2, 3],
+        })
+        text = figure.render()
+        assert "f1: Curve" in text
+        assert "[series]" in text and "a: 1.00" in text
+        assert "[points]" in text
+
+    def test_render_truncates(self):
+        figure = FigureReport("f2", "Big", data={"d": {str(i): i for i in range(50)}})
+        assert "more)" in figure.render(max_items=5)
+
+    def test_notes_rendered(self):
+        figure = FigureReport("f3", "N", data={})
+        figure.notes.append("observe")
+        assert "note: observe" in figure.render()

@@ -1,0 +1,60 @@
+"""Tests for the offline archive backfill (AndroZoo substitute)."""
+
+import pytest
+
+from repro.apk.archive import parse_apk
+from repro.crawler.backfill import ArchiveBackfill
+from repro.ecosystem.generator import EcosystemGenerator
+
+
+@pytest.fixture(scope="module")
+def world():
+    return EcosystemGenerator(seed=61, scale=0.0002).generate()
+
+
+class TestArchiveBackfill:
+    def test_full_coverage_finds_gp_apps(self, world):
+        archive = ArchiveBackfill(world, coverage=1.0)
+        app = next(a for a in world.apps if "google_play" in a.placements)
+        version = a_version(app)
+        blob = archive.lookup(app.package, version)
+        assert blob is not None
+        parsed = parse_apk(blob)
+        assert parsed.manifest.package == app.package
+        assert archive.hits == 1
+
+    def test_zero_coverage_finds_nothing(self, world):
+        archive = ArchiveBackfill(world, coverage=0.0)
+        app = next(a for a in world.apps if "google_play" in a.placements)
+        assert archive.lookup(app.package, a_version(app)) is None
+        assert archive.misses == 1
+
+    def test_partial_coverage_is_stable(self, world):
+        archive = ArchiveBackfill(world, coverage=0.5)
+        app = next(a for a in world.apps if "google_play" in a.placements)
+        first = archive.lookup(app.package, a_version(app))
+        second = archive.lookup(app.package, a_version(app))
+        assert (first is None) == (second is None)
+
+    def test_wrong_version_name_misses(self, world):
+        archive = ArchiveBackfill(world, coverage=1.0)
+        app = next(a for a in world.apps if "google_play" in a.placements)
+        assert archive.lookup(app.package, "999.999.999") is None
+
+    def test_non_gp_apps_absent(self, world):
+        archive = ArchiveBackfill(world, coverage=1.0)
+        app = next(
+            a for a in world.apps
+            if "google_play" not in a.placements and a.placements
+        )
+        version = app.versions[next(iter(app.placements.values())).version_index]
+        assert archive.lookup(app.package, version.version_name) is None
+
+    def test_invalid_coverage(self, world):
+        with pytest.raises(ValueError):
+            ArchiveBackfill(world, coverage=1.5)
+
+
+def a_version(app) -> str:
+    placement = app.placements["google_play"]
+    return app.versions[placement.version_index].version_name

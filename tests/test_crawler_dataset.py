@@ -1,0 +1,99 @@
+"""Tests for snapshot persistence."""
+
+import gzip
+
+import pytest
+
+from repro.crawler.dataset import (
+    DatasetFormatError,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.crawler.snapshot import Snapshot
+
+from conftest import make_parsed, make_record
+
+
+def _sample_snapshot():
+    snap = Snapshot("august-2017")
+    snap.add(make_record(market_id="tencent", package="com.a",
+                         apk=make_parsed(package="com.a")))
+    snap.add(make_record(market_id="google_play", package="com.b",
+                         downloads=None, install_range=(1000, 10000)))
+    snap.add(make_record(market_id="baidu", package="com.a",
+                         apk=make_parsed(package="com.a")))
+    return snap
+
+
+class TestRoundtrip:
+    def test_counts(self, tmp_path):
+        path = tmp_path / "snap.jsonl.gz"
+        assert save_snapshot(_sample_snapshot(), path) == 3
+        loaded = load_snapshot(path)
+        assert len(loaded) == 3
+        assert loaded.label == "august-2017"
+
+    def test_metadata_preserved(self, tmp_path):
+        path = tmp_path / "snap.jsonl.gz"
+        save_snapshot(_sample_snapshot(), path)
+        loaded = load_snapshot(path)
+        record = loaded.get("google_play", "com.b")
+        assert record.install_range == (1000, 10000)
+        assert record.downloads is None
+        assert record.rating == 4.2
+
+    def test_apk_preserved(self, tmp_path):
+        path = tmp_path / "snap.jsonl.gz"
+        original = _sample_snapshot()
+        save_snapshot(original, path)
+        loaded = load_snapshot(path)
+        before = original.get("tencent", "com.a").apk
+        after = loaded.get("tencent", "com.a").apk
+        assert after.manifest == before.manifest
+        assert after.md5 == before.md5
+        assert after.package_digests() == before.package_digests()
+        assert after.signer_fingerprint == before.signer_fingerprint
+
+    def test_analyses_identical_after_roundtrip(self, tmp_path):
+        from repro.analysis.corpus import build_units
+        from repro.analysis.publishing import single_store_shares
+
+        path = tmp_path / "snap.jsonl.gz"
+        original = _sample_snapshot()
+        save_snapshot(original, path)
+        loaded = load_snapshot(path)
+        assert single_store_shares(loaded) == single_store_shares(original)
+        assert len(build_units(loaded)) == len(build_units(original))
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("")
+        with pytest.raises(DatasetFormatError):
+            load_snapshot(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "wrong.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write('{"format": "other"}\n')
+        with pytest.raises(DatasetFormatError):
+            load_snapshot(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "version.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write('{"format": "repro-snapshot", "version": 99}\n')
+        with pytest.raises(DatasetFormatError):
+            load_snapshot(path)
+
+    def test_not_gzip(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("hello")
+        with pytest.raises(DatasetFormatError):
+            load_snapshot(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetFormatError):
+            load_snapshot(tmp_path / "nope.gz")

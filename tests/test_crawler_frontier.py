@@ -1,0 +1,36 @@
+"""Tests for the BFS frontier."""
+
+from repro.crawler.frontier import Frontier
+
+
+class TestFrontier:
+    def test_fifo_order(self):
+        frontier = Frontier(["a", "b"])
+        frontier.push("c")
+        assert [frontier.pop(), frontier.pop(), frontier.pop()] == ["a", "b", "c"]
+
+    def test_dedup(self):
+        frontier = Frontier()
+        assert frontier.push("a")
+        assert not frontier.push("a")
+        frontier.pop()
+        assert not frontier.push("a")  # never re-admitted
+
+    def test_push_many_counts_new(self):
+        frontier = Frontier(["a"])
+        assert frontier.push_many(["a", "b", "c"]) == 2
+
+    def test_empty_pop(self):
+        assert Frontier().pop() is None
+
+    def test_bool_and_len(self):
+        frontier = Frontier(["a"])
+        assert frontier and len(frontier) == 1
+        frontier.pop()
+        assert not frontier
+
+    def test_seen_tracking(self):
+        frontier = Frontier(["a"])
+        frontier.push("b")
+        assert frontier.seen_count == 2
+        assert frontier.has_seen("a") and not frontier.has_seen("z")

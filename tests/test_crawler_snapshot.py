@@ -1,0 +1,79 @@
+"""Tests for crawl snapshots and records."""
+
+from repro.crawler.snapshot import CrawlRecord, Snapshot
+
+from conftest import make_parsed, make_record
+
+
+class TestCrawlRecord:
+    def test_from_metadata(self):
+        meta = {
+            "package": "com.a", "name": "A", "version_name": "1.0",
+            "version_code": 3, "category": "Tools", "downloads": 500,
+            "install_range": None, "rating": 4.5, "updated_day": 2000,
+            "developer": "Dev",
+        }
+        record = CrawlRecord.from_metadata("tencent", meta, 2784.0)
+        assert record.package == "com.a"
+        assert record.downloads == 500
+        assert record.install_range is None
+
+    def test_from_metadata_with_range(self):
+        meta = {
+            "package": "com.a", "name": "A", "version_name": "1.0",
+            "version_code": 3, "category": "Tools", "downloads": None,
+            "install_range": [10000, 100000], "rating": 0.0,
+            "updated_day": 2000, "developer": "Dev",
+        }
+        record = CrawlRecord.from_metadata("google_play", meta, 2784.0)
+        assert record.install_range == (10000, 100000)
+
+    def test_apk_accessors(self):
+        record = make_record(apk=make_parsed(signer="aa" * 8))
+        assert record.has_apk
+        assert record.signer == "aa" * 8
+        assert record.md5 == record.apk.md5
+
+    def test_no_apk_accessors(self):
+        record = make_record()
+        assert not record.has_apk
+        assert record.signer is None and record.md5 is None
+
+
+class TestSnapshot:
+    def test_add_and_dedup(self):
+        snap = Snapshot("t")
+        assert snap.add(make_record())
+        assert not snap.add(make_record())  # same (market, package)
+        assert snap.add(make_record(market_id="baidu"))
+        assert len(snap) == 2
+
+    def test_indexes(self):
+        snap = Snapshot("t")
+        snap.add(make_record(market_id="tencent", package="com.a"))
+        snap.add(make_record(market_id="baidu", package="com.a"))
+        snap.add(make_record(market_id="tencent", package="com.b"))
+        assert snap.market_size("tencent") == 2
+        assert snap.markets_of("com.a") == ["baidu", "tencent"]
+        assert snap.packages() == ["com.a", "com.b"]
+        assert snap.get("baidu", "com.a").package == "com.a"
+        assert snap.get("baidu", "com.b") is None
+
+    def test_markets_sorted(self):
+        snap = Snapshot("t")
+        snap.add(make_record(market_id="tencent"))
+        snap.add(make_record(market_id="baidu"))
+        assert snap.markets() == ["baidu", "tencent"]
+
+    def test_apk_coverage(self):
+        snap = Snapshot("t")
+        snap.add(make_record(package="com.a", apk=make_parsed()))
+        snap.add(make_record(package="com.b"))
+        assert snap.apk_coverage("tencent") == 0.5
+        assert snap.apk_coverage("nowhere") == 0.0
+
+    def test_with_apk_iterator(self):
+        snap = Snapshot("t")
+        snap.add(make_record(package="com.a", apk=make_parsed()))
+        snap.add(make_record(package="com.b"))
+        assert [r.package for r in snap.with_apk()] == ["com.a"]

@@ -1,0 +1,107 @@
+"""Tests for per-market discovery strategies against synthetic servers."""
+
+import pytest
+
+from repro.crawler.strategies import (
+    BfsRelatedStrategy,
+    CategoryPagesStrategy,
+    IntegerIndexStrategy,
+    strategy_for,
+)
+from repro.net.client import HttpClient
+from repro.net.http import Request, Response
+from repro.util.simtime import SimClock
+
+
+def _meta(package, developer="dev"):
+    return {
+        "package": package, "name": package, "version_name": "1.0",
+        "version_code": 1, "category": "Tools", "downloads": 10,
+        "install_range": None, "rating": 0.0, "updated_day": 2000,
+        "developer": developer,
+    }
+
+
+class FakeCatalogServer:
+    """A tiny market: apps a..e, related edges a->b->c, dev of d has e."""
+
+    def __init__(self):
+        self.apps = {p: _meta(p, developer="dev-" + p) for p in "abcde"}
+        self.apps["e"]["developer"] = "dev-d"
+        self.related = {"a": ["b"], "b": ["c"], "c": [], "d": [], "e": []}
+
+    def handle(self, request: Request) -> Response:
+        if request.path == "/app":
+            meta = self.apps.get(request.param("package"))
+            return Response.json_ok(meta) if meta else Response.not_found()
+        if request.path == "/related":
+            peers = self.related.get(request.param("package"), [])
+            return Response.json_ok([self.apps[p] for p in peers])
+        if request.path == "/developer":
+            name = request.param("name")
+            return Response.json_ok(
+                [m for m in self.apps.values() if m["developer"] == name]
+            )
+        if request.path == "/categories":
+            return Response.json_ok(["Tools"])
+        if request.path == "/category":
+            page = int(request.param("page", 0))
+            items = sorted(self.apps)[page * 2 : page * 2 + 2]
+            return Response.json_ok([self.apps[p] for p in items])
+        if request.path == "/index":
+            i = int(request.param("i", -1))
+            items = sorted(self.apps)
+            if i >= len(items):
+                return Response.not_found()
+            return Response.json_ok(self.apps[items[i]])
+        return Response.not_found()
+
+
+@pytest.fixture()
+def client():
+    return HttpClient(FakeCatalogServer().handle, SimClock())
+
+
+class TestBfsRelated:
+    def test_reaches_transitive_related(self, client):
+        found = {m["package"] for m in BfsRelatedStrategy(["a"]).discover(client)}
+        assert {"a", "b", "c"} <= found
+
+    def test_same_developer_expansion(self, client):
+        found = {m["package"] for m in BfsRelatedStrategy(["d"]).discover(client)}
+        assert "e" in found  # shared developer dev-d
+
+    def test_island_unreachable(self, client):
+        found = {m["package"] for m in BfsRelatedStrategy(["a"]).discover(client)}
+        assert "d" not in found
+
+    def test_missing_seed_skipped(self, client):
+        found = list(BfsRelatedStrategy(["zz", "a"]).discover(client))
+        assert any(m["package"] == "a" for m in found)
+
+    def test_max_apps_cap(self, client):
+        found = list(BfsRelatedStrategy(["a"], max_apps=2).discover(client))
+        assert len(found) == 2
+
+
+class TestIntegerIndex:
+    def test_walks_whole_index(self, client):
+        found = [m["package"] for m in IntegerIndexStrategy().discover(client)]
+        assert found == sorted("abcde")
+
+
+class TestCategoryPages:
+    def test_walks_all_pages(self, client):
+        found = [m["package"] for m in CategoryPagesStrategy().discover(client)]
+        assert sorted(found) == sorted("abcde")
+
+
+class TestFactory:
+    def test_known_strategies(self):
+        assert isinstance(strategy_for("bfs_related", ["a"]), BfsRelatedStrategy)
+        assert isinstance(strategy_for("int_index"), IntegerIndexStrategy)
+        assert isinstance(strategy_for("category_pages"), CategoryPagesStrategy)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            strategy_for("oracle")

@@ -1,0 +1,59 @@
+"""Tests for the crawl worker-pool model."""
+
+import pytest
+
+from repro.crawler.workers import WorkerPool
+
+
+class TestWorkerPool:
+    def test_paper_fleet_scale(self):
+        # ~4x10^8 requests over the default fleet lands near the paper's
+        # 15-day campaign.
+        pool = WorkerPool()
+        assert pool.duration_days(400_000_000) == pytest.approx(16.0)
+
+    def test_minimum_duration(self):
+        pool = WorkerPool(minimum_days=0.5)
+        assert pool.duration_days(10) == 0.5
+
+    def test_linear_in_requests(self):
+        pool = WorkerPool()
+        assert pool.duration_days(2 * 10**8) * 2 == pytest.approx(
+            pool.duration_days(4 * 10**8)
+        )
+
+    def test_more_workers_faster(self):
+        small = WorkerPool(workers=10)
+        large = WorkerPool(workers=100)
+        assert large.duration_days(10**9) < small.duration_days(10**9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)
+        with pytest.raises(ValueError):
+            WorkerPool(requests_per_worker_day=0)
+        with pytest.raises(ValueError):
+            WorkerPool().duration_days(-1)
+
+
+class TestDerivedCrawlDuration:
+    def test_crawl_with_derived_duration(self):
+        from repro.crawler.crawler import CrawlCoordinator
+        from repro.ecosystem.generator import EcosystemGenerator
+        from repro.markets.server import MarketServer
+        from repro.markets.store import build_stores
+        from repro.util.simtime import SimClock
+
+        world = EcosystemGenerator(seed=71, scale=0.0002).generate()
+        stores = build_stores(world)
+        clock = SimClock()
+        start = clock.now
+        servers = {m: MarketServer(s, clock) for m, s in stores.items()}
+        coordinator = CrawlCoordinator(
+            servers, clock, download_apks=False,
+            worker_pool=WorkerPool(minimum_days=0.25),
+        )
+        coordinator.crawl("derived", duration_days=None)
+        # A tiny corpus crawls fast but still pays campaign overhead.
+        assert clock.now - start >= 0.25
+        assert clock.now - start < 15.0

@@ -1,0 +1,173 @@
+"""Tests for app blueprints, code generation, and APK building."""
+
+import numpy as np
+import pytest
+
+from repro.android.permissions import platform_spec
+from repro.apk.archive import parse_apk
+from repro.ecosystem.apps import (
+    AppBlueprint,
+    AppVersion,
+    Placement,
+    build_apk,
+    generate_own_code,
+    perturb_own_code,
+)
+from repro.ecosystem.developers import Developer
+from repro.ecosystem.libraries import default_catalog
+from repro.ecosystem.threats import ThreatProfile
+from repro.markets.profiles import get_profile
+
+
+def _blueprint(threat=None, libraries=(("com.umeng", 1),)):
+    rng = np.random.default_rng(11)
+    spec = platform_spec()
+    own = generate_own_code(rng, spec, "com.test.app", ("CAMERA", "INTERNET"))
+    dev = Developer(dev_id=5, name="Dev Studio", region="china")
+    return AppBlueprint(
+        app_id=0,
+        package="com.test.app",
+        display_name="Test App",
+        category="Game",
+        developer=dev,
+        scope="china",
+        popularity=0.5,
+        quality=0.6,
+        min_sdk=9,
+        target_sdk=19,
+        release_day=2000,
+        versions=(
+            AppVersion(1, "1.0.0", 2000),
+            AppVersion(2, "1.1.0", 2200),
+        ),
+        own_code=own,
+        libraries=tuple(libraries),
+        permissions_requested=("CAMERA", "INTERNET", "SEND_SMS"),
+        threat=threat,
+    )
+
+
+class TestOwnCode:
+    def test_deterministic_for_template(self):
+        rng_a, rng_b = np.random.default_rng(1), np.random.default_rng(1)
+        spec = platform_spec()
+        a = generate_own_code(rng_a, spec, "com.a", (), template_seed=7)
+        b = generate_own_code(rng_b, spec, "com.a", (), template_seed=7)
+        assert a.features == b.features
+        assert a.blocks == b.blocks
+
+    def test_unique_without_template(self):
+        rng = np.random.default_rng(2)
+        spec = platform_spec()
+        a = generate_own_code(rng, spec, "com.a", ())
+        b = generate_own_code(rng, spec, "com.b", ())
+        assert a.features != b.features
+        assert not (set(a.blocks) & set(b.blocks))
+
+    def test_permission_features_injected(self):
+        rng = np.random.default_rng(3)
+        spec = platform_spec()
+        code = generate_own_code(rng, spec, "com.a", ("SEND_SMS",))
+        assert "SEND_SMS" in spec.permissions_for(code.features)
+
+    def test_main_package_named_after_app(self):
+        rng = np.random.default_rng(4)
+        code = generate_own_code(rng, platform_spec(), "com.a.b", ())
+        assert code.main_package == "com.a.b"
+
+
+class TestPerturbOwnCode:
+    def test_high_block_overlap(self):
+        rng = np.random.default_rng(5)
+        source = generate_own_code(rng, platform_spec(), "com.a", ("CAMERA",))
+        clone = perturb_own_code(rng, source)
+        shared = set(source.blocks) & set(clone.blocks)
+        assert len(shared) / len(source.blocks) >= 0.85
+
+    def test_small_feature_distance(self):
+        from repro.analysis.clones import feature_distance
+
+        rng = np.random.default_rng(6)
+        source = generate_own_code(rng, platform_spec(), "com.a", ("CAMERA",))
+        clone = perturb_own_code(rng, source)
+        assert feature_distance(dict(source.features), dict(clone.features)) < 0.05
+
+    def test_new_package_renames_main(self):
+        rng = np.random.default_rng(7)
+        source = generate_own_code(rng, platform_spec(), "com.a", ())
+        clone = perturb_own_code(rng, source, new_package="com.z")
+        assert clone.main_package == "com.z"
+
+
+class TestBuildApk:
+    def test_contains_own_lib_packages(self):
+        blob = build_apk(_blueprint(), 1, get_profile("tencent"), default_catalog())
+        parsed = parse_apk(blob)
+        names = parsed.package_names()
+        assert "com.test.app" in names
+        assert "com.umeng" in names
+
+    def test_version_selected(self):
+        blueprint = _blueprint()
+        parsed = parse_apk(
+            build_apk(blueprint, 0, get_profile("tencent"), default_catalog())
+        )
+        assert parsed.manifest.version_code == 1
+        parsed = parse_apk(
+            build_apk(blueprint, 1, get_profile("tencent"), default_catalog())
+        )
+        assert parsed.manifest.version_code == 2
+
+    def test_channel_file_injected(self):
+        parsed = parse_apk(
+            build_apk(_blueprint(), 1, get_profile("tencent"), default_catalog())
+        )
+        names = [entry.name for entry in parsed.meta_inf]
+        assert "META-INF/txchannel" in names
+
+    def test_md5_differs_across_markets_same_version(self):
+        blueprint = _blueprint()
+        a = parse_apk(build_apk(blueprint, 1, get_profile("tencent"), default_catalog()))
+        b = parse_apk(build_apk(blueprint, 1, get_profile("baidu"), default_catalog()))
+        assert a.md5 != b.md5
+        assert a.package_digests() == b.package_digests()  # §5.3: channel only
+
+    def test_360_packs_the_apk(self):
+        parsed = parse_apk(
+            build_apk(_blueprint(), 1, get_profile("market360"), default_catalog())
+        )
+        assert parsed.obfuscated_by == "360jiagubao"
+        assert all(
+            name.startswith("o.") or name == "com.qihoo.util"
+            for name in parsed.package_names()
+        )
+
+    def test_payload_embedded_for_threats(self):
+        threat = ThreatProfile("kuguo", 2)
+        parsed = parse_apk(
+            build_apk(_blueprint(threat=threat), 1, get_profile("tencent"),
+                      default_catalog())
+        )
+        assert "com.kuguo.push" in parsed.package_names()
+
+    def test_signature_comes_from_developer(self):
+        blueprint = _blueprint()
+        parsed = parse_apk(
+            build_apk(blueprint, 1, get_profile("tencent"), default_catalog())
+        )
+        assert parsed.signer_fingerprint == blueprint.developer.fingerprint
+
+
+class TestPlacement:
+    def test_live_at(self):
+        placement = Placement("tencent", 0, "Game", 100, 4.0, listed_day=2000)
+        assert placement.live_at(2500)
+        placement.removed_at = 2400.0
+        assert placement.live_at(2399)
+        assert not placement.live_at(2401)
+
+    def test_blueprint_helpers(self):
+        blueprint = _blueprint()
+        assert blueprint.latest_version_index == 1
+        assert blueprint.last_update_day == 2200
+        assert blueprint.version_at(0).version_code == 1

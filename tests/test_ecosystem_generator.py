@@ -1,0 +1,182 @@
+"""Ground-truth calibration tests for the ecosystem generator.
+
+These run their own tiny world (independent of the session study) and
+assert the generator's ground truth lands near the paper's targets.
+Detection-side fidelity is covered in test_calibration_shapes.py.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ecosystem.apps import PROVENANCE_CB_CLONE, PROVENANCE_FAKE, PROVENANCE_SB_CLONE
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.markets.profiles import ALL_MARKET_IDS, CHINESE_MARKET_IDS, GOOGLE_PLAY, get_profile
+
+
+@pytest.fixture(scope="module")
+def world():
+    return EcosystemGenerator(seed=11, scale=0.0004).generate()
+
+
+class TestStructure:
+    def test_every_app_has_developer(self, world):
+        assert all(a.developer is not None for a in world.apps)
+
+    def test_unlisted_apps_only_from_delisting(self, world):
+        # An app may end up with no placements only when every hosting
+        # market's vetting caught its malicious/grayware update.
+        for app in world.apps:
+            if not app.placements:
+                aggressive = {
+                    l.package for l in world.catalog.aggressive_libraries
+                }
+                assert app.threat is not None or any(
+                    pkg in aggressive for pkg, _ in app.libraries
+                )
+
+    def test_app_ids_sequential(self, world):
+        assert [a.app_id for a in world.apps] == list(range(len(world.apps)))
+
+    def test_package_unique_per_market(self, world):
+        seen = set()
+        for app, placement in world.iter_placements():
+            key = (placement.market_id, app.package)
+            assert key not in seen
+            seen.add(key)
+
+    def test_version_indexes_valid(self, world):
+        for app, placement in world.iter_placements():
+            assert 0 <= placement.version_index < len(app.versions)
+
+    def test_deterministic(self):
+        a = EcosystemGenerator(seed=3, scale=0.0002).generate()
+        b = EcosystemGenerator(seed=3, scale=0.0002).generate()
+        assert a.summary() == b.summary()
+        assert [x.package for x in a.apps[:50]] == [x.package for x in b.apps[:50]]
+
+    def test_seed_changes_world(self):
+        a = EcosystemGenerator(seed=3, scale=0.0002).generate()
+        b = EcosystemGenerator(seed=4, scale=0.0002).generate()
+        assert [x.package for x in a.apps[:50]] != [x.package for x in b.apps[:50]]
+
+
+class TestMarketSizes:
+    def test_sizes_proportional_to_paper(self, world):
+        sizes = {m: world.market_size(m) for m in ALL_MARKET_IDS}
+        # Spot-check ordering of the big markets.
+        assert sizes[GOOGLE_PLAY] > sizes["pp25"] > sizes["tencent"]
+        assert sizes["tencent"] > sizes["baidu"]
+
+    def test_gp_single_store_share(self, world):
+        gp_apps = world.apps_in_market(GOOGLE_PLAY)
+        single = sum(1 for a in gp_apps if len(a.placements) == 1)
+        assert 0.6 < single / len(gp_apps) < 0.9  # paper: 77%
+
+
+class TestMisbehaviorGroundTruth:
+    def test_malware_rates_near_table4(self, world):
+        for market in ("tencent", "pp25", GOOGLE_PLAY, "pconline"):
+            apps = world.apps_in_market(market)
+            rate = sum(1 for a in apps if a.threat is not None) / len(apps)
+            target = get_profile(market).av10_rate / 100
+            assert rate == pytest.approx(target, abs=max(0.04, target * 0.5))
+
+    def test_gp_cleanest(self, world):
+        def rate(market):
+            apps = world.apps_in_market(market)
+            return sum(1 for a in apps if a.threat is not None) / len(apps)
+
+        gp = rate(GOOGLE_PLAY)
+        assert all(rate(m) >= gp for m in ("tencent", "pconline", "oppo"))
+
+    def test_clone_provenance_counts(self, world):
+        summary = world.summary()
+        assert summary["cb_clones"] > summary["sb_clones"] > 0
+
+    def test_fakes_reference_popular_officials(self, world):
+        fakes = [a for a in world.apps if a.provenance == PROVENANCE_FAKE]
+        for fake in fakes:
+            official = world.app(fake.related_app_id)
+            assert official.popularity > 0.99
+            assert fake.display_name == official.display_name
+            assert fake.package != official.package
+
+    def test_sb_clones_share_package_not_signature(self, world):
+        for clone in world.apps:
+            if clone.provenance != PROVENANCE_SB_CLONE:
+                continue
+            victim = world.app(clone.related_app_id)
+            assert clone.package == victim.package
+            assert clone.developer.fingerprint != victim.developer.fingerprint
+
+    def test_cb_clones_new_package_similar_code(self, world):
+        from repro.analysis.clones import block_overlap
+
+        for clone in world.apps:
+            if clone.provenance != PROVENANCE_CB_CLONE:
+                continue
+            victim = world.app(clone.related_app_id)
+            assert clone.package != victim.package
+            assert block_overlap(clone.own_code.blocks, victim.own_code.blocks) >= 0.85
+
+    def test_repackaged_malware_share(self, world):
+        malware = [a for a in world.apps if a.threat is not None]
+        repack = sum(
+            1 for a in malware
+            if a.provenance in (PROVENANCE_SB_CLONE, PROVENANCE_CB_CLONE)
+        )
+        assert 0.15 < repack / len(malware) < 0.6  # paper: 38.3%
+
+    def test_celebrities_seeded(self, world):
+        packages = {a.package for a in world.apps}
+        assert "com.ypt.merchant" in packages
+        assert "com.zoner.android.eicar" in packages
+        ypt = world.find_by_package("com.ypt.merchant")[0]
+        assert ypt.threat.family == "ramnit"
+        assert set(ypt.placements) == {"tencent", "wandoujia", "oppo", "pp25", "liqu"}
+
+
+class TestVetting:
+    def test_vetting_log_populated(self, world):
+        assert world.vetting_log
+        rejections = [r for r in world.vetting_log if not r.accepted]
+        assert rejections  # strict markets do reject submissions
+
+    def test_lax_markets_never_reject_threats(self, world):
+        for record in world.vetting_log:
+            if record.market_id in ("hiapk", "pconline"):
+                if "security" in record.reason or "copyright" in record.reason:
+                    pytest.fail("unvetted market rejected a submission")
+
+
+class TestMetadata:
+    def test_chinese_apps_older(self, world):
+        import datetime
+
+        from repro.util.simtime import date_to_day
+
+        boundary = date_to_day(datetime.date(2017, 1, 1))
+
+        def pre2017(scope):
+            apps = [a for a in world.apps if a.scope == scope]
+            return np.mean([a.last_update_day < boundary for a in apps])
+
+        assert pre2017("china") > pre2017("global")
+
+    def test_min_sdk_reasonable(self, world):
+        for app in world.apps:
+            assert 1 <= app.min_sdk <= app.target_sdk
+
+    def test_downloads_reported_per_profile(self, world):
+        for app, placement in world.iter_placements():
+            reports = get_profile(placement.market_id).reports_downloads
+            if not reports:
+                assert placement.downloads is None
+
+    def test_fake_downloads_low(self, world):
+        for app in world.apps:
+            if app.provenance != PROVENANCE_FAKE:
+                continue
+            for placement in app.placements.values():
+                if placement.downloads is not None:
+                    assert placement.downloads < 1000

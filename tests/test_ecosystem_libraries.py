@@ -1,0 +1,105 @@
+"""Tests for the third-party library catalog."""
+
+import pytest
+
+from repro.ecosystem.libraries import Library, LibraryCatalog, default_catalog
+
+
+class TestCatalogStructure:
+    def test_table2_leaders_present(self):
+        catalog = default_catalog()
+        for package in (
+            "com.google.android.gms", "com.google.ads", "com.facebook",
+            "org.apache", "com.tencent.mm", "com.baidu", "com.umeng",
+            "com.alipay", "com.nostra13",
+        ):
+            assert catalog.get(package).package == package
+
+    def test_unknown_library_raises(self):
+        with pytest.raises(KeyError):
+            default_catalog().get("com.not.a.lib")
+
+    def test_duplicate_packages_rejected(self):
+        lib = Library("com.dup", "v", "Development", 0.1, 0.1)
+        with pytest.raises(ValueError):
+            LibraryCatalog([lib, lib])
+
+    def test_ad_flag(self):
+        catalog = default_catalog()
+        assert catalog.get("com.google.ads").is_ad
+        assert catalog.get("com.umeng").is_ad  # dual Analytics/Ads SDK
+        assert not catalog.get("com.google.gson").is_ad
+
+    def test_aggressive_libraries_are_ads_with_families(self):
+        for lib in default_catalog().aggressive_libraries:
+            assert lib.is_ad
+            assert lib.grayware_family
+
+    def test_usage_by_region(self):
+        catalog = default_catalog()
+        gms = catalog.get("com.google.android.gms")
+        assert catalog.usage(gms, "global") == pytest.approx(0.661)
+        assert catalog.usage(gms, "china") == pytest.approx(0.205)
+
+    def test_expected_counts_match_figure5(self):
+        catalog = default_catalog()
+        # Named + tail expectations land near the paper's per-app
+        # averages: ~8 for Google Play, ~12.5 for Chinese markets.
+        assert 6.5 < catalog.expected_count("global") < 9.5
+        assert 9.5 < catalog.expected_count("china") < 14.0
+
+    def test_tier_split(self):
+        catalog = default_catalog()
+        named = catalog.expected_count("global", "named")
+        tail = catalog.expected_count("global", "tail")
+        assert named + tail == pytest.approx(catalog.expected_count("global"))
+        with pytest.raises(ValueError):
+            catalog.expected_count("global", "bogus")
+
+    def test_tail_usage_below_table2_floor(self):
+        # No tail library may displace the paper's top-10 entries.
+        catalog = default_catalog()
+        for lib in catalog:
+            if lib.tail:
+                assert lib.gp_usage < 0.09
+                assert lib.cn_usage < 0.106
+
+
+class TestVersionCode:
+    def test_cached(self):
+        catalog = default_catalog()
+        a = catalog.version_code("com.umeng", 0)
+        b = catalog.version_code("com.umeng", 0)
+        assert a is b
+
+    def test_version_out_of_range(self):
+        with pytest.raises(ValueError):
+            default_catalog().version_code("com.umeng", 99)
+
+    def test_versions_overlap_but_differ(self):
+        catalog = default_catalog()
+        v0 = set(catalog.version_code("com.google.ads", 0).features)
+        v1 = set(catalog.version_code("com.google.ads", 1).features)
+        assert v0 != v1
+        overlap = len(v0 & v1) / max(len(v0), len(v1))
+        assert overlap > 0.5  # versions share most code
+
+    def test_digest_differs_across_versions(self):
+        catalog = default_catalog()
+        d0 = catalog.version_code("com.umeng", 0).as_code_package().feature_digest
+        d1 = catalog.version_code("com.umeng", 1).as_code_package().feature_digest
+        assert d0 != d1
+
+    def test_code_package_carries_library_name(self):
+        code = default_catalog().version_code("com.baidu", 2).as_code_package()
+        assert code.name == "com.baidu"
+        assert code.blocks
+
+    def test_permission_features_present(self):
+        from repro.android.permissions import platform_spec
+
+        spec = platform_spec()
+        catalog = default_catalog()
+        code = catalog.version_code("com.umeng", 3)
+        perms = spec.permissions_for(code.features)
+        assert "READ_PHONE_STATE" in perms

@@ -1,0 +1,114 @@
+"""Tests for download and rating sampling."""
+
+import numpy as np
+import pytest
+
+from repro.ecosystem.popularity import (
+    downloads_bin_index,
+    popularity_from_rank,
+    sample_listing_downloads,
+    sample_listing_rating,
+)
+from repro.markets.profiles import get_profile
+
+
+class TestBinIndex:
+    def test_edges(self):
+        assert downloads_bin_index(0) == 0
+        assert downloads_bin_index(9) == 0
+        assert downloads_bin_index(10) == 1
+        assert downloads_bin_index(999) == 2
+        assert downloads_bin_index(1_000_000) == 6
+        assert downloads_bin_index(5_000_000_000) == 6
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            downloads_bin_index(-1)
+
+
+class TestPopularityFromRank:
+    def test_bounds(self):
+        assert 0 < popularity_from_rank(0, 10) < popularity_from_rank(9, 10) < 1
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            popularity_from_rank(10, 10)
+
+
+class TestSampleDownloads:
+    def test_non_reporting_market(self):
+        rng = np.random.default_rng(1)
+        assert sample_listing_downloads(get_profile("xiaomi"), 0.5, rng) is None
+
+    def test_popular_apps_get_more(self):
+        rng = np.random.default_rng(2)
+        profile = get_profile("google_play")
+        low = np.median([sample_listing_downloads(profile, 0.05, rng) for _ in range(300)])
+        high = np.median([sample_listing_downloads(profile, 0.97, rng) for _ in range(300)])
+        assert high > low
+
+    def test_distribution_matches_profile_row(self):
+        from repro.ecosystem.popularity import downloads_bin_index as bidx
+
+        rng = np.random.default_rng(3)
+        profile = get_profile("huawei")
+        samples = [
+            sample_listing_downloads(profile, float(rng.random()), rng)
+            for _ in range(4000)
+        ]
+        counts = np.zeros(7)
+        for s in samples:
+            counts[bidx(s)] += 1
+        shares = counts / counts.sum()
+        target = np.asarray(profile.download_bin_shares)
+        target = target / target.sum()
+        # Percentile noise blurs bins slightly; shape must still match.
+        assert np.abs(shares - target).max() < 0.08
+
+
+class TestSampleRating:
+    def test_pconline_default(self):
+        rng = np.random.default_rng(4)
+        profile = get_profile("pconline")
+        ratings = [
+            sample_listing_rating(profile, 0.5, 50, rng) for _ in range(300)
+        ]
+        assert any(r == 3.0 for r in ratings)  # the default-3 artifact
+
+    def test_unrated_is_none_elsewhere(self):
+        rng = np.random.default_rng(5)
+        profile = get_profile("tencent")
+        ratings = [sample_listing_rating(profile, 0.5, 10, rng) for _ in range(200)]
+        assert any(r is None for r in ratings)
+
+    def test_rating_range(self):
+        rng = np.random.default_rng(6)
+        profile = get_profile("google_play")
+        for _ in range(200):
+            rating = sample_listing_rating(profile, 0.8, 10**6, rng)
+            if rating is not None:
+                assert 1.0 <= rating <= 5.0
+
+    def test_popular_apps_rated_more_often(self):
+        rng = np.random.default_rng(7)
+        profile = get_profile("tencent")
+        low = sum(
+            sample_listing_rating(profile, 0.3, 50, rng) is None for _ in range(400)
+        )
+        high = sum(
+            sample_listing_rating(profile, 0.9, 10**6, rng) is None for _ in range(400)
+        )
+        assert high < low
+
+    def test_quality_drives_rating(self):
+        rng = np.random.default_rng(8)
+        profile = get_profile("google_play")
+        bad = np.mean([
+            r for r in (sample_listing_rating(profile, 0.05, 10**6, rng)
+                        for _ in range(300)) if r
+        ])
+        good = np.mean([
+            r for r in (sample_listing_rating(profile, 0.95, 10**6, rng)
+                        for _ in range(300)) if r
+        ])
+        assert good > bad

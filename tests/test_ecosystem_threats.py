@@ -1,0 +1,90 @@
+"""Tests for malware families and payload generation."""
+
+import pytest
+
+from repro.ecosystem.threats import (
+    CHINESE_FAMILY_WEIGHTS,
+    GP_FAMILY_WEIGHTS,
+    MALWARE_FAMILIES,
+    ThreatFeed,
+    ThreatProfile,
+    payload_code,
+)
+
+
+class TestFamilies:
+    def test_figure12_families_present(self):
+        for family in ("kuguo", "airpush", "smsreg", "revmob", "dowgin",
+                       "gappusin", "secapk", "youmi", "leadbolt", "adwo",
+                       "domob", "commplat", "adend", "smspay", "ramnit"):
+            assert family in MALWARE_FAMILIES
+
+    def test_weights_reference_known_families(self):
+        for weights in (CHINESE_FAMILY_WEIGHTS, GP_FAMILY_WEIGHTS):
+            for family in weights:
+                assert family in MALWARE_FAMILIES
+
+    def test_kuguo_leads_chinese(self):
+        assert max(CHINESE_FAMILY_WEIGHTS, key=CHINESE_FAMILY_WEIGHTS.get) == "kuguo"
+
+    def test_airpush_leads_gp(self):
+        assert max(GP_FAMILY_WEIGHTS, key=GP_FAMILY_WEIGHTS.get) == "airpush"
+        assert GP_FAMILY_WEIGHTS["revmob"] > GP_FAMILY_WEIGHTS["leadbolt"]
+
+    def test_breadth_ordering(self):
+        # High-profile families are detected far more broadly than adware.
+        assert MALWARE_FAMILIES["ramnit"].breadth > 0.6
+        assert MALWARE_FAMILIES["kuguo"].breadth < 0.3
+        assert (
+            MALWARE_FAMILIES["smsreg"].breadth > MALWARE_FAMILIES["kuguo"].breadth
+        )
+
+    def test_breadth_validation(self):
+        from repro.ecosystem.threats import MalwareFamily
+
+        with pytest.raises(ValueError):
+            MalwareFamily("x", "trojan", 0.0, "com.x")
+
+
+class TestPayloadCode:
+    def test_deterministic(self):
+        a = payload_code("kuguo", 3)
+        b = payload_code("kuguo", 3)
+        assert a.features == b.features
+        assert a.feature_digest == b.feature_digest
+
+    def test_variant_changes_digest(self):
+        assert payload_code("kuguo", 0).feature_digest != payload_code("kuguo", 1).feature_digest
+
+    def test_family_changes_digest(self):
+        assert payload_code("kuguo", 0).feature_digest != payload_code("dowgin", 0).feature_digest
+
+    def test_payload_package_name(self):
+        assert payload_code("kuguo", 0).name == "com.kuguo.push"
+
+    def test_payload_is_small(self):
+        # Payloads must stay small relative to host code so repacks stay
+        # within WuKong's clone-distance threshold.
+        for family in MALWARE_FAMILIES:
+            total = payload_code(family, 0).total_features()
+            assert total <= 30
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            payload_code("nosuchfamily", 0)
+
+
+class TestThreatFeed:
+    def test_records_variants(self):
+        feed = ThreatFeed()
+        feed.record(ThreatProfile("kuguo", 1))
+        feed.record(ThreatProfile("kuguo", 1))
+        feed.record(ThreatProfile("ramnit", 0))
+        assert len(feed) == 2
+        assert feed.count("kuguo") == 2
+        assert ("ramnit", 0) in feed.variants
+
+    def test_profile_family_def(self):
+        profile = ThreatProfile("ramnit", 5, repackaged=True)
+        assert profile.family_def.kind == "high_profile"
+        assert profile.repackaged

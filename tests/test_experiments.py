@@ -1,0 +1,159 @@
+"""Tests for the experiment runner and per-experiment output shapes."""
+
+import pytest
+
+from repro.core.reports import FigureReport, TableReport
+from repro.experiments import EXPERIMENT_IDS, run_all, run_experiment
+from repro.experiments.runner import PAPER_EXPERIMENT_IDS
+from repro.markets.profiles import ALL_MARKET_IDS
+
+
+class TestRunner:
+    def test_all_paper_artifacts_registered(self):
+        # 6 tables + 13 figures, one experiment each.
+        assert len(PAPER_EXPERIMENT_IDS) == 19
+        assert {"table1", "table6", "figure1", "figure13"} <= set(EXPERIMENT_IDS)
+        # Plus the section-level, longitudinal, and self-check extras.
+        assert {"section52", "section53", "section64", "churn",
+                "fidelity"} <= set(EXPERIMENT_IDS)
+
+    def test_unknown_experiment(self, study):
+        with pytest.raises(KeyError):
+            run_experiment("table99", study)
+
+    def test_run_all(self, study):
+        reports = run_all(study)
+        assert set(reports) == set(EXPERIMENT_IDS)
+        for report in reports.values():
+            assert isinstance(report, (TableReport, FigureReport))
+            assert report.render()
+
+
+class TestTables:
+    def test_table1_rows(self, study):
+        table = run_experiment("table1", study)
+        assert len(table.rows) == 17
+        names = table.column("market")
+        assert "Google Play" in names and "App China" in names
+
+    def test_table2_corpora(self, study):
+        table = run_experiment("table2", study)
+        corpora = set(table.column("corpus"))
+        assert corpora == {"google_play", "chinese"}
+        assert all(0 <= u <= 100 for u in table.column("usage_pct"))
+
+    def test_table3_has_average_row(self, study):
+        table = run_experiment("table3", study)
+        assert table.rows[-1][0] == "Average"
+        assert len(table.rows) == 18
+
+    def test_table4_rates_ordered(self, study):
+        table = run_experiment("table4", study)
+        for row in table.rows:
+            _, ge1, _, ge10, _, ge20, _ = row
+            assert ge1 >= ge10 >= ge20
+
+    def test_table5_ranked(self, study):
+        table = run_experiment("table5", study)
+        ranks = table.column("av_rank")
+        assert ranks == sorted(ranks, reverse=True)
+        assert len(ranks) <= 10
+
+    def test_table6_excludes_dead_markets(self, study):
+        table = run_experiment("table6", study)
+        names = table.column("market")
+        assert "HiApk" not in names
+        assert "OPPO Market" not in names
+        assert "Google Play" in names
+
+
+class TestFigures:
+    def test_figure1_matrix(self, study):
+        figure = run_experiment("figure1", study)
+        matrix = figure.data["matrix"]
+        assert set(matrix) == set(ALL_MARKET_IDS)
+        for dist in matrix.values():
+            assert abs(sum(dist.values()) - 1.0) < 1e-6
+
+    def test_figure2_rows_normalized(self, study):
+        figure = run_experiment("figure2", study)
+        for market, row in figure.data["measured"].items():
+            total = sum(row)
+            assert total == pytest.approx(1.0, abs=1e-6) or total == 0.0
+
+    def test_figure3_buckets(self, study):
+        figure = run_experiment("figure3", study)
+        assert len(figure.data["google_play"]) == len(figure.data["buckets"])
+
+    def test_figure6_cdfs(self, study):
+        figure = run_experiment("figure6", study)
+        xs, cdf = figure.data["cdfs"]["google_play"]
+        assert cdf == sorted(cdf)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_figure7_cdf_monotone(self, study):
+        figure = run_experiment("figure7", study)
+        cdf = figure.data["cdf"]
+        values = [cdf[k] for k in sorted(cdf)]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_figure8_shares(self, study):
+        figure = run_experiment("figure8", study)
+        assert 0 <= figure.data["multi_version_share"] <= 1
+        assert 0 <= figure.data["shared_name_app_share"] <= 1
+
+    def test_figure10_totals_consistent(self, study):
+        figure = run_experiment("figure10", study)
+        assert sum(figure.data["source_totals"].values()) == sum(
+            figure.data["destination_totals"].values()
+        )
+
+    def test_figure11_buckets(self, study):
+        figure = run_experiment("figure11", study)
+        assert len(figure.data["buckets"]) == 11
+
+    def test_figure12_shares_sum(self, study):
+        figure = run_experiment("figure12", study)
+        for corpus in ("chinese", "google_play"):
+            shares = figure.data[corpus]
+            if shares:
+                assert sum(shares.values()) <= 1.0 + 1e-9
+
+    def test_figure13_series_range(self, study):
+        figure = run_experiment("figure13", study)
+        for market, dims in figure.data["series"].items():
+            for value in dims.values():
+                assert 0.0 <= value <= 100.0
+
+
+class TestSectionExperiments:
+    def test_section52_shares(self, study):
+        table = run_experiment("section52", study)
+        rows = table.row_map()
+        assert rows["Google Play"][1] > 50  # 77% single-store target
+
+    def test_section53_identity(self, study):
+        figure = run_experiment("section53", study)
+        assert figure.data["explained_share"] > 0.9
+
+    def test_section64_repackaged(self, study):
+        figure = run_experiment("section64", study)
+        assert 0.0 <= figure.data["repackaged_share"] <= 1.0
+        assert figure.data["malware_units"] > 0
+
+    def test_churn_without_second_snapshot(self, study):
+        table = run_experiment("churn", study)
+        assert not table.rows
+        assert any("full_second_crawl" in note for note in table.notes)
+
+    def test_fidelity_scorecard(self, study):
+        table = run_experiment("fidelity", study)
+        rows = {(r[0], r[1]): r[2] for r in table.rows}
+        # Figure 2 rows are reproduced almost exactly by construction.
+        assert rows[("figure2 download bins", "mean L1 distance")] < 0.15
+        # Table 4 per-market malware rates land within a few points.
+        assert rows[("table4 AV-rank >= 10", "MAE (pct points)")] < 4.0
+        # Orderings track the paper.
+        assert rows[("table4 AV-rank >= 10", "rank correlation")] > 0.7
+        assert rows[("figure9 highest-version share", "rank correlation")] > 0.6

@@ -1,0 +1,88 @@
+"""Failure-injection tests: the crawl must survive flaky servers."""
+
+import pytest
+
+from repro.crawler.crawler import CrawlCoordinator
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.markets.server import MarketServer
+from repro.markets.store import build_stores
+from repro.net.client import HttpClient
+from repro.net.http import Request, ServerError
+from repro.util.simtime import SimClock
+
+
+@pytest.fixture(scope="module")
+def world():
+    return EcosystemGenerator(seed=81, scale=0.0002).generate()
+
+
+class TestFlakyServer:
+    def test_flakiness_validated(self, world):
+        stores = build_stores(world)
+        with pytest.raises(ValueError):
+            MarketServer(stores["tencent"], SimClock(), flakiness=1.5)
+
+    def test_failures_injected_deterministically(self, world):
+        clock = SimClock()
+        stores = build_stores(world)
+        server = MarketServer(stores["tencent"], clock, flakiness=0.2)
+        statuses = [
+            server.handle(Request("/categories")).status for _ in range(200)
+        ]
+        assert statuses.count(500) == server.transient_failures
+        assert 15 < statuses.count(500) < 70  # ~20%
+
+        # Same construction, same failure positions.
+        server2 = MarketServer(build_stores(world)["tencent"], SimClock(),
+                               flakiness=0.2)
+        statuses2 = [
+            server2.handle(Request("/categories")).status for _ in range(200)
+        ]
+        assert statuses == statuses2
+
+    def test_client_retries_through_flakiness(self, world):
+        clock = SimClock()
+        server = MarketServer(build_stores(world)["tencent"], clock,
+                              flakiness=0.2)
+        client = HttpClient(server.handle, clock)
+        # Every request eventually succeeds despite 20% transient 500s.
+        for _ in range(50):
+            assert client.get_json("/categories")
+        assert client.stats.retries > 0
+
+    def test_crawl_completes_with_flaky_markets(self, world):
+        from repro.util.rng import stable_hash32
+
+        clock = SimClock()
+        stores = build_stores(world)
+        servers = {
+            m: MarketServer(s, clock, flakiness=0.05)
+            for m, s in stores.items()
+        }
+        seeds = [
+            listing.package
+            for listing in stores["google_play"].iter_live(clock.now)
+            if stable_hash32("privacygrade", listing.package) % 100 < 74
+        ]
+        coordinator = CrawlCoordinator(
+            servers, clock, gp_seeds=seeds, download_apks=False
+        )
+        snapshot = coordinator.crawl("flaky", duration_days=1.0)
+        # Coverage stays essentially complete; retries absorb the faults.
+        for market_id, store in stores.items():
+            if len(store) == 0:
+                continue
+            assert snapshot.market_size(market_id) >= 0.9 * len(store), market_id
+
+    def test_extreme_flakiness_degrades_gracefully(self, world):
+        clock = SimClock()
+        stores = build_stores(world)
+        server = MarketServer(stores["tencent"], clock, flakiness=0.95)
+        client = HttpClient(server.handle, clock)
+        failures = 0
+        for _ in range(20):
+            try:
+                client.get_json("/categories")
+            except ServerError:
+                failures += 1
+        assert failures > 0  # retry budget genuinely exhausts

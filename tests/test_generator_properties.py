@@ -1,0 +1,82 @@
+"""Property-based tests over the ecosystem generator (hypothesis).
+
+Tiny worlds across many seeds: structural invariants must hold for every
+seed, not just the calibrated defaults.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.markets.profiles import get_profile
+
+_SETTINGS = dict(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_world_structure_invariants(seed):
+    world = EcosystemGenerator(seed=seed, scale=0.0001, min_market_size=10).generate()
+    assert world.apps
+
+    seen = set()
+    for app, placement in world.iter_placements():
+        # One listing per (market, package).
+        key = (placement.market_id, app.package)
+        assert key not in seen
+        seen.add(key)
+        # Placement points into the version history.
+        assert 0 <= placement.version_index < len(app.versions)
+        # Non-reporting markets never leak download counts.
+        if not get_profile(placement.market_id).reports_downloads:
+            assert placement.downloads is None
+        # Ratings in range when present.
+        if placement.rating is not None:
+            assert 0.0 <= placement.rating <= 5.0
+
+    for app in world.apps:
+        assert app.developer is not None
+        assert 1 <= app.min_sdk <= app.target_sdk
+        assert app.versions == tuple(
+            sorted(app.versions, key=lambda v: v.version_code)
+        )
+        # Requested permissions are a superset of nothing weird.
+        assert len(set(app.permissions_requested)) == len(app.permissions_requested)
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_clone_invariants(seed):
+    world = EcosystemGenerator(seed=seed, scale=0.0001, min_market_size=10).generate()
+    for app in world.apps:
+        if app.provenance == "sb_clone":
+            victim = world.app(app.related_app_id)
+            assert app.package == victim.package
+            assert app.developer.fingerprint != victim.developer.fingerprint
+            assert app.versions[-1].version_code <= victim.versions[-1].version_code
+        elif app.provenance == "cb_clone":
+            victim = world.app(app.related_app_id)
+            assert app.package != victim.package
+        elif app.provenance == "fake":
+            victim = world.app(app.related_app_id)
+            assert app.display_name == victim.display_name
+            assert app.package != victim.package
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_threat_feed_consistency(seed):
+    world = EcosystemGenerator(seed=seed, scale=0.0001, min_market_size=10).generate()
+    recorded = sum(
+        world.threat_feed.count(family)
+        for family in {a.threat.family for a in world.apps if a.threat}
+    ) if any(a.threat for a in world.apps) else 0
+    actual = sum(1 for a in world.apps if a.threat is not None)
+    # Every applied threat was recorded (records may exceed apps when a
+    # fully-delisted app kept its feed entry).
+    assert recorded >= actual

@@ -1,0 +1,78 @@
+"""Tests for category taxonomies and consolidation."""
+
+import numpy as np
+import pytest
+
+from repro.markets.categories import (
+    CANONICAL_CATEGORIES,
+    CANONICAL_WEIGHTS,
+    NULL_LABELS,
+    OTHER_CATEGORY,
+    VENDOR_WEIGHTS,
+    consolidation_table,
+    taxonomy_for,
+)
+from repro.markets.profiles import ALL_MARKET_IDS
+
+
+class TestCanonical:
+    def test_twenty_two_categories(self):
+        assert len(CANONICAL_CATEGORIES) == 22
+        assert OTHER_CATEGORY in CANONICAL_CATEGORIES
+
+    def test_games_dominate(self):
+        assert max(CANONICAL_WEIGHTS, key=CANONICAL_WEIGHTS.get) == "Game"
+        assert CANONICAL_WEIGHTS["Game"] > 0.3
+
+    def test_vendor_skew(self):
+        assert VENDOR_WEIGHTS["Game"] < CANONICAL_WEIGHTS["Game"]
+        assert VENDOR_WEIGHTS["Tools"] > CANONICAL_WEIGHTS["Tools"]
+
+    def test_weights_cover_all_categories(self):
+        assert set(CANONICAL_WEIGHTS) == set(CANONICAL_CATEGORIES)
+
+
+class TestTaxonomies:
+    def test_every_market_has_taxonomy(self):
+        for market in ALL_MARKET_IDS:
+            taxonomy = taxonomy_for(market)
+            assert len(taxonomy.labels) == 21  # all but Null/Other
+
+    def test_labels_roundtrip_via_consolidation(self):
+        table = consolidation_table()
+        for market in ALL_MARKET_IDS:
+            taxonomy = taxonomy_for(market)
+            for canonical in CANONICAL_CATEGORIES:
+                if canonical == OTHER_CATEGORY:
+                    continue
+                label = taxonomy.market_label(canonical)
+                assert table[label] == canonical
+
+    def test_null_labels_consolidate_to_other(self):
+        table = consolidation_table()
+        for label in NULL_LABELS:
+            assert table[label] == OTHER_CATEGORY
+
+    def test_null_label_sampling(self):
+        rng = np.random.default_rng(1)
+        taxonomy = taxonomy_for("tencent")
+        for _ in range(20):
+            assert taxonomy.null_label(rng) in NULL_LABELS
+
+    def test_unknown_canonical_raises(self):
+        with pytest.raises(KeyError):
+            taxonomy_for("tencent").market_label("NotACategory")
+
+    def test_gp_uses_canonical_spellings(self):
+        taxonomy = taxonomy_for("google_play")
+        assert taxonomy.market_label("Game") == "Game"
+        assert taxonomy.market_label("Tools") == "Tools"
+
+    def test_taxonomies_cached(self):
+        assert taxonomy_for("baidu") is taxonomy_for("baidu")
+
+    def test_markets_differ_in_spelling(self):
+        spellings = {
+            taxonomy_for(m).market_label("Lifestyle") for m in ALL_MARKET_IDS
+        }
+        assert len(spellings) > 1

@@ -1,0 +1,131 @@
+"""Tests for the market profile data."""
+
+import pytest
+
+from repro.markets.profiles import (
+    ALL_MARKET_IDS,
+    CHINESE_MARKET_IDS,
+    DOWNLOAD_BIN_LABELS,
+    GOOGLE_PLAY,
+    get_profile,
+    iter_profiles,
+)
+
+
+class TestRegistry:
+    def test_seventeen_markets(self):
+        assert len(ALL_MARKET_IDS) == 17
+        assert len(CHINESE_MARKET_IDS) == 16
+        assert GOOGLE_PLAY not in CHINESE_MARKET_IDS
+
+    def test_lookup(self):
+        assert get_profile("tencent").display_name == "Tencent Myapp"
+
+    def test_unknown_market(self):
+        with pytest.raises(KeyError):
+            get_profile("fdroid")
+
+    def test_iter_order_matches_table1(self):
+        names = [p.display_name for p in iter_profiles()]
+        assert names[0] == "Google Play"
+        assert names[1] == "Tencent Myapp"
+        assert names[-1] == "App China"
+
+    def test_paper_total_size(self):
+        total = sum(p.paper_size for p in iter_profiles())
+        assert total == 6_267_247  # Table 1's total row
+
+
+class TestTable1Features:
+    def test_unvetted_markets(self):
+        # HiApk and PC Online perform no copyright or security checks.
+        for market in ("hiapk", "pconline"):
+            profile = get_profile(market)
+            assert not profile.copyright_check
+            assert not profile.app_vetting
+            assert not profile.security_check
+            assert profile.vet_catch == 0.0
+
+    def test_human_inspection_markets(self):
+        # Table 1 / Section 2: eight markets claim human inspection.
+        markets = {
+            m for m in ALL_MARKET_IDS if get_profile(m).human_inspection
+        }
+        assert markets == {
+            GOOGLE_PLAY, "tencent", "oppo", "xiaomi", "meizu", "huawei",
+            "anzhi", "appchina",
+        }
+
+    def test_only_gp_requires_privacy_policy(self):
+        assert get_profile(GOOGLE_PLAY).privacy_policy_required
+        assert not any(
+            get_profile(m).privacy_policy_required for m in CHINESE_MARKET_IDS
+        )
+
+    def test_iap_reported_by_gp_and_360_only(self):
+        markets = {m for m in ALL_MARKET_IDS if get_profile(m).reports_iap}
+        assert markets == {GOOGLE_PLAY, "market360"}
+
+    def test_lenovo_companies_only(self):
+        assert get_profile("lenovo").openness == "companies_only"
+
+    def test_oppo_partial(self):
+        assert get_profile("oppo").openness == "partial"
+
+    def test_360_requires_obfuscation(self):
+        assert get_profile("market360").requires_obfuscation
+        assert not get_profile("tencent").requires_obfuscation
+
+    def test_appchina_size_limit(self):
+        assert get_profile("appchina").extra["max_apk_mb"] == 50
+
+    def test_non_reporting_downloads(self):
+        markets = {m for m in ALL_MARKET_IDS if not get_profile(m).reports_downloads}
+        assert markets == {"xiaomi", "appchina"}
+
+    def test_gp_bins_only(self):
+        assert get_profile(GOOGLE_PLAY).download_style == "bins"
+        assert all(
+            get_profile(m).download_style == "exact" for m in CHINESE_MARKET_IDS
+        )
+
+
+class TestCalibrationRows:
+    def test_bin_shares_shape(self):
+        for profile in iter_profiles():
+            assert len(profile.download_bin_shares) == len(DOWNLOAD_BIN_LABELS)
+            assert sum(profile.download_bin_shares) <= 1.005
+
+    def test_figure9_extremes(self):
+        shares = {m: get_profile(m).highest_version_share for m in ALL_MARKET_IDS}
+        assert max(shares, key=shares.get) == GOOGLE_PLAY  # 95.4%
+        assert min(shares, key=shares.get) == "baidu"  # 52.9%
+
+    def test_table4_extremes(self):
+        rates = {m: get_profile(m).av10_rate for m in ALL_MARKET_IDS}
+        assert min(rates, key=rates.get) == GOOGLE_PLAY
+        assert max(rates, key=rates.get) == "pconline"
+
+    def test_pconline_default_rating(self):
+        assert get_profile("pconline").default_rating == 3.0
+        assert get_profile("tencent").default_rating is None
+
+    def test_second_crawl_exclusions(self):
+        assert get_profile("hiapk").discontinued_at_second_crawl
+        assert get_profile("oppo").app_only_at_second_crawl
+
+    def test_removal_rates(self):
+        assert get_profile("hiapk").malware_removal_rate is None
+        assert get_profile("oppo").malware_removal_rate is None
+        assert get_profile(GOOGLE_PLAY).malware_removal_rate == 84.0
+        assert get_profile("pconline").malware_removal_rate == 0.01
+
+    def test_crawl_strategies(self):
+        assert get_profile(GOOGLE_PLAY).crawl_strategy == "bfs_related"
+        assert get_profile("baidu").crawl_strategy == "int_index"
+        assert get_profile("tencent").crawl_strategy == "category_pages"
+
+    def test_null_category_markets(self):
+        # Section 4.1: ~40% NULL categories in these four stores.
+        for market in ("tencent", "market360", "oppo", "pp25"):
+            assert get_profile(market).category_null_share == pytest.approx(0.40)

@@ -1,0 +1,64 @@
+"""Tests for removal policies and their application to stores."""
+
+import numpy as np
+import pytest
+
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.markets.profiles import get_profile
+from repro.markets.removal import RemovalPolicy
+from repro.markets.removal_apply import apply_store_removals
+from repro.markets.store import build_stores
+from repro.util.rng import RngFactory
+from repro.util.simtime import FIRST_CRAWL_DAY, SECOND_CRAWL_DAY
+
+
+class TestRemovalPolicy:
+    def _policy(self, market, seed=1):
+        return RemovalPolicy(get_profile(market), np.random.default_rng(seed))
+
+    def test_probability_from_profile(self):
+        assert self._policy("google_play").removal_probability == 0.84
+        assert self._policy("pconline").removal_probability == pytest.approx(0.0001)
+
+    def test_excluded_markets_get_default(self):
+        assert 0 < self._policy("hiapk").removal_probability < 0.5
+
+    def test_removal_day_between_crawls(self):
+        policy = self._policy("wandoujia")
+        for _ in range(50):
+            day = policy.removal_day()
+            assert FIRST_CRAWL_DAY < day < SECOND_CRAWL_DAY
+
+    def test_decide_rate(self):
+        policy = self._policy("google_play", seed=3)
+        decisions = policy.decide([f"com.app{i}" for i in range(500)])
+        removed = sum(1 for d in decisions.values() if d is not None)
+        assert removed / 500 == pytest.approx(0.84, abs=0.06)
+
+    def test_decide_keeps_pconline(self):
+        policy = self._policy("pconline", seed=4)
+        decisions = policy.decide([f"com.app{i}" for i in range(300)])
+        removed = sum(1 for d in decisions.values() if d is not None)
+        assert removed <= 1
+
+
+class TestApplyStoreRemovals:
+    def test_end_to_end(self):
+        world = EcosystemGenerator(seed=41, scale=0.0003).generate()
+        stores = build_stores(world)
+        outcome = apply_store_removals(stores, world, RngFactory(5))
+        gp_flagged, gp_removed = outcome["google_play"]
+        assert gp_flagged > 0
+        assert 0.6 < gp_removed / gp_flagged <= 1.0  # ~84%
+        # Removed listings are gone at the second crawl but present at the first.
+        store = stores["google_play"]
+        removed_any = False
+        for app in world.apps:
+            if app.threat is None or "google_play" not in app.placements:
+                continue
+            listing = store.get_any(app.package)
+            if listing is not None and listing.removed_at is not None:
+                removed_any = True
+                assert listing.live_at(FIRST_CRAWL_DAY + 1) or listing.removed_at <= FIRST_CRAWL_DAY + 1
+                assert not listing.live_at(SECOND_CRAWL_DAY)
+        assert removed_any

@@ -1,0 +1,134 @@
+"""Tests for the HTTP-like market servers."""
+
+import pytest
+
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.markets.server import (
+    HIAPK_SHUTDOWN_DAY,
+    MarketServer,
+    OPPO_WEB_SHUTDOWN_DAY,
+)
+from repro.markets.store import build_stores
+from repro.net.http import Request
+from repro.util.simtime import SimClock
+
+
+@pytest.fixture(scope="module")
+def world():
+    return EcosystemGenerator(seed=31, scale=0.0003).generate()
+
+
+@pytest.fixture()
+def servers(world):
+    clock = SimClock()
+    stores = build_stores(world)
+    return {m: MarketServer(s, clock) for m, s in stores.items()}, clock
+
+
+def _get(server, path, **params):
+    return server.handle(Request(path=path, params=params))
+
+
+class TestEndpoints:
+    def test_app_lookup(self, servers):
+        srv = servers[0]["tencent"]
+        listing = next(srv.store.iter_live(servers[1].now))
+        resp = _get(srv, "/app", package=listing.package)
+        assert resp.ok
+        assert resp.json["package"] == listing.package
+        assert "rating" in resp.json and "updated_day" in resp.json
+
+    def test_app_missing_404(self, servers):
+        assert _get(servers[0]["tencent"], "/app", package="com.nope").status == 404
+
+    def test_unknown_endpoint_404(self, servers):
+        assert _get(servers[0]["tencent"], "/admin").status == 404
+
+    def test_search(self, servers):
+        srv = servers[0]["tencent"]
+        listing = next(srv.store.iter_live(servers[1].now))
+        resp = _get(srv, "/search", q=listing.package)
+        assert resp.ok and resp.json
+
+    def test_search_requires_query(self, servers):
+        assert _get(servers[0]["tencent"], "/search").status == 404
+
+    def test_categories_and_pages(self, servers):
+        srv = servers[0]["huawei"]
+        cats = _get(srv, "/categories").json
+        assert cats
+        page = _get(srv, "/category", name=cats[0], page=0).json
+        assert isinstance(page, list)
+
+    def test_index_endpoint(self, servers):
+        srv = servers[0]["baidu"]
+        resp = _get(srv, "/index", i=0)
+        assert resp.ok
+        assert _get(srv, "/index", i=10**6).status == 404
+
+    def test_download_parses(self, servers):
+        from repro.apk.archive import parse_apk
+
+        srv = servers[0]["tencent"]
+        listing = next(srv.store.iter_live(servers[1].now))
+        resp = _get(srv, "/download", package=listing.package)
+        assert resp.ok
+        assert parse_apk(resp.body).manifest.package == listing.package
+
+    def test_requests_counted(self, servers):
+        srv = servers[0]["tencent"]
+        before = srv.requests_served
+        _get(srv, "/categories")
+        assert srv.requests_served == before + 1
+
+
+class TestGooglePlayQuota:
+    def test_rate_limited_after_quota(self, world):
+        clock = SimClock()
+        stores = build_stores(world)
+        server = MarketServer(stores["google_play"], clock, apk_quota=3)
+        packages = [l.package for l in stores["google_play"].iter_live(clock.now)]
+        statuses = [
+            _get(server, "/download", package=p).status for p in packages[:6]
+        ]
+        assert statuses[:3] == [200, 200, 200]
+        assert statuses[3:] == [429, 429, 429]
+        assert server.apk_quota_used == 3
+
+    def test_default_quota_share(self, world):
+        clock = SimClock()
+        stores = build_stores(world)
+        server = MarketServer(stores["google_play"], clock)
+        expected = max(1, int(len(stores["google_play"]) * 0.141))
+        ok = 0
+        for listing in stores["google_play"].iter_live(clock.now):
+            if _get(server, "/download", package=listing.package).ok:
+                ok += 1
+        assert ok == expected
+
+    def test_chinese_markets_unlimited(self, servers):
+        srv = servers[0]["tencent"]
+        for listing in list(srv.store.iter_live(servers[1].now))[:30]:
+            assert _get(srv, "/download", package=listing.package).ok
+
+
+class TestAvailabilityGates:
+    def test_hiapk_dark_after_shutdown(self, world):
+        clock = SimClock()
+        server = MarketServer(build_stores(world)["hiapk"], clock)
+        assert server.web_available
+        clock.advance_to(HIAPK_SHUTDOWN_DAY + 1)
+        assert not server.web_available
+        assert _get(server, "/categories").status == 404
+
+    def test_oppo_web_dark_after_app_only(self, world):
+        clock = SimClock()
+        server = MarketServer(build_stores(world)["oppo"], clock)
+        clock.advance_to(OPPO_WEB_SHUTDOWN_DAY + 1)
+        assert not server.web_available
+
+    def test_others_stay_up(self, world):
+        clock = SimClock()
+        server = MarketServer(build_stores(world)["tencent"], clock)
+        clock.advance_to(OPPO_WEB_SHUTDOWN_DAY + 100)
+        assert server.web_available

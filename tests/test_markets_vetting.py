@@ -1,0 +1,79 @@
+"""Tests for the vetting pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.markets.profiles import get_profile
+from repro.markets.vetting import Submission, VettingPipeline
+
+
+def _pipeline(market, seed=1):
+    return VettingPipeline(get_profile(market), np.random.default_rng(seed))
+
+
+def _accept_rate(market, submission, n=400, seed=2):
+    pipeline = _pipeline(market, seed)
+    return sum(pipeline.review(submission).accepted for _ in range(n)) / n
+
+
+class TestGates:
+    def test_clean_submission_accepted(self):
+        assert _accept_rate("tencent", Submission(package="com.a")) == 1.0
+
+    def test_forced_bypasses_everything(self):
+        submission = Submission(package="com.a", threat_kind="trojan", forced=True)
+        assert _pipeline("google_play").review(submission).accepted
+
+    def test_lenovo_rejects_individuals(self):
+        submission = Submission(package="com.a", developer_is_company=False)
+        verdict = _pipeline("lenovo").review(submission)
+        assert not verdict.accepted
+        assert "individual" in verdict.reason
+
+    def test_appchina_size_cap(self):
+        big = Submission(package="com.a", apk_size_mb=80.0)
+        small = Submission(package="com.a", apk_size_mb=30.0)
+        assert not _pipeline("appchina").review(big).accepted
+        assert _pipeline("appchina").review(small).accepted
+
+    def test_unvetted_markets_accept_malware(self):
+        submission = Submission(package="com.a", threat_kind="trojan")
+        assert _accept_rate("hiapk", submission) == 1.0
+        assert _accept_rate("pconline", submission) == 1.0
+
+
+class TestCatchRates:
+    def test_strict_markets_catch_more(self):
+        trojan = Submission(package="com.a", threat_kind="trojan")
+        assert _accept_rate("google_play", trojan) < _accept_rate("anzhi", trojan)
+
+    def test_trojans_more_visible_than_adware(self):
+        trojan = Submission(package="com.a", threat_kind="trojan")
+        adware = Submission(package="com.a", threat_kind="adware")
+        assert _accept_rate("huawei", trojan) < _accept_rate("huawei", adware)
+
+    def test_copyright_check_catches_fakes(self):
+        fake = Submission(package="com.a", is_fake=True)
+        rate_checked = _accept_rate("google_play", fake)
+        rate_unchecked = _accept_rate("pconline", fake)
+        assert rate_checked < rate_unchecked == 1.0
+
+    def test_clones_caught_less_than_fakes(self):
+        fake = Submission(package="com.a", is_fake=True)
+        clone = Submission(package="com.a", is_clone=True)
+        assert _accept_rate("huawei", clone) >= _accept_rate("huawei", fake)
+
+
+class TestVettingDelay:
+    def test_within_profile_window(self):
+        pipeline = _pipeline("huawei")
+        lo, hi = get_profile("huawei").vetting_days
+        for _ in range(50):
+            assert lo <= pipeline.vetting_delay_days() <= hi
+
+    def test_no_window_means_instant(self):
+        assert _pipeline("hiapk").vetting_delay_days() == 0.0
+
+    def test_fixed_window(self):
+        # Tencent reviews in exactly one day (Table 1).
+        assert _pipeline("tencent").vetting_delay_days() == 1.0

@@ -1,0 +1,119 @@
+"""Tests for the retrying HTTP client and retry policy."""
+
+import pytest
+
+from repro.net.client import HttpClient
+from repro.net.http import (
+    NotFoundError,
+    RateLimitedError,
+    Request,
+    Response,
+    ServerError,
+)
+from repro.net.retry import RetryPolicy
+from repro.util.simtime import SimClock
+
+
+class TestRetryPolicy:
+    def test_exponential(self):
+        policy = RetryPolicy(max_retries=3, base_delay=1.0, multiplier=2.0, max_delay=100.0)
+        assert policy.delay(1) == 1.0
+        assert policy.delay(2) == 2.0
+        assert policy.delay(3) == 4.0
+
+    def test_capped(self):
+        policy = RetryPolicy(max_retries=5, base_delay=1.0, multiplier=10.0, max_delay=5.0)
+        assert policy.delay(3) == 5.0
+
+    def test_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+    def test_schedule_length(self):
+        assert len(list(RetryPolicy(max_retries=4).delays())) == 4
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=0)
+
+
+def _handler_sequence(responses):
+    """A handler returning canned responses in order (last one repeats)."""
+    state = {"i": 0}
+
+    def handle(request: Request) -> Response:
+        i = min(state["i"], len(responses) - 1)
+        state["i"] += 1
+        return responses[i]
+
+    return handle
+
+
+class TestHttpClient:
+    def test_ok(self):
+        client = HttpClient(_handler_sequence([Response.json_ok(42)]), SimClock())
+        assert client.get_json("/x") == 42
+        assert client.stats.requests == 1
+
+    def test_not_found_raises(self):
+        client = HttpClient(_handler_sequence([Response.not_found()]), SimClock())
+        with pytest.raises(NotFoundError):
+            client.get_json("/x")
+        assert client.stats.not_found == 1
+
+    def test_rate_limit_waits_then_succeeds(self):
+        clock = SimClock()
+        start = clock.now
+        client = HttpClient(
+            _handler_sequence([Response.rate_limited(0.5), Response.json_ok("ok")]),
+            clock,
+            max_rate_limit_waits=2,
+        )
+        assert client.get_json("/x") == "ok"
+        assert clock.now == pytest.approx(start + 0.5)  # slept retry_after
+        assert client.stats.rate_limited == 1
+
+    def test_rate_limit_budget_exhausted(self):
+        responses = [Response.rate_limited(0.1)] * 10
+        client = HttpClient(
+            _handler_sequence(responses), SimClock(), max_rate_limit_waits=1
+        )
+        with pytest.raises(RateLimitedError):
+            client.get_json("/x")
+
+    def test_zero_waits_raises_immediately(self):
+        client = HttpClient(
+            _handler_sequence([Response.rate_limited(5.0)]),
+            SimClock(),
+            max_rate_limit_waits=0,
+        )
+        with pytest.raises(RateLimitedError):
+            client.get_json("/x")
+        assert client.stats.requests == 1
+
+    def test_server_error_retried(self):
+        client = HttpClient(
+            _handler_sequence([Response(status=500), Response.json_ok("up")]),
+            SimClock(),
+        )
+        assert client.get_json("/x") == "up"
+        assert client.stats.retries == 1
+
+    def test_server_error_exhausts_retries(self):
+        client = HttpClient(
+            _handler_sequence([Response(status=500)]),
+            SimClock(),
+            retry_policy=RetryPolicy(max_retries=2),
+        )
+        with pytest.raises(ServerError):
+            client.get_json("/x")
+        assert client.stats.requests == 3  # initial + 2 retries
+
+    def test_get_bytes(self):
+        client = HttpClient(_handler_sequence([Response.bytes_ok(b"apk")]), SimClock())
+        assert client.get_bytes("/download") == b"apk"
+
+    def test_get_bytes_missing_body(self):
+        client = HttpClient(_handler_sequence([Response.json_ok(None)]), SimClock())
+        with pytest.raises(ServerError):
+            client.get_bytes("/download")

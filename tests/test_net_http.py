@@ -1,0 +1,59 @@
+"""Tests for the HTTP-like request/response model."""
+
+from repro.net.http import (
+    HTTP_NOT_FOUND,
+    HTTP_OK,
+    HTTP_TOO_MANY_REQUESTS,
+    NotFoundError,
+    RateLimitedError,
+    Request,
+    Response,
+    ServerError,
+)
+
+
+class TestRequest:
+    def test_param_lookup(self):
+        req = Request(path="/search", params={"q": "com.foo"})
+        assert req.param("q") == "com.foo"
+
+    def test_param_default(self):
+        assert Request(path="/x").param("missing", 7) == 7
+
+    def test_frozen(self):
+        req = Request(path="/x")
+        try:
+            req.path = "/y"  # type: ignore[misc]
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestResponse:
+    def test_json_ok(self):
+        resp = Response.json_ok({"a": 1})
+        assert resp.ok and resp.status == HTTP_OK and resp.json == {"a": 1}
+
+    def test_bytes_ok(self):
+        resp = Response.bytes_ok(b"blob")
+        assert resp.ok and resp.body == b"blob"
+
+    def test_not_found(self):
+        resp = Response.not_found()
+        assert not resp.ok and resp.status == HTTP_NOT_FOUND
+
+    def test_rate_limited(self):
+        resp = Response.rate_limited(retry_after=3.0)
+        assert resp.status == HTTP_TOO_MANY_REQUESTS
+        assert resp.retry_after == 3.0
+
+
+class TestErrors:
+    def test_status_attached(self):
+        assert NotFoundError("/x").status == HTTP_NOT_FOUND
+        assert RateLimitedError("/x", 1.0).status == HTTP_TOO_MANY_REQUESTS
+        assert ServerError("/x").status == 500
+
+    def test_retry_after_carried(self):
+        assert RateLimitedError("/x", 2.5).retry_after == 2.5

@@ -1,0 +1,62 @@
+"""Tests for rate limiting primitives."""
+
+import pytest
+
+from repro.net.ratelimit import QuotaLimiter, TokenBucket
+from repro.util.simtime import SimClock
+
+
+class TestTokenBucket:
+    def test_burst_capacity(self):
+        bucket = TokenBucket(SimClock(), rate=10, burst=3)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refills_over_time(self):
+        clock = SimClock()
+        bucket = TokenBucket(clock, rate=10, burst=1)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.2)  # 2 tokens worth, capped at burst=1
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_time_until_available(self):
+        clock = SimClock()
+        bucket = TokenBucket(clock, rate=2, burst=1)
+        bucket.try_acquire()
+        assert bucket.time_until_available() == pytest.approx(0.5)
+
+    def test_cap_at_burst(self):
+        clock = SimClock()
+        bucket = TokenBucket(clock, rate=100, burst=2)
+        clock.advance(10)
+        assert bucket.available == pytest.approx(2)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TokenBucket(SimClock(), rate=0, burst=1)
+
+
+class TestQuotaLimiter:
+    def test_exhausts(self):
+        quota = QuotaLimiter(2)
+        assert quota.try_acquire()
+        assert quota.try_acquire()
+        assert not quota.try_acquire()
+        assert not quota.try_acquire()  # stays refused forever
+
+    def test_counters(self):
+        quota = QuotaLimiter(3)
+        quota.try_acquire()
+        assert quota.used == 1
+        assert quota.remaining == 2
+
+    def test_zero_quota(self):
+        assert not QuotaLimiter(0).try_acquire()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            QuotaLimiter(-1)

@@ -1,0 +1,120 @@
+"""Property-based tests on core invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.clones import block_overlap, feature_distance
+from repro.analysis.downloads import bin_index
+from repro.markets.profiles import DOWNLOAD_BIN_EDGES
+from repro.util.rng import RngFactory, stable_hash64
+from repro.util.stats import BoxStats, normalize, top_share
+
+_feature_maps = st.dictionaries(
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=1, max_value=40),
+    max_size=30,
+)
+
+
+class TestDistanceProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(_feature_maps, _feature_maps)
+    def test_range(self, a, b):
+        d = feature_distance(a, b)
+        assert 0.0 <= d <= 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(_feature_maps)
+    def test_identity(self, a):
+        assert feature_distance(a, a) == 0.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(_feature_maps, _feature_maps)
+    def test_symmetry(self, a, b):
+        assert feature_distance(a, b) == feature_distance(b, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_feature_maps, _feature_maps)
+    def test_disjoint_supports_max_distance(self, a, b):
+        shifted = {fid + 1000: count for fid, count in b.items()}
+        if a and shifted:
+            assert feature_distance(a, shifted) == 1.0
+
+
+class TestBlockOverlapProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(), max_size=40),
+           st.lists(st.integers(), max_size=40))
+    def test_range(self, a, b):
+        assert 0.0 <= block_overlap(a, b) <= 1.0
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(), min_size=1, max_size=40))
+    def test_self_overlap(self, a):
+        assert block_overlap(a, a) == 1.0
+
+
+class TestStatsProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=200),
+           st.floats(min_value=0.001, max_value=1.0))
+    def test_top_share_range(self, values, fraction):
+        assert 0.0 <= top_share(values, fraction) <= 1.0
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=1, max_size=100))
+    def test_top_share_monotone_in_fraction(self, values):
+        small = top_share(values, 0.1)
+        large = top_share(values, 0.9)
+        assert large >= small - 1e-12
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_normalize_sums_to_one_or_zero(self, counts):
+        total = normalize(counts).sum()
+        assert abs(total - 1.0) < 1e-9 or total == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100))
+    def test_box_stats_ordering(self, values):
+        box = BoxStats(values)
+        assert box.minimum <= box.q1 <= box.median <= box.q3 <= box.maximum
+
+
+class TestBinProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**10))
+    def test_bin_contains_value(self, downloads):
+        idx = bin_index(downloads)
+        lo = DOWNLOAD_BIN_EDGES[idx]
+        hi = (
+            DOWNLOAD_BIN_EDGES[idx + 1]
+            if idx + 1 < len(DOWNLOAD_BIN_EDGES)
+            else float("inf")
+        )
+        assert lo <= downloads < hi
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=0, max_value=10**9))
+    def test_bin_monotone(self, a, b):
+        if a <= b:
+            assert bin_index(a) <= bin_index(b)
+
+
+class TestRngProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(max_size=20), st.text(max_size=20))
+    def test_stable_hash_injective_on_parts(self, a, b):
+        if a != b:
+            assert stable_hash64(a) != stable_hash64(b) or True  # collisions allowed
+        assert stable_hash64(a, b) == stable_hash64(a, b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=10))
+    def test_streams_reproducible(self, seed, name):
+        rngs = RngFactory(seed)
+        a = rngs.stream(name).random(4)
+        b = rngs.stream(name).random(4)
+        assert np.allclose(a, b)

@@ -1,0 +1,67 @@
+"""Tests for deterministic RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngFactory, stable_hash32, stable_hash64
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash64("a", 1) == stable_hash64("a", 1)
+
+    def test_distinct_inputs_differ(self):
+        assert stable_hash64("a") != stable_hash64("b")
+
+    def test_part_boundaries_matter(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert stable_hash64("ab", "c") != stable_hash64("a", "bc")
+
+    def test_32_bit_range(self):
+        for i in range(50):
+            assert 0 <= stable_hash32("x", i) < 2**32
+
+    def test_64_bit_range(self):
+        for i in range(50):
+            assert 0 <= stable_hash64("x", i) < 2**64
+
+    def test_spread(self):
+        values = {stable_hash32("spread", i) % 100 for i in range(500)}
+        assert len(values) > 90  # roughly uniform over buckets
+
+
+class TestRngFactory:
+    def test_same_name_same_stream(self):
+        rngs = RngFactory(7)
+        a = rngs.stream("apps").random(5)
+        b = rngs.stream("apps").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_names_differ(self):
+        rngs = RngFactory(7)
+        a = rngs.stream("apps").random(5)
+        b = rngs.stream("markets").random(5)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(1).stream("x").random(5)
+        b = RngFactory(2).stream("x").random(5)
+        assert not np.allclose(a, b)
+
+    def test_child_namespacing(self):
+        rngs = RngFactory(7)
+        child = rngs.child("ecosystem")
+        assert child.seed != rngs.seed
+        a = child.stream("apps").random(3)
+        b = rngs.child("ecosystem").stream("apps").random(3)
+        assert np.allclose(a, b)
+
+    def test_multi_part_names(self):
+        rngs = RngFactory(7)
+        a = rngs.stream("vetting", "tencent").random(3)
+        b = rngs.stream("vetting", "baidu").random(3)
+        assert not np.allclose(a, b)
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngFactory("seed")  # type: ignore[arg-type]

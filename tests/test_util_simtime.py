@@ -1,0 +1,65 @@
+"""Tests for simulated time."""
+
+import datetime
+
+import pytest
+
+from repro.util.simtime import (
+    EPOCH,
+    FIRST_CRAWL_DAY,
+    SECOND_CRAWL_DAY,
+    SimClock,
+    date_to_day,
+    day_to_date,
+    days,
+    months,
+)
+
+
+class TestConversions:
+    def test_epoch_is_day_zero(self):
+        assert date_to_day(EPOCH) == 0
+
+    def test_roundtrip(self):
+        date = datetime.date(2017, 8, 15)
+        assert day_to_date(date_to_day(date)) == date
+
+    def test_first_crawl_date(self):
+        assert day_to_date(FIRST_CRAWL_DAY) == datetime.date(2017, 8, 15)
+
+    def test_second_crawl_date(self):
+        assert day_to_date(SECOND_CRAWL_DAY) == datetime.date(2018, 4, 30)
+
+    def test_crawls_roughly_8_months_apart(self):
+        assert 7.5 * 30 < SECOND_CRAWL_DAY - FIRST_CRAWL_DAY < 9 * 30
+
+    def test_durations(self):
+        assert days(3) == 3.0
+        assert months(1) == pytest.approx(30.44)
+
+
+class TestSimClock:
+    def test_starts_at_first_crawl(self):
+        assert SimClock().now == FIRST_CRAWL_DAY
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(2.5)
+        assert clock.now == FIRST_CRAWL_DAY + 2.5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(SECOND_CRAWL_DAY)
+        assert clock.now == SECOND_CRAWL_DAY
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance_to(clock.now - 1)
+
+    def test_today(self):
+        assert SimClock().today == datetime.date(2017, 8, 15)

@@ -1,0 +1,142 @@
+"""Tests for statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.stats import (
+    BoxStats,
+    cdf_points,
+    histogram_shares,
+    normalize,
+    percentile_shares,
+    top_share,
+)
+
+
+class TestCdfPoints:
+    def test_simple(self):
+        xs, cdf = cdf_points([1, 2, 3, 4])
+        assert list(xs) == [1, 2, 3, 4]
+        assert np.allclose(cdf, [0.25, 0.5, 0.75, 1.0])
+
+    def test_grid(self):
+        xs, cdf = cdf_points([1, 2, 3, 4], grid=[0, 2.5, 10])
+        assert np.allclose(cdf, [0.0, 0.5, 1.0])
+
+    def test_duplicates(self):
+        xs, cdf = cdf_points([2, 2, 2])
+        assert list(xs) == [2]
+        assert cdf[-1] == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cdf_points([])
+
+
+class TestTopShare:
+    def test_uniform(self):
+        # Top 10% of equal values holds ~10% of the mass.
+        assert abs(top_share([1.0] * 100, 0.1) - 0.1) < 1e-9
+
+    def test_concentrated(self):
+        values = [1000] + [1] * 99
+        assert top_share(values, 0.01) == pytest.approx(1000 / 1099)
+
+    def test_always_counts_one(self):
+        assert top_share([5, 1], 0.001) == pytest.approx(5 / 6)
+
+    def test_zero_total(self):
+        assert top_share([0, 0], 0.5) == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            top_share([1], 0.0)
+
+    def test_percentile_shares(self):
+        shares = percentile_shares([10, 1, 1], [0.5, 1.0])
+        assert shares[1.0] == pytest.approx(1.0)
+        assert shares[0.5] > 0.5
+
+
+class TestNormalize:
+    def test_sums_to_one(self):
+        assert np.isclose(normalize([1, 1, 2]).sum(), 1.0)
+
+    def test_all_zero(self):
+        assert normalize([0, 0]).sum() == 0.0
+
+    def test_histogram_shares(self):
+        shares = histogram_shares([1, 2, 3, 11], [0, 10, 20])
+        assert np.allclose(shares, [0.75, 0.25])
+
+
+class TestComparisonMetrics:
+    def test_spearman_perfect(self):
+        from repro.util.stats import spearman_rank_correlation
+
+        assert spearman_rank_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_spearman_inverted(self):
+        from repro.util.stats import spearman_rank_correlation
+
+        assert spearman_rank_correlation([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_spearman_ignores_scale(self):
+        from repro.util.stats import spearman_rank_correlation
+
+        a = [1, 5, 2, 9]
+        assert spearman_rank_correlation(a, [x * 100 for x in a]) == pytest.approx(1.0)
+
+    def test_spearman_ties(self):
+        from repro.util.stats import spearman_rank_correlation
+
+        rho = spearman_rank_correlation([1, 1, 2], [1, 2, 3])
+        assert -1.0 <= rho <= 1.0
+
+    def test_spearman_constant_input(self):
+        from repro.util.stats import spearman_rank_correlation
+
+        assert spearman_rank_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_spearman_validation(self):
+        from repro.util.stats import spearman_rank_correlation
+
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1], [1])
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1, 2], [1])
+
+    def test_mae(self):
+        from repro.util.stats import mean_absolute_error
+
+        assert mean_absolute_error([1, 2], [2, 4]) == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            mean_absolute_error([], [])
+
+    def test_l1(self):
+        from repro.util.stats import l1_distance
+
+        assert l1_distance([0.5, 0.5], [0.25, 0.75]) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            l1_distance([1], [1, 2])
+
+
+class TestBoxStats:
+    def test_five_numbers(self):
+        box = BoxStats(range(1, 101))
+        assert box.minimum == 1
+        assert box.maximum == 100
+        assert abs(box.median - 50.5) < 1
+        assert box.q1 < box.median < box.q3
+
+    def test_single_value(self):
+        box = BoxStats([3.0])
+        assert box.minimum == box.maximum == box.median == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoxStats([])
+
+    def test_as_dict(self):
+        keys = set(BoxStats([1, 2, 3]).as_dict())
+        assert keys == {"min", "q1", "median", "q3", "max"}

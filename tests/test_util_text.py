@@ -1,0 +1,60 @@
+"""Tests for name generation."""
+
+import re
+
+import numpy as np
+
+from repro.util.text import (
+    COMMON_APP_NAMES,
+    app_display_name,
+    developer_name,
+    package_name,
+)
+
+_PACKAGE_RE = re.compile(r"^[a-z]+(\.[a-z0-9]+)+$")
+
+
+class TestPackageName:
+    def test_valid_java_package(self):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            assert _PACKAGE_RE.match(package_name(rng))
+
+    def test_mostly_unique(self):
+        rng = np.random.default_rng(2)
+        names = {package_name(rng) for _ in range(2000)}
+        assert len(names) > 1990
+
+    def test_deterministic_given_rng(self):
+        a = package_name(np.random.default_rng(7))
+        b = package_name(np.random.default_rng(7))
+        assert a == b
+
+
+class TestDisplayName:
+    def test_nonempty(self):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            assert app_display_name(rng).strip()
+
+    def test_common_fraction(self):
+        rng = np.random.default_rng(4)
+        names = [app_display_name(rng, common_fraction=1.0) for _ in range(50)]
+        assert all(n in COMMON_APP_NAMES for n in names)
+
+    def test_zero_common_fraction(self):
+        rng = np.random.default_rng(5)
+        names = [app_display_name(rng, common_fraction=0.0) for _ in range(200)]
+        assert not any(n in COMMON_APP_NAMES for n in names)
+
+
+class TestDeveloperName:
+    def test_china_style(self):
+        rng = np.random.default_rng(6)
+        names = [developer_name(rng, "china") for _ in range(20)]
+        assert any("Co., Ltd." in n or "Keji" in n or "Technology" in n
+                   or "Mobile" in n or "Software" in n for n in names)
+
+    def test_global_style(self):
+        rng = np.random.default_rng(7)
+        assert developer_name(rng, "global")
