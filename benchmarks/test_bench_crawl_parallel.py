@@ -1,0 +1,81 @@
+"""Benchmarks for the parallel crawl engine.
+
+Network latency is injected at the server (real ``time.sleep``, which
+releases the GIL) so the lanes genuinely overlap: the serial crawl pays
+every market's latency in sequence, the 8-worker engine pays only the
+slowest schedule of lanes.  Load is near-uniform across the 17 markets,
+so the engine should clear 3x comfortably (~5-6x in practice) while
+producing the bit-identical snapshot the determinism suite demands.
+
+The scale is pinned (independent of REPRO_BENCH_SCALE) so the latency
+budget — and therefore the speedup floor — is stable in CI smoke runs.
+"""
+
+import time
+
+import pytest
+
+from repro.crawler.crawler import CrawlCoordinator
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.markets.server import MarketServer
+from repro.markets.store import build_stores
+from repro.util.simtime import SimClock
+
+BENCH_CRAWL_SEED = 7
+BENCH_CRAWL_SCALE = 0.0001
+LATENCY_S = 0.0003  # per-request server latency; ~17K requests ≈ 5s serial
+MIN_SPEEDUP = 3.0
+
+
+@pytest.fixture(scope="module")
+def crawl_world():
+    return EcosystemGenerator(seed=BENCH_CRAWL_SEED, scale=BENCH_CRAWL_SCALE).generate()
+
+
+def _crawl(world, workers, latency_s=LATENCY_S):
+    clock = SimClock()
+    servers = {
+        m: MarketServer(store, clock, latency_s=latency_s)
+        for m, store in build_stores(world).items()
+    }
+    coordinator = CrawlCoordinator(servers, clock, download_apks=False, workers=workers)
+    return coordinator.crawl("bench-parallel", duration_days=5.0)
+
+
+def test_bench_crawl_serial(benchmark, crawl_world):
+    snapshot = benchmark.pedantic(_crawl, args=(crawl_world, 1), rounds=1, iterations=1)
+    assert len(snapshot) > 0
+
+
+def test_bench_crawl_parallel_speedup(benchmark, crawl_world):
+    start = time.perf_counter()
+    serial = _crawl(crawl_world, workers=1)
+    serial_elapsed = time.perf_counter() - start
+
+    parallel = benchmark.pedantic(
+        _crawl, args=(crawl_world, 8), rounds=2, iterations=1
+    )
+
+    # Identical output at any width — the whole point of the lane model.
+    assert parallel.content_digest() == serial.content_digest()
+    assert parallel.stats.telemetry.workers == 8
+
+    parallel_elapsed = benchmark.stats.stats.min
+    speedup = serial_elapsed / parallel_elapsed
+    print(
+        f"\nserial {serial_elapsed:.2f}s vs 8 workers {parallel_elapsed:.2f}s "
+        f"-> {speedup:.1f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"8-worker crawl only {speedup:.1f}x faster than serial "
+        f"({serial_elapsed:.2f}s vs {parallel_elapsed:.2f}s)"
+    )
+
+
+def test_bench_crawl_overhead_without_latency(benchmark, crawl_world):
+    # The engine's scheduling overhead on a zero-latency server: this
+    # bounds what the thread pool costs when there is nothing to hide.
+    snapshot = benchmark.pedantic(
+        _crawl, args=(crawl_world, 8), kwargs={"latency_s": 0.0}, rounds=3, iterations=1
+    )
+    assert len(snapshot) > 0

@@ -5,10 +5,9 @@ serialization/parsing, one full crawl — at a smaller scale than the
 shared study so each round stays bounded.
 """
 
-import pytest
 
 from repro import Study, StudyConfig
-from repro.apk.archive import parse_apk, serialize_apk
+from repro.apk.archive import parse_apk
 from repro.ecosystem.apps import build_apk
 from repro.ecosystem.generator import EcosystemGenerator
 from repro.ecosystem.libraries import default_catalog

@@ -22,8 +22,8 @@ addresses at 6M-app scale.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.corpus import AppUnit
 from repro.analysis.libraries import LibraryDetection

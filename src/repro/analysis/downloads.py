@@ -13,7 +13,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.analysis.corpus import normalized_downloads
-from repro.crawler.snapshot import CrawlRecord, Snapshot
+from repro.crawler.snapshot import Snapshot
 from repro.markets.profiles import DOWNLOAD_BIN_EDGES, DOWNLOAD_BIN_LABELS
 from repro.util.stats import top_share
 

@@ -16,7 +16,7 @@ paper's 0.0 entries for exactly those stores.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.corpus import AppUnit

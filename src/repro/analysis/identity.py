@@ -10,9 +10,8 @@ a sufficient identity key.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Tuple
 
 from repro.crawler.snapshot import Snapshot
 

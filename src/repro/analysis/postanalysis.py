@@ -10,7 +10,7 @@ stores.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.analysis.corpus import AppUnit
 from repro.analysis.malware import DEFAULT_MALWARE_THRESHOLD, MalwareScan

@@ -9,9 +9,7 @@ listings.
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 from repro.analysis.corpus import AppUnit
 from repro.crawler.snapshot import Snapshot

@@ -7,7 +7,7 @@ Google Play, Tencent Myapp, PC Online, Huawei, and Lenovo MM.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 __all__ = ["RADAR_MARKETS", "RADAR_DIMENSIONS", "radar_series"]
 

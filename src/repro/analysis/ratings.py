@@ -8,7 +8,7 @@ spike between 2.5 and 3 caused by its default rating of 3.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

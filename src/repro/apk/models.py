@@ -14,7 +14,7 @@ The model captures exactly the artifacts the paper's analyses read:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
 __all__ = [

@@ -16,7 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro import Study, StudyConfig, __version__
 from repro.experiments import EXPERIMENT_IDS, run_experiment
@@ -40,6 +40,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list available experiment ids")
     sub.add_parser("markets", help="print the 17 market profiles")
 
+    def workers_arg(text: str) -> int:
+        value = int(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError(
+                f"must be non-negative (0 = auto), got {value}"
+            )
+        return value
+
     def add_study_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--seed", type=int, default=42, help="master seed")
         p.add_argument("--scale", type=float, default=0.001,
@@ -48,6 +56,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="metadata-only crawl (faster)")
         p.add_argument("--full-second-crawl", action="store_true",
                        help="run a full second campaign (enables 'churn')")
+        p.add_argument("--workers", type=workers_arg, default=1,
+                       help="crawl-engine threads, 0 = auto "
+                            "(snapshot identical at any width)")
 
     run_parser = sub.add_parser("run", help="run a study and print a summary")
     add_study_args(run_parser)
@@ -64,11 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _config_from(args: argparse.Namespace) -> StudyConfig:
+    from repro.crawler.workers import resolve_thread_workers
+
     return StudyConfig(
         seed=args.seed,
         scale=args.scale,
         download_apks=not args.no_apks,
         full_second_crawl=args.full_second_crawl,
+        crawl_workers=resolve_thread_workers(args.workers),
     )
 
 
@@ -109,6 +123,9 @@ def _run_study(args, out):
 def _cmd_run(args, out) -> int:
     result = _run_study(args, out)
     snapshot = result.snapshot
+    print(file=out)
+    print(result.crawl_report(), file=out)
+    print(file=out)
     print(f"google play apk coverage: "
           f"{snapshot.apk_coverage(GOOGLE_PLAY):.1%}", file=out)
     if result.config.download_apks:

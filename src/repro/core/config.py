@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.faults import FaultPlan
 
 __all__ = ["StudyConfig"]
 
@@ -42,9 +45,16 @@ class StudyConfig:
     #: addition to the targeted recheck; enables the longitudinal churn
     #: analysis at the cost of roughly doubling crawl time.
     full_second_crawl: bool = False
+    #: Crawl-engine thread width (one lane per market; the snapshot is
+    #: identical at any width, only wall-clock time changes).
+    crawl_workers: int = 1
+    #: Fault mix every market server injects (None = clean servers).
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.scale <= 1:
             raise ValueError(f"scale must be in (0, 1], got {self.scale}")
         if not 0 < self.gp_seed_share <= 1:
             raise ValueError("gp_seed_share must be in (0, 1]")
+        if self.crawl_workers < 1:
+            raise ValueError(f"crawl_workers must be positive, got {self.crawl_workers}")

@@ -7,7 +7,7 @@ in any terminal and diff cleanly in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 __all__ = ["bar_chart", "cdf_plot", "heatmap", "grouped_bars"]
 

@@ -9,7 +9,7 @@ comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 __all__ = ["TableReport", "FigureReport", "format_cell"]
 

@@ -42,6 +42,7 @@ from repro.core.config import StudyConfig
 from repro.crawler.backfill import ArchiveBackfill
 from repro.crawler.crawler import CrawlCoordinator
 from repro.crawler.snapshot import Snapshot
+from repro.crawler.telemetry import CrawlTelemetry
 from repro.ecosystem.generator import EcosystemGenerator
 from repro.ecosystem.world import World
 from repro.markets.evolution import apply_catalog_updates
@@ -81,6 +82,21 @@ class StudyResult:
         self.removal_outcome = dict(removal_outcome)
         self.second_snapshot = second_snapshot
         self.update_outcome = dict(update_outcome or {})
+
+    # -- crawl telemetry ---------------------------------------------------
+
+    @property
+    def telemetry(self) -> Optional["CrawlTelemetry"]:
+        """The first campaign's crawl telemetry (per-market counters)."""
+        stats = getattr(self.snapshot, "stats", None)
+        return stats.telemetry if stats is not None else None
+
+    def crawl_report(self) -> str:
+        """Render the per-market crawl telemetry table."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return "no crawl telemetry recorded"
+        return telemetry.stats_report()
 
     # -- lazily computed analysis artifacts --------------------------------
 
@@ -158,7 +174,10 @@ class Study:
         ).generate()
         stores = build_stores(world)
         clock = SimClock()
-        servers = {m: MarketServer(store, clock) for m, store in stores.items()}
+        servers = {
+            m: MarketServer(store, clock, faults=config.fault_plan)
+            for m, store in stores.items()
+        }
 
         backfill = ArchiveBackfill(world) if config.download_apks else None
         coordinator = CrawlCoordinator(
@@ -167,6 +186,7 @@ class Study:
             gp_seeds=self._gp_seeds(stores, clock),
             backfill=backfill,
             download_apks=config.download_apks,
+            workers=config.crawl_workers,
         )
         snapshot = coordinator.crawl("first", duration_days=config.first_crawl_days)
 
@@ -201,6 +221,7 @@ class Study:
                 gp_seeds=self._gp_seeds(stores, clock),
                 backfill=None,
                 download_apks=False,
+                workers=config.crawl_workers,
             )
             result.second_snapshot = second_coordinator.crawl(
                 "second", duration_days=config.second_crawl_days

@@ -12,6 +12,7 @@ the package so that repeated lookups agree.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.util.rng import stable_hash32
@@ -41,6 +42,10 @@ class ArchiveBackfill:
         self._market_id = market_id
         self._coverage = coverage
         self._cache: Dict[Tuple[str, str], Optional[bytes]] = {}
+        # The archive is shared by every market's download lane; the
+        # lock keeps cache fills and hit/miss counters exact under the
+        # parallel crawl engine.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -51,13 +56,14 @@ class ArchiveBackfill:
     def lookup(self, package: str, version_name: str) -> Optional[bytes]:
         """Fetch an APK from the archive, or None if not archived."""
         key = (package, version_name)
-        if key not in self._cache:
-            self._cache[key] = self._build(package, version_name)
-        blob = self._cache[key]
-        if blob is None:
-            self.misses += 1
-        else:
-            self.hits += 1
+        with self._lock:
+            if key not in self._cache:
+                self._cache[key] = self._build(package, version_name)
+            blob = self._cache[key]
+            if blob is None:
+                self.misses += 1
+            else:
+                self.hits += 1
         return blob
 
     def _build(self, package: str, version_name: str) -> Optional[bytes]:

@@ -1,25 +1,33 @@
 """Crawl coordination.
 
-``CrawlCoordinator`` reproduces the paper's campaign structure:
+``CrawlCoordinator`` reproduces the paper's campaign structure on top
+of the parallel crawl engine (:mod:`repro.crawler.engine`):
 
-* per-market discovery with the appropriate strategy (Section 3),
-* the **parallel search**: the moment a new package surfaces anywhere,
-  it is searched (by package name and by app name) in every other
-  market so cross-market observations are near-simultaneous,
-* APK downloading with rate-limit handling, and offline-archive
+* per-market discovery with the appropriate strategy (Section 3), one
+  engine lane per market,
+* the **parallel search**: each round, every package that surfaced
+  anywhere since the last round is searched (by package name and by app
+  name) in every market, so cross-market observations are
+  near-simultaneous,
+* batched APK downloading with rate-limit handling, and offline-archive
   backfill for Google Play's quota-blocked APKs (AndroZoo substitute),
 * a targeted *recheck* used by the second campaign to test whether
   flagged apps are still hosted.
+
+Every phase fans out one task per market and merges results in
+canonical market order, so the snapshot is identical at any worker
+count — the fleet changes wall-clock time, never the dataset.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import time
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.apk.archive import ApkParseError, parse_apk
 from repro.crawler.backfill import ArchiveBackfill
+from repro.crawler.engine import CrawlEngine
 from repro.crawler.snapshot import (
     APK_FROM_ARCHIVE,
     APK_FROM_MARKET,
@@ -27,13 +35,22 @@ from repro.crawler.snapshot import (
     Snapshot,
 )
 from repro.crawler.strategies import strategy_for
+from repro.crawler.telemetry import CrawlTelemetry
 from repro.crawler.workers import WorkerPool
 from repro.markets.server import MarketServer
 from repro.net.client import HttpClient
 from repro.net.http import HttpError, NotFoundError, RateLimitedError
+from repro.net.ratelimit import PerMarketRateLimiter
 from repro.util.simtime import SimClock
 
 __all__ = ["CrawlCoordinator", "CrawlStats"]
+
+Metadata = Mapping[str, object]
+
+#: Download outcomes a lane reports back to the merge step (besides the
+#: snapshot's own APK_FROM_MARKET / APK_FROM_ARCHIVE source tags).
+_DL_FAILED = "failed"
+_DL_PARSE_ERROR = "parse_error"
 
 
 @dataclass
@@ -47,6 +64,7 @@ class CrawlStats:
     apk_missing: int = 0
     apk_parse_errors: int = 0
     rate_limited_markets: Set[str] = field(default_factory=set)
+    telemetry: Optional[CrawlTelemetry] = field(default=None, compare=False, repr=False)
 
 
 class CrawlCoordinator:
@@ -61,6 +79,8 @@ class CrawlCoordinator:
         download_apks: bool = True,
         search_by_name: bool = True,
         worker_pool: Optional[WorkerPool] = None,
+        workers: int = 1,
+        rate_limiter: Optional[PerMarketRateLimiter] = None,
     ):
         self._servers = dict(servers)
         self._clock = clock
@@ -69,13 +89,16 @@ class CrawlCoordinator:
         self._download_apks = download_apks
         self._search_by_name = search_by_name
         self._worker_pool = worker_pool or WorkerPool()
-        self._clients: Dict[str, HttpClient] = {
-            market_id: HttpClient(server.handle, clock, max_rate_limit_waits=0)
-            for market_id, server in self._servers.items()
-        }
+        self._engine = CrawlEngine(
+            self._servers, clock, workers=workers, rate_limiter=rate_limiter
+        )
 
     def client(self, market_id: str) -> HttpClient:
-        return self._clients[market_id]
+        return self._engine.client(market_id)
+
+    @property
+    def engine(self) -> CrawlEngine:
+        return self._engine
 
     # ------------------------------------------------------------------
     # campaign
@@ -89,94 +112,170 @@ class CrawlCoordinator:
         (the paper's 50-server fleet); a float pins it explicitly (the
         paper's campaign dates).
         """
+        started = time.perf_counter()
+        telemetry = self._engine.begin_campaign(label)
         snapshot = Snapshot(label)
-        stats = CrawlStats()
-        pending: Deque[Tuple[str, str]] = deque()  # (package, app_name)
+        stats = CrawlStats(telemetry=telemetry)
+        pending: List[Tuple[str, str]] = []  # (package, app_name)
         searched: Set[str] = set()
+        crawl_day = self._clock.now
 
-        def ingest(market_id: str, meta: Mapping[str, object]) -> None:
-            record = CrawlRecord.from_metadata(market_id, meta, self._clock.now)
+        def ingest(market_id: str, meta: Metadata) -> None:
+            record = CrawlRecord.from_metadata(market_id, meta, crawl_day)
             if not snapshot.add(record):
                 return
             stats.records += 1
+            telemetry.market(market_id).records += 1
             if record.package not in searched:
                 searched.add(record.package)
                 pending.append((record.package, record.app_name))
 
-        for market_id, server in self._servers.items():
-            if not server.web_available:
-                continue
-            strategy = strategy_for(server.store.profile.crawl_strategy, self._gp_seeds)
-            for meta in strategy.discover(self._clients[market_id]):
-                ingest(market_id, meta)
-                self._drain_parallel_search(pending, ingest, stats)
-        self._drain_parallel_search(pending, ingest, stats)
+        active = [m for m, s in self._servers.items() if s.web_available]
 
+        # Phase 1: per-market discovery, merged in canonical order.
+        discovered = self._engine.run(
+            {m: self._discovery_task(m) for m in active}
+        )
+        for market_id in active:
+            for meta in discovered[market_id]:
+                ingest(market_id, meta)
+
+        # Phase 2: cross-market search, round by round until the
+        # frontier drains (each round searches everything new at once).
+        while pending:
+            batch, pending = pending, []
+            telemetry.search_rounds += 1
+            telemetry.observe_queue_depth(len(batch))
+            queries = self._batch_queries(batch)
+            results = self._engine.run(
+                {m: self._search_task(m, queries) for m in active}
+            )
+            stats.searches += len(queries) * len(active)
+            offset = 0
+            for _package, _app_name in batch:
+                width = 2 if self._search_by_name else 1
+                for market_id in active:
+                    for j in range(width):
+                        for meta in results[market_id][offset + j]:
+                            ingest(market_id, meta)
+                offset += width
+
+        # Phase 3: batched APK downloads, one lane per market.
         if self._download_apks:
-            self._collect_apks(snapshot, stats)
+            self._collect_apks(snapshot, stats, telemetry)
 
         snapshot.stats = stats  # type: ignore[attr-defined]
+        self._engine.end_campaign(telemetry)
+        telemetry.wall_seconds = time.perf_counter() - started
         if duration_days is None:
-            total_requests = sum(
-                client.stats.requests for client in self._clients.values()
+            duration_days = max(
+                self._worker_pool.duration_days(self._engine.total_requests),
+                self._engine.max_lane_backoff,
             )
-            duration_days = self._worker_pool.duration_days(total_requests)
         self._clock.advance(duration_days)
         return snapshot
 
-    def _drain_parallel_search(self, pending, ingest, stats: CrawlStats) -> None:
-        """Immediately search each newly-seen app in all other markets."""
-        while pending:
-            package, app_name = pending.popleft()
-            queries = [package]
+    # -- phase tasks (each runs inside one market's lane) -----------------
+
+    def _discovery_task(self, market_id: str):
+        server = self._servers[market_id]
+        strategy = strategy_for(server.store.profile.crawl_strategy, self._gp_seeds)
+        client = self._engine.client(market_id)
+
+        def run() -> List[Metadata]:
+            return list(strategy.discover(client))
+
+        return run
+
+    def _batch_queries(self, batch: Sequence[Tuple[str, str]]) -> List[str]:
+        queries: List[str] = []
+        for package, app_name in batch:
+            queries.append(package)
             if self._search_by_name:
                 queries.append(app_name)
-            for market_id, server in self._servers.items():
-                if not server.web_available:
-                    continue
-                client = self._clients[market_id]
-                for query in queries:
-                    stats.searches += 1
-                    try:
-                        results = client.get_json("/search", {"q": query})
-                    except HttpError:
-                        continue
-                    for meta in results:
-                        ingest(market_id, meta)
+        return queries
+
+    def _search_task(self, market_id: str, queries: Sequence[str]):
+        client = self._engine.client(market_id)
+
+        def run() -> List[List[Metadata]]:
+            hits: List[List[Metadata]] = []
+            for query in queries:
+                try:
+                    hits.append(client.get_json("/search", {"q": query}))
+                except HttpError:
+                    hits.append([])
+            return hits
+
+        return run
 
     # ------------------------------------------------------------------
     # APKs
     # ------------------------------------------------------------------
 
-    def _collect_apks(self, snapshot: Snapshot, stats: CrawlStats) -> None:
-        for record in snapshot:
-            blob: Optional[bytes] = None
-            source: Optional[str] = None
-            client = self._clients[record.market_id]
-            try:
-                blob = client.get_bytes("/download", {"package": record.package})
-                source = APK_FROM_MARKET
-            except RateLimitedError:
-                stats.rate_limited_markets.add(record.market_id)
-            except (NotFoundError, HttpError):
-                pass
-            if blob is None and self._backfill is not None:
-                blob = self._backfill.lookup(record.package, record.version_name)
-                if blob is not None:
-                    source = APK_FROM_ARCHIVE
-            if blob is None:
-                stats.apk_missing += 1
-                continue
-            try:
-                record.apk = parse_apk(blob)
-            except ApkParseError:
-                stats.apk_parse_errors += 1
-                continue
-            record.apk_source = source
-            if source == APK_FROM_MARKET:
-                stats.apk_downloaded += 1
-            else:
-                stats.apk_backfilled += 1
+    def _collect_apks(
+        self, snapshot: Snapshot, stats: CrawlStats, telemetry: CrawlTelemetry
+    ) -> None:
+        sharded = {
+            market_id: records
+            for market_id in self._engine.market_ids
+            if (records := snapshot.in_market(market_id))
+        }
+        outcomes = self._engine.run(
+            {m: self._download_task(m, records) for m, records in sharded.items()}
+        )
+        for market_id in sharded:
+            market = telemetry.market(market_id)
+            lane_outcomes, lane_rate_limited = outcomes[market_id]
+            if lane_rate_limited:
+                stats.rate_limited_markets.add(market_id)
+            for outcome in lane_outcomes:
+                if outcome == APK_FROM_MARKET:
+                    stats.apk_downloaded += 1
+                    market.apk_downloaded += 1
+                elif outcome == APK_FROM_ARCHIVE:
+                    stats.apk_backfilled += 1
+                    market.apk_backfilled += 1
+                elif outcome == _DL_PARSE_ERROR:
+                    stats.apk_parse_errors += 1
+                else:
+                    stats.apk_missing += 1
+                    market.apk_missing += 1
+
+    def _download_task(self, market_id: str, records: Sequence[CrawlRecord]):
+        client = self._engine.client(market_id)
+        backfill = self._backfill
+
+        def run() -> Tuple[List[str], bool]:
+            outcomes: List[str] = []
+            rate_limited = False
+            for record in records:
+                blob: Optional[bytes] = None
+                source: Optional[str] = None
+                try:
+                    blob = client.get_bytes("/download", {"package": record.package})
+                    source = APK_FROM_MARKET
+                except RateLimitedError:
+                    rate_limited = True
+                except (NotFoundError, HttpError):
+                    pass
+                if blob is None and backfill is not None:
+                    blob = backfill.lookup(record.package, record.version_name)
+                    if blob is not None:
+                        source = APK_FROM_ARCHIVE
+                if blob is None:
+                    outcomes.append(_DL_FAILED)
+                    continue
+                try:
+                    record.apk = parse_apk(blob)
+                except ApkParseError:
+                    outcomes.append(_DL_PARSE_ERROR)
+                    continue
+                record.apk_source = source
+                outcomes.append(source)
+            return outcomes, rate_limited
+
+        return run
 
     # ------------------------------------------------------------------
     # targeted recheck (second campaign helper)
@@ -192,12 +291,22 @@ class CrawlCoordinator:
         callers can exclude them — as the paper excludes both from its
         Table 6 analysis.
         """
-        presence: Dict[str, Dict[str, bool]] = {}
-        for market_id, packages in targets.items():
-            server = self._servers.get(market_id)
-            if server is None or not server.web_available:
-                continue
-            client = self._clients[market_id]
+        reachable = {
+            market_id: list(packages)
+            for market_id, packages in targets.items()
+            if (server := self._servers.get(market_id)) is not None
+            and server.web_available
+        }
+        presence = self._engine.run(
+            {m: self._recheck_task(m, packages) for m, packages in reachable.items()}
+        )
+        self._clock.advance(duration_days)
+        return presence
+
+    def _recheck_task(self, market_id: str, packages: Sequence[str]):
+        client = self._engine.client(market_id)
+
+        def run() -> Dict[str, bool]:
             market_presence: Dict[str, bool] = {}
             for package in packages:
                 try:
@@ -205,6 +314,6 @@ class CrawlCoordinator:
                     market_presence[package] = True
                 except HttpError:
                     market_presence[package] = False
-            presence[market_id] = market_presence
-        self._clock.advance(duration_days)
-        return presence
+            return market_presence
+
+        return run

@@ -13,7 +13,7 @@ from __future__ import annotations
 import gzip
 import json
 from pathlib import Path
-from typing import Optional, Union
+from typing import Union
 
 from repro.apk.archive import ParsedApk
 from repro.apk.models import ChannelFile, CodePackage, Manifest

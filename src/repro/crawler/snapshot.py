@@ -124,6 +124,42 @@ class Snapshot:
     def with_apk(self) -> Iterator[CrawlRecord]:
         return (r for r in self if r.has_apk)
 
+    def sorted_records(self) -> List[CrawlRecord]:
+        """Records in canonical (market_id, package) order."""
+        return [self._records[key] for key in sorted(self._records)]
+
+    def content_digest(self) -> int:
+        """A stable digest of the full snapshot content.
+
+        Covers every metadata field plus APK identity and provenance,
+        over records in canonical order — two crawls produced the same
+        dataset iff their digests match, which is how the determinism
+        tests compare a parallel crawl against the serial path.
+        """
+        from repro.util.rng import stable_hash64
+
+        rows = tuple(
+            (
+                r.market_id,
+                r.package,
+                r.app_name,
+                r.version_name,
+                r.version_code,
+                r.category,
+                r.downloads,
+                r.install_range,
+                r.rating,
+                r.updated_day,
+                r.developer_name,
+                r.crawl_day,
+                r.md5,
+                r.signer,
+                r.apk_source,
+            )
+            for r in self.sorted_records()
+        )
+        return stable_hash64("snapshot-content", self.label, rows)
+
     def apk_coverage(self, market_id: str) -> float:
         """Share of a market's records with a parsed APK."""
         records = self._by_market.get(market_id, ())

@@ -16,7 +16,7 @@ downloads APKs, and runs the cross-market parallel search.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional
+from typing import Iterable, Iterator, List, Mapping, Optional
 
 from repro.crawler.frontier import Frontier
 from repro.net.client import HttpClient

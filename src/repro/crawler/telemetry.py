@@ -1,0 +1,131 @@
+"""Crawl telemetry.
+
+The paper's fleet was operated with per-market dashboards (which market
+is rate limiting, which is flaky, how deep the search backlog runs);
+:class:`CrawlTelemetry` is that layer for one campaign.  The crawl
+engine owns one instance per campaign and each market lane reports only
+to its own :class:`MarketTelemetry`, so recording is lock-free under
+the lane-per-market threading model.
+
+``stats_report()`` renders the operator's table: per-market requests,
+retries, fault counters, simulated back-off, queue depths, and record
+yield.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.client import ClientStats
+
+__all__ = ["MarketTelemetry", "CrawlTelemetry"]
+
+
+@dataclass
+class MarketTelemetry:
+    """One market lane's counters for one campaign."""
+
+    market_id: str
+    requests: int = 0
+    retries: int = 0
+    rate_limited: int = 0
+    timeouts: int = 0
+    malformed: int = 0
+    failures: int = 0
+    sim_days_backoff: float = 0.0
+    sim_days_paced: float = 0.0
+    records: int = 0
+    searches: int = 0
+    search_failures: int = 0
+    apk_downloaded: int = 0
+    apk_backfilled: int = 0
+    apk_missing: int = 0
+
+    def fold_client(self, delta: ClientStats) -> None:
+        """Fold one campaign's client-counter movement into the lane."""
+        self.requests += delta.requests
+        self.retries += delta.retries
+        self.rate_limited += delta.rate_limited
+        self.timeouts += delta.timeouts
+        self.malformed += delta.malformed
+        self.failures += delta.failures
+        self.sim_days_backoff += delta.sim_days_slept
+
+
+@dataclass
+class CrawlTelemetry:
+    """Per-market counters plus fleet-wide queue/scheduling gauges."""
+
+    label: str = ""
+    workers: int = 1
+    search_rounds: int = 0
+    queue_peak: int = 0
+    wall_seconds: float = 0.0
+    markets: Dict[str, MarketTelemetry] = field(default_factory=dict)
+
+    def market(self, market_id: str) -> MarketTelemetry:
+        lane = self.markets.get(market_id)
+        if lane is None:
+            lane = self.markets[market_id] = MarketTelemetry(market_id)
+        return lane
+
+    def observe_queue_depth(self, depth: int) -> None:
+        if depth > self.queue_peak:
+            self.queue_peak = depth
+
+    # -- aggregates --------------------------------------------------------
+
+    @property
+    def total_requests(self) -> int:
+        return sum(m.requests for m in self.markets.values())
+
+    @property
+    def total_retries(self) -> int:
+        return sum(m.retries for m in self.markets.values())
+
+    @property
+    def total_records(self) -> int:
+        return sum(m.records for m in self.markets.values())
+
+    @property
+    def total_faults_absorbed(self) -> int:
+        return sum(
+            m.retries + m.rate_limited + m.timeouts + m.malformed
+            for m in self.markets.values()
+        )
+
+    def stats_report(self, top: Optional[int] = None) -> str:
+        """Render the per-market operator table."""
+        header = (
+            f"{'market':<14}{'requests':>10}{'retries':>9}{'429s':>7}"
+            f"{'timeouts':>10}{'garbled':>9}{'backoff(d)':>12}{'paced(d)':>10}"
+            f"{'records':>9}"
+        )
+        lines: List[str] = [
+            f"crawl telemetry [{self.label}] — workers={self.workers}, "
+            f"search rounds={self.search_rounds}, queue peak={self.queue_peak}",
+            header,
+            "-" * len(header),
+        ]
+        lanes = sorted(self.markets.values(), key=lambda m: (-m.requests, m.market_id))
+        if top is not None:
+            lanes = lanes[:top]
+        for lane in lanes:
+            lines.append(
+                f"{lane.market_id:<14}{lane.requests:>10}{lane.retries:>9}"
+                f"{lane.rate_limited:>7}{lane.timeouts:>10}{lane.malformed:>9}"
+                f"{lane.sim_days_backoff:>12.4f}{lane.sim_days_paced:>10.4f}"
+                f"{lane.records:>9}"
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'total':<14}{self.total_requests:>10}{self.total_retries:>9}"
+            f"{sum(m.rate_limited for m in self.markets.values()):>7}"
+            f"{sum(m.timeouts for m in self.markets.values()):>10}"
+            f"{sum(m.malformed for m in self.markets.values()):>9}"
+            f"{sum(m.sim_days_backoff for m in self.markets.values()):>12.4f}"
+            f"{sum(m.sim_days_paced for m in self.markets.values()):>10.4f}"
+            f"{self.total_records:>9}"
+        )
+        return "\n".join(lines)

@@ -13,12 +13,32 @@ the default throughput here.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
-__all__ = ["WorkerPool", "DEFAULT_WORKERS", "DEFAULT_REQUESTS_PER_WORKER_DAY"]
+__all__ = [
+    "WorkerPool",
+    "DEFAULT_WORKERS",
+    "DEFAULT_REQUESTS_PER_WORKER_DAY",
+    "resolve_thread_workers",
+]
 
 DEFAULT_WORKERS = 50
 DEFAULT_REQUESTS_PER_WORKER_DAY = 500_000.0
+
+
+def resolve_thread_workers(workers: int = 0) -> int:
+    """Resolve a crawl-engine thread count.
+
+    ``workers > 0`` is taken as-is; ``0`` means "as wide as the host
+    allows", capped at the 17-market lane count beyond which extra
+    threads cannot help (work is sharded by market).
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    if workers:
+        return workers
+    return max(1, min(17, os.cpu_count() or 1))
 
 
 @dataclass(frozen=True)

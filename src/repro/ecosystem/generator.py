@@ -59,13 +59,8 @@ from repro.ecosystem.calibration import (
 )
 from repro.ecosystem.developers import Developer
 from repro.ecosystem.libraries import LibraryCatalog, default_catalog
-from repro.ecosystem.popularity import sample_listing_downloads, sample_listing_rating
-from repro.ecosystem.threats import (
-    CHINESE_FAMILY_WEIGHTS,
-    GP_FAMILY_WEIGHTS,
-    MALWARE_FAMILIES,
-    ThreatProfile,
-)
+from repro.ecosystem.popularity import sample_listing_rating
+from repro.ecosystem.threats import CHINESE_FAMILY_WEIGHTS, GP_FAMILY_WEIGHTS, ThreatProfile
 from repro.ecosystem.world import VettingRecord, World
 from repro.markets.categories import CANONICAL_WEIGHTS, VENDOR_WEIGHTS, taxonomy_for
 from repro.markets.profiles import (

@@ -16,7 +16,7 @@ summary at the top of EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.analysis.downloads import download_bin_distribution
 from repro.analysis.libraries import market_tpl_stats

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from repro.analysis.downloads import aggregated_downloads
 from repro.analysis.malware import av_rank_rates
 from repro.analysis.publishing import highest_version_shares
 from repro.analysis.radar import RADAR_MARKETS, radar_series

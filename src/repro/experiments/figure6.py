@@ -11,7 +11,7 @@ from repro.analysis.ratings import (
 )
 from repro.core.reports import FigureReport
 from repro.core.study import StudyResult
-from repro.markets.profiles import ALL_MARKET_IDS, GOOGLE_PLAY
+from repro.markets.profiles import ALL_MARKET_IDS
 
 __all__ = ["run"]
 

@@ -32,9 +32,11 @@ def run(result: StudyResult) -> TableReport:
             round(100 * cb_rates.get(market_id, 0.0), 2),
             profile.cb_clone_rate,
         )
-    avg = lambda rates: round(
-        100 * sum(rates.get(m, 0.0) for m in ALL_MARKET_IDS) / len(ALL_MARKET_IDS), 2
-    )
+    def avg(rates):
+        return round(
+            100 * sum(rates.get(m, 0.0) for m in ALL_MARKET_IDS) / len(ALL_MARKET_IDS), 2
+        )
+
     table.add_row("Average", avg(fake_rates), 0.60, avg(sb_rates), 7.24,
                   avg(cb_rates), 19.61)
     table.notes.append("SB = signature-based clones, CB = code-based (WuKong)")

@@ -18,11 +18,12 @@ to backfill APKs from AndroZoo.
 
 from __future__ import annotations
 
+import datetime
+import time
 from typing import Optional
 
-import datetime
-
 from repro.markets.store import MarketStore
+from repro.net.faults import FaultInjector, FaultPlan
 from repro.net.http import Request, Response
 from repro.net.ratelimit import QuotaLimiter
 from repro.util.simtime import SimClock, date_to_day
@@ -50,20 +51,31 @@ class MarketServer:
         clock: SimClock,
         apk_quota: Optional[int] = None,
         flakiness: float = 0.0,
+        faults: Optional[FaultPlan] = None,
+        latency_s: float = 0.0,
     ):
-        """``flakiness`` is the share of requests answered with a
-        transient 500 (deterministic per request ordinal) — failure
-        injection for exercising client retry paths."""
+        """``faults`` injects transient failures (500s, timeouts,
+        malformed payloads, burst 429s) deterministically per request
+        ordinal; ``flakiness`` is the legacy shorthand for a plain
+        transient-500 plan.  ``latency_s`` adds a real (wall-clock)
+        per-request service delay — it models network I/O for the
+        parallel-crawl benchmarks and never touches simulated time."""
         if not 0.0 <= flakiness < 1.0:
             raise ValueError(f"flakiness must be in [0, 1), got {flakiness}")
+        if faults is not None and flakiness:
+            raise ValueError("pass either faults or flakiness, not both")
+        if latency_s < 0:
+            raise ValueError(f"latency_s must be non-negative, got {latency_s}")
         self._store = store
         self._clock = clock
         if apk_quota is None and store.profile.apk_rate_limited:
             apk_quota = max(1, int(len(store) * DEFAULT_GP_APK_QUOTA_SHARE))
         self._apk_quota = QuotaLimiter(apk_quota) if apk_quota is not None else None
-        self._flakiness = flakiness
+        if faults is None:
+            faults = FaultPlan(transient_500=flakiness)
+        self._faults = FaultInjector(store.market_id, faults)
+        self._latency_s = latency_s
         self.requests_served = 0
-        self.transient_failures = 0
 
     @property
     def market_id(self) -> str:
@@ -78,6 +90,16 @@ class MarketServer:
         return self._apk_quota.used if self._apk_quota else 0
 
     @property
+    def faults(self) -> FaultInjector:
+        """The server's fault injector (counters + plan)."""
+        return self._faults
+
+    @property
+    def transient_failures(self) -> int:
+        """Injected transient 500s (legacy counter name)."""
+        return self._faults.injected_500
+
+    @property
     def web_available(self) -> bool:
         """Whether the market's web interface is still reachable."""
         profile = self._store.profile
@@ -90,17 +112,13 @@ class MarketServer:
     def handle(self, request: Request) -> Response:
         """Dispatch one request; the entry point clients are bound to."""
         self.requests_served += 1
+        if self._latency_s:
+            time.sleep(self._latency_s)
         if not self.web_available:
             return Response.not_found()
-        if self._flakiness:
-            from repro.util.rng import stable_hash32
-
-            roll = stable_hash32(
-                "transient", self.market_id, self.requests_served
-            ) % 10_000
-            if roll < int(self._flakiness * 10_000):
-                self.transient_failures += 1
-                return Response(status=500)
+        fault = self._faults.inject(self.requests_served)
+        if fault is not None:
+            return fault
         handler = getattr(self, "_endpoint_" + request.path.strip("/"), None)
         if handler is None:
             return Response.not_found()

@@ -2,30 +2,45 @@
 
 ``HttpClient`` wraps a server's ``handle`` callable.  On 429 it sleeps
 (advances the simulated clock) for the server-suggested ``retry_after``
-and retries; on 5xx it retries per :class:`~repro.net.retry.RetryPolicy`;
-404 raises :class:`~repro.net.http.NotFoundError`.  Each client keeps
-simple counters, used by the crawler's statistics and tests.
+plus deterministic jitter and retries; on 5xx, connection timeouts
+(599), and malformed 200 payloads it retries per
+:class:`~repro.net.retry.RetryPolicy`; 404 raises
+:class:`~repro.net.http.NotFoundError`.  Each client keeps simple
+counters, used by the crawler's telemetry and tests.
+
+Jitter: a fleet of identical clients sleeping exactly ``retry_after``
+wakes up in lockstep and re-synchronizes the very storm the 429s were
+shedding.  Every rate-limit sleep is therefore stretched by a
+deterministic, per-client fraction (up to +25%), derived from the
+client's ``jitter_key`` and request ordinal so runs stay reproducible.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Mapping, Optional
 
 from repro.net.http import (
     HTTP_NOT_FOUND,
     HTTP_SERVER_ERROR,
+    HTTP_TIMEOUT,
     HTTP_TOO_MANY_REQUESTS,
+    MalformedPayloadError,
     NotFoundError,
     RateLimitedError,
     Request,
+    RequestTimeoutError,
     Response,
     ServerError,
 )
 from repro.net.retry import RetryPolicy
+from repro.util.rng import stable_hash32
 from repro.util.simtime import SimClock
 
-__all__ = ["HttpClient", "ClientStats"]
+__all__ = ["HttpClient", "ClientStats", "RATE_LIMIT_JITTER_MAX"]
+
+#: Upper bound of the multiplicative jitter applied to rate-limit sleeps.
+RATE_LIMIT_JITTER_MAX = 0.25
 
 
 @dataclass
@@ -35,9 +50,27 @@ class ClientStats:
     requests: int = 0
     retries: int = 0
     rate_limited: int = 0
+    timeouts: int = 0
+    malformed: int = 0
     not_found: int = 0
     failures: int = 0
     sim_days_slept: float = 0.0
+
+    def copy(self) -> "ClientStats":
+        return replace(self)
+
+    def delta(self, baseline: "ClientStats") -> "ClientStats":
+        """Counter movement since ``baseline`` (an earlier copy)."""
+        return ClientStats(
+            requests=self.requests - baseline.requests,
+            retries=self.retries - baseline.retries,
+            rate_limited=self.rate_limited - baseline.rate_limited,
+            timeouts=self.timeouts - baseline.timeouts,
+            malformed=self.malformed - baseline.malformed,
+            not_found=self.not_found - baseline.not_found,
+            failures=self.failures - baseline.failures,
+            sim_days_slept=self.sim_days_slept - baseline.sim_days_slept,
+        )
 
 
 class HttpClient:
@@ -48,14 +81,29 @@ class HttpClient:
     handler:
         The server's ``handle(Request) -> Response`` callable.
     clock:
-        Shared simulated clock; sleeps advance it.
+        Clock whose ``advance`` absorbs this client's sleeps.  Under the
+        parallel crawl engine this is a per-market lane clock, so one
+        market's back-off never stalls another market's lane.
     retry_policy:
-        Back-off schedule for 5xx responses.
+        Back-off schedule shared by 5xx, timeout, and malformed-payload
+        retries.
     max_rate_limit_waits:
         How many consecutive 429s to tolerate per request before giving
-        up with :class:`RateLimitedError`.  The Google Play crawler uses
-        a low value here and falls back to the offline archive instead of
-        waiting out a multi-day quota.
+        up with :class:`RateLimitedError`.
+    max_rate_limit_wait:
+        Cap (simulated days) on a single honored ``retry_after``.  A 429
+        whose hint exceeds the cap is treated as a hard limit and raised
+        immediately — the Google Play download quota answers with a
+        multi-day hint that no polite crawler should wait out, while
+        burst 429s hint minutes and are worth riding through.  ``None``
+        honors any hint.
+    pacer:
+        Optional ``reserve() -> float`` callable consulted before every
+        attempt; a positive return is slept first.  The crawl engine
+        installs a per-market token bucket here.
+    jitter_key:
+        Stable identity mixed into the rate-limit jitter so distinct
+        clients desynchronize while reruns reproduce exactly.
     """
 
     def __init__(
@@ -64,16 +112,27 @@ class HttpClient:
         clock: SimClock,
         retry_policy: Optional[RetryPolicy] = None,
         max_rate_limit_waits: int = 2,
+        max_rate_limit_wait: Optional[float] = None,
+        pacer: Optional[Callable[[], float]] = None,
+        jitter_key: str = "",
     ):
         self._handler = handler
         self._clock = clock
         self._retry_policy = retry_policy or RetryPolicy()
         self._max_rate_limit_waits = max_rate_limit_waits
+        self._max_rate_limit_wait = max_rate_limit_wait
+        self._pacer = pacer
+        self._jitter_key = jitter_key
         self.stats = ClientStats()
 
     def _sleep(self, duration: float) -> None:
         self._clock.advance(duration)
         self.stats.sim_days_slept += duration
+
+    def _jittered(self, base: float) -> float:
+        """Stretch a rate-limit sleep by a deterministic jitter fraction."""
+        roll = stable_hash32("rl-jitter", self._jitter_key, self.stats.requests) % 1000
+        return base * (1.0 + RATE_LIMIT_JITTER_MAX * roll / 1000.0)
 
     def request(self, path: str, params: Optional[Mapping[str, Any]] = None) -> Response:
         """Issue a request, retrying transient failures.
@@ -83,14 +142,23 @@ class HttpClient:
         NotFoundError
             On 404.
         RateLimitedError
-            When the server keeps answering 429 past the waits budget.
+            When the server keeps answering 429 past the waits budget,
+            or hints a wait above ``max_rate_limit_wait``.
+        RequestTimeoutError
+            When timeouts persist past the retry budget.
+        MalformedPayloadError
+            When garbled payloads persist past the retry budget.
         ServerError
             When 5xx persists past the retry budget.
         """
         req = Request(path=path, params=dict(params or {}))
         rate_limit_waits = 0
-        server_retries = 0
+        transient_retries = 0
         while True:
+            if self._pacer is not None:
+                pace = self._pacer()
+                if pace > 0:
+                    self._sleep(pace)
             self.stats.requests += 1
             resp = self._handler(req)
             if resp.ok:
@@ -100,18 +168,39 @@ class HttpClient:
                 raise NotFoundError(path)
             if resp.status == HTTP_TOO_MANY_REQUESTS:
                 self.stats.rate_limited += 1
+                wait = resp.retry_after if resp.retry_after else 1.0 / 24
+                if self._max_rate_limit_wait is not None and wait > self._max_rate_limit_wait:
+                    raise RateLimitedError(path, resp.retry_after)
                 if rate_limit_waits >= self._max_rate_limit_waits:
                     raise RateLimitedError(path, resp.retry_after)
                 rate_limit_waits += 1
-                self._sleep(resp.retry_after if resp.retry_after else 1.0 / 24)
+                self._sleep(self._jittered(wait))
+                continue
+            if resp.status == HTTP_TIMEOUT:
+                self.stats.timeouts += 1
+                if transient_retries >= self._retry_policy.max_retries:
+                    self.stats.failures += 1
+                    raise RequestTimeoutError(path)
+                transient_retries += 1
+                self.stats.retries += 1
+                self._sleep(self._retry_policy.delay(transient_retries))
+                continue
+            if resp.malformed:
+                self.stats.malformed += 1
+                if transient_retries >= self._retry_policy.max_retries:
+                    self.stats.failures += 1
+                    raise MalformedPayloadError(path)
+                transient_retries += 1
+                self.stats.retries += 1
+                self._sleep(self._retry_policy.delay(transient_retries))
                 continue
             if resp.status >= HTTP_SERVER_ERROR:
-                if server_retries >= self._retry_policy.max_retries:
+                if transient_retries >= self._retry_policy.max_retries:
                     self.stats.failures += 1
                     raise ServerError(path)
-                server_retries += 1
+                transient_retries += 1
                 self.stats.retries += 1
-                self._sleep(self._retry_policy.delay(server_retries))
+                self._sleep(self._retry_policy.delay(transient_retries))
                 continue
             self.stats.failures += 1
             raise ServerError(path)

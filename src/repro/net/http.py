@@ -14,18 +14,24 @@ __all__ = [
     "HTTP_NOT_FOUND",
     "HTTP_TOO_MANY_REQUESTS",
     "HTTP_SERVER_ERROR",
+    "HTTP_TIMEOUT",
     "Request",
     "Response",
     "HttpError",
     "NotFoundError",
     "RateLimitedError",
     "ServerError",
+    "RequestTimeoutError",
+    "MalformedPayloadError",
 ]
 
 HTTP_OK = 200
 HTTP_NOT_FOUND = 404
 HTTP_TOO_MANY_REQUESTS = 429
 HTTP_SERVER_ERROR = 500
+#: Connection/read timeout as observed client-side (the 599 convention
+#: some proxies use for "network connect timeout").
+HTTP_TIMEOUT = 599
 
 
 @dataclass(frozen=True)
@@ -45,16 +51,22 @@ class Request:
 
 @dataclass
 class Response:
-    """A response from a market endpoint."""
+    """A response from a market endpoint.
+
+    ``malformed`` marks a 200 whose payload was truncated or garbled in
+    flight and fails to parse client-side; the client treats it as a
+    transient failure and retries.
+    """
 
     status: int
     json: Any = None
     body: Optional[bytes] = None
     retry_after: Optional[float] = None
+    malformed: bool = False
 
     @property
     def ok(self) -> bool:
-        return self.status == HTTP_OK
+        return self.status == HTTP_OK and not self.malformed
 
     @classmethod
     def json_ok(cls, payload: Any) -> "Response":
@@ -71,6 +83,14 @@ class Response:
     @classmethod
     def rate_limited(cls, retry_after: float) -> "Response":
         return cls(status=HTTP_TOO_MANY_REQUESTS, retry_after=retry_after)
+
+    @classmethod
+    def timeout(cls) -> "Response":
+        return cls(status=HTTP_TIMEOUT)
+
+    @classmethod
+    def garbled(cls) -> "Response":
+        return cls(status=HTTP_OK, body=b"<!DOCTYPE html><!-- truncated -->", malformed=True)
 
 
 class HttpError(Exception):
@@ -95,3 +115,17 @@ class RateLimitedError(HttpError):
 class ServerError(HttpError):
     def __init__(self, path: str):
         super().__init__(f"server error: {path}", HTTP_SERVER_ERROR)
+
+
+class RequestTimeoutError(HttpError):
+    """The connection kept timing out past the retry budget."""
+
+    def __init__(self, path: str):
+        super().__init__(f"timed out: {path}", HTTP_TIMEOUT)
+
+
+class MalformedPayloadError(HttpError):
+    """The server kept answering garbled payloads past the retry budget."""
+
+    def __init__(self, path: str):
+        super().__init__(f"malformed payload: {path}", HTTP_OK)

@@ -11,7 +11,7 @@ import pytest
 
 from repro import Study, StudyConfig
 from repro.apk.archive import parse_apk, serialize_apk
-from repro.apk.models import Apk, ChannelFile, CodePackage, Manifest
+from repro.apk.models import Apk, CodePackage, Manifest
 from repro.crawler.snapshot import CrawlRecord
 
 #: Session-wide study parameters; small but large enough for shapes.

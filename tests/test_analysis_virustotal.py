@@ -6,7 +6,7 @@ from repro.analysis.virustotal import VirusTotalService, default_engines
 from repro.apk.models import CodePackage
 from repro.apk.obfuscation import JiaguObfuscator
 from repro.apk.archive import parse_apk, serialize_apk
-from repro.ecosystem.threats import MALWARE_FAMILIES, payload_code
+from repro.ecosystem.threats import payload_code
 
 from conftest import build_apk, make_parsed
 

@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 from repro.apk.archive import MAGIC, ApkParseError, parse_apk, serialize_apk
 from repro.apk.models import Apk, ChannelFile, CodePackage, FEATURE_SPACE, Manifest
 
-from conftest import build_apk, make_apk_bytes
+from conftest import make_apk_bytes
 
 
 class TestRoundtrip:

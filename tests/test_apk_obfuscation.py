@@ -1,6 +1,5 @@
 """Tests for 360 Jiagubao-style packing."""
 
-from repro.apk.models import CodePackage
 from repro.apk.obfuscation import JIAGU_STUB_PACKAGE, JiaguObfuscator
 
 from conftest import build_apk

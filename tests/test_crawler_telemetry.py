@@ -1,0 +1,87 @@
+"""Tests for the crawl telemetry layer."""
+
+from repro.crawler.telemetry import CrawlTelemetry, MarketTelemetry
+from repro.net.client import ClientStats
+
+
+class TestMarketTelemetry:
+    def test_fold_client_accumulates(self):
+        lane = MarketTelemetry("tencent")
+        delta = ClientStats(
+            requests=10,
+            retries=3,
+            rate_limited=1,
+            timeouts=2,
+            malformed=1,
+            failures=1,
+            sim_days_slept=0.25,
+        )
+        lane.fold_client(delta)
+        lane.fold_client(delta)
+        assert lane.requests == 20
+        assert lane.retries == 6
+        assert lane.rate_limited == 2
+        assert lane.timeouts == 4
+        assert lane.malformed == 2
+        assert lane.failures == 2
+        assert lane.sim_days_backoff == 0.5
+
+
+class TestCrawlTelemetry:
+    def test_market_lazily_creates_lanes(self):
+        telemetry = CrawlTelemetry(label="t")
+        lane = telemetry.market("baidu")
+        assert lane.market_id == "baidu"
+        assert telemetry.market("baidu") is lane
+        assert set(telemetry.markets) == {"baidu"}
+
+    def test_queue_peak_tracks_maximum(self):
+        telemetry = CrawlTelemetry()
+        for depth in (3, 9, 4):
+            telemetry.observe_queue_depth(depth)
+        assert telemetry.queue_peak == 9
+
+    def test_aggregates(self):
+        telemetry = CrawlTelemetry()
+        a = telemetry.market("a")
+        a.requests, a.retries, a.records = 10, 2, 5
+        a.rate_limited, a.timeouts, a.malformed = 1, 1, 1
+        b = telemetry.market("b")
+        b.requests, b.retries, b.records = 4, 1, 2
+        assert telemetry.total_requests == 14
+        assert telemetry.total_retries == 3
+        assert telemetry.total_records == 7
+        assert telemetry.total_faults_absorbed == 6
+
+    def test_stats_report_renders_lanes_and_totals(self):
+        telemetry = CrawlTelemetry(label="first", workers=8, search_rounds=3)
+        big = telemetry.market("tencent")
+        big.requests, big.records, big.timeouts = 120, 90, 2
+        small = telemetry.market("wandoujia")
+        small.requests, small.records = 30, 20
+        report = telemetry.stats_report()
+        lines = report.splitlines()
+        assert "crawl telemetry [first]" in lines[0]
+        assert "workers=8" in lines[0]
+        # Lanes sort by request volume, totals close the table.
+        assert lines[3].startswith("tencent")
+        assert lines[4].startswith("wandoujia")
+        assert lines[-1].startswith("total")
+        assert f"{telemetry.total_requests:>10}" in lines[-1]
+        # Fixed-width: every data row lines up with the header.
+        assert len({len(line) for line in lines[1:]} - {len(lines[2])}) <= 1
+
+    def test_stats_report_top_limits_rows(self):
+        telemetry = CrawlTelemetry()
+        for i, market_id in enumerate(["a", "b", "c"]):
+            telemetry.market(market_id).requests = 10 - i
+        report = telemetry.stats_report(top=1)
+        assert "a" in report
+        assert "\nb" not in report
+        assert "\nc" not in report
+        # The totals row still reflects every lane.
+        assert f"{telemetry.total_requests:>10}" in report.splitlines()[-1]
+
+    def test_stats_report_empty_campaign(self):
+        report = CrawlTelemetry(label="empty").stats_report()
+        assert "total" in report

@@ -1,6 +1,5 @@
 """End-to-end determinism: one (seed, scale) reproduces everything."""
 
-import pytest
 
 from repro import Study, StudyConfig
 

@@ -1,7 +1,6 @@
 """Tests for app blueprints, code generation, and APK building."""
 
 import numpy as np
-import pytest
 
 from repro.android.permissions import platform_spec
 from repro.apk.archive import parse_apk

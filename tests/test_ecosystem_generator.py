@@ -10,7 +10,7 @@ import pytest
 
 from repro.ecosystem.apps import PROVENANCE_CB_CLONE, PROVENANCE_FAKE, PROVENANCE_SB_CLONE
 from repro.ecosystem.generator import EcosystemGenerator
-from repro.markets.profiles import ALL_MARKET_IDS, CHINESE_MARKET_IDS, GOOGLE_PLAY, get_profile
+from repro.markets.profiles import ALL_MARKET_IDS, GOOGLE_PLAY, get_profile
 
 
 @pytest.fixture(scope="module")

@@ -7,6 +7,7 @@ from repro.ecosystem.generator import EcosystemGenerator
 from repro.markets.server import MarketServer
 from repro.markets.store import build_stores
 from repro.net.client import HttpClient
+from repro.net.faults import FaultPlan
 from repro.net.http import Request, ServerError
 from repro.util.simtime import SimClock
 
@@ -74,6 +75,67 @@ class TestFlakyServer:
                 continue
             assert snapshot.market_size(market_id) >= 0.9 * len(store), market_id
 
+def _crawl_snapshot(world, faults, workers=4):
+    clock = SimClock()
+    stores = build_stores(world)
+    servers = {m: MarketServer(s, clock, faults=faults) for m, s in stores.items()}
+    coordinator = CrawlCoordinator(servers, clock, download_apks=False, workers=workers)
+    return coordinator.crawl("convergence", duration_days=5.0)
+
+
+class TestFaultModeConvergence:
+    """The tentpole acceptance test: under every injected fault mode the
+    retry machinery absorbs the damage and ``crawl()`` converges to the
+    exact snapshot a clean server would have produced.
+
+    ``max_consecutive`` keeps failure streaks inside the client's retry
+    budget, so convergence is guaranteed rather than probabilistic; the
+    burst plan's length (2) stays under the 429-wait budget (4).
+    """
+
+    @pytest.fixture(scope="class")
+    def clean_digest(self, world):
+        snapshot = _crawl_snapshot(world, faults=None)
+        assert len(snapshot) > 0
+        return snapshot.content_digest()
+
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            pytest.param(FaultPlan(timeout=0.08, max_consecutive=2), id="timeout"),
+            pytest.param(FaultPlan(malformed=0.08, max_consecutive=2), id="malformed"),
+            pytest.param(FaultPlan(burst_429_period=40), id="burst-429"),
+            pytest.param(
+                FaultPlan(
+                    transient_500=0.04,
+                    timeout=0.04,
+                    malformed=0.04,
+                    burst_429_period=60,
+                    max_consecutive=2,
+                ),
+                id="mixed",
+            ),
+        ],
+    )
+    def test_converges_to_clean_snapshot(self, world, clean_digest, plan):
+        snapshot = _crawl_snapshot(world, faults=plan)
+        assert snapshot.content_digest() == clean_digest
+        telemetry = snapshot.stats.telemetry
+        assert telemetry is not None
+        assert telemetry.total_faults_absorbed > 0
+
+    def test_faults_and_flakiness_mutually_exclusive(self, world):
+        stores = build_stores(world)
+        with pytest.raises(ValueError):
+            MarketServer(
+                stores["tencent"],
+                SimClock(),
+                flakiness=0.1,
+                faults=FaultPlan(timeout=0.1),
+            )
+
+
+class TestExtremes:
     def test_extreme_flakiness_degrades_gracefully(self, world):
         clock = SimClock()
         stores = build_stores(world)

@@ -4,7 +4,6 @@ Tiny worlds across many seeds: structural invariants must hold for every
 seed, not just the calibrated defaults.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

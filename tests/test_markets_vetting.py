@@ -1,7 +1,6 @@
 """Tests for the vetting pipeline."""
 
 import numpy as np
-import pytest
 
 from repro.markets.profiles import get_profile
 from repro.markets.vetting import Submission, VettingPipeline

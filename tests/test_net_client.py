@@ -2,11 +2,13 @@
 
 import pytest
 
-from repro.net.client import HttpClient
+from repro.net.client import RATE_LIMIT_JITTER_MAX, HttpClient
 from repro.net.http import (
+    MalformedPayloadError,
     NotFoundError,
     RateLimitedError,
     Request,
+    RequestTimeoutError,
     Response,
     ServerError,
 )
@@ -70,7 +72,9 @@ class TestHttpClient:
             max_rate_limit_waits=2,
         )
         assert client.get_json("/x") == "ok"
-        assert clock.now == pytest.approx(start + 0.5)  # slept retry_after
+        # Slept retry_after stretched by the deterministic jitter.
+        slept = clock.now - start
+        assert 0.5 <= slept <= 0.5 * (1 + RATE_LIMIT_JITTER_MAX)
         assert client.stats.rate_limited == 1
 
     def test_rate_limit_budget_exhausted(self):
@@ -108,6 +112,103 @@ class TestHttpClient:
         with pytest.raises(ServerError):
             client.get_json("/x")
         assert client.stats.requests == 3  # initial + 2 retries
+
+    def test_timeout_retried(self):
+        client = HttpClient(
+            _handler_sequence([Response.timeout(), Response.json_ok("up")]),
+            SimClock(),
+        )
+        assert client.get_json("/x") == "up"
+        assert client.stats.timeouts == 1
+        assert client.stats.retries == 1
+
+    def test_timeout_exhausts_retries(self):
+        client = HttpClient(
+            _handler_sequence([Response.timeout()]),
+            SimClock(),
+            retry_policy=RetryPolicy(max_retries=2),
+        )
+        with pytest.raises(RequestTimeoutError):
+            client.get_json("/x")
+        assert client.stats.requests == 3
+
+    def test_malformed_payload_retried(self):
+        client = HttpClient(
+            _handler_sequence([Response.garbled(), Response.json_ok("clean")]),
+            SimClock(),
+        )
+        assert client.get_json("/x") == "clean"
+        assert client.stats.malformed == 1
+
+    def test_malformed_payload_exhausts_retries(self):
+        client = HttpClient(
+            _handler_sequence([Response.garbled()]),
+            SimClock(),
+            retry_policy=RetryPolicy(max_retries=1),
+        )
+        with pytest.raises(MalformedPayloadError):
+            client.get_json("/x")
+
+    def test_rate_limit_wait_cap_raises_immediately(self):
+        # A multi-day retry_after (Google Play's download quota) is a
+        # hard limit: surface it instead of sleeping the campaign away.
+        clock = SimClock()
+        start = clock.now
+        client = HttpClient(
+            _handler_sequence([Response.rate_limited(30.0)]),
+            clock,
+            max_rate_limit_waits=5,
+            max_rate_limit_wait=0.5,
+        )
+        with pytest.raises(RateLimitedError):
+            client.get_json("/download")
+        assert client.stats.requests == 1
+        assert clock.now == start  # no sleep happened
+
+    def test_rate_limit_wait_cap_allows_short_hints(self):
+        clock = SimClock()
+        start = clock.now
+        client = HttpClient(
+            _handler_sequence([Response.rate_limited(0.01), Response.json_ok("ok")]),
+            clock,
+            max_rate_limit_waits=2,
+            max_rate_limit_wait=0.5,
+        )
+        assert client.get_json("/x") == "ok"
+        assert clock.now > start
+
+    def test_jitter_deterministic_and_desynchronized(self):
+        def run(jitter_key):
+            clock = SimClock()
+            start = clock.now
+            client = HttpClient(
+                _handler_sequence([Response.rate_limited(1.0), Response.json_ok("ok")]),
+                clock,
+                max_rate_limit_waits=1,
+                jitter_key=jitter_key,
+            )
+            client.get_json("/x")
+            return clock.now - start
+
+        # Same key reproduces the same sleep; distinct keys spread out.
+        assert run("tencent") == run("tencent")
+        sleeps = {run(key) for key in ("tencent", "baidu", "mi", "huawei", "oppo")}
+        assert len(sleeps) > 1
+        assert all(1.0 <= s <= 1.0 + RATE_LIMIT_JITTER_MAX for s in sleeps)
+
+    def test_pacer_sleeps_before_sending(self):
+        clock = SimClock()
+        waits = iter([0.25, 0.0])
+        client = HttpClient(
+            _handler_sequence([Response.json_ok("a"), Response.json_ok("b")]),
+            clock,
+            pacer=lambda: next(waits),
+        )
+        start = clock.now
+        assert client.get_json("/x") == "a"
+        assert clock.now == pytest.approx(start + 0.25)
+        assert client.get_json("/x") == "b"
+        assert clock.now == pytest.approx(start + 0.25)
 
     def test_get_bytes(self):
         client = HttpClient(_handler_sequence([Response.bytes_ok(b"apk")]), SimClock())

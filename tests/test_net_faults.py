@@ -1,0 +1,103 @@
+"""Unit tests for the fault-injection plans and injector."""
+
+import pytest
+
+from repro.net.faults import CLEAN_PLAN, FaultInjector, FaultPlan
+from repro.net.http import HTTP_TIMEOUT, HTTP_TOO_MANY_REQUESTS
+
+
+class TestFaultPlan:
+    def test_clean_plan_inactive(self):
+        assert not CLEAN_PLAN.active
+        assert FaultInjector("m", CLEAN_PLAN).inject(1) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(transient_500=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(timeout=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(malformed=2.0)
+        with pytest.raises(ValueError):
+            FaultPlan(burst_429_period=3, burst_429_length=3)
+        with pytest.raises(ValueError):
+            FaultPlan(max_consecutive=0)
+
+    def test_active_modes(self):
+        assert FaultPlan(timeout=0.1).active
+        assert FaultPlan(malformed=0.1).active
+        assert FaultPlan(burst_429_period=50).active
+
+
+class TestFaultInjector:
+    def test_deterministic_per_ordinal(self):
+        plan = FaultPlan(transient_500=0.1, timeout=0.1, malformed=0.1)
+        a = FaultInjector("tencent", plan)
+        b = FaultInjector("tencent", plan)
+        seq_a = [a.inject(i) for i in range(1, 500)]
+        seq_b = [b.inject(i) for i in range(1, 500)]
+        assert [(r.status, r.malformed) if r else None for r in seq_a] == [
+            (r.status, r.malformed) if r else None for r in seq_b
+        ]
+        assert a.injected_total == b.injected_total > 0
+
+    def test_markets_fail_independently(self):
+        plan = FaultPlan(transient_500=0.2)
+        a = FaultInjector("tencent", plan)
+        b = FaultInjector("baidu", plan)
+        seq_a = [a.inject(i) is not None for i in range(1, 300)]
+        seq_b = [b.inject(i) is not None for i in range(1, 300)]
+        assert seq_a != seq_b
+
+    def test_burst_429_pattern(self):
+        plan = FaultPlan(burst_429_period=10, burst_429_length=2)
+        injector = FaultInjector("m", plan)
+        statuses = [
+            r.status if (r := injector.inject(i)) else 200 for i in range(1, 41)
+        ]
+        # Ordinals 10,11, 20,21, 30,31 ... land in bursts.
+        assert statuses.count(HTTP_TOO_MANY_REQUESTS) == 8
+        assert statuses[9] == statuses[10] == HTTP_TOO_MANY_REQUESTS
+        assert injector.injected_429 == 8
+
+    def test_burst_429_hints_short_wait(self):
+        injector = FaultInjector("m", FaultPlan(burst_429_period=5))
+        response = injector.inject(5)
+        assert response is not None
+        assert response.retry_after is not None
+        assert response.retry_after < 0.01  # minutes, not days
+
+    def test_timeout_mode(self):
+        injector = FaultInjector("m", FaultPlan(timeout=0.5))
+        statuses = {r.status for i in range(1, 200) if (r := injector.inject(i))}
+        assert statuses == {HTTP_TIMEOUT}
+
+    def test_malformed_mode(self):
+        injector = FaultInjector("m", FaultPlan(malformed=0.5))
+        faults = [r for i in range(1, 200) if (r := injector.inject(i))]
+        assert faults
+        assert all(r.malformed and not r.ok for r in faults)
+
+    def test_max_consecutive_caps_streaks(self):
+        plan = FaultPlan(transient_500=0.9, max_consecutive=2)
+        injector = FaultInjector("m", plan)
+        streak = longest = 0
+        for i in range(1, 2000):
+            if injector.inject(i) is not None:
+                streak += 1
+                longest = max(longest, streak)
+            else:
+                streak = 0
+        assert injector.injected_500 > 0
+        assert longest <= 2
+
+    def test_unbounded_streaks_by_default(self):
+        injector = FaultInjector("m", FaultPlan(transient_500=0.95))
+        streak = longest = 0
+        for i in range(1, 500):
+            if injector.inject(i) is not None:
+                streak += 1
+                longest = max(longest, streak)
+            else:
+                streak = 0
+        assert longest > 3  # nothing caps the run of failures
