@@ -59,6 +59,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=workers_arg, default=1,
                        help="crawl-engine threads, 0 = auto "
                             "(snapshot identical at any width)")
+        p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="journal completed crawl work under DIR "
+                            "(enables crash-safe campaigns)")
+        p.add_argument("--resume", action="store_true",
+                       help="replay an existing checkpoint journal instead "
+                            "of re-crawling (requires --checkpoint-dir)")
+        p.add_argument("--breaker-threshold", type=int, default=None,
+                       metavar="N",
+                       help="consecutive failures before a market's circuit "
+                            "breaker opens (default: policy default)")
+        failure_mode = p.add_mutually_exclusive_group()
+        failure_mode.add_argument(
+            "--fail-fast", action="store_true",
+            help="abort the study when a market exhausts its breaker "
+                 "trip budget")
+        failure_mode.add_argument(
+            "--degrade", action="store_true",
+            help="complete the study with dead markets marked degraded "
+                 "(the default)")
 
     run_parser = sub.add_parser("run", help="run a study and print a summary")
     add_study_args(run_parser)
@@ -83,6 +102,10 @@ def _config_from(args: argparse.Namespace) -> StudyConfig:
         download_apks=not args.no_apks,
         full_second_crawl=args.full_second_crawl,
         crawl_workers=resolve_thread_workers(args.workers),
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        fail_fast=args.fail_fast,
+        breaker_threshold=args.breaker_threshold,
     )
 
 
@@ -126,6 +149,9 @@ def _cmd_run(args, out) -> int:
     print(file=out)
     print(result.crawl_report(), file=out)
     print(file=out)
+    if result.degraded_markets:
+        print(f"degraded markets (completed without): "
+              f"{', '.join(result.degraded_markets)}", file=out)
     print(f"google play apk coverage: "
           f"{snapshot.apk_coverage(GOOGLE_PLAY):.1%}", file=out)
     if result.config.download_apks:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.net.faults import FaultPlan
 
@@ -50,6 +50,22 @@ class StudyConfig:
     crawl_workers: int = 1
     #: Fault mix every market server injects (None = clean servers).
     fault_plan: Optional[FaultPlan] = None
+    #: Per-market fault-plan overrides; a market listed here ignores
+    #: ``fault_plan``.  This is how a single market is blacked out while
+    #: the rest of the fleet stays healthy.
+    market_fault_plans: Optional[Mapping[str, FaultPlan]] = None
+    #: Directory for the crawl's checkpoint journal (None disables
+    #: checkpointing).  With ``resume=True`` a restarted study replays
+    #: the journal and produces a bit-identical snapshot.
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+    #: When a market's circuit breaker exhausts its trip budget:
+    #: ``fail_fast=True`` aborts the study, the default degrades —
+    #: the campaign completes with that market marked degraded.
+    fail_fast: bool = False
+    #: Override the breaker's consecutive-failure threshold (None keeps
+    #: the default policy).
+    breaker_threshold: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.scale <= 1:
@@ -58,3 +74,9 @@ class StudyConfig:
             raise ValueError("gp_seed_share must be in (0, 1]")
         if self.crawl_workers < 1:
             raise ValueError(f"crawl_workers must be positive, got {self.crawl_workers}")
+        if self.resume and not self.checkpoint_dir:
+            raise ValueError("resume requires checkpoint_dir")
+        if self.breaker_threshold is not None and self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be positive, got {self.breaker_threshold}"
+            )

@@ -41,6 +41,7 @@ from repro.analysis.virustotal import VirusTotalService
 from repro.core.config import StudyConfig
 from repro.crawler.backfill import ArchiveBackfill
 from repro.crawler.crawler import CrawlCoordinator
+from repro.crawler.journal import CrawlJournal
 from repro.crawler.snapshot import Snapshot
 from repro.crawler.telemetry import CrawlTelemetry
 from repro.ecosystem.generator import EcosystemGenerator
@@ -50,6 +51,7 @@ from repro.markets.profiles import GOOGLE_PLAY
 from repro.markets.removal_apply import apply_store_removals
 from repro.markets.server import MarketServer
 from repro.markets.store import MarketStore, build_stores
+from repro.net.breaker import DEFAULT_BREAKER_POLICY, BreakerPolicy
 from repro.util.rng import RngFactory, stable_hash32
 from repro.util.simtime import SECOND_CRAWL_DAY, SimClock
 
@@ -96,7 +98,18 @@ class StudyResult:
         telemetry = self.telemetry
         if telemetry is None:
             return "no crawl telemetry recorded"
-        return telemetry.stats_report()
+        report = telemetry.stats_report()
+        degraded = self.degraded_markets
+        if degraded and not telemetry.degraded_markets():
+            # Belt and braces: health normally rides on the telemetry,
+            # but a loaded snapshot may carry it alone.
+            report += "\ndegraded markets: " + ", ".join(degraded)
+        return report
+
+    @property
+    def degraded_markets(self) -> List[str]:
+        """Markets the first campaign completed without (quarantined)."""
+        return self.snapshot.degraded_markets()
 
     # -- lazily computed analysis artifacts --------------------------------
 
@@ -163,6 +176,14 @@ class Study:
             if stable_hash32("privacygrade", listing.package) % 10_000 < cutoff
         ]
 
+    def _breaker_policy(self) -> BreakerPolicy:
+        from dataclasses import replace
+
+        policy = DEFAULT_BREAKER_POLICY
+        if self.config.breaker_threshold is not None:
+            policy = replace(policy, failure_threshold=self.config.breaker_threshold)
+        return policy
+
     def run(self) -> StudyResult:
         config = self.config
         rngs = RngFactory(config.seed)
@@ -174,11 +195,17 @@ class Study:
         ).generate()
         stores = build_stores(world)
         clock = SimClock()
+        overrides = dict(config.market_fault_plans or {})
         servers = {
-            m: MarketServer(store, clock, faults=config.fault_plan)
+            m: MarketServer(store, clock, faults=overrides.get(m, config.fault_plan))
             for m, store in stores.items()
         }
 
+        journal = (
+            CrawlJournal(config.checkpoint_dir, resume=config.resume)
+            if config.checkpoint_dir
+            else None
+        )
         backfill = ArchiveBackfill(world) if config.download_apks else None
         coordinator = CrawlCoordinator(
             servers,
@@ -187,6 +214,9 @@ class Study:
             backfill=backfill,
             download_apks=config.download_apks,
             workers=config.crawl_workers,
+            journal=journal,
+            fail_fast=config.fail_fast,
+            breaker_policy=self._breaker_policy(),
         )
         snapshot = coordinator.crawl("first", duration_days=config.first_crawl_days)
 
@@ -222,8 +252,13 @@ class Study:
                 backfill=None,
                 download_apks=False,
                 workers=config.crawl_workers,
+                journal=journal,
+                fail_fast=config.fail_fast,
+                breaker_policy=self._breaker_policy(),
             )
             result.second_snapshot = second_coordinator.crawl(
                 "second", duration_days=config.second_crawl_days
             )
+        if journal is not None:
+            journal.close()
         return result

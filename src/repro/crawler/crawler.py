@@ -17,6 +17,21 @@ of the parallel crawl engine (:mod:`repro.crawler.engine`):
 Every phase fans out one task per market and merges results in
 canonical market order, so the snapshot is identical at any worker
 count — the fleet changes wall-clock time, never the dataset.
+
+Two robustness layers ride on top of that structure:
+
+* **Checkpoint/resume** (:mod:`repro.crawler.journal`): with a
+  ``CrawlJournal`` attached, every completed unit of work is appended
+  to a per-lane write-ahead log together with the deterministic state
+  it left behind; a restarted campaign replays the journal instead of
+  re-crawling and produces a bit-identical snapshot.
+* **Graceful degradation** (:mod:`repro.net.breaker`): when a market's
+  circuit breaker exhausts its trip budget the lane raises
+  :class:`~repro.net.breaker.MarketQuarantinedError`.  In the default
+  *degrade* mode the coordinator marks the market degraded, parks the
+  abandoned work in the snapshot's dead-letter list, and finishes the
+  campaign with every other market intact; ``fail_fast=True`` lets the
+  error abort the campaign instead.
 """
 
 from __future__ import annotations
@@ -28,19 +43,29 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.apk.archive import ApkParseError, parse_apk
 from repro.crawler.backfill import ArchiveBackfill
 from repro.crawler.engine import CrawlEngine
+from repro.crawler.journal import CampaignJournal, CrawlJournal, LaneJournal
 from repro.crawler.snapshot import (
     APK_FROM_ARCHIVE,
     APK_FROM_MARKET,
+    HEALTH_DEGRADED,
     CrawlRecord,
+    DeadLetter,
+    MarketHealth,
     Snapshot,
 )
 from repro.crawler.strategies import strategy_for
 from repro.crawler.telemetry import CrawlTelemetry
 from repro.crawler.workers import WorkerPool
 from repro.markets.server import MarketServer
+from repro.net.breaker import (
+    DEFAULT_BREAKER_POLICY,
+    BreakerPolicy,
+    MarketQuarantinedError,
+)
 from repro.net.client import HttpClient
 from repro.net.http import HttpError, NotFoundError, RateLimitedError
 from repro.net.ratelimit import PerMarketRateLimiter
+from repro.util.rng import stable_hash64
 from repro.util.simtime import SimClock
 
 __all__ = ["CrawlCoordinator", "CrawlStats"]
@@ -51,6 +76,10 @@ Metadata = Mapping[str, object]
 #: snapshot's own APK_FROM_MARKET / APK_FROM_ARCHIVE source tags).
 _DL_FAILED = "failed"
 _DL_PARSE_ERROR = "parse_error"
+_DL_QUARANTINED = "quarantined"
+
+#: Dead-letter reason for work abandoned after breaker quarantine.
+REASON_QUARANTINED = "market quarantined"
 
 
 @dataclass
@@ -64,6 +93,7 @@ class CrawlStats:
     apk_missing: int = 0
     apk_parse_errors: int = 0
     rate_limited_markets: Set[str] = field(default_factory=set)
+    degraded_markets: Set[str] = field(default_factory=set)
     telemetry: Optional[CrawlTelemetry] = field(default=None, compare=False, repr=False)
 
 
@@ -81,6 +111,9 @@ class CrawlCoordinator:
         worker_pool: Optional[WorkerPool] = None,
         workers: int = 1,
         rate_limiter: Optional[PerMarketRateLimiter] = None,
+        journal: Optional[CrawlJournal] = None,
+        fail_fast: bool = False,
+        breaker_policy: Optional[BreakerPolicy] = DEFAULT_BREAKER_POLICY,
     ):
         self._servers = dict(servers)
         self._clock = clock
@@ -89,8 +122,14 @@ class CrawlCoordinator:
         self._download_apks = download_apks
         self._search_by_name = search_by_name
         self._worker_pool = worker_pool or WorkerPool()
+        self._journal = journal
+        self._fail_fast = fail_fast
         self._engine = CrawlEngine(
-            self._servers, clock, workers=workers, rate_limiter=rate_limiter
+            self._servers,
+            clock,
+            workers=workers,
+            rate_limiter=rate_limiter,
+            breaker_policy=breaker_policy,
         )
 
     def client(self, market_id: str) -> HttpClient:
@@ -99,6 +138,23 @@ class CrawlCoordinator:
     @property
     def engine(self) -> CrawlEngine:
         return self._engine
+
+    # -- checkpoint plumbing ----------------------------------------------
+
+    def _checkpoint(self, market_id: str) -> dict:
+        """The (server, lane) state one journal entry snapshots.
+
+        Called from the lane's own thread right after a unit of work
+        completes; both sides are lane-owned so no locking is needed.
+        """
+        return {
+            "server": self._servers[market_id].export_state(),
+            "lane": self._engine.lane_state(market_id),
+        }
+
+    def _restore_checkpoint(self, market_id: str, state: dict) -> None:
+        self._servers[market_id].restore_state(state["server"])
+        self._engine.restore_lane_state(market_id, state["lane"])
 
     # ------------------------------------------------------------------
     # campaign
@@ -113,11 +169,34 @@ class CrawlCoordinator:
         paper's campaign dates).
         """
         started = time.perf_counter()
+        journal = self._journal.campaign(label) if self._journal is not None else None
+        if journal is not None:
+            # Journaled lanes rewind to their campaign-start state first,
+            # so begin_campaign() baselines from the same point the
+            # original run did (the servers may since have served a
+            # replayed earlier campaign's worth of live traffic — or
+            # none of it).
+            for market_id in self._engine.market_ids:
+                begin = journal.lane(market_id).begin_state()
+                if begin is not None:
+                    self._restore_checkpoint(market_id, begin)
         telemetry = self._engine.begin_campaign(label)
+        if journal is not None:
+            for market_id in self._engine.market_ids:
+                lane = journal.lane(market_id)
+                if lane.begin_state() is None:
+                    lane.record_begin(self._checkpoint(market_id))
+                else:
+                    # Fast-forward to wherever the dead run stopped: the
+                    # journaled entries will replay without touching the
+                    # server, and the first live request continues from
+                    # this state.
+                    self._restore_checkpoint(market_id, lane.last_state())
         snapshot = Snapshot(label)
         stats = CrawlStats(telemetry=telemetry)
         pending: List[Tuple[str, str]] = []  # (package, app_name)
         searched: Set[str] = set()
+        dead_letters: List[DeadLetter] = []
         crawl_day = self._clock.now
 
         def ingest(market_id: str, meta: Metadata) -> None:
@@ -130,25 +209,40 @@ class CrawlCoordinator:
                 searched.add(record.package)
                 pending.append((record.package, record.app_name))
 
+        def mark_degraded(market_id: str) -> None:
+            stats.degraded_markets.add(market_id)
+
         active = [m for m, s in self._servers.items() if s.web_available]
 
         # Phase 1: per-market discovery, merged in canonical order.
         discovered = self._engine.run(
-            {m: self._discovery_task(m) for m in active}
+            {m: self._discovery_task(m, journal) for m in active}
         )
         for market_id in active:
-            for meta in discovered[market_id]:
+            doc = discovered[market_id]
+            for meta in doc["metas"]:
                 ingest(market_id, meta)
+            if doc["quarantined"]:
+                mark_degraded(market_id)
+                dead_letters.append(DeadLetter(
+                    market_id, "discovery", "catalog", REASON_QUARANTINED
+                ))
 
         # Phase 2: cross-market search, round by round until the
         # frontier drains (each round searches everything new at once).
+        # A quarantined market drops out of later rounds: its lane would
+        # only fast-fail every query anyway.
         while pending:
+            active = [m for m in active if m not in stats.degraded_markets]
+            if not active:
+                break
             batch, pending = pending, []
             telemetry.search_rounds += 1
             telemetry.observe_queue_depth(len(batch))
             queries = self._batch_queries(batch)
+            round_no = telemetry.search_rounds
             results = self._engine.run(
-                {m: self._search_task(m, queries) for m in active}
+                {m: self._search_task(m, queries, round_no, journal) for m in active}
             )
             stats.searches += len(queries) * len(active)
             offset = 0
@@ -156,13 +250,39 @@ class CrawlCoordinator:
                 width = 2 if self._search_by_name else 1
                 for market_id in active:
                     for j in range(width):
-                        for meta in results[market_id][offset + j]:
+                        for meta in results[market_id]["hits"][offset + j]:
                             ingest(market_id, meta)
                 offset += width
+            for market_id in active:
+                doc = results[market_id]
+                if doc["quarantined"]:
+                    mark_degraded(market_id)
+                for query, reason in doc["dead"]:
+                    dead_letters.append(
+                        DeadLetter(market_id, "search", query, reason)
+                    )
 
         # Phase 3: batched APK downloads, one lane per market.
         if self._download_apks:
-            self._collect_apks(snapshot, stats, telemetry)
+            self._collect_apks(snapshot, stats, telemetry, journal, dead_letters)
+
+        # Health: every market gets a verdict, even the clean ones.
+        for market_id in self._servers:
+            health = MarketHealth(
+                market_id, completed=snapshot.market_size(market_id)
+            )
+            if market_id in stats.degraded_markets:
+                health.status = HEALTH_DEGRADED
+                telemetry.market(market_id).health = HEALTH_DEGRADED
+            snapshot.health[market_id] = health
+        for letter in dead_letters:
+            snapshot.dead_letters.append(letter)
+            health = snapshot.health[letter.market_id]
+            if letter.reason == REASON_QUARANTINED:
+                health.quarantined += 1
+            else:
+                health.degraded += 1
+            telemetry.market(letter.market_id).dead_letters += 1
 
         snapshot.stats = stats  # type: ignore[attr-defined]
         self._engine.end_campaign(telemetry)
@@ -177,13 +297,30 @@ class CrawlCoordinator:
 
     # -- phase tasks (each runs inside one market's lane) -----------------
 
-    def _discovery_task(self, market_id: str):
+    def _discovery_task(self, market_id: str, journal: Optional[CampaignJournal]):
         server = self._servers[market_id]
         strategy = strategy_for(server.store.profile.crawl_strategy, self._gp_seeds)
         client = self._engine.client(market_id)
+        lane = journal.lane(market_id) if journal is not None else None
 
-        def run() -> List[Metadata]:
-            return list(strategy.discover(client))
+        def run() -> dict:
+            if lane is not None:
+                cached = lane.replay("discovery", market_id)
+                if cached is not None:
+                    return cached
+            metas: List[Metadata] = []
+            quarantined = False
+            try:
+                for meta in strategy.discover(client):
+                    metas.append(meta)
+            except MarketQuarantinedError:
+                if self._fail_fast:
+                    raise
+                quarantined = True
+            result = {"metas": metas, "quarantined": quarantined}
+            if lane is not None:
+                lane.record("discovery", market_id, result, self._checkpoint(market_id))
+            return result
 
         return run
 
@@ -195,17 +332,48 @@ class CrawlCoordinator:
                 queries.append(app_name)
         return queries
 
-    def _search_task(self, market_id: str, queries: Sequence[str]):
+    def _search_task(
+        self,
+        market_id: str,
+        queries: Sequence[str],
+        round_no: int,
+        journal: Optional[CampaignJournal],
+    ):
         client = self._engine.client(market_id)
+        lane = journal.lane(market_id) if journal is not None else None
+        # The key fingerprints the query batch so replaying a journal
+        # against a diverged run (different seed/config) fails loudly.
+        key = f"round-{round_no}:{stable_hash64('search-batch', tuple(queries)):016x}"
 
-        def run() -> List[List[Metadata]]:
+        def run() -> dict:
+            if lane is not None:
+                cached = lane.replay("search", key)
+                if cached is not None:
+                    return cached
             hits: List[List[Metadata]] = []
+            dead: List[List[str]] = []
+            quarantined = False
             for query in queries:
+                if quarantined:
+                    # Keep offsets aligned for the merge step; the lost
+                    # queries are accounted as dead letters.
+                    hits.append([])
+                    dead.append([query, REASON_QUARANTINED])
+                    continue
                 try:
                     hits.append(client.get_json("/search", {"q": query}))
+                except MarketQuarantinedError:
+                    if self._fail_fast:
+                        raise
+                    quarantined = True
+                    hits.append([])
+                    dead.append([query, REASON_QUARANTINED])
                 except HttpError:
                     hits.append([])
-            return hits
+            result = {"hits": hits, "quarantined": quarantined, "dead": dead}
+            if lane is not None:
+                lane.record("search", key, result, self._checkpoint(market_id))
+            return result
 
         return run
 
@@ -214,7 +382,12 @@ class CrawlCoordinator:
     # ------------------------------------------------------------------
 
     def _collect_apks(
-        self, snapshot: Snapshot, stats: CrawlStats, telemetry: CrawlTelemetry
+        self,
+        snapshot: Snapshot,
+        stats: CrawlStats,
+        telemetry: CrawlTelemetry,
+        journal: Optional[CampaignJournal],
+        dead_letters: List[DeadLetter],
     ) -> None:
         sharded = {
             market_id: records
@@ -222,14 +395,17 @@ class CrawlCoordinator:
             if (records := snapshot.in_market(market_id))
         }
         outcomes = self._engine.run(
-            {m: self._download_task(m, records) for m, records in sharded.items()}
+            {m: self._download_task(m, records, journal)
+             for m, records in sharded.items()}
         )
-        for market_id in sharded:
+        for market_id, records in sharded.items():
             market = telemetry.market(market_id)
-            lane_outcomes, lane_rate_limited = outcomes[market_id]
-            if lane_rate_limited:
+            doc = outcomes[market_id]
+            if doc["rate_limited"]:
                 stats.rate_limited_markets.add(market_id)
-            for outcome in lane_outcomes:
+            if doc["quarantined"]:
+                stats.degraded_markets.add(market_id)
+            for record, outcome in zip(records, doc["outcomes"]):
                 if outcome == APK_FROM_MARKET:
                     stats.apk_downloaded += 1
                     market.apk_downloaded += 1
@@ -241,39 +417,98 @@ class CrawlCoordinator:
                 else:
                     stats.apk_missing += 1
                     market.apk_missing += 1
+                    if outcome == _DL_QUARANTINED:
+                        dead_letters.append(DeadLetter(
+                            market_id, "download", record.package,
+                            REASON_QUARANTINED,
+                        ))
 
-    def _download_task(self, market_id: str, records: Sequence[CrawlRecord]):
+    def _download_task(
+        self,
+        market_id: str,
+        records: Sequence[CrawlRecord],
+        journal: Optional[CampaignJournal],
+    ):
         client = self._engine.client(market_id)
         backfill = self._backfill
+        lane = journal.lane(market_id) if journal is not None else None
+        store = journal.apks if journal is not None else None
 
-        def run() -> Tuple[List[str], bool]:
-            outcomes: List[str] = []
+        def fetch(record: CrawlRecord, quarantined: bool) -> Tuple[dict, object, bool]:
+            """One live (market, package) fetch -> (doc, parsed, quarantined)."""
+            blob: Optional[bytes] = None
+            source: Optional[str] = None
             rate_limited = False
-            for record in records:
-                blob: Optional[bytes] = None
-                source: Optional[str] = None
+            if not quarantined:
                 try:
                     blob = client.get_bytes("/download", {"package": record.package})
                     source = APK_FROM_MARKET
                 except RateLimitedError:
                     rate_limited = True
+                except MarketQuarantinedError:
+                    if self._fail_fast:
+                        raise
+                    quarantined = True
                 except (NotFoundError, HttpError):
                     pass
-                if blob is None and backfill is not None:
-                    blob = backfill.lookup(record.package, record.version_name)
-                    if blob is not None:
-                        source = APK_FROM_ARCHIVE
-                if blob is None:
-                    outcomes.append(_DL_FAILED)
-                    continue
-                try:
-                    record.apk = parse_apk(blob)
-                except ApkParseError:
-                    outcomes.append(_DL_PARSE_ERROR)
-                    continue
-                record.apk_source = source
-                outcomes.append(source)
-            return outcomes, rate_limited
+            if blob is None and backfill is not None:
+                blob = backfill.lookup(record.package, record.version_name)
+                if blob is not None:
+                    source = APK_FROM_ARCHIVE
+            if blob is None:
+                outcome = _DL_QUARANTINED if quarantined else _DL_FAILED
+                return (
+                    {"outcome": outcome, "md5": None, "source": None,
+                     "rate_limited": rate_limited},
+                    None,
+                    quarantined,
+                )
+            try:
+                parsed = parse_apk(blob)
+            except ApkParseError:
+                return (
+                    {"outcome": _DL_PARSE_ERROR, "md5": None, "source": None,
+                     "rate_limited": rate_limited},
+                    None,
+                    quarantined,
+                )
+            md5 = store.put(parsed) if store is not None else parsed.md5
+            return (
+                {"outcome": source, "md5": md5, "source": source,
+                 "rate_limited": rate_limited},
+                parsed,
+                quarantined,
+            )
+
+        def run() -> dict:
+            outcomes: List[str] = []
+            rate_limited = False
+            quarantined = False
+            for record in records:
+                parsed = None
+                doc = lane.replay("apk", record.package) if lane is not None else None
+                if doc is None:
+                    doc, parsed, quarantined = fetch(record, quarantined)
+                    if lane is not None:
+                        # The APK doc is in the content store before this
+                        # line lands, so a torn entry never dangles.
+                        lane.record(
+                            "apk", record.package, doc, self._checkpoint(market_id)
+                        )
+                else:
+                    quarantined = quarantined or doc["outcome"] == _DL_QUARANTINED
+                if doc["md5"] is not None:
+                    if parsed is None:
+                        parsed = store.get(doc["md5"])  # replayed: re-hydrate
+                    record.apk = parsed
+                    record.apk_source = doc["source"]
+                outcomes.append(doc["outcome"])
+                rate_limited = rate_limited or doc["rate_limited"]
+            return {
+                "outcomes": outcomes,
+                "rate_limited": rate_limited,
+                "quarantined": quarantined,
+            }
 
         return run
 
@@ -289,7 +524,8 @@ class CrawlCoordinator:
         Markets whose web interface has gone dark (HiApk, OPPO at the
         second crawl) are reported as absent from the result entirely, so
         callers can exclude them — as the paper excludes both from its
-        Table 6 analysis.
+        Table 6 analysis.  A market still under breaker quarantine gets
+        the same treatment: from the crawler's seat it *is* dark.
         """
         reachable = {
             market_id: list(packages)
@@ -297,21 +533,29 @@ class CrawlCoordinator:
             if (server := self._servers.get(market_id)) is not None
             and server.web_available
         }
-        presence = self._engine.run(
+        checked = self._engine.run(
             {m: self._recheck_task(m, packages) for m, packages in reachable.items()}
         )
         self._clock.advance(duration_days)
-        return presence
+        return {
+            market_id: presence
+            for market_id, presence in checked.items()
+            if presence is not None
+        }
 
     def _recheck_task(self, market_id: str, packages: Sequence[str]):
         client = self._engine.client(market_id)
 
-        def run() -> Dict[str, bool]:
+        def run() -> Optional[Dict[str, bool]]:
             market_presence: Dict[str, bool] = {}
             for package in packages:
                 try:
                     client.get_json("/app", {"package": package})
                     market_presence[package] = True
+                except MarketQuarantinedError:
+                    if self._fail_fast:
+                        raise
+                    return None  # quarantined: treat the market as dark
                 except HttpError:
                     market_presence[package] = False
             return market_presence

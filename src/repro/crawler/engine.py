@@ -32,6 +32,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Mapping, Optional, TypeVar
 
 from repro.crawler.telemetry import CrawlTelemetry
+from repro.net.breaker import DEFAULT_BREAKER_POLICY, BreakerPolicy, CircuitBreaker
 from repro.net.client import ClientStats, HttpClient
 from repro.net.ratelimit import PerMarketRateLimiter
 from repro.net.retry import RetryPolicy
@@ -95,10 +96,16 @@ class MarketLane:
         rate_limiter: Optional[PerMarketRateLimiter],
         max_rate_limit_waits: int,
         max_rate_limit_wait: Optional[float],
+        breaker_policy: Optional[BreakerPolicy] = None,
     ):
         self.market_id = market_id
         self.clock = LaneClock(base_clock)
         pacer = rate_limiter.bind(market_id, self.clock) if rate_limiter else None
+        self.breaker = (
+            CircuitBreaker(market_id, self.clock, breaker_policy)
+            if breaker_policy is not None
+            else None
+        )
         self.client = HttpClient(
             handler,
             self.clock,
@@ -107,16 +114,23 @@ class MarketLane:
             max_rate_limit_wait=max_rate_limit_wait,
             pacer=pacer,
             jitter_key=market_id,
+            breaker=self.breaker,
         )
         self._stats_baseline: ClientStats = self.client.stats.copy()
         self._offset_baseline = 0.0
         self._paced_baseline = 0.0
+        self._trips_baseline = 0
 
     def begin_campaign(self, rate_limiter: Optional[PerMarketRateLimiter]) -> None:
         self._stats_baseline = self.client.stats.copy()
         self._offset_baseline = self.clock.offset
         if rate_limiter is not None:
             self._paced_baseline = rate_limiter.sim_days_waited(self.market_id)
+        if self.breaker is not None:
+            # A new campaign starts with a clean bill of health: markets
+            # that died last campaign get re-probed, not written off.
+            self.breaker.reset()
+            self._trips_baseline = 0
 
     def campaign_delta(self) -> ClientStats:
         return self.client.stats.delta(self._stats_baseline)
@@ -128,6 +142,37 @@ class MarketLane:
         if rate_limiter is None:
             return 0.0
         return rate_limiter.sim_days_waited(self.market_id) - self._paced_baseline
+
+    def campaign_trips(self) -> int:
+        if self.breaker is None:
+            return 0
+        return self.breaker.trips - self._trips_baseline
+
+    # -- checkpoint plumbing ----------------------------------------------
+
+    def export_state(self, rate_limiter: Optional[PerMarketRateLimiter]) -> dict:
+        """The lane-side state one journal entry snapshots."""
+        state: dict = {
+            "stats": self.client.stats.export_state(),
+            "offset": self.clock.offset,
+        }
+        if self.breaker is not None:
+            state["breaker"] = self.breaker.export_state()
+        if rate_limiter is not None:
+            bucket = rate_limiter.export_state(self.market_id)
+            if bucket is not None:
+                state["pacer"] = bucket
+        return state
+
+    def restore_state(
+        self, state: dict, rate_limiter: Optional[PerMarketRateLimiter]
+    ) -> None:
+        self.client.stats = ClientStats.from_state(state["stats"])
+        self.clock.offset = float(state["offset"])
+        if self.breaker is not None and "breaker" in state:
+            self.breaker.restore_state(state["breaker"])
+        if rate_limiter is not None and "pacer" in state:
+            rate_limiter.restore_state(self.market_id, state["pacer"])
 
 
 class CrawlEngine:
@@ -147,6 +192,7 @@ class CrawlEngine:
         retry_policy: Optional[RetryPolicy] = None,
         max_rate_limit_waits: int = DEFAULT_RATE_LIMIT_WAITS,
         max_rate_limit_wait: Optional[float] = RATE_LIMIT_WAIT_CAP,
+        breaker_policy: Optional[BreakerPolicy] = DEFAULT_BREAKER_POLICY,
     ):
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -162,6 +208,7 @@ class CrawlEngine:
                 rate_limiter,
                 max_rate_limit_waits,
                 max_rate_limit_wait,
+                breaker_policy,
             )
             for market_id, server in servers.items()
         }
@@ -202,6 +249,16 @@ class CrawlEngine:
             market = telemetry.market(market_id)
             market.fold_client(lane.campaign_delta())
             market.sim_days_paced += lane.campaign_paced(self._rate_limiter)
+            market.breaker_trips += lane.campaign_trips()
+
+    # -- checkpoint plumbing ----------------------------------------------
+
+    def lane_state(self, market_id: str) -> dict:
+        """Export one lane's client/breaker/pacer state for the journal."""
+        return self._lanes[market_id].export_state(self._rate_limiter)
+
+    def restore_lane_state(self, market_id: str, state: dict) -> None:
+        self._lanes[market_id].restore_state(state, self._rate_limiter)
 
     # -- scheduling --------------------------------------------------------
 

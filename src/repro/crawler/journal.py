@@ -1,0 +1,297 @@
+"""Checkpoint/resume journaling for crawl campaigns.
+
+A campaign that dies at hour 30 of a multi-day crawl should not start
+over.  This module is the write-ahead log that makes a campaign
+restartable: each market lane appends one JSONL entry per completed
+unit of work (discovery sweep, search round, per-package APK fetch) to
+its own append-only file, together with a snapshot of the
+deterministic state the unit left behind (server request ordinal and
+fault-injector streak, download quota, client counters, lane-clock
+offset, breaker and pacer state).
+
+A resumed campaign replays the journal instead of re-issuing requests:
+journaled work is applied verbatim, the last entry's state snapshot is
+restored into the server and lane, and the first *live* request picks
+up exactly where the dead run stopped — so the finished snapshot is
+bit-identical to an uninterrupted run (the kill-and-resume tests assert
+digest equality at arbitrary cut points).
+
+Layout under the checkpoint root::
+
+    <root>/apks/<md5>.json             content-addressed parsed APKs
+    <root>/<campaign>/<market>.jsonl   one WAL per market lane
+
+APK payloads are stored once by content digest and referenced from
+journal entries by MD5, so a lane entry stays small and replay
+re-hydrates :class:`~repro.apk.archive.ParsedApk` objects from the
+offline store.
+
+Entries are JSON lines ``{"kind", "key", "result", "state"}``.  The
+first entry of each lane is ``begin`` — the state at campaign start,
+which matters when a later campaign reuses servers a replayed earlier
+campaign never touched.  A torn final line (the process died mid-write)
+is discarded on load; replay that *diverges* from the journal (the
+cursor entry's kind/key does not match the work the coordinator is
+about to do) raises :class:`JournalError` rather than silently mixing
+two different campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.apk.archive import ParsedApk
+
+__all__ = ["CrawlJournal", "CampaignJournal", "LaneJournal", "ApkStore", "JournalError"]
+
+JOURNAL_FORMAT_VERSION = 1
+
+KIND_BEGIN = "begin"
+
+
+class JournalError(Exception):
+    """Raised for corrupt journals or replay/journal divergence."""
+
+
+def _sanitize(name: str) -> str:
+    """A label/market id as a safe file-system component."""
+    return "".join(c if (c.isalnum() or c in "-_.") else "_" for c in name) or "_"
+
+
+class ApkStore:
+    """Content-addressed store of parsed APKs, shared by all lanes.
+
+    ``put`` is idempotent (same digest, same content) and crash-safe:
+    the doc is written to a unique temp file and atomically renamed, so
+    a journal entry never references a half-written APK as long as the
+    caller stores the APK *before* appending the entry.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._cache: Dict[str, ParsedApk] = {}
+
+    def _path(self, md5: str) -> Path:
+        return self._root / f"{_sanitize(md5)}.json"
+
+    def put(self, apk: ParsedApk) -> str:
+        """Store one APK; returns its MD5 (the reference key)."""
+        from repro.crawler.dataset import _apk_to_doc
+
+        md5 = apk.md5
+        path = self._path(md5)
+        if md5 not in self._cache and not path.exists():
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.{id(apk):x}.tmp")
+            tmp.write_text(
+                json.dumps(_apk_to_doc(apk), separators=(",", ":")), encoding="utf-8"
+            )
+            os.replace(tmp, path)
+        self._cache[md5] = apk
+        return md5
+
+    def get(self, md5: str) -> ParsedApk:
+        """Load one APK by digest (cached)."""
+        from repro.crawler.dataset import _apk_from_doc
+
+        apk = self._cache.get(md5)
+        if apk is not None:
+            return apk
+        path = self._path(md5)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            apk = _apk_from_doc(doc)
+        except (OSError, ValueError, KeyError) as exc:
+            raise JournalError(f"APK store entry {md5} unreadable: {exc}") from exc
+        self._cache[md5] = apk
+        return apk
+
+
+class LaneJournal:
+    """One market lane's WAL within one campaign.
+
+    Only the lane's own thread touches its journal, so no locking is
+    needed — the same ownership rule the lane clock and client stats
+    already follow.
+    """
+
+    def __init__(self, path: Path, market_id: str):
+        self._path = path
+        self.market_id = market_id
+        self._entries: List[dict] = []
+        self._cursor = 0
+        self._handle = None
+        if path.exists():
+            self._entries = self._load(path)
+
+    @staticmethod
+    def _load(path: Path) -> List[dict]:
+        entries: List[dict] = []
+        with path.open("r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                entries.append(json.loads(line))
+            except ValueError as exc:
+                if lineno == len(lines) - 1:
+                    # Torn final line: the process died mid-append.  The
+                    # WAL contract is that everything *before* it is
+                    # complete, so resume simply loses the last unit.
+                    break
+                raise JournalError(f"{path}:{lineno + 1}: corrupt entry") from exc
+        return entries
+
+    # -- reading (replay) --------------------------------------------------
+
+    @property
+    def entries(self) -> int:
+        return len(self._entries)
+
+    def begin_state(self) -> Optional[dict]:
+        """The campaign-start state, if this lane was journaled before."""
+        if self._entries and self._entries[0].get("kind") == KIND_BEGIN:
+            return self._entries[0]["state"]
+        return None
+
+    def last_state(self) -> Optional[dict]:
+        """State after the most recent journaled unit of work."""
+        if not self._entries:
+            return None
+        return self._entries[-1]["state"]
+
+    def replay(self, kind: str, key: str) -> Optional[dict]:
+        """The journaled result for the next unit of work, or None.
+
+        None means the journal is exhausted: the unit must run live (and
+        be recorded).  A cursor entry that does not match ``(kind, key)``
+        means the caller's work stream diverged from the journaled
+        campaign — a different config, seed, or label — and replaying it
+        would corrupt the snapshot.
+        """
+        if self._cursor == 0 and self.begin_state() is not None:
+            self._cursor = 1  # the begin entry is consumed by restore
+        if self._cursor >= len(self._entries):
+            return None
+        entry = self._entries[self._cursor]
+        if entry.get("kind") != kind or entry.get("key") != key:
+            raise JournalError(
+                f"{self._path}: journal diverged at entry {self._cursor}: "
+                f"expected ({kind!r}, {key!r}), "
+                f"found ({entry.get('kind')!r}, {entry.get('key')!r})"
+            )
+        self._cursor += 1
+        return entry["result"]
+
+    # -- writing (live) ----------------------------------------------------
+
+    def _append(self, entry: dict) -> None:
+        if self._handle is None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self._path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    def record_begin(self, state: dict) -> None:
+        if self._entries:
+            raise JournalError(f"{self._path}: begin after {len(self._entries)} entries")
+        entry = {"kind": KIND_BEGIN, "key": self.market_id, "state": state}
+        self._append(entry)
+        self._entries.append(entry)
+        self._cursor = 1
+
+    def record(self, kind: str, key: str, result: dict, state: dict) -> None:
+        """Journal one completed unit of work and its post-state."""
+        if self._cursor < len(self._entries):
+            raise JournalError(
+                f"{self._path}: append while {len(self._entries) - self._cursor} "
+                "journaled entries remain unreplayed"
+            )
+        entry = {"kind": kind, "key": key, "result": result, "state": state}
+        self._append(entry)
+        self._entries.append(entry)
+        self._cursor += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class CampaignJournal:
+    """All lane journals of one labeled campaign."""
+
+    def __init__(self, root: Path, label: str, apks: ApkStore, resume: bool):
+        self.label = label
+        self.apks = apks
+        self._dir = root / _sanitize(label)
+        if not resume and self._dir.exists():
+            # A fresh (non-resume) run must not replay a stale journal.
+            for stale in self._dir.glob("*.jsonl"):
+                stale.unlink()
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._lanes: Dict[str, LaneJournal] = {}
+
+    def lane(self, market_id: str) -> LaneJournal:
+        lane = self._lanes.get(market_id)
+        if lane is None:
+            path = self._dir / f"{_sanitize(market_id)}.jsonl"
+            lane = self._lanes[market_id] = LaneJournal(path, market_id)
+        return lane
+
+    def close(self) -> None:
+        for lane in self._lanes.values():
+            lane.close()
+
+
+class CrawlJournal:
+    """One checkpoint directory: a shared APK store + per-campaign WALs.
+
+    ``resume=False`` (the default) starts every campaign clean, deleting
+    any stale lane journals under the same label; ``resume=True`` replays
+    whatever the directory already holds.  The APK store is kept either
+    way — it is content-addressed, so stale entries are harmless.
+    """
+
+    def __init__(self, root: Union[str, Path], resume: bool = False):
+        self.root = Path(root)
+        self.resume = resume
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._meta_path = self.root / "journal.json"
+        self._check_version()
+        self.apks = ApkStore(self.root / "apks")
+        self._campaigns: Dict[str, CampaignJournal] = {}
+
+    def _check_version(self) -> None:
+        if self._meta_path.exists():
+            try:
+                meta = json.loads(self._meta_path.read_text(encoding="utf-8"))
+            except ValueError as exc:
+                raise JournalError(f"{self._meta_path}: corrupt metadata") from exc
+            if meta.get("version") != JOURNAL_FORMAT_VERSION:
+                raise JournalError(
+                    f"{self._meta_path}: unsupported journal version "
+                    f"{meta.get('version')}"
+                )
+        else:
+            self._meta_path.write_text(
+                json.dumps({"format": "repro-crawl-journal",
+                            "version": JOURNAL_FORMAT_VERSION}),
+                encoding="utf-8",
+            )
+
+    def campaign(self, label: str) -> CampaignJournal:
+        campaign = self._campaigns.get(label)
+        if campaign is None:
+            campaign = self._campaigns[label] = CampaignJournal(
+                self.root, label, self.apks, self.resume
+            )
+        return campaign
+
+    def close(self) -> None:
+        for campaign in self._campaigns.values():
+            campaign.close()

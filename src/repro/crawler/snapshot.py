@@ -14,10 +14,76 @@ from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.apk.archive import ParsedApk
 
-__all__ = ["CrawlRecord", "Snapshot"]
+__all__ = ["CrawlRecord", "Snapshot", "MarketHealth", "DeadLetter", "HEALTH_OK", "HEALTH_DEGRADED"]
 
 APK_FROM_MARKET = "market"
 APK_FROM_ARCHIVE = "archive"
+
+HEALTH_OK = "ok"
+HEALTH_DEGRADED = "degraded"
+
+
+@dataclass
+class DeadLetter:
+    """One work item a lane abandoned instead of aborting the campaign.
+
+    ``kind`` names the phase ("discovery", "search", "download",
+    "recheck"); ``key`` identifies the item (a query, a package);
+    ``reason`` records why it was given up.
+    """
+
+    market_id: str
+    kind: str
+    key: str
+    reason: str
+
+    def to_doc(self) -> List[str]:
+        return [self.market_id, self.kind, self.key, self.reason]
+
+    @classmethod
+    def from_doc(cls, doc) -> "DeadLetter":
+        return cls(*(str(part) for part in doc))
+
+
+@dataclass
+class MarketHealth:
+    """One market's campaign outcome under partial failure.
+
+    ``completed`` counts records successfully ingested; ``degraded``
+    counts work items lost to terminal failures while the market was
+    still being tried; ``quarantined`` counts items skipped outright
+    after the circuit breaker wrote the market off.  ``status`` is
+    ``"ok"`` unless the breaker quarantined the market mid-campaign.
+    """
+
+    market_id: str
+    status: str = HEALTH_OK
+    completed: int = 0
+    degraded: int = 0
+    quarantined: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == HEALTH_OK
+
+    def to_doc(self) -> Dict[str, object]:
+        return {
+            "market": self.market_id,
+            "status": self.status,
+            "completed": self.completed,
+            "degraded": self.degraded,
+            "quarantined": self.quarantined,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Mapping[str, object]) -> "MarketHealth":
+        return cls(
+            market_id=str(doc["market"]),
+            status=str(doc["status"]),
+            completed=int(doc["completed"]),  # type: ignore[arg-type]
+            degraded=int(doc["degraded"]),  # type: ignore[arg-type]
+            quarantined=int(doc["quarantined"]),  # type: ignore[arg-type]
+        )
 
 
 @dataclass
@@ -83,6 +149,12 @@ class Snapshot:
         self._records: Dict[Tuple[str, str], CrawlRecord] = {}
         self._by_market: Dict[str, List[CrawlRecord]] = {}
         self._by_package: Dict[str, List[CrawlRecord]] = {}
+        #: Per-market campaign health, filled by the coordinator; empty
+        #: for snapshots produced outside a campaign (tests, loaders).
+        self.health: Dict[str, MarketHealth] = {}
+        #: Work items abandoned under partial failure (never populated
+        #: on a clean campaign).
+        self.dead_letters: List[DeadLetter] = []
 
     def __len__(self) -> int:
         return len(self._records)
@@ -123,6 +195,16 @@ class Snapshot:
 
     def with_apk(self) -> Iterator[CrawlRecord]:
         return (r for r in self if r.has_apk)
+
+    def degraded_markets(self) -> List[str]:
+        """Markets the campaign completed without (breaker-quarantined)."""
+        return sorted(m for m, h in self.health.items() if not h.ok)
+
+    def market_health(self, market_id: str) -> MarketHealth:
+        health = self.health.get(market_id)
+        if health is None:
+            return MarketHealth(market_id, completed=self.market_size(market_id))
+        return health
 
     def sorted_records(self) -> List[CrawlRecord]:
         """Records in canonical (market_id, package) order."""

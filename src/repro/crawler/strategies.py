@@ -88,25 +88,46 @@ class BfsRelatedStrategy(DiscoveryStrategy):
 
 
 class IntegerIndexStrategy(DiscoveryStrategy):
-    """Baidu style: walk the incremental integer index until it ends."""
+    """Baidu style: walk the incremental integer index until it ends.
 
-    def __init__(self, max_consecutive_missing: int = 50):
+    Besides the index running out (``max_consecutive_missing`` 404s in a
+    row), the walk also stops after ``max_consecutive_failures``
+    back-to-back transport failures: a fully dark market answers every
+    slot with an error, and without the guard the walk would step
+    through an unbounded index forever.  (With the circuit breaker
+    enabled, :class:`~repro.net.breaker.MarketQuarantinedError` — which
+    is deliberately *not* an ``HttpError`` — usually escapes first; the
+    guard is the backstop for breaker-less clients.)
+    """
+
+    def __init__(
+        self,
+        max_consecutive_missing: int = 50,
+        max_consecutive_failures: int = 200,
+    ):
         self._max_consecutive_missing = max_consecutive_missing
+        self._max_consecutive_failures = max_consecutive_failures
 
     def discover(self, client: HttpClient) -> Iterator[Metadata]:
         index = 0
         missing_streak = 0
+        failure_streak = 0
         while missing_streak < self._max_consecutive_missing:
             try:
                 meta = client.get_json("/index", {"i": index})
             except NotFoundError:
                 missing_streak += 1
+                failure_streak = 0
                 index += 1
                 continue
             except HttpError:
+                failure_streak += 1
+                if failure_streak >= self._max_consecutive_failures:
+                    return  # the market is not answering anyone
                 index += 1
                 continue
             missing_streak = 0
+            failure_streak = 0
             index += 1
             if meta is not None:  # None: slot exists but app was removed
                 yield meta

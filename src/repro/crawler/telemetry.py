@@ -33,6 +33,9 @@ class MarketTelemetry:
     timeouts: int = 0
     malformed: int = 0
     failures: int = 0
+    rate_limit_aborts: int = 0
+    breaker_fast_fails: int = 0
+    breaker_trips: int = 0
     sim_days_backoff: float = 0.0
     sim_days_paced: float = 0.0
     records: int = 0
@@ -41,6 +44,9 @@ class MarketTelemetry:
     apk_downloaded: int = 0
     apk_backfilled: int = 0
     apk_missing: int = 0
+    dead_letters: int = 0
+    #: "ok", or "degraded" once the breaker quarantined the market.
+    health: str = "ok"
 
     def fold_client(self, delta: ClientStats) -> None:
         """Fold one campaign's client-counter movement into the lane."""
@@ -50,6 +56,8 @@ class MarketTelemetry:
         self.timeouts += delta.timeouts
         self.malformed += delta.malformed
         self.failures += delta.failures
+        self.rate_limit_aborts += delta.rate_limit_aborts
+        self.breaker_fast_fails += delta.breaker_fast_fails
         self.sim_days_backoff += delta.sim_days_slept
 
 
@@ -95,12 +103,28 @@ class CrawlTelemetry:
             for m in self.markets.values()
         )
 
+    @property
+    def total_failures(self) -> int:
+        """Abandoned requests fleet-wide (work lost, not turbulence)."""
+        return sum(m.failures for m in self.markets.values())
+
+    @property
+    def total_breaker_trips(self) -> int:
+        return sum(m.breaker_trips for m in self.markets.values())
+
+    @property
+    def total_dead_letters(self) -> int:
+        return sum(m.dead_letters for m in self.markets.values())
+
+    def degraded_markets(self) -> List[str]:
+        return sorted(m.market_id for m in self.markets.values() if m.health != "ok")
+
     def stats_report(self, top: Optional[int] = None) -> str:
         """Render the per-market operator table."""
         header = (
             f"{'market':<14}{'requests':>10}{'retries':>9}{'429s':>7}"
-            f"{'timeouts':>10}{'garbled':>9}{'backoff(d)':>12}{'paced(d)':>10}"
-            f"{'records':>9}"
+            f"{'timeouts':>10}{'garbled':>9}{'failed':>8}{'trips':>7}"
+            f"{'backoff(d)':>12}{'paced(d)':>10}{'records':>9}  {'health':<9}"
         )
         lines: List[str] = [
             f"crawl telemetry [{self.label}] — workers={self.workers}, "
@@ -115,17 +139,27 @@ class CrawlTelemetry:
             lines.append(
                 f"{lane.market_id:<14}{lane.requests:>10}{lane.retries:>9}"
                 f"{lane.rate_limited:>7}{lane.timeouts:>10}{lane.malformed:>9}"
+                f"{lane.failures:>8}{lane.breaker_trips:>7}"
                 f"{lane.sim_days_backoff:>12.4f}{lane.sim_days_paced:>10.4f}"
-                f"{lane.records:>9}"
+                f"{lane.records:>9}  {lane.health:<9}"
             )
         lines.append("-" * len(header))
+        degraded = self.degraded_markets()
         lines.append(
             f"{'total':<14}{self.total_requests:>10}{self.total_retries:>9}"
             f"{sum(m.rate_limited for m in self.markets.values()):>7}"
             f"{sum(m.timeouts for m in self.markets.values()):>10}"
             f"{sum(m.malformed for m in self.markets.values()):>9}"
+            f"{self.total_failures:>8}{self.total_breaker_trips:>7}"
             f"{sum(m.sim_days_backoff for m in self.markets.values()):>12.4f}"
             f"{sum(m.sim_days_paced for m in self.markets.values()):>10.4f}"
-            f"{self.total_records:>9}"
+            f"{self.total_records:>9}  "
+            f"{('degraded:' + str(len(degraded))) if degraded else 'ok':<9}"
         )
+        if degraded:
+            lines.append(
+                "degraded markets (breaker quarantine): " + ", ".join(degraded)
+            )
+        if self.total_dead_letters:
+            lines.append(f"dead letters: {self.total_dead_letters}")
         return "\n".join(lines)

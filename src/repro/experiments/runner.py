@@ -57,7 +57,13 @@ PAPER_EXPERIMENT_IDS = tuple(
 
 
 def run_experiment(experiment_id: str, result: StudyResult) -> Report:
-    """Regenerate one paper table or figure from a study result."""
+    """Regenerate one paper table or figure from a study result.
+
+    When the crawl completed in degraded mode (a market quarantined by
+    its circuit breaker), every report is annotated so readers know the
+    numbers were computed from a partial fleet instead of crashing or
+    silently under-counting.
+    """
     try:
         runner = _REGISTRY[experiment_id]
     except KeyError:
@@ -65,7 +71,14 @@ def run_experiment(experiment_id: str, result: StudyResult) -> Report:
             f"unknown experiment {experiment_id!r}; "
             f"known: {', '.join(EXPERIMENT_IDS)}"
         ) from None
-    return runner(result)
+    report = runner(result)
+    degraded = result.snapshot.degraded_markets()
+    if degraded:
+        report.notes.append(
+            "crawl degraded: no data for " + ", ".join(degraded)
+            + " (circuit breaker quarantine)"
+        )
+    return report
 
 
 def run_all(result: StudyResult) -> Dict[str, Report]:

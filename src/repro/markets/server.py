@@ -109,6 +109,28 @@ class MarketServer:
             return False
         return True
 
+    # -- checkpoint plumbing ----------------------------------------------
+
+    def export_state(self) -> dict:
+        """Serializable server-side state for the crawl journal.
+
+        Fault injection depends on the per-server request ordinal and
+        streak, and Google Play's download quota is cumulative; a
+        resumed campaign restores all three so the remaining request
+        stream sees exactly the responses the uninterrupted run did.
+        """
+        return {
+            "requests_served": self.requests_served,
+            "faults": self._faults.export_state(),
+            "quota_used": self._apk_quota.used if self._apk_quota else None,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.requests_served = int(state["requests_served"])
+        self._faults.restore_state(state["faults"])
+        if self._apk_quota is not None and state.get("quota_used") is not None:
+            self._apk_quota.restore(int(state["quota_used"]))
+
     def handle(self, request: Request) -> Response:
         """Dispatch one request; the entry point clients are bound to."""
         self.requests_served += 1
@@ -116,7 +138,7 @@ class MarketServer:
             time.sleep(self._latency_s)
         if not self.web_available:
             return Response.not_found()
-        fault = self._faults.inject(self.requests_served)
+        fault = self._faults.inject(self.requests_served, now=self._clock.now)
         if fault is not None:
             return fault
         handler = getattr(self, "_endpoint_" + request.path.strip("/"), None)

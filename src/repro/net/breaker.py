@@ -1,0 +1,214 @@
+"""Per-market circuit breaker.
+
+Long crawls against 17 independent markets meet markets that die
+outright: a store whose frontend blacks out answers nothing but
+timeouts, and every request a lane keeps sending burns its full retry
+budget — minutes of simulated back-off per request — while yielding
+nothing.  :class:`CircuitBreaker` is the classic closed/open/half-open
+state machine layered between the lane and its
+:class:`~repro.net.client.HttpClient`:
+
+* **closed** — requests flow; terminal failures (retry exhaustion on
+  timeouts, 5xx, malformed payloads) are counted, and a run of
+  ``failure_threshold`` consecutive ones trips the circuit.
+* **open** — requests fail fast with :class:`CircuitOpenError` instead
+  of touching the server; each fast-fail charges a small
+  ``open_poll_interval`` to the lane clock (a real crawler still pays
+  scheduling time for work it skips), so simulated time advances toward
+  the ``cooldown`` deadline.
+* **half-open** — after the cooldown, ``half_open_probes`` live probes
+  are let through; a success closes the circuit, a failure re-opens it.
+
+Every re-open increments ``trips``.  When ``trips`` exceeds the
+``trip_budget`` the market is **quarantined**: the breaker raises
+:class:`MarketQuarantinedError` — deliberately *not* an
+:class:`~repro.net.http.HttpError`, so it escapes the per-request
+``except HttpError`` handlers sprinkled through discovery strategies
+and search loops and reaches the coordinator, which marks the market
+*degraded* and completes the campaign without it (or re-raises under
+``fail_fast``).
+
+The breaker is driven entirely by the lane's simulated clock and its
+own counters, so a crawl remains bit-reproducible at any worker count,
+and its full state round-trips through :meth:`export_state` /
+:meth:`restore_state` for the checkpoint/resume journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.net.http import HttpError
+from repro.util.simtime import SimClock
+
+__all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "MarketQuarantinedError",
+    "STATE_CLOSED",
+    "STATE_OPEN",
+    "STATE_HALF_OPEN",
+]
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+#: Status code reported by fast-failed requests (503 Service Unavailable
+#: is what a client-side breaker conventionally surfaces).
+HTTP_CIRCUIT_OPEN = 503
+
+
+class CircuitOpenError(HttpError):
+    """The circuit is open: the request was skipped, not sent."""
+
+    def __init__(self, market_id: str, reopen_at: float):
+        super().__init__(f"circuit open: {market_id}", HTTP_CIRCUIT_OPEN)
+        self.market_id = market_id
+        self.reopen_at = reopen_at
+
+
+class MarketQuarantinedError(Exception):
+    """The breaker exceeded its trip budget: the market is written off.
+
+    Not an :class:`HttpError` on purpose — per-request error handlers
+    must not swallow it; only the coordinator decides whether to degrade
+    the market or fail the campaign.
+    """
+
+    def __init__(self, market_id: str, trips: int):
+        super().__init__(f"market quarantined after {trips} breaker trips: {market_id}")
+        self.market_id = market_id
+        self.trips = trips
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Tuning knobs for one market's circuit breaker.
+
+    ``trip_budget`` is the number of open/half-open trips tolerated per
+    campaign before the market is quarantined; ``None`` never
+    quarantines (the breaker only sheds load).
+    """
+
+    failure_threshold: int = 5
+    cooldown: float = 0.25  # simulated days the circuit stays open
+    open_poll_interval: float = 0.01  # lane days charged per fast-fail
+    half_open_probes: int = 1
+    trip_budget: Optional[int] = 3
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        if self.cooldown <= 0 or self.open_poll_interval <= 0:
+            raise ValueError("cooldown and open_poll_interval must be positive")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be positive")
+        if self.trip_budget is not None and self.trip_budget < 0:
+            raise ValueError("trip_budget must be non-negative")
+
+
+#: The engine's default: breakers on, quarantine after four trips.
+DEFAULT_BREAKER_POLICY = BreakerPolicy()
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker for one market lane."""
+
+    def __init__(self, market_id: str, clock: SimClock, policy: BreakerPolicy):
+        self.market_id = market_id
+        self._clock = clock
+        self.policy = policy
+        self._state = STATE_CLOSED
+        self._consecutive = 0
+        self._reopen_at = 0.0
+        self._probes_left = 0
+        self.trips = 0
+        self.fast_failures = 0
+        self.quarantined = False
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive
+
+    # -- request lifecycle -------------------------------------------------
+
+    def before_request(self) -> None:
+        """Gate one request attempt; raises when the request must be skipped."""
+        if self.quarantined:
+            self.fast_failures += 1
+            raise MarketQuarantinedError(self.market_id, self.trips)
+        if self._state == STATE_OPEN:
+            if self._clock.now >= self._reopen_at:
+                self._state = STATE_HALF_OPEN
+                self._probes_left = self.policy.half_open_probes
+            else:
+                self.fast_failures += 1
+                # Charge the poll interval so lane time moves toward the
+                # cooldown deadline instead of spinning at a frozen clock.
+                remaining = self._reopen_at - self._clock.now
+                self._clock.advance(min(self.policy.open_poll_interval, remaining))
+                raise CircuitOpenError(self.market_id, self._reopen_at)
+        if self._state == STATE_HALF_OPEN:
+            if self._probes_left <= 0:
+                self.fast_failures += 1
+                self._clock.advance(self.policy.open_poll_interval)
+                raise CircuitOpenError(self.market_id, self._reopen_at)
+            self._probes_left -= 1
+
+    def record_success(self) -> None:
+        self._consecutive = 0
+        self._state = STATE_CLOSED
+
+    def record_failure(self) -> None:
+        self._consecutive += 1
+        if self._state == STATE_HALF_OPEN:
+            self._trip()
+        elif self._consecutive >= self.policy.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self.trips += 1
+        self._consecutive = 0
+        self._state = STATE_OPEN
+        self._reopen_at = self._clock.now + self.policy.cooldown
+        budget = self.policy.trip_budget
+        if budget is not None and self.trips > budget:
+            self.quarantined = True
+
+    # -- campaign / checkpoint plumbing ------------------------------------
+
+    def reset(self) -> None:
+        """Fresh campaign: forgive past trips and close the circuit."""
+        self._state = STATE_CLOSED
+        self._consecutive = 0
+        self._reopen_at = 0.0
+        self._probes_left = 0
+        self.trips = 0
+        self.quarantined = False
+
+    def export_state(self) -> Dict[str, object]:
+        return {
+            "state": self._state,
+            "consecutive": self._consecutive,
+            "reopen_at": self._reopen_at,
+            "probes_left": self._probes_left,
+            "trips": self.trips,
+            "fast_failures": self.fast_failures,
+            "quarantined": self.quarantined,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self._state = str(state["state"])
+        self._consecutive = int(state["consecutive"])  # type: ignore[arg-type]
+        self._reopen_at = float(state["reopen_at"])  # type: ignore[arg-type]
+        self._probes_left = int(state["probes_left"])  # type: ignore[arg-type]
+        self.trips = int(state["trips"])  # type: ignore[arg-type]
+        self.fast_failures = int(state["fast_failures"])  # type: ignore[arg-type]
+        self.quarantined = bool(state["quarantined"])

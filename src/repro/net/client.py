@@ -17,8 +17,8 @@ client's ``jitter_key`` and request ordinal so runs stay reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Any, Callable, Mapping, Optional
+from dataclasses import asdict, dataclass, replace
+from typing import TYPE_CHECKING, Any, Callable, Dict, Mapping, Optional
 
 from repro.net.http import (
     HTTP_NOT_FOUND,
@@ -37,6 +37,9 @@ from repro.net.retry import RetryPolicy
 from repro.util.rng import stable_hash32
 from repro.util.simtime import SimClock
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.breaker import CircuitBreaker
+
 __all__ = ["HttpClient", "ClientStats", "RATE_LIMIT_JITTER_MAX"]
 
 #: Upper bound of the multiplicative jitter applied to rate-limit sleeps.
@@ -45,7 +48,20 @@ RATE_LIMIT_JITTER_MAX = 0.25
 
 @dataclass
 class ClientStats:
-    """Counters for one client instance."""
+    """Counters for one client instance.
+
+    ``failures`` counts *abandoned requests* — every request the client
+    gave up on, exactly once each, whatever the reason (retry
+    exhaustion, rate-limit cap or wait-budget exhaustion, breaker
+    fast-fail).  Transient faults that a retry eventually pushed
+    through never touch it; they show up in ``retries`` and the
+    per-mode counters instead, so telemetry can distinguish "absorbed
+    turbulence" from "work lost".  Two sub-counters break failures
+    down: ``rate_limit_aborts`` (gave up because the server shed us)
+    and ``breaker_fast_fails`` (never sent: the circuit was open or
+    the market quarantined).  404 is a definitive answer, not a
+    failure; it stays in ``not_found``.
+    """
 
     requests: int = 0
     retries: int = 0
@@ -54,6 +70,8 @@ class ClientStats:
     malformed: int = 0
     not_found: int = 0
     failures: int = 0
+    rate_limit_aborts: int = 0
+    breaker_fast_fails: int = 0
     sim_days_slept: float = 0.0
 
     def copy(self) -> "ClientStats":
@@ -69,8 +87,17 @@ class ClientStats:
             malformed=self.malformed - baseline.malformed,
             not_found=self.not_found - baseline.not_found,
             failures=self.failures - baseline.failures,
+            rate_limit_aborts=self.rate_limit_aborts - baseline.rate_limit_aborts,
+            breaker_fast_fails=self.breaker_fast_fails - baseline.breaker_fast_fails,
             sim_days_slept=self.sim_days_slept - baseline.sim_days_slept,
         )
+
+    def export_state(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "ClientStats":
+        return cls(**state)  # type: ignore[arg-type]
 
 
 class HttpClient:
@@ -115,6 +142,7 @@ class HttpClient:
         max_rate_limit_wait: Optional[float] = None,
         pacer: Optional[Callable[[], float]] = None,
         jitter_key: str = "",
+        breaker: Optional["CircuitBreaker"] = None,
     ):
         self._handler = handler
         self._clock = clock
@@ -123,6 +151,7 @@ class HttpClient:
         self._max_rate_limit_wait = max_rate_limit_wait
         self._pacer = pacer
         self._jitter_key = jitter_key
+        self.breaker = breaker
         self.stats = ClientStats()
 
     def _sleep(self, duration: float) -> None:
@@ -150,7 +179,19 @@ class HttpClient:
             When garbled payloads persist past the retry budget.
         ServerError
             When 5xx persists past the retry budget.
+        CircuitOpenError / MarketQuarantinedError
+            From the circuit breaker, before any request is sent, when
+            the market's circuit is open (cooling down) or the market
+            has been quarantined outright.
         """
+        if self.breaker is not None:
+            try:
+                self.breaker.before_request()
+            except Exception:
+                # Fast-failed: abandoned without a single request sent.
+                self.stats.failures += 1
+                self.stats.breaker_fast_fails += 1
+                raise
         req = Request(path=path, params=dict(params or {}))
         rate_limit_waits = 0
         transient_retries = 0
@@ -162,25 +203,28 @@ class HttpClient:
             self.stats.requests += 1
             resp = self._handler(req)
             if resp.ok:
+                if self.breaker is not None:
+                    self.breaker.record_success()
                 return resp
             if resp.status == HTTP_NOT_FOUND:
                 self.stats.not_found += 1
+                if self.breaker is not None:
+                    self.breaker.record_success()  # a 404 is a live server
                 raise NotFoundError(path)
             if resp.status == HTTP_TOO_MANY_REQUESTS:
                 self.stats.rate_limited += 1
                 wait = resp.retry_after if resp.retry_after else 1.0 / 24
                 if self._max_rate_limit_wait is not None and wait > self._max_rate_limit_wait:
-                    raise RateLimitedError(path, resp.retry_after)
+                    raise self._rate_limit_abort(path, resp.retry_after)
                 if rate_limit_waits >= self._max_rate_limit_waits:
-                    raise RateLimitedError(path, resp.retry_after)
+                    raise self._rate_limit_abort(path, resp.retry_after)
                 rate_limit_waits += 1
                 self._sleep(self._jittered(wait))
                 continue
             if resp.status == HTTP_TIMEOUT:
                 self.stats.timeouts += 1
                 if transient_retries >= self._retry_policy.max_retries:
-                    self.stats.failures += 1
-                    raise RequestTimeoutError(path)
+                    raise self._give_up(RequestTimeoutError(path))
                 transient_retries += 1
                 self.stats.retries += 1
                 self._sleep(self._retry_policy.delay(transient_retries))
@@ -188,22 +232,39 @@ class HttpClient:
             if resp.malformed:
                 self.stats.malformed += 1
                 if transient_retries >= self._retry_policy.max_retries:
-                    self.stats.failures += 1
-                    raise MalformedPayloadError(path)
+                    raise self._give_up(MalformedPayloadError(path))
                 transient_retries += 1
                 self.stats.retries += 1
                 self._sleep(self._retry_policy.delay(transient_retries))
                 continue
             if resp.status >= HTTP_SERVER_ERROR:
                 if transient_retries >= self._retry_policy.max_retries:
-                    self.stats.failures += 1
-                    raise ServerError(path)
+                    raise self._give_up(ServerError(path))
                 transient_retries += 1
                 self.stats.retries += 1
                 self._sleep(self._retry_policy.delay(transient_retries))
                 continue
-            self.stats.failures += 1
-            raise ServerError(path)
+            raise self._give_up(ServerError(path))
+
+    def _give_up(self, exc: Exception) -> Exception:
+        """Account one abandoned request and feed the breaker."""
+        self.stats.failures += 1
+        if self.breaker is not None:
+            self.breaker.record_failure()
+        return exc
+
+    def _rate_limit_abort(self, path: str, retry_after: Optional[float]) -> Exception:
+        """Abandon on rate limiting: a failure, but a *polite* one.
+
+        Quota-style 429s (Google Play's multi-day download hint) mean
+        the server is alive and shedding us by policy, so they count as
+        abandoned work without feeding the breaker — tripping the
+        circuit would also fast-fail the market's healthy metadata
+        endpoints.
+        """
+        self.stats.failures += 1
+        self.stats.rate_limit_aborts += 1
+        return RateLimitedError(path, retry_after)
 
     def get_json(self, path: str, params: Optional[Mapping[str, Any]] = None) -> Any:
         """Request and return the JSON payload."""

@@ -20,6 +20,13 @@ Modes
     ``burst_429_length`` consecutive 429s with a short ``retry_after``
     — the "429-happy market" pattern, distinct from Google Play's hard
     download quota whose ``retry_after`` is measured in days.
+``blackout`` (start_day/duration)
+    A total outage window: every request whose simulated day falls in
+    ``[blackout_start, blackout_start + blackout_days)`` times out,
+    unconditionally.  This is the market-goes-dark stressor the circuit
+    breaker and checkpoint/resume machinery are built for; it ignores
+    ``max_consecutive`` because no retry budget rides out a dead
+    frontend.
 
 ``max_consecutive`` caps how many faulted responses can occur back to
 back, so a retry budget of N >= max_consecutive is guaranteed to push
@@ -54,6 +61,8 @@ class FaultPlan:
     burst_429_length: int = 2
     burst_retry_after: float = BURST_RETRY_AFTER
     max_consecutive: Optional[int] = None
+    blackout_start: Optional[float] = None  # simulated day the outage begins
+    blackout_days: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("transient_500", "timeout", "malformed"):
@@ -66,11 +75,30 @@ class FaultPlan:
             raise ValueError("burst_429_period must exceed burst_429_length")
         if self.max_consecutive is not None and self.max_consecutive < 1:
             raise ValueError("max_consecutive must be positive")
+        if self.blackout_start is not None and self.blackout_days <= 0:
+            raise ValueError("blackout_days must be positive when blackout_start is set")
+        if self.blackout_start is None and self.blackout_days:
+            raise ValueError("blackout_days requires blackout_start")
+
+    @classmethod
+    def blackout(cls, start_day: float, duration: float, **extra) -> "FaultPlan":
+        """A plan whose market serves 100% timeouts for a time window."""
+        return cls(blackout_start=float(start_day), blackout_days=float(duration), **extra)
+
+    def in_blackout(self, now: float) -> bool:
+        return (
+            self.blackout_start is not None
+            and self.blackout_start <= now < self.blackout_start + self.blackout_days
+        )
 
     @property
     def active(self) -> bool:
         return bool(
-            self.transient_500 or self.timeout or self.malformed or self.burst_429_period
+            self.transient_500
+            or self.timeout
+            or self.malformed
+            or self.burst_429_period
+            or self.blackout_start is not None
         )
 
 
@@ -106,15 +134,21 @@ class FaultInjector:
     def _roll(self, salt: str, ordinal: int) -> float:
         return (stable_hash32(salt, self._market_id, ordinal) % 10_000) / 10_000
 
-    def inject(self, ordinal: int) -> Optional[Response]:
+    def inject(self, ordinal: int, now: float = 0.0) -> Optional[Response]:
         """The fault response for request ``ordinal``, or None to pass through.
 
-        Deterministic: depends only on the plan, the market id, and the
-        per-server request ordinal.
+        Deterministic: depends only on the plan, the market id, the
+        per-server request ordinal, and (for blackout windows) the
+        simulated day ``now``.
         """
         plan = self._plan
         if not plan.active:
             return None
+        if plan.in_blackout(now):
+            # A dead frontend answers nothing; the streak cap does not
+            # apply — there is no "eventually it works" to converge to.
+            self.injected_timeouts += 1
+            return Response.timeout()
         if plan.max_consecutive is not None and self._streak >= plan.max_consecutive:
             self._streak = 0
             return None
@@ -142,3 +176,21 @@ class FaultInjector:
             self.injected_malformed += 1
             return Response.garbled()
         return None
+
+    # -- checkpoint plumbing ----------------------------------------------
+
+    def export_state(self) -> dict:
+        return {
+            "streak": self._streak,
+            "injected_500": self.injected_500,
+            "injected_timeouts": self.injected_timeouts,
+            "injected_malformed": self.injected_malformed,
+            "injected_429": self.injected_429,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._streak = int(state["streak"])
+        self.injected_500 = int(state["injected_500"])
+        self.injected_timeouts = int(state["injected_timeouts"])
+        self.injected_malformed = int(state["injected_malformed"])
+        self.injected_429 = int(state["injected_429"])

@@ -74,6 +74,13 @@ class TokenBucket:
         self._refill()
         return self._tokens
 
+    def export_state(self) -> dict:
+        return {"tokens": self._tokens, "last": self._last}
+
+    def restore_state(self, state: dict) -> None:
+        self._tokens = float(state["tokens"])
+        self._last = float(state["last"])
+
 
 class QuotaLimiter:
     """A hard cumulative quota: after ``limit`` acquisitions, always refuse.
@@ -102,6 +109,12 @@ class QuotaLimiter:
     @property
     def remaining(self) -> int:
         return self._limit - self._used
+
+    def restore(self, used: int) -> None:
+        """Reset the consumed count (checkpoint/resume support)."""
+        if used < 0:
+            raise ValueError("used must be non-negative")
+        self._used = int(used)
 
 
 class PerMarketRateLimiter:
@@ -152,3 +165,18 @@ class PerMarketRateLimiter:
     def sim_days_waited(self, market_id: str) -> float:
         """Total pacing delay charged to one market's lane."""
         return self._waited.get(market_id, 0.0)
+
+    def export_state(self, market_id: str) -> Optional[dict]:
+        bucket = self._buckets.get(market_id)
+        if bucket is None:
+            return None
+        state = bucket.export_state()
+        state["waited"] = self._waited.get(market_id, 0.0)
+        return state
+
+    def restore_state(self, market_id: str, state: dict) -> None:
+        bucket = self._buckets.get(market_id)
+        if bucket is None:
+            return
+        bucket.restore_state(state)
+        self._waited[market_id] = float(state.get("waited", 0.0))

@@ -1,0 +1,227 @@
+"""Circuit breaker: state machine, clock coupling, client integration."""
+
+import pytest
+
+from repro.net.breaker import (
+    DEFAULT_BREAKER_POLICY,
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+    CircuitOpenError,
+    MarketQuarantinedError,
+)
+from repro.net.client import HttpClient
+from repro.net.http import HttpError, RequestTimeoutError, Response
+from repro.net.retry import RetryPolicy
+from repro.util.simtime import SimClock
+
+POLICY = BreakerPolicy(
+    failure_threshold=3, cooldown=0.5, open_poll_interval=0.05,
+    half_open_probes=1, trip_budget=2,
+)
+
+
+def make_breaker(policy=POLICY):
+    clock = SimClock()
+    return CircuitBreaker("tencent", clock, policy), clock
+
+
+class TestPolicy:
+    def test_default_policy_is_valid(self):
+        assert DEFAULT_BREAKER_POLICY.failure_threshold >= 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0},
+        {"cooldown": 0.0},
+        {"open_poll_interval": -1.0},
+        {"half_open_probes": 0},
+        {"trip_budget": -1},
+    ])
+    def test_rejects_invalid_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerPolicy(**kwargs)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_lets_requests_through(self):
+        breaker, _ = make_breaker()
+        breaker.before_request()  # no raise
+        assert breaker.state == STATE_CLOSED
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker, _ = make_breaker()
+        for _ in range(POLICY.failure_threshold - 1):
+            breaker.record_failure()
+            assert breaker.state == STATE_CLOSED
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = make_breaker()
+        for _ in range(10):
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.trips == 0
+
+    def test_open_circuit_fast_fails_and_advances_lane_clock(self):
+        breaker, clock = make_breaker()
+        for _ in range(POLICY.failure_threshold):
+            breaker.record_failure()
+        start = clock.now
+        with pytest.raises(CircuitOpenError) as exc:
+            breaker.before_request()
+        assert exc.value.status == 503
+        assert isinstance(exc.value, HttpError)
+        assert clock.now == pytest.approx(start + POLICY.open_poll_interval)
+        assert breaker.fast_failures == 1
+
+    def test_fast_fail_clock_charge_converges_on_cooldown(self):
+        # Fast-failing in a loop must reach the reopen deadline, not
+        # spin forever: each fail charges min(poll, remaining).
+        breaker, clock = make_breaker()
+        for _ in range(POLICY.failure_threshold):
+            breaker.record_failure()
+        fails = 0
+        while True:
+            try:
+                breaker.before_request()
+                break  # half-open probe admitted
+            except CircuitOpenError:
+                fails += 1
+                assert fails < 1000
+        assert breaker.state == STATE_HALF_OPEN
+        assert clock.now >= POLICY.cooldown
+
+    def test_half_open_success_closes(self):
+        breaker, clock = make_breaker()
+        for _ in range(POLICY.failure_threshold):
+            breaker.record_failure()
+        clock.advance(POLICY.cooldown)
+        breaker.before_request()  # half-open probe
+        assert breaker.state == STATE_HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+
+    def test_half_open_failure_reopens_and_counts_a_trip(self):
+        breaker, clock = make_breaker()
+        for _ in range(POLICY.failure_threshold):
+            breaker.record_failure()
+        clock.advance(POLICY.cooldown)
+        breaker.before_request()
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == STATE_OPEN
+        assert breaker.trips == 2
+
+    def test_exhausting_trip_budget_quarantines(self):
+        breaker, clock = make_breaker()
+        # trip_budget=2: the third trip quarantines.
+        for _ in range(3):
+            for _ in range(POLICY.failure_threshold):
+                breaker.record_failure()
+            clock.advance(POLICY.cooldown)
+        assert breaker.quarantined
+        with pytest.raises(MarketQuarantinedError) as exc:
+            breaker.before_request()
+        assert not isinstance(exc.value, HttpError)  # must escape HttpError nets
+        assert exc.value.market_id == "tencent"
+
+    def test_none_trip_budget_never_quarantines(self):
+        breaker, clock = make_breaker(BreakerPolicy(
+            failure_threshold=1, cooldown=0.1, open_poll_interval=0.01,
+            trip_budget=None,
+        ))
+        for _ in range(50):
+            breaker.record_failure()
+            clock.advance(0.1)
+        assert not breaker.quarantined
+
+    def test_reset_forgives_quarantine(self):
+        breaker, clock = make_breaker()
+        for _ in range(3):
+            for _ in range(POLICY.failure_threshold):
+                breaker.record_failure()
+            clock.advance(POLICY.cooldown)
+        assert breaker.quarantined
+        breaker.reset()
+        assert not breaker.quarantined
+        assert breaker.trips == 0
+        breaker.before_request()  # closed again
+
+    def test_state_round_trips(self):
+        breaker, clock = make_breaker()
+        for _ in range(POLICY.failure_threshold):
+            breaker.record_failure()
+        with pytest.raises(CircuitOpenError):
+            breaker.before_request()
+        exported = breaker.export_state()
+        clone, _ = make_breaker()
+        clone.restore_state(exported)
+        assert clone.export_state() == exported
+        assert clone.state == STATE_OPEN
+        assert clone.trips == breaker.trips
+
+
+class TestClientIntegration:
+    def _client(self, handler, policy=POLICY, retries=1):
+        clock = SimClock()
+        breaker = CircuitBreaker("m", clock, policy)
+        client = HttpClient(
+            handler, clock,
+            retry_policy=RetryPolicy(max_retries=retries, base_delay=0.001),
+            breaker=breaker,
+        )
+        return client, breaker, clock
+
+    def test_terminal_failures_feed_the_breaker_and_failures_once(self):
+        client, breaker, _ = self._client(lambda req: Response.timeout())
+        with pytest.raises(RequestTimeoutError):
+            client.request("/app")
+        assert client.stats.failures == 1
+        assert breaker.consecutive_failures == 1
+
+    def test_transient_then_success_does_not_count_failure(self):
+        responses = [Response.timeout(), Response.json_ok({"ok": True})]
+        client, breaker, _ = self._client(lambda req: responses.pop(0))
+        client.request("/app")
+        assert client.stats.failures == 0
+        assert client.stats.retries == 1
+        assert breaker.consecutive_failures == 0
+
+    def test_404_counts_as_server_alive(self):
+        client, breaker, _ = self._client(lambda req: Response.not_found())
+        breaker._consecutive = 2
+        with pytest.raises(HttpError):
+            client.request("/app")
+        assert breaker.consecutive_failures == 0
+        assert client.stats.failures == 0
+
+    def test_fast_fail_is_a_failure_but_not_a_request(self):
+        client, breaker, _ = self._client(lambda req: Response.timeout())
+        for _ in range(POLICY.failure_threshold):
+            with pytest.raises(HttpError):
+                client.request("/app")
+        sent = client.stats.requests
+        with pytest.raises(CircuitOpenError):
+            client.request("/app")
+        assert client.stats.requests == sent  # never reached the wire
+        assert client.stats.breaker_fast_fails == 1
+        assert client.stats.failures == POLICY.failure_threshold + 1
+
+    def test_rate_limit_abort_does_not_feed_the_breaker(self):
+        # Google Play's download quota answers 429 with a multi-day
+        # hint; abandoning those must not open the circuit for the
+        # market's healthy metadata endpoints.
+        client, breaker, _ = self._client(
+            lambda req: Response.rate_limited(retry_after=30.0)
+        )
+        client._max_rate_limit_wait = 0.5
+        for _ in range(POLICY.failure_threshold + 2):
+            with pytest.raises(HttpError):
+                client.request("/download")
+        assert breaker.state == STATE_CLOSED
+        assert client.stats.rate_limit_aborts == POLICY.failure_threshold + 2
+        assert client.stats.failures == client.stats.rate_limit_aborts
