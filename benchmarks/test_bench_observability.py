@@ -1,0 +1,112 @@
+"""Observability overhead benchmarks.
+
+The PR's acceptance bound: a crawl run *without* ``--trace-out`` /
+``--metrics-out`` must stay within 3% of the pre-observability crawl
+wall time.  The disabled path's only per-request addition is
+``HttpClient.request()`` testing ``self.obs is None`` before delegating
+to ``_request()`` — which *is* the pre-PR request body, verbatim.  The
+bound is therefore proved from two measurements:
+
+1. the wrapper delta: per-call cost of ``request()`` (disabled path)
+   minus ``_request()`` (the pre-PR body) against a no-op handler —
+   the absolute overhead with zero server work, i.e. the overhead at
+   its *most* visible;
+2. a real disabled-recorder crawl's mean per-request wall cost.
+
+``wrapper_delta / real_per_request_cost`` is the worst-case fraction
+the observability layer can add to any crawl, and must sit far below
+the 3% budget.  A full enabled-vs-disabled crawl comparison is printed
+for context (tracing is allowed to cost; it is opt-in).
+"""
+
+import time
+
+from repro.crawler.crawler import CrawlCoordinator
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.markets.server import MarketServer
+from repro.markets.store import build_stores
+from repro.net.client import HttpClient
+from repro.net.http import Response
+from repro.obs import NULL_OBS, Observability
+from repro.util.simtime import SimClock
+
+BENCH_OBS_SEED = 7
+BENCH_OBS_SCALE = 0.0001
+OVERHEAD_BUDGET = 0.03
+
+WRAPPER_CALLS = 50_000
+
+
+def _noop_client() -> HttpClient:
+    ok = Response.json_ok([])
+    return HttpClient(lambda req: ok, SimClock(), breaker=None)
+
+
+def _per_call(fn, path: str, calls: int) -> float:
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn(path, None)
+        best = min(best, time.perf_counter() - start)
+    return best / calls
+
+
+def _crawl(world, obs: Observability):
+    clock = SimClock()
+    servers = {
+        m: MarketServer(store, clock)
+        for m, store in build_stores(world).items()
+    }
+    coordinator = CrawlCoordinator(
+        servers, clock, download_apks=False, workers=1, obs=obs
+    )
+    started = time.perf_counter()
+    snapshot = coordinator.crawl("bench-obs", duration_days=5.0)
+    return snapshot, time.perf_counter() - started
+
+
+def test_bench_disabled_path_within_budget():
+    world = EcosystemGenerator(seed=BENCH_OBS_SEED, scale=BENCH_OBS_SCALE).generate()
+
+    client = _noop_client()
+    wrapped = _per_call(client.request, "/app", WRAPPER_CALLS)
+    raw = _per_call(client._request, "/app", WRAPPER_CALLS)
+    wrapper_delta = max(0.0, wrapped - raw)
+
+    snapshot, wall = _crawl(world, NULL_OBS)
+    requests = snapshot.stats.telemetry.total_requests
+    assert requests > 0
+    per_request = wall / requests
+
+    overhead = wrapper_delta / per_request
+    print(
+        f"\ndisabled-path overhead: wrapper {wrapper_delta * 1e9:.0f}ns/req "
+        f"vs crawl {per_request * 1e6:.1f}us/req -> {overhead:.3%} "
+        f"(budget {OVERHEAD_BUDGET:.0%})"
+    )
+    assert overhead < OVERHEAD_BUDGET, (
+        f"disabled observability adds {overhead:.2%} per request "
+        f"({wrapper_delta * 1e9:.0f}ns on {per_request * 1e6:.1f}us), "
+        f"over the {OVERHEAD_BUDGET:.0%} budget"
+    )
+
+
+def test_bench_enabled_vs_disabled_crawl():
+    world = EcosystemGenerator(seed=BENCH_OBS_SEED, scale=BENCH_OBS_SCALE).generate()
+
+    baseline_snapshot, baseline_wall = _crawl(world, NULL_OBS)
+    obs = Observability.from_flags(trace=True, metrics=True)
+    traced_snapshot, traced_wall = _crawl(world, obs)
+
+    # Recording must never perturb the crawl itself.
+    assert traced_snapshot.content_digest() == baseline_snapshot.content_digest()
+    assert len(obs.tracer.spans("http.request")) > 0
+    assert len(obs.metrics) > 0
+
+    ratio = traced_wall / baseline_wall if baseline_wall > 0 else 1.0
+    print(
+        f"\nfull recording: disabled {baseline_wall:.2f}s vs "
+        f"trace+metrics {traced_wall:.2f}s ({ratio:.2f}x, "
+        f"{len(obs.tracer)} trace records)"
+    )

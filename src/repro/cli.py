@@ -5,10 +5,15 @@
     python -m repro run --scale 0.001 --seed 42
     python -m repro experiment table4 figure9 --scale 0.001
     python -m repro report --scale 0.002 --output EXPERIMENTS.md
+    python -m repro run --trace-out trace.jsonl --metrics-out metrics.jsonl
+    python -m repro run-report --trace trace.jsonl --metrics metrics.jsonl
 
 ``run`` executes the full study and prints a summary; ``experiment``
 additionally renders the requested tables/figures; ``report`` writes all
-of them to a markdown file.
+of them to a markdown file.  ``--trace-out`` / ``--metrics-out`` /
+``--profile`` turn on the observability layer (:mod:`repro.obs`), and
+``run-report`` re-renders a finished campaign from its exported
+artifacts.
 """
 
 from __future__ import annotations
@@ -78,6 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--degrade", action="store_true",
             help="complete the study with dead markets marked degraded "
                  "(the default)")
+        p.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write the campaign span trace to PATH (JSONL)")
+        p.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the metrics registry to PATH (JSONL)")
+        p.add_argument("--profile", action="store_true",
+                       help="profile pipeline stages (wall time + peak "
+                            "memory) and print the critical-path report")
 
     run_parser = sub.add_parser("run", help="run a study and print a summary")
     add_study_args(run_parser)
@@ -90,6 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser = sub.add_parser("report", help="write all experiments to markdown")
     add_study_args(report_parser)
     report_parser.add_argument("--output", default="EXPERIMENTS.md")
+
+    rr_parser = sub.add_parser(
+        "run-report",
+        help="render a campaign report from exported observability artifacts")
+    rr_parser.add_argument("--trace", default=None, metavar="PATH",
+                           help="a --trace-out artifact to summarize")
+    rr_parser.add_argument("--metrics", default=None, metavar="PATH",
+                           help="a --metrics-out artifact to re-render")
     return parser
 
 
@@ -106,6 +126,9 @@ def _config_from(args: argparse.Namespace) -> StudyConfig:
         resume=args.resume,
         fail_fast=args.fail_fast,
         breaker_threshold=args.breaker_threshold,
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+        profile=args.profile,
     )
 
 
@@ -143,6 +166,15 @@ def _run_study(args, out):
     return result
 
 
+def _finish_observability(result, out) -> None:
+    """Export artifacts and print the profile (after analyses ran)."""
+    for path in result.export_observability():
+        print(f"wrote {path}", file=out)
+    if result.config.profile:
+        print(file=out)
+        print(result.obs.profile_report(result.telemetry), file=out)
+
+
 def _cmd_run(args, out) -> int:
     result = _run_study(args, out)
     snapshot = result.snapshot
@@ -162,6 +194,7 @@ def _cmd_run(args, out) -> int:
         cn = sum(rates[m][10] for m in CHINESE_MARKET_IDS) / len(CHINESE_MARKET_IDS)
         print(f"malware (AV-rank>=10): GP {rates[GOOGLE_PLAY][10]:.1%} "
               f"vs Chinese avg {cn:.1%}", file=out)
+    _finish_observability(result, out)
     return 0
 
 
@@ -175,6 +208,7 @@ def _cmd_experiment(args, out) -> int:
     for experiment_id in args.ids:
         print(file=out)
         print(run_experiment(experiment_id, result).render(), file=out)
+    _finish_observability(result, out)
     return 0
 
 
@@ -187,6 +221,22 @@ def _cmd_report(args, out) -> int:
     with open(args.output, "w") as handle:
         handle.write("\n".join(lines))
     print(f"wrote {args.output}", file=out)
+    _finish_observability(result, out)
+    return 0
+
+
+def _cmd_run_report(args, out) -> int:
+    from repro.obs.report import render_run_report
+    from repro.obs.schema import SchemaError
+
+    if args.trace is None and args.metrics is None:
+        print("run-report needs --trace and/or --metrics", file=sys.stderr)
+        return 2
+    try:
+        print(render_run_report(args.trace, args.metrics), file=out)
+    except (OSError, SchemaError) as exc:
+        print(f"run-report: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -203,4 +253,6 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_experiment(args, out)
     if args.command == "report":
         return _cmd_report(args, out)
+    if args.command == "run-report":
+        return _cmd_run_report(args, out)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

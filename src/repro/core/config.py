@@ -66,6 +66,15 @@ class StudyConfig:
     #: Override the breaker's consecutive-failure threshold (None keeps
     #: the default policy).
     breaker_threshold: Optional[int] = None
+    #: Write the campaign's span trace to this JSONL path (None leaves
+    #: tracing off — the crawl hot path then costs one ``is None`` test).
+    trace_out: Optional[str] = None
+    #: Write the metrics registry to this JSONL path (None leaves the
+    #: registry off; telemetry falls back to a private registry).
+    metrics_out: Optional[str] = None
+    #: Profile pipeline stages (wall time + tracemalloc peak memory) and
+    #: print the critical-path report after the run.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if not 0 < self.scale <= 1:

@@ -52,6 +52,7 @@ from repro.markets.removal_apply import apply_store_removals
 from repro.markets.server import MarketServer
 from repro.markets.store import MarketStore, build_stores
 from repro.net.breaker import DEFAULT_BREAKER_POLICY, BreakerPolicy
+from repro.obs import NULL_OBS, Observability
 from repro.util.rng import RngFactory, stable_hash32
 from repro.util.simtime import SECOND_CRAWL_DAY, SimClock
 
@@ -73,6 +74,7 @@ class StudyResult:
         removal_outcome: Mapping[str, Tuple[int, int]],
         second_snapshot: Optional[Snapshot] = None,
         update_outcome: Optional[Mapping[str, int]] = None,
+        obs: Observability = NULL_OBS,
     ):
         self.config = config
         self.world = world
@@ -84,6 +86,7 @@ class StudyResult:
         self.removal_outcome = dict(removal_outcome)
         self.second_snapshot = second_snapshot
         self.update_outcome = dict(update_outcome or {})
+        self.obs = obs
 
     # -- crawl telemetry ---------------------------------------------------
 
@@ -111,11 +114,29 @@ class StudyResult:
         """Markets the first campaign completed without (quarantined)."""
         return self.snapshot.degraded_markets()
 
+    # -- observability exports ---------------------------------------------
+
+    def export_observability(self) -> List[str]:
+        """Write the trace/metrics artifacts the config asked for.
+
+        Returns the paths written.  Called by the CLI *after* the
+        analyses ran, so analysis-stage spans land in the trace.
+        """
+        written: List[str] = []
+        if self.config.trace_out is not None:
+            self.obs.export_trace(self.config.trace_out)
+            written.append(self.config.trace_out)
+        if self.config.metrics_out is not None:
+            self.obs.export_metrics(self.config.metrics_out)
+            written.append(self.config.metrics_out)
+        return written
+
     # -- lazily computed analysis artifacts --------------------------------
 
     @cached_property
     def units(self) -> List[AppUnit]:
-        return build_units(self.snapshot)
+        with self.obs.stage("analysis.units"):
+            return build_units(self.snapshot)
 
     @cached_property
     def units_by_key(self) -> Dict[Tuple[str, Optional[str]], AppUnit]:
@@ -123,35 +144,43 @@ class StudyResult:
 
     @cached_property
     def library_detection(self) -> LibraryDetection:
-        return LibraryDetector().fit(self.units)
+        with self.obs.stage("analysis.libraries"):
+            return LibraryDetector().fit(self.units)
 
     @cached_property
     def vt_scan(self) -> MalwareScan:
-        return scan_units(self.units, VirusTotalService())
+        with self.obs.stage("analysis.vt_scan"):
+            return scan_units(self.units, VirusTotalService())
 
     @cached_property
     def signature_clones(self) -> SignatureCloneAnalysis:
-        return detect_signature_clones(self.units)
+        with self.obs.stage("analysis.signature_clones"):
+            return detect_signature_clones(self.units)
 
     @cached_property
     def code_clones(self) -> CodeCloneAnalysis:
-        return CodeCloneDetector().detect(self.units, self.library_detection)
+        with self.obs.stage("analysis.code_clones"):
+            return CodeCloneDetector().detect(self.units, self.library_detection)
 
     @cached_property
     def fakes(self) -> FakeAppAnalysis:
-        return detect_fakes(self.units)
+        with self.obs.stage("analysis.fakes"):
+            return detect_fakes(self.units)
 
     @cached_property
     def overprivilege(self) -> OverprivilegeResult:
-        return analyze_overprivilege(self.units)
+        with self.obs.stage("analysis.overprivilege"):
+            return analyze_overprivilege(self.units)
 
     @cached_property
     def flagged_by_market(self) -> Dict[str, Set[str]]:
-        return flagged_packages_by_market(self.snapshot, self.units, self.vt_scan)
+        with self.obs.stage("analysis.flagged"):
+            return flagged_packages_by_market(self.snapshot, self.units, self.vt_scan)
 
     @cached_property
     def removal(self) -> RemovalReport:
-        return removal_report(self.flagged_by_market, self.presence)
+        with self.obs.stage("analysis.removal"):
+            return removal_report(self.flagged_by_market, self.presence)
 
     @cached_property
     def all_clone_units(self) -> Set[Tuple[str, Optional[str]]]:
@@ -163,8 +192,17 @@ class StudyResult:
 class Study:
     """Runs the full two-campaign study."""
 
-    def __init__(self, config: Optional[StudyConfig] = None):
+    def __init__(
+        self,
+        config: Optional[StudyConfig] = None,
+        obs: Optional[Observability] = None,
+    ):
         self.config = config or StudyConfig()
+        self.obs = obs if obs is not None else Observability.from_flags(
+            trace=self.config.trace_out is not None,
+            metrics=self.config.metrics_out is not None,
+            profile=self.config.profile,
+        )
 
     def _gp_seeds(self, stores: Mapping[str, MarketStore], clock: SimClock) -> List[str]:
         """The public seed list (PrivacyGrade substitution): a stable
@@ -186,14 +224,16 @@ class Study:
 
     def run(self) -> StudyResult:
         config = self.config
+        obs = self.obs
         rngs = RngFactory(config.seed)
 
-        world = EcosystemGenerator(
-            seed=config.seed,
-            scale=config.scale,
-            min_market_size=config.min_market_size,
-        ).generate()
-        stores = build_stores(world)
+        with obs.stage("ecosystem"):
+            world = EcosystemGenerator(
+                seed=config.seed,
+                scale=config.scale,
+                min_market_size=config.min_market_size,
+            ).generate()
+            stores = build_stores(world)
         clock = SimClock()
         overrides = dict(config.market_fault_plans or {})
         servers = {
@@ -217,8 +257,12 @@ class Study:
             journal=journal,
             fail_fast=config.fail_fast,
             breaker_policy=self._breaker_policy(),
+            obs=obs,
         )
-        snapshot = coordinator.crawl("first", duration_days=config.first_crawl_days)
+        with obs.stage("crawl.first"):
+            snapshot = coordinator.crawl(
+                "first", duration_days=config.first_crawl_days
+            )
 
         # Between campaigns: markets clean up flagged apps, developers'
         # lagged listings catch up, and we advance to April 2018.
@@ -236,12 +280,14 @@ class Study:
             presence={},
             removal_outcome=apply_removals,
             update_outcome=updates,
+            obs=obs,
         )
         if config.download_apks:
             # Second campaign: targeted recheck of every flagged app.
-            result.presence = coordinator.recheck(
-                result.flagged_by_market, duration_days=config.second_crawl_days
-            )
+            with obs.stage("crawl.recheck"):
+                result.presence = coordinator.recheck(
+                    result.flagged_by_market, duration_days=config.second_crawl_days
+                )
         if config.full_second_crawl:
             # The paper's one-week April 2018 campaign, in full.  APKs
             # are skipped: the longitudinal analysis is metadata-driven.
@@ -255,10 +301,12 @@ class Study:
                 journal=journal,
                 fail_fast=config.fail_fast,
                 breaker_policy=self._breaker_policy(),
+                obs=obs,
             )
-            result.second_snapshot = second_coordinator.crawl(
-                "second", duration_days=config.second_crawl_days
-            )
+            with obs.stage("crawl.second"):
+                result.second_snapshot = second_coordinator.crawl(
+                    "second", duration_days=config.second_crawl_days
+                )
         if journal is not None:
             journal.close()
         return result

@@ -65,6 +65,7 @@ from repro.net.breaker import (
 from repro.net.client import HttpClient
 from repro.net.http import HttpError, NotFoundError, RateLimitedError
 from repro.net.ratelimit import PerMarketRateLimiter
+from repro.obs import NULL_OBS, Observability
 from repro.util.rng import stable_hash64
 from repro.util.simtime import SimClock
 
@@ -114,6 +115,7 @@ class CrawlCoordinator:
         journal: Optional[CrawlJournal] = None,
         fail_fast: bool = False,
         breaker_policy: Optional[BreakerPolicy] = DEFAULT_BREAKER_POLICY,
+        obs: Observability = NULL_OBS,
     ):
         self._servers = dict(servers)
         self._clock = clock
@@ -124,12 +126,14 @@ class CrawlCoordinator:
         self._worker_pool = worker_pool or WorkerPool()
         self._journal = journal
         self._fail_fast = fail_fast
+        self._obs = obs
         self._engine = CrawlEngine(
             self._servers,
             clock,
             workers=workers,
             rate_limiter=rate_limiter,
             breaker_policy=breaker_policy,
+            obs=obs,
         )
 
     def client(self, market_id: str) -> HttpClient:
@@ -167,7 +171,23 @@ class CrawlCoordinator:
         from the number of requests issued, under the worker-pool model
         (the paper's 50-server fleet); a float pins it explicitly (the
         paper's campaign dates).
+
+        With tracing enabled the campaign is one trace (id = the
+        campaign label): a root ``crawl.campaign`` span over per-market
+        discovery/search/APK spans, which in turn parent the HTTP
+        client's per-request spans.
         """
+        if self._obs.tracer is not None:
+            self._obs.tracer.set_trace(label)
+        with self._obs.span(
+            "crawl.campaign", clock=self._clock, root=True, label=label
+        ) as campaign_span:
+            snapshot = self._run_campaign(label, duration_days, campaign_span)
+        return snapshot
+
+    def _run_campaign(
+        self, label: str, duration_days: Optional[float], campaign_span
+    ) -> Snapshot:
         started = time.perf_counter()
         journal = self._journal.campaign(label) if self._journal is not None else None
         if journal is not None:
@@ -238,7 +258,12 @@ class CrawlCoordinator:
                 break
             batch, pending = pending, []
             telemetry.search_rounds += 1
-            telemetry.observe_queue_depth(len(batch))
+            # The depth sample is stamped with the fleet's furthest lane
+            # time: the shared clock is frozen mid-campaign, so lane
+            # back-off is what moves simulated time forward here.
+            telemetry.observe_queue_depth(
+                len(batch), at=self._clock.now + self._engine.max_lane_backoff
+            )
             queries = self._batch_queries(batch)
             round_no = telemetry.search_rounds
             results = self._engine.run(
@@ -287,6 +312,10 @@ class CrawlCoordinator:
         snapshot.stats = stats  # type: ignore[attr-defined]
         self._engine.end_campaign(telemetry)
         telemetry.wall_seconds = time.perf_counter() - started
+        campaign_span["records"] = stats.records
+        campaign_span["searches"] = stats.searches
+        campaign_span["search_rounds"] = telemetry.search_rounds
+        campaign_span["degraded_markets"] = sorted(stats.degraded_markets)
         if duration_days is None:
             duration_days = max(
                 self._worker_pool.duration_days(self._engine.total_requests),
@@ -301,26 +330,35 @@ class CrawlCoordinator:
         server = self._servers[market_id]
         strategy = strategy_for(server.store.profile.crawl_strategy, self._gp_seeds)
         client = self._engine.client(market_id)
+        lane_clock = self._engine.lane(market_id).clock
         lane = journal.lane(market_id) if journal is not None else None
 
         def run() -> dict:
-            if lane is not None:
-                cached = lane.replay("discovery", market_id)
+            with self._obs.span(
+                "crawl.discovery", market=market_id, clock=lane_clock
+            ) as span:
+                cached = lane.replay("discovery", market_id) if lane is not None else None
                 if cached is not None:
+                    span["replayed"] = True
+                    span["records"] = len(cached["metas"])
                     return cached
-            metas: List[Metadata] = []
-            quarantined = False
-            try:
-                for meta in strategy.discover(client):
-                    metas.append(meta)
-            except MarketQuarantinedError:
-                if self._fail_fast:
-                    raise
-                quarantined = True
-            result = {"metas": metas, "quarantined": quarantined}
-            if lane is not None:
-                lane.record("discovery", market_id, result, self._checkpoint(market_id))
-            return result
+                metas: List[Metadata] = []
+                quarantined = False
+                try:
+                    for meta in strategy.discover(client):
+                        metas.append(meta)
+                except MarketQuarantinedError:
+                    if self._fail_fast:
+                        raise
+                    quarantined = True
+                result = {"metas": metas, "quarantined": quarantined}
+                if lane is not None:
+                    lane.record(
+                        "discovery", market_id, result, self._checkpoint(market_id)
+                    )
+                span["records"] = len(metas)
+                span["quarantined"] = quarantined
+                return result
 
         return run
 
@@ -340,40 +378,49 @@ class CrawlCoordinator:
         journal: Optional[CampaignJournal],
     ):
         client = self._engine.client(market_id)
+        lane_clock = self._engine.lane(market_id).clock
         lane = journal.lane(market_id) if journal is not None else None
         # The key fingerprints the query batch so replaying a journal
         # against a diverged run (different seed/config) fails loudly.
         key = f"round-{round_no}:{stable_hash64('search-batch', tuple(queries)):016x}"
 
         def run() -> dict:
-            if lane is not None:
-                cached = lane.replay("search", key)
+            with self._obs.span(
+                "crawl.search",
+                market=market_id,
+                clock=lane_clock,
+                round=round_no,
+                queries=len(queries),
+            ) as span:
+                cached = lane.replay("search", key) if lane is not None else None
                 if cached is not None:
+                    span["replayed"] = True
                     return cached
-            hits: List[List[Metadata]] = []
-            dead: List[List[str]] = []
-            quarantined = False
-            for query in queries:
-                if quarantined:
-                    # Keep offsets aligned for the merge step; the lost
-                    # queries are accounted as dead letters.
-                    hits.append([])
-                    dead.append([query, REASON_QUARANTINED])
-                    continue
-                try:
-                    hits.append(client.get_json("/search", {"q": query}))
-                except MarketQuarantinedError:
-                    if self._fail_fast:
-                        raise
-                    quarantined = True
-                    hits.append([])
-                    dead.append([query, REASON_QUARANTINED])
-                except HttpError:
-                    hits.append([])
-            result = {"hits": hits, "quarantined": quarantined, "dead": dead}
-            if lane is not None:
-                lane.record("search", key, result, self._checkpoint(market_id))
-            return result
+                hits: List[List[Metadata]] = []
+                dead: List[List[str]] = []
+                quarantined = False
+                for query in queries:
+                    if quarantined:
+                        # Keep offsets aligned for the merge step; the lost
+                        # queries are accounted as dead letters.
+                        hits.append([])
+                        dead.append([query, REASON_QUARANTINED])
+                        continue
+                    try:
+                        hits.append(client.get_json("/search", {"q": query}))
+                    except MarketQuarantinedError:
+                        if self._fail_fast:
+                            raise
+                        quarantined = True
+                        hits.append([])
+                        dead.append([query, REASON_QUARANTINED])
+                    except HttpError:
+                        hits.append([])
+                result = {"hits": hits, "quarantined": quarantined, "dead": dead}
+                if lane is not None:
+                    lane.record("search", key, result, self._checkpoint(market_id))
+                span["quarantined"] = quarantined
+                return result
 
         return run
 
@@ -431,6 +478,7 @@ class CrawlCoordinator:
     ):
         client = self._engine.client(market_id)
         backfill = self._backfill
+        lane_clock = self._engine.lane(market_id).clock
         lane = journal.lane(market_id) if journal is not None else None
         store = journal.apks if journal is not None else None
 
@@ -481,34 +529,60 @@ class CrawlCoordinator:
             )
 
         def run() -> dict:
-            outcomes: List[str] = []
-            rate_limited = False
-            quarantined = False
-            for record in records:
-                parsed = None
-                doc = lane.replay("apk", record.package) if lane is not None else None
-                if doc is None:
-                    doc, parsed, quarantined = fetch(record, quarantined)
-                    if lane is not None:
-                        # The APK doc is in the content store before this
-                        # line lands, so a torn entry never dangles.
-                        lane.record(
-                            "apk", record.package, doc, self._checkpoint(market_id)
+            with self._obs.span(
+                "crawl.apk_batch",
+                market=market_id,
+                clock=lane_clock,
+                packages=len(records),
+            ) as batch_span:
+                outcomes: List[str] = []
+                rate_limited = False
+                quarantined = False
+                for record in records:
+                    with self._obs.span(
+                        "crawl.apk",
+                        market=market_id,
+                        clock=lane_clock,
+                        package=record.package,
+                    ) as span:
+                        parsed = None
+                        doc = (
+                            lane.replay("apk", record.package)
+                            if lane is not None
+                            else None
                         )
-                else:
-                    quarantined = quarantined or doc["outcome"] == _DL_QUARANTINED
-                if doc["md5"] is not None:
-                    if parsed is None:
-                        parsed = store.get(doc["md5"])  # replayed: re-hydrate
-                    record.apk = parsed
-                    record.apk_source = doc["source"]
-                outcomes.append(doc["outcome"])
-                rate_limited = rate_limited or doc["rate_limited"]
-            return {
-                "outcomes": outcomes,
-                "rate_limited": rate_limited,
-                "quarantined": quarantined,
-            }
+                        if doc is None:
+                            doc, parsed, quarantined = fetch(record, quarantined)
+                            if lane is not None:
+                                # The APK doc is in the content store before
+                                # this line lands, so a torn entry never
+                                # dangles.
+                                lane.record(
+                                    "apk",
+                                    record.package,
+                                    doc,
+                                    self._checkpoint(market_id),
+                                )
+                        else:
+                            span["replayed"] = True
+                            quarantined = (
+                                quarantined or doc["outcome"] == _DL_QUARANTINED
+                            )
+                        if doc["md5"] is not None:
+                            if parsed is None:
+                                parsed = store.get(doc["md5"])  # replayed
+                            record.apk = parsed
+                            record.apk_source = doc["source"]
+                        span["outcome"] = doc["outcome"]
+                        span["source"] = doc["source"]
+                        outcomes.append(doc["outcome"])
+                        rate_limited = rate_limited or doc["rate_limited"]
+                batch_span["quarantined"] = quarantined
+                return {
+                    "outcomes": outcomes,
+                    "rate_limited": rate_limited,
+                    "quarantined": quarantined,
+                }
 
         return run
 
@@ -545,19 +619,28 @@ class CrawlCoordinator:
 
     def _recheck_task(self, market_id: str, packages: Sequence[str]):
         client = self._engine.client(market_id)
+        lane_clock = self._engine.lane(market_id).clock
 
         def run() -> Optional[Dict[str, bool]]:
-            market_presence: Dict[str, bool] = {}
-            for package in packages:
-                try:
-                    client.get_json("/app", {"package": package})
-                    market_presence[package] = True
-                except MarketQuarantinedError:
-                    if self._fail_fast:
-                        raise
-                    return None  # quarantined: treat the market as dark
-                except HttpError:
-                    market_presence[package] = False
-            return market_presence
+            with self._obs.span(
+                "crawl.recheck",
+                market=market_id,
+                clock=lane_clock,
+                packages=len(packages),
+            ) as span:
+                market_presence: Dict[str, bool] = {}
+                for package in packages:
+                    try:
+                        client.get_json("/app", {"package": package})
+                        market_presence[package] = True
+                    except MarketQuarantinedError:
+                        if self._fail_fast:
+                            raise
+                        span["quarantined"] = True
+                        return None  # quarantined: treat the market as dark
+                    except HttpError:
+                        market_presence[package] = False
+                span["still_listed"] = sum(market_presence.values())
+                return market_presence
 
         return run

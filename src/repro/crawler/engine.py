@@ -36,6 +36,7 @@ from repro.net.breaker import DEFAULT_BREAKER_POLICY, BreakerPolicy, CircuitBrea
 from repro.net.client import ClientStats, HttpClient
 from repro.net.ratelimit import PerMarketRateLimiter
 from repro.net.retry import RetryPolicy
+from repro.obs import NULL_OBS, Observability, breaker_listener
 from repro.util.simtime import SimClock
 
 __all__ = [
@@ -97,12 +98,18 @@ class MarketLane:
         max_rate_limit_waits: int,
         max_rate_limit_wait: Optional[float],
         breaker_policy: Optional[BreakerPolicy] = None,
+        obs: Observability = NULL_OBS,
     ):
         self.market_id = market_id
         self.clock = LaneClock(base_clock)
         pacer = rate_limiter.bind(market_id, self.clock) if rate_limiter else None
         self.breaker = (
-            CircuitBreaker(market_id, self.clock, breaker_policy)
+            CircuitBreaker(
+                market_id,
+                self.clock,
+                breaker_policy,
+                on_transition=breaker_listener(obs, market_id, self.clock),
+            )
             if breaker_policy is not None
             else None
         )
@@ -115,6 +122,7 @@ class MarketLane:
             pacer=pacer,
             jitter_key=market_id,
             breaker=self.breaker,
+            obs=obs.lane(market_id, self.clock),
         )
         self._stats_baseline: ClientStats = self.client.stats.copy()
         self._offset_baseline = 0.0
@@ -193,12 +201,14 @@ class CrawlEngine:
         max_rate_limit_waits: int = DEFAULT_RATE_LIMIT_WAITS,
         max_rate_limit_wait: Optional[float] = RATE_LIMIT_WAIT_CAP,
         breaker_policy: Optional[BreakerPolicy] = DEFAULT_BREAKER_POLICY,
+        obs: Observability = NULL_OBS,
     ):
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
         self.workers = workers
         self._clock = clock
         self._rate_limiter = rate_limiter
+        self.obs = obs
         self._lanes: Dict[str, MarketLane] = {
             market_id: MarketLane(
                 market_id,
@@ -209,6 +219,7 @@ class CrawlEngine:
                 max_rate_limit_waits,
                 max_rate_limit_wait,
                 breaker_policy,
+                obs,
             )
             for market_id, server in servers.items()
         }
@@ -238,10 +249,19 @@ class CrawlEngine:
     # -- campaign bookkeeping ---------------------------------------------
 
     def begin_campaign(self, label: str) -> CrawlTelemetry:
-        """Start a telemetry window covering one campaign's traffic."""
+        """Start a telemetry window covering one campaign's traffic.
+
+        The telemetry is a view over the run's metrics registry (when
+        one is recording), so the operator table and the metrics export
+        read the same counters.
+        """
         for lane in self._lanes.values():
             lane.begin_campaign(self._rate_limiter)
-        return CrawlTelemetry(label=label, workers=self.workers)
+        if self.obs.tracer is not None:
+            self.obs.tracer.set_trace(label)
+        return CrawlTelemetry(
+            label=label, workers=self.workers, registry=self.obs.metrics
+        )
 
     def end_campaign(self, telemetry: CrawlTelemetry) -> None:
         """Fold each lane's campaign counters into the telemetry."""

@@ -7,46 +7,97 @@ engine owns one instance per campaign and each market lane reports only
 to its own :class:`MarketTelemetry`, so recording is lock-free under
 the lane-per-market threading model.
 
+Since the observability layer landed, telemetry is a **view over the
+metrics registry** (:mod:`repro.obs.metrics`): every counter a lane
+records lives in a registry series labeled ``{campaign, market}``, and
+the attribute (``lane.requests``) is a property over that series.  The
+operator table rendered by ``stats_report()`` and the ``--metrics-out``
+export therefore read the *same storage* and can never disagree — and
+``run-report`` re-renders the table from an exported artifact by
+re-hydrating a registry and attaching this same view to it
+(:meth:`CrawlTelemetry.from_registry`).
+
 ``stats_report()`` renders the operator's table: per-market requests,
-retries, fault counters, simulated back-off, queue depths, and record
-yield.
+retries, fault counters, definitive 404s, simulated back-off, queue
+depths, record yield, and the campaign's wall-clock throughput.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.net.client import ClientStats
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["MarketTelemetry", "CrawlTelemetry"]
 
+#: Lane counters whose values are whole numbers -> metric series name.
+_INT_COUNTERS = {
+    "requests": "crawl_requests_total",
+    "retries": "crawl_retries_total",
+    "rate_limited": "crawl_rate_limited_total",
+    "timeouts": "crawl_timeouts_total",
+    "malformed": "crawl_malformed_total",
+    "not_found": "crawl_not_found_total",
+    "failures": "crawl_failures_total",
+    "rate_limit_aborts": "crawl_rate_limit_aborts_total",
+    "breaker_fast_fails": "crawl_breaker_fast_fails_total",
+    "breaker_trips": "crawl_breaker_trips_total",
+    "records": "crawl_records_total",
+    "searches": "crawl_searches_total",
+    "search_failures": "crawl_search_failures_total",
+    "apk_downloaded": "crawl_apk_downloaded_total",
+    "apk_backfilled": "crawl_apk_backfilled_total",
+    "apk_missing": "crawl_apk_missing_total",
+    "dead_letters": "crawl_dead_letters_total",
+}
 
-@dataclass
+#: Lane counters measured in simulated days (fractional).
+_FLOAT_COUNTERS = {
+    "sim_days_backoff": "crawl_backoff_sim_days_total",
+    "sim_days_paced": "crawl_paced_sim_days_total",
+}
+
+LANE_METRICS = {**_INT_COUNTERS, **_FLOAT_COUNTERS}
+
+#: Gauge marking a market the breaker quarantined (0 ok / 1 degraded).
+DEGRADED_METRIC = "crawl_market_degraded"
+
+
 class MarketTelemetry:
-    """One market lane's counters for one campaign."""
+    """One market lane's counters for one campaign.
 
-    market_id: str
-    requests: int = 0
-    retries: int = 0
-    rate_limited: int = 0
-    timeouts: int = 0
-    malformed: int = 0
-    failures: int = 0
-    rate_limit_aborts: int = 0
-    breaker_fast_fails: int = 0
-    breaker_trips: int = 0
-    sim_days_backoff: float = 0.0
-    sim_days_paced: float = 0.0
-    records: int = 0
-    searches: int = 0
-    search_failures: int = 0
-    apk_downloaded: int = 0
-    apk_backfilled: int = 0
-    apk_missing: int = 0
-    dead_letters: int = 0
-    #: "ok", or "degraded" once the breaker quarantined the market.
-    health: str = "ok"
+    Every counter attribute (``requests``, ``retries``, ...) is a
+    property over a registry series labeled with this market and its
+    campaign; plain ``lane.requests += n`` recording keeps working.
+    """
+
+    __slots__ = ("market_id", "_series", "_degraded")
+
+    def __init__(
+        self,
+        market_id: str,
+        registry: Optional[MetricsRegistry] = None,
+        campaign: str = "",
+    ):
+        self.market_id = market_id
+        registry = registry if registry is not None else MetricsRegistry()
+        self._series = {
+            field: registry.counter(metric, campaign=campaign, market=market_id)
+            for field, metric in LANE_METRICS.items()
+        }
+        self._degraded = registry.gauge(
+            DEGRADED_METRIC, campaign=campaign, market=market_id
+        )
+
+    @property
+    def health(self) -> str:
+        """``"ok"``, or ``"degraded"`` once the breaker quarantined it."""
+        return "degraded" if self._degraded.value else "ok"
+
+    @health.setter
+    def health(self, value: str) -> None:
+        self._degraded.set(0.0 if value == "ok" else 1.0)
 
     def fold_client(self, delta: ClientStats) -> None:
         """Fold one campaign's client-counter movement into the lane."""
@@ -55,30 +106,124 @@ class MarketTelemetry:
         self.rate_limited += delta.rate_limited
         self.timeouts += delta.timeouts
         self.malformed += delta.malformed
+        self.not_found += delta.not_found
         self.failures += delta.failures
         self.rate_limit_aborts += delta.rate_limit_aborts
         self.breaker_fast_fails += delta.breaker_fast_fails
         self.sim_days_backoff += delta.sim_days_slept
 
 
-@dataclass
+def _lane_property(field: str, as_int: bool) -> property:
+    def fget(self: MarketTelemetry):
+        value = self._series[field].value
+        return int(value) if as_int else value
+
+    def fset(self: MarketTelemetry, value) -> None:
+        self._series[field].value = float(value)
+
+    return property(fget, fset)
+
+
+for _field in _INT_COUNTERS:
+    setattr(MarketTelemetry, _field, _lane_property(_field, as_int=True))
+for _field in _FLOAT_COUNTERS:
+    setattr(MarketTelemetry, _field, _lane_property(_field, as_int=False))
+del _field
+
+
 class CrawlTelemetry:
     """Per-market counters plus fleet-wide queue/scheduling gauges."""
 
-    label: str = ""
-    workers: int = 1
-    search_rounds: int = 0
-    queue_peak: int = 0
-    wall_seconds: float = 0.0
-    markets: Dict[str, MarketTelemetry] = field(default_factory=dict)
+    def __init__(
+        self,
+        label: str = "",
+        workers: int = 1,
+        search_rounds: int = 0,
+        queue_peak: int = 0,
+        wall_seconds: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self._bind(label, registry if registry is not None else MetricsRegistry())
+        self.workers = workers
+        self.search_rounds = search_rounds
+        self.queue_peak = queue_peak
+        self.wall_seconds = wall_seconds
+
+    def _bind(self, label: str, registry: MetricsRegistry) -> None:
+        self.label = label
+        self.registry = registry
+        self.markets: Dict[str, MarketTelemetry] = {}
+        self._workers = registry.gauge("crawl_workers", campaign=label)
+        self._search_rounds = registry.counter(
+            "crawl_search_rounds_total", campaign=label
+        )
+        self._queue_peak = registry.gauge("crawl_queue_peak", campaign=label)
+        self._queue_depth = registry.gauge("crawl_queue_depth", campaign=label)
+        self._wall = registry.gauge("crawl_wall_seconds", campaign=label)
+
+    @classmethod
+    def from_registry(
+        cls, label: str, registry: MetricsRegistry, markets: Iterable[str] = ()
+    ) -> "CrawlTelemetry":
+        """Attach a read view to an existing (e.g. re-hydrated) registry.
+
+        Unlike the constructor this writes nothing: the gauges and
+        counters keep whatever the registry already holds, which is how
+        ``run-report`` re-renders an exported campaign byte-for-byte.
+        """
+        telemetry = object.__new__(cls)
+        telemetry._bind(label, registry)
+        for market_id in markets:
+            telemetry.market(market_id)
+        return telemetry
+
+    # -- gauge-backed attributes ------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return int(self._workers.value)
+
+    @workers.setter
+    def workers(self, value: int) -> None:
+        self._workers.set(float(value))
+
+    @property
+    def search_rounds(self) -> int:
+        return int(self._search_rounds.value)
+
+    @search_rounds.setter
+    def search_rounds(self, value: int) -> None:
+        self._search_rounds.value = float(value)
+
+    @property
+    def queue_peak(self) -> int:
+        return int(self._queue_peak.value)
+
+    @queue_peak.setter
+    def queue_peak(self, value: int) -> None:
+        self._queue_peak.set(float(value))
+
+    @property
+    def wall_seconds(self) -> float:
+        return self._wall.value
+
+    @wall_seconds.setter
+    def wall_seconds(self, value: float) -> None:
+        self._wall.set(float(value))
+
+    # -- recording ---------------------------------------------------------
 
     def market(self, market_id: str) -> MarketTelemetry:
         lane = self.markets.get(market_id)
         if lane is None:
-            lane = self.markets[market_id] = MarketTelemetry(market_id)
+            lane = self.markets[market_id] = MarketTelemetry(
+                market_id, self.registry, campaign=self.label
+            )
         return lane
 
-    def observe_queue_depth(self, depth: int) -> None:
+    def observe_queue_depth(self, depth: int, at: Optional[float] = None) -> None:
+        """Record a frontier depth; ``at`` (sim day) keeps a time series."""
+        self._queue_depth.set(float(depth), at=at)
         if depth > self.queue_peak:
             self.queue_peak = depth
 
@@ -95,6 +240,10 @@ class CrawlTelemetry:
     @property
     def total_records(self) -> int:
         return sum(m.records for m in self.markets.values())
+
+    @property
+    def total_not_found(self) -> int:
+        return sum(m.not_found for m in self.markets.values())
 
     @property
     def total_faults_absorbed(self) -> int:
@@ -116,6 +265,13 @@ class CrawlTelemetry:
     def total_dead_letters(self) -> int:
         return sum(m.dead_letters for m in self.markets.values())
 
+    @property
+    def requests_per_second(self) -> float:
+        """Wall-clock throughput (0 when wall time was never recorded)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_requests / self.wall_seconds
+
     def degraded_markets(self) -> List[str]:
         return sorted(m.market_id for m in self.markets.values() if m.health != "ok")
 
@@ -123,22 +279,27 @@ class CrawlTelemetry:
         """Render the per-market operator table."""
         header = (
             f"{'market':<14}{'requests':>10}{'retries':>9}{'429s':>7}"
-            f"{'timeouts':>10}{'garbled':>9}{'failed':>8}{'trips':>7}"
+            f"{'404s':>7}{'timeouts':>10}{'garbled':>9}{'failed':>8}{'trips':>7}"
             f"{'backoff(d)':>12}{'paced(d)':>10}{'records':>9}  {'health':<9}"
         )
-        lines: List[str] = [
+        title = (
             f"crawl telemetry [{self.label}] — workers={self.workers}, "
-            f"search rounds={self.search_rounds}, queue peak={self.queue_peak}",
-            header,
-            "-" * len(header),
-        ]
+            f"search rounds={self.search_rounds}, queue peak={self.queue_peak}"
+        )
+        if self.wall_seconds > 0:
+            title += (
+                f", wall={self.wall_seconds:.2f}s "
+                f"({self.requests_per_second:,.0f} req/s)"
+            )
+        lines: List[str] = [title, header, "-" * len(header)]
         lanes = sorted(self.markets.values(), key=lambda m: (-m.requests, m.market_id))
         if top is not None:
             lanes = lanes[:top]
         for lane in lanes:
             lines.append(
                 f"{lane.market_id:<14}{lane.requests:>10}{lane.retries:>9}"
-                f"{lane.rate_limited:>7}{lane.timeouts:>10}{lane.malformed:>9}"
+                f"{lane.rate_limited:>7}{lane.not_found:>7}{lane.timeouts:>10}"
+                f"{lane.malformed:>9}"
                 f"{lane.failures:>8}{lane.breaker_trips:>7}"
                 f"{lane.sim_days_backoff:>12.4f}{lane.sim_days_paced:>10.4f}"
                 f"{lane.records:>9}  {lane.health:<9}"
@@ -148,6 +309,7 @@ class CrawlTelemetry:
         lines.append(
             f"{'total':<14}{self.total_requests:>10}{self.total_retries:>9}"
             f"{sum(m.rate_limited for m in self.markets.values()):>7}"
+            f"{self.total_not_found:>7}"
             f"{sum(m.timeouts for m in self.markets.values()):>10}"
             f"{sum(m.malformed for m in self.markets.values()):>9}"
             f"{self.total_failures:>8}{self.total_breaker_trips:>7}"

@@ -71,7 +71,8 @@ def run_experiment(experiment_id: str, result: StudyResult) -> Report:
             f"unknown experiment {experiment_id!r}; "
             f"known: {', '.join(EXPERIMENT_IDS)}"
         ) from None
-    report = runner(result)
+    with result.obs.stage(f"experiment.{experiment_id}"):
+        report = runner(result)
     degraded = result.snapshot.degraded_markets()
     if degraded:
         report.notes.append(

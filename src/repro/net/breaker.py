@@ -37,7 +37,7 @@ and its full state round-trips through :meth:`export_state` /
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.net.http import HttpError
 from repro.util.simtime import SimClock
@@ -114,13 +114,26 @@ class BreakerPolicy:
 DEFAULT_BREAKER_POLICY = BreakerPolicy()
 
 
+#: Observability callback signature: (old_state, new_state, trips,
+#: quarantined).  ``None`` (the default) records nothing and costs one
+#: ``is None`` branch per state change — never per request.
+TransitionListener = Callable[[str, str, int, bool], None]
+
+
 class CircuitBreaker:
     """Closed/open/half-open breaker for one market lane."""
 
-    def __init__(self, market_id: str, clock: SimClock, policy: BreakerPolicy):
+    def __init__(
+        self,
+        market_id: str,
+        clock: SimClock,
+        policy: BreakerPolicy,
+        on_transition: Optional[TransitionListener] = None,
+    ):
         self.market_id = market_id
         self._clock = clock
         self.policy = policy
+        self.on_transition = on_transition
         self._state = STATE_CLOSED
         self._consecutive = 0
         self._reopen_at = 0.0
@@ -128,6 +141,11 @@ class CircuitBreaker:
         self.trips = 0
         self.fast_failures = 0
         self.quarantined = False
+
+    def _transition(self, new_state: str) -> None:
+        old_state, self._state = self._state, new_state
+        if old_state != new_state and self.on_transition is not None:
+            self.on_transition(old_state, new_state, self.trips, self.quarantined)
 
     @property
     def state(self) -> str:
@@ -146,7 +164,7 @@ class CircuitBreaker:
             raise MarketQuarantinedError(self.market_id, self.trips)
         if self._state == STATE_OPEN:
             if self._clock.now >= self._reopen_at:
-                self._state = STATE_HALF_OPEN
+                self._transition(STATE_HALF_OPEN)
                 self._probes_left = self.policy.half_open_probes
             else:
                 self.fast_failures += 1
@@ -164,7 +182,7 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         self._consecutive = 0
-        self._state = STATE_CLOSED
+        self._transition(STATE_CLOSED)
 
     def record_failure(self) -> None:
         self._consecutive += 1
@@ -176,11 +194,11 @@ class CircuitBreaker:
     def _trip(self) -> None:
         self.trips += 1
         self._consecutive = 0
-        self._state = STATE_OPEN
         self._reopen_at = self._clock.now + self.policy.cooldown
         budget = self.policy.trip_budget
         if budget is not None and self.trips > budget:
             self.quarantined = True
+        self._transition(STATE_OPEN)
 
     # -- campaign / checkpoint plumbing ------------------------------------
 

@@ -17,6 +17,7 @@ client's ``jitter_key`` and request ordinal so runs stay reproducible.
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict, dataclass, replace
 from typing import TYPE_CHECKING, Any, Callable, Dict, Mapping, Optional
 
@@ -39,6 +40,7 @@ from repro.util.simtime import SimClock
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.breaker import CircuitBreaker
+    from repro.obs import LaneObs
 
 __all__ = ["HttpClient", "ClientStats", "RATE_LIMIT_JITTER_MAX"]
 
@@ -131,6 +133,10 @@ class HttpClient:
     jitter_key:
         Stable identity mixed into the rate-limit jitter so distinct
         clients desynchronize while reruns reproduce exactly.
+    obs:
+        Optional :class:`~repro.obs.LaneObs` instrumentation binding.
+        ``None`` (the default) is the fast path: per-request work is a
+        single ``is None`` branch, nothing is recorded.
     """
 
     def __init__(
@@ -143,6 +149,7 @@ class HttpClient:
         pacer: Optional[Callable[[], float]] = None,
         jitter_key: str = "",
         breaker: Optional["CircuitBreaker"] = None,
+        obs: Optional["LaneObs"] = None,
     ):
         self._handler = handler
         self._clock = clock
@@ -152,6 +159,7 @@ class HttpClient:
         self._pacer = pacer
         self._jitter_key = jitter_key
         self.breaker = breaker
+        self.obs = obs
         self.stats = ClientStats()
 
     def _sleep(self, duration: float) -> None:
@@ -184,6 +192,61 @@ class HttpClient:
             the market's circuit is open (cooling down) or the market
             has been quarantined outright.
         """
+        if self.obs is None:
+            return self._request(path, params)
+        return self._traced_request(path, params)
+
+    def _traced_request(
+        self, path: str, params: Optional[Mapping[str, Any]]
+    ) -> Response:
+        """The instrumented request path: one span, counter-delta attrs.
+
+        The span covers the whole retry loop, so its attributes report
+        what the *logical* request cost: attempts sent, retries and 429
+        waits absorbed, simulated back-off charged (jitter included),
+        and whether the breaker fast-failed it without a single send.
+        """
+        obs = self.obs
+        stats = self.stats
+        requests0 = stats.requests
+        retries0 = stats.retries
+        rate_limited0 = stats.rate_limited
+        slept0 = stats.sim_days_slept
+        fast_fails0 = stats.breaker_fast_fails
+        start = time.perf_counter()
+        span = (
+            obs.tracer.span("http.request", market=obs.market,
+                            clock=obs.clock, path=path)
+            if obs.tracer is not None
+            else None
+        )
+        if span is not None:
+            span.__enter__()
+        try:
+            response = self._request(path, params)
+            return response
+        except BaseException as exc:
+            if span is not None:
+                span.status = type(exc).__name__
+            raise
+        finally:
+            wall = time.perf_counter() - start
+            backoff = stats.sim_days_slept - slept0
+            if obs.hist_request is not None:
+                obs.hist_request.observe(wall)
+                if backoff > 0:
+                    obs.hist_backoff.observe(backoff)
+            if span is not None:
+                span["attempts"] = stats.requests - requests0
+                span["retries"] = stats.retries - retries0
+                span["rate_limited"] = stats.rate_limited - rate_limited0
+                span["backoff_sim_days"] = backoff
+                if stats.breaker_fast_fails != fast_fails0:
+                    span["breaker_fast_fail"] = True
+                span.__exit__(None, None, None)
+
+    def _request(self, path: str, params: Optional[Mapping[str, Any]]) -> Response:
+        """The uninstrumented retry loop (the pre-observability path)."""
         if self.breaker is not None:
             try:
                 self.breaker.before_request()

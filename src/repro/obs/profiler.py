@@ -1,0 +1,162 @@
+"""Stage profiling: wall time and peak memory per pipeline stage.
+
+``--profile`` answers the operator question *where does the time (and
+memory) go?* for one study run: ecosystem synthesis, each crawl
+campaign, every analysis stage (unit building, library/clone/fake
+detection, VT scans), and each experiment render.  Stages are coarse
+and sequential — this is a pipeline profile, not a sampling profiler —
+so the cost of ``tracemalloc`` (paid only when profiling is requested)
+is confined to runs that asked for it.
+
+Peak memory accounting nests: a stage that triggers a lazy analysis
+artifact (an experiment render forcing ``build_units``) must not lose
+its own peak when the inner stage resets the tracemalloc high-water
+mark.  The profiler therefore folds each segment's observed peak into
+the enclosing stage on entry and exit.
+
+``report()`` renders the stage table plus the critical path: the
+slowest stage by wall time, the peak-memory stage, and — when given the
+campaign telemetry — the slowest market lane by accumulated simulated
+waiting (back-off + pacing), which is what stretches a real fleet's
+calendar.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = ["StageRecord", "StageProfiler"]
+
+
+@dataclass
+class StageRecord:
+    """One profiled pipeline stage."""
+
+    name: str
+    wall_seconds: float
+    peak_bytes: int
+    depth: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "peak_bytes": self.peak_bytes,
+            "depth": self.depth,
+        }
+
+
+class StageProfiler:
+    """Wall-time + tracemalloc-peak profiler for sequential stages.
+
+    Stages are expected to run on one thread (the study pipeline is
+    sequential at stage granularity; only work *inside* a crawl stage
+    fans out to lane threads).
+    """
+
+    enabled = True
+
+    def __init__(self, trace_memory: bool = True):
+        self.records: List[StageRecord] = []
+        self._trace_memory = trace_memory
+        self._stack: List[dict] = []
+        self._started_tracing = False
+
+    def _current_peak(self) -> int:
+        return tracemalloc.get_traced_memory()[1]
+
+    def _reset_peak(self) -> None:
+        tracemalloc.reset_peak()
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[StageRecord]:
+        """Profile one stage; nested stages fold peaks into the parent."""
+        if self._trace_memory:
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracing = True
+            if self._stack:
+                # Close out the parent's running segment before the
+                # child resets the high-water mark.
+                parent = self._stack[-1]
+                parent["peak"] = max(parent["peak"], self._current_peak())
+            self._reset_peak()
+        record = StageRecord(
+            name=name, wall_seconds=0.0, peak_bytes=0, depth=len(self._stack)
+        )
+        frame = {"peak": 0}
+        self._stack.append(frame)
+        start = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.wall_seconds = time.perf_counter() - start
+            self._stack.pop()
+            if self._trace_memory:
+                record.peak_bytes = max(frame["peak"], self._current_peak())
+                if self._stack:
+                    parent = self._stack[-1]
+                    parent["peak"] = max(parent["peak"], record.peak_bytes)
+                self._reset_peak()
+            self.records.append(record)
+            if not self._stack and self._started_tracing:
+                tracemalloc.stop()
+                self._started_tracing = False
+
+    # -- reporting ---------------------------------------------------------
+
+    def to_dicts(self) -> List[dict]:
+        return [record.to_dict() for record in self.records]
+
+    def report(self, telemetry=None) -> str:
+        """Render the stage table and the critical-path summary.
+
+        ``telemetry`` (a :class:`~repro.crawler.telemetry.CrawlTelemetry`)
+        adds the slowest-market-lane line.
+        """
+        if not self.records:
+            return "stage profile: no stages recorded"
+        header = f"{'stage':<28}{'wall(s)':>10}{'peak(MiB)':>11}"
+        lines = ["stage profile", header, "-" * len(header)]
+        for record in self.records:
+            indent = "  " * record.depth
+            lines.append(
+                f"{indent + record.name:<28}{record.wall_seconds:>10.3f}"
+                f"{record.peak_bytes / (1024 * 1024):>11.2f}"
+            )
+        lines.append("-" * len(header))
+        # Critical path: only top-level stages compete (a nested stage's
+        # time is already inside its parent's).
+        top = [r for r in self.records if r.depth == 0] or self.records
+        slowest = max(top, key=lambda r: r.wall_seconds)
+        hungriest = max(top, key=lambda r: r.peak_bytes)
+        lines.append(
+            f"critical path: slowest stage '{slowest.name}' "
+            f"({slowest.wall_seconds:.3f}s of "
+            f"{sum(r.wall_seconds for r in top):.3f}s total)"
+        )
+        lines.append(
+            f"peak memory:   stage '{hungriest.name}' "
+            f"({hungriest.peak_bytes / (1024 * 1024):.2f} MiB)"
+        )
+        lane = _slowest_lane(telemetry)
+        if lane is not None:
+            lines.append(lane)
+        return "\n".join(lines)
+
+
+def _slowest_lane(telemetry) -> Optional[str]:
+    if telemetry is None or not getattr(telemetry, "markets", None):
+        return None
+    lanes = list(telemetry.markets.values())
+    slowest = max(lanes, key=lambda m: m.sim_days_backoff + m.sim_days_paced)
+    waited = slowest.sim_days_backoff + slowest.sim_days_paced
+    return (
+        f"slowest lane:  '{slowest.market_id}' waited {waited:.4f} sim days "
+        f"(back-off {slowest.sim_days_backoff:.4f} + pacing "
+        f"{slowest.sim_days_paced:.4f}) over {slowest.requests} requests"
+    )

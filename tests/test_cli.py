@@ -23,6 +23,28 @@ class TestParser:
         args = build_parser().parse_args(["experiment", "table4", "figure9"])
         assert args.ids == ["table4", "figure9"]
 
+    def test_observability_flags_default_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.trace_out is None
+        assert args.metrics_out is None
+        assert not args.profile
+
+    def test_observability_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "--trace-out", "t.jsonl", "--metrics-out", "m.jsonl",
+             "--profile"]
+        )
+        assert args.trace_out == "t.jsonl"
+        assert args.metrics_out == "m.jsonl"
+        assert args.profile
+
+    def test_run_report_artifact_paths(self):
+        args = build_parser().parse_args(
+            ["run-report", "--trace", "t.jsonl", "--metrics", "m.jsonl"]
+        )
+        assert args.trace == "t.jsonl"
+        assert args.metrics == "m.jsonl"
+
 
 class TestCommands:
     def test_list(self):
@@ -72,3 +94,60 @@ class TestCommands:
         content = target.read_text()
         assert "## figure9" in content
         assert "## table1" in content
+
+
+class TestObservabilityCommands:
+    def _traced_run(self, tmp_path, extra=()):
+        out = io.StringIO()
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.jsonl"
+        code = main(
+            ["run", "--scale", "0.0002", "--no-apks", "--seed", "5",
+             "--trace-out", str(trace), "--metrics-out", str(metrics),
+             *extra],
+            out=out,
+        )
+        return code, out.getvalue(), trace, metrics
+
+    def test_traced_run_writes_artifacts(self, tmp_path):
+        from repro.obs.schema import validate_metrics_file, validate_trace_file
+
+        code, text, trace, metrics = self._traced_run(tmp_path)
+        assert code == 0
+        assert f"wrote {trace}" in text
+        assert f"wrote {metrics}" in text
+        assert len(validate_trace_file(trace)) > 0
+        assert len(validate_metrics_file(metrics)) > 0
+
+    def test_profile_prints_stage_report(self, tmp_path):
+        code, text, _, _ = self._traced_run(tmp_path, extra=["--profile"])
+        assert code == 0
+        assert "stage profile" in text
+        assert "critical path" in text
+
+    def test_run_report_renders_campaign_table(self, tmp_path):
+        code, _, trace, metrics = self._traced_run(tmp_path)
+        assert code == 0
+        out = io.StringIO()
+        code = main(
+            ["run-report", "--trace", str(trace), "--metrics", str(metrics)],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "crawl telemetry [first]" in text
+        assert "records, campaigns: first" in text
+        assert "crawl.campaign" in text
+
+    def test_run_report_requires_an_artifact(self):
+        assert main(["run-report"], out=io.StringIO()) == 2
+
+    def test_run_report_rejects_bad_artifact(self, tmp_path):
+        bad = tmp_path / "trace.jsonl"
+        bad.write_text('{"kind":"span","name":"x"}\n')
+        assert main(["run-report", "--trace", str(bad)], out=io.StringIO()) == 1
+
+    def test_run_report_missing_file_is_an_error(self, tmp_path):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["run-report", "--trace", str(missing)],
+                    out=io.StringIO()) == 1

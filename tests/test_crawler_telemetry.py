@@ -2,6 +2,7 @@
 
 from repro.crawler.telemetry import CrawlTelemetry, MarketTelemetry
 from repro.net.client import ClientStats
+from repro.obs.metrics import MetricsRegistry
 
 
 class TestMarketTelemetry:
@@ -13,6 +14,7 @@ class TestMarketTelemetry:
             rate_limited=1,
             timeouts=2,
             malformed=1,
+            not_found=4,
             failures=1,
             sim_days_slept=0.25,
         )
@@ -23,8 +25,38 @@ class TestMarketTelemetry:
         assert lane.rate_limited == 2
         assert lane.timeouts == 4
         assert lane.malformed == 2
+        assert lane.not_found == 8
         assert lane.failures == 2
         assert lane.sim_days_backoff == 0.5
+
+    def test_fold_client_keeps_breaker_counters(self):
+        lane = MarketTelemetry("oppo")
+        lane.fold_client(ClientStats(
+            requests=5, failures=3, rate_limit_aborts=1, breaker_fast_fails=2,
+        ))
+        assert lane.rate_limit_aborts == 1
+        assert lane.breaker_fast_fails == 2
+
+    def test_counters_live_in_the_registry(self):
+        registry = MetricsRegistry()
+        lane = MarketTelemetry("baidu", registry, campaign="first")
+        lane.requests += 7
+        series = registry.counter(
+            "crawl_requests_total", campaign="first", market="baidu"
+        )
+        assert series.value == 7
+        # The attribute is a *view*: a registry write is visible back.
+        series.inc(3)
+        assert lane.requests == 10
+
+    def test_health_is_a_degraded_gauge(self):
+        registry = MetricsRegistry()
+        lane = MarketTelemetry("oppo", registry, campaign="c")
+        assert lane.health == "ok"
+        lane.health = "degraded"
+        assert lane.health == "degraded"
+        gauge = registry.gauge("crawl_market_degraded", campaign="c", market="oppo")
+        assert gauge.value == 1.0
 
 
 class TestCrawlTelemetry:
@@ -85,3 +117,98 @@ class TestCrawlTelemetry:
     def test_stats_report_empty_campaign(self):
         report = CrawlTelemetry(label="empty").stats_report()
         assert "total" in report
+
+    def test_stats_report_shows_not_found_column(self):
+        telemetry = CrawlTelemetry(label="t")
+        lane = telemetry.market("baidu")
+        lane.requests, lane.not_found = 100, 37
+        report = telemetry.stats_report()
+        assert "404s" in report.splitlines()[1]
+        baidu_row = next(line for line in report.splitlines()
+                         if line.startswith("baidu"))
+        assert f"{37:>7}" in baidu_row
+        assert f"{telemetry.total_not_found:>7}" in report.splitlines()[-1]
+
+    def test_stats_report_wall_time_and_throughput_header(self):
+        telemetry = CrawlTelemetry(label="first", workers=2)
+        telemetry.market("baidu").requests = 500
+        telemetry.wall_seconds = 2.5
+        title = telemetry.stats_report().splitlines()[0]
+        assert "wall=2.50s" in title
+        assert "(200 req/s)" in title
+
+    def test_stats_report_omits_wall_when_not_recorded(self):
+        telemetry = CrawlTelemetry(label="first")
+        telemetry.market("baidu").requests = 500
+        assert "wall=" not in telemetry.stats_report().splitlines()[0]
+
+    def test_stats_report_degraded_branch(self):
+        telemetry = CrawlTelemetry(label="t")
+        telemetry.market("tencent").requests = 10
+        for market_id in ("oppo", "hiapk"):
+            lane = telemetry.market(market_id)
+            lane.requests = 5
+            lane.health = "degraded"
+        report = telemetry.stats_report()
+        lines = report.splitlines()
+        assert telemetry.degraded_markets() == ["hiapk", "oppo"]
+        # The totals row flags the count; the footer names the markets.
+        totals = next(line for line in lines if line.startswith("total"))
+        assert "degraded:2" in totals
+        assert "degraded markets (breaker quarantine): hiapk, oppo" in report
+
+    def test_stats_report_dead_letters_branch(self):
+        telemetry = CrawlTelemetry(label="t")
+        lane = telemetry.market("oppo")
+        lane.requests, lane.dead_letters = 5, 3
+        telemetry.market("baidu").dead_letters = 1
+        assert "dead letters: 4" in telemetry.stats_report()
+
+    def test_stats_report_clean_run_omits_failure_footers(self):
+        telemetry = CrawlTelemetry(label="t")
+        telemetry.market("baidu").requests = 5
+        report = telemetry.stats_report()
+        assert "dead letters:" not in report
+        assert "degraded markets" not in report
+
+
+class TestRegistryView:
+    def test_counters_shared_with_registry_export(self):
+        registry = MetricsRegistry()
+        telemetry = CrawlTelemetry(label="first", workers=4, registry=registry)
+        lane = telemetry.market("baidu")
+        lane.requests += 11
+        lane.records += 2
+        telemetry.observe_queue_depth(9, at=1.5)
+        docs = {(d["name"], d["labels"].get("market")): d
+                for d in registry.to_dicts()}
+        assert docs[("crawl_requests_total", "baidu")]["value"] == 11
+        assert docs[("crawl_records_total", "baidu")]["value"] == 2
+        assert docs[("crawl_queue_depth", None)]["samples"] == [[1.5, 9.0]]
+        assert docs[("crawl_workers", None)]["value"] == 4
+
+    def test_from_registry_rebuilds_identical_report(self):
+        registry = MetricsRegistry()
+        telemetry = CrawlTelemetry(label="first", workers=4, registry=registry)
+        lane = telemetry.market("baidu")
+        lane.requests, lane.records, lane.not_found = 11, 2, 1
+        telemetry.market("oppo").health = "degraded"
+        telemetry.search_rounds = 3
+        telemetry.wall_seconds = 1.25
+
+        rehydrated = MetricsRegistry()
+        rehydrated.load_dicts(registry.to_dicts())
+        view = CrawlTelemetry.from_registry(
+            "first", rehydrated, markets=["baidu", "oppo"]
+        )
+        assert view.stats_report() == telemetry.stats_report()
+        assert view.workers == 4
+        assert view.search_rounds == 3
+        assert view.wall_seconds == 1.25
+
+    def test_from_registry_writes_nothing(self):
+        registry = MetricsRegistry()
+        CrawlTelemetry(label="first", workers=8, registry=registry)
+        view = CrawlTelemetry.from_registry("first", registry)
+        # Attaching the view must not clobber the recorded gauges.
+        assert view.workers == 8

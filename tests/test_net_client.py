@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.client import RATE_LIMIT_JITTER_MAX, HttpClient
+from repro.net.client import RATE_LIMIT_JITTER_MAX, ClientStats, HttpClient
 from repro.net.http import (
     MalformedPayloadError,
     NotFoundError,
@@ -218,3 +218,58 @@ class TestHttpClient:
         client = HttpClient(_handler_sequence([Response.json_ok(None)]), SimClock())
         with pytest.raises(ServerError):
             client.get_bytes("/download")
+
+
+def _full_stats() -> ClientStats:
+    return ClientStats(
+        requests=10, retries=3, rate_limited=2, timeouts=1, malformed=1,
+        not_found=4, failures=2, rate_limit_aborts=1, breaker_fast_fails=1,
+        sim_days_slept=0.75,
+    )
+
+
+class TestClientStats:
+    def test_delta_covers_every_counter(self):
+        baseline = _full_stats()
+        moved = ClientStats(
+            requests=15, retries=5, rate_limited=3, timeouts=2, malformed=1,
+            not_found=6, failures=3, rate_limit_aborts=2, breaker_fast_fails=2,
+            sim_days_slept=1.0,
+        )
+        delta = moved.delta(baseline)
+        assert delta == ClientStats(
+            requests=5, retries=2, rate_limited=1, timeouts=1, malformed=0,
+            not_found=2, failures=1, rate_limit_aborts=1, breaker_fast_fails=1,
+            sim_days_slept=0.25,
+        )
+
+    def test_delta_of_self_is_zero(self):
+        stats = _full_stats()
+        assert stats.delta(stats) == ClientStats()
+
+    def test_export_state_round_trips(self):
+        stats = _full_stats()
+        state = stats.export_state()
+        restored = ClientStats.from_state(state)
+        assert restored == stats
+        assert restored is not stats
+
+    def test_export_state_is_json_plain(self):
+        import json
+
+        state = _full_stats().export_state()
+        assert ClientStats.from_state(json.loads(json.dumps(state))) == _full_stats()
+
+    def test_copy_is_independent(self):
+        stats = _full_stats()
+        snapshot = stats.copy()
+        stats.requests += 1
+        assert snapshot.requests == 10
+        assert stats.delta(snapshot).requests == 1
+
+    def test_not_found_is_not_a_failure(self):
+        client = HttpClient(_handler_sequence([Response.not_found()]), SimClock())
+        with pytest.raises(NotFoundError):
+            client.request("/app")
+        assert client.stats.not_found == 1
+        assert client.stats.failures == 0

@@ -1,0 +1,121 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import validate_metrics_file
+
+
+class TestSeries:
+    def test_counter_increments_and_rejects_decrease(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total", market="baidu")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_last_write_wins_and_samples(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue_depth")
+        gauge.set(5)
+        gauge.set(3, at=1.25)
+        gauge.set(8, at=2.0)
+        assert gauge.value == 8
+        assert gauge.samples == [(1.25, 3.0), (2.0, 8.0)]
+
+    def test_histogram_buckets_sum_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.count == 5
+        assert hist.total == pytest.approx(56.05)
+        assert hist.counts == [1, 2, 1, 1]  # last = +Inf overflow
+
+    def test_histogram_requires_sorted_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("bad", buckets=(1.0, 0.5))
+
+
+class TestRegistry:
+    def test_same_name_and_labels_share_a_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("req_total", market="baidu", campaign="first")
+        b = registry.counter("req_total", campaign="first", market="baidu")
+        assert a is b
+        assert registry.counter("req_total", market="oppo") is not a
+        assert len(registry) == 2
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", market="baidu")
+        registry.counter("req_total", market="oppo")
+        registry.counter("other", market="xiaomi")
+        assert registry.label_values("req_total", "market") == ["baidu", "oppo"]
+
+    def test_series_order_is_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("b_metric")
+        registry.counter("a_metric", market="z")
+        registry.counter("a_metric", market="a")
+        names = [(s.name, dict(s.labels).get("market")) for s in registry.series()]
+        assert names == [("a_metric", "a"), ("a_metric", "z"), ("b_metric", None)]
+
+
+class TestExport:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("req_total", market="baidu", campaign="first").inc(41)
+        gauge = registry.gauge("queue_depth", campaign="first")
+        gauge.set(3, at=0.5)
+        gauge.set(9, at=1.5)
+        hist = registry.histogram("latency", buckets=(0.1, 1.0), market="baidu")
+        for value in (0.05, 0.5, 7.0):
+            hist.observe(value)
+        return registry
+
+    def test_jsonl_round_trip(self, tmp_path):
+        registry = self._populated()
+        path = tmp_path / "metrics.jsonl"
+        assert registry.export_jsonl(path) == 3
+        docs = validate_metrics_file(path)
+
+        rehydrated = MetricsRegistry()
+        assert rehydrated.load_dicts(docs) == 3
+        assert rehydrated.to_dicts() == registry.to_dicts()
+        # The round-tripped histogram kept its overflow bucket.
+        hist = rehydrated.histogram("latency", buckets=(0.1, 1.0), market="baidu")
+        assert hist.counts == [1, 1, 1]
+        assert hist.count == 3
+
+    def test_prometheus_exposition(self):
+        text = self._populated().render_prometheus()
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{campaign="first",market="baidu"} 41' in text
+        assert "# TYPE queue_depth gauge" in text
+        assert 'queue_depth{campaign="first"} 9' in text
+        # Histogram buckets are cumulative, closed by +Inf / sum / count.
+        assert 'latency_bucket{le="0.1",market="baidu"} 1' in text
+        assert 'latency_bucket{le="1",market="baidu"} 2' in text
+        assert 'latency_bucket{le="+Inf",market="baidu"} 3' in text
+        assert 'latency_sum{market="baidu"} 7.55' in text
+        assert 'latency_count{market="baidu"} 3' in text
+
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("c", label='say "hi"\\now').inc()
+        assert r'c{label="say \"hi\"\\now"} 1' in registry.render_prometheus()
+
+    def test_load_rejects_unknown_kind(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.load_dicts([{"kind": "summary", "name": "x", "value": 1}])

@@ -1,0 +1,110 @@
+"""Tests for the stage profiler."""
+
+from repro.crawler.telemetry import CrawlTelemetry
+from repro.obs.profiler import StageProfiler
+
+
+class TestStageProfiler:
+    def test_records_wall_time_per_stage(self):
+        profiler = StageProfiler(trace_memory=False)
+        with profiler.stage("ecosystem"):
+            pass
+        with profiler.stage("crawl"):
+            pass
+        assert [r.name for r in profiler.records] == ["ecosystem", "crawl"]
+        assert all(r.wall_seconds >= 0 for r in profiler.records)
+
+    def test_nested_stage_depth(self):
+        profiler = StageProfiler(trace_memory=False)
+        with profiler.stage("outer"):
+            with profiler.stage("inner"):
+                pass
+        inner, outer = profiler.records
+        assert (inner.name, inner.depth) == ("inner", 1)
+        assert (outer.name, outer.depth) == ("outer", 0)
+
+    def test_peak_memory_tracked(self):
+        profiler = StageProfiler()
+        with profiler.stage("alloc"):
+            blob = bytearray(4 * 1024 * 1024)
+            del blob
+        (record,) = profiler.records
+        assert record.peak_bytes >= 4 * 1024 * 1024
+
+    def test_nested_peaks_fold_into_parent(self):
+        profiler = StageProfiler()
+        with profiler.stage("outer"):
+            with profiler.stage("inner"):
+                blob = bytearray(4 * 1024 * 1024)
+                del blob
+        inner, outer = profiler.records
+        assert inner.peak_bytes >= 4 * 1024 * 1024
+        # The child's peak must not vanish from the enclosing stage.
+        assert outer.peak_bytes >= inner.peak_bytes
+
+    def test_parent_segment_peak_survives_child_reset(self):
+        profiler = StageProfiler()
+        with profiler.stage("outer"):
+            blob = bytearray(8 * 1024 * 1024)
+            del blob
+            with profiler.stage("inner"):
+                pass
+        inner, outer = profiler.records
+        assert outer.peak_bytes >= 8 * 1024 * 1024
+        assert inner.peak_bytes < 8 * 1024 * 1024
+
+    def test_stage_exception_still_records(self):
+        profiler = StageProfiler(trace_memory=False)
+        try:
+            with profiler.stage("doomed"):
+                raise ValueError("nope")
+        except ValueError:
+            pass
+        assert [r.name for r in profiler.records] == ["doomed"]
+
+
+class TestReport:
+    def test_empty(self):
+        assert "no stages" in StageProfiler().report()
+
+    def test_report_table_and_critical_path(self):
+        profiler = StageProfiler(trace_memory=False)
+        with profiler.stage("fast"):
+            pass
+        with profiler.stage("slow"):
+            total = sum(range(200_000))
+            assert total > 0
+        report = profiler.report()
+        assert "stage profile" in report
+        assert "fast" in report and "slow" in report
+        assert "critical path: slowest stage 'slow'" in report
+        assert "peak memory:" in report
+
+    def test_critical_path_ignores_nested_stages(self):
+        profiler = StageProfiler(trace_memory=False)
+        with profiler.stage("outer"):
+            with profiler.stage("inner"):
+                total = sum(range(100_000))
+                assert total > 0
+        report = profiler.report()
+        # inner's time is inside outer's; only outer competes.
+        assert "slowest stage 'outer'" in report
+
+    def test_slowest_lane_from_telemetry(self):
+        profiler = StageProfiler(trace_memory=False)
+        with profiler.stage("crawl"):
+            pass
+        telemetry = CrawlTelemetry(label="t")
+        quick = telemetry.market("oppo")
+        quick.requests, quick.sim_days_backoff = 10, 0.5
+        slow = telemetry.market("google_play")
+        slow.requests, slow.sim_days_backoff, slow.sim_days_paced = 90, 1.5, 0.75
+        report = profiler.report(telemetry)
+        assert "slowest lane:  'google_play' waited 2.2500 sim days" in report
+        assert "over 90 requests" in report
+
+    def test_report_without_telemetry_has_no_lane_line(self):
+        profiler = StageProfiler(trace_memory=False)
+        with profiler.stage("crawl"):
+            pass
+        assert "slowest lane" not in profiler.report()
