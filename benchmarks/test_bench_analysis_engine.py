@@ -1,0 +1,218 @@
+"""Benchmarks for the parallel analysis engine and artifact cache.
+
+The analysis pipeline's genuinely slow stage in the real study is
+network-bound (uploading ~4.3M APKs to VirusTotal), so the bench wraps
+the simulated service in a latency model (real ``time.sleep``, which
+releases the GIL) — the serial pipeline pays every scan's latency in
+sequence, the 8-worker engine overlaps them, and a warm artifact cache
+skips them entirely.  CPU-bound stages (library features, clone
+scoring) run under the same engine but are not what the speedup floors
+measure.
+
+Results accumulate into ``BENCH_analysis.json`` (uploaded by the CI
+bench job next to ``BENCH_crawl.json``):
+
+* serial vs. 8-worker ``run_all`` wall time and speedup,
+* cold-cache vs. warm-cache wall time and speedup (at 1 worker, so the
+  cache effect is isolated from threading),
+* clone candidate-pair counts, exhaustive vs. prefix-filtered blocking.
+
+The scale is pinned (independent of REPRO_BENCH_SCALE) so the latency
+budget — and therefore the speedup floors — is stable in CI smoke runs.
+Every timed variant must also produce bit-identical report digests;
+a fast wrong answer fails the bench.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import Study, StudyConfig
+from repro.analysis.clones import CodeCloneDetector
+from repro.analysis.engine import AnalysisEngine, ArtifactCache
+from repro.analysis.virustotal import VirusTotalService
+from repro.core.study import StudyResult
+from repro.experiments import digest_reports, run_all
+
+BENCH_ANALYSIS_SEED = 11
+BENCH_ANALYSIS_SCALE = 0.0003
+SCAN_LATENCY_S = 0.004  # per-APK upload latency; ~1.3K scans ≈ 5s serial
+MIN_PARALLEL_SPEEDUP = 2.0
+MIN_CACHE_SPEEDUP = 5.0
+
+RESULTS_PATH = "BENCH_analysis.json"
+_results = {}
+
+
+def _record(section, **data):
+    _results[section] = data
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(_results, handle, indent=2, sort_keys=True)
+
+
+class SlowVirusTotal(VirusTotalService):
+    """The default service behind a fixed per-scan upload latency.
+
+    Only transport changes, so the verdicts — and therefore
+    ``cache_version`` — are the base service's (see the base class).
+    """
+
+    def __init__(self, latency_s):
+        super().__init__()
+        self.latency_s = latency_s
+
+    def scan(self, apk):
+        if apk.md5 not in self._cache:
+            time.sleep(self.latency_s)
+        return super().scan(apk)
+
+
+@pytest.fixture(scope="module")
+def base_result():
+    """One crawl, shared; each bench re-analyzes it with its own engine."""
+    config = StudyConfig(seed=BENCH_ANALYSIS_SEED, scale=BENCH_ANALYSIS_SCALE)
+    return Study(config).run()
+
+
+def _fresh(base, engine=None, slow_vt=True):
+    """A StudyResult over the shared crawl with cold analysis artifacts."""
+    result = StudyResult(
+        config=base.config,
+        world=base.world,
+        stores=base.stores,
+        servers=base.servers,
+        clock=base.clock,
+        snapshot=base.snapshot,
+        presence=base.presence,
+        removal_outcome=base.removal_outcome,
+        second_snapshot=base.second_snapshot,
+        update_outcome=base.update_outcome,
+        engine=engine,
+    )
+    if slow_vt:
+        result.vt_service = SlowVirusTotal(SCAN_LATENCY_S)
+    return result
+
+
+def _analyze(base, engine):
+    result = _fresh(base, engine=engine)
+    return digest_reports(run_all(result)), result
+
+
+def test_bench_analysis_serial(benchmark, base_result):
+    digests, _ = benchmark.pedantic(
+        _analyze, args=(base_result, AnalysisEngine(workers=1)),
+        rounds=1, iterations=1,
+    )
+    assert digests
+
+
+def test_bench_analysis_parallel_speedup(base_result):
+    start = time.perf_counter()
+    serial_digests, _ = _analyze(base_result, AnalysisEngine(workers=1))
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_digests, result = _analyze(base_result, AnalysisEngine(workers=8))
+    parallel_s = time.perf_counter() - start
+
+    # Identical reports at any width — the deterministic-merge invariant.
+    assert parallel_digests == serial_digests
+
+    speedup = serial_s / parallel_s
+    _record(
+        "parallel",
+        serial_s=round(serial_s, 3),
+        parallel_s=round(parallel_s, 3),
+        workers=8,
+        speedup=round(speedup, 2),
+        scans=len(result.vt_scan.reports),
+    )
+    print(f"\nrun_all serial {serial_s:.2f}s vs 8 workers {parallel_s:.2f}s "
+          f"-> {speedup:.1f}x")
+    assert speedup >= MIN_PARALLEL_SPEEDUP, (
+        f"8-worker run_all only {speedup:.1f}x faster than serial "
+        f"({serial_s:.2f}s vs {parallel_s:.2f}s)"
+    )
+
+
+def test_bench_artifact_cache_speedup(base_result, tmp_path):
+    cache_dir = tmp_path / "artifacts"
+    start = time.perf_counter()
+    cold_digests, cold_result = _analyze(
+        base_result, AnalysisEngine(workers=1, cache=ArtifactCache(cache_dir)))
+    cold_s = time.perf_counter() - start
+    assert cold_result.engine.cache.stats.stores > 0
+
+    start = time.perf_counter()
+    warm_digests, warm_result = _analyze(
+        base_result, AnalysisEngine(workers=1, cache=ArtifactCache(cache_dir)))
+    warm_s = time.perf_counter() - start
+
+    stats = warm_result.engine.cache.stats
+    assert stats.hits > 0 and stats.misses == 0, stats.as_dict()
+    # A resumed-from-cache run reports the very same tables and figures.
+    assert warm_digests == cold_digests
+
+    speedup = cold_s / warm_s
+    _record(
+        "artifact_cache",
+        cold_s=round(cold_s, 3),
+        warm_s=round(warm_s, 3),
+        speedup=round(speedup, 2),
+        hits=stats.hits,
+        stores=cold_result.engine.cache.stats.stores,
+    )
+    print(f"\ncold cache {cold_s:.2f}s vs warm {warm_s:.2f}s "
+          f"-> {speedup:.1f}x ({stats.hits} hits)")
+    assert speedup >= MIN_CACHE_SPEEDUP, (
+        f"warm-cache run_all only {speedup:.1f}x faster than cold "
+        f"({cold_s:.2f}s vs {warm_s:.2f}s)"
+    )
+
+
+def test_bench_candidate_blocking(base_result):
+    units = base_result.units
+    lib = base_result.library_detection
+    detector = CodeCloneDetector()
+    eligible = [u for u in units if u.apk is not None and u.signer is not None]
+    residual_blocks = []
+    for unit in eligible:
+        blocks = []
+        for pkg in unit.apk.packages:
+            if pkg.feature_digest in lib.library_digests:
+                continue
+            blocks.extend(pkg.blocks)
+        residual_blocks.append(tuple(blocks))
+
+    start = time.perf_counter()
+    exhaustive = detector._candidate_pairs_exhaustive(residual_blocks)
+    exhaustive_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    prefix = detector._candidate_pairs_prefix(residual_blocks)
+    prefix_s = time.perf_counter() - start
+
+    # Both strategies must report the identical clone set end-to-end.
+    pairs_prefix = CodeCloneDetector(candidate_strategy="prefix").detect(
+        units, lib).clone_units
+    pairs_exhaustive = CodeCloneDetector(candidate_strategy="exhaustive").detect(
+        units, lib).clone_units
+    assert pairs_prefix >= pairs_exhaustive
+
+    reduction = 1 - len(prefix) / max(1, len(exhaustive))
+    _record(
+        "candidate_blocking",
+        units=len(eligible),
+        candidates_exhaustive=len(exhaustive),
+        candidates_prefix=len(prefix),
+        reduction=round(reduction, 4),
+        exhaustive_s=round(exhaustive_s, 4),
+        prefix_s=round(prefix_s, 4),
+        clones_prefix=len(pairs_prefix),
+        clones_exhaustive=len(pairs_exhaustive),
+    )
+    print(f"\ncandidates: exhaustive {len(exhaustive)} vs prefix {len(prefix)} "
+          f"({reduction:.1%} pruned), clones identical: "
+          f"{pairs_prefix == pairs_exhaustive}")

@@ -1,0 +1,25 @@
+"""Benchmarks: regenerate every paper table and figure.
+
+One parametrized test over :data:`PAPER_EXPERIMENT_IDS` replaces the
+former per-experiment modules — the id list is the single source of
+truth, so a new experiment is benchmarked the moment it is registered.
+Each case prints its paper-vs-measured report (see conftest), keeping
+``pytest benchmarks/ --benchmark-only -s`` usable as the EXPERIMENTS.md
+generator.
+"""
+
+import pytest
+
+from repro.core.reports import TableReport
+from repro.experiments import PAPER_EXPERIMENT_IDS
+
+from conftest import run_and_report
+
+
+@pytest.mark.parametrize("experiment_id", PAPER_EXPERIMENT_IDS)
+def test_bench_experiment(benchmark, bench_study, experiment_id):
+    report = run_and_report(benchmark, experiment_id, bench_study)
+    if isinstance(report, TableReport):
+        assert report.rows
+    else:
+        assert report.data

@@ -13,19 +13,25 @@ Two detectors, as in the paper:
   Manhattan distance of 0.05 (95% similarity), refined by a second
   phase requiring >=85% shared code segments.
 
-Candidate pairing for the code-based phase uses an inverted index over
-code-segment hashes (library segments removed), which keeps the search
+Candidate pairing for the code-based phase uses **prefix-filtered
+blocking** over code-segment hashes (library segments removed): each
+app indexes only a short, rarest-first prefix of its block set, sized
+so that any pair meeting the overlap and shared-block thresholds
+provably collides on at least one indexed block.  This keeps the search
 near-linear — the same engineering need WuKong's two-phase design
-addresses at 6M-app scale.
+addresses at 6M-app scale — and candidate scoring fans out across the
+analysis engine's worker pool with a deterministic merge.
 """
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.corpus import AppUnit
+from repro.analysis.engine import INLINE_ENGINE, AnalysisEngine
 from repro.analysis.libraries import LibraryDetection
 from repro.crawler.snapshot import Snapshot
 
@@ -207,7 +213,16 @@ class CodeCloneAnalysis:
 
 
 class CodeCloneDetector:
-    """WuKong-style two-phase detector with inverted-index candidates."""
+    """WuKong-style two-phase detector with prefix-filtered candidates.
+
+    ``candidate_strategy`` selects the candidate generator: ``"prefix"``
+    (the default) uses prefix-filtered blocking; ``"exhaustive"`` keeps
+    the original inverted-index pair enumeration as a reference
+    implementation for benchmarks and superset checks.  The prefix
+    strategy generates a provable superset of every pair the exhaustive
+    strategy would ultimately report, so switching strategies can only
+    add detections, never lose them.
+    """
 
     def __init__(
         self,
@@ -215,27 +230,29 @@ class CodeCloneDetector:
         overlap_threshold: float = 0.85,
         min_shared_blocks: int = 8,
         max_block_bucket: int = 200,
+        candidate_strategy: str = "prefix",
     ):
+        if candidate_strategy not in ("prefix", "exhaustive"):
+            raise ValueError(f"unknown candidate strategy {candidate_strategy!r}")
         self.distance_threshold = distance_threshold
         self.overlap_threshold = overlap_threshold
         self.min_shared_blocks = min_shared_blocks
         self.max_block_bucket = max_block_bucket
+        self.candidate_strategy = candidate_strategy
 
     def detect(
         self,
         units: Sequence[AppUnit],
         library_detection: Optional[LibraryDetection] = None,
+        engine: Optional[AnalysisEngine] = None,
     ) -> CodeCloneAnalysis:
+        engine = engine or INLINE_ENGINE
         lib_digests = (
             library_detection.library_digests if library_detection else set()
         )
-        keys: List[UnitKey] = []
-        residual_features: List[Dict[int, int]] = []
-        residual_blocks: List[Tuple[int, ...]] = []
-        downloads: List[int] = []
-        for unit in units:
-            if unit.apk is None or unit.signer is None:
-                continue
+        eligible = [u for u in units if u.apk is not None and u.signer is not None]
+
+        def extract(unit: AppUnit) -> Tuple[Dict[int, int], Tuple[int, ...]]:
             features: Dict[int, int] = {}
             blocks: List[int] = []
             for pkg in unit.apk.packages:
@@ -244,32 +261,47 @@ class CodeCloneDetector:
                 for fid, count in pkg.features.items():
                     features[fid] = features.get(fid, 0) + count
                 blocks.extend(pkg.blocks)
-            keys.append((unit.package, unit.signer))
-            residual_features.append(features)
-            residual_blocks.append(tuple(blocks))
-            downloads.append(unit.max_downloads or 0)
+            return features, tuple(blocks)
+
+        extracted = engine.map(eligible, extract, stage="analysis.clones.extract")
+        keys: List[UnitKey] = [(u.package, u.signer) for u in eligible]
+        residual_features = [features for features, _ in extracted]
+        residual_blocks = [blocks for _, blocks in extracted]
+        downloads = [u.max_downloads or 0 for u in eligible]
 
         candidates = self._candidate_pairs(residual_blocks)
+
+        def score(pair: Tuple[int, int]) -> Optional[Tuple[int, int, float, float]]:
+            i, j = pair
+            key_i, key_j = keys[i], keys[j]
+            if key_i[0] == key_j[0]:
+                return None  # same package: signature-based territory
+            if key_i[1] == key_j[1]:
+                return None  # same developer: legitimate reuse
+            overlap = block_overlap(residual_blocks[i], residual_blocks[j])
+            if overlap < self.overlap_threshold:
+                return None
+            distance = feature_distance(residual_features[i], residual_features[j])
+            if distance > self.distance_threshold:
+                return None
+            return i, j, distance, overlap
+
+        # Candidates are scored in parallel (each score is a pure pair
+        # comparison) and merged back in candidate order, so the result
+        # is identical at any worker count.
+        scored = engine.map(candidates, score, stage="analysis.clones.score")
 
         pairs: List[ClonePair] = []
         best_original: Dict[UnitKey, Tuple[float, UnitKey]] = {}
         clone_units: Set[UnitKey] = set()
-        for i, j in candidates:
-            key_i, key_j = keys[i], keys[j]
-            if key_i[0] == key_j[0]:
-                continue  # same package: signature-based territory
-            if key_i[1] == key_j[1]:
-                continue  # same developer: legitimate reuse
-            overlap = block_overlap(residual_blocks[i], residual_blocks[j])
-            if overlap < self.overlap_threshold:
+        for hit in scored:
+            if hit is None:
                 continue
-            distance = feature_distance(residual_features[i], residual_features[j])
-            if distance > self.distance_threshold:
-                continue
+            i, j, distance, overlap = hit
             if downloads[i] >= downloads[j]:
-                original, clone = key_i, key_j
+                original, clone = keys[i], keys[j]
             else:
-                original, clone = key_j, key_i
+                original, clone = keys[j], keys[i]
             pairs.append(
                 ClonePair(original=original, clone=clone, distance=distance, overlap=overlap)
             )
@@ -287,7 +319,63 @@ class CodeCloneDetector:
     def _candidate_pairs(
         self, residual_blocks: Sequence[Tuple[int, ...]]
     ) -> List[Tuple[int, int]]:
-        """Pairs sharing enough code segments to be worth comparing."""
+        """Pairs worth scoring, in canonical sorted order."""
+        if self.candidate_strategy == "exhaustive":
+            return sorted(self._candidate_pairs_exhaustive(residual_blocks))
+        return self._candidate_pairs_prefix(residual_blocks)
+
+    def _candidate_pairs_prefix(
+        self, residual_blocks: Sequence[Tuple[int, ...]]
+    ) -> List[Tuple[int, int]]:
+        """Prefix-filtered blocking over distinct block hashes.
+
+        Any reported pair (i, j) must satisfy ``|B_i & B_j| >= c`` with
+        ``c = max(min_shared_blocks, ceil(t * max(|B_i|, |B_j|)))``
+        (the exhaustive generator demands ``min_shared_blocks`` shared
+        segments and scoring demands overlap ``>= t``).  Order every
+        unit's distinct blocks by a global canonical key (rarest block
+        first) and index only the first ``|B_i| - c_i + 1`` of them,
+        where ``c_i = max(min_shared_blocks, ceil(t * |B_i|))``.
+
+        Superset proof: let S = B_i & B_j with |S| >= max(c_i, c_j) and
+        let s be S's smallest block under the global order.  At least
+        |S| - 1 >= c_i - 1 blocks of B_i sort after s, so s sits within
+        the first |B_i| - (c_i - 1) = prefix positions of B_i — and
+        symmetrically for B_j.  Hence every qualifying pair collides on
+        s in both prefixes and is generated; pairs below the thresholds
+        may or may not be, which only costs scoring work, never a
+        detection.
+        """
+        t = self.overlap_threshold
+        distinct: List[List[int]] = [sorted(set(b)) for b in residual_blocks]
+        rarity: Counter = Counter()
+        for blocks in distinct:
+            rarity.update(blocks)
+
+        index: Dict[int, List[int]] = {}
+        candidates: Set[Tuple[int, int]] = set()
+        for idx, blocks in enumerate(distinct):
+            size = len(blocks)
+            # The 1e-9 slack keeps float round-up from over-shrinking
+            # the prefix (which could silently drop true pairs).
+            required = max(
+                self.min_shared_blocks, int(math.ceil(t * size - 1e-9))
+            )
+            prefix_len = size - required + 1
+            if prefix_len <= 0:
+                continue  # cannot reach the shared-block floor at all
+            blocks.sort(key=lambda b: (rarity[b], b))
+            for block in blocks[:prefix_len]:
+                posting = index.setdefault(block, [])
+                for other in posting:
+                    candidates.add((other, idx))
+                posting.append(idx)
+        return sorted(candidates)
+
+    def _candidate_pairs_exhaustive(
+        self, residual_blocks: Sequence[Tuple[int, ...]]
+    ) -> List[Tuple[int, int]]:
+        """The original quadratic enumeration (reference/benchmarks)."""
         bucket: Dict[int, List[int]] = {}
         for idx, blocks in enumerate(residual_blocks):
             for block in set(blocks):

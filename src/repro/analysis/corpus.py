@@ -14,7 +14,21 @@ from typing import Dict, List, Optional, Tuple
 from repro.apk.archive import ParsedApk
 from repro.crawler.snapshot import CrawlRecord, Snapshot
 
-__all__ = ["AppUnit", "build_units", "normalized_downloads"]
+__all__ = ["AppUnit", "build_units", "normalized_downloads", "record_sort_key"]
+
+
+def record_sort_key(record: CrawlRecord) -> Tuple[str, str]:
+    """Canonical order for a unit's backing records.
+
+    ``(market_id, package)`` is the snapshot's primary key, so the key
+    is unique within a unit and total: however records were grouped —
+    serially, from a resumed journal, or by a parallel worker pool —
+    the same record set always sorts to the same sequence.  That makes
+    ``AppUnit.records[0]`` (the representative record backing
+    ``app_name``) explicitly deterministic instead of an accident of
+    crawl insertion order.
+    """
+    return (record.market_id, record.package)
 
 
 def normalized_downloads(record: CrawlRecord) -> Optional[int]:
@@ -68,7 +82,12 @@ def build_units(snapshot: Snapshot) -> List[AppUnit]:
     when that is unambiguous; otherwise they form a signer-``None`` unit
     (they still carry metadata for market-level analyses).
     The representative APK is the one with the highest version code —
-    the most up-to-date code the crawl saw.
+    the most up-to-date code the crawl saw — with the APK MD5 as the
+    tie-break, so the choice depends only on the record *set*, never on
+    the order records were ingested.  For the same reason each unit's
+    records are sorted by :func:`record_sort_key` and the unit list by
+    ``(package, signer)`` before returning: a parallel unit
+    construction can never reorder either silently.
     """
     by_key: Dict[Tuple[str, Optional[str]], AppUnit] = {}
     deferred: List[CrawlRecord] = []
@@ -82,7 +101,10 @@ def build_units(snapshot: Snapshot) -> List[AppUnit]:
             unit = AppUnit(package=record.package, signer=record.apk.signer_fingerprint)
             by_key[key] = unit
         unit.records.append(record)
-        if unit.apk is None or record.apk.manifest.version_code > unit.apk.manifest.version_code:
+        if unit.apk is None or (
+            record.apk.manifest.version_code,
+            record.apk.md5,
+        ) > (unit.apk.manifest.version_code, unit.apk.md5):
             unit.apk = record.apk
 
     signers_of_package: Dict[str, List[Tuple[str, Optional[str]]]] = {}
@@ -102,4 +124,7 @@ def build_units(snapshot: Snapshot) -> List[AppUnit]:
             signers_of_package.setdefault(record.package, [])
         unit.records.append(record)
 
-    return list(by_key.values())
+    units = sorted(by_key.values(), key=lambda u: (u.package, u.signer or ""))
+    for unit in units:
+        unit.records.sort(key=record_sort_key)
+    return units

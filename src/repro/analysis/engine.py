@@ -1,0 +1,278 @@
+"""Parallel, cache-aware execution layer for the post-crawl pipeline.
+
+Everything downstream of the snapshot — per-APK library-feature
+extraction, VirusTotal scans, permission extraction, clone-candidate
+scoring, and the experiment renders — is embarrassingly parallel at the
+unit level.  :class:`AnalysisEngine` fans that work across a thread
+pool with a **deterministic merge**: results are always collected in
+input order, so the output is bit-identical to the serial path at any
+worker count (the same invariant the crawl engine guarantees for
+snapshots).
+
+The engine also owns the persistent :class:`ArtifactCache`: a
+content-addressed store keyed by ``(apk_md5, analyzer_name,
+analyzer_version)``.  A per-APK analyzer result depends only on the APK
+bytes and the analyzer version, so re-running an experiment, the
+April-2018 recheck, or ``run_all`` after a code-irrelevant change skips
+every unchanged per-APK computation (incremental analysis).
+Invalidation is bump-the-version: an analyzer that changes behavior
+bumps its version constant and every stale entry misses.  Writes are
+atomic (temp file + ``os.replace``), and a corrupted or truncated entry
+falls back to recompute — the cache can never poison a run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+from repro.obs import NULL_OBS, Observability
+
+__all__ = [
+    "AnalysisEngine",
+    "ArtifactCache",
+    "CacheStats",
+    "resolve_analysis_workers",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_analysis_workers(workers: int = 0) -> int:
+    """Resolve an analysis worker count (``0`` = one per CPU)."""
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    if workers:
+        return workers
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one engine's artifact cache."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }
+
+
+class ArtifactCache:
+    """Content-addressed per-APK analyzer result store.
+
+    Layout on disk (one JSON file per artifact)::
+
+        <root>/<analyzer>/<version>/<md5[:2]>/<md5>.json
+
+    Each file wraps its payload with the key it was stored under; a
+    ``get`` whose wrapper does not match (or whose file is truncated or
+    not JSON at all) counts as ``corrupt`` and behaves as a miss, so a
+    damaged cache degrades to recomputation instead of wrong results.
+    """
+
+    def __init__(self, root: os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+
+    def entry_path(self, analyzer: str, version: str, md5: str) -> Path:
+        return self.root / analyzer / version / md5[:2] / f"{md5}.json"
+
+    def get(self, analyzer: str, version: str, md5: str) -> Optional[object]:
+        """The stored payload, or None on miss/corruption."""
+        path = self.entry_path(analyzer, version, md5)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        try:
+            doc = json.loads(raw)
+            if (
+                doc["analyzer"] != analyzer
+                or doc["version"] != version
+                or doc["md5"] != md5
+            ):
+                raise ValueError("cache entry key mismatch")
+            payload = doc["payload"]
+        except (ValueError, KeyError, TypeError):
+            with self._lock:
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+            return None
+        with self._lock:
+            self.stats.hits += 1
+        return payload
+
+    def put(self, analyzer: str, version: str, md5: str, payload: object) -> None:
+        """Store a payload atomically (temp file + rename)."""
+        path = self.entry_path(analyzer, version, md5)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "analyzer": analyzer,
+            "version": version,
+            "md5": md5,
+            "payload": payload,
+        }
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        tmp.write_text(json.dumps(doc, separators=(",", ":")), encoding="utf-8")
+        os.replace(tmp, path)
+        with self._lock:
+            self.stats.stores += 1
+
+
+class AnalysisEngine:
+    """Worker pool + artifact cache for the analysis pipeline.
+
+    ``map`` fans a pure function over items and returns results in
+    input order — the deterministic merge that makes every analysis
+    artifact identical at any worker count.  ``map_units_cached`` adds
+    the artifact cache for analyzers whose result is a function of the
+    APK bytes alone.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ArtifactCache] = None,
+        obs: Observability = NULL_OBS,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = workers
+        self.cache = cache
+        self.obs = obs
+        self.parallel_batches = 0
+
+    @classmethod
+    def from_config(cls, config, obs: Observability = NULL_OBS) -> "AnalysisEngine":
+        """Build the engine a :class:`~repro.core.config.StudyConfig` asks for."""
+        cache_dir = getattr(config, "artifact_cache_dir", None)
+        return cls(
+            workers=getattr(config, "analysis_workers", 1),
+            cache=ArtifactCache(cache_dir) if cache_dir else None,
+            obs=obs,
+        )
+
+    @property
+    def cache_stats(self) -> Optional[CacheStats]:
+        return self.cache.stats if self.cache is not None else None
+
+    def stats_line(self) -> str:
+        """One-line summary for run reports and the CLI."""
+        cache = (
+            "off"
+            if self.cache is None
+            else (
+                f"{self.cache.stats.hits} hits / {self.cache.stats.misses} misses"
+                + (
+                    f" ({self.cache.stats.corrupt} corrupt)"
+                    if self.cache.stats.corrupt
+                    else ""
+                )
+            )
+        )
+        return f"analysis engine: {self.workers} workers, artifact cache {cache}"
+
+    # -- execution ---------------------------------------------------------
+
+    def map(
+        self,
+        items: Sequence[T],
+        fn: Callable[[T], R],
+        stage: Optional[str] = None,
+    ) -> List[R]:
+        """Apply ``fn`` to every item; results in input order.
+
+        ``fn`` must be pure with respect to item order: the serial path
+        and every worker width then produce identical output lists.
+        """
+        items = list(items)
+        cm = self.obs.span(stage, n_items=len(items)) if stage else _NULL_CM
+        with cm:
+            if self.workers == 1 or len(items) <= 1:
+                return [fn(item) for item in items]
+            self.parallel_batches += 1
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                return list(pool.map(fn, items))
+
+    def map_units_cached(
+        self,
+        analyzer: str,
+        version: str,
+        units: Sequence,
+        compute: Callable,
+        encode: Callable[[R], object],
+        decode: Callable[[object], R],
+        stage: Optional[str] = None,
+    ) -> List[Optional[R]]:
+        """Run a per-APK analyzer over units, through the artifact cache.
+
+        ``compute`` receives the unit's :class:`ParsedApk` and must
+        depend on nothing else — that is what makes ``(md5, analyzer,
+        version)`` a complete cache key.  ``encode``/``decode`` convert
+        the result to/from a JSON-safe payload; a decode failure counts
+        as corruption and falls back to recompute.  Units without an
+        APK yield ``None``.
+        """
+        cache = self.cache
+
+        def one(unit):
+            apk = unit.apk
+            if apk is None:
+                return None
+            if cache is not None:
+                payload = cache.get(analyzer, version, apk.md5)
+                if payload is not None:
+                    try:
+                        return decode(payload)
+                    except (ValueError, KeyError, TypeError):
+                        with cache._lock:
+                            cache.stats.corrupt += 1
+                            cache.stats.hits -= 1
+                            cache.stats.misses += 1
+            value = compute(apk)
+            if cache is not None:
+                cache.put(analyzer, version, apk.md5, encode(value))
+            return value
+
+        return self.map(units, one, stage=stage or f"analysis.{analyzer}.map")
+
+
+class _NullCM:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CM = _NullCM()
+
+#: A shared serial, cache-less engine: the default for analyzers called
+#: without an engine, so the serial path stays the unthreaded baseline.
+INLINE_ENGINE = AnalysisEngine(workers=1)

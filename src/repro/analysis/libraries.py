@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.analysis.corpus import AppUnit
+from repro.analysis.engine import INLINE_ENGINE, AnalysisEngine
 from repro.markets.profiles import GOOGLE_PLAY
 
 __all__ = [
@@ -30,11 +31,28 @@ __all__ = [
     "LibraryDetection",
     "LibraryDetector",
     "known_library_categories",
+    "extract_package_digests",
     "AD_CATEGORY",
+    "LIBFEATURES_VERSION",
 ]
 
 AD_CATEGORY = "Advertisement"
 UNKNOWN_CATEGORY = "Unknown"
+
+#: Artifact-cache version of the per-APK package-digest extraction.
+#: Bump when the digest definition or the extraction output changes.
+LIBFEATURES_VERSION = "1"
+
+
+def extract_package_digests(apk) -> List[Tuple[str, int]]:
+    """Per-APK (code-package name, feature digest) pairs.
+
+    A pure function of the APK bytes — this is the per-APK half of
+    LibRadar-style detection, and what the artifact cache stores under
+    the ``libfeatures`` analyzer.  The corpus-level clustering that
+    turns digests into library identities stays in :meth:`fit`.
+    """
+    return [(pkg.name, pkg.feature_digest) for pkg in apk.packages]
 
 #: Obfuscated package names produced by packers (e.g. 360 Jiagubao).
 _OBFUSCATED_RE = re.compile(r"^o\.[0-9a-f]{6,}$")
@@ -127,21 +145,40 @@ class LibraryDetector:
         self._min_apps = min_apps
         self._min_signers = min_signers
 
-    def fit(self, units: Iterable[AppUnit]) -> LibraryDetection:
+    def fit(
+        self,
+        units: Iterable[AppUnit],
+        engine: Optional[AnalysisEngine] = None,
+    ) -> LibraryDetection:
+        engine = engine or INLINE_ENGINE
         units = [u for u in units if u.apk is not None]
+
+        # Per-APK digest extraction is pure in the APK bytes: it fans
+        # out across the engine's workers and lands in the artifact
+        # cache, so warm reruns skip straight to the clustering below.
+        digest_lists = engine.map_units_cached(
+            "libfeatures",
+            LIBFEATURES_VERSION,
+            units,
+            compute=extract_package_digests,
+            encode=lambda pairs: [[name, digest] for name, digest in pairs],
+            decode=lambda payload: [
+                (str(name), int(digest)) for name, digest in payload
+            ],
+            stage="analysis.libraries.extract",
+        )
 
         app_packages: Dict[int, Set[str]] = {}
         signers: Dict[int, Set[str]] = {}
         names: Dict[int, Counter] = {}
-        for unit in units:
-            for pkg in unit.apk.packages:
-                digest = pkg.feature_digest
+        for unit, pairs in zip(units, digest_lists):
+            for name, digest in pairs:
                 app_packages.setdefault(digest, set()).add(unit.package)
                 if unit.signer is not None:
                     bucket = signers.setdefault(digest, set())
                     if len(bucket) < 16:
                         bucket.add(unit.signer)
-                names.setdefault(digest, Counter())[pkg.name] += 1
+                names.setdefault(digest, Counter())[name] += 1
 
         digest_identity: Dict[int, str] = {}
         for digest, apps in app_packages.items():
@@ -169,10 +206,10 @@ class LibraryDetector:
 
         unit_libraries: Dict[Tuple[str, Optional[str]], FrozenSet[str]] = {}
         identity_apps: Dict[str, Set[str]] = {}
-        for unit in units:
+        for unit, pairs in zip(units, digest_lists):
             found: Set[str] = set()
-            for pkg in unit.apk.packages:
-                identity = digest_identity.get(pkg.feature_digest)
+            for _name, digest in pairs:
+                identity = digest_identity.get(digest)
                 if identity is None or identity == unit.package:
                     continue
                 found.add(identity)

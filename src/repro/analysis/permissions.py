@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.analysis.corpus import AppUnit
+from repro.analysis.engine import INLINE_ENGINE, AnalysisEngine
 from repro.android.permissions import PermissionSpec, platform_spec
 from repro.crawler.snapshot import Snapshot
 from repro.markets.profiles import GOOGLE_PLAY
@@ -26,7 +27,13 @@ __all__ = [
     "market_overprivilege",
     "figure11_series",
     "dangerous_request_stats",
+    "OVERPRIVILEGE_VERSION",
 ]
+
+#: Artifact-cache version of the per-APK unused-permission extraction
+#: against the *platform* spec.  Bump when the analysis rule or the
+#: platform API->permission map changes.
+OVERPRIVILEGE_VERSION = "1"
 
 #: Figure 11 histogram buckets: 0..9 and ">9".
 COUNT_BUCKETS = tuple(str(i) for i in range(10)) + (">9",)
@@ -60,17 +67,41 @@ class OverprivilegeResult:
 
 
 def analyze_overprivilege(
-    units: Sequence[AppUnit], spec: Optional[PermissionSpec] = None
+    units: Sequence[AppUnit],
+    spec: Optional[PermissionSpec] = None,
+    engine: Optional[AnalysisEngine] = None,
 ) -> OverprivilegeResult:
-    """Compute unused permissions for every APK-backed unit."""
+    """Compute unused permissions for every APK-backed unit.
+
+    Per-APK extraction fans out across the engine's workers; with the
+    default platform spec the result is a pure function of the APK, so
+    it is also persisted in the artifact cache.  A caller-supplied spec
+    bypasses the cache (its results would not be keyed by the spec).
+    """
+    custom_spec = spec is not None
     spec = spec or platform_spec()
+    engine = engine or INLINE_ENGINE
+    if custom_spec and engine.cache is not None:
+        engine = AnalysisEngine(workers=engine.workers, obs=engine.obs)
+
+    def compute(apk) -> FrozenSet[str]:
+        requested = set(apk.manifest.permissions)
+        used = spec.permissions_for(apk.merged_features())
+        return frozenset(requested - used)
+
+    unused_list = engine.map_units_cached(
+        "overprivilege",
+        OVERPRIVILEGE_VERSION,
+        units,
+        compute=compute,
+        encode=lambda perms: sorted(perms),
+        decode=lambda payload: frozenset(str(p) for p in payload),
+        stage="analysis.overprivilege.map",
+    )
     unused: Dict[Tuple[str, Optional[str]], FrozenSet[str]] = {}
-    for unit in units:
-        if unit.apk is None:
-            continue
-        requested = set(unit.apk.manifest.permissions)
-        used = spec.permissions_for(unit.apk.merged_features())
-        unused[(unit.package, unit.signer)] = frozenset(requested - used)
+    for unit, perms in zip(units, unused_list):
+        if perms is not None:
+            unused[(unit.package, unit.signer)] = perms
     return OverprivilegeResult(unused=unused, spec=spec)
 
 

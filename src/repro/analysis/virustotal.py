@@ -111,10 +111,25 @@ class ScanReport:
 
 
 class VirusTotalService:
-    """Scans parsed APKs against the engine roster."""
+    """Scans parsed APKs against the engine roster.
+
+    ``cache_version`` keys this service's verdicts in the persistent
+    artifact cache: a scan is a pure function of the APK bytes given
+    the engine roster and signature databases, so any subclass or
+    configuration that changes verdicts must bump it (bump-the-version
+    invalidation).  Wrappers that only change *how* a verdict is
+    obtained — latency models, transport retries — keep it.
+    """
+
+    cache_version = "1"
 
     def __init__(self, engines: Optional[List[EngineProfile]] = None):
         self._engines = engines or default_engines()
+        if engines is not None:
+            # A custom roster changes verdicts: never share the default
+            # roster's cache namespace.
+            roster = tuple((e.name, e.tier, e.style) for e in engines)
+            self.cache_version = f"custom-{stable_hash32('roster', roster):08x}"
         self._weak = [e for e in self._engines if e.tier == "weak"]
         self._signature_db = self._build_signature_db()
         self._grayware_db = self._build_grayware_db()

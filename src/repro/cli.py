@@ -83,6 +83,17 @@ def build_parser() -> argparse.ArgumentParser:
             "--degrade", action="store_true",
             help="complete the study with dead markets marked degraded "
                  "(the default)")
+        p.add_argument("--analysis-workers", type=workers_arg, default=1,
+                       metavar="N",
+                       help="analysis-engine threads, 0 = auto (every "
+                            "artifact and report identical at any width)")
+        p.add_argument("--artifact-cache", default=None, metavar="DIR",
+                       help="persist per-APK analysis artifacts under DIR "
+                            "(default: <checkpoint-dir>/artifacts when "
+                            "--checkpoint-dir is set)")
+        p.add_argument("--no-artifact-cache", action="store_true",
+                       help="disable the artifact cache even when "
+                            "--checkpoint-dir is set")
         p.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write the campaign span trace to PATH (JSONL)")
         p.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -113,7 +124,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _artifact_cache_dir(args: argparse.Namespace) -> Optional[str]:
+    """Resolve the artifact-cache directory from the CLI flags.
+
+    ``--no-artifact-cache`` wins; an explicit ``--artifact-cache DIR``
+    is next; otherwise a checkpointed study defaults to keeping its
+    artifacts next to the crawl journal.
+    """
+    if args.no_artifact_cache:
+        return None
+    if args.artifact_cache is not None:
+        return args.artifact_cache
+    if args.checkpoint_dir:
+        import os
+
+        return os.path.join(args.checkpoint_dir, "artifacts")
+    return None
+
+
 def _config_from(args: argparse.Namespace) -> StudyConfig:
+    from repro.analysis.engine import resolve_analysis_workers
     from repro.crawler.workers import resolve_thread_workers
 
     return StudyConfig(
@@ -129,6 +159,8 @@ def _config_from(args: argparse.Namespace) -> StudyConfig:
         trace_out=args.trace_out,
         metrics_out=args.metrics_out,
         profile=args.profile,
+        analysis_workers=resolve_analysis_workers(args.analysis_workers),
+        artifact_cache_dir=_artifact_cache_dir(args),
     )
 
 
@@ -168,6 +200,8 @@ def _run_study(args, out):
 
 def _finish_observability(result, out) -> None:
     """Export artifacts and print the profile (after analyses ran)."""
+    if result.engine.workers > 1 or result.engine.cache is not None:
+        print(result.engine.stats_line(), file=out)
     for path in result.export_observability():
         print(f"wrote {path}", file=out)
     if result.config.profile:
@@ -213,10 +247,13 @@ def _cmd_experiment(args, out) -> int:
 
 
 def _cmd_report(args, out) -> int:
+    from repro.experiments import run_all
+
     result = _run_study(args, out)
+    reports = run_all(result)
     lines = ["# EXPERIMENTS — paper vs. measured", ""]
     for experiment_id in EXPERIMENT_IDS:
-        report = run_experiment(experiment_id, result)
+        report = reports[experiment_id]
         lines.extend([f"## {experiment_id}", "", "```", report.render(), "```", ""])
     with open(args.output, "w") as handle:
         handle.write("\n".join(lines))

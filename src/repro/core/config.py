@@ -75,6 +75,15 @@ class StudyConfig:
     #: Profile pipeline stages (wall time + tracemalloc peak memory) and
     #: print the critical-path report after the run.
     profile: bool = False
+    #: Analysis-engine worker width for the post-crawl pipeline (per-APK
+    #: library features, VT scans, permission extraction, clone scoring,
+    #: experiment renders).  Every analysis artifact is bit-identical at
+    #: any width; only wall-clock time changes.
+    analysis_workers: int = 1
+    #: Directory of the persistent content-addressed artifact cache
+    #: (``(apk_md5, analyzer, version)`` -> result).  ``None`` disables
+    #: caching; re-runs then recompute every per-APK artifact.
+    artifact_cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.scale <= 1:
@@ -88,4 +97,8 @@ class StudyConfig:
         if self.breaker_threshold is not None and self.breaker_threshold < 1:
             raise ValueError(
                 f"breaker_threshold must be positive, got {self.breaker_threshold}"
+            )
+        if self.analysis_workers < 1:
+            raise ValueError(
+                f"analysis_workers must be positive, got {self.analysis_workers}"
             )

@@ -11,7 +11,35 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-__all__ = ["TableReport", "FigureReport", "format_cell"]
+from repro.util.rng import stable_hash64
+
+__all__ = ["TableReport", "FigureReport", "format_cell", "report_digest"]
+
+
+def _canonical(value: object) -> object:
+    """A hashable, deterministic form of arbitrary report data.
+
+    Dict keys are stringified (figure data uses tuple keys), floats kept
+    as repr (bit-identical or not at all), containers recursed in order.
+    """
+    if isinstance(value, dict):
+        return tuple(
+            (str(k), _canonical(v)) for k, v in value.items()
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, float):
+        return repr(value)
+    return repr(value)
+
+
+def report_digest(report: "TableReport | FigureReport") -> str:
+    """A stable content digest of one report's full data.
+
+    Bit-identical data -> identical digest, regardless of how (serial,
+    parallel, or cache-resumed run) the report was produced.
+    """
+    return f"{stable_hash64('report', _canonical(report.as_payload())):016x}"
 
 
 def format_cell(value: object) -> str:
@@ -57,6 +85,20 @@ class TableReport:
         idx = 0 if key_column is None else list(self.columns).index(key_column)
         return {row[idx]: row for row in self.rows}
 
+    def as_payload(self) -> Dict[str, object]:
+        """Everything that defines this table, for content digesting."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def content_digest(self) -> str:
+        """Stable digest of the table's full contents."""
+        return report_digest(self)
+
     def render(self) -> str:
         cells = [[format_cell(c) for c in row] for row in self.rows]
         widths = [
@@ -82,6 +124,19 @@ class FigureReport:
     title: str
     data: Dict[str, object] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+
+    def as_payload(self) -> Dict[str, object]:
+        """Everything that defines this figure, for content digesting."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "data": self.data,
+            "notes": list(self.notes),
+        }
+
+    def content_digest(self) -> str:
+        """Stable digest of the figure's full contents."""
+        return report_digest(self)
 
     def render(self, max_items: int = 24) -> str:
         lines = [f"== {self.experiment_id}: {self.title} =="]

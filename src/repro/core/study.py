@@ -18,6 +18,7 @@ and the removal report) that the experiment modules consume.
 
 from __future__ import annotations
 
+import threading
 from functools import cached_property
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
@@ -28,6 +29,7 @@ from repro.analysis.clones import (
     detect_signature_clones,
 )
 from repro.analysis.corpus import AppUnit, build_units
+from repro.analysis.engine import AnalysisEngine
 from repro.analysis.fake import FakeAppAnalysis, detect_fakes
 from repro.analysis.libraries import LibraryDetection, LibraryDetector
 from repro.analysis.malware import MalwareScan, scan_units
@@ -75,6 +77,7 @@ class StudyResult:
         second_snapshot: Optional[Snapshot] = None,
         update_outcome: Optional[Mapping[str, int]] = None,
         obs: Observability = NULL_OBS,
+        engine: Optional[AnalysisEngine] = None,
     ):
         self.config = config
         self.world = world
@@ -87,6 +90,11 @@ class StudyResult:
         self.second_snapshot = second_snapshot
         self.update_outcome = dict(update_outcome or {})
         self.obs = obs
+        #: The analysis execution layer: worker pool + artifact cache.
+        self.engine = engine or AnalysisEngine.from_config(config, obs)
+        #: Override for the VT scanning backend (None = default service).
+        self.vt_service = None
+        self._materialize_lock = threading.Lock()
 
     # -- crawl telemetry ---------------------------------------------------
 
@@ -145,12 +153,16 @@ class StudyResult:
     @cached_property
     def library_detection(self) -> LibraryDetection:
         with self.obs.stage("analysis.libraries"):
-            return LibraryDetector().fit(self.units)
+            return LibraryDetector().fit(self.units, engine=self.engine)
 
     @cached_property
     def vt_scan(self) -> MalwareScan:
         with self.obs.stage("analysis.vt_scan"):
-            return scan_units(self.units, VirusTotalService())
+            return scan_units(
+                self.units,
+                self.vt_service or VirusTotalService(),
+                engine=self.engine,
+            )
 
     @cached_property
     def signature_clones(self) -> SignatureCloneAnalysis:
@@ -160,7 +172,9 @@ class StudyResult:
     @cached_property
     def code_clones(self) -> CodeCloneAnalysis:
         with self.obs.stage("analysis.code_clones"):
-            return CodeCloneDetector().detect(self.units, self.library_detection)
+            return CodeCloneDetector().detect(
+                self.units, self.library_detection, engine=self.engine
+            )
 
     @cached_property
     def fakes(self) -> FakeAppAnalysis:
@@ -170,7 +184,7 @@ class StudyResult:
     @cached_property
     def overprivilege(self) -> OverprivilegeResult:
         with self.obs.stage("analysis.overprivilege"):
-            return analyze_overprivilege(self.units)
+            return analyze_overprivilege(self.units, engine=self.engine)
 
     @cached_property
     def flagged_by_market(self) -> Dict[str, Set[str]]:
@@ -187,6 +201,28 @@ class StudyResult:
         return set(self.signature_clones.clone_units) | set(
             self.code_clones.clone_units
         )
+
+    def materialize(self) -> "StudyResult":
+        """Compute every lazy analysis artifact exactly once.
+
+        Thread-safe: ``cached_property`` offers no cross-thread
+        guarantee, so concurrent experiment runners call this first —
+        one thread does the work (through the engine's own worker pool),
+        everyone after that hits plain attribute reads.
+        """
+        with self._materialize_lock:
+            self.units
+            self.units_by_key
+            self.library_detection
+            self.vt_scan
+            self.signature_clones
+            self.code_clones
+            self.fakes
+            self.overprivilege
+            self.flagged_by_market
+            self.removal
+            self.all_clone_units
+        return self
 
 
 class Study:

@@ -6,6 +6,18 @@ per-experiment index maps each id to its paper artifact, workload, and
 bench target.
 """
 
-from repro.experiments.runner import EXPERIMENT_IDS, run_all, run_experiment
+from repro.experiments.runner import (
+    EXPERIMENT_IDS,
+    PAPER_EXPERIMENT_IDS,
+    digest_reports,
+    run_all,
+    run_experiment,
+)
 
-__all__ = ["EXPERIMENT_IDS", "run_all", "run_experiment"]
+__all__ = [
+    "EXPERIMENT_IDS",
+    "PAPER_EXPERIMENT_IDS",
+    "digest_reports",
+    "run_all",
+    "run_experiment",
+]

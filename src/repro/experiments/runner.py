@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, Union
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Union
 
 from repro.core.reports import FigureReport, TableReport
 from repro.core.study import StudyResult
@@ -13,7 +14,13 @@ from repro.experiments import (
     table1, table2, table3, table4, table5, table6,
 )
 
-__all__ = ["EXPERIMENT_IDS", "PAPER_EXPERIMENT_IDS", "run_experiment", "run_all"]
+__all__ = [
+    "EXPERIMENT_IDS",
+    "PAPER_EXPERIMENT_IDS",
+    "run_experiment",
+    "run_all",
+    "digest_reports",
+]
 
 Report = Union[TableReport, FigureReport]
 
@@ -56,23 +63,20 @@ PAPER_EXPERIMENT_IDS = tuple(
 )
 
 
-def run_experiment(experiment_id: str, result: StudyResult) -> Report:
-    """Regenerate one paper table or figure from a study result.
+def _run_one(experiment_id: str, result: StudyResult, profile: bool) -> Report:
+    """Run one experiment, wrapped in the right observability primitive.
 
-    When the crawl completed in degraded mode (a market quarantined by
-    its circuit breaker), every report is annotated so readers know the
-    numbers were computed from a partial fleet instead of crashing or
-    silently under-counting.
+    The stage profiler keeps a sequential stack and must stay on the
+    calling thread; worker threads record spans instead (the tracer is
+    thread-safe).
     """
-    try:
-        runner = _REGISTRY[experiment_id]
-    except KeyError:
-        raise KeyError(
-            f"unknown experiment {experiment_id!r}; "
-            f"known: {', '.join(EXPERIMENT_IDS)}"
-        ) from None
-    with result.obs.stage(f"experiment.{experiment_id}"):
-        report = runner(result)
+    runner = _REGISTRY[experiment_id]
+    if profile:
+        with result.obs.stage(f"experiment.{experiment_id}"):
+            report = runner(result)
+    else:
+        with result.obs.span(f"experiment.{experiment_id}"):
+            report = runner(result)
     degraded = result.snapshot.degraded_markets()
     if degraded:
         report.notes.append(
@@ -82,6 +86,58 @@ def run_experiment(experiment_id: str, result: StudyResult) -> Report:
     return report
 
 
-def run_all(result: StudyResult) -> Dict[str, Report]:
-    """Regenerate every table and figure."""
-    return {exp_id: run_experiment(exp_id, result) for exp_id in EXPERIMENT_IDS}
+def run_experiment(experiment_id: str, result: StudyResult) -> Report:
+    """Regenerate one paper table or figure from a study result.
+
+    When the crawl completed in degraded mode (a market quarantined by
+    its circuit breaker), every report is annotated so readers know the
+    numbers were computed from a partial fleet instead of crashing or
+    silently under-counting.
+    """
+    if experiment_id not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(EXPERIMENT_IDS)}"
+        )
+    return _run_one(experiment_id, result, profile=True)
+
+
+def run_all(
+    result: StudyResult, workers: Optional[int] = None
+) -> Dict[str, Report]:
+    """Regenerate every table and figure.
+
+    ``workers`` defaults to the study's analysis engine width.  Above 1,
+    experiments run concurrently: the shared analysis artifacts are
+    materialized once up front (thread-safe), then each experiment only
+    *reads* the :class:`StudyResult`, so the fan-out is safe and the
+    merged report dict — in :data:`EXPERIMENT_IDS` order — is
+    bit-identical to a serial run.
+    """
+    if workers is None:
+        workers = result.engine.workers
+    if workers <= 1:
+        return {
+            exp_id: run_experiment(exp_id, result) for exp_id in EXPERIMENT_IDS
+        }
+    result.materialize()
+    with result.obs.stage("experiments.run_all"):
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="experiment"
+        ) as pool:
+            reports = list(
+                pool.map(
+                    lambda exp_id: _run_one(exp_id, result, profile=False),
+                    EXPERIMENT_IDS,
+                )
+            )
+    return dict(zip(EXPERIMENT_IDS, reports))
+
+
+def digest_reports(reports: Dict[str, Report]) -> Dict[str, str]:
+    """Content digest of every report, keyed by experiment id.
+
+    Two report sets produced from the same study — serially, in
+    parallel, or resumed from the artifact cache — digest identically.
+    """
+    return {exp_id: report.content_digest() for exp_id, report in reports.items()}

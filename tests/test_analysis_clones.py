@@ -222,3 +222,86 @@ class TestCodeClones:
         heatmap = analysis.heatmap(units_by_key, ("google_play", "tencent"))
         assert heatmap[("google_play", "tencent")] == 1
         assert heatmap[("tencent", "google_play")] == 0
+
+
+class TestCandidateBlocking:
+    """The prefix filter must generate a superset of every reportable pair."""
+
+    def _random_block_sets(self, seed, n=80):
+        import random
+
+        rng = random.Random(seed)
+        sets = []
+        for _ in range(n):
+            size = rng.randint(0, 60)
+            base = rng.randint(0, 40) * 25
+            sets.append(tuple(rng.randrange(base, base + 120)
+                              for _ in range(size)))
+        # A few near-duplicate pairs that must qualify.
+        for _ in range(8):
+            src = rng.randrange(len(sets))
+            blocks = list(sets[src])
+            for _ in range(min(3, len(blocks))):
+                if blocks and rng.random() < 0.5:
+                    blocks[rng.randrange(len(blocks))] = rng.randrange(10_000)
+            sets.append(tuple(blocks))
+        return sets
+
+    def test_prefix_covers_every_reportable_pair(self):
+        # The guarantee: any pair that could pass scoring (enough shared
+        # blocks AND block overlap >= the threshold) must be generated.
+        # Sub-threshold exhaustive candidates may legitimately be pruned.
+        detector = CodeCloneDetector()
+        for seed in range(5):
+            blocks = self._random_block_sets(seed)
+            sets = [set(b) for b in blocks]
+            qualifying = {
+                (i, j)
+                for i in range(len(sets))
+                for j in range(i + 1, len(sets))
+                if sets[i] and sets[j]
+                and len(sets[i] & sets[j]) >= detector.min_shared_blocks
+                and (len(sets[i] & sets[j]) / max(len(sets[i]), len(sets[j]))
+                     >= detector.overlap_threshold)
+            }
+            prefix = set(detector._candidate_pairs_prefix(blocks))
+            assert qualifying <= prefix, (
+                f"seed {seed}: reportable pairs missing from prefix: "
+                f"{sorted(qualifying - prefix)[:5]}"
+            )
+
+    def test_strategies_detect_identically(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.orig", "1" * 16, BASE_FEATURES, BASE_BLOCKS,
+                         market="google_play", downloads=10**7))
+        snap.add(_record("com.copy", "2" * 16, _clone_features(), _clone_blocks(),
+                         market="tencent", downloads=10))
+        snap.add(_record("com.other", "3" * 16, {i: 3 for i in range(200, 230)},
+                         tuple(range(8000, 8040)), market="tencent"))
+        units = build_units(snap)
+        prefix = CodeCloneDetector(candidate_strategy="prefix").detect(units)
+        exhaustive = CodeCloneDetector(candidate_strategy="exhaustive").detect(units)
+        assert set(prefix.pairs) >= set(exhaustive.pairs)
+        assert prefix.clone_units >= exhaustive.clone_units
+        assert ("com.copy", "2" * 16) in prefix.clone_units
+
+    def test_prefix_prunes_sub_threshold_pairs(self):
+        # The point of blocking: dissimilar apps sharing a handful of
+        # common blocks never collide in each other's prefixes.
+        detector = CodeCloneDetector(min_shared_blocks=2)
+        # 40 apps all sharing 2 common blocks but otherwise disjoint:
+        # exhaustive emits every pair, the prefix filter none of them.
+        blocks = [
+            tuple([1, 2] + list(range(100 * i, 100 * i + 40)))
+            for i in range(40)
+        ]
+        exhaustive = detector._candidate_pairs_exhaustive(blocks)
+        prefix = detector._candidate_pairs_prefix(blocks)
+        assert len(exhaustive) == 40 * 39 // 2
+        assert prefix == []
+
+    def test_unknown_strategy_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CodeCloneDetector(candidate_strategy="bogus")

@@ -93,3 +93,58 @@ class TestBuildUnits:
     def test_no_download_data(self):
         snap = _snap(make_record(downloads=None, apk=make_parsed()))
         assert build_units(snap)[0].max_downloads is None
+
+
+class TestDeterministicOrdering:
+    """The representative record must not depend on ingestion order."""
+
+    def _records(self):
+        apk = make_parsed(signer="aa" * 8)
+        return [
+            make_record(market_id=market, package="com.a",
+                        app_name=f"Name via {market}", apk=apk)
+            for market in ("tencent", "baidu", "google_play", "anzhi")
+        ]
+
+    def test_records_sorted_canonically(self):
+        from repro.analysis.corpus import record_sort_key
+
+        units = build_units(_snap(*self._records()))
+        keys = [record_sort_key(r) for r in units[0].records]
+        assert keys == sorted(keys)
+
+    def test_representative_record_order_independent(self):
+        records = self._records()
+        forward = build_units(_snap(*records))
+        reversed_ = build_units(_snap(*reversed(records)))
+        assert forward[0].app_name == reversed_[0].app_name
+        assert [r.market_id for r in forward[0].records] == [
+            r.market_id for r in reversed_[0].records
+        ]
+
+    def test_unit_list_order_independent(self):
+        apk_a = make_parsed(package="com.a", signer="aa" * 8)
+        apk_b = make_parsed(package="com.b", signer="bb" * 8)
+        records = [
+            make_record(market_id="tencent", package="com.b", apk=apk_b),
+            make_record(market_id="tencent", package="com.a", apk=apk_a),
+            make_record(market_id="baidu", package="com.a", apk=apk_a),
+        ]
+        forward = build_units(_snap(*records))
+        reversed_ = build_units(_snap(*reversed(records)))
+        assert [(u.package, u.signer) for u in forward] == [
+            (u.package, u.signer) for u in reversed_
+        ]
+
+    def test_representative_apk_md5_tiebreak_order_independent(self):
+        # Same version code, different APK bytes: the MD5 tie-break must
+        # pick the same representative either way records arrive.
+        apk1 = make_parsed(signer="aa" * 8, target_sdk=19)
+        apk2 = make_parsed(signer="aa" * 8, target_sdk=21)
+        records = [
+            make_record(market_id="tencent", package="com.a", apk=apk1),
+            make_record(market_id="baidu", package="com.a", apk=apk2),
+        ]
+        forward = build_units(_snap(*records))
+        reversed_ = build_units(_snap(*reversed(records)))
+        assert forward[0].apk.md5 == reversed_[0].apk.md5

@@ -1,0 +1,315 @@
+"""Tests for the parallel analysis engine and artifact cache."""
+
+import json
+
+import pytest
+
+from repro.analysis.engine import (
+    AnalysisEngine,
+    ArtifactCache,
+    CacheStats,
+    resolve_analysis_workers,
+)
+from repro.analysis.malware import scan_units
+from repro.analysis.permissions import analyze_overprivilege
+from repro.analysis.virustotal import VirusTotalService, default_engines
+from repro.core.study import StudyResult
+from repro.experiments import digest_reports, run_all
+
+from conftest import make_parsed, make_record
+
+
+def _unit_like(apk):
+    """The minimal duck type map_units_cached needs."""
+
+    class Unit:
+        def __init__(self, apk):
+            self.apk = apk
+
+    return Unit(apk)
+
+
+class TestResolveAnalysisWorkers:
+    def test_explicit(self):
+        assert resolve_analysis_workers(3) == 3
+
+    def test_auto_is_positive(self):
+        assert resolve_analysis_workers(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_analysis_workers(-1)
+
+
+class TestArtifactCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("lib", "1", "ab" * 16, {"x": [1, 2]})
+        assert cache.get("lib", "1", "ab" * 16) == {"x": [1, 2]}
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.get("lib", "1", "cd" * 16) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_version_bump_invalidates(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("lib", "1", "ab" * 16, "old")
+        assert cache.get("lib", "2", "ab" * 16) is None
+        assert cache.stats.misses == 1
+        # The old version's entry is still intact.
+        assert cache.get("lib", "1", "ab" * 16) == "old"
+
+    def test_truncated_entry_is_corrupt_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("lib", "1", "ab" * 16, {"x": 1})
+        path = cache.entry_path("lib", "1", "ab" * 16)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.get("lib", "1", "ab" * 16) is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+
+    def test_key_mismatch_is_corrupt_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("lib", "1", "ab" * 16, 42)
+        path = cache.entry_path("lib", "1", "ab" * 16)
+        doc = json.loads(path.read_text())
+        doc["md5"] = "ee" * 16
+        path.write_text(json.dumps(doc))
+        assert cache.get("lib", "1", "ab" * 16) is None
+        assert cache.stats.corrupt == 1
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for i in range(20):
+            cache.put("lib", "1", f"{i:032x}", list(range(i)))
+        leftovers = [p for p in tmp_path.rglob("*.tmp")]
+        assert leftovers == []
+
+    def test_layout(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        md5 = "ab" * 16
+        path = cache.entry_path("virustotal", "3", md5)
+        assert path == tmp_path / "virustotal" / "3" / "ab" / f"{md5}.json"
+
+    def test_stats_accounting(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("a", "1", "11" * 16, 1)
+        cache.get("a", "1", "11" * 16)
+        cache.get("a", "1", "22" * 16)
+        assert cache.stats.as_dict() == {
+            "hits": 1, "misses": 1, "stores": 1, "corrupt": 0,
+        }
+        assert cache.stats.lookups == 2
+
+
+class TestEngineMap:
+    def test_serial_parallel_same_order(self):
+        items = list(range(200))
+        serial = AnalysisEngine(workers=1).map(items, lambda x: x * x)
+        parallel = AnalysisEngine(workers=4).map(items, lambda x: x * x)
+        assert serial == parallel == [x * x for x in items]
+
+    def test_single_item_stays_serial(self):
+        engine = AnalysisEngine(workers=4)
+        assert engine.map([3], lambda x: x + 1) == [4]
+        assert engine.parallel_batches == 0
+
+    def test_parallel_batches_counted(self):
+        engine = AnalysisEngine(workers=4)
+        engine.map([1, 2, 3], lambda x: x)
+        assert engine.parallel_batches == 1
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            AnalysisEngine(workers=0)
+
+    def test_stats_line(self, tmp_path):
+        assert "cache off" in AnalysisEngine().stats_line()
+        engine = AnalysisEngine(cache=ArtifactCache(tmp_path))
+        assert "0 hits / 0 misses" in engine.stats_line()
+
+
+class TestMapUnitsCached:
+    def _units(self, n=6):
+        return [
+            _unit_like(make_parsed(package=f"com.unit{i}", signer="ab" * 8))
+            for i in range(n)
+        ] + [_unit_like(None)]
+
+    def test_apkless_unit_yields_none(self):
+        engine = AnalysisEngine()
+        out = engine.map_units_cached(
+            "t", "1", [_unit_like(None)],
+            compute=lambda apk: 1, encode=lambda v: v, decode=lambda p: p,
+        )
+        assert out == [None]
+
+    def test_second_run_computes_nothing(self, tmp_path):
+        calls = []
+
+        def compute(apk):
+            calls.append(apk.md5)
+            return apk.manifest.version_code
+
+        units = self._units()
+        for run in range(2):
+            engine = AnalysisEngine(cache=ArtifactCache(tmp_path))
+            out = engine.map_units_cached(
+                "vc", "1", units,
+                compute=compute, encode=lambda v: v, decode=lambda p: int(p),
+            )
+            assert out[:-1] == [3] * 6 and out[-1] is None
+        assert len(calls) == 6  # first run only
+        assert engine.cache.stats.hits == 6
+        assert engine.cache.stats.misses == 0
+
+    def test_decode_failure_falls_back_to_compute(self, tmp_path):
+        units = self._units(1)[:1]
+        first = AnalysisEngine(cache=ArtifactCache(tmp_path))
+        out = first.map_units_cached(
+            "t", "1", units,
+            compute=lambda apk: {"k": 1},
+            encode=lambda v: v,
+            decode=lambda p: dict(p),
+        )
+        assert out == [{"k": 1}]
+        assert first.cache.stats.stores == 1
+        # A decoder that rejects the stored payload counts as corruption
+        # and falls through to recompute.
+        second = AnalysisEngine(cache=ArtifactCache(tmp_path))
+        out = second.map_units_cached(
+            "t", "1", units,
+            compute=lambda apk: "recomputed",
+            encode=lambda v: {"v": v},
+            decode=lambda p: p["missing"],  # KeyError on the old payload
+        )
+        assert out == ["recomputed"]
+        assert second.cache.stats.corrupt == 1
+        assert second.cache.stats.hits == 0
+        assert second.cache.stats.misses == 1
+
+    def test_no_cache_recomputes(self):
+        calls = []
+        units = self._units(2)[:2]
+        engine = AnalysisEngine()
+        for _ in range(2):
+            engine.map_units_cached(
+                "t", "1", units,
+                compute=lambda apk: calls.append(1), encode=lambda v: v,
+                decode=lambda p: p,
+            )
+        assert len(calls) == 4
+
+
+class TestAnalyzersThroughEngine:
+    def _units(self):
+        from repro.analysis.corpus import build_units
+        from repro.crawler.snapshot import Snapshot
+
+        snap = Snapshot("t")
+        for i in range(12):
+            snap.add(make_record(
+                market_id="tencent", package=f"com.app{i}",
+                apk=make_parsed(package=f"com.app{i}", signer="ab" * 8,
+                                permissions=("INTERNET", "READ_SMS", "CAMERA")),
+            ))
+        return build_units(snap)
+
+    def test_scan_units_serial_equals_parallel(self):
+        units = self._units()
+        service = VirusTotalService()
+        serial = scan_units(units, service, engine=AnalysisEngine(workers=1))
+        parallel = scan_units(units, VirusTotalService(),
+                              engine=AnalysisEngine(workers=4))
+        assert serial.reports.keys() == parallel.reports.keys()
+        assert {k: v.detections for k, v in serial.reports.items()} == {
+            k: v.detections for k, v in parallel.reports.items()
+        }
+
+    def test_scan_units_warm_cache_identical(self, tmp_path):
+        units = self._units()
+        cold_engine = AnalysisEngine(cache=ArtifactCache(tmp_path))
+        cold = scan_units(units, VirusTotalService(), engine=cold_engine)
+        warm_engine = AnalysisEngine(cache=ArtifactCache(tmp_path))
+        warm = scan_units(units, VirusTotalService(), engine=warm_engine)
+        assert warm_engine.cache.stats.misses == 0
+        assert warm_engine.cache.stats.hits == len(units)
+        assert {k: v.detections for k, v in cold.reports.items()} == {
+            k: v.detections for k, v in warm.reports.items()
+        }
+
+    def test_custom_vt_roster_gets_own_cache_namespace(self):
+        custom = VirusTotalService(engines=default_engines(10))
+        assert custom.cache_version != VirusTotalService.cache_version
+        assert custom.cache_version.startswith("custom-")
+
+    def test_custom_permission_spec_bypasses_cache(self, tmp_path):
+        from repro.android.permissions import PermissionSpec
+
+        units = self._units()
+        cache = ArtifactCache(tmp_path)
+        engine = AnalysisEngine(cache=cache)
+        spec = PermissionSpec(feature_permission={}, permission_features={})
+        analyze_overprivilege(units, spec=spec, engine=engine)
+        assert cache.stats.lookups == 0
+        assert cache.stats.stores == 0
+
+    def test_overprivilege_cached_roundtrip(self, tmp_path):
+        units = self._units()
+        first = analyze_overprivilege(
+            units, engine=AnalysisEngine(cache=ArtifactCache(tmp_path)))
+        second = analyze_overprivilege(
+            units, engine=AnalysisEngine(cache=ArtifactCache(tmp_path)))
+        assert first.unused == second.unused
+
+
+def _clone_result(study, engine=None):
+    """A fresh StudyResult over the same crawl (no re-crawl needed)."""
+    return StudyResult(
+        config=study.config,
+        world=study.world,
+        stores=study.stores,
+        servers=study.servers,
+        clock=study.clock,
+        snapshot=study.snapshot,
+        presence=study.presence,
+        removal_outcome=study.removal_outcome,
+        second_snapshot=study.second_snapshot,
+        update_outcome=study.update_outcome,
+        engine=engine,
+    )
+
+
+class TestRunAllDeterminism:
+    def test_parallel_and_cached_digests_match_serial(self, study, tmp_path):
+        serial = digest_reports(run_all(_clone_result(study)))
+
+        parallel_result = _clone_result(study, engine=AnalysisEngine(workers=8))
+        parallel = digest_reports(run_all(parallel_result))
+        assert parallel == serial
+
+        cold_result = _clone_result(
+            study, engine=AnalysisEngine(cache=ArtifactCache(tmp_path)))
+        cold = digest_reports(run_all(cold_result))
+        assert cold_result.engine.cache.stats.stores > 0
+        assert cold == serial
+
+        warm_result = _clone_result(
+            study,
+            engine=AnalysisEngine(workers=4, cache=ArtifactCache(tmp_path)),
+        )
+        warm = digest_reports(run_all(warm_result))
+        assert warm_result.engine.cache.stats.hits > 0
+        assert warm_result.engine.cache.stats.misses == 0
+        assert warm == serial
+
+    def test_materialize_idempotent(self, study):
+        result = _clone_result(study)
+        result.materialize()
+        vt = result.vt_scan
+        result.materialize()
+        assert result.vt_scan is vt
