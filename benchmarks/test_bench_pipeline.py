@@ -2,9 +2,13 @@
 
 These time the substrate itself — world generation, store building, APK
 serialization/parsing, one full crawl — at a smaller scale than the
-shared study so each round stays bounded.
+shared study so each round stays bounded.  The store-building and
+APK-roundtrip benches share one module-scoped world instead of each
+regenerating their own (generation is itself benchmarked, separately).
 """
 
+
+import pytest
 
 from repro import Study, StudyConfig
 from repro.apk.archive import parse_apk
@@ -18,6 +22,12 @@ PIPELINE_SEED = 1234
 PIPELINE_SCALE = 0.0004
 
 
+@pytest.fixture(scope="module")
+def pipeline_world():
+    """One generated world shared by every bench in this module."""
+    return EcosystemGenerator(seed=PIPELINE_SEED, scale=PIPELINE_SCALE).generate()
+
+
 def test_bench_world_generation(benchmark):
     def generate():
         return EcosystemGenerator(seed=PIPELINE_SEED, scale=PIPELINE_SCALE).generate()
@@ -26,9 +36,10 @@ def test_bench_world_generation(benchmark):
     assert world.apps
 
 
-def test_bench_store_building(benchmark):
-    world = EcosystemGenerator(seed=PIPELINE_SEED, scale=PIPELINE_SCALE).generate()
-    stores = benchmark.pedantic(build_stores, args=(world,), rounds=3, iterations=1)
+def test_bench_store_building(benchmark, pipeline_world):
+    stores = benchmark.pedantic(
+        build_stores, args=(pipeline_world,), rounds=3, iterations=1
+    )
     assert stores["google_play"]
 
 
@@ -40,11 +51,10 @@ def test_bench_full_study(benchmark):
     assert len(result.snapshot) > 0
 
 
-def test_bench_apk_roundtrip(benchmark):
-    world = EcosystemGenerator(seed=PIPELINE_SEED, scale=0.0002).generate()
+def test_bench_apk_roundtrip(benchmark, pipeline_world):
     catalog = default_catalog()
     profile = get_profile("tencent")
-    apps = [a for a in world.apps if a.placements][:200]
+    apps = [a for a in pipeline_world.apps if a.placements][:200]
 
     def roundtrip():
         total = 0

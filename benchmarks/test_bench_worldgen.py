@@ -1,0 +1,152 @@
+"""Benchmarks for sharded world generation and the segment cache.
+
+Two enforced floors, mirroring the crawl/analysis engines' bench
+contracts:
+
+* ``--gen-workers 4`` must generate at least ``MIN_PARALLEL_SPEEDUP``×
+  faster than serial at a scale large enough to amortize pool startup
+  (the plan/submit/injection stages stay serial, so the ceiling at 4
+  workers is ~2.3× with ~75% of generation time in the sharded build
+  and finalize passes).
+* Warm segment-cache blob building must beat the cold path by
+  ``MIN_SEGMENT_SPEEDUP``× (zlib still runs per blob, so the win is
+  bounded; the point is that it is real and never changes bytes).
+
+Every timed variant must also produce bit-identical output — the world
+content digest for the parallel run, blob md5s for the cached build.  A
+fast wrong answer fails the bench.
+
+These tests intentionally do NOT use the pytest-benchmark fixture: they
+enforce floors with their own timers (like the analysis-engine speedup
+benches) and must run in a plain ``pytest`` invocation — the CI worldgen
+job runs this file directly and uploads ``BENCH_worldgen.json`` next to
+BENCH_crawl/BENCH_analysis.
+
+The speedup floor needs real CPUs; it skips on machines with fewer than
+4 (CI's ubuntu runners have 4).  Determinism and byte-equality checks
+run everywhere.
+"""
+
+import hashlib
+import json
+import os
+import time
+
+import pytest
+
+from repro.apk.archive import SegmentCache
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.markets.profiles import ALL_MARKET_IDS
+from repro.markets.store import build_stores
+
+WORLDGEN_SEED = 21
+#: Scale for the speedup bench: ~9.4K apps, ~8s serial — enough to
+#: amortize fork/pickle overhead while staying CI-sized.
+SPEEDUP_SCALE = 0.002
+#: Scale for the segment-cache bench (every blob is built twice).
+SEGMENT_SCALE = 0.0005
+
+MIN_PARALLEL_SPEEDUP = 2.0
+MIN_SEGMENT_SPEEDUP = 1.05
+
+RESULTS_PATH = "BENCH_worldgen.json"
+_results = {}
+
+
+def _record(section, **data):
+    _results[section] = data
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(_results, handle, indent=2, sort_keys=True)
+
+
+def _cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _generate(workers):
+    return EcosystemGenerator(
+        WORLDGEN_SEED, SPEEDUP_SCALE, gen_workers=workers
+    ).generate()
+
+
+def test_bench_parallel_speedup():
+    if _cpus() < 4:
+        pytest.skip("speedup floor needs >= 4 CPUs")
+
+    start = time.perf_counter()
+    serial_world = _generate(1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_world = _generate(4)
+    parallel_s = time.perf_counter() - start
+
+    # Identical worlds at any width — the sharding contract.
+    assert parallel_world.content_digest() == serial_world.content_digest()
+
+    speedup = serial_s / parallel_s
+    _record(
+        "parallel",
+        serial_s=round(serial_s, 3),
+        parallel_s=round(parallel_s, 3),
+        workers=4,
+        speedup=round(speedup, 2),
+        apps=len(serial_world.apps),
+        digest=serial_world.content_digest(),
+    )
+    print(f"\ngenerate serial {serial_s:.2f}s vs 4 workers {parallel_s:.2f}s "
+          f"-> {speedup:.1f}x")
+    assert speedup >= MIN_PARALLEL_SPEEDUP, (
+        f"4-worker generation only {speedup:.1f}x faster than serial "
+        f"({serial_s:.2f}s vs {parallel_s:.2f}s)"
+    )
+
+
+def _build_all_blobs(stores):
+    """Build every market's every blob; return md5s keyed by listing."""
+    md5s = {}
+    for market_id in ALL_MARKET_IDS:
+        store = stores[market_id]
+        for listing in store.iter_live(0.0):
+            blob = store.apk_bytes(listing.package, 0.0)
+            if blob is not None:
+                md5s[(market_id, listing.package)] = hashlib.md5(blob).hexdigest()
+    return md5s
+
+
+def test_bench_segment_cache():
+    world = EcosystemGenerator(WORLDGEN_SEED, SEGMENT_SCALE).generate()
+
+    start = time.perf_counter()
+    cold_md5s = _build_all_blobs(build_stores(world, segment_cache=False))
+    cold_s = time.perf_counter() - start
+
+    segments = SegmentCache()
+    start = time.perf_counter()
+    warm_md5s = _build_all_blobs(build_stores(world, segments=segments))
+    warm_s = time.perf_counter() - start
+
+    # Byte-identity is the cache's contract: every served blob's md5 is
+    # unchanged with the cache on.
+    assert warm_md5s == cold_md5s
+    stats = segments.stats()
+    assert stats["hits"] > stats["misses"] > 0, stats
+
+    speedup = cold_s / warm_s
+    _record(
+        "segment_cache",
+        cold_s=round(cold_s, 3),
+        warm_s=round(warm_s, 3),
+        speedup=round(speedup, 2),
+        blobs=len(cold_md5s),
+        **stats,
+    )
+    print(f"\nblob build cold {cold_s:.2f}s vs segment cache {warm_s:.2f}s "
+          f"-> {speedup:.1f}x ({stats['hits']} hits / {stats['misses']} misses)")
+    assert speedup >= MIN_SEGMENT_SPEEDUP, (
+        f"segment-cache blob build only {speedup:.2f}x faster than cold "
+        f"({cold_s:.2f}s vs {warm_s:.2f}s)"
+    )

@@ -5,6 +5,14 @@ compressed binary blob (magic ``RAPK1``); ``parse_apk`` reverses it.
 Analyzers only ever receive blobs (from crawler downloads) and work on
 the resulting :class:`ParsedApk` — this enforces the boundary between
 the synthetic world and the measurement code.
+
+A :class:`SegmentCache` may be passed to :func:`serialize_apk`: the
+per-code-package ``dex`` segments (the bulk of every blob, and the part
+shared verbatim across a package's 16-market × version fan-out — per
+§5.3 placements differ only by manifest, channel file, and signature)
+are then JSON-encoded once and spliced by bytes thereafter.  The cache
+only changes who pays the encoding cost; the emitted bytes are
+identical with or without it.
 """
 
 from __future__ import annotations
@@ -12,13 +20,21 @@ from __future__ import annotations
 import hashlib
 import json
 import struct
+import threading
 import zlib
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.apk.models import Apk, ChannelFile, CodePackage, Manifest
 
-__all__ = ["MAGIC", "ApkParseError", "ParsedApk", "serialize_apk", "parse_apk"]
+__all__ = [
+    "MAGIC",
+    "ApkParseError",
+    "ParsedApk",
+    "SegmentCache",
+    "serialize_apk",
+    "parse_apk",
+]
 
 MAGIC = b"RAPK1"
 
@@ -27,33 +43,101 @@ class ApkParseError(Exception):
     """Raised when a blob is not a valid APK archive."""
 
 
-def serialize_apk(apk: Apk) -> bytes:
-    """Serialize an APK to its on-the-wire binary form."""
-    doc = {
-        "manifest": {
-            "package": apk.manifest.package,
-            "version_code": apk.manifest.version_code,
-            "version_name": apk.manifest.version_name,
-            "min_sdk": apk.manifest.min_sdk,
-            "target_sdk": apk.manifest.target_sdk,
-            "permissions": list(apk.manifest.permissions),
-        },
-        "dex": [
-            {
-                "name": pkg.name,
-                "features": sorted(pkg.features.items()),
-                "blocks": list(pkg.blocks),
-            }
-            for pkg in apk.packages
-        ],
-        "signature": {
-            "fingerprint": apk.signer_fingerprint,
-            "signer": apk.signer_name,
-        },
-        "meta_inf": [[entry.name, entry.content] for entry in apk.meta_inf],
-        "obfuscated_by": apk.obfuscated_by,
+def _package_doc(pkg: CodePackage) -> dict:
+    return {
+        "name": pkg.name,
+        "features": sorted(pkg.features.items()),
+        "blocks": list(pkg.blocks),
     }
-    payload = zlib.compress(json.dumps(doc, separators=(",", ":")).encode("utf-8"), 6)
+
+
+class SegmentCache:
+    """Encoded ``dex`` segments, keyed by code-package content.
+
+    The key is ``(name, feature_digest, blocks)`` — the full content of
+    a :class:`CodePackage` — so a hit can only ever return the bytes the
+    cold path would have produced.  Thread-safe: stores are idempotent
+    (same key -> same bytes), so the lock only guards dict integrity,
+    and the cache is shared across all 16 market stores plus the
+    archive backfill.
+    """
+
+    def __init__(self) -> None:
+        self._fragments: Dict[Tuple[str, int, Tuple[int, ...]], str] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def fragment(self, pkg: CodePackage) -> str:
+        """The compact-JSON encoding of one package's dex segment."""
+        key = (pkg.name, pkg.feature_digest, tuple(pkg.blocks))
+        with self._lock:
+            cached = self._fragments.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            self.misses += 1
+        encoded = json.dumps(_package_doc(pkg), separators=(",", ":"))
+        with self._lock:
+            self._fragments[key] = encoded
+        return encoded
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "segments": len(self._fragments),
+            }
+
+
+def serialize_apk(apk: Apk, segments: Optional[SegmentCache] = None) -> bytes:
+    """Serialize an APK to its on-the-wire binary form.
+
+    With a :class:`SegmentCache`, the per-package ``dex`` fragments come
+    from the cache and only the small per-placement parts (manifest,
+    signature, META-INF) are re-encoded; the output bytes are identical
+    either way (the splice reassembles exactly the compact-JSON document
+    of the cold path — same key order, same separators).
+    """
+    manifest_doc = {
+        "package": apk.manifest.package,
+        "version_code": apk.manifest.version_code,
+        "version_name": apk.manifest.version_name,
+        "min_sdk": apk.manifest.min_sdk,
+        "target_sdk": apk.manifest.target_sdk,
+        "permissions": list(apk.manifest.permissions),
+    }
+    signature_doc = {
+        "fingerprint": apk.signer_fingerprint,
+        "signer": apk.signer_name,
+    }
+    meta_inf_doc = [[entry.name, entry.content] for entry in apk.meta_inf]
+    if segments is None:
+        doc = {
+            "manifest": manifest_doc,
+            "dex": [_package_doc(pkg) for pkg in apk.packages],
+            "signature": signature_doc,
+            "meta_inf": meta_inf_doc,
+            "obfuscated_by": apk.obfuscated_by,
+        }
+        body = json.dumps(doc, separators=(",", ":"))
+    else:
+        compact = lambda value: json.dumps(value, separators=(",", ":"))  # noqa: E731
+        body = (
+            '{"manifest":'
+            + compact(manifest_doc)
+            + ',"dex":['
+            + ",".join(segments.fragment(pkg) for pkg in apk.packages)
+            + '],"signature":'
+            + compact(signature_doc)
+            + ',"meta_inf":'
+            + compact(meta_inf_doc)
+            + ',"obfuscated_by":'
+            + compact(apk.obfuscated_by)
+            + "}"
+        )
+    payload = zlib.compress(body.encode("utf-8"), 6)
     return MAGIC + struct.pack(">I", len(payload)) + payload
 
 
@@ -76,11 +160,16 @@ class ParsedApk:
     size_bytes: int
 
     def merged_features(self) -> Dict[int, int]:
-        merged: Dict[int, int] = {}
-        for pkg in self.packages:
-            for fid, count in pkg.features.items():
-                merged[fid] = merged.get(fid, 0) + count
-        return merged
+        # Memoized: every permission/library pass re-reads this per APK,
+        # and a parsed APK's packages never change after parse_apk.
+        cached = getattr(self, "_merged_features", None)
+        if cached is None:
+            cached = {}
+            for pkg in self.packages:
+                for fid, count in pkg.features.items():
+                    cached[fid] = cached.get(fid, 0) + count
+            self._merged_features = cached
+        return cached
 
     def package_names(self) -> Tuple[str, ...]:
         return tuple(pkg.name for pkg in self.packages)

@@ -80,10 +80,18 @@ class CodePackage:
 
     @property
     def feature_digest(self) -> int:
+        # Memoized on the frozen instance: the digest keys segment-cache
+        # and AV/library lookups, all of which hit it repeatedly.
+        try:
+            return self._feature_digest
+        except AttributeError:
+            pass
         from repro.util.rng import stable_hash64
 
         items = tuple(sorted(self.features.items()))
-        return stable_hash64("pkg-features", items)
+        digest = stable_hash64("pkg-features", items)
+        object.__setattr__(self, "_feature_digest", digest)
+        return digest
 
     def total_features(self) -> int:
         return sum(self.features.values())

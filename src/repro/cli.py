@@ -87,6 +87,14 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="analysis-engine threads, 0 = auto (every "
                             "artifact and report identical at any width)")
+        p.add_argument("--gen-workers", type=workers_arg, default=1,
+                       metavar="N",
+                       help="world-generation worker processes, 0 = auto "
+                            "(world bit-identical at any width)")
+        p.add_argument("--no-segment-cache", action="store_true",
+                       help="rebuild every APK blob cold instead of "
+                            "splicing shared dex segments (bytes are "
+                            "identical either way; for benchmarking)")
         p.add_argument("--artifact-cache", default=None, metavar="DIR",
                        help="persist per-APK analysis artifacts under DIR "
                             "(default: <checkpoint-dir>/artifacts when "
@@ -145,6 +153,7 @@ def _artifact_cache_dir(args: argparse.Namespace) -> Optional[str]:
 def _config_from(args: argparse.Namespace) -> StudyConfig:
     from repro.analysis.engine import resolve_analysis_workers
     from repro.crawler.workers import resolve_thread_workers
+    from repro.ecosystem.sharding import resolve_gen_workers
 
     return StudyConfig(
         seed=args.seed,
@@ -161,6 +170,8 @@ def _config_from(args: argparse.Namespace) -> StudyConfig:
         profile=args.profile,
         analysis_workers=resolve_analysis_workers(args.analysis_workers),
         artifact_cache_dir=_artifact_cache_dir(args),
+        gen_workers=resolve_gen_workers(args.gen_workers),
+        segment_cache=not args.no_segment_cache,
     )
 
 

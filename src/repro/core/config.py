@@ -84,6 +84,14 @@ class StudyConfig:
     #: (``(apk_md5, analyzer, version)`` -> result).  ``None`` disables
     #: caching; re-runs then recompute every per-APK artifact.
     artifact_cache_dir: Optional[str] = None
+    #: World-generation worker processes.  The world is bit-identical at
+    #: any width (index-keyed RNG substreams — see DESIGN.md's sharding
+    #: contract); only generation wall-clock time changes.
+    gen_workers: int = 1
+    #: Share encoded dex segments across the market×version APK blob
+    #: fan-out.  Blob bytes are identical either way; disabling is only
+    #: useful for benchmarking the cold build path.
+    segment_cache: bool = True
 
     def __post_init__(self) -> None:
         if not 0 < self.scale <= 1:
@@ -102,3 +110,5 @@ class StudyConfig:
             raise ValueError(
                 f"analysis_workers must be positive, got {self.analysis_workers}"
             )
+        if self.gen_workers < 1:
+            raise ValueError(f"gen_workers must be positive, got {self.gen_workers}")

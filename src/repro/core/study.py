@@ -40,6 +40,7 @@ from repro.analysis.postanalysis import (
     removal_report,
 )
 from repro.analysis.virustotal import VirusTotalService
+from repro.apk.archive import SegmentCache
 from repro.core.config import StudyConfig
 from repro.crawler.backfill import ArchiveBackfill
 from repro.crawler.crawler import CrawlCoordinator
@@ -268,8 +269,13 @@ class Study:
                 seed=config.seed,
                 scale=config.scale,
                 min_market_size=config.min_market_size,
+                gen_workers=config.gen_workers,
+                obs=obs,
             ).generate()
-            stores = build_stores(world)
+            segments = SegmentCache() if config.segment_cache else None
+            stores = build_stores(
+                world, segments=segments, segment_cache=config.segment_cache
+            )
         clock = SimClock()
         overrides = dict(config.market_fault_plans or {})
         servers = {
@@ -282,7 +288,11 @@ class Study:
             if config.checkpoint_dir
             else None
         )
-        backfill = ArchiveBackfill(world) if config.download_apks else None
+        backfill = (
+            ArchiveBackfill(world, segments=segments)
+            if config.download_apks
+            else None
+        )
         coordinator = CrawlCoordinator(
             servers,
             clock,

@@ -35,12 +35,14 @@ class ArchiveBackfill:
         world: "World",
         market_id: str = "google_play",
         coverage: float = DEFAULT_ARCHIVE_COVERAGE,
+        segments=None,
     ):
         if not 0 <= coverage <= 1:
             raise ValueError(f"coverage must be in [0, 1], got {coverage}")
         self._world = world
         self._market_id = market_id
         self._coverage = coverage
+        self._segments = segments  # shared SegmentCache, or None
         self._cache: Dict[Tuple[str, str], Optional[bytes]] = {}
         # The archive is shared by every market's download lane; the
         # lock keeps cache fills and hit/miss counters exact under the
@@ -80,5 +82,11 @@ class ArchiveBackfill:
             version = app.versions[placement.version_index]
             if version.version_name != version_name:
                 continue
-            return build_apk(app, placement.version_index, profile, self._world.catalog)
+            return build_apk(
+                app,
+                placement.version_index,
+                profile,
+                self._world.catalog,
+                segments=self._segments,
+            )
         return None

@@ -18,7 +18,7 @@ import numpy as np
 from repro.android.permissions import PermissionSpec
 from repro.apk.models import API_FEATURE_RANGE, Apk, ChannelFile, CodePackage, Manifest
 from repro.apk.obfuscation import JiaguObfuscator
-from repro.apk.archive import serialize_apk
+from repro.apk.archive import SegmentCache, serialize_apk
 from repro.ecosystem.developers import Developer
 from repro.ecosystem.libraries import LibraryCatalog
 from repro.ecosystem.threats import ThreatProfile, payload_code
@@ -76,9 +76,16 @@ class OwnCode:
     blocks: Tuple[int, ...]
 
     def as_code_package(self) -> CodePackage:
-        return CodePackage(
-            name=self.main_package, features=dict(self.features), blocks=self.blocks
-        )
+        # Memoized on the frozen instance: the same own code is packaged
+        # for every (market, version) blob of the app.
+        try:
+            return self._code_package
+        except AttributeError:
+            pkg = CodePackage(
+                name=self.main_package, features=dict(self.features), blocks=self.blocks
+            )
+            object.__setattr__(self, "_code_package", pkg)
+            return pkg
 
 
 @dataclass
@@ -204,6 +211,7 @@ def build_apk(
     version_index: int,
     market: MarketProfile,
     catalog: LibraryCatalog,
+    segments: Optional[SegmentCache] = None,
 ) -> bytes:
     """Build the binary APK a market serves for this app version.
 
@@ -211,6 +219,11 @@ def build_apk(
     across markets only by its META-INF channel file — unless the market
     forces repackaging (360's Jiagubao requirement), in which case the
     whole archive is packed.
+
+    ``segments`` shares encoded dex fragments across the app's
+    market×version fan-out; blob bytes are unaffected.  Obfuscating
+    markets skip the cache: Jiagu rewrites package names per app, so
+    their segments never recur.
     """
     version = blueprint.versions[version_index]
     manifest = Manifest(
@@ -242,4 +255,5 @@ def build_apk(
     )
     if market.requires_obfuscation:
         apk = JiaguObfuscator().obfuscate(apk)
-    return serialize_apk(apk)
+        return serialize_apk(apk)
+    return serialize_apk(apk, segments)

@@ -24,6 +24,16 @@ Misbehavior injection uses *vetting-aware top-up loops*: targets are the
 paper's post-vetting rates, and every submission really passes through
 :class:`~repro.markets.vetting.VettingPipeline`, so stricter markets
 genuinely reject more attempts on the way to the same final rate.
+
+The base population and the per-listing finalize pass — the two stages
+that dominate wall time — run on :class:`~repro.ecosystem.sharding.ShardPool`
+when ``gen_workers > 1``.  Generation there splits into a serial *plan*
+phase (quota accounting, market picks, package claims), a parallel
+*build* phase (body sampling from index-keyed RNG substreams), and a
+serial *submit* phase (vetting + registration in plan order); the world
+is bit-identical at any worker count (see DESIGN.md's sharding
+contract).  Stages report to the ``repro.obs`` profiler when one is
+passed in.
 """
 
 from __future__ import annotations
@@ -33,7 +43,6 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.android.permissions import DANGEROUS_PERMISSIONS, NORMAL_PERMISSIONS, platform_spec
 from repro.ecosystem.apps import (
     AppBlueprint,
     AppVersion,
@@ -42,27 +51,29 @@ from repro.ecosystem.apps import (
     PROVENANCE_FAKE,
     PROVENANCE_LEGIT,
     PROVENANCE_SB_CLONE,
-    generate_own_code,
+    OwnCode,
     perturb_own_code,
 )
 from repro.ecosystem.calibration import (
     CELEBRITY_MALWARE,
     MIXED_GP_TO_CN_SHARE,
-    OVERPRIV_PERMISSION_WEIGHTS,
     REPACKAGED_MALWARE_SHARE,
     SINGLE_STORE_GP_SHARE,
     sample_cn_market_count,
-    sample_min_sdk,
-    sample_overprivilege_count,
-    sample_release_day,
-    sample_version_count,
 )
 from repro.ecosystem.developers import Developer
 from repro.ecosystem.libraries import LibraryCatalog, default_catalog
-from repro.ecosystem.popularity import sample_listing_rating
+from repro.ecosystem.sharding import (
+    AppBody,
+    AppPlan,
+    BodySampler,
+    FinalizeJob,
+    ShardPool,
+    _build_chunk,
+    _finalize_chunk,
+)
 from repro.ecosystem.threats import CHINESE_FAMILY_WEIGHTS, GP_FAMILY_WEIGHTS, ThreatProfile
 from repro.ecosystem.world import VettingRecord, World
-from repro.markets.categories import CANONICAL_WEIGHTS, VENDOR_WEIGHTS, taxonomy_for
 from repro.markets.profiles import (
     ALL_MARKET_IDS,
     CHINESE_MARKET_IDS,
@@ -71,6 +82,7 @@ from repro.markets.profiles import (
     get_profile,
 )
 from repro.markets.vetting import Submission, VettingPipeline
+from repro.obs import NULL_OBS, Observability
 from repro.util.rng import RngFactory
 from repro.util.simtime import FIRST_CRAWL_DAY
 from repro.util import text
@@ -98,20 +110,26 @@ class EcosystemGenerator:
         scale: float,
         catalog: Optional[LibraryCatalog] = None,
         min_market_size: int = 40,
+        gen_workers: int = 1,
+        obs: Observability = NULL_OBS,
     ):
         if not 0 < scale <= 1:
             raise ValueError(f"scale must be in (0, 1], got {scale}")
+        if gen_workers < 1:
+            raise ValueError(f"gen_workers must be positive, got {gen_workers}")
         self._seed = seed
         self._scale = scale
         self._rngs = RngFactory(seed).child("ecosystem")
         self._catalog = catalog or default_catalog()
         self._min_market_size = min_market_size
-        self._spec = platform_spec()
+        self._gen_workers = gen_workers
+        self._obs = obs
 
         self._world = World(seed=seed, scale=scale, catalog=self._catalog)
         self._package_markets: Dict[str, Set[str]] = {}
         self._market_members: Dict[str, List[int]] = {m: [] for m in ALL_MARKET_IDS}
         self._name_pool: List[str] = []
+        self._sampler: Optional[BodySampler] = None
         self._vetting: Dict[str, VettingPipeline] = {}
         self._next_dev_id = 0
 
@@ -121,22 +139,37 @@ class EcosystemGenerator:
 
     def generate(self) -> World:
         """Run all stages and return the finished world."""
-        rng = self._rngs.stream("pipeline")
+        obs = self._obs
         self._vetting = {
             m: VettingPipeline(get_profile(m), self._rngs.stream("vetting", m))
             for m in ALL_MARKET_IDS
         }
-        quotas = self._market_quotas()
-        self._build_name_pool(sum(quotas.values()))
-        self._create_base_population(quotas)
-        self._assign_developers()
-        self._seed_celebrities()
-        self._inject_fakes()
-        self._inject_sb_clones()
-        self._inject_cb_clones()
-        self._inject_threats()
-        self._finalize_listings()
-        del rng
+        with obs.stage("ecosystem.plan"):
+            quotas = self._market_quotas()
+            self._build_name_pool(sum(quotas.values()))
+            self._sampler = BodySampler(self._catalog, self._name_pool)
+            plans = self._plan_base_population(quotas)
+        pool = ShardPool(
+            self._gen_workers, self._rngs.seed, self._catalog, self._name_pool
+        )
+        try:
+            with obs.stage("ecosystem.build"):
+                bodies = pool.map_chunks(_build_chunk, plans)
+            with obs.stage("ecosystem.submit"):
+                self._register_base_population(plans, bodies)
+            with obs.stage("ecosystem.developers"):
+                self._assign_developers()
+            with obs.stage("ecosystem.misbehavior"):
+                self._seed_celebrities()
+                self._inject_fakes()
+                self._inject_sb_clones()
+                self._inject_cb_clones()
+            with obs.stage("ecosystem.threats"):
+                self._inject_threats()
+            with obs.stage("ecosystem.finalize"):
+                self._finalize_listings(pool)
+        finally:
+            pool.shutdown()
         return self._world
 
     # ------------------------------------------------------------------
@@ -153,7 +186,7 @@ class EcosystemGenerator:
         return quotas
 
     # ------------------------------------------------------------------
-    # stage 2: base population
+    # stage 2: base population (plan -> build -> submit)
     # ------------------------------------------------------------------
 
     def _build_name_pool(self, total_quota: int) -> None:
@@ -163,29 +196,36 @@ class EcosystemGenerator:
             text.app_display_name(rng, common_fraction=0.0) for _ in range(pool_size)
         ]
 
-    def _sample_display_name(self, rng: np.random.Generator) -> str:
-        """Display name; drawn from a shared pool ~22% of the time.
+    def _plan_base_population(self, quotas: Dict[str, int]) -> List[AppPlan]:
+        """The serial planning pass: every draw that touches shared state.
 
-        Shared-pool draws create the same-name clusters of Figure 8(b)
-        (22% of apps share a name with at least one other app).
+        Quota decrements, market picks, and unique-package claims depend
+        on each other app-to-app, so they stay on one stream, in one
+        deterministic order.  Everything else about an app is deferred to
+        the sharded build phase, keyed by the plan index recorded here.
         """
-        roll = rng.random()
-        if roll < 0.02:
-            return text.COMMON_APP_NAMES[int(rng.integers(0, len(text.COMMON_APP_NAMES)))]
-        if roll < 0.20:
-            idx = int(len(self._name_pool) * rng.power(2.5))
-            return self._name_pool[min(idx, len(self._name_pool) - 1)]
-        return text.app_display_name(rng, common_fraction=0.0)
-
-    def _create_base_population(self, quotas: Dict[str, int]) -> None:
         rng = self._rngs.stream("base-population")
+        plans: List[AppPlan] = []
+
+        def plan(scope: str, popularity: float, markets: Tuple[str, ...]) -> None:
+            package = self._unique_package(rng)
+            self._package_markets.setdefault(package, set())
+            plans.append(
+                AppPlan(
+                    index=len(plans),
+                    scope=scope,
+                    popularity=popularity,
+                    markets=markets,
+                    package=package,
+                )
+            )
+
         gp_quota = quotas[GOOGLE_PLAY]
         n_gp_only = int(round(gp_quota * SINGLE_STORE_GP_SHARE))
         n_mixed = gp_quota - n_gp_only
 
         for _ in range(n_gp_only):
-            self._new_app(rng, scope="global", popularity=float(rng.random()),
-                          markets=(GOOGLE_PLAY,))
+            plan("global", float(rng.random()), (GOOGLE_PLAY,))
 
         cn_remaining = {m: quotas[m] for m in CHINESE_MARKET_IDS}
 
@@ -194,7 +234,7 @@ class EcosystemGenerator:
             markets = (GOOGLE_PLAY,) + self._pick_cn_markets(
                 rng, popularity, cn_remaining, cap=4 if popularity < 0.99 else None
             )
-            self._new_app(rng, scope="mixed", popularity=popularity, markets=markets)
+            plan("mixed", popularity, markets)
 
         # Chinese-only apps fill the remaining Chinese quotas.
         while any(v > 0 for v in cn_remaining.values()):
@@ -208,7 +248,28 @@ class EcosystemGenerator:
                 # beyond the mixed population above.
                 markets = (GOOGLE_PLAY,) + markets
                 scope = "mixed"
-            self._new_app(rng, scope=scope, popularity=popularity, markets=markets)
+            plan(scope, popularity, markets)
+        return plans
+
+    def _register_base_population(
+        self, plans: Sequence[AppPlan], bodies: Sequence[AppBody]
+    ) -> None:
+        """The serial submit pass, in plan-index order.
+
+        Vetting pipelines are stateful per-market streams; consuming them
+        in index order is what makes the merged world independent of how
+        the build phase was chunked.
+        """
+        for plan, body in zip(plans, bodies):
+            rng = self._rngs.stream("register", plan.index)
+            self._register(
+                rng,
+                scope=plan.scope,
+                popularity=plan.popularity,
+                markets=plan.markets,
+                package=plan.package,
+                body=body,
+            )
 
     def _pick_cn_markets(
         self,
@@ -256,13 +317,6 @@ class EcosystemGenerator:
                 return package
         raise RuntimeError("could not find a unique package name")
 
-    def _sample_category(self, rng: np.random.Generator, markets: Sequence[str]) -> str:
-        vendorish = sum(1 for m in markets if get_profile(m).kind == "vendor")
-        weights = VENDOR_WEIGHTS if vendorish > len(markets) / 2 else CANONICAL_WEIGHTS
-        names = [c for c, w in weights.items() if w > 0]
-        probs = np.asarray([weights[c] for c in names])
-        return str(rng.choice(names, p=probs / probs.sum()))
-
     @staticmethod
     def _clone_versions(
         rng: np.random.Generator, victim: AppBlueprint
@@ -277,108 +331,6 @@ class EcosystemGenerator:
         cut = int(rng.integers(1, len(victim.versions) + 1))
         return victim.versions[:cut]
 
-    def _sample_versions(
-        self, rng: np.random.Generator, popularity: float, scope: str
-    ) -> Tuple[AppVersion, ...]:
-        n = sample_version_count(popularity, rng)
-        last_day = sample_release_day(scope, rng)
-        days = [last_day]
-        for _ in range(n - 1):
-            days.append(days[-1] - int(rng.integers(20, 260)))
-        days = sorted(max(d, 400) for d in days)
-        versions = []
-        for i, day in enumerate(days):
-            code = (i + 1) * int(rng.integers(1, 4))
-            if i > 0:
-                code = max(code, versions[-1].version_code + 1)
-            versions.append(
-                AppVersion(
-                    version_code=code,
-                    version_name=f"{1 + i // 4}.{i % 4}.{int(rng.integers(0, 10))}",
-                    release_day=day,
-                )
-            )
-        return tuple(versions)
-
-    def _sample_permissions(
-        self,
-        rng: np.random.Generator,
-        scope: str,
-        lib_perms: Set[str],
-        own: Optional[Set[str]] = None,
-    ) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
-        """Return (own_used, requested) permission tuples.
-
-        ``own`` is given for repackaged apps, whose first-party code (and
-        thus its permission footprint) is inherited from the victim — a
-        repackager ships the original manifest plus its own additions.
-        """
-        if own is None:
-            n_dangerous = int(rng.integers(1, 5))
-            n_normal = int(rng.integers(2, 5))
-            own = set(rng.choice(DANGEROUS_PERMISSIONS, size=n_dangerous, replace=False))
-            own |= set(rng.choice(NORMAL_PERMISSIONS, size=n_normal, replace=False))
-        used = own | lib_perms
-
-        # Developers habitually paste permission boilerplate; each line
-        # that happens to cover an API the app really calls is harmless,
-        # the rest become the measured over-privilege.  Draws that hit an
-        # already-used permission are NOT redrawn — that would merely
-        # funnel probability mass into the rarer permissions and invert
-        # the paper's READ_PHONE_STATE-first ranking.
-        extra_count = sample_overprivilege_count(scope, rng)
-        extras: Set[str] = set()
-        perms = list(OVERPRIV_PERMISSION_WEIGHTS)
-        probs = np.asarray([OVERPRIV_PERMISSION_WEIGHTS[p] for p in perms])
-        probs = probs / probs.sum()
-        for _ in range(extra_count):
-            p = str(rng.choice(perms, p=probs))
-            if p not in used:
-                extras.add(p)
-        requested = tuple(sorted(str(p) for p in used | extras))
-        return tuple(sorted(str(p) for p in own)), requested
-
-    def _sample_libraries(
-        self, rng: np.random.Generator, scope: str, markets: Sequence[str]
-    ) -> Tuple[Tuple[str, int], ...]:
-        profiles = [get_profile(m) for m in markets]
-        presence = float(np.mean([p.tpl_presence for p in profiles]))
-        if rng.random() >= presence:
-            return ()
-        target_count = float(np.mean([p.tpl_avg_count for p in profiles]))
-        region = "global" if scope == "global" else "china"
-
-        def expected(tier: str) -> float:
-            if scope == "mixed":
-                return 0.5 * (
-                    self._catalog.expected_count("global", tier)
-                    + self._catalog.expected_count("china", tier)
-                )
-            return self._catalog.expected_count(region, tier)
-
-        # Named libraries are adopted at their Table 2 usage rates; the
-        # anonymous long tail absorbs per-market library-count targets
-        # (Figure 5a) so measured top-10 usages stay faithful.
-        tail_bias = max(
-            0.0, (target_count - expected("named")) / max(expected("tail"), 1e-9)
-        )
-
-        chosen: List[Tuple[str, int]] = []
-        for lib in self._catalog:
-            if scope == "mixed":
-                usage = 0.5 * (lib.gp_usage + lib.cn_usage)
-            else:
-                usage = self._catalog.usage(lib, region)
-            # Aggressive ad SDK adoption is never amplified: markets whose
-            # apps embed more libraries overall do not proportionally
-            # attract more grayware (the Table 4 ">=1" top-up handles
-            # per-market grayware calibration).
-            p = min(0.97, usage * tail_bias if lib.tail else usage)
-            if rng.random() < p:
-                version = int(rng.integers(0, lib.n_versions))
-                chosen.append((lib.package, version))
-        return tuple(chosen)
-
     def _new_app(
         self,
         rng: np.random.Generator,
@@ -389,7 +341,7 @@ class EcosystemGenerator:
         package: Optional[str] = None,
         provenance: str = PROVENANCE_LEGIT,
         related_app_id: Optional[int] = None,
-        own_code=None,
+        own_code: Optional[OwnCode] = None,
         libraries: Optional[Tuple[Tuple[str, int], ...]] = None,
         threat: Optional[ThreatProfile] = None,
         developer: Optional[Developer] = None,
@@ -398,58 +350,79 @@ class EcosystemGenerator:
     ) -> Optional[AppBlueprint]:
         """Create an app, submit it to its markets, and register it.
 
+        The injection-stage path: body and submission draws share one
+        stage stream (injections are inherently serial — they read the
+        already-registered world).  Returns the blueprint, or ``None``
+        if vetting rejected it from every market.  ``versions``
+        overrides the sampled history — clones ship under their victim's
+        version numbering, never ahead of it.
+        """
+        package = package or self._unique_package(rng)
+        body = self._sampler.sample_body(
+            rng,
+            scope=scope,
+            popularity=popularity,
+            markets=markets,
+            package=package,
+            display_name=display_name,
+            own_code=own_code,
+            libraries=libraries,
+            versions=versions,
+        )
+        return self._register(
+            rng,
+            scope=scope,
+            popularity=popularity,
+            markets=markets,
+            package=package,
+            body=body,
+            provenance=provenance,
+            related_app_id=related_app_id,
+            threat=threat,
+            developer=developer,
+            forced=forced,
+        )
+
+    def _register(
+        self,
+        rng: np.random.Generator,
+        *,
+        scope: str,
+        popularity: float,
+        markets: Sequence[str],
+        package: str,
+        body: AppBody,
+        provenance: str = PROVENANCE_LEGIT,
+        related_app_id: Optional[int] = None,
+        threat: Optional[ThreatProfile] = None,
+        developer: Optional[Developer] = None,
+        forced: bool = False,
+    ) -> Optional[AppBlueprint]:
+        """Submit a sampled body to its markets and register the result.
+
         Returns the blueprint, or ``None`` if vetting rejected it from
         every market.  Placements only exist for accepting markets.
-        ``versions`` overrides the sampled history — clones ship under
-        their victim's version numbering, never ahead of it.
         """
-        app_id = len(self._world.apps)
-        package = package or self._unique_package(rng)
-        if versions is None:
-            versions = self._sample_versions(rng, popularity, scope)
-        libraries = (
-            libraries
-            if libraries is not None
-            else self._sample_libraries(rng, scope, markets)
-        )
-        lib_perms: Set[str] = set()
-        for lib_package, _ in libraries:
-            lib_perms |= set(self._catalog.get(lib_package).permissions)
-        if own_code is None:
-            own_perms, requested = self._sample_permissions(rng, scope, lib_perms)
-            own_code = generate_own_code(rng, self._spec, package, own_perms)
-        else:
-            # Repackaged code: the permission footprint comes from the
-            # inherited first-party code, not a fresh draw.
-            inherited = set(self._spec.permissions_for(own_code.features))
-            _, requested = self._sample_permissions(
-                rng, scope, lib_perms, own=inherited
-            )
-        quality = float(np.clip(0.30 + 0.45 * popularity + rng.normal(0, 0.15), 0.05, 1.0))
-        first_release = versions[0].release_day
-
         blueprint = AppBlueprint(
-            app_id=app_id,
+            app_id=len(self._world.apps),
             package=package,
-            display_name=display_name or self._sample_display_name(rng),
-            category=self._sample_category(rng, markets),
+            display_name=body.display_name,
+            category=body.category,
             developer=developer,  # may be assigned later for base apps
             scope=scope,
             popularity=popularity,
-            quality=quality,
-            min_sdk=sample_min_sdk(first_release, rng, scope),
-            target_sdk=0,  # fixed up below
-            release_day=first_release,
-            versions=versions,
-            own_code=own_code,
-            libraries=libraries,
-            permissions_requested=requested,
+            quality=body.quality,
+            min_sdk=body.min_sdk,
+            target_sdk=body.target_sdk,
+            release_day=body.versions[0].release_day,
+            versions=body.versions,
+            own_code=body.own_code,
+            libraries=body.libraries,
+            permissions_requested=body.permissions_requested,
             threat=threat,
             provenance=provenance,
             related_app_id=related_app_id,
         )
-        blueprint.target_sdk = blueprint.min_sdk + int(rng.integers(0, 9))
-
         accepted_any = False
         for market_id in markets:
             if self._submit(blueprint, market_id, rng, forced=forced):
@@ -766,7 +739,7 @@ class EcosystemGenerator:
             if rng.random() < 0.5:
                 name = victim.display_name + " " + str(rng.integers(2, 9))
             else:
-                name = self._sample_display_name(rng)
+                name = self._sampler.sample_display_name(rng)
             app = self._new_app(
                 rng,
                 scope="china" if market != GOOGLE_PLAY else "global",
@@ -983,8 +956,6 @@ class EcosystemGenerator:
                 if candidate is None:
                     deficits[market] -= 1
                     continue
-                pool_added = True
-                del pool_added
             region = "global" if candidate.scope == "global" else "china"
             lib = self._pick_aggressive_lib(rng, region, aggressive)
             candidate.libraries = candidate.libraries + (
@@ -1011,11 +982,17 @@ class EcosystemGenerator:
     # stage 9: finalize listings
     # ------------------------------------------------------------------
 
-    def _finalize_listings(self) -> None:
-        rng = self._rngs.stream("finalize")
+    def _finalize_listings(self, pool: ShardPool) -> None:
+        """Assign downloads, ratings, and category labels.
+
+        The rank assignment stays serial: per-market noise draws come
+        from one stream per market, consumed in membership order, and
+        the sort that turns scores into ranks is global to the market.
+        The per-listing draws (bin placement, rating, label) are pure
+        per-listing work keyed by ``(market, app)``, so they shard.
+        """
+        jobs: List[FinalizeJob] = []
         for market_id in ALL_MARKET_IDS:
-            profile = get_profile(market_id)
-            taxonomy = taxonomy_for(market_id)
             members = self._market_members[market_id]
             if not members:
                 continue
@@ -1025,65 +1002,30 @@ class EcosystemGenerator:
             # hold the top slots of every store (so they land in the >1M
             # bin everywhere — the anchor the fake-app heuristic needs),
             # while the long tail shuffles freely between stores.
+            noise_rng = self._rngs.stream("finalize-noise", market_id)
             scores = []
             for a in members:
                 popularity = self._world.apps[a].popularity
                 sigma = 0.02 * min(1.0, (1.0 - popularity) * 25.0)
-                scores.append((popularity + rng.normal(0, sigma), a))
+                scores.append((popularity + noise_rng.normal(0, sigma), a))
             scores.sort()
             n = len(scores)
             for rank, (_, app_id) in enumerate(scores):
                 app = self._world.apps[app_id]
-                placement = app.placements[market_id]
-                percentile = (rank + 0.5) / n
-                downloads = self._downloads_for_percentile(rng, profile, percentile)
-                if app.provenance == PROVENANCE_FAKE and downloads is not None:
-                    downloads = min(downloads, int(rng.integers(40, 1000)))
-                placement.downloads = downloads
-                placement.rating = sample_listing_rating(
-                    profile, app.quality, downloads, rng
+                jobs.append(
+                    FinalizeJob(
+                        market_id=market_id,
+                        app_id=app_id,
+                        percentile=(rank + 0.5) / n,
+                        quality=app.quality,
+                        category=app.category,
+                        is_fake=app.provenance == PROVENANCE_FAKE,
+                    )
                 )
-                if profile.category_null_share > 0 and rng.random() < profile.category_null_share:
-                    placement.category_label = taxonomy.null_label(rng)
-                else:
-                    placement.category_label = taxonomy.market_label(app.category)
-
-    @staticmethod
-    def _downloads_for_percentile(
-        rng: np.random.Generator, profile: MarketProfile, percentile: float
-    ) -> Optional[int]:
-        """Map a within-market rank percentile onto the market's Figure 2
-        bin row, then draw within the bin.
-
-        The within-bin position blends the app's rank position with
-        noise, so the market's very top apps reliably land near the top
-        of the open-ended ">1M" bin — Section 4.2's power law (top 0.1%
-        of apps owning >50% of installs) depends on the head of the
-        distribution, not only on the bin mix.
-        """
-        if not profile.reports_downloads:
-            return None
-        shares = np.asarray(profile.download_bin_shares, dtype=float)
-        total = shares.sum()
-        if total <= 0:
-            return None
-        cdf = np.cumsum(shares / total)
-        bin_idx = int(np.searchsorted(cdf, percentile, side="right"))
-        bin_idx = min(bin_idx, len(shares) - 1)
-        from repro.markets.profiles import DOWNLOAD_BIN_EDGES
-
-        lo = DOWNLOAD_BIN_EDGES[bin_idx]
-        hi = (
-            DOWNLOAD_BIN_EDGES[bin_idx + 1]
-            if bin_idx + 1 < len(DOWNLOAD_BIN_EDGES)
-            else 5_000_000_000
-        )
-        if lo == 0:
-            return int(rng.integers(0, 10))
-        bin_lo_p = cdf[bin_idx - 1] if bin_idx > 0 else 0.0
-        bin_hi_p = cdf[bin_idx] if bin_idx < len(cdf) else 1.0
-        span = max(bin_hi_p - bin_lo_p, 1e-9)
-        within = min(1.0, max(0.0, (percentile - bin_lo_p) / span))
-        position = 0.7 * within + 0.3 * rng.random()
-        exponent = np.log10(lo) + (np.log10(hi) - np.log10(lo)) * position
-        return int(10 ** exponent)
+        for market_id, app_id, downloads, rating, label in pool.map_chunks(
+            _finalize_chunk, jobs
+        ):
+            placement = self._world.apps[app_id].placements[market_id]
+            placement.downloads = downloads
+            placement.rating = rating
+            placement.category_label = label

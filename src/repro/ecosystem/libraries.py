@@ -82,11 +82,18 @@ class LibraryVersionCode:
     blocks: Tuple[int, ...]
 
     def as_code_package(self) -> CodePackage:
-        return CodePackage(
-            name=self.library.package,
-            features=dict(self.features),
-            blocks=self.blocks,
-        )
+        # Memoized on the frozen instance: every APK embedding this
+        # library version packages the identical code.
+        try:
+            return self._code_package
+        except AttributeError:
+            pkg = CodePackage(
+                name=self.library.package,
+                features=dict(self.features),
+                blocks=self.blocks,
+            )
+            object.__setattr__(self, "_code_package", pkg)
+            return pkg
 
 
 def _lib(package, vendor, category, gp, cn, versions=5, perms=(), grayware=None):

@@ -1,0 +1,542 @@
+"""Sharded world generation: index-keyed shards over a worker pool.
+
+World generation splits into three phases so the expensive middle can
+run on a process pool without perturbing a single byte of output:
+
+1. **Plan** (serial, cheap): quota accounting, popularity draws, market
+   picks, and unique-package claims — everything whose draws depend on
+   shared mutable state (remaining quotas, the package registry).
+2. **Build** (parallel): body sampling — version history, libraries,
+   permissions, own code, display name — the ~75-80% of generation time
+   that is embarrassingly parallel once planned.
+3. **Submit** (serial, in index order): vetting, placement, and world
+   registration, which consume the per-market vetting streams and the
+   append-only world lists.
+
+The determinism contract matches the crawl and analysis engines: the
+merged :class:`~repro.ecosystem.world.World` is bit-identical at any
+worker count.  The mechanism is *index-keyed RNG substreams*: the body
+for plan ``i`` always draws from ``rngs.stream("app-body", i)`` and the
+finalize pass for listing ``(market, app)`` always draws from
+``rngs.stream("finalize-listing", market, app)`` — keyed by the stable
+identity of the work item, never by which shard or worker executed it.
+Re-chunking the work list therefore cannot move a single draw.
+
+The pool itself is a plain ``ProcessPoolExecutor`` (generation is
+CPU-bound pure Python + numpy, so threads cannot help).  Workers are
+primed once via an initializer with the factory seed, library catalog,
+and shared name pool; every chunk call ships only the small plan/job
+records.  Any pool failure (sandboxed environments without working
+multiprocessing, pickling regressions) degrades to an in-process serial
+run of the same chunk functions — same streams, same output, just slower.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.android.permissions import (
+    DANGEROUS_PERMISSIONS,
+    NORMAL_PERMISSIONS,
+    platform_spec,
+)
+from repro.ecosystem.apps import AppVersion, OwnCode, generate_own_code
+from repro.ecosystem.calibration import (
+    OVERPRIV_PERMISSION_WEIGHTS,
+    sample_min_sdk,
+    sample_overprivilege_count,
+    sample_release_day,
+    sample_version_count,
+)
+from repro.ecosystem.libraries import LibraryCatalog
+from repro.ecosystem.popularity import sample_listing_rating
+from repro.markets.categories import CANONICAL_WEIGHTS, VENDOR_WEIGHTS, taxonomy_for
+from repro.markets.profiles import MarketProfile, get_profile
+from repro.util import text
+from repro.util.rng import RngFactory
+
+__all__ = [
+    "AppPlan",
+    "AppBody",
+    "FinalizeJob",
+    "BodySampler",
+    "ShardPool",
+    "resolve_gen_workers",
+    "downloads_for_percentile",
+]
+
+
+def resolve_gen_workers(workers: int = 0) -> int:
+    """Resolve a generation worker count (``0`` = one per CPU, capped).
+
+    The cap reflects Amdahl: planning, vetting, and world registration
+    stay serial, so beyond ~8 workers extra processes only add fork and
+    pickling overhead.
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    if workers:
+        return workers
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+@dataclass(frozen=True)
+class AppPlan:
+    """The serial-phase decision record for one base-population app.
+
+    Everything here was drawn from shared mutable state (market quotas,
+    the package registry); everything *not* here is a pure function of
+    the plan plus the app's index-keyed RNG substream.
+    """
+
+    index: int
+    scope: str  # "global" | "china" | "mixed"
+    popularity: float
+    markets: Tuple[str, ...]
+    package: str
+
+
+@dataclass(frozen=True)
+class AppBody:
+    """The parallel-phase product: one app's sampled content."""
+
+    display_name: str
+    category: str
+    quality: float
+    min_sdk: int
+    target_sdk: int
+    versions: Tuple[AppVersion, ...]
+    own_code: OwnCode
+    libraries: Tuple[Tuple[str, int], ...]
+    permissions_requested: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FinalizeJob:
+    """One listing's finalize work item (rank already assigned)."""
+
+    market_id: str
+    app_id: int
+    percentile: float
+    quality: float
+    category: str
+    is_fake: bool
+
+
+class BodySampler:
+    """Samples app bodies from an explicit RNG stream.
+
+    Pure with respect to its inputs: holds only immutable shared context
+    (library catalog, platform permission spec, display-name pool), so
+    the same instance semantics hold in-process and inside pool workers.
+    """
+
+    def __init__(self, catalog: LibraryCatalog, name_pool: Sequence[str]):
+        self._catalog = catalog
+        self._name_pool = list(name_pool)
+        self._spec = platform_spec()
+
+    # -- individual draws ----------------------------------------------
+
+    def sample_display_name(self, rng: np.random.Generator) -> str:
+        """Display name; drawn from a shared pool ~22% of the time.
+
+        Shared-pool draws create the same-name clusters of Figure 8(b)
+        (22% of apps share a name with at least one other app).
+        """
+        roll = rng.random()
+        if roll < 0.02:
+            return text.COMMON_APP_NAMES[
+                int(rng.integers(0, len(text.COMMON_APP_NAMES)))
+            ]
+        if roll < 0.20 and self._name_pool:
+            idx = int(len(self._name_pool) * rng.power(2.5))
+            return self._name_pool[min(idx, len(self._name_pool) - 1)]
+        return text.app_display_name(rng, common_fraction=0.0)
+
+    def sample_category(
+        self, rng: np.random.Generator, markets: Sequence[str]
+    ) -> str:
+        vendorish = sum(1 for m in markets if get_profile(m).kind == "vendor")
+        weights = VENDOR_WEIGHTS if vendorish > len(markets) / 2 else CANONICAL_WEIGHTS
+        names = [c for c, w in weights.items() if w > 0]
+        probs = np.asarray([weights[c] for c in names])
+        return str(rng.choice(names, p=probs / probs.sum()))
+
+    def sample_versions(
+        self, rng: np.random.Generator, popularity: float, scope: str
+    ) -> Tuple[AppVersion, ...]:
+        n = sample_version_count(popularity, rng)
+        last_day = sample_release_day(scope, rng)
+        days = [last_day]
+        for _ in range(n - 1):
+            days.append(days[-1] - int(rng.integers(20, 260)))
+        days = sorted(max(d, 400) for d in days)
+        versions = []
+        for i, day in enumerate(days):
+            code = (i + 1) * int(rng.integers(1, 4))
+            if i > 0:
+                code = max(code, versions[-1].version_code + 1)
+            versions.append(
+                AppVersion(
+                    version_code=code,
+                    version_name=f"{1 + i // 4}.{i % 4}.{int(rng.integers(0, 10))}",
+                    release_day=day,
+                )
+            )
+        return tuple(versions)
+
+    def sample_permissions(
+        self,
+        rng: np.random.Generator,
+        scope: str,
+        lib_perms: Set[str],
+        own: Optional[Set[str]] = None,
+    ) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        """Return (own_used, requested) permission tuples.
+
+        ``own`` is given for repackaged apps, whose first-party code (and
+        thus its permission footprint) is inherited from the victim — a
+        repackager ships the original manifest plus its own additions.
+        """
+        if own is None:
+            n_dangerous = int(rng.integers(1, 5))
+            n_normal = int(rng.integers(2, 5))
+            own = set(
+                rng.choice(DANGEROUS_PERMISSIONS, size=n_dangerous, replace=False)
+            )
+            own |= set(rng.choice(NORMAL_PERMISSIONS, size=n_normal, replace=False))
+        used = own | lib_perms
+
+        # Developers habitually paste permission boilerplate; each line
+        # that happens to cover an API the app really calls is harmless,
+        # the rest become the measured over-privilege.  Draws that hit an
+        # already-used permission are NOT redrawn — that would merely
+        # funnel probability mass into the rarer permissions and invert
+        # the paper's READ_PHONE_STATE-first ranking.
+        extra_count = sample_overprivilege_count(scope, rng)
+        extras: Set[str] = set()
+        perms = list(OVERPRIV_PERMISSION_WEIGHTS)
+        probs = np.asarray([OVERPRIV_PERMISSION_WEIGHTS[p] for p in perms])
+        probs = probs / probs.sum()
+        for _ in range(extra_count):
+            p = str(rng.choice(perms, p=probs))
+            if p not in used:
+                extras.add(p)
+        requested = tuple(sorted(str(p) for p in used | extras))
+        return tuple(sorted(str(p) for p in own)), requested
+
+    def sample_libraries(
+        self, rng: np.random.Generator, scope: str, markets: Sequence[str]
+    ) -> Tuple[Tuple[str, int], ...]:
+        profiles = [get_profile(m) for m in markets]
+        presence = float(np.mean([p.tpl_presence for p in profiles]))
+        if rng.random() >= presence:
+            return ()
+        target_count = float(np.mean([p.tpl_avg_count for p in profiles]))
+        region = "global" if scope == "global" else "china"
+
+        def expected(tier: str) -> float:
+            if scope == "mixed":
+                return 0.5 * (
+                    self._catalog.expected_count("global", tier)
+                    + self._catalog.expected_count("china", tier)
+                )
+            return self._catalog.expected_count(region, tier)
+
+        # Named libraries are adopted at their Table 2 usage rates; the
+        # anonymous long tail absorbs per-market library-count targets
+        # (Figure 5a) so measured top-10 usages stay faithful.
+        tail_bias = max(
+            0.0, (target_count - expected("named")) / max(expected("tail"), 1e-9)
+        )
+
+        chosen: List[Tuple[str, int]] = []
+        for lib in self._catalog:
+            if scope == "mixed":
+                usage = 0.5 * (lib.gp_usage + lib.cn_usage)
+            else:
+                usage = self._catalog.usage(lib, region)
+            # Aggressive ad SDK adoption is never amplified: markets whose
+            # apps embed more libraries overall do not proportionally
+            # attract more grayware (the Table 4 ">=1" top-up handles
+            # per-market grayware calibration).
+            p = min(0.97, usage * tail_bias if lib.tail else usage)
+            if rng.random() < p:
+                version = int(rng.integers(0, lib.n_versions))
+                chosen.append((lib.package, version))
+        return tuple(chosen)
+
+    # -- the full body --------------------------------------------------
+
+    def sample_body(
+        self,
+        rng: np.random.Generator,
+        *,
+        scope: str,
+        popularity: float,
+        markets: Sequence[str],
+        package: str,
+        display_name: Optional[str] = None,
+        own_code: Optional[OwnCode] = None,
+        libraries: Optional[Tuple[Tuple[str, int], ...]] = None,
+        versions: Optional[Tuple[AppVersion, ...]] = None,
+    ) -> AppBody:
+        """Sample everything about an app that is not a shared-state draw.
+
+        The draw order is fixed; callers that pre-supply a component
+        (clones inherit versions, code, and libraries from their victim)
+        simply skip that component's draws.
+        """
+        if versions is None:
+            versions = self.sample_versions(rng, popularity, scope)
+        if libraries is None:
+            libraries = self.sample_libraries(rng, scope, markets)
+        lib_perms: Set[str] = set()
+        for lib_package, _ in libraries:
+            lib_perms |= set(self._catalog.get(lib_package).permissions)
+        if own_code is None:
+            own_perms, requested = self.sample_permissions(rng, scope, lib_perms)
+            own_code = generate_own_code(rng, self._spec, package, own_perms)
+        else:
+            # Repackaged code: the permission footprint comes from the
+            # inherited first-party code, not a fresh draw.
+            inherited = set(self._spec.permissions_for(own_code.features))
+            _, requested = self.sample_permissions(
+                rng, scope, lib_perms, own=inherited
+            )
+        quality = float(
+            np.clip(0.30 + 0.45 * popularity + rng.normal(0, 0.15), 0.05, 1.0)
+        )
+        if display_name is None:
+            display_name = self.sample_display_name(rng)
+        category = self.sample_category(rng, markets)
+        min_sdk = sample_min_sdk(versions[0].release_day, rng, scope)
+        target_sdk = min_sdk + int(rng.integers(0, 9))
+        return AppBody(
+            display_name=display_name,
+            category=category,
+            quality=quality,
+            min_sdk=min_sdk,
+            target_sdk=target_sdk,
+            versions=versions,
+            own_code=own_code,
+            libraries=libraries,
+            permissions_requested=requested,
+        )
+
+
+def downloads_for_percentile(
+    rng: np.random.Generator, profile: MarketProfile, percentile: float
+) -> Optional[int]:
+    """Map a within-market rank percentile onto the market's Figure 2
+    bin row, then draw within the bin.
+
+    The within-bin position blends the app's rank position with noise,
+    so the market's very top apps reliably land near the top of the
+    open-ended ">1M" bin — Section 4.2's power law (top 0.1% of apps
+    owning >50% of installs) depends on the head of the distribution,
+    not only on the bin mix.
+    """
+    if not profile.reports_downloads:
+        return None
+    shares = np.asarray(profile.download_bin_shares, dtype=float)
+    total = shares.sum()
+    if total <= 0:
+        return None
+    cdf = np.cumsum(shares / total)
+    bin_idx = int(np.searchsorted(cdf, percentile, side="right"))
+    bin_idx = min(bin_idx, len(shares) - 1)
+    from repro.markets.profiles import DOWNLOAD_BIN_EDGES
+
+    lo = DOWNLOAD_BIN_EDGES[bin_idx]
+    hi = (
+        DOWNLOAD_BIN_EDGES[bin_idx + 1]
+        if bin_idx + 1 < len(DOWNLOAD_BIN_EDGES)
+        else 5_000_000_000
+    )
+    if lo == 0:
+        return int(rng.integers(0, 10))
+    bin_lo_p = cdf[bin_idx - 1] if bin_idx > 0 else 0.0
+    bin_hi_p = cdf[bin_idx] if bin_idx < len(cdf) else 1.0
+    span = max(bin_hi_p - bin_lo_p, 1e-9)
+    within = min(1.0, max(0.0, (percentile - bin_lo_p) / span))
+    position = 0.7 * within + 0.3 * rng.random()
+    exponent = np.log10(lo) + (np.log10(hi) - np.log10(lo)) * position
+    return int(10 ** exponent)
+
+
+# ----------------------------------------------------------------------
+# worker-side chunk execution
+# ----------------------------------------------------------------------
+
+
+class _ShardContext:
+    """What a shard needs to execute work items: streams + sampler."""
+
+    def __init__(self, factory_seed: int, catalog: LibraryCatalog,
+                 name_pool: Sequence[str]):
+        self.rngs = RngFactory(factory_seed)
+        self.sampler = BodySampler(catalog, name_pool)
+
+
+_WORKER_CONTEXT: Optional[_ShardContext] = None
+
+
+def _init_worker(factory_seed: int, catalog: LibraryCatalog,
+                 name_pool: Sequence[str]) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = _ShardContext(factory_seed, catalog, name_pool)
+
+
+def _build_chunk(
+    plans: Sequence[AppPlan], ctx: Optional[_ShardContext] = None
+) -> List[AppBody]:
+    """Sample bodies for one chunk of plans.
+
+    Each body draws from the stream keyed by its plan *index* — the
+    chunk boundaries and executing worker are invisible to the output.
+    """
+    ctx = ctx or _WORKER_CONTEXT
+    out = []
+    for plan in plans:
+        rng = ctx.rngs.stream("app-body", plan.index)
+        out.append(
+            ctx.sampler.sample_body(
+                rng,
+                scope=plan.scope,
+                popularity=plan.popularity,
+                markets=plan.markets,
+                package=plan.package,
+            )
+        )
+    return out
+
+
+def _finalize_chunk(
+    jobs: Sequence[FinalizeJob], ctx: Optional[_ShardContext] = None
+) -> List[Tuple[str, int, Optional[int], Optional[float], str]]:
+    """Finalize one chunk of listings: downloads, rating, category label.
+
+    Streams are keyed by the listing's stable ``(market, app)`` identity.
+    """
+    ctx = ctx or _WORKER_CONTEXT
+    out = []
+    for job in jobs:
+        rng = ctx.rngs.stream("finalize-listing", job.market_id, job.app_id)
+        profile = get_profile(job.market_id)
+        taxonomy = taxonomy_for(job.market_id)
+        downloads = downloads_for_percentile(rng, profile, job.percentile)
+        if job.is_fake and downloads is not None:
+            downloads = min(downloads, int(rng.integers(40, 1000)))
+        rating = sample_listing_rating(profile, job.quality, downloads, rng)
+        if (
+            profile.category_null_share > 0
+            and rng.random() < profile.category_null_share
+        ):
+            label = taxonomy.null_label(rng)
+        else:
+            label = taxonomy.market_label(job.category)
+        out.append((job.market_id, job.app_id, downloads, rating, label))
+    return out
+
+
+# ----------------------------------------------------------------------
+# the pool
+# ----------------------------------------------------------------------
+
+
+class ShardPool:
+    """A process pool for generation shards, with a serial fallback.
+
+    ``map_chunks`` partitions a work list into contiguous chunks and
+    applies a chunk function, returning results in work-list order.
+    Because every work item derives its RNG stream from its own stable
+    key, the chunking (and the pool itself) cannot affect the results —
+    which is also why the serial fallback is safe to take mid-run.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        factory_seed: int,
+        catalog: LibraryCatalog,
+        name_pool: Sequence[str],
+    ):
+        self.workers = max(1, workers)
+        self._initargs = (factory_seed, catalog, list(name_pool))
+        self._local: Optional[_ShardContext] = None
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._broken = False
+
+    # -- internals -------------------------------------------------------
+
+    def _local_context(self) -> _ShardContext:
+        if self._local is None:
+            self._local = _ShardContext(*self._initargs)
+        return self._local
+
+    def _ensure_executor(self) -> Optional[ProcessPoolExecutor]:
+        if self._executor is None and not self._broken:
+            try:
+                try:
+                    mp_context = multiprocessing.get_context("fork")
+                except ValueError:  # platforms without fork
+                    mp_context = multiprocessing.get_context()
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=mp_context,
+                    initializer=_init_worker,
+                    initargs=self._initargs,
+                )
+            except (OSError, ValueError, RuntimeError):
+                self._broken = True
+        return self._executor
+
+    @staticmethod
+    def _chunked(items: Sequence, n_chunks: int) -> List[Sequence]:
+        size = max(1, math.ceil(len(items) / n_chunks))
+        return [items[i : i + size] for i in range(0, len(items), size)]
+
+    # -- public API ------------------------------------------------------
+
+    def map_chunks(self, chunk_fn, items: Sequence) -> List:
+        """Apply ``chunk_fn`` over ``items`` in contiguous chunks."""
+        items = list(items)
+        if not items:
+            return []
+        if self.workers <= 1:
+            return list(chunk_fn(items, self._local_context()))
+        # Over-chunk (4x workers) so a slow chunk cannot straggle the pool.
+        chunks = self._chunked(items, self.workers * 4)
+        executor = self._ensure_executor()
+        if executor is not None:
+            try:
+                futures = [executor.submit(chunk_fn, chunk) for chunk in chunks]
+                out: List = []
+                for future in futures:
+                    out.extend(future.result())
+                return out
+            except (BrokenProcessPool, OSError, RuntimeError):
+                # Sandboxes without working multiprocessing land here;
+                # index-keyed streams make the serial re-run identical.
+                self._broken = True
+                self.shutdown()
+        ctx = self._local_context()
+        out = []
+        for chunk in chunks:
+            out.extend(chunk_fn(chunk, ctx))
+        return out
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None

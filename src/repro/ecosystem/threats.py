@@ -20,6 +20,7 @@ ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -138,6 +139,7 @@ class ThreatProfile:
         return MALWARE_FAMILIES[self.family]
 
 
+@lru_cache(maxsize=None)
 def payload_code(family: str, variant: int) -> CodePackage:
     """Generate the payload code package for a (family, variant) pair.
 

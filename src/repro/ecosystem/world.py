@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Tuple
 
@@ -63,6 +64,69 @@ class World:
 
     def find_by_package(self, package: str) -> List[AppBlueprint]:
         return [app for app in self.apps if app.package == package]
+
+    def content_digest(self) -> str:
+        """A stable hex digest over everything generation decides.
+
+        Covers apps (including code features and version history),
+        developers, placements, the vetting log, and the threat feed —
+        if two runs disagree anywhere, their digests differ.  This is
+        the sharding contract's check: the digest must be identical for
+        any ``gen_workers`` value (see DESIGN.md).
+        """
+        h = hashlib.blake2b(digest_size=16)
+
+        def rec(*parts: object) -> None:
+            h.update("\x1f".join(repr(p) for p in parts).encode("utf-8"))
+            h.update(b"\x1e")
+
+        rec("world", self.seed, self.scale)
+        for dev in self.developers:
+            rec("dev", dev.dev_id, dev.name, dev.region, dev.alt_names)
+        for app in self.apps:
+            rec(
+                "app",
+                app.app_id,
+                app.package,
+                app.display_name,
+                app.category,
+                app.scope,
+                app.popularity,
+                app.quality,
+                app.min_sdk,
+                app.target_sdk,
+                app.release_day,
+                app.versions,
+                app.own_code.main_package,
+                sorted(app.own_code.features.items()),
+                app.own_code.blocks,
+                app.libraries,
+                app.permissions_requested,
+                (app.threat.family, app.threat.variant, app.threat.repackaged)
+                if app.threat is not None
+                else None,
+                app.provenance,
+                app.related_app_id,
+                app.developer.dev_id if app.developer is not None else None,
+            )
+            for market_id in sorted(app.placements):
+                p = app.placements[market_id]
+                rec(
+                    "placement",
+                    app.app_id,
+                    market_id,
+                    p.version_index,
+                    p.category_label,
+                    p.downloads,
+                    p.rating,
+                    p.listed_day,
+                    p.removed_at,
+                )
+        for record in self.vetting_log:
+            rec("vetting", record.market_id, record.app_id,
+                record.accepted, record.reason)
+        rec("threats", self.threat_feed.variants)
+        return h.hexdigest()
 
     def summary(self) -> Dict[str, int]:
         """Quick ground-truth tallies (for logging and examples)."""

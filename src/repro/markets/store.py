@@ -26,6 +26,7 @@ from repro.markets.profiles import (
 from repro.util.rng import stable_hash32
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.apk.archive import SegmentCache
     from repro.ecosystem.world import World
 
 __all__ = ["Listing", "MarketStore", "build_stores", "install_range_for"]
@@ -96,9 +97,15 @@ class MarketStore:
 
     PAGE_SIZE = 20
 
-    def __init__(self, profile: MarketProfile, world: "World"):
+    def __init__(
+        self,
+        profile: MarketProfile,
+        world: "World",
+        segments: Optional["SegmentCache"] = None,
+    ):
         self._profile = profile
         self._world = world
+        self._segments = segments
         self._listings: Dict[str, Listing] = {}
         self._order: List[str] = []  # insertion order (incremental index)
         self._by_name: Dict[str, List[str]] = {}
@@ -245,7 +252,11 @@ class MarketStore:
 
             blueprint = self._world.app(listing.app_id)
             self._apk_cache[package] = build_apk(
-                blueprint, listing.version_index, self._profile, self._world.catalog
+                blueprint,
+                listing.version_index,
+                self._profile,
+                self._world.catalog,
+                segments=self._segments,
             )
         return self._apk_cache[package]
 
@@ -263,9 +274,26 @@ def _developer_display_name(profile: MarketProfile, app, market_id: str) -> str:
     return name
 
 
-def build_stores(world: "World") -> Dict[str, MarketStore]:
-    """Materialize every market's store from the generated world."""
-    stores = {m: MarketStore(get_profile(m), world) for m in ALL_MARKET_IDS}
+def build_stores(
+    world: "World",
+    segments: Optional["SegmentCache"] = None,
+    segment_cache: bool = True,
+) -> Dict[str, MarketStore]:
+    """Materialize every market's store from the generated world.
+
+    One :class:`~repro.apk.archive.SegmentCache` is shared across all
+    stores (code segments recur across markets, not just within one);
+    pass ``segments`` to share it wider still, or ``segment_cache=False``
+    to build every blob cold.
+    """
+    if segments is None and segment_cache:
+        from repro.apk.archive import SegmentCache
+
+        segments = SegmentCache()
+    stores = {
+        m: MarketStore(get_profile(m), world, segments=segments)
+        for m in ALL_MARKET_IDS
+    }
     for app in world.apps:
         for market_id, placement in app.placements.items():
             profile = stores[market_id].profile
