@@ -1,0 +1,109 @@
+"""Benchmarks for the out-of-core corpus store.
+
+Times one full streaming pass over a spilled world against the same
+pass on the in-memory list, at the shared bench scale
+(``REPRO_BENCH_SCALE``, like every other bench in this directory), and
+records wall time *and* the tracemalloc peak of each pass in
+``BENCH_corpus.json`` under the ``"bench"`` key — next to the 50x smoke
+numbers ``examples/out_of_core_corpus.py`` writes under ``"smoke"``.
+
+Correctness anchors, enforced here like the worldgen floors: the world
+content digest must be identical before and after the spill, and the
+streaming cursor's traced heap peak must stay under the materialized
+pass's peak plus a fixed allowance (the cursor holds one batch, not the
+corpus).
+
+Like the worldgen benches this file uses its own timers, not the
+pytest-benchmark fixture: ``--benchmark-only`` runs skip it, and the CI
+``corpus`` job invokes it directly.
+"""
+
+import json
+import os
+import time
+import tracemalloc
+
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.store import CorpusStore
+
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.002"))
+
+RESULTS_PATH = "BENCH_corpus.json"
+
+#: The streaming pass re-decodes rows, so its *allocation* peak may sit
+#: above the materialized pass (whose list pre-exists the trace); what
+#: it must never do is scale with the corpus.  At bench scale the
+#: cursor's peak stays within this multiple of the materialized pass.
+MAX_PEAK_RATIO = 1.5
+
+
+def _record(section, data):
+    results = {}
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as handle:
+            results = json.load(handle)
+    results[section] = data
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+
+
+def _traced_pass(fn):
+    """(wall seconds, tracemalloc peak bytes) of one full pass."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    out = fn()
+    wall = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return wall, peak, out
+
+
+def test_bench_streaming_cursor(tmp_path):
+    world = EcosystemGenerator(seed=BENCH_SEED, scale=BENCH_SCALE).generate()
+    digest_before = world.content_digest()
+    n_apps = len(world.apps)
+
+    def sweep():
+        return sum(len(app.placements) for app in world.apps)
+
+    memory_s, memory_peak, listings = _traced_pass(sweep)
+
+    store = CorpusStore(tmp_path, spill_threshold=0)
+    start = time.perf_counter()
+    world.spill(store)
+    spill_s = time.perf_counter() - start
+
+    def stream():
+        return sum(1 for _ in world.iter_placements(batch_size=256))
+
+    stream_s, stream_peak, streamed = _traced_pass(stream)
+
+    assert world.spilled
+    assert streamed == listings
+    assert world.content_digest() == digest_before
+
+    _record(
+        "bench",
+        {
+            "seed": BENCH_SEED,
+            "scale": BENCH_SCALE,
+            "apps": n_apps,
+            "listings": listings,
+            "memory_pass_s": round(memory_s, 3),
+            "memory_peak_mib": round(memory_peak / 2**20, 2),
+            "spill_s": round(spill_s, 3),
+            "stream_pass_s": round(stream_s, 3),
+            "stream_peak_mib": round(stream_peak / 2**20, 2),
+            "digest": digest_before,
+        },
+    )
+    print(
+        f"\nspill {n_apps:,} apps in {spill_s:.2f}s; "
+        f"materialized pass {memory_s:.2f}s @ {memory_peak / 2**20:.1f}MiB vs "
+        f"streaming pass {stream_s:.2f}s @ {stream_peak / 2**20:.1f}MiB"
+    )
+    assert stream_peak <= MAX_PEAK_RATIO * max(memory_peak, 8 * 2**20), (
+        f"streaming cursor peaked at {stream_peak / 2**20:.1f}MiB vs "
+        f"materialized {memory_peak / 2**20:.1f}MiB"
+    )

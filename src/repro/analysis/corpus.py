@@ -4,17 +4,32 @@ Section 5 identifies unique apps across markets by package name; within
 a package, distinct developer signatures indicate distinct actors
 (potential clones).  An :class:`AppUnit` is one (package, signer) pair
 with a representative parsed APK and the per-market records backing it.
+
+Unit construction streams: :func:`iter_units` walks the snapshot's
+package groups (a batched cursor on the spilled backend) and yields
+each package's units as soon as its records have been seen, so only one
+package's records are resident at a time.  A unit holds its
+representative APK *by record* — on the spilled backend that is a
+:class:`~repro.store.blobs.LazyApk` proxy, so a fully-built unit list
+costs metadata, not parsed APKs.  :func:`build_units` is the
+materialized form and produces byte-identical output on both backends.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.apk.archive import ParsedApk
 from repro.crawler.snapshot import CrawlRecord, Snapshot
 
-__all__ = ["AppUnit", "build_units", "normalized_downloads", "record_sort_key"]
+__all__ = [
+    "AppUnit",
+    "build_units",
+    "iter_units",
+    "normalized_downloads",
+    "record_sort_key",
+]
 
 
 def record_sort_key(record: CrawlRecord) -> Tuple[str, str]:
@@ -45,14 +60,40 @@ def normalized_downloads(record: CrawlRecord) -> Optional[int]:
     return None
 
 
+def _apk_rank(apk) -> Tuple[int, str]:
+    """Representative ranking key: (version code, md5 tie-break).
+
+    Reads the spill-time ``version_code_hint`` when the APK is a lazy
+    proxy, so ranking never forces a parse; a :class:`ParsedApk` falls
+    through to its manifest.
+    """
+    hint = getattr(apk, "version_code_hint", None)
+    version_code = hint if hint is not None else apk.manifest.version_code
+    return (version_code, apk.md5)
+
+
 @dataclass
 class AppUnit:
-    """One unique app: a (package, signer) pair observed across markets."""
+    """One unique app: a (package, signer) pair observed across markets.
+
+    The representative APK is held through ``apk_record`` (the backing
+    crawl record); ``apk`` dereferences it on demand — a lazy read on
+    the spilled backend — and ``apk_md5`` answers identity questions
+    (artifact-cache keys) without touching APK content at all.
+    """
 
     package: str
     signer: Optional[str]  # None when no APK was obtained anywhere
     records: List[CrawlRecord] = field(default_factory=list)
-    apk: Optional[ParsedApk] = None
+    apk_record: Optional[CrawlRecord] = None
+
+    @property
+    def apk(self) -> Optional[ParsedApk]:
+        return self.apk_record.apk if self.apk_record is not None else None
+
+    @property
+    def apk_md5(self) -> Optional[str]:
+        return self.apk_record.md5 if self.apk_record is not None else None
 
     @property
     def markets(self) -> Tuple[str, ...]:
@@ -75,8 +116,47 @@ class AppUnit:
         return max(r.version_code for r in self.records)
 
 
-def build_units(snapshot: Snapshot) -> List[AppUnit]:
-    """Group records into (package, signer) units.
+def _package_units(package: str, records: List[CrawlRecord]) -> List[AppUnit]:
+    """Group one package's records into its (package, signer) units."""
+    by_signer: Dict[str, AppUnit] = {}
+    deferred: List[CrawlRecord] = []
+    for record in records:
+        apk = record.apk
+        if apk is None:
+            deferred.append(record)
+            continue
+        signer = apk.signer_fingerprint
+        unit = by_signer.get(signer)
+        if unit is None:
+            unit = AppUnit(package=package, signer=signer)
+            by_signer[signer] = unit
+        unit.records.append(record)
+        if unit.apk_record is None or _apk_rank(apk) > _apk_rank(unit.apk_record.apk):
+            unit.apk_record = record
+
+    apk_signers = len(by_signer)
+    none_unit: Optional[AppUnit] = None
+    for record in deferred:
+        if apk_signers == 1:
+            next(iter(by_signer.values())).records.append(record)
+            continue
+        if none_unit is None:
+            none_unit = AppUnit(package=package, signer=None)
+        none_unit.records.append(record)
+
+    units = list(by_signer.values())
+    if none_unit is not None:
+        units.append(none_unit)
+    units.sort(key=lambda u: (u.package, u.signer or ""))
+    for unit in units:
+        unit.records.sort(key=record_sort_key)
+    return units
+
+
+def iter_units(
+    snapshot: Snapshot, batch_size: Optional[int] = None
+) -> Iterator[AppUnit]:
+    """Stream (package, signer) units in canonical order.
 
     Records lacking an APK join the unit of their package's sole signer
     when that is unambiguous; otherwise they form a signer-``None`` unit
@@ -85,46 +165,18 @@ def build_units(snapshot: Snapshot) -> List[AppUnit]:
     the most up-to-date code the crawl saw — with the APK MD5 as the
     tie-break, so the choice depends only on the record *set*, never on
     the order records were ingested.  For the same reason each unit's
-    records are sorted by :func:`record_sort_key` and the unit list by
-    ``(package, signer)`` before returning: a parallel unit
-    construction can never reorder either silently.
+    records are sorted by :func:`record_sort_key` and units are yielded
+    in ``(package, signer)`` order: any ingestion order and either
+    snapshot backend produce the identical unit sequence.
+
+    Grouping is per package (signer assignment never crosses packages),
+    so the generator holds one package's records at a time —
+    ``batch_size`` tunes the spilled backend's cursor width underneath.
     """
-    by_key: Dict[Tuple[str, Optional[str]], AppUnit] = {}
-    deferred: List[CrawlRecord] = []
-    for record in snapshot:
-        if record.apk is None:
-            deferred.append(record)
-            continue
-        key = (record.package, record.apk.signer_fingerprint)
-        unit = by_key.get(key)
-        if unit is None:
-            unit = AppUnit(package=record.package, signer=record.apk.signer_fingerprint)
-            by_key[key] = unit
-        unit.records.append(record)
-        if unit.apk is None or (
-            record.apk.manifest.version_code,
-            record.apk.md5,
-        ) > (unit.apk.manifest.version_code, unit.apk.md5):
-            unit.apk = record.apk
+    for package, records in snapshot.iter_package_groups(batch_size):
+        yield from _package_units(package, records)
 
-    signers_of_package: Dict[str, List[Tuple[str, Optional[str]]]] = {}
-    for key in by_key:
-        signers_of_package.setdefault(key[0], []).append(key)
 
-    for record in deferred:
-        keys = signers_of_package.get(record.package, [])
-        if len(keys) == 1:
-            by_key[keys[0]].records.append(record)
-            continue
-        key = (record.package, None)
-        unit = by_key.get(key)
-        if unit is None:
-            unit = AppUnit(package=record.package, signer=None)
-            by_key[key] = unit
-            signers_of_package.setdefault(record.package, [])
-        unit.records.append(record)
-
-    units = sorted(by_key.values(), key=lambda u: (u.package, u.signer or ""))
-    for unit in units:
-        unit.records.sort(key=record_sort_key)
-    return units
+def build_units(snapshot: Snapshot) -> List[AppUnit]:
+    """The materialized unit list (see :func:`iter_units`)."""
+    return list(iter_units(snapshot))

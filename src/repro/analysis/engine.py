@@ -158,22 +158,36 @@ class AnalysisEngine:
         workers: int = 1,
         cache: Optional[ArtifactCache] = None,
         obs: Observability = NULL_OBS,
+        batch_size: Optional[int] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.workers = workers
         self.cache = cache
         self.obs = obs
+        #: When set, ``map`` feeds the pool in chunks of this many items
+        #: instead of enqueueing the whole corpus at once — the analysis
+        #: side of the out-of-core contract (results are identical; only
+        #: the number of simultaneously in-flight items changes).
+        self.batch_size = batch_size
         self.parallel_batches = 0
 
     @classmethod
     def from_config(cls, config, obs: Observability = NULL_OBS) -> "AnalysisEngine":
         """Build the engine a :class:`~repro.core.config.StudyConfig` asks for."""
         cache_dir = getattr(config, "artifact_cache_dir", None)
+        batch_size = (
+            getattr(config, "store_batch_size", None)
+            if getattr(config, "store_backend", "memory") == "sqlite"
+            else None
+        )
         return cls(
             workers=getattr(config, "analysis_workers", 1),
             cache=ArtifactCache(cache_dir) if cache_dir else None,
             obs=obs,
+            batch_size=batch_size,
         )
 
     @property
@@ -208,6 +222,11 @@ class AnalysisEngine:
 
         ``fn`` must be pure with respect to item order: the serial path
         and every worker width then produce identical output lists.
+
+        With ``batch_size`` set the pool is fed one chunk at a time,
+        each chunk merged in input order before the next is enqueued —
+        so at most ``batch_size`` items are in flight and the output is
+        still bit-identical to the unbatched path.
         """
         items = list(items)
         cm = self.obs.span(stage, n_items=len(items)) if stage else _NULL_CM
@@ -216,7 +235,14 @@ class AnalysisEngine:
                 return [fn(item) for item in items]
             self.parallel_batches += 1
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                return list(pool.map(fn, items))
+                if self.batch_size is None:
+                    return list(pool.map(fn, items))
+                results: List[R] = []
+                for start in range(0, len(items), self.batch_size):
+                    results.extend(
+                        pool.map(fn, items[start : start + self.batch_size])
+                    )
+                return results
 
     def map_units_cached(
         self,
@@ -240,11 +266,18 @@ class AnalysisEngine:
         cache = self.cache
 
         def one(unit):
-            apk = unit.apk
-            if apk is None:
-                return None
+            # Identity first: `apk_md5` answers from record metadata, so
+            # a cache hit never touches APK content (on the out-of-core
+            # backend that means no blob read at all).  Units predating
+            # the md5 property fall through to the APK itself.
+            md5 = getattr(unit, "apk_md5", None)
+            apk = unit.apk if md5 is None else None
+            if md5 is None:
+                if apk is None:
+                    return None
+                md5 = apk.md5
             if cache is not None:
-                payload = cache.get(analyzer, version, apk.md5)
+                payload = cache.get(analyzer, version, md5)
                 if payload is not None:
                     try:
                         return decode(payload)
@@ -253,9 +286,9 @@ class AnalysisEngine:
                             cache.stats.corrupt += 1
                             cache.stats.hits -= 1
                             cache.stats.misses += 1
-            value = compute(apk)
+            value = compute(apk if apk is not None else unit.apk)
             if cache is not None:
-                cache.put(analyzer, version, apk.md5, encode(value))
+                cache.put(analyzer, version, md5, encode(value))
             return value
 
         return self.map(units, one, stage=stage or f"analysis.{analyzer}.map")

@@ -102,6 +102,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-artifact-cache", action="store_true",
                        help="disable the artifact cache even when "
                             "--checkpoint-dir is set")
+        p.add_argument("--store-backend", choices=("memory", "sqlite"),
+                       default="memory",
+                       help="corpus storage backend: 'memory' holds the "
+                            "full corpus in RAM, 'sqlite' spills record "
+                            "families to disk-backed segment tables and "
+                            "streams them (digests identical either way)")
+        p.add_argument("--store-batch-size", type=int, default=512,
+                       metavar="N",
+                       help="streaming-cursor batch width for the sqlite "
+                            "backend (records in flight per cursor)")
+        p.add_argument("--store-spill-threshold", type=int, default=None,
+                       metavar="N",
+                       help="record count above which a family spills to "
+                            "disk (default: 5000; small worlds stay fully "
+                            "in-memory)")
+        p.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="root for the sqlite backend's segment tables "
+                            "and APK vault (default: <checkpoint-dir>/store "
+                            "or a temporary directory)")
         p.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write the campaign span trace to PATH (JSONL)")
         p.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -172,6 +191,14 @@ def _config_from(args: argparse.Namespace) -> StudyConfig:
         artifact_cache_dir=_artifact_cache_dir(args),
         gen_workers=resolve_gen_workers(args.gen_workers),
         segment_cache=not args.no_segment_cache,
+        store_backend=args.store_backend,
+        store_batch_size=args.store_batch_size,
+        **(
+            {"store_spill_threshold": args.store_spill_threshold}
+            if args.store_spill_threshold is not None
+            else {}
+        ),
+        store_dir=args.store_dir,
     )
 
 

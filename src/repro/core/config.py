@@ -92,6 +92,25 @@ class StudyConfig:
     #: fan-out.  Blob bytes are identical either way; disabling is only
     #: useful for benchmarking the cold build path.
     segment_cache: bool = True
+    #: Corpus storage backend.  ``"memory"`` (default) holds world,
+    #: snapshot, and units fully in RAM — today's behavior.  ``"sqlite"``
+    #: spills record families to disk-backed segment tables once they
+    #: cross ``store_spill_threshold`` and serves them through batched
+    #: streaming cursors; every ``content_digest()`` is bit-identical
+    #: between backends (the out-of-core contract, see DESIGN.md).
+    store_backend: str = "memory"
+    #: Streaming-cursor batch width for the sqlite backend: how many
+    #: records a cursor (and the analysis engine's worker pool) holds in
+    #: flight at once.
+    store_batch_size: int = 512
+    #: Record count above which a family spills to disk.  Small worlds
+    #: stay fully in-memory under the sqlite backend, bit-identical to
+    #: the memory backend in layout as well as digest.
+    store_spill_threshold: int = 5000
+    #: Root directory for the sqlite backend's segment tables and APK
+    #: blob vault.  ``None`` resolves to ``<checkpoint_dir>/store`` when
+    #: checkpointing is on, else a self-cleaning temporary directory.
+    store_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.scale <= 1:
@@ -112,3 +131,17 @@ class StudyConfig:
             )
         if self.gen_workers < 1:
             raise ValueError(f"gen_workers must be positive, got {self.gen_workers}")
+        if self.store_backend not in ("memory", "sqlite"):
+            raise ValueError(
+                f"store_backend must be 'memory' or 'sqlite', "
+                f"got {self.store_backend!r}"
+            )
+        if self.store_batch_size < 1:
+            raise ValueError(
+                f"store_batch_size must be positive, got {self.store_batch_size}"
+            )
+        if self.store_spill_threshold < 0:
+            raise ValueError(
+                f"store_spill_threshold must be non-negative, "
+                f"got {self.store_spill_threshold}"
+            )

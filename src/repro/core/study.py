@@ -79,9 +79,14 @@ class StudyResult:
         update_outcome: Optional[Mapping[str, int]] = None,
         obs: Observability = NULL_OBS,
         engine: Optional[AnalysisEngine] = None,
+        corpus=None,
     ):
         self.config = config
         self.world = world
+        #: The disk corpus store (sqlite backend), or None.  Held here
+        #: so the store outlives the run: snapshot and world cursors
+        #: read through it for the result's whole lifetime.
+        self.corpus = corpus
         self.stores = dict(stores)
         self.servers = dict(servers)
         self.clock = clock
@@ -263,6 +268,9 @@ class Study:
         config = self.config
         obs = self.obs
         rngs = RngFactory(config.seed)
+        from repro.store.corpus import CorpusStore
+
+        corpus = CorpusStore.from_config(config)
 
         with obs.stage("ecosystem"):
             world = EcosystemGenerator(
@@ -272,6 +280,11 @@ class Study:
                 gen_workers=config.gen_workers,
                 obs=obs,
             ).generate()
+            if corpus is not None and len(world.apps) > corpus.spill_threshold:
+                # Past the threshold the app list moves to the segment
+                # table; below it the world stays a plain in-memory list
+                # (bit-identical to the memory backend).
+                world.spill(corpus)
             segments = SegmentCache() if config.segment_cache else None
             stores = build_stores(
                 world, segments=segments, segment_cache=config.segment_cache
@@ -304,6 +317,7 @@ class Study:
             fail_fast=config.fail_fast,
             breaker_policy=self._breaker_policy(),
             obs=obs,
+            corpus=corpus,
         )
         with obs.stage("crawl.first"):
             snapshot = coordinator.crawl(
@@ -327,6 +341,7 @@ class Study:
             removal_outcome=apply_removals,
             update_outcome=updates,
             obs=obs,
+            corpus=corpus,
         )
         if config.download_apks:
             # Second campaign: targeted recheck of every flagged app.
@@ -348,6 +363,7 @@ class Study:
                 fail_fast=config.fail_fast,
                 breaker_policy=self._breaker_policy(),
                 obs=obs,
+                corpus=corpus,
             )
             with obs.stage("crawl.second"):
                 result.second_snapshot = second_coordinator.crawl(

@@ -13,7 +13,8 @@ the package so that repeated lookups agree.
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.util.rng import stable_hash32
 
@@ -25,6 +26,11 @@ __all__ = ["ArchiveBackfill", "DEFAULT_ARCHIVE_COVERAGE"]
 #: AndroZoo held APKs for ~89% of the Google Play apps the paper's crawl
 #: could not download (1,553,382 / 1,744,836).
 DEFAULT_ARCHIVE_COVERAGE = 0.89
+
+#: Archive-blob LRU bound.  Lookups are one-shot per (package, version)
+#: during a campaign, so the cache only needs to absorb retry bursts —
+#: holding every blob ever built defeats the out-of-core corpus.
+DEFAULT_ARCHIVE_CACHE = 256
 
 
 class ArchiveBackfill:
@@ -43,7 +49,8 @@ class ArchiveBackfill:
         self._market_id = market_id
         self._coverage = coverage
         self._segments = segments  # shared SegmentCache, or None
-        self._cache: Dict[Tuple[str, str], Optional[bytes]] = {}
+        self._cache: "OrderedDict[Tuple[str, str], Optional[bytes]]" = OrderedDict()
+        self._cache_size = DEFAULT_ARCHIVE_CACHE
         # The archive is shared by every market's download lane; the
         # lock keeps cache fills and hit/miss counters exact under the
         # parallel crawl engine.
@@ -59,9 +66,16 @@ class ArchiveBackfill:
         """Fetch an APK from the archive, or None if not archived."""
         key = (package, version_name)
         with self._lock:
-            if key not in self._cache:
-                self._cache[key] = self._build(package, version_name)
-            blob = self._cache[key]
+            if key in self._cache:
+                blob = self._cache[key]
+                self._cache.move_to_end(key)
+            else:
+                blob = self._build(package, version_name)
+                self._cache[key] = blob
+                while len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+            # Counters tally lookup outcomes, so eviction never skews
+            # them — a rebuilt blob is still a hit.
             if blob is None:
                 self.misses += 1
             else:

@@ -116,6 +116,7 @@ class CrawlCoordinator:
         fail_fast: bool = False,
         breaker_policy: Optional[BreakerPolicy] = DEFAULT_BREAKER_POLICY,
         obs: Observability = NULL_OBS,
+        corpus=None,
     ):
         self._servers = dict(servers)
         self._clock = clock
@@ -127,6 +128,7 @@ class CrawlCoordinator:
         self._journal = journal
         self._fail_fast = fail_fast
         self._obs = obs
+        self._corpus = corpus
         self._engine = CrawlEngine(
             self._servers,
             clock,
@@ -212,7 +214,7 @@ class CrawlCoordinator:
                     # server, and the first live request continues from
                     # this state.
                     self._restore_checkpoint(market_id, lane.last_state())
-        snapshot = Snapshot(label)
+        snapshot = Snapshot(label, store=self._corpus)
         stats = CrawlStats(telemetry=telemetry)
         pending: List[Tuple[str, str]] = []  # (package, app_name)
         searched: Set[str] = set()
@@ -442,7 +444,7 @@ class CrawlCoordinator:
             if (records := snapshot.in_market(market_id))
         }
         outcomes = self._engine.run(
-            {m: self._download_task(m, records, journal)
+            {m: self._download_task(m, records, journal, snapshot)
              for m, records in sharded.items()}
         )
         for market_id, records in sharded.items():
@@ -475,6 +477,7 @@ class CrawlCoordinator:
         market_id: str,
         records: Sequence[CrawlRecord],
         journal: Optional[CampaignJournal],
+        snapshot: Snapshot,
     ):
         client = self._engine.client(market_id)
         backfill = self._backfill
@@ -571,8 +574,8 @@ class CrawlCoordinator:
                         if doc["md5"] is not None:
                             if parsed is None:
                                 parsed = store.get(doc["md5"])  # replayed
-                            record.apk = parsed
-                            record.apk_source = doc["source"]
+                            snapshot.attach_apk(record, parsed, doc["source"])
+                            parsed = None  # released once attached
                         span["outcome"] = doc["outcome"]
                         span["source"] = doc["source"]
                         outcomes.append(doc["outcome"])

@@ -5,14 +5,30 @@ A :class:`Snapshot` is the dataset one crawl campaign produces: one
 metadata and, when the APK could be downloaded (or backfilled from the
 offline archive), the parsed APK.  All analyses in
 :mod:`repro.analysis` consume snapshots, never the ground-truth world.
+
+Snapshots have two backends behind one API.  The default keeps every
+record in memory, exactly as before.  Handing the constructor a
+:class:`~repro.store.corpus.CorpusStore` arms the out-of-core path:
+once the record count crosses the store's spill threshold, records move
+into a per-campaign SQLite segment table (APK documents into the blob
+vault, records holding :class:`~repro.store.blobs.LazyApk` proxies) and
+every accessor re-serves them through batched streaming cursors.
+``content_digest()`` is backend-invariant: the streaming fold below
+reproduces :func:`~repro.util.rng.stable_hash64` over the canonical row
+tuple byte for byte without ever materializing it.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.apk.archive import ParsedApk
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.corpus import CorpusStore
 
 __all__ = ["CrawlRecord", "Snapshot", "MarketHealth", "DeadLetter", "HEALTH_OK", "HEALTH_DEGRADED"]
 
@@ -141,11 +157,66 @@ class CrawlRecord:
         return self.apk.md5 if self.apk is not None else None
 
 
-class Snapshot:
-    """The dataset of one crawl campaign."""
+def _digest_row(r: "CrawlRecord") -> Tuple:
+    """The canonical per-record tuple the content digest folds over."""
+    return (
+        r.market_id,
+        r.package,
+        r.app_name,
+        r.version_name,
+        r.version_code,
+        r.category,
+        r.downloads,
+        r.install_range,
+        r.rating,
+        r.updated_day,
+        r.developer_name,
+        r.crawl_day,
+        r.md5,
+        r.signer,
+        r.apk_source,
+    )
 
-    def __init__(self, label: str):
+
+def streaming_snapshot_digest(label: str, rows: Iterable[Tuple]) -> int:
+    """Fold rows into the exact :func:`stable_hash64` snapshot digest.
+
+    ``stable_hash64("snapshot-content", label, tuple(rows))`` hashes the
+    ``repr`` of the full row tuple — which would materialize every
+    record.  This reproduces the same byte stream incrementally: the
+    tuple repr is ``(row0, row1, ...)`` with a trailing comma for the
+    single-element case, so the digest is bit-identical to the legacy
+    value at any corpus size (asserted by the store contract tests).
+    """
+    h = hashlib.blake2b(digest_size=8)
+    prefix = "\x1f".join((repr("snapshot-content"), repr(label), "("))
+    h.update(prefix.encode("utf-8"))
+    count = 0
+    for row in rows:
+        if count:
+            h.update(b", ")
+        h.update(repr(row).encode("utf-8"))
+        count += 1
+    h.update(b",)" if count == 1 else b")")
+    return int.from_bytes(h.digest(), "big")
+
+
+class Snapshot:
+    """The dataset of one crawl campaign.
+
+    ``store=None`` (the default) keeps every record in memory.  With a
+    :class:`~repro.store.corpus.CorpusStore`, the snapshot spills to the
+    store's per-campaign segment table once the record count crosses the
+    store's ``spill_threshold`` — below it, behavior and memory layout
+    are identical to the memory backend.
+    """
+
+    def __init__(self, label: str, store: Optional["CorpusStore"] = None):
         self.label = label
+        self._store = store
+        self._family = None  # segment table once spilled
+        self._keys: Set[Tuple[str, str]] = set()
+        self._market_ids: Set[str] = set()
         self._records: Dict[Tuple[str, str], CrawlRecord] = {}
         self._by_market: Dict[str, List[CrawlRecord]] = {}
         self._by_package: Dict[str, List[CrawlRecord]] = {}
@@ -156,41 +227,175 @@ class Snapshot:
         #: on a clean campaign).
         self.dead_letters: List[DeadLetter] = []
 
+    @property
+    def spilled(self) -> bool:
+        """True once records live in the segment table, not in dicts."""
+        return self._family is not None
+
     def __len__(self) -> int:
+        if self.spilled:
+            return len(self._keys)
         return len(self._records)
 
     def __iter__(self) -> Iterator[CrawlRecord]:
+        if self.spilled:
+            return (self._record_from_row(row) for row in self._family.scan())
         return iter(self._records.values())
+
+    # -- out-of-core plumbing ----------------------------------------------
+
+    def _row_of(self, record: CrawlRecord) -> Tuple:
+        """One segment-table row: key columns + APK-free JSON payload."""
+        from repro.crawler.dataset import _record_to_doc
+
+        apk = record.apk
+        if apk is not None and not isinstance(apk, ParsedApk):
+            # Already a LazyApk: the doc is in the vault.
+            md5, signer = apk.md5, apk.signer_fingerprint
+            vc_hint = apk.version_code_hint
+        elif apk is not None:
+            self._store.vault.put(apk)
+            md5, signer = apk.md5, apk.signer_fingerprint
+            vc_hint = apk.manifest.version_code
+        else:
+            md5 = signer = vc_hint = None
+        doc = _record_to_doc(record)
+        doc["apk"] = None
+        doc["apk_source"] = None  # provenance rides on the column
+        payload = json.dumps(doc, separators=(",", ":"))
+        return (
+            record.market_id,
+            record.package,
+            md5,
+            signer,
+            vc_hint,
+            record.apk_source,
+            payload,
+        )
+
+    def _record_from_row(self, row: Tuple) -> CrawlRecord:
+        from repro.crawler.dataset import _record_from_doc
+        from repro.store.blobs import LazyApk
+
+        market_id, package, md5, signer, vc_hint, apk_source, payload = row
+        record = _record_from_doc(json.loads(payload))
+        if md5 is not None:
+            record.apk = LazyApk(self._store.vault, md5, signer, vc_hint)
+            record.apk_source = apk_source
+        return record
+
+    def _spill(self) -> None:
+        """Move the in-memory records into the store's segment table."""
+        family = self._store.crawl_family(self.label)
+        for record in self._records.values():  # insertion order = rowid
+            family.append(*self._row_of(record))
+        family.flush()
+        self._family = family
+        self._keys = set(self._records)
+        self._market_ids = set(self._by_market)
+        self._records.clear()
+        self._by_market.clear()
+        self._by_package.clear()
+
+    # -- ingest ------------------------------------------------------------
 
     def add(self, record: CrawlRecord) -> bool:
         """Insert a record; returns False if (market, package) already seen."""
         key = (record.market_id, record.package)
+        if self.spilled:
+            if key in self._keys:
+                return False
+            self._keys.add(key)
+            self._market_ids.add(record.market_id)
+            self._family.append(*self._row_of(record))
+            return True
         if key in self._records:
             return False
         self._records[key] = record
         self._by_market.setdefault(record.market_id, []).append(record)
         self._by_package.setdefault(record.package, []).append(record)
+        if (
+            self._store is not None
+            and len(self._records) > self._store.spill_threshold
+        ):
+            self._spill()
         return True
 
+    def attach_apk(
+        self, record: CrawlRecord, apk: ParsedApk, source: Optional[str]
+    ) -> None:
+        """Attach a downloaded APK to a record, writing through the store.
+
+        The memory backend mutates the record in place (today's
+        behavior).  The spilled backend puts the APK document in the
+        blob vault, updates the record's segment-table row, and leaves a
+        :class:`LazyApk` on the caller's record object — the parsed APK
+        is released as soon as the caller drops it, so the download
+        phase never accumulates the corpus in RAM.
+        """
+        if not self.spilled:
+            record.apk = apk
+            record.apk_source = source
+            return
+        lazy = self._store.vault.lazy(apk)
+        self._family.update(
+            {
+                "md5": lazy.md5,
+                "signer": lazy.signer_fingerprint,
+                "vc_hint": lazy.version_code_hint,
+                "apk_source": source,
+            },
+            {"market_id": record.market_id, "package": record.package},
+        )
+        record.apk = lazy
+        record.apk_source = source
+
+    # -- lookups -----------------------------------------------------------
+
     def get(self, market_id: str, package: str) -> Optional[CrawlRecord]:
+        if self.spilled:
+            if (market_id, package) not in self._keys:
+                return None
+            row = self._family.get(market_id=market_id, package=package)
+            return self._record_from_row(row) if row is not None else None
         return self._records.get((market_id, package))
 
     def in_market(self, market_id: str) -> List[CrawlRecord]:
+        if self.spilled:
+            return [
+                self._record_from_row(row)
+                for row in self._family.scan(market_id=market_id)
+            ]
         return list(self._by_market.get(market_id, ()))
 
     def market_size(self, market_id: str) -> int:
+        if self.spilled:
+            return self._family.count(market_id=market_id)
         return len(self._by_market.get(market_id, ()))
 
     def markets(self) -> List[str]:
+        if self.spilled:
+            return sorted(self._market_ids)
         return sorted(self._by_market)
 
     def for_package(self, package: str) -> List[CrawlRecord]:
+        if self.spilled:
+            return [
+                self._record_from_row(row)
+                for row in self._family.scan(package=package)
+            ]
         return list(self._by_package.get(package, ()))
 
     def packages(self) -> List[str]:
+        if self.spilled:
+            return sorted({package for _, package in self._keys})
         return sorted(self._by_package)
 
     def markets_of(self, package: str) -> List[str]:
+        if self.spilled:
+            return sorted(
+                market for market, pkg in self._keys if pkg == package
+            )
         return sorted(r.market_id for r in self._by_package.get(package, ()))
 
     def with_apk(self) -> Iterator[CrawlRecord]:
@@ -206,9 +411,53 @@ class Snapshot:
             return MarketHealth(market_id, completed=self.market_size(market_id))
         return health
 
+    # -- streaming cursors -------------------------------------------------
+
+    def iter_sorted(self, batch_size: Optional[int] = None) -> Iterator[CrawlRecord]:
+        """Stream records in canonical (market_id, package) order.
+
+        The spilled backend pages an ordered cursor (one batch resident);
+        SQLite's BINARY collation over UTF-8 equals Python's str order,
+        so both backends yield the identical sequence.
+        """
+        if self.spilled:
+            return (
+                self._record_from_row(row)
+                for row in self._family.scan(
+                    batch_size=batch_size, order_by=["market_id", "package"]
+                )
+            )
+        return iter([self._records[key] for key in sorted(self._records)])
+
+    def iter_package_groups(
+        self, batch_size: Optional[int] = None
+    ) -> Iterator[Tuple[str, List[CrawlRecord]]]:
+        """Stream ``(package, records)`` groups in package order.
+
+        Records within a group come in ingest order on both backends;
+        unit building sorts them canonically anyway.  Only one package's
+        records are resident at a time, which is what lets unit
+        construction stream.
+        """
+        if not self.spilled:
+            for package in sorted(self._by_package):
+                yield package, list(self._by_package[package])
+            return
+        current: Optional[str] = None
+        bucket: List[CrawlRecord] = []
+        for row in self._family.scan(batch_size=batch_size, order_by=["package"]):
+            record = self._record_from_row(row)
+            if record.package != current:
+                if bucket:
+                    yield current, bucket
+                current, bucket = record.package, []
+            bucket.append(record)
+        if bucket:
+            yield current, bucket
+
     def sorted_records(self) -> List[CrawlRecord]:
         """Records in canonical (market_id, package) order."""
-        return [self._records[key] for key in sorted(self._records)]
+        return list(self.iter_sorted())
 
     def content_digest(self) -> int:
         """A stable digest of the full snapshot content.
@@ -216,34 +465,23 @@ class Snapshot:
         Covers every metadata field plus APK identity and provenance,
         over records in canonical order — two crawls produced the same
         dataset iff their digests match, which is how the determinism
-        tests compare a parallel crawl against the serial path.
+        tests compare a parallel crawl against the serial path, and how
+        the store contract tests compare backends.  Computed as a
+        streaming fold (see :func:`streaming_snapshot_digest`) so the
+        spilled backend never materializes the row tuple.
         """
-        from repro.util.rng import stable_hash64
-
-        rows = tuple(
-            (
-                r.market_id,
-                r.package,
-                r.app_name,
-                r.version_name,
-                r.version_code,
-                r.category,
-                r.downloads,
-                r.install_range,
-                r.rating,
-                r.updated_day,
-                r.developer_name,
-                r.crawl_day,
-                r.md5,
-                r.signer,
-                r.apk_source,
-            )
-            for r in self.sorted_records()
+        return streaming_snapshot_digest(
+            self.label, (_digest_row(r) for r in self.iter_sorted())
         )
-        return stable_hash64("snapshot-content", self.label, rows)
 
     def apk_coverage(self, market_id: str) -> float:
         """Share of a market's records with a parsed APK."""
+        if self.spilled:
+            total = with_apk = 0
+            for row in self._family.scan(market_id=market_id):
+                total += 1
+                with_apk += row[2] is not None  # md5 column
+            return with_apk / total if total else 0.0
         records = self._by_market.get(market_id, ())
         if not records:
             return 0.0

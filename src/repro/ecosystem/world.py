@@ -1,10 +1,18 @@
-"""The generated world: ground truth for one study run."""
+"""The generated world: ground truth for one study run.
+
+``World.apps`` is a plain list after generation; handing the world to a
+:class:`~repro.store.corpus.CorpusStore` via :meth:`World.spill` swaps
+it for a disk-backed :class:`~repro.store.corpus.SpilledAppList` behind
+the same sequence API.  Every accessor below works on either backend;
+``content_digest()`` is backend-invariant because iteration order (by
+``app_id``) is part of the spill contract.
+"""
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.ecosystem.apps import AppBlueprint, Placement
 from repro.ecosystem.developers import Developer
@@ -37,7 +45,7 @@ class World:
     scale: float
     catalog: LibraryCatalog
     developers: List[Developer] = field(default_factory=list)
-    apps: List[AppBlueprint] = field(default_factory=list)
+    apps: Sequence[AppBlueprint] = field(default_factory=list)
     threat_feed: ThreatFeed = field(default_factory=ThreatFeed)
     vetting_log: List[VettingRecord] = field(default_factory=list)
 
@@ -47,9 +55,46 @@ class World:
             raise AssertionError("app list out of order")
         return blueprint
 
-    def iter_placements(self) -> Iterator[Tuple[AppBlueprint, Placement]]:
-        """Yield every (app, placement) pair."""
-        for app in self.apps:
+    # -- out-of-core backend ------------------------------------------------
+
+    @property
+    def spilled(self) -> bool:
+        """True once ``apps`` lives in a corpus store, not a list."""
+        return not isinstance(self.apps, list)
+
+    def spill(self, store) -> None:
+        """Move the app list into ``store`` (a ``CorpusStore``).
+
+        Every accessor keeps working; reads come back as fresh copies,
+        so post-generation mutations must go through :meth:`write_back`.
+        Developers stay in memory (they are shared, small, and pickled
+        by reference so identity survives the round-trip).
+        """
+        from repro.store.corpus import SpilledAppList
+
+        if self.spilled:
+            return
+        self.apps = SpilledAppList.spill(store, self.apps, self.developers)
+
+    def write_back(self, app: AppBlueprint) -> None:
+        """Persist a mutated blueprint; no-op on the in-memory backend
+        (there, the caller already mutated the shared object)."""
+        write_back = getattr(self.apps, "write_back", None)
+        if write_back is not None:
+            write_back(app)
+
+    def iter_placements(
+        self, batch_size: Optional[int] = None
+    ) -> Iterator[Tuple[AppBlueprint, Placement]]:
+        """Yield every (app, placement) pair, streaming on the spilled
+        backend (``batch_size`` tunes its cursor width)."""
+        apps: Iterator[AppBlueprint]
+        iter_batched = getattr(self.apps, "iter", None)
+        if batch_size is not None and iter_batched is not None:
+            apps = iter_batched(batch_size)
+        else:
+            apps = iter(self.apps)
+        for app in apps:
             for placement in app.placements.values():
                 yield app, placement
 
@@ -63,6 +108,10 @@ class World:
         return sum(len(app.placements) for app in self.apps)
 
     def find_by_package(self, package: str) -> List[AppBlueprint]:
+        """All apps with this package — an indexed lookup once spilled."""
+        find = getattr(self.apps, "find_by_package", None)
+        if find is not None:
+            return find(package)
         return [app for app in self.apps if app.package == package]
 
     def content_digest(self) -> str:

@@ -31,23 +31,35 @@ def apply_catalog_updates(
     catchup_probability: float = DEFAULT_CATCHUP_PROBABILITY,
 ) -> Dict[str, int]:
     """Advance lagged listings to the latest version; returns per-market
-    counts of updated listings."""
-    updated: Dict[str, int] = {}
-    for market_id, store in stores.items():
-        rng = rngs.stream("catalog-updates", market_id)
-        count = 0
-        for app in world.apps:
-            placement = app.placements.get(market_id)
-            if placement is None:
+    counts of updated listings.
+
+    One pass over ``world.apps`` (a streaming cursor on the spilled
+    backend) visits every placement; each market draws from its own
+    named RNG stream in app order, so the catch-up decisions are
+    bit-identical to the older one-scan-per-market formulation at any
+    backend.  Mutated blueprints are written back through the world so
+    the change persists on the spilled backend (in-memory lists alias,
+    making write-back a no-op there).
+    """
+    updated: Dict[str, int] = {m: 0 for m in stores}
+    streams = {m: rngs.stream("catalog-updates", m) for m in stores}
+    for app in world.apps:
+        latest = app.latest_version_index
+        dirty = False
+        for market_id in app.placements:
+            store = stores.get(market_id)
+            if store is None:
                 continue
-            latest = app.latest_version_index
+            placement = app.placements[market_id]
             if placement.version_index >= latest:
                 continue
-            if rng.random() >= catchup_probability:
+            if streams[market_id].random() >= catchup_probability:
                 continue
             version = app.versions[latest]
             if store.update_listing_version(app.package, latest, version):
                 placement.version_index = latest
-                count += 1
-        updated[market_id] = count
+                updated[market_id] += 1
+                dirty = True
+        if dirty:
+            world.write_back(app)
     return updated

@@ -10,7 +10,7 @@ rediscover removals through the second crawl).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Mapping, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Tuple
 
 from repro.markets.removal import RemovalPolicy
 from repro.markets.store import MarketStore
@@ -27,15 +27,27 @@ def apply_store_removals(
     world: "World",
     rngs: RngFactory,
 ) -> Dict[str, Tuple[int, int]]:
-    """Run every market's cleanup; returns {market: (flagged, removed)}."""
+    """Run every market's cleanup; returns {market: (flagged, removed)}.
+
+    The flagged lists for every market are gathered in one pass over
+    ``world.apps`` (a streaming cursor on the spilled backend), so the
+    corpus is scanned once instead of once per market.  Each market's
+    flagged list is in app order, exactly as the per-market scans
+    produced it, and each market draws from its own named RNG stream —
+    the decisions are bit-identical to the per-market formulation.
+    """
+    flagged_by_market: Dict[str, List[str]] = {m: [] for m in stores}
+    for app in world.apps:
+        if app.threat is None:
+            continue
+        for market_id in app.placements:
+            packages = flagged_by_market.get(market_id)
+            if packages is not None:
+                packages.append(app.package)
     outcome: Dict[str, Tuple[int, int]] = {}
     for market_id, store in stores.items():
         policy = RemovalPolicy(store.profile, rngs.stream("removal", market_id))
-        flagged = [
-            app.package
-            for app in world.apps
-            if app.threat is not None and market_id in app.placements
-        ]
+        flagged = flagged_by_market[market_id]
         decisions = policy.decide(flagged)
         removed = 0
         for package, day in decisions.items():

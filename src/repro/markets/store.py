@@ -14,6 +14,7 @@ crawler and analysis never see blueprint objects.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
@@ -96,6 +97,10 @@ class MarketStore:
     """The catalog one market serves, plus APK building."""
 
     PAGE_SIZE = 20
+    #: Built-APK LRU bound.  Downloads sweep each market's catalog once
+    #: per campaign, so an unbounded cache holds every APK the market
+    #: ever served — at out-of-core scale that alone dwarfs the corpus.
+    APK_CACHE_SIZE = 256
 
     def __init__(
         self,
@@ -111,7 +116,7 @@ class MarketStore:
         self._by_name: Dict[str, List[str]] = {}
         self._by_category: Dict[str, List[str]] = {}
         self._by_developer: Dict[str, List[str]] = {}
-        self._apk_cache: Dict[str, bytes] = {}
+        self._apk_cache: "OrderedDict[str, bytes]" = OrderedDict()
 
     @property
     def profile(self) -> MarketProfile:
@@ -247,18 +252,24 @@ class MarketStore:
         listing = self.get(package, day)
         if listing is None:
             return None
-        if package not in self._apk_cache:
+        blob = self._apk_cache.get(package)
+        if blob is None:
             from repro.ecosystem.apps import build_apk
 
             blueprint = self._world.app(listing.app_id)
-            self._apk_cache[package] = build_apk(
+            blob = build_apk(
                 blueprint,
                 listing.version_index,
                 self._profile,
                 self._world.catalog,
                 segments=self._segments,
             )
-        return self._apk_cache[package]
+            self._apk_cache[package] = blob
+            while len(self._apk_cache) > self.APK_CACHE_SIZE:
+                self._apk_cache.popitem(last=False)
+        else:
+            self._apk_cache.move_to_end(package)
+        return blob
 
 
 def _developer_display_name(profile: MarketProfile, app, market_id: str) -> str:

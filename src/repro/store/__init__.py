@@ -1,0 +1,32 @@
+"""Out-of-core corpus storage.
+
+``repro.store`` is the disk-backed record layer that lets worlds,
+snapshots, and analysis corpora scale past RAM: a columnar
+:class:`~repro.store.columnar.ColumnStore` (one SQLite segment table
+per record family), a content-addressed, mmap-read
+:class:`~repro.store.blobs.BlobVault` for APK documents, and the
+:class:`~repro.store.corpus.CorpusStore` facade that a
+:class:`~repro.core.config.StudyConfig` resolves to.
+
+The contract (see DESIGN.md, "Out-of-core corpus"): every public
+``content_digest()`` — world, snapshot, report — is **backend
+invariant**.  The memory backend is today's in-RAM objects; the sqlite
+backend spills the same records to disk once they cross the configured
+spill threshold and re-serves them through batched streaming cursors.
+Digest equality between the two backends is the repo's equality oracle
+for the whole refactor.
+"""
+
+from repro.store.blobs import BlobVault, LazyApk
+from repro.store.columnar import ColumnStore, Family, StoreError
+from repro.store.corpus import CorpusStore, SpilledAppList
+
+__all__ = [
+    "BlobVault",
+    "ColumnStore",
+    "CorpusStore",
+    "Family",
+    "LazyApk",
+    "SpilledAppList",
+    "StoreError",
+]

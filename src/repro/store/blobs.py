@@ -1,0 +1,135 @@
+"""Content-addressed APK blob vault with lazy proxies.
+
+The vault stores parsed-APK documents on disk keyed by MD5 (the same
+content address the crawl journal's :class:`~repro.crawler.journal.ApkStore`
+uses), sharded two hex characters deep, and serves reads through
+``mmap`` so repeated loads of a hot shard stay in the page cache rather
+than duplicating bytes per reader.  A bounded LRU of decoded
+:class:`~repro.apk.archive.ParsedApk` objects sits on top; the bound is
+what keeps the resident set flat when a streaming cursor walks millions
+of records.
+
+:class:`LazyApk` is the out-of-core stand-in for a ``ParsedApk`` held
+by a crawl record or app unit.  It carries only the identity fields the
+hot paths read without parsing (``md5``, ``signer_fingerprint``, a
+``version_code_hint`` captured at spill time) and resolves every other
+attribute through the vault on demand — never caching the parsed object
+on itself, so a retained record stays a few pointers wide.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["BlobVault", "LazyApk", "DEFAULT_VAULT_CACHE"]
+
+#: Decoded-APK LRU size.  ~200 ParsedApks is a few MiB — enough to keep
+#: one analysis batch hot without letting the cache become the corpus.
+DEFAULT_VAULT_CACHE = 256
+
+
+class BlobVault:
+    """Disk store of parsed-APK docs: ``root/<md5[:2]>/<md5>.json``."""
+
+    def __init__(self, root: Union[str, Path], cache_size: int = DEFAULT_VAULT_CACHE):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._cache: "OrderedDict[str, object]" = OrderedDict()
+        self._cache_size = max(1, cache_size)
+        self._lock = threading.Lock()
+
+    def _path(self, md5: str) -> Path:
+        safe = "".join(c for c in md5 if c.isalnum())
+        return self.root / safe[:2] / f"{safe}.json"
+
+    def put(self, apk) -> str:
+        """Store one parsed APK; idempotent; returns its MD5."""
+        from repro.crawler.dataset import _apk_to_doc
+
+        md5 = apk.md5
+        path = self._path(md5)
+        if not path.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.{id(apk):x}.tmp")
+            tmp.write_text(
+                json.dumps(_apk_to_doc(apk), separators=(",", ":")),
+                encoding="utf-8",
+            )
+            os.replace(tmp, path)
+        return md5
+
+    def load(self, md5: str):
+        """Decode one APK by digest, through the bounded LRU."""
+        from repro.crawler.dataset import _apk_from_doc
+
+        with self._lock:
+            apk = self._cache.get(md5)
+            if apk is not None:
+                self._cache.move_to_end(md5)
+                return apk
+        path = self._path(md5)
+        with open(path, "rb") as handle:
+            with mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ) as view:
+                doc = json.loads(view[:])
+        apk = _apk_from_doc(doc)
+        with self._lock:
+            self._cache[md5] = apk
+            self._cache.move_to_end(md5)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return apk
+
+    def __contains__(self, md5: str) -> bool:
+        with self._lock:
+            if md5 in self._cache:
+                return True
+        return self._path(md5).exists()
+
+    def lazy(self, apk) -> "LazyApk":
+        """Store ``apk`` and return its lazy stand-in."""
+        self.put(apk)
+        return LazyApk(
+            self,
+            apk.md5,
+            apk.signer_fingerprint,
+            apk.manifest.version_code,
+        )
+
+
+class LazyApk:
+    """A ``ParsedApk`` proxy that re-reads from the vault on demand.
+
+    Identity fields live on the proxy (``md5``, ``signer_fingerprint``,
+    ``version_code_hint``); everything else — manifest, code packages,
+    META-INF, merged features — delegates to the vault's bounded LRU.
+    The proxy never pins the decoded object, so holding a million
+    proxies costs a million small structs, not a million parsed APKs.
+    """
+
+    __slots__ = ("_vault", "md5", "signer_fingerprint", "version_code_hint")
+
+    def __init__(
+        self,
+        vault: BlobVault,
+        md5: str,
+        signer_fingerprint: str,
+        version_code_hint: Optional[int] = None,
+    ):
+        self._vault = vault
+        self.md5 = md5
+        self.signer_fingerprint = signer_fingerprint
+        self.version_code_hint = version_code_hint
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._vault.load(self.md5), name)
+
+    def __repr__(self) -> str:
+        return f"LazyApk(md5={self.md5!r})"

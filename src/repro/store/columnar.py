@@ -1,0 +1,259 @@
+"""SQLite-backed columnar segment tables.
+
+A :class:`ColumnStore` is one SQLite database holding one segment table
+per **record family** (apps, per-campaign crawl records, analysis
+rows).  Each family declares its key columns — the fields queries
+filter or order on — and keeps the rest of the record in a single
+opaque payload column, so the table stays narrow and scans stay
+sequential (the columnar part that matters for an append-mostly corpus:
+hot columns are real columns, cold state is one blob).
+
+Design points:
+
+* **Insertion order is the contract.**  Every family row carries the
+  implicit SQLite ``rowid``; :meth:`Family.scan` pages through it in
+  batches, so a cursor yields records in exactly the order ``append``
+  saw them — the same order the in-memory backend iterates.  This is
+  what keeps content digests backend-invariant.
+* **Batched, buffered writes.**  Appends accumulate in a small buffer
+  and land with one ``executemany`` per batch; any read flushes first.
+* **Pagination, not long-lived cursors.**  ``scan`` re-queries with
+  ``rowid > last`` per batch, so interleaved updates (the crawl
+  attaching APKs, catalog evolution writing back placements) never run
+  on top of a half-consumed cursor.
+* **Thread-safe.**  One connection, one lock: crawl lanes append from
+  worker threads while the coordinator reads.
+* **mmap-friendly.**  The database is opened with a generous
+  ``mmap_size`` so reads are served straight from the page cache.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["ColumnStore", "Family", "StoreError", "DEFAULT_BATCH_SIZE"]
+
+DEFAULT_BATCH_SIZE = 512
+
+#: How much of the database file SQLite may serve via mmap (bytes).
+_MMAP_BYTES = 256 * 1024 * 1024
+
+
+class StoreError(Exception):
+    """Raised for invalid store usage or a corrupt segment database."""
+
+
+def _check_identifier(name: str) -> str:
+    if not name or not all(c.isalnum() or c == "_" for c in name):
+        raise StoreError(f"invalid identifier {name!r}")
+    return name
+
+
+class Family:
+    """One record family: a segment table plus its write buffer."""
+
+    def __init__(
+        self,
+        store: "ColumnStore",
+        name: str,
+        key_columns: Sequence[Tuple[str, str]],
+        unique: Optional[Sequence[str]] = None,
+        indexes: Sequence[Sequence[str]] = (),
+    ):
+        self._store = store
+        self.name = _check_identifier(name)
+        self.table = f"fam_{name}"
+        self._columns = [(_check_identifier(c), t) for c, t in key_columns]
+        self._column_names = [c for c, _ in self._columns] + ["payload"]
+        self._pending: List[Tuple] = []
+        cols = ", ".join(f"{c} {t}" for c, t in self._columns)
+        with store._lock:
+            store._conn.execute(
+                f"CREATE TABLE IF NOT EXISTS {self.table} ({cols}, payload BLOB)"
+            )
+            if unique:
+                store._conn.execute(
+                    f"CREATE UNIQUE INDEX IF NOT EXISTS idx_{name}_key "
+                    f"ON {self.table} ({', '.join(unique)})"
+                )
+            for i, index in enumerate(indexes):
+                store._conn.execute(
+                    f"CREATE INDEX IF NOT EXISTS idx_{name}_{i} "
+                    f"ON {self.table} ({', '.join(index)})"
+                )
+            store._conn.commit()
+        placeholders = ", ".join("?" for _ in self._column_names)
+        self._insert_sql = (
+            f"INSERT INTO {self.table} ({', '.join(self._column_names)}) "
+            f"VALUES ({placeholders})"
+        )
+
+    # -- writes ------------------------------------------------------------
+
+    def append(self, *values: object) -> None:
+        """Buffer one row (key column values in order, then payload)."""
+        if len(values) != len(self._column_names):
+            raise StoreError(
+                f"{self.name}: expected {len(self._column_names)} values, "
+                f"got {len(values)}"
+            )
+        with self._store._lock:
+            self._pending.append(values)
+            if len(self._pending) >= self._store.batch_size:
+                self._flush_locked()
+
+    def update(self, assignments: Dict[str, object], where: Dict[str, object]) -> int:
+        """Update matching rows; returns the number of rows changed."""
+        self.flush()
+        sets = ", ".join(f"{_check_identifier(c)} = ?" for c in assignments)
+        cond = " AND ".join(f"{_check_identifier(c)} = ?" for c in where)
+        with self._store._lock:
+            cur = self._store._conn.execute(
+                f"UPDATE {self.table} SET {sets} WHERE {cond}",
+                tuple(assignments.values()) + tuple(where.values()),
+            )
+            self._store._conn.commit()
+            return cur.rowcount
+
+    def flush(self) -> None:
+        with self._store._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if self._pending:
+            self._store._conn.executemany(self._insert_sql, self._pending)
+            self._pending.clear()
+            self._store._conn.commit()
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, **where: object) -> Optional[Tuple]:
+        """The first matching row (key columns + payload), or None."""
+        self.flush()
+        cond = " AND ".join(f"{_check_identifier(c)} = ?" for c in where)
+        sql = (
+            f"SELECT {', '.join(self._column_names)} FROM {self.table} "
+            f"WHERE {cond} LIMIT 1"
+        )
+        with self._store._lock:
+            cur = self._store._conn.execute(sql, tuple(where.values()))
+            return cur.fetchone()
+
+    def count(self, **where: object) -> int:
+        self.flush()
+        sql = f"SELECT COUNT(*) FROM {self.table}"
+        args: Tuple = ()
+        if where:
+            sql += " WHERE " + " AND ".join(
+                f"{_check_identifier(c)} = ?" for c in where
+            )
+            args = tuple(where.values())
+        with self._store._lock:
+            return int(self._store._conn.execute(sql, args).fetchone()[0])
+
+    def scan(
+        self,
+        batch_size: Optional[int] = None,
+        order_by: Optional[Sequence[str]] = None,
+        **where: object,
+    ) -> Iterator[Tuple]:
+        """Stream rows in batches.
+
+        Rows come back in ``order_by`` order (default: insertion order),
+        with ``rowid`` as the final tie-break so pagination is total.
+        The cursor holds at most one batch in memory and re-queries
+        between batches, so writers may interleave safely.
+        """
+        self.flush()
+        batch = batch_size or self._store.batch_size
+        order_cols = [_check_identifier(c) for c in (order_by or ())]
+        select_cols = self._column_names + order_cols + ["rowid"]
+        cond = [f"{_check_identifier(c)} = ?" for c in where]
+        base_args = tuple(where.values())
+        n_keys = len(self._column_names)
+        # Pagination key: (order_by columns..., rowid) strictly greater
+        # than the last row seen.
+        last: Optional[Tuple] = None
+        while True:
+            clauses = list(cond)
+            args: Tuple = base_args
+            if last is not None:
+                cols = "(" + ", ".join(order_cols + ["rowid"]) + ")"
+                marks = "(" + ", ".join("?" for _ in range(len(order_cols) + 1)) + ")"
+                clauses.append(f"{cols} > {marks}")
+                args = base_args + last
+            sql = f"SELECT {', '.join(select_cols)} FROM {self.table}"
+            if clauses:
+                sql += " WHERE " + " AND ".join(clauses)
+            sql += " ORDER BY " + ", ".join(order_cols + ["rowid"])
+            sql += " LIMIT ?"
+            with self._store._lock:
+                rows = self._store._conn.execute(sql, args + (batch,)).fetchall()
+            for row in rows:
+                yield row[:n_keys]
+            if len(rows) < batch:
+                return
+            last = tuple(rows[-1][n_keys:])
+
+
+class ColumnStore:
+    """One SQLite database of record-family segment tables."""
+
+    def __init__(self, path: os.PathLike, batch_size: int = DEFAULT_BATCH_SIZE):
+        if batch_size < 1:
+            raise StoreError(f"batch_size must be positive, got {batch_size}")
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.batch_size = batch_size
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(f"PRAGMA mmap_size={_MMAP_BYTES}")
+        self._families: Dict[str, Family] = {}
+
+    def family(
+        self,
+        name: str,
+        key_columns: Sequence[Tuple[str, str]],
+        unique: Optional[Sequence[str]] = None,
+        indexes: Sequence[Sequence[str]] = (),
+    ) -> Family:
+        """Open (creating if needed) one record family."""
+        fam = self._families.get(name)
+        if fam is None:
+            fam = Family(self, name, key_columns, unique=unique, indexes=indexes)
+            self._families[name] = fam
+        return fam
+
+    def family_names(self) -> List[str]:
+        """Every family present in the database (including other runs')."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT name FROM sqlite_master "
+                "WHERE type = 'table' AND name LIKE 'fam_%'"
+            ).fetchall()
+        return sorted(name[len("fam_"):] for (name,) in rows)
+
+    def flush(self) -> None:
+        with self._lock:
+            for fam in self._families.values():
+                fam._flush_locked()
+
+    def close(self) -> None:
+        with self._lock:
+            for fam in self._families.values():
+                fam._flush_locked()
+            self._conn.commit()
+            self._conn.close()
+
+    def __enter__(self) -> "ColumnStore":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

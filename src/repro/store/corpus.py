@@ -1,0 +1,274 @@
+"""The corpus store facade and the spilled world-app list.
+
+:class:`CorpusStore` bundles the two disk layers one study run needs —
+a :class:`~repro.store.columnar.ColumnStore` of record-family segment
+tables and a :class:`~repro.store.blobs.BlobVault` of parsed-APK
+documents — under one root directory, and resolves itself from a
+:class:`~repro.core.config.StudyConfig` (``store_backend="sqlite"``).
+
+:class:`SpilledAppList` is the disk-backed drop-in for ``World.apps``:
+a read-mostly sequence of :class:`~repro.ecosystem.apps.AppBlueprint`
+rows keyed by ``app_id`` with a ``package`` column (indexed, so
+``find_by_package`` is a lookup instead of a corpus scan).  Blueprints
+are pickled per row with two store-specific twists:
+
+* **Developers keep identity.**  A :class:`Developer` is pickled as a
+  persistent id and resolved against the world's developer list on
+  load, so ``app.developer is world.developers[i]`` still holds and a
+  developer is stored once, not once per app.
+* **Memos are stripped.**  ``OwnCode`` memoizes its built
+  :class:`CodePackage`; the memo is dropped before pickling so payload
+  bytes stay deterministic and small.
+
+Mutation contract: an object read from the spilled list is a fresh
+copy; callers that mutate a blueprint (catalog evolution bumping
+``placement.version_index``) must call :meth:`SpilledAppList.write_back`
+to persist it — the same call is a no-op-shaped append on the memory
+backend (plain list), where mutation is already in place.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro.ecosystem.developers import Developer
+from repro.store.blobs import BlobVault
+from repro.store.columnar import (
+    DEFAULT_BATCH_SIZE,
+    ColumnStore,
+    Family,
+    StoreError,
+)
+
+__all__ = ["CorpusStore", "SpilledAppList", "DEFAULT_SPILL_THRESHOLD"]
+
+#: Below this many records a family stays in memory (bit-identical to
+#: the memory backend); above it, rows spill to the segment tables.
+DEFAULT_SPILL_THRESHOLD = 5000
+
+#: Decoded-blueprint LRU for random access (market stores resolve
+#: ``world.app(listing.app_id)`` on every APK build).
+DEFAULT_APP_CACHE = 512
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if (c.isalnum() or c == "_") else "_" for c in name) or "_"
+
+
+class CorpusStore:
+    """One run's disk corpus: segment tables + APK vault under a root."""
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        spill_threshold: int = DEFAULT_SPILL_THRESHOLD,
+    ):
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        if root is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-corpus-")
+            root = self._tmp.name
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.batch_size = batch_size
+        self.spill_threshold = spill_threshold
+        self.columns = ColumnStore(self.root / "corpus.db", batch_size=batch_size)
+        self.vault = BlobVault(self.root / "apks")
+
+    @classmethod
+    def from_config(cls, config) -> Optional["CorpusStore"]:
+        """The store a config asks for — None for the memory backend."""
+        if getattr(config, "store_backend", "memory") != "sqlite":
+            return None
+        root = getattr(config, "store_dir", None)
+        if root is None and getattr(config, "checkpoint_dir", None):
+            root = Path(config.checkpoint_dir) / "store"
+        return cls(
+            root,
+            batch_size=getattr(config, "store_batch_size", DEFAULT_BATCH_SIZE),
+            spill_threshold=getattr(
+                config, "store_spill_threshold", DEFAULT_SPILL_THRESHOLD
+            ),
+        )
+
+    # -- families ----------------------------------------------------------
+
+    def apps_family(self) -> Family:
+        return self.columns.family(
+            "apps",
+            [("app_id", "INTEGER"), ("package", "TEXT")],
+            unique=["app_id"],
+            indexes=[["package"]],
+        )
+
+    def crawl_family(self, label: str) -> Family:
+        """The record family of one crawl campaign."""
+        return self.columns.family(
+            f"crawl_{_sanitize(label)}",
+            [
+                ("market_id", "TEXT"),
+                ("package", "TEXT"),
+                ("md5", "TEXT"),
+                ("signer", "TEXT"),
+                ("vc_hint", "INTEGER"),
+                ("apk_source", "TEXT"),
+            ],
+            unique=["market_id", "package"],
+            indexes=[["market_id"], ["package"]],
+        )
+
+    def close(self) -> None:
+        self.columns.close()
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+
+
+class _AppPickler(pickle.Pickler):
+    """Pickles blueprints with developers as persistent references."""
+
+    def persistent_id(self, obj):
+        if isinstance(obj, Developer):
+            return ("dev", obj.dev_id)
+        return None
+
+
+class _AppUnpickler(pickle.Unpickler):
+    def __init__(self, data: bytes, developers):
+        super().__init__(io.BytesIO(data))
+        self._developers = developers
+
+    def persistent_load(self, pid):
+        kind, dev_id = pid
+        if kind != "dev":
+            raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+        return self._developers[dev_id]
+
+
+class SpilledAppList(Sequence):
+    """Disk-backed ``World.apps``: blueprints by app_id, package-indexed."""
+
+    def __init__(
+        self,
+        family: Family,
+        developers: List[Developer],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        cache_size: int = DEFAULT_APP_CACHE,
+    ):
+        self._family = family
+        self._developers = {dev.dev_id: dev for dev in developers}
+        self._batch = batch_size
+        self._cache: "OrderedDict[int, object]" = OrderedDict()
+        self._cache_size = max(1, cache_size)
+        self._lock = threading.Lock()
+        self._len = family.count()
+
+    @classmethod
+    def spill(
+        cls,
+        store: CorpusStore,
+        apps: Sequence,
+        developers: List[Developer],
+    ) -> "SpilledAppList":
+        """Write a fully-materialized app list into the store."""
+        family = store.apps_family()
+        if family.count():
+            raise StoreError("apps family already populated")
+        for position, app in enumerate(apps):
+            if app.app_id != position:
+                raise StoreError(
+                    f"app list out of order: position {position} holds "
+                    f"app_id {app.app_id}"
+                )
+            family.append(app.app_id, app.package, cls._dumps(app))
+        family.flush()
+        return cls(family, developers, batch_size=store.batch_size)
+
+    # -- codec -------------------------------------------------------------
+
+    @staticmethod
+    def _dumps(app) -> bytes:
+        # Drop the frozen OwnCode's CodePackage memo: it is derived
+        # state, rebuilt on demand, and would bloat every payload.
+        app.own_code.__dict__.pop("_code_package", None)
+        buffer = io.BytesIO()
+        _AppPickler(buffer, protocol=pickle.HIGHEST_PROTOCOL).dump(app)
+        return buffer.getvalue()
+
+    def _loads(self, payload: bytes):
+        return _AppUnpickler(payload, self._developers).load()
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._len))]
+        if index < 0:
+            index += self._len
+        if not 0 <= index < self._len:
+            raise IndexError(f"app index {index} out of range")
+        with self._lock:
+            app = self._cache.get(index)
+            if app is not None:
+                self._cache.move_to_end(index)
+                return app
+        row = self._family.get(app_id=index)
+        if row is None:
+            raise StoreError(f"app {index} missing from store")
+        app = self._loads(row[-1])
+        with self._lock:
+            self._cache[index] = app
+            self._cache.move_to_end(index)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return app
+
+    def __iter__(self) -> Iterator:
+        return self.iter()
+
+    def iter(self, batch_size: Optional[int] = None) -> Iterator:
+        """Stream blueprints in app_id order, one batch resident."""
+        for row in self._family.scan(batch_size=batch_size or self._batch):
+            app_id = row[0]
+            with self._lock:
+                cached = self._cache.get(app_id)
+            # Prefer the cached object: a caller that mutated it (and
+            # has not written back yet) sees its own mutation, matching
+            # the memory backend's aliasing.
+            yield cached if cached is not None else self._loads(row[-1])
+
+    # -- queries and write-back --------------------------------------------
+
+    def find_by_package(self, package: str) -> List:
+        return [
+            self._resolve(row)
+            for row in self._family.scan(batch_size=self._batch, package=package)
+        ]
+
+    def _resolve(self, row):
+        app_id = row[0]
+        with self._lock:
+            cached = self._cache.get(app_id)
+        return cached if cached is not None else self._loads(row[-1])
+
+    def write_back(self, app) -> None:
+        """Persist a mutated blueprint (placement evolution, etc.)."""
+        changed = self._family.update(
+            {"payload": self._dumps(app)}, {"app_id": app.app_id}
+        )
+        if changed != 1:
+            raise StoreError(f"write_back of app {app.app_id} touched {changed} rows")
+        with self._lock:
+            self._cache[app.app_id] = app
+            self._cache.move_to_end(app.app_id)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)

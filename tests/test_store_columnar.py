@@ -1,0 +1,147 @@
+"""Tests for the columnar segment store and the APK blob vault."""
+
+import pytest
+
+from repro.store.blobs import BlobVault, LazyApk
+from repro.store.columnar import ColumnStore, StoreError
+
+from conftest import make_parsed
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with ColumnStore(tmp_path / "corpus.db", batch_size=4) as cs:
+        yield cs
+
+
+def _records_family(store):
+    return store.family(
+        "records",
+        [("market", "TEXT"), ("package", "TEXT")],
+        unique=["market", "package"],
+        indexes=[["package"]],
+    )
+
+
+class TestFamily:
+    def test_append_scan_roundtrip(self, store):
+        fam = _records_family(store)
+        rows = [("m1", f"pkg.{i:03d}", f"payload-{i}".encode()) for i in range(10)]
+        for row in rows:
+            fam.append(*row)
+        got = list(fam.scan(batch_size=3))
+        assert got == rows
+
+    def test_scan_honors_where(self, store):
+        fam = _records_family(store)
+        fam.append("m1", "a", b"1")
+        fam.append("m2", "a", b"2")
+        fam.append("m1", "b", b"3")
+        assert list(fam.scan(market="m1")) == [("m1", "a", b"1"), ("m1", "b", b"3")]
+
+    def test_ordered_scan_sorts_by_columns(self, store):
+        fam = _records_family(store)
+        fam.append("m2", "b", b"1")
+        fam.append("m1", "c", b"2")
+        fam.append("m1", "a", b"3")
+        ordered = [r[:2] for r in fam.scan(order_by=["market", "package"])]
+        assert ordered == [("m1", "a"), ("m1", "c"), ("m2", "b")]
+
+    def test_keyset_pagination_survives_interleaved_writes(self, store):
+        fam = _records_family(store)
+        for i in range(6):
+            fam.append("m1", f"p{i}", b"x")
+        fam.flush()
+        seen = []
+        cursor = fam.scan(batch_size=2, order_by=["package"])
+        seen.append(next(cursor))
+        # A write landing mid-scan must not disturb the cursor's window;
+        # sorting after the scan position, it shows up at the tail.
+        fam.append("m1", "p9", b"y")
+        fam.flush()
+        seen.extend(cursor)
+        assert [r[1] for r in seen] == ["p0", "p1", "p2", "p3", "p4", "p5", "p9"]
+
+    def test_get_and_count(self, store):
+        fam = _records_family(store)
+        fam.append("m1", "a", b"1")
+        fam.append("m2", "a", b"2")
+        assert fam.get(market="m2", package="a") == ("m2", "a", b"2")
+        assert fam.get(market="m3", package="a") is None
+        assert fam.count() == 2
+        assert fam.count(package="a") == 2
+        assert fam.count(market="m1") == 1
+
+    def test_update_rewrites_columns(self, store):
+        fam = _records_family(store)
+        fam.append("m1", "a", b"old")
+        changed = fam.update({"payload": b"new"}, {"market": "m1", "package": "a"})
+        assert changed == 1
+        assert fam.get(market="m1", package="a") == ("m1", "a", b"new")
+
+    def test_unique_constraint_enforced(self, tmp_path):
+        cs = ColumnStore(tmp_path / "dup.db", batch_size=4)
+        fam = _records_family(cs)
+        fam.append("m1", "a", b"1")
+        fam.append("m1", "a", b"2")
+        with pytest.raises(Exception):
+            fam.flush()
+        # The failed batch stays pending (fail-loudly, even at close);
+        # drop it so the store can shut down cleanly.
+        fam._pending.clear()
+        cs.close()
+
+    def test_bad_identifier_rejected(self, store):
+        with pytest.raises(StoreError):
+            store.family("bad-name", [("x", "TEXT")])
+
+
+class TestReopen:
+    def test_rows_survive_close_and_reopen(self, tmp_path):
+        path = tmp_path / "corpus.db"
+        with ColumnStore(path, batch_size=4) as cs:
+            fam = _records_family(cs)
+            fam.append("m1", "a", b"persisted")
+        with ColumnStore(path, batch_size=4) as cs:
+            fam = _records_family(cs)
+            assert fam.count() == 1
+            assert fam.get(market="m1", package="a") == ("m1", "a", b"persisted")
+            assert "records" in cs.family_names()
+
+
+class TestBlobVault:
+    def test_put_load_roundtrip(self, tmp_path):
+        vault = BlobVault(tmp_path)
+        apk = make_parsed(package="com.vault.app")
+        vault.put(apk)
+        assert apk.md5 in vault
+        loaded = vault.load(apk.md5)
+        assert loaded.md5 == apk.md5
+        assert loaded.manifest.package == "com.vault.app"
+
+    def test_put_is_idempotent(self, tmp_path):
+        vault = BlobVault(tmp_path)
+        apk = make_parsed()
+        assert vault.put(apk) == vault.put(apk) == apk.md5
+
+    def test_lazy_proxy_defers_and_delegates(self, tmp_path):
+        vault = BlobVault(tmp_path)
+        apk = make_parsed(package="com.lazy.app", version_code=9)
+        lazy = vault.lazy(apk)
+        assert isinstance(lazy, LazyApk)
+        # Identity columns are resident; content loads on demand.
+        assert lazy.md5 == apk.md5
+        assert lazy.signer_fingerprint == apk.signer_fingerprint
+        assert lazy.version_code_hint == 9
+        assert lazy.manifest.package == "com.lazy.app"
+
+    def test_cache_is_bounded(self, tmp_path):
+        vault = BlobVault(tmp_path, cache_size=2)
+        md5s = []
+        for i in range(4):
+            apk = make_parsed(package=f"com.bound.app{i}", version_code=i + 1)
+            vault.put(apk)
+            md5s.append(apk.md5)
+        for md5 in md5s:
+            assert vault.load(md5).md5 == md5
+        assert len(vault._cache) <= 2

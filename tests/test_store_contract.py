@@ -1,0 +1,182 @@
+"""The out-of-core contract: sqlite and memory backends are bit-identical.
+
+Every ``content_digest()`` — world, snapshot, experiment reports — must
+not depend on where the records live.  These tests pin that contract at
+the unit level (spill boundary, cursor order, reopen) and end-to-end
+(full study, memory vs sqlite, serial vs parallel analysis).
+"""
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.core.study import Study
+from repro.crawler.snapshot import (
+    Snapshot,
+    _digest_row,
+    streaming_snapshot_digest,
+)
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.experiments.runner import digest_reports, run_all
+from repro.store import CorpusStore, SpilledAppList
+from repro.util.rng import stable_hash64
+
+from conftest import make_parsed, make_record
+
+
+def _make_world(seed=11, scale=0.0005):
+    return EcosystemGenerator(seed=seed, scale=scale).generate()
+
+
+def _records(n, market="tencent"):
+    return [
+        make_record(market_id=market, package=f"com.app.{i:04d}", downloads=100 + i)
+        for i in range(n)
+    ]
+
+
+class TestWorldSpill:
+    @pytest.mark.parametrize("seed,scale", [(11, 0.0005), (42, 0.001)])
+    def test_digest_invariant_across_backends(self, tmp_path, seed, scale):
+        world = _make_world(seed, scale)
+        before = world.content_digest()
+        world.spill(CorpusStore(tmp_path, spill_threshold=0))
+        assert world.spilled
+        assert world.content_digest() == before
+
+    def test_cursor_order_matches_materialized(self, tmp_path):
+        world = _make_world()
+        packages = [app.package for app in world.apps]
+        world.spill(CorpusStore(tmp_path, spill_threshold=0))
+        assert [a.package for a in world.apps.iter(batch_size=7)] == packages
+        assert [a.app_id for a in world.apps] == list(range(len(packages)))
+
+    def test_developer_identity_survives(self, tmp_path):
+        world = _make_world()
+        world.spill(CorpusStore(tmp_path, spill_threshold=0))
+        for app in world.apps.iter(batch_size=64):
+            if app.developer is not None:
+                assert app.developer is world.developers[app.developer.dev_id]
+                break
+        else:
+            pytest.fail("no app with a developer")
+
+    def test_find_by_package_uses_index(self, tmp_path):
+        world = _make_world()
+        target = world.apps[0].package
+        expected = [a.app_id for a in world.apps if a.package == target]
+        world.spill(CorpusStore(tmp_path, spill_threshold=0))
+        assert [a.app_id for a in world.find_by_package(target)] == expected
+
+    def test_write_back_survives_reopen(self, tmp_path):
+        world = _make_world()
+        store = CorpusStore(tmp_path / "corpus", spill_threshold=0)
+        world.spill(store)
+        app = world.apps[0]
+        market_id = next(iter(app.placements))
+        app.placements[market_id].version_index = 999
+        world.write_back(app)
+        store.close()
+
+        reopened = CorpusStore(tmp_path / "corpus", spill_threshold=0)
+        apps = SpilledAppList(reopened.apps_family(), world.developers)
+        assert len(apps) == len(world.apps)
+        assert apps[0].placements[market_id].version_index == 999
+        reopened.close()
+
+
+class TestSnapshotSpill:
+    @pytest.mark.parametrize("n", [0, 1, 2, 5])
+    def test_streaming_digest_matches_stable_hash(self, n):
+        # The incremental fold must equal the one-shot tuple hash for
+        # every tuple-repr shape (empty, single-element ",)" case, many).
+        rows = [_digest_row(r) for r in _records(n)]
+        assert streaming_snapshot_digest("t", iter(rows)) == stable_hash64(
+            "snapshot-content", "t", tuple(rows)
+        )
+
+    def test_digest_invariant_with_attach_before_and_after_spill(self, tmp_path):
+        def build(store):
+            snap = Snapshot("t", store=store)
+            records = _records(9)
+            for record in records[:5]:
+                snap.add(record)
+            snap.attach_apk(
+                records[0], make_parsed(package=records[0].package), "market"
+            )
+            for record in records[5:]:
+                snap.add(record)
+            snap.attach_apk(
+                records[7], make_parsed(package=records[7].package), "archive"
+            )
+            return snap
+
+        memory = build(None)
+        spilled = build(CorpusStore(tmp_path, spill_threshold=4, batch_size=3))
+        assert spilled.spilled and not memory.spilled
+        assert spilled.content_digest() == memory.content_digest()
+        assert spilled.apk_coverage("tencent") == memory.apk_coverage("tencent")
+        assert spilled.packages() == memory.packages()
+        assert [r.package for r in spilled.iter_sorted(batch_size=2)] == [
+            r.package for r in memory.sorted_records()
+        ]
+
+    def test_spill_threshold_boundary(self, tmp_path):
+        store = CorpusStore(tmp_path, spill_threshold=3)
+        snap = Snapshot("t", store=store)
+        records = _records(4)
+        for record in records[:3]:
+            snap.add(record)
+        assert not snap.spilled  # at the threshold: still in memory
+        snap.add(records[3])
+        assert snap.spilled  # one past: spilled
+        plain = Snapshot("t")
+        for record in _records(4):
+            plain.add(record)
+        assert snap.content_digest() == plain.content_digest()
+
+    def test_duplicate_add_rejected_on_both_backends(self, tmp_path):
+        for store in (None, CorpusStore(tmp_path, spill_threshold=0)):
+            snap = Snapshot("t", store=store)
+            assert snap.add(make_record())
+            assert not snap.add(make_record())
+            assert len(snap) == 1
+
+
+class TestStudyContract:
+    """End-to-end: memory(w=1) vs sqlite(w=2) — everything digests equal."""
+
+    CFG = dict(seed=42, scale=0.0005, download_apks=True)
+
+    @pytest.fixture(scope="class")
+    def pair(self, tmp_path_factory):
+        memory = Study(StudyConfig(**self.CFG)).run()
+        sqlite = Study(
+            StudyConfig(
+                **self.CFG,
+                store_backend="sqlite",
+                store_spill_threshold=0,
+                store_batch_size=32,
+                store_dir=str(tmp_path_factory.mktemp("corpus")),
+                analysis_workers=2,
+            )
+        ).run()
+        return memory, sqlite
+
+    def test_world_digests_equal(self, pair):
+        memory, sqlite = pair
+        assert sqlite.world.spilled
+        assert memory.world.content_digest() == sqlite.world.content_digest()
+
+    def test_snapshot_digests_equal(self, pair):
+        memory, sqlite = pair
+        assert sqlite.snapshot.spilled
+        assert memory.snapshot.content_digest() == sqlite.snapshot.content_digest()
+
+    def test_units_equal(self, pair):
+        memory, sqlite = pair
+        key = lambda u: (u.package, u.signer, u.apk_md5, u.markets)
+        assert [key(u) for u in memory.units] == [key(u) for u in sqlite.units]
+
+    def test_report_digests_equal(self, pair):
+        memory, sqlite = pair
+        assert digest_reports(run_all(memory)) == digest_reports(run_all(sqlite))
