@@ -121,6 +121,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="root for the sqlite backend's segment tables "
                             "and APK vault (default: <checkpoint-dir>/store "
                             "or a temporary directory)")
+        p.add_argument("--hostility", default=None, metavar="SPEC",
+                       help="make market servers hostile: a comma-joined "
+                            "behavior list from {auth,binary,antibot,"
+                            "package_list}, 'full' for all four, or "
+                            "'profile' to give each market the behaviors "
+                            "its profile declares (default: polite fleet)")
+        p.add_argument("--identity-pool", type=int, default=None, metavar="N",
+                       help="client identities per market lane; hostile "
+                            "antibot markets ban a lane's current identity "
+                            "(default: 4 when --hostility is set, else 0)")
+        p.add_argument("--identity-rotation", default="on_ban",
+                       choices=("on_ban", "round_robin"),
+                       help="identity-rotation mode (default: on_ban)")
+        p.add_argument("--credential-ttl", type=float, default=None,
+                       metavar="DAYS",
+                       help="override hostile markets' session-token TTL "
+                            "in simulated days")
         p.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write the campaign span trace to PATH (JSONL)")
         p.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -199,6 +216,14 @@ def _config_from(args: argparse.Namespace) -> StudyConfig:
             else {}
         ),
         store_dir=args.store_dir,
+        hostility=args.hostility,
+        identity_pool=(
+            args.identity_pool
+            if args.identity_pool is not None
+            else (4 if args.hostility is not None else 0)
+        ),
+        identity_rotation=args.identity_rotation,
+        credential_ttl=args.credential_ttl,
     )
 
 

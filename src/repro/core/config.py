@@ -111,6 +111,24 @@ class StudyConfig:
     #: blob vault.  ``None`` resolves to ``<checkpoint_dir>/store`` when
     #: checkpointing is on, else a self-cleaning temporary directory.
     store_dir: Optional[str] = None
+    #: Hostility spec applied to every market server (``None`` = polite
+    #: fleet, today's behavior).  A comma-joined behavior list
+    #: (``"auth,binary"``), ``"full"`` for all four behaviors, or
+    #: ``"profile"`` to give each market the behaviors its
+    #: :class:`~repro.markets.profiles.MarketProfile` declares.
+    hostility: Optional[str] = None
+    #: Per-market hostility-spec overrides; a market listed here ignores
+    #: ``hostility`` (an empty/``"none"`` spec makes just that market
+    #: polite).
+    market_hostility: Optional[Mapping[str, str]] = None
+    #: Client identities per market lane (0 disables identity rotation;
+    #: hostile antibot markets then ban the lane's single identity).
+    identity_pool: int = 0
+    #: Identity-rotation mode (:data:`repro.net.identity.ROTATION_MODES`).
+    identity_rotation: str = "on_ban"
+    #: Override hostile markets' session-token TTL in simulated days
+    #: (None keeps each policy's own TTL).
+    credential_ttl: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.scale <= 1:
@@ -144,4 +162,26 @@ class StudyConfig:
             raise ValueError(
                 f"store_spill_threshold must be non-negative, "
                 f"got {self.store_spill_threshold}"
+            )
+        from repro.markets.hostility import HostilityPolicy
+        from repro.net.identity import ROTATION_MODES
+
+        if self.hostility is not None and self.hostility != "profile":
+            HostilityPolicy.from_spec(self.hostility)  # validates the spec
+        if self.market_hostility:
+            for market_id, spec in self.market_hostility.items():
+                if spec != "profile":
+                    HostilityPolicy.from_spec(spec)
+        if self.identity_pool < 0:
+            raise ValueError(
+                f"identity_pool must be non-negative, got {self.identity_pool}"
+            )
+        if self.identity_rotation not in ROTATION_MODES:
+            raise ValueError(
+                f"identity_rotation must be one of {ROTATION_MODES}, "
+                f"got {self.identity_rotation!r}"
+            )
+        if self.credential_ttl is not None and self.credential_ttl <= 0:
+            raise ValueError(
+                f"credential_ttl must be positive, got {self.credential_ttl}"
             )

@@ -50,11 +50,13 @@ from repro.crawler.telemetry import CrawlTelemetry
 from repro.ecosystem.generator import EcosystemGenerator
 from repro.ecosystem.world import World
 from repro.markets.evolution import apply_catalog_updates
-from repro.markets.profiles import GOOGLE_PLAY
+from repro.markets.hostility import HostilityPolicy
+from repro.markets.profiles import GOOGLE_PLAY, get_profile
 from repro.markets.removal_apply import apply_store_removals
 from repro.markets.server import MarketServer
 from repro.markets.store import MarketStore, build_stores
 from repro.net.breaker import DEFAULT_BREAKER_POLICY, BreakerPolicy
+from repro.net.identity import IdentityPolicy
 from repro.obs import NULL_OBS, Observability
 from repro.util.rng import RngFactory, stable_hash32
 from repro.util.simtime import SECOND_CRAWL_DAY, SimClock
@@ -264,6 +266,33 @@ class Study:
             policy = replace(policy, failure_threshold=self.config.breaker_threshold)
         return policy
 
+    def _hostility_policy(self, market_id: str) -> Optional[HostilityPolicy]:
+        """Resolve one market's hostility behaviors from the config."""
+        from dataclasses import replace
+
+        config = self.config
+        spec = (config.market_hostility or {}).get(market_id, config.hostility)
+        if spec is None:
+            return None
+        if spec == "profile":
+            behaviors = get_profile(market_id).hostility
+            policy = (
+                HostilityPolicy.for_behaviors(behaviors) if behaviors else None
+            )
+        else:
+            policy = HostilityPolicy.from_spec(spec)
+        if policy is not None and config.credential_ttl is not None:
+            policy = replace(policy, token_ttl=config.credential_ttl)
+        return policy
+
+    def _identity_policy(self) -> Optional[IdentityPolicy]:
+        if self.config.identity_pool <= 0:
+            return None
+        return IdentityPolicy(
+            size=self.config.identity_pool,
+            rotation=self.config.identity_rotation,
+        )
+
     def run(self) -> StudyResult:
         config = self.config
         obs = self.obs
@@ -292,7 +321,12 @@ class Study:
         clock = SimClock()
         overrides = dict(config.market_fault_plans or {})
         servers = {
-            m: MarketServer(store, clock, faults=overrides.get(m, config.fault_plan))
+            m: MarketServer(
+                store,
+                clock,
+                faults=overrides.get(m, config.fault_plan),
+                hostility=self._hostility_policy(m),
+            )
             for m, store in stores.items()
         }
 
@@ -318,6 +352,8 @@ class Study:
             breaker_policy=self._breaker_policy(),
             obs=obs,
             corpus=corpus,
+            identity_policy=self._identity_policy(),
+            identity_seed=config.seed,
         )
         with obs.stage("crawl.first"):
             snapshot = coordinator.crawl(
@@ -364,6 +400,8 @@ class Study:
                 breaker_policy=self._breaker_policy(),
                 obs=obs,
                 corpus=corpus,
+                identity_policy=self._identity_policy(),
+                identity_seed=config.seed,
             )
             with obs.stage("crawl.second"):
                 result.second_snapshot = second_coordinator.crawl(

@@ -63,13 +63,21 @@ from repro.net.breaker import (
     MarketQuarantinedError,
 )
 from repro.net.client import HttpClient
-from repro.net.http import HttpError, NotFoundError, RateLimitedError
+from repro.net.http import ForbiddenError, HttpError, NotFoundError, RateLimitedError
+from repro.net.identity import IdentityPolicy
 from repro.net.ratelimit import PerMarketRateLimiter
 from repro.obs import NULL_OBS, Observability
 from repro.util.rng import stable_hash64
 from repro.util.simtime import SimClock
 
-__all__ = ["CrawlCoordinator", "CrawlStats"]
+__all__ = [
+    "CrawlCoordinator",
+    "CrawlStats",
+    "REASON_QUARANTINED",
+    "REASON_BANNED",
+    "REASON_RATE_LIMITED",
+    "REASON_RETRY_EXHAUSTED",
+]
 
 Metadata = Mapping[str, object]
 
@@ -81,6 +89,17 @@ _DL_QUARANTINED = "quarantined"
 
 #: Dead-letter reason for work abandoned after breaker quarantine.
 REASON_QUARANTINED = "market quarantined"
+
+#: Dead-letter reason for work lost to an anti-bot ban the identity
+#: pool could not dodge (rotation and waiting both exhausted).
+REASON_BANNED = "banned"
+
+#: Dead-letter reason for work the server shed by rate-limit policy.
+REASON_RATE_LIMITED = "rate limited"
+
+#: Dead-letter reason for work lost to persistent transport failures
+#: (5xx / timeout / garbled payloads past the retry budget).
+REASON_RETRY_EXHAUSTED = "retry exhausted"
 
 
 @dataclass
@@ -117,6 +136,8 @@ class CrawlCoordinator:
         breaker_policy: Optional[BreakerPolicy] = DEFAULT_BREAKER_POLICY,
         obs: Observability = NULL_OBS,
         corpus=None,
+        identity_policy: Optional[IdentityPolicy] = None,
+        identity_seed: int = 0,
     ):
         self._servers = dict(servers)
         self._clock = clock
@@ -136,6 +157,8 @@ class CrawlCoordinator:
             rate_limiter=rate_limiter,
             breaker_policy=breaker_policy,
             obs=obs,
+            identity_policy=identity_policy,
+            identity_seed=identity_seed,
         )
 
     def client(self, market_id: str) -> HttpClient:
@@ -309,7 +332,7 @@ class CrawlCoordinator:
                 health.quarantined += 1
             else:
                 health.degraded += 1
-            telemetry.market(letter.market_id).dead_letters += 1
+            telemetry.record_dead_letter(letter.market_id, letter.reason)
 
         snapshot.stats = stats  # type: ignore[attr-defined]
         self._engine.end_campaign(telemetry)
@@ -330,7 +353,13 @@ class CrawlCoordinator:
 
     def _discovery_task(self, market_id: str, journal: Optional[CampaignJournal]):
         server = self._servers[market_id]
-        strategy = strategy_for(server.store.profile.crawl_strategy, self._gp_seeds)
+        strategy_name = server.store.profile.crawl_strategy
+        gate = getattr(server, "hostility", None)
+        if gate is not None and gate.policy.package_list_only:
+            # The market rejects catalog enumeration outright; the only
+            # discovery surface left is its bare package-name list.
+            strategy_name = "package_list"
+        strategy = strategy_for(strategy_name, self._gp_seeds)
         client = self._engine.client(market_id)
         lane_clock = self._engine.lane(market_id).clock
         lane = journal.lane(market_id) if journal is not None else None
@@ -416,8 +445,19 @@ class CrawlCoordinator:
                         quarantined = True
                         hits.append([])
                         dead.append([query, REASON_QUARANTINED])
+                    except ForbiddenError as exc:
+                        hits.append([])
+                        if exc.retry_after is not None:
+                            # Anti-bot ban that rotation/waiting could
+                            # not clear; a policy 403 is a definitive
+                            # answer (like 404), not lost work.
+                            dead.append([query, REASON_BANNED])
+                    except RateLimitedError:
+                        hits.append([])
+                        dead.append([query, REASON_RATE_LIMITED])
                     except HttpError:
                         hits.append([])
+                        dead.append([query, REASON_RETRY_EXHAUSTED])
                 result = {"hits": hits, "quarantined": quarantined, "dead": dead}
                 if lane is not None:
                     lane.record("search", key, result, self._checkpoint(market_id))
@@ -454,7 +494,8 @@ class CrawlCoordinator:
                 stats.rate_limited_markets.add(market_id)
             if doc["quarantined"]:
                 stats.degraded_markets.add(market_id)
-            for record, outcome in zip(records, doc["outcomes"]):
+            reasons = doc.get("reasons") or [None] * len(records)
+            for record, outcome, reason in zip(records, doc["outcomes"], reasons):
                 if outcome == APK_FROM_MARKET:
                     stats.apk_downloaded += 1
                     market.apk_downloaded += 1
@@ -470,6 +511,10 @@ class CrawlCoordinator:
                         dead_letters.append(DeadLetter(
                             market_id, "download", record.package,
                             REASON_QUARANTINED,
+                        ))
+                    elif reason is not None:
+                        dead_letters.append(DeadLetter(
+                            market_id, "download", record.package, reason
                         ))
 
     def _download_task(
@@ -490,27 +535,37 @@ class CrawlCoordinator:
             blob: Optional[bytes] = None
             source: Optional[str] = None
             rate_limited = False
+            reason: Optional[str] = None
             if not quarantined:
                 try:
                     blob = client.get_bytes("/download", {"package": record.package})
                     source = APK_FROM_MARKET
                 except RateLimitedError:
+                    # Quota shedding (Google Play): the backfill archive
+                    # is the designed fallback, so this is not a dead
+                    # letter on its own — apk_missing accounts it.
                     rate_limited = True
                 except MarketQuarantinedError:
                     if self._fail_fast:
                         raise
                     quarantined = True
-                except (NotFoundError, HttpError):
-                    pass
+                except ForbiddenError as exc:
+                    if exc.retry_after is not None:
+                        reason = REASON_BANNED
+                except NotFoundError:
+                    pass  # definitive: the market no longer hosts it
+                except HttpError:
+                    reason = REASON_RETRY_EXHAUSTED
             if blob is None and backfill is not None:
                 blob = backfill.lookup(record.package, record.version_name)
                 if blob is not None:
                     source = APK_FROM_ARCHIVE
+                    reason = None
             if blob is None:
                 outcome = _DL_QUARANTINED if quarantined else _DL_FAILED
                 return (
                     {"outcome": outcome, "md5": None, "source": None,
-                     "rate_limited": rate_limited},
+                     "rate_limited": rate_limited, "reason": reason},
                     None,
                     quarantined,
                 )
@@ -519,14 +574,14 @@ class CrawlCoordinator:
             except ApkParseError:
                 return (
                     {"outcome": _DL_PARSE_ERROR, "md5": None, "source": None,
-                     "rate_limited": rate_limited},
+                     "rate_limited": rate_limited, "reason": None},
                     None,
                     quarantined,
                 )
             md5 = store.put(parsed) if store is not None else parsed.md5
             return (
                 {"outcome": source, "md5": md5, "source": source,
-                 "rate_limited": rate_limited},
+                 "rate_limited": rate_limited, "reason": None},
                 parsed,
                 quarantined,
             )
@@ -539,6 +594,7 @@ class CrawlCoordinator:
                 packages=len(records),
             ) as batch_span:
                 outcomes: List[str] = []
+                reasons: List[Optional[str]] = []
                 rate_limited = False
                 quarantined = False
                 for record in records:
@@ -579,10 +635,12 @@ class CrawlCoordinator:
                         span["outcome"] = doc["outcome"]
                         span["source"] = doc["source"]
                         outcomes.append(doc["outcome"])
+                        reasons.append(doc.get("reason"))
                         rate_limited = rate_limited or doc["rate_limited"]
                 batch_span["quarantined"] = quarantined
                 return {
                     "outcomes": outcomes,
+                    "reasons": reasons,
                     "rate_limited": rate_limited,
                     "quarantined": quarantined,
                 }

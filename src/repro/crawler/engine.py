@@ -34,6 +34,8 @@ from typing import Callable, Dict, List, Mapping, Optional, TypeVar
 from repro.crawler.telemetry import CrawlTelemetry
 from repro.net.breaker import DEFAULT_BREAKER_POLICY, BreakerPolicy, CircuitBreaker
 from repro.net.client import ClientStats, HttpClient
+from repro.net.credentials import CredentialManager
+from repro.net.identity import IdentityPolicy, IdentityPool
 from repro.net.ratelimit import PerMarketRateLimiter
 from repro.net.retry import RetryPolicy
 from repro.obs import NULL_OBS, Observability, breaker_listener
@@ -99,6 +101,8 @@ class MarketLane:
         max_rate_limit_wait: Optional[float],
         breaker_policy: Optional[BreakerPolicy] = None,
         obs: Observability = NULL_OBS,
+        credentials: Optional[CredentialManager] = None,
+        identities: Optional[IdentityPool] = None,
     ):
         self.market_id = market_id
         self.clock = LaneClock(base_clock)
@@ -113,6 +117,8 @@ class MarketLane:
             if breaker_policy is not None
             else None
         )
+        self.credentials = credentials
+        self.identities = identities
         self.client = HttpClient(
             handler,
             self.clock,
@@ -122,6 +128,8 @@ class MarketLane:
             pacer=pacer,
             jitter_key=market_id,
             breaker=self.breaker,
+            credentials=credentials,
+            identities=identities,
             obs=obs.lane(market_id, self.clock),
         )
         self._stats_baseline: ClientStats = self.client.stats.copy()
@@ -170,6 +178,10 @@ class MarketLane:
             bucket = rate_limiter.export_state(self.market_id)
             if bucket is not None:
                 state["pacer"] = bucket
+        if self.credentials is not None:
+            state["auth"] = self.credentials.export_state()
+        if self.identities is not None:
+            state["identities"] = self.identities.export_state()
         return state
 
     def restore_state(
@@ -181,6 +193,10 @@ class MarketLane:
             self.breaker.restore_state(state["breaker"])
         if rate_limiter is not None and "pacer" in state:
             rate_limiter.restore_state(self.market_id, state["pacer"])
+        if self.credentials is not None and "auth" in state:
+            self.credentials.restore_state(state["auth"])
+        if self.identities is not None and "identities" in state:
+            self.identities.restore_state(state["identities"])
 
 
 class CrawlEngine:
@@ -202,15 +218,26 @@ class CrawlEngine:
         max_rate_limit_wait: Optional[float] = RATE_LIMIT_WAIT_CAP,
         breaker_policy: Optional[BreakerPolicy] = DEFAULT_BREAKER_POLICY,
         obs: Observability = NULL_OBS,
+        identity_policy: Optional[IdentityPolicy] = None,
+        identity_seed: int = 0,
     ):
+        """``identity_policy`` equips every lane with an
+        :class:`~repro.net.identity.IdentityPool` (identities derived
+        from ``(identity_seed, market_id, slot)`` substreams — never
+        from worker ids, preserving the determinism contract).  Lanes
+        whose server demands authentication additionally get a
+        :class:`~repro.net.credentials.CredentialManager`."""
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
         self.workers = workers
         self._clock = clock
         self._rate_limiter = rate_limiter
         self.obs = obs
-        self._lanes: Dict[str, MarketLane] = {
-            market_id: MarketLane(
+        self._lanes: Dict[str, MarketLane] = {}
+        for market_id, server in servers.items():
+            gate = getattr(server, "hostility", None)
+            needs_auth = gate is not None and gate.policy.auth
+            self._lanes[market_id] = MarketLane(
                 market_id,
                 server.handle,
                 clock,
@@ -220,9 +247,13 @@ class CrawlEngine:
                 max_rate_limit_wait,
                 breaker_policy,
                 obs,
+                credentials=CredentialManager(market_id) if needs_auth else None,
+                identities=(
+                    IdentityPool(market_id, identity_policy, seed=identity_seed)
+                    if identity_policy is not None
+                    else None
+                ),
             )
-            for market_id, server in servers.items()
-        }
 
     # -- lanes -------------------------------------------------------------
 

@@ -32,6 +32,12 @@ class Frontier:
             return None
         return self._queue.popleft()
 
+    def pop_many(self) -> "list[str]":
+        """Drain the current queue in FIFO order (one discovery batch)."""
+        batch = list(self._queue)
+        self._queue.clear()
+        return batch
+
     def __len__(self) -> int:
         return len(self._queue)
 

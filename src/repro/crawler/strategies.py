@@ -9,6 +9,9 @@ Section 3: "We follow different strategies to crawl each market."
   numbered index (``shouji.baidu.com/software/INTEGER.html``).
 * :class:`CategoryPagesStrategy` — everything else: enumerate category
   listing pages.
+* :class:`PackageListStrategy` — package-list-only hostile markets:
+  page the bare ``/packages`` name list, then fetch each listing via
+  ``/app`` (the market refuses every other enumeration surface).
 
 A strategy yields metadata dictionaries; the coordinator ingests them,
 downloads APKs, and runs the cross-market parallel search.
@@ -27,6 +30,7 @@ __all__ = [
     "BfsRelatedStrategy",
     "IntegerIndexStrategy",
     "CategoryPagesStrategy",
+    "PackageListStrategy",
     "strategy_for",
 ]
 
@@ -157,6 +161,40 @@ class CategoryPagesStrategy(DiscoveryStrategy):
                 page += 1
 
 
+class PackageListStrategy(DiscoveryStrategy):
+    """Hostile package-list-only market: seed from the bare name list.
+
+    The market rejects ``/categories``/``/category``/``/index``
+    enumeration with policy 403s, offering only a paged ``/packages``
+    name list; every name is then resolved through ``/app``.  The page
+    walk is strictly sequential per lane, so discovery order — and
+    with it the lane's request ordinals — stays deterministic.
+    """
+
+    def __init__(self, max_pages: Optional[int] = None):
+        self._max_pages = max_pages
+
+    def discover(self, client: HttpClient) -> Iterator[Metadata]:
+        frontier = Frontier()
+        page = 0
+        while self._max_pages is None or page < self._max_pages:
+            try:
+                chunk = client.get_json("/packages", {"page": page})
+            except HttpError:
+                break
+            frontier.push_many(str(p) for p in chunk["packages"])
+            for package in frontier.pop_many():
+                try:
+                    meta = client.get_json("/app", {"package": package})
+                except HttpError:
+                    continue
+                if meta is not None:
+                    yield meta
+            if chunk["next"] is None:
+                break
+            page = int(chunk["next"])
+
+
 def strategy_for(
     crawl_strategy: str,
     gp_seeds: Optional[Iterable[str]] = None,
@@ -168,4 +206,6 @@ def strategy_for(
         return IntegerIndexStrategy()
     if crawl_strategy == "category_pages":
         return CategoryPagesStrategy()
+    if crawl_strategy == "package_list":
+        return PackageListStrategy()
     raise ValueError(f"unknown crawl strategy {crawl_strategy!r}")

@@ -24,24 +24,28 @@ depths, record yield, and the campaign's wall-clock throughput.
 
 from __future__ import annotations
 
+from dataclasses import fields as dataclass_fields
 from typing import Dict, Iterable, List, Optional
 
 from repro.net.client import ClientStats
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["MarketTelemetry", "CrawlTelemetry"]
+__all__ = ["MarketTelemetry", "CrawlTelemetry", "DEAD_LETTER_REASON_METRIC"]
+
+#: Whole-number ClientStats counters, in declaration order.  Derived
+#: from the dataclass so a counter added to ClientStats automatically
+#: gets a lane property, a metric series, and a fold — the table and
+#: the Prometheus export can never disagree because one of them was
+#: hand-listed and the other was not.
+_CLIENT_INT_FIELDS = tuple(
+    f.name for f in dataclass_fields(ClientStats) if f.name != "sim_days_slept"
+)
 
 #: Lane counters whose values are whole numbers -> metric series name.
+#: Client counters first (uniformly ``crawl_{field}_total``), then the
+#: crawl-level counters the coordinator records directly.
 _INT_COUNTERS = {
-    "requests": "crawl_requests_total",
-    "retries": "crawl_retries_total",
-    "rate_limited": "crawl_rate_limited_total",
-    "timeouts": "crawl_timeouts_total",
-    "malformed": "crawl_malformed_total",
-    "not_found": "crawl_not_found_total",
-    "failures": "crawl_failures_total",
-    "rate_limit_aborts": "crawl_rate_limit_aborts_total",
-    "breaker_fast_fails": "crawl_breaker_fast_fails_total",
+    **{field: f"crawl_{field}_total" for field in _CLIENT_INT_FIELDS},
     "breaker_trips": "crawl_breaker_trips_total",
     "records": "crawl_records_total",
     "searches": "crawl_searches_total",
@@ -62,6 +66,11 @@ LANE_METRICS = {**_INT_COUNTERS, **_FLOAT_COUNTERS}
 
 #: Gauge marking a market the breaker quarantined (0 ok / 1 degraded).
 DEGRADED_METRIC = "crawl_market_degraded"
+
+#: Dead-letter counter broken down by cause.  Labeled ``{campaign,
+#: market, reason}``, so the export answers *why* work was lost (ban
+#: vs. retry exhaustion vs. breaker quarantine), not just how much.
+DEAD_LETTER_REASON_METRIC = "crawl_dead_letter_reason_total"
 
 
 class MarketTelemetry:
@@ -100,16 +109,14 @@ class MarketTelemetry:
         self._degraded.set(0.0 if value == "ok" else 1.0)
 
     def fold_client(self, delta: ClientStats) -> None:
-        """Fold one campaign's client-counter movement into the lane."""
-        self.requests += delta.requests
-        self.retries += delta.retries
-        self.rate_limited += delta.rate_limited
-        self.timeouts += delta.timeouts
-        self.malformed += delta.malformed
-        self.not_found += delta.not_found
-        self.failures += delta.failures
-        self.rate_limit_aborts += delta.rate_limit_aborts
-        self.breaker_fast_fails += delta.breaker_fast_fails
+        """Fold one campaign's client-counter movement into the lane.
+
+        Field-driven, like the property table: every integer counter
+        ``ClientStats`` declares is folded, so a new counter cannot be
+        silently dropped between the client and the export.
+        """
+        for field in _CLIENT_INT_FIELDS:
+            setattr(self, field, getattr(self, field) + getattr(delta, field))
         self.sim_days_backoff += delta.sim_days_slept
 
 
@@ -227,6 +234,34 @@ class CrawlTelemetry:
         if depth > self.queue_peak:
             self.queue_peak = depth
 
+    def record_dead_letter(self, market_id: str, reason: str) -> None:
+        """Account one piece of abandoned work, labeled with its cause."""
+        self.market(market_id).dead_letters += 1
+        self.registry.counter(
+            DEAD_LETTER_REASON_METRIC,
+            campaign=self.label,
+            market=market_id,
+            reason=reason,
+        ).inc()
+
+    def dead_letter_reasons(self) -> Dict[str, int]:
+        """Campaign dead letters grouped by reason label.
+
+        Scans existing series rather than calling ``counter()`` (which
+        would *create* zero-valued series for reasons never seen), so
+        re-hydrated registries render identically to live ones.
+        """
+        reasons: Dict[str, int] = {}
+        for series in self.registry.series():
+            if series.name != DEAD_LETTER_REASON_METRIC:
+                continue
+            labels = dict(series.labels)
+            if labels.get("campaign") != self.label:
+                continue
+            reason = labels.get("reason", "")
+            reasons[reason] = reasons.get(reason, 0) + int(series.value)
+        return reasons
+
     # -- aggregates --------------------------------------------------------
 
     @property
@@ -264,6 +299,22 @@ class CrawlTelemetry:
     @property
     def total_dead_letters(self) -> int:
         return sum(m.dead_letters for m in self.markets.values())
+
+    @property
+    def total_logins(self) -> int:
+        return sum(m.logins for m in self.markets.values())
+
+    @property
+    def total_token_refreshes(self) -> int:
+        return sum(m.token_refreshes for m in self.markets.values())
+
+    @property
+    def total_bans_hit(self) -> int:
+        return sum(m.bans_hit for m in self.markets.values())
+
+    @property
+    def total_identity_rotations(self) -> int:
+        return sum(m.identity_rotations for m in self.markets.values())
 
     @property
     def requests_per_second(self) -> float:
@@ -322,6 +373,26 @@ class CrawlTelemetry:
             lines.append(
                 "degraded markets (breaker quarantine): " + ", ".join(degraded)
             )
+        hostility = (
+            self.total_logins
+            or self.total_token_refreshes
+            or self.total_bans_hit
+            or self.total_identity_rotations
+        )
+        if hostility:
+            lines.append(
+                f"hostility: logins={self.total_logins} "
+                f"(refreshes={self.total_token_refreshes}), "
+                f"bans hit={self.total_bans_hit}, "
+                f"identity rotations={self.total_identity_rotations}"
+            )
         if self.total_dead_letters:
-            lines.append(f"dead letters: {self.total_dead_letters}")
+            line = f"dead letters: {self.total_dead_letters}"
+            reasons = self.dead_letter_reasons()
+            if reasons:
+                breakdown = ", ".join(
+                    f"{reason}={count}" for reason, count in sorted(reasons.items())
+                )
+                line += f" ({breakdown})"
+            lines.append(line)
         return "\n".join(lines)

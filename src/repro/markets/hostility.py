@@ -1,0 +1,352 @@
+"""Composable hostile-market behaviors.
+
+The paper's crawl was hardest where markets fought back: Google Play's
+rate limiting forced the AndroZoo backfill, Tencent's API speaks
+protobuf behind a login token, and several stores ban scraper IPs
+outright.  :class:`HostilityPolicy` describes which of four behaviors a
+market enables and :class:`HostileGate` enforces them in front of the
+normal endpoint dispatch:
+
+``auth``
+    ``/login`` issues expiring session tokens; every other endpoint
+    answers 401 to a missing, stale, or expired ``authorization``
+    header.
+``binary``
+    Successful JSON endpoint payloads are re-encoded with the
+    deterministic binary wire format (:mod:`repro.net.wire`); the
+    client transparently decodes them.
+``antibot``
+    Request velocity is tracked per client identity (the
+    ``x-client-ip``/``user-agent`` header pair).  Exceeding the window
+    limit escalates: first *tarpit* 429s with growing ``retry_after``
+    hints, then 403 bans whose windows double with every repeat
+    offense (see DESIGN.md's ban-escalation state machine).
+``package_list``
+    Catalog browsing (``/categories``, ``/category``, ``/index``,
+    ``/index_size``) answers a policy 403 (no ``retry_after``); the
+    only enumeration offered is the paged ``/packages`` name list.
+
+Time: the gate reads the client's ``x-sim-time`` header (its lane-clock
+``now``) and falls back to the server's shared clock.  The shared
+campaign clock is frozen mid-campaign — lane back-off is what moves
+simulated time — so keying velocity windows, token expiry, and ban
+windows on lane time is what lets a tarpitted client *wait its way
+back to good standing* deterministically.
+
+All gate state (sessions, per-identity velocity/ban records, counters)
+exports to and restores from the checkpoint journal, so a campaign
+killed mid-ban resumes bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.net import wire
+from repro.net.http import HTTP_OK, Request, Response
+from repro.util.rng import stable_hash32
+
+__all__ = ["HostilityPolicy", "HostileGate", "HOSTILITY_BEHAVIORS"]
+
+#: The composable behavior names (profile archetypes / CLI spec tokens).
+HOSTILITY_BEHAVIORS = ("auth", "binary", "antibot", "package_list")
+
+#: Default session-token lifetime (simulated days).
+DEFAULT_TOKEN_TTL = 3.0
+
+
+@dataclass(frozen=True)
+class HostilityPolicy:
+    """Which hostile behaviors one market enables, and their tuning."""
+
+    auth: bool = False
+    token_ttl: float = DEFAULT_TOKEN_TTL
+    binary: bool = False
+    antibot: bool = False
+    #: Requests one identity may issue per ``velocity_window`` sim-days.
+    velocity_limit: int = 25
+    velocity_window: float = 0.02
+    #: Over-limit strikes answered with tarpit 429s before bans begin.
+    tarpit_strikes: int = 2
+    #: Base tarpit ``retry_after`` (scaled by the strike count).  The
+    #: default equals the window so an honored tarpit clears it.
+    tarpit_delay: float = 0.02
+    #: First ban window (sim days); doubles per repeat, capped.
+    ban_base: float = 0.25
+    ban_cap: float = 8.0
+    #: Quiet period (sim days) after which an identity's offense record
+    #: decays back to zero: a crawler that honors its bans restarts
+    #: escalation at tarpits instead of compounding toward ``ban_cap``.
+    #: ``None`` means one ``ban_base`` window.
+    ban_decay: Optional[float] = None
+    package_list_only: bool = False
+    package_page_size: int = 50
+
+    def __post_init__(self) -> None:
+        if self.token_ttl <= 0:
+            raise ValueError(f"token_ttl must be positive, got {self.token_ttl}")
+        if self.velocity_limit < 1:
+            raise ValueError("velocity_limit must be positive")
+        if self.velocity_window <= 0 or self.tarpit_delay <= 0:
+            raise ValueError("velocity_window and tarpit_delay must be positive")
+        if self.tarpit_strikes < 0:
+            raise ValueError("tarpit_strikes must be non-negative")
+        if self.ban_base <= 0 or self.ban_cap < self.ban_base:
+            raise ValueError("need 0 < ban_base <= ban_cap")
+        if self.ban_decay is not None and self.ban_decay <= 0:
+            raise ValueError(f"ban_decay must be positive, got {self.ban_decay}")
+        if self.package_page_size < 1:
+            raise ValueError("package_page_size must be positive")
+
+    @property
+    def offense_decay(self) -> float:
+        """The effective decay period (``ban_decay`` or ``ban_base``)."""
+        return self.ban_decay if self.ban_decay is not None else self.ban_base
+
+    @property
+    def active(self) -> bool:
+        return self.auth or self.binary or self.antibot or self.package_list_only
+
+    @property
+    def behaviors(self) -> Tuple[str, ...]:
+        """The enabled behavior names, in canonical order."""
+        flags = {
+            "auth": self.auth,
+            "binary": self.binary,
+            "antibot": self.antibot,
+            "package_list": self.package_list_only,
+        }
+        return tuple(name for name in HOSTILITY_BEHAVIORS if flags[name])
+
+    def describe(self) -> str:
+        return "+".join(self.behaviors) or "none"
+
+    @classmethod
+    def full(cls, **overrides) -> "HostilityPolicy":
+        """All four behaviors on (the fully hostile market)."""
+        base = cls(auth=True, binary=True, antibot=True, package_list_only=True)
+        return replace(base, **overrides) if overrides else base
+
+    @classmethod
+    def for_behaviors(cls, names, **overrides) -> "HostilityPolicy":
+        """A policy enabling exactly the named behaviors."""
+        names = tuple(names)
+        unknown = [n for n in names if n not in HOSTILITY_BEHAVIORS]
+        if unknown:
+            raise ValueError(
+                f"unknown hostility behaviors {unknown}; "
+                f"valid: {HOSTILITY_BEHAVIORS}"
+            )
+        return replace(
+            cls(
+                auth="auth" in names,
+                binary="binary" in names,
+                antibot="antibot" in names,
+                package_list_only="package_list" in names,
+            ),
+            **overrides,
+        )
+
+    @classmethod
+    def from_spec(cls, spec: Optional[str]) -> Optional["HostilityPolicy"]:
+        """Parse a CLI spec: comma-separated behaviors, ``full``/``all``,
+        or ``none``/empty for no hostility.  ``bans`` and ``package-list``
+        are accepted aliases."""
+        if spec is None:
+            return None
+        tokens = [t.strip() for t in spec.split(",") if t.strip()]
+        if not tokens or tokens == ["none"]:
+            return None
+        if tokens in (["full"], ["all"]):
+            return cls.full()
+        aliases = {"bans": "antibot", "package-list": "package_list"}
+        return cls.for_behaviors(tuple(aliases.get(t, t) for t in tokens))
+
+
+class HostileGate:
+    """Enforces one market's :class:`HostilityPolicy` per request.
+
+    Owned by the :class:`~repro.markets.server.MarketServer`, consulted
+    after fault injection and before endpoint dispatch.  Deterministic:
+    its decisions depend only on the policy, the request stream (paths,
+    identity headers, client-stamped sim time), and its own exported
+    state — never on wall clocks or iteration order.
+    """
+
+    LOGIN_PATH = "/login"
+
+    #: Browsing endpoints a package-list-only market refuses outright.
+    ENUMERATION_PATHS = frozenset(
+        {"/categories", "/category", "/index", "/index_size"}
+    )
+
+    def __init__(self, market_id: str, policy: HostilityPolicy):
+        self._market_id = market_id
+        self.policy = policy
+        #: token -> expiry (sim day)
+        self._sessions: Dict[str, float] = {}
+        self._login_seq = 0
+        #: identity key -> velocity/ban record (JSON-safe dict)
+        self._clients: Dict[str, Dict[str, float]] = {}
+        self.logins = 0
+        self.rejected_401 = 0
+        self.tarpits = 0
+        self.bans = 0
+        self.rejected_403 = 0
+        self.served_binary = 0
+
+    # -- identity ----------------------------------------------------------
+
+    @staticmethod
+    def client_key(request: Request) -> str:
+        """The identity anti-bot velocity is keyed on (IP + UA pair)."""
+        return (
+            f"{request.header('x-client-ip', '-')}"
+            f"|{request.header('user-agent', '-')}"
+        )
+
+    def _fresh_client(self, now: float) -> Dict[str, float]:
+        return {
+            "window_start": now,
+            "count": 0,
+            "strikes": 0,
+            "ban_until": -1.0,
+            "ban_count": 0,
+            "last_offense": -1.0,
+        }
+
+    # -- the request path --------------------------------------------------
+
+    def screen(self, request: Request, now: float) -> Optional[Response]:
+        """The pre-dispatch check: a denial response, or None to pass."""
+        if self.policy.antibot:
+            denied = self._antibot(request, now)
+            if denied is not None:
+                return denied
+        if request.path == self.LOGIN_PATH:
+            return None  # the login endpoint is the auth bootstrap
+        if self.policy.package_list_only and request.path in self.ENUMERATION_PATHS:
+            self.rejected_403 += 1
+            return Response.forbidden()  # policy 403: waiting never helps
+        if self.policy.auth:
+            token = request.header("authorization")
+            expiry = self._sessions.get(token) if token else None
+            if expiry is None or now >= expiry:
+                self.rejected_401 += 1
+                return Response.unauthorized()
+        return None
+
+    def _antibot(self, request: Request, now: float) -> Optional[Response]:
+        policy = self.policy
+        key = self.client_key(request)
+        state = self._clients.get(key)
+        if state is None:
+            state = self._clients[key] = self._fresh_client(now)
+        if now < state["ban_until"]:
+            self.rejected_403 += 1
+            return Response.forbidden(retry_after=state["ban_until"] - now)
+        if now - state["window_start"] >= policy.velocity_window:
+            state["window_start"] = now
+            state["count"] = 0
+        state["count"] += 1
+        if state["count"] <= policy.velocity_limit:
+            return None
+        # Over the velocity limit: escalate, and reset the window so the
+        # next over-limit requires another full burst.
+        state["count"] = 0
+        state["window_start"] = now
+        last_offense = state["last_offense"]
+        state["last_offense"] = now
+        if last_offense >= 0 and now - last_offense >= policy.offense_decay:
+            # The identity stayed clean for a full decay period (e.g. it
+            # honored its last ban): reputation recovers and escalation
+            # restarts at tarpits rather than compounding forever.
+            state["strikes"] = 0
+            state["ban_count"] = 0
+        if state["ban_count"] == 0 and state["strikes"] < policy.tarpit_strikes:
+            state["strikes"] += 1
+            self.tarpits += 1
+            return Response.rate_limited(
+                retry_after=policy.tarpit_delay * state["strikes"]
+            )
+        # Tarpits exhausted (or a prior ban): ban, doubling per offense.
+        state["strikes"] = 0
+        state["ban_count"] += 1
+        window = min(
+            policy.ban_base * (2.0 ** (state["ban_count"] - 1)), policy.ban_cap
+        )
+        state["ban_until"] = now + window
+        self.bans += 1
+        return Response.forbidden(retry_after=window)
+
+    def login(self, request: Request, now: float) -> Response:
+        """Issue a fresh session token (the ``/login`` endpoint)."""
+        if not self.policy.auth:
+            return Response.not_found()
+        # Prune expired sessions so the table stays bounded; iteration
+        # order does not matter (pure filter), determinism is safe.
+        self._sessions = {
+            token: expiry for token, expiry in self._sessions.items()
+            if expiry > now
+        }
+        self._login_seq += 1
+        token = (
+            f"{self._market_id}-{self._login_seq:06d}-"
+            f"{stable_hash32('session', self._market_id, self._login_seq):08x}"
+        )
+        self._sessions[token] = now + self.policy.token_ttl
+        self.logins += 1
+        return Response.json_ok({"token": token, "ttl": self.policy.token_ttl})
+
+    def finalize(self, path: str, response: Response) -> Response:
+        """Post-dispatch: binary-encode successful JSON payloads."""
+        if (
+            self.policy.binary
+            and path != self.LOGIN_PATH
+            and response.status == HTTP_OK
+            and not response.malformed
+            and response.body is None
+        ):
+            self.served_binary += 1
+            return Response(status=HTTP_OK, body=wire.encode(response.json))
+        return response
+
+    # -- checkpoint plumbing ----------------------------------------------
+
+    def export_state(self) -> dict:
+        return {
+            "sessions": dict(self._sessions),
+            "login_seq": self._login_seq,
+            "clients": {key: dict(state) for key, state in self._clients.items()},
+            "logins": self.logins,
+            "rejected_401": self.rejected_401,
+            "tarpits": self.tarpits,
+            "bans": self.bans,
+            "rejected_403": self.rejected_403,
+            "served_binary": self.served_binary,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._sessions = {
+            str(token): float(expiry)
+            for token, expiry in state["sessions"].items()
+        }
+        self._login_seq = int(state["login_seq"])
+        self._clients = {
+            str(key): {
+                "window_start": float(record["window_start"]),
+                "count": int(record["count"]),
+                "strikes": int(record["strikes"]),
+                "ban_until": float(record["ban_until"]),
+                "ban_count": int(record["ban_count"]),
+                "last_offense": float(record["last_offense"]),
+            }
+            for key, record in state["clients"].items()
+        }
+        self.logins = int(state["logins"])
+        self.rejected_401 = int(state["rejected_401"])
+        self.tarpits = int(state["tarpits"])
+        self.bans = int(state["bans"])
+        self.rejected_403 = int(state["rejected_403"])
+        self.served_binary = int(state["served_binary"])

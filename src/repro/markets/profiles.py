@@ -99,6 +99,12 @@ class MarketProfile:
     adlib_presence: float  # Figure 5b
     vet_catch: float  # share of overtly malicious submissions rejected
 
+    #: Hostility behaviors this market exhibits toward crawlers when the
+    #: study opts in (``--hostility profile``); names from
+    #: :data:`repro.markets.hostility.HOSTILITY_BEHAVIORS`.  Markets
+    #: stay perfectly polite unless the study turns hostility on.
+    hostility: Tuple[str, ...] = ()
+
     extra: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -119,6 +125,13 @@ class MarketProfile:
             raise ValueError(f"{self.market_id}: bin shares sum to {total} > 1")
         if self.kind not in ("official", "web", "vendor", "specialized"):
             raise ValueError(f"{self.market_id}: bad kind {self.kind!r}")
+        from repro.markets.hostility import HOSTILITY_BEHAVIORS
+
+        for behavior in self.hostility:
+            if behavior not in HOSTILITY_BEHAVIORS:
+                raise ValueError(
+                    f"{self.market_id}: unknown hostility behavior {behavior!r}"
+                )
 
 
 def _pct(*values: float) -> Tuple[float, ...]:
@@ -181,6 +194,7 @@ _register(MarketProfile(
     malware_removal_rate=8.75,
     tpl_presence=0.92, tpl_avg_count=13.0, adlib_presence=0.55,
     vet_catch=0.30,
+    hostility=("auth", "binary"),
 ))
 
 _register(MarketProfile(
@@ -205,6 +219,7 @@ _register(MarketProfile(
     malware_removal_rate=23.99,
     tpl_presence=0.91, tpl_avg_count=12.0, adlib_presence=0.54,
     vet_catch=0.28,
+    hostility=("antibot",),
     extra={"crawls_google_play": True},
 ))
 
@@ -230,6 +245,7 @@ _register(MarketProfile(
     malware_removal_rate=43.0,
     tpl_presence=0.93, tpl_avg_count=20.0, adlib_presence=0.58,
     vet_catch=0.30,
+    hostility=("auth", "antibot"),
 ))
 
 _register(MarketProfile(
@@ -278,6 +294,7 @@ _register(MarketProfile(
     malware_removal_rate=32.50,
     tpl_presence=0.91, tpl_avg_count=13.0, adlib_presence=0.53,
     vet_catch=0.35,
+    hostility=("binary",),
 ))
 
 _register(MarketProfile(
@@ -326,6 +343,7 @@ _register(MarketProfile(
     malware_removal_rate=26.92,
     tpl_presence=0.92, tpl_avg_count=13.0, adlib_presence=0.54,
     vet_catch=0.62,
+    hostility=("package_list",),
 ))
 
 _register(MarketProfile(

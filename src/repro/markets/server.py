@@ -22,6 +22,7 @@ import datetime
 import time
 from typing import Optional
 
+from repro.markets.hostility import HostileGate, HostilityPolicy
 from repro.markets.store import MarketStore
 from repro.net.faults import FaultInjector, FaultPlan
 from repro.net.http import Request, Response
@@ -53,13 +54,17 @@ class MarketServer:
         flakiness: float = 0.0,
         faults: Optional[FaultPlan] = None,
         latency_s: float = 0.0,
+        hostility: Optional[HostilityPolicy] = None,
     ):
         """``faults`` injects transient failures (500s, timeouts,
         malformed payloads, burst 429s) deterministically per request
         ordinal; ``flakiness`` is the legacy shorthand for a plain
         transient-500 plan.  ``latency_s`` adds a real (wall-clock)
         per-request service delay — it models network I/O for the
-        parallel-crawl benchmarks and never touches simulated time."""
+        parallel-crawl benchmarks and never touches simulated time.
+        ``hostility`` attaches a :class:`HostileGate` enforcing the
+        market's adversarial behaviors (auth sessions, binary wire
+        payloads, anti-bot bans, package-list-only enumeration)."""
         if not 0.0 <= flakiness < 1.0:
             raise ValueError(f"flakiness must be in [0, 1), got {flakiness}")
         if faults is not None and flakiness:
@@ -75,6 +80,11 @@ class MarketServer:
             faults = FaultPlan(transient_500=flakiness)
         self._faults = FaultInjector(store.market_id, faults)
         self._latency_s = latency_s
+        self.hostility: Optional[HostileGate] = (
+            HostileGate(store.market_id, hostility)
+            if hostility is not None and hostility.active
+            else None
+        )
         self.requests_served = 0
 
     @property
@@ -119,17 +129,34 @@ class MarketServer:
         resumed campaign restores all three so the remaining request
         stream sees exactly the responses the uninterrupted run did.
         """
-        return {
+        state = {
             "requests_served": self.requests_served,
             "faults": self._faults.export_state(),
             "quota_used": self._apk_quota.used if self._apk_quota else None,
         }
+        if self.hostility is not None:
+            state["hostility"] = self.hostility.export_state()
+        return state
 
     def restore_state(self, state: dict) -> None:
         self.requests_served = int(state["requests_served"])
         self._faults.restore_state(state["faults"])
         if self._apk_quota is not None and state.get("quota_used") is not None:
             self._apk_quota.restore(int(state["quota_used"]))
+        if self.hostility is not None and "hostility" in state:
+            self.hostility.restore_state(state["hostility"])
+
+    def _request_now(self, request: Request) -> float:
+        """The request's time base: the client's lane-clock stamp.
+
+        Lane clocks are what advance during a campaign (the shared
+        campaign clock is frozen), so token expiry, velocity windows,
+        and ban windows must be judged in the *client's* time for a
+        tarpitted crawler to be able to wait its way back.  Falls back
+        to the shared clock for bare requests (tests, legacy callers).
+        """
+        stamp = request.header("x-sim-time")
+        return float(stamp) if stamp is not None else self._clock.now
 
     def handle(self, request: Request) -> Response:
         """Dispatch one request; the entry point clients are bound to."""
@@ -141,6 +168,17 @@ class MarketServer:
         fault = self._faults.inject(self.requests_served, now=self._clock.now)
         if fault is not None:
             return fault
+        if self.hostility is None:
+            return self._dispatch(request)
+        now = self._request_now(request)
+        denied = self.hostility.screen(request, now)
+        if denied is not None:
+            return denied
+        if request.path == HostileGate.LOGIN_PATH:
+            return self.hostility.login(request, now)
+        return self.hostility.finalize(request.path, self._dispatch(request))
+
+    def _dispatch(self, request: Request) -> Response:
         handler = getattr(self, "_endpoint_" + request.path.strip("/"), None)
         if handler is None:
             return Response.not_found()
@@ -194,6 +232,31 @@ class MarketServer:
 
     def _endpoint_index_size(self, request: Request) -> Response:
         return Response.json_ok(self._store.index_size)
+
+    def _endpoint_packages(self, request: Request) -> Response:
+        """Paged bare package-name list (package-list-only markets).
+
+        The one enumeration surface such markets offer: no metadata,
+        just names — the crawler must ``/app`` each one afterwards.
+        """
+        gate = self.hostility
+        if gate is None or not gate.policy.package_list_only:
+            return Response.not_found()
+        page = int(request.param("page", 0))
+        if page < 0:
+            return Response.not_found()
+        size = gate.policy.package_page_size
+        start = page * size
+        total = self._store.index_size
+        packages = []
+        for index in range(start, min(start + size, total)):
+            listing = self._store.by_index(index, self._clock.now)
+            if listing is not None:
+                packages.append(listing.package)
+        return Response.json_ok({
+            "packages": packages,
+            "next": page + 1 if start + size < total else None,
+        })
 
     def _endpoint_download(self, request: Request) -> Response:
         package = str(request.param("package"))

@@ -1,4 +1,5 @@
-"""HTTP client with retries and rate-limit back-off.
+"""HTTP client with retries, rate-limit back-off, and hostile-market
+countermeasures.
 
 ``HttpClient`` wraps a server's ``handle`` callable.  On 429 it sleeps
 (advances the simulated clock) for the server-suggested ``retry_after``
@@ -7,6 +8,20 @@ plus deterministic jitter and retries; on 5xx, connection timeouts
 :class:`~repro.net.retry.RetryPolicy`; 404 raises
 :class:`~repro.net.http.NotFoundError`.  Each client keeps simple
 counters, used by the crawler's telemetry and tests.
+
+Against hostile markets (:mod:`repro.markets.hostility`) the client
+additionally:
+
+* stamps every request with its lane time (``x-sim-time``) and, when an
+  :class:`~repro.net.identity.IdentityPool` is installed, a rotatable
+  client identity (``x-client-ip`` + ``user-agent``);
+* maintains a session token via a
+  :class:`~repro.net.credentials.CredentialManager` — proactive refresh
+  before expiry, bounded re-login on unexpected 401s;
+* answers anti-bot 403 bans (``retry_after`` set) by banning the
+  current identity in the pool, rotating to a free one, or waiting out
+  the earliest release — and transparently decodes binary wire payloads
+  in :meth:`get_json`.
 
 Jitter: a fleet of identical clients sleeping exactly ``retry_after``
 wakes up in lockstep and re-synchronizes the very storm the 429s were
@@ -18,14 +33,19 @@ client's ``jitter_key`` and request ordinal so runs stay reproducible.
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
 from typing import TYPE_CHECKING, Any, Callable, Dict, Mapping, Optional
 
+from repro.net import wire
 from repro.net.http import (
+    HTTP_FORBIDDEN,
     HTTP_NOT_FOUND,
     HTTP_SERVER_ERROR,
     HTTP_TIMEOUT,
     HTTP_TOO_MANY_REQUESTS,
+    HTTP_UNAUTHORIZED,
+    AuthError,
+    ForbiddenError,
     MalformedPayloadError,
     NotFoundError,
     RateLimitedError,
@@ -40,12 +60,17 @@ from repro.util.simtime import SimClock
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.breaker import CircuitBreaker
+    from repro.net.credentials import CredentialManager
+    from repro.net.identity import IdentityPool
     from repro.obs import LaneObs
 
-__all__ = ["HttpClient", "ClientStats", "RATE_LIMIT_JITTER_MAX"]
+__all__ = ["HttpClient", "ClientStats", "RATE_LIMIT_JITTER_MAX", "MAX_AUTH_RETRIES"]
 
 #: Upper bound of the multiplicative jitter applied to rate-limit sleeps.
 RATE_LIMIT_JITTER_MAX = 0.25
+
+#: Re-logins tolerated per logical request before raising AuthError.
+MAX_AUTH_RETRIES = 2
 
 
 @dataclass
@@ -54,15 +79,21 @@ class ClientStats:
 
     ``failures`` counts *abandoned requests* — every request the client
     gave up on, exactly once each, whatever the reason (retry
-    exhaustion, rate-limit cap or wait-budget exhaustion, breaker
-    fast-fail).  Transient faults that a retry eventually pushed
-    through never touch it; they show up in ``retries`` and the
-    per-mode counters instead, so telemetry can distinguish "absorbed
-    turbulence" from "work lost".  Two sub-counters break failures
-    down: ``rate_limit_aborts`` (gave up because the server shed us)
-    and ``breaker_fast_fails`` (never sent: the circuit was open or
-    the market quarantined).  404 is a definitive answer, not a
-    failure; it stays in ``not_found``.
+    exhaustion, rate-limit cap or wait-budget exhaustion, ban-recovery
+    exhaustion, breaker fast-fail).  Transient faults that a retry
+    eventually pushed through never touch it; they show up in
+    ``retries`` and the per-mode counters instead, so telemetry can
+    distinguish "absorbed turbulence" from "work lost".  Two
+    sub-counters break failures down: ``rate_limit_aborts`` (gave up
+    because the server shed us) and ``breaker_fast_fails`` (never sent:
+    the circuit was open or the market quarantined).  404 is a
+    definitive answer, not a failure; it stays in ``not_found``.
+
+    The hostility counters record countermeasure work: ``logins``
+    (session tokens obtained, first login included), ``token_refreshes``
+    (the subset of logins that replaced an earlier token),
+    ``bans_hit`` (anti-bot 403s received), and ``identity_rotations``
+    (pool advances, whatever triggered them).
     """
 
     requests: int = 0
@@ -74,32 +105,34 @@ class ClientStats:
     failures: int = 0
     rate_limit_aborts: int = 0
     breaker_fast_fails: int = 0
+    logins: int = 0
+    token_refreshes: int = 0
+    bans_hit: int = 0
+    identity_rotations: int = 0
     sim_days_slept: float = 0.0
 
     def copy(self) -> "ClientStats":
         return replace(self)
 
     def delta(self, baseline: "ClientStats") -> "ClientStats":
-        """Counter movement since ``baseline`` (an earlier copy)."""
-        return ClientStats(
-            requests=self.requests - baseline.requests,
-            retries=self.retries - baseline.retries,
-            rate_limited=self.rate_limited - baseline.rate_limited,
-            timeouts=self.timeouts - baseline.timeouts,
-            malformed=self.malformed - baseline.malformed,
-            not_found=self.not_found - baseline.not_found,
-            failures=self.failures - baseline.failures,
-            rate_limit_aborts=self.rate_limit_aborts - baseline.rate_limit_aborts,
-            breaker_fast_fails=self.breaker_fast_fails - baseline.breaker_fast_fails,
-            sim_days_slept=self.sim_days_slept - baseline.sim_days_slept,
-        )
+        """Counter movement since ``baseline`` (an earlier copy).
+
+        Derived from the dataclass fields so a counter added to this
+        class can never be silently dropped from campaign deltas (and
+        therefore from telemetry and the Prometheus export).
+        """
+        return ClientStats(**{
+            f.name: getattr(self, f.name) - getattr(baseline, f.name)
+            for f in fields(self)
+        })
 
     def export_state(self) -> Dict[str, object]:
         return asdict(self)
 
     @classmethod
     def from_state(cls, state: Mapping[str, object]) -> "ClientStats":
-        return cls(**state)  # type: ignore[arg-type]
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in state.items() if k in known})  # type: ignore[arg-type]
 
 
 class HttpClient:
@@ -118,14 +151,16 @@ class HttpClient:
         retries.
     max_rate_limit_waits:
         How many consecutive 429s to tolerate per request before giving
-        up with :class:`RateLimitedError`.
+        up with :class:`RateLimitedError`.  The same budget bounds
+        all-identities-banned waits during ban recovery.
     max_rate_limit_wait:
         Cap (simulated days) on a single honored ``retry_after``.  A 429
         whose hint exceeds the cap is treated as a hard limit and raised
         immediately — the Google Play download quota answers with a
         multi-day hint that no polite crawler should wait out, while
         burst 429s hint minutes and are worth riding through.  ``None``
-        honors any hint.
+        honors any hint.  Also caps how long ban recovery will wait for
+        an identity to free up.
     pacer:
         Optional ``reserve() -> float`` callable consulted before every
         attempt; a positive return is slept first.  The crawl engine
@@ -133,6 +168,17 @@ class HttpClient:
     jitter_key:
         Stable identity mixed into the rate-limit jitter so distinct
         clients desynchronize while reruns reproduce exactly.
+    credentials:
+        Optional :class:`~repro.net.credentials.CredentialManager` for
+        authenticated markets: a token is attached to every request
+        (``authorization``), refreshed proactively, and re-obtained on
+        401 up to :data:`MAX_AUTH_RETRIES` times per logical request.
+    identities:
+        Optional :class:`~repro.net.identity.IdentityPool`; when set,
+        every request carries the pool's current ``x-client-ip`` and
+        ``user-agent``, and anti-bot bans trigger rotation.
+    auth_path:
+        The login endpoint (requests to it skip token attachment).
     obs:
         Optional :class:`~repro.obs.LaneObs` instrumentation binding.
         ``None`` (the default) is the fast path: per-request work is a
@@ -149,6 +195,9 @@ class HttpClient:
         pacer: Optional[Callable[[], float]] = None,
         jitter_key: str = "",
         breaker: Optional["CircuitBreaker"] = None,
+        credentials: Optional["CredentialManager"] = None,
+        identities: Optional["IdentityPool"] = None,
+        auth_path: str = "/login",
         obs: Optional["LaneObs"] = None,
     ):
         self._handler = handler
@@ -159,6 +208,9 @@ class HttpClient:
         self._pacer = pacer
         self._jitter_key = jitter_key
         self.breaker = breaker
+        self.credentials = credentials
+        self.identities = identities
+        self._auth_path = auth_path
         self.obs = obs
         self.stats = ClientStats()
 
@@ -171,6 +223,14 @@ class HttpClient:
         roll = stable_hash32("rl-jitter", self._jitter_key, self.stats.requests) % 1000
         return base * (1.0 + RATE_LIMIT_JITTER_MAX * roll / 1000.0)
 
+    def _event(self, name: str, **attrs: object) -> None:
+        """Record a point-in-time countermeasure fact (tracing only)."""
+        obs = self.obs
+        if obs is not None and obs.tracer is not None:
+            obs.tracer.event(
+                name, market=obs.market, sim_time=self._clock.now, **attrs
+            )
+
     def request(self, path: str, params: Optional[Mapping[str, Any]] = None) -> Response:
         """Issue a request, retrying transient failures.
 
@@ -181,6 +241,13 @@ class HttpClient:
         RateLimitedError
             When the server keeps answering 429 past the waits budget,
             or hints a wait above ``max_rate_limit_wait``.
+        AuthError
+            When the server keeps answering 401 past the re-login
+            budget (or no credentials are installed).
+        ForbiddenError
+            On a policy 403 (``retry_after`` unset — definitive, like a
+            404), or when identity rotation and waiting could not clear
+            an anti-bot ban.
         RequestTimeoutError
             When timeouts persist past the retry budget.
         MalformedPayloadError
@@ -204,7 +271,8 @@ class HttpClient:
         The span covers the whole retry loop, so its attributes report
         what the *logical* request cost: attempts sent, retries and 429
         waits absorbed, simulated back-off charged (jitter included),
-        and whether the breaker fast-failed it without a single send.
+        logins and ban-driven rotations spent, and whether the breaker
+        fast-failed it without a single send.
         """
         obs = self.obs
         stats = self.stats
@@ -213,6 +281,9 @@ class HttpClient:
         rate_limited0 = stats.rate_limited
         slept0 = stats.sim_days_slept
         fast_fails0 = stats.breaker_fast_fails
+        logins0 = stats.logins
+        bans0 = stats.bans_hit
+        rotations0 = stats.identity_rotations
         start = time.perf_counter()
         span = (
             obs.tracer.span("http.request", market=obs.market,
@@ -243,7 +314,56 @@ class HttpClient:
                 span["backoff_sim_days"] = backoff
                 if stats.breaker_fast_fails != fast_fails0:
                     span["breaker_fast_fail"] = True
+                if stats.logins != logins0:
+                    span["logins"] = stats.logins - logins0
+                if stats.bans_hit != bans0:
+                    span["bans_hit"] = stats.bans_hit - bans0
+                if stats.identity_rotations != rotations0:
+                    span["identity_rotations"] = (
+                        stats.identity_rotations - rotations0
+                    )
                 span.__exit__(None, None, None)
+
+    def _build_request(self, path: str, params: Dict[str, Any]) -> Request:
+        """Assemble one attempt's request, headers included.
+
+        Built fresh per attempt because the identity, the token, and
+        the lane-time stamp can all change between retries.
+        """
+        now = self._clock.now
+        headers: Dict[str, str] = {"x-sim-time": repr(now)}
+        if self.identities is not None:
+            identity, rotated = self.identities.checkout(now)
+            if rotated:
+                self.stats.identity_rotations += 1
+                self._event("identity.rotate", reason="checkout",
+                            identity=identity.ip)
+            headers.update(identity.headers())
+        if self.credentials is not None and path != self._auth_path:
+            headers["authorization"] = self._ensure_token(now)
+        return Request(path=path, params=params, headers=headers)
+
+    def _ensure_token(self, now: float) -> str:
+        """A valid session token, logging in when needed (single-flight)."""
+        creds = self.credentials
+        with creds.lock:
+            token = creds.token_if_valid(now)
+            if token is not None:
+                return token
+            refreshing = creds.ever_logged_in
+            resp = self._request(self._auth_path, None)
+            payload = resp.json
+            if payload is None and resp.body is not None and wire.is_wire(resp.body):
+                payload = wire.decode(resp.body)
+            token = payload["token"]
+            # No sleep happens between the winning login attempt and
+            # here, so clock.now is the server's session start time.
+            creds.install(token, float(payload["ttl"]), self._clock.now)
+            self.stats.logins += 1
+            if refreshing:
+                self.stats.token_refreshes += 1
+            self._event("auth.login", refresh=refreshing)
+            return token
 
     def _request(self, path: str, params: Optional[Mapping[str, Any]]) -> Response:
         """The uninstrumented retry loop (the pre-observability path)."""
@@ -255,14 +375,17 @@ class HttpClient:
                 self.stats.failures += 1
                 self.stats.breaker_fast_fails += 1
                 raise
-        req = Request(path=path, params=dict(params or {}))
+        base_params = dict(params or {})
         rate_limit_waits = 0
+        ban_waits = 0
         transient_retries = 0
+        auth_retries = 0
         while True:
             if self._pacer is not None:
                 pace = self._pacer()
                 if pace > 0:
                     self._sleep(pace)
+            req = self._build_request(path, base_params)
             self.stats.requests += 1
             resp = self._handler(req)
             if resp.ok:
@@ -274,6 +397,42 @@ class HttpClient:
                 if self.breaker is not None:
                     self.breaker.record_success()  # a 404 is a live server
                 raise NotFoundError(path)
+            if resp.status == HTTP_UNAUTHORIZED:
+                if self.credentials is None or auth_retries >= MAX_AUTH_RETRIES:
+                    raise self._give_up(AuthError(path))
+                auth_retries += 1
+                self.credentials.invalidate()
+                continue  # the next attempt re-logs-in
+            if resp.status == HTTP_FORBIDDEN:
+                if resp.retry_after is None:
+                    # Policy rejection (e.g. a package-list-only market
+                    # refusing enumeration): definitive, like a 404.
+                    if self.breaker is not None:
+                        self.breaker.record_success()
+                    raise ForbiddenError(path)
+                self.stats.bans_hit += 1
+                self._event("ban.hit", path=path, retry_after=resp.retry_after)
+                pool = self.identities
+                if pool is None:
+                    raise self._ban_abort(path, resp.retry_after)
+                now = self._clock.now
+                pool.ban_current(now, resp.retry_after)
+                if self._rotate_off_ban(now):
+                    continue
+                # Every identity is serving a ban: wait for the
+                # earliest release (budgeted like 429 waits).
+                wait = pool.earliest_release(now)
+                if wait is None:
+                    continue  # a ban lapsed already; retry in place
+                if (
+                    self._max_rate_limit_wait is not None
+                    and wait > self._max_rate_limit_wait
+                ) or ban_waits >= self._max_rate_limit_waits:
+                    raise self._ban_abort(path, resp.retry_after)
+                ban_waits += 1
+                self._sleep(self._jittered(wait))
+                self._rotate_off_ban(self._clock.now)
+                continue
             if resp.status == HTTP_TOO_MANY_REQUESTS:
                 self.stats.rate_limited += 1
                 wait = resp.retry_after if resp.retry_after else 1.0 / 24
@@ -309,6 +468,15 @@ class HttpClient:
                 continue
             raise self._give_up(ServerError(path))
 
+    def _rotate_off_ban(self, now: float) -> bool:
+        """Advance the pool past banned identities; True when rotated."""
+        if self.identities is not None and self.identities.rotate_to_available(now):
+            self.stats.identity_rotations += 1
+            self._event("identity.rotate", reason="ban",
+                        identity=self.identities.current.ip)
+            return True
+        return False
+
     def _give_up(self, exc: Exception) -> Exception:
         """Account one abandoned request and feed the breaker."""
         self.stats.failures += 1
@@ -329,9 +497,23 @@ class HttpClient:
         self.stats.rate_limit_aborts += 1
         return RateLimitedError(path, retry_after)
 
+    def _ban_abort(self, path: str, retry_after: float) -> Exception:
+        """Abandon under an anti-bot ban the pool could not dodge.
+
+        Like :meth:`_rate_limit_abort`, the breaker is *not* fed: the
+        server is alive and shedding this identity by policy, and
+        quarantining the whole market would discard endpoints the next
+        (rotated or rested) identity can still reach.
+        """
+        self.stats.failures += 1
+        return ForbiddenError(path, retry_after)
+
     def get_json(self, path: str, params: Optional[Mapping[str, Any]] = None) -> Any:
-        """Request and return the JSON payload."""
-        return self.request(path, params).json
+        """Request and return the payload (binary wire decoded)."""
+        resp = self.request(path, params)
+        if resp.json is None and resp.body is not None and wire.is_wire(resp.body):
+            return wire.decode(resp.body)
+        return resp.json
 
     def get_bytes(self, path: str, params: Optional[Mapping[str, Any]] = None) -> bytes:
         """Request and return the binary body."""

@@ -1,0 +1,88 @@
+"""Session-token lifecycle for authenticated markets.
+
+:class:`CredentialManager` holds one lane's session token for a market
+whose :class:`~repro.markets.hostility.HostilityPolicy` enables
+``auth``.  The :class:`~repro.net.client.HttpClient` consults it before
+every request:
+
+* **Proactive refresh** — a token is treated as stale once it enters
+  the final ``refresh_margin`` fraction of its TTL, so the client
+  re-logs-in *before* the server starts answering 401 (saving the
+  wasted round-trip).
+* **Single-flight re-login** — the manager's lock serializes login
+  attempts so concurrent callers on a lane never stampede the login
+  endpoint.  (Lanes are strictly sequential today; the lock makes the
+  invariant explicit and future-proof.)
+* **401 invalidation** — on an unexpected 401 the client calls
+  :meth:`invalidate` and retries, bounded by its re-login budget.
+
+All timing is in simulated days on the lane clock, and the mutable
+state (token, expiry, counters) joins the lane checkpoint so a resume
+cut inside a token's lifetime replays identically.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+__all__ = ["CredentialManager"]
+
+
+class CredentialManager:
+    """One lane's login state against one authenticated market."""
+
+    def __init__(self, market_id: str, refresh_margin: float = 0.1):
+        if not 0 <= refresh_margin < 1:
+            raise ValueError(
+                f"refresh_margin must be in [0, 1), got {refresh_margin}"
+            )
+        self.market_id = market_id
+        self.refresh_margin = refresh_margin
+        self.lock = threading.Lock()
+        self._token: Optional[str] = None
+        self._expires_at = -1.0
+        self._ttl = 0.0
+        self.logins = 0
+
+    @property
+    def ever_logged_in(self) -> bool:
+        return self.logins > 0
+
+    def token_if_valid(self, now: float) -> Optional[str]:
+        """The current token, unless missing or inside the proactive
+        refresh margin (the last ``refresh_margin`` fraction of TTL)."""
+        if self._token is None:
+            return None
+        if now >= self._expires_at - self._ttl * self.refresh_margin:
+            return None
+        return self._token
+
+    def install(self, token: str, ttl: float, now: float) -> None:
+        """Adopt a freshly issued token."""
+        self._token = token
+        self._ttl = float(ttl)
+        self._expires_at = now + float(ttl)
+        self.logins += 1
+
+    def invalidate(self) -> None:
+        """Drop the token (the server answered 401 despite it)."""
+        self._token = None
+        self._expires_at = -1.0
+
+    # -- checkpoint plumbing ----------------------------------------------
+
+    def export_state(self) -> dict:
+        return {
+            "token": self._token,
+            "expires_at": self._expires_at,
+            "ttl": self._ttl,
+            "logins": self.logins,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        token = state["token"]
+        self._token = str(token) if token is not None else None
+        self._expires_at = float(state["expires_at"])
+        self._ttl = float(state["ttl"])
+        self.logins = int(state["logins"])

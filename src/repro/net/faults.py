@@ -20,13 +20,16 @@ Modes
     ``burst_429_length`` consecutive 429s with a short ``retry_after``
     — the "429-happy market" pattern, distinct from Google Play's hard
     download quota whose ``retry_after`` is measured in days.
-``blackout`` (start_day/duration)
-    A total outage window: every request whose simulated day falls in
-    ``[blackout_start, blackout_start + blackout_days)`` times out,
-    unconditionally.  This is the market-goes-dark stressor the circuit
-    breaker and checkpoint/resume machinery are built for; it ignores
+``blackout`` (windows)
+    Total outage windows: every request whose simulated day falls in a
+    ``[start, start + duration)`` window times out, unconditionally.
+    This is the market-goes-dark stressor the circuit breaker and
+    checkpoint/resume machinery are built for; it ignores
     ``max_consecutive`` because no retry budget rides out a dead
-    frontend.
+    frontend.  Windows are normalized at construction — sorted,
+    overlapping/touching windows merged, zero/negative durations
+    rejected — so two plans describing the same outages compare (and
+    hash) equal regardless of the order the windows were written in.
 
 ``max_consecutive`` caps how many faulted responses can occur back to
 back, so a retry budget of N >= max_consecutive is guaranteed to push
@@ -38,7 +41,7 @@ where extreme fault rates genuinely exhaust clients).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.net.http import Response
 from repro.util.rng import stable_hash32
@@ -61,8 +64,12 @@ class FaultPlan:
     burst_429_length: int = 2
     burst_retry_after: float = BURST_RETRY_AFTER
     max_consecutive: Optional[int] = None
-    blackout_start: Optional[float] = None  # simulated day the outage begins
+    blackout_start: Optional[float] = None  # legacy single-window form
     blackout_days: float = 0.0
+    #: Canonical outage windows as ``(start_day, duration)`` pairs;
+    #: normalized (sorted + merged) by ``__post_init__``.  The legacy
+    #: single-window fields above are folded in when set.
+    blackout_windows: Tuple[Tuple[float, float], ...] = ()
 
     def __post_init__(self) -> None:
         for name in ("transient_500", "timeout", "malformed"):
@@ -79,16 +86,39 @@ class FaultPlan:
             raise ValueError("blackout_days must be positive when blackout_start is set")
         if self.blackout_start is None and self.blackout_days:
             raise ValueError("blackout_days requires blackout_start")
+        windows = list(self.blackout_windows)
+        if self.blackout_start is not None:
+            windows.append((self.blackout_start, self.blackout_days))
+            # Fold the legacy single-window form into the canonical
+            # tuple so equivalent plans compare equal however written.
+            object.__setattr__(self, "blackout_start", None)
+            object.__setattr__(self, "blackout_days", 0.0)
+        object.__setattr__(
+            self, "blackout_windows", _normalize_windows(windows)
+        )
 
     @classmethod
     def blackout(cls, start_day: float, duration: float, **extra) -> "FaultPlan":
         """A plan whose market serves 100% timeouts for a time window."""
         return cls(blackout_start=float(start_day), blackout_days=float(duration), **extra)
 
+    @classmethod
+    def blackouts(
+        cls, windows: Iterable[Sequence[float]], **extra
+    ) -> "FaultPlan":
+        """A plan with multiple outage windows (``(start, duration)``
+        pairs, any order/overlap — normalized at construction)."""
+        return cls(
+            blackout_windows=tuple(
+                (float(start), float(duration)) for start, duration in windows
+            ),
+            **extra,
+        )
+
     def in_blackout(self, now: float) -> bool:
-        return (
-            self.blackout_start is not None
-            and self.blackout_start <= now < self.blackout_start + self.blackout_days
+        return any(
+            start <= now < start + duration
+            for start, duration in self.blackout_windows
         )
 
     @property
@@ -98,8 +128,41 @@ class FaultPlan:
             or self.timeout
             or self.malformed
             or self.burst_429_period
-            or self.blackout_start is not None
+            or self.blackout_windows
         )
+
+
+def _normalize_windows(
+    windows: Iterable[Sequence[float]],
+) -> Tuple[Tuple[float, float], ...]:
+    """Sort ``(start, duration)`` windows and merge overlaps/touches.
+
+    The old single-window code silently depended on declaration order
+    once callers started composing plans; canonicalizing here makes
+    equal outage schedules compare equal and keeps ``in_blackout`` a
+    scan over disjoint intervals.
+    """
+    cleaned = []
+    for window in windows:
+        start, duration = window
+        start, duration = float(start), float(duration)
+        if duration <= 0:
+            raise ValueError(
+                f"blackout window duration must be positive, got {window!r}"
+            )
+        cleaned.append((start, duration))
+    cleaned.sort()
+    merged: list = []
+    for start, duration in cleaned:
+        if merged and start <= merged[-1][0] + merged[-1][1]:
+            prev_start, prev_duration = merged[-1]
+            merged[-1] = (
+                prev_start,
+                max(prev_duration, start + duration - prev_start),
+            )
+        else:
+            merged.append((start, duration))
+    return tuple(merged)
 
 
 #: A plan that injects nothing (the default server behavior).

@@ -11,6 +11,8 @@ from typing import Any, Mapping, Optional
 
 __all__ = [
     "HTTP_OK",
+    "HTTP_UNAUTHORIZED",
+    "HTTP_FORBIDDEN",
     "HTTP_NOT_FOUND",
     "HTTP_TOO_MANY_REQUESTS",
     "HTTP_SERVER_ERROR",
@@ -18,6 +20,8 @@ __all__ = [
     "Request",
     "Response",
     "HttpError",
+    "AuthError",
+    "ForbiddenError",
     "NotFoundError",
     "RateLimitedError",
     "ServerError",
@@ -26,6 +30,8 @@ __all__ = [
 ]
 
 HTTP_OK = 200
+HTTP_UNAUTHORIZED = 401
+HTTP_FORBIDDEN = 403
 HTTP_NOT_FOUND = 404
 HTTP_TOO_MANY_REQUESTS = 429
 HTTP_SERVER_ERROR = 500
@@ -39,14 +45,21 @@ class Request:
     """A request to a market endpoint.
 
     ``path`` selects the endpoint (e.g. ``/search``, ``/app``,
-    ``/download``); ``params`` carries query parameters.
+    ``/download``); ``params`` carries query parameters; ``headers``
+    carries the client-identity and session metadata hostile markets
+    key on (``user-agent``, ``x-client-ip``, ``authorization``, and the
+    lane-time stamp ``x-sim-time``).
     """
 
     path: str
     params: Mapping[str, Any] = field(default_factory=dict)
+    headers: Mapping[str, str] = field(default_factory=dict)
 
     def param(self, name: str, default: Any = None) -> Any:
         return self.params.get(name, default)
+
+    def header(self, name: str, default: Any = None) -> Any:
+        return self.headers.get(name, default)
 
 
 @dataclass
@@ -81,6 +94,18 @@ class Response:
         return cls(status=HTTP_NOT_FOUND)
 
     @classmethod
+    def unauthorized(cls) -> "Response":
+        """401: the session token is missing, stale, or expired."""
+        return cls(status=HTTP_UNAUTHORIZED)
+
+    @classmethod
+    def forbidden(cls, retry_after: Optional[float] = None) -> "Response":
+        """403: ``retry_after`` set means a timed anti-bot ban (the
+        client may rotate identity or wait it out); ``None`` means a
+        policy rejection that no amount of waiting lifts."""
+        return cls(status=HTTP_FORBIDDEN, retry_after=retry_after)
+
+    @classmethod
     def rate_limited(cls, retry_after: float) -> "Response":
         return cls(status=HTTP_TOO_MANY_REQUESTS, retry_after=retry_after)
 
@@ -99,6 +124,27 @@ class HttpError(Exception):
     def __init__(self, message: str, status: int):
         super().__init__(message)
         self.status = status
+
+
+class AuthError(HttpError):
+    """The server kept answering 401 past the re-login budget."""
+
+    def __init__(self, path: str):
+        super().__init__(f"unauthorized: {path}", HTTP_UNAUTHORIZED)
+
+
+class ForbiddenError(HttpError):
+    """A 403 the client could not recover from.
+
+    ``retry_after`` mirrors the response: a float for a timed anti-bot
+    ban (identity rotation and waiting were exhausted), ``None`` for a
+    policy rejection (e.g. a package-list-only market refusing catalog
+    enumeration) — definitive, like a 404.
+    """
+
+    def __init__(self, path: str, retry_after: Optional[float] = None):
+        super().__init__(f"forbidden: {path}", HTTP_FORBIDDEN)
+        self.retry_after = retry_after
 
 
 class NotFoundError(HttpError):

@@ -19,6 +19,7 @@ from typing import Dict, List, Mapping, Tuple, Union
 
 __all__ = [
     "SchemaError",
+    "HOSTILITY_EVENTS",
     "validate_trace_obj",
     "validate_metrics_obj",
     "validate_trace_file",
@@ -75,6 +76,12 @@ METRICS_FIELDS: FieldSpec = {
 }
 
 METRIC_KINDS = ("counter", "gauge", "histogram")
+
+#: Event names the hostile-market scenario pack emits (``kind=event``
+#: trace lines).  The validator does not whitelist event names — any
+#: well-formed event passes — but tooling that slices hostility
+#: activity out of a trace keys on these.
+HOSTILITY_EVENTS = ("auth.login", "ban.hit", "identity.rotate")
 
 
 def _check_fields(obj: Mapping, spec: FieldSpec, what: str) -> None:

@@ -13,6 +13,7 @@ __all__ = [
     "package_name",
     "app_display_name",
     "developer_name",
+    "cjk_display_name",
     "COMMON_APP_NAMES",
 ]
 
@@ -93,6 +94,27 @@ def app_display_name(rng: np.random.Generator, common_fraction: float = 0.02) ->
     product = _pick(rng, _PRODUCT_WORDS).capitalize()
     suffix = _pick(rng, _NAME_SUFFIXES)
     return f"{brand} {product}{suffix}"
+
+
+#: Hanzi drawn from real Chinese app-market names (手机助手, 应用宝,
+#: 豌豆荚, ...).  Used by :func:`cjk_display_name` only — the ecosystem
+#: generator sticks to the pinyin-flavored ASCII vocabulary above, so
+#: world digests are untouched by this table.
+_CJK_CHARS = "手机助应用宝安卓市场豌豆荚百度腾讯软件商店游戏视频音乐阅读"
+
+_CJK_SUFFIXES = ["", "", "HD", "Pro", "极速版", "免费版"]
+
+
+def cjk_display_name(rng: np.random.Generator) -> str:
+    """Generate a display name mixing hanzi and ASCII.
+
+    Exercises non-ASCII round-trips (wire codec, store serialization)
+    in tests; never wired into ecosystem generation.
+    """
+    length = int(rng.integers(2, 5))
+    name = "".join(_pick(rng, _CJK_CHARS) for _ in range(length))
+    suffix = _pick(rng, _CJK_SUFFIXES)
+    return f"{name} {suffix}".strip() if suffix else name
 
 
 def developer_name(rng: np.random.Generator, region: str) -> str:

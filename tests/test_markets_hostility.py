@@ -1,0 +1,280 @@
+"""Unit tests for the hostile-market gate and its policy."""
+
+import pytest
+
+from repro.markets.hostility import (
+    DEFAULT_TOKEN_TTL,
+    HOSTILITY_BEHAVIORS,
+    HostileGate,
+    HostilityPolicy,
+)
+from repro.net import wire
+from repro.net.http import (
+    HTTP_FORBIDDEN,
+    HTTP_OK,
+    HTTP_TOO_MANY_REQUESTS,
+    HTTP_UNAUTHORIZED,
+    Request,
+    Response,
+)
+
+
+def request(path="/app", ip="10.0.0.1", ua="bot/1", token=None, **params):
+    headers = {"x-client-ip": ip, "user-agent": ua}
+    if token is not None:
+        headers["authorization"] = token
+    return Request(path=path, params=params, headers=headers)
+
+
+class TestPolicy:
+    def test_inactive_by_default(self):
+        assert not HostilityPolicy().active
+        assert HostilityPolicy().behaviors == ()
+        assert HostilityPolicy().describe() == "none"
+
+    def test_full_enables_all_behaviors(self):
+        policy = HostilityPolicy.full()
+        assert policy.behaviors == HOSTILITY_BEHAVIORS
+        assert policy.describe() == "auth+binary+antibot+package_list"
+
+    def test_for_behaviors(self):
+        policy = HostilityPolicy.for_behaviors(("auth", "antibot"))
+        assert policy.auth and policy.antibot
+        assert not policy.binary and not policy.package_list_only
+        with pytest.raises(ValueError):
+            HostilityPolicy.for_behaviors(("auth", "nope"))
+
+    def test_from_spec(self):
+        assert HostilityPolicy.from_spec(None) is None
+        assert HostilityPolicy.from_spec("none") is None
+        assert HostilityPolicy.from_spec("  ") is None
+        assert HostilityPolicy.from_spec("full") == HostilityPolicy.full()
+        assert HostilityPolicy.from_spec("all") == HostilityPolicy.full()
+        parsed = HostilityPolicy.from_spec("auth, binary")
+        assert parsed.behaviors == ("auth", "binary")
+        # Aliases.
+        assert HostilityPolicy.from_spec("bans").antibot
+        assert HostilityPolicy.from_spec("package-list").package_list_only
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostilityPolicy(token_ttl=0)
+        with pytest.raises(ValueError):
+            HostilityPolicy(velocity_limit=0)
+        with pytest.raises(ValueError):
+            HostilityPolicy(ban_base=1.0, ban_cap=0.5)
+        with pytest.raises(ValueError):
+            HostilityPolicy(ban_decay=0.0)
+
+    def test_offense_decay_defaults_to_ban_base(self):
+        assert HostilityPolicy(ban_base=0.4).offense_decay == 0.4
+        assert HostilityPolicy(ban_decay=1.5).offense_decay == 1.5
+
+
+class TestAuth:
+    def make_gate(self, **overrides):
+        return HostileGate("tencent", HostilityPolicy.for_behaviors(("auth",), **overrides))
+
+    def test_rejects_without_token(self):
+        gate = self.make_gate()
+        denied = gate.screen(request(), now=0.0)
+        assert denied is not None and denied.status == HTTP_UNAUTHORIZED
+        assert gate.rejected_401 == 1
+
+    def test_login_path_is_the_bootstrap(self):
+        gate = self.make_gate()
+        assert gate.screen(request("/login"), now=0.0) is None
+
+    def test_login_issues_token_that_passes(self):
+        gate = self.make_gate()
+        resp = gate.login(request("/login"), now=0.0)
+        assert resp.ok
+        token = resp.json["token"]
+        assert resp.json["ttl"] == DEFAULT_TOKEN_TTL
+        assert gate.screen(request(token=token), now=1.0) is None
+        assert gate.logins == 1
+
+    def test_token_expires(self):
+        gate = self.make_gate(token_ttl=2.0)
+        token = gate.login(request("/login"), now=0.0).json["token"]
+        assert gate.screen(request(token=token), now=1.99) is None
+        denied = gate.screen(request(token=token), now=2.0)
+        assert denied is not None and denied.status == HTTP_UNAUTHORIZED
+
+    def test_bogus_token_rejected(self):
+        gate = self.make_gate()
+        denied = gate.screen(request(token="forged"), now=0.0)
+        assert denied is not None and denied.status == HTTP_UNAUTHORIZED
+
+    def test_tokens_are_deterministic(self):
+        a, b = self.make_gate(), self.make_gate()
+        for now in (0.0, 1.0, 2.0):
+            assert (a.login(request("/login"), now).json
+                    == b.login(request("/login"), now).json)
+
+    def test_login_404_when_auth_disabled(self):
+        gate = HostileGate("m", HostilityPolicy.for_behaviors(("binary",)))
+        assert gate.login(request("/login"), now=0.0).status == 404
+
+
+class TestAntibot:
+    POLICY = dict(velocity_limit=5, velocity_window=0.02, tarpit_strikes=2,
+                  tarpit_delay=0.02, ban_base=0.25, ban_cap=1.0)
+
+    def make_gate(self, **overrides):
+        params = {**self.POLICY, **overrides}
+        return HostileGate("m", HostilityPolicy.for_behaviors(("antibot",), **params))
+
+    def burst(self, gate, now, n, **identity):
+        return [gate.screen(request(**identity), now) for _ in range(n)]
+
+    def test_under_limit_passes(self):
+        gate = self.make_gate()
+        assert self.burst(gate, 0.0, 5) == [None] * 5
+
+    def test_tarpits_then_bans(self):
+        gate = self.make_gate()
+        now = 0.0
+        # Strike 1 and 2: tarpit 429s with growing hints.
+        hints = []
+        for strike in (1, 2):
+            assert self.burst(gate, now, 5) == [None] * 5
+            denied = gate.screen(request(), now)
+            assert denied.status == HTTP_TOO_MANY_REQUESTS
+            hints.append(denied.retry_after)
+            now += denied.retry_after
+        assert hints[1] > hints[0]
+        assert gate.tarpits == 2
+        # Strike 3: the ban begins.
+        assert self.burst(gate, now, 5) == [None] * 5
+        banned = gate.screen(request(), now)
+        assert banned.status == HTTP_FORBIDDEN
+        assert banned.retry_after == pytest.approx(0.25)
+        assert gate.bans == 1
+
+    def test_ban_windows_double_without_decay(self):
+        gate = self.make_gate(tarpit_strikes=0, ban_decay=100.0)
+        now, windows = 0.0, []
+        for _ in range(4):
+            self.burst(gate, now, 5)
+            banned = gate.screen(request(), now)
+            assert banned.status == HTTP_FORBIDDEN
+            windows.append(banned.retry_after)
+            now += banned.retry_after  # serve the full ban, re-offend
+        assert windows == [pytest.approx(0.25), pytest.approx(0.5),
+                           pytest.approx(1.0), pytest.approx(1.0)]  # capped
+
+    def test_honored_ban_decays_the_record(self):
+        gate = self.make_gate(tarpit_strikes=0)
+        self.burst(gate, 0.0, 5)
+        first = gate.screen(request(), 0.0)
+        assert first.retry_after == pytest.approx(0.25)
+        # The identity sits out the full window (>= decay), then
+        # re-offends: escalation restarts at the base window.
+        now = 0.25
+        self.burst(gate, now, 5)
+        again = gate.screen(request(), now)
+        assert again.status == HTTP_FORBIDDEN
+        assert again.retry_after == pytest.approx(0.25)
+
+    def test_banned_identity_rejected_until_release(self):
+        gate = self.make_gate(tarpit_strikes=0)
+        self.burst(gate, 0.0, 5)
+        banned = gate.screen(request(), 0.0)
+        mid = gate.screen(request(), 0.1)
+        assert mid.status == HTTP_FORBIDDEN
+        assert mid.retry_after == pytest.approx(banned.retry_after - 0.1)
+        assert gate.screen(request(), 0.25) is None  # window served
+
+    def test_identities_tracked_independently(self):
+        gate = self.make_gate(tarpit_strikes=0)
+        self.burst(gate, 0.0, 5, ip="10.0.0.1")
+        assert gate.screen(request(ip="10.0.0.1"), 0.0).status == HTTP_FORBIDDEN
+        # A different IP (fresh identity) sails through.
+        assert self.burst(gate, 0.0, 5, ip="10.0.0.2") == [None] * 5
+
+    def test_window_expiry_resets_the_count(self):
+        gate = self.make_gate()
+        assert self.burst(gate, 0.0, 5) == [None] * 5
+        # A full velocity window later the counter starts over.
+        assert self.burst(gate, 0.02, 5) == [None] * 5
+        assert gate.tarpits == gate.bans == 0
+
+
+class TestPackageListOnly:
+    def make_gate(self):
+        return HostileGate("m", HostilityPolicy.for_behaviors(("package_list",)))
+
+    def test_enumeration_gets_policy_403(self):
+        gate = self.make_gate()
+        for path in ("/categories", "/category", "/index", "/index_size"):
+            denied = gate.screen(request(path), now=0.0)
+            assert denied is not None and denied.status == HTTP_FORBIDDEN
+            assert denied.retry_after is None  # policy: waiting never helps
+        assert gate.rejected_403 == 4
+
+    def test_app_and_search_pass(self):
+        gate = self.make_gate()
+        for path in ("/app", "/search", "/download", "/packages"):
+            assert gate.screen(request(path), now=0.0) is None
+
+
+class TestBinaryFinalize:
+    def make_gate(self):
+        return HostileGate("m", HostilityPolicy.for_behaviors(("binary",)))
+
+    def test_json_ok_becomes_wire(self):
+        gate = self.make_gate()
+        out = gate.finalize("/app", Response.json_ok({"package": "a", "评分": 4.5}))
+        assert out.status == HTTP_OK and out.json is None
+        assert wire.is_wire(out.body)
+        assert wire.decode(out.body) == {"package": "a", "评分": 4.5}
+        assert gate.served_binary == 1
+
+    def test_errors_and_garbled_pass_through(self):
+        gate = self.make_gate()
+        for resp in (Response.not_found(), Response.timeout(), Response.garbled()):
+            assert gate.finalize("/app", resp) is resp
+
+    def test_login_stays_json(self):
+        gate = HostileGate("m", HostilityPolicy(auth=True, binary=True))
+        resp = gate.login(request("/login"), now=0.0)
+        assert gate.finalize("/login", resp) is resp
+        assert resp.json is not None
+
+
+class TestStateExportRestore:
+    def test_round_trip_mid_ban_and_mid_session(self):
+        policy = HostilityPolicy.full(velocity_limit=3, tarpit_strikes=0)
+        gate = HostileGate("m", policy)
+        token = gate.login(request("/login"), now=0.0).json["token"]
+        for _ in range(3):
+            gate.screen(request(token=token), 0.0)
+        banned = gate.screen(request(token=token), 0.0)
+        assert banned.status == HTTP_FORBIDDEN
+
+        clone = HostileGate("m", policy)
+        clone.restore_state(gate.export_state())
+        assert clone.export_state() == gate.export_state()
+        # The clone remembers the ban, the session, and the counters.
+        mid = clone.screen(request(token=token), 0.1)
+        assert mid.status == HTTP_FORBIDDEN
+        assert clone.screen(request(ip="10.9.9.9", token=token),
+                            banned.retry_after) is None
+        assert clone.bans == gate.bans == 1
+        assert clone.logins == 1
+
+    def test_restored_gate_continues_identically(self):
+        policy = HostilityPolicy.for_behaviors(("antibot",), velocity_limit=2)
+        live = HostileGate("m", policy)
+        checkpoint = None
+        script = [(0.0, "10.0.0.1")] * 5 + [(0.01, "10.0.0.2")] * 5
+        for step, (now, ip) in enumerate(script):
+            live.screen(request(ip=ip), now)
+            if step == 4:
+                checkpoint = live.export_state()
+        resumed = HostileGate("m", policy)
+        resumed.restore_state(checkpoint)
+        for now, ip in script[5:]:
+            resumed.screen(request(ip=ip), now)
+        assert resumed.export_state() == live.export_state()

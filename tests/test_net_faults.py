@@ -27,6 +27,51 @@ class TestFaultPlan:
         assert FaultPlan(timeout=0.1).active
         assert FaultPlan(malformed=0.1).active
         assert FaultPlan(burst_429_period=50).active
+        assert FaultPlan.blackout(5.0, 2.0).active
+
+
+class TestBlackoutWindows:
+    def test_legacy_equals_canonical(self):
+        # The one-window classmethod and the general form are the same plan.
+        assert FaultPlan.blackout(5.0, 2.0) == FaultPlan.blackouts([(5.0, 2.0)])
+
+    def test_order_independent(self):
+        a = FaultPlan.blackouts([(1.0, 2.0), (10.0, 1.0)])
+        b = FaultPlan.blackouts([(10.0, 1.0), (1.0, 2.0)])
+        assert a == b
+        assert a.blackout_windows == ((1.0, 2.0), (10.0, 1.0))
+
+    def test_overlapping_windows_merge(self):
+        plan = FaultPlan.blackouts([(1.0, 3.0), (2.0, 4.0)])
+        assert plan.blackout_windows == ((1.0, 5.0),)
+
+    def test_touching_windows_merge(self):
+        plan = FaultPlan.blackouts([(1.0, 2.0), (3.0, 1.0)])
+        assert plan.blackout_windows == ((1.0, 3.0),)
+
+    def test_contained_window_absorbed(self):
+        plan = FaultPlan.blackouts([(1.0, 10.0), (3.0, 2.0)])
+        assert plan.blackout_windows == ((1.0, 10.0),)
+
+    def test_zero_length_window_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.blackouts([(5.0, 0.0)])
+        with pytest.raises(ValueError):
+            FaultPlan.blackout(5.0, -1.0)
+
+    def test_in_blackout_respects_every_window(self):
+        plan = FaultPlan.blackouts([(1.0, 1.0), (5.0, 1.0)])
+        assert plan.in_blackout(1.5)
+        assert plan.in_blackout(5.0)
+        assert not plan.in_blackout(3.0)
+        assert not plan.in_blackout(6.0)  # half-open: end is excluded
+
+    def test_injector_times_out_during_every_window(self):
+        plan = FaultPlan.blackouts([(1.0, 1.0), (5.0, 1.0)])
+        injector = FaultInjector("m", plan)
+        assert injector.inject(1, now=1.5).status == HTTP_TIMEOUT
+        assert injector.inject(2, now=5.5).status == HTTP_TIMEOUT
+        assert injector.inject(3, now=3.0) is None
 
 
 class TestFaultInjector:
