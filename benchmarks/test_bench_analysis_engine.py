@@ -23,7 +23,6 @@ Every timed variant must also produce bit-identical report digests;
 a fast wrong answer fails the bench.
 """
 
-import json
 import time
 
 import pytest
@@ -33,6 +32,7 @@ from repro.analysis.clones import CodeCloneDetector
 from repro.analysis.engine import AnalysisEngine, ArtifactCache
 from repro.analysis.virustotal import VirusTotalService
 from repro.core.study import StudyResult
+from repro.obs.results import BenchResults
 from repro.experiments import digest_reports, run_all
 
 BENCH_ANALYSIS_SEED = 11
@@ -41,14 +41,9 @@ SCAN_LATENCY_S = 0.004  # per-APK upload latency; ~1.3K scans ≈ 5s serial
 MIN_PARALLEL_SPEEDUP = 2.0
 MIN_CACHE_SPEEDUP = 5.0
 
-RESULTS_PATH = "BENCH_analysis.json"
-_results = {}
-
-
-def _record(section, **data):
-    _results[section] = data
-    with open(RESULTS_PATH, "w") as handle:
-        json.dump(_results, handle, indent=2, sort_keys=True)
+_record = BenchResults(
+    "analysis", seed=BENCH_ANALYSIS_SEED, scale=BENCH_ANALYSIS_SCALE
+).record
 
 
 class SlowVirusTotal(VirusTotalService):

@@ -18,18 +18,16 @@ pytest-benchmark fixture: ``--benchmark-only`` runs skip it, and the CI
 ``corpus`` job invokes it directly.
 """
 
-import json
 import os
 import time
 import tracemalloc
 
 from repro.ecosystem.generator import EcosystemGenerator
+from repro.obs.results import BenchResults
 from repro.store import CorpusStore
 
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.002"))
-
-RESULTS_PATH = "BENCH_corpus.json"
 
 #: The streaming pass re-decodes rows, so its *allocation* peak may sit
 #: above the materialized pass (whose list pre-exists the trace); what
@@ -38,14 +36,7 @@ RESULTS_PATH = "BENCH_corpus.json"
 MAX_PEAK_RATIO = 1.5
 
 
-def _record(section, data):
-    results = {}
-    if os.path.exists(RESULTS_PATH):
-        with open(RESULTS_PATH) as handle:
-            results = json.load(handle)
-    results[section] = data
-    with open(RESULTS_PATH, "w") as handle:
-        json.dump(results, handle, indent=2, sort_keys=True)
+_record = BenchResults("corpus", seed=BENCH_SEED, scale=BENCH_SCALE).record
 
 
 def _traced_pass(fn):
@@ -85,18 +76,14 @@ def test_bench_streaming_cursor(tmp_path):
 
     _record(
         "bench",
-        {
-            "seed": BENCH_SEED,
-            "scale": BENCH_SCALE,
-            "apps": n_apps,
-            "listings": listings,
-            "memory_pass_s": round(memory_s, 3),
-            "memory_peak_mib": round(memory_peak / 2**20, 2),
-            "spill_s": round(spill_s, 3),
-            "stream_pass_s": round(stream_s, 3),
-            "stream_peak_mib": round(stream_peak / 2**20, 2),
-            "digest": digest_before,
-        },
+        apps=n_apps,
+        listings=listings,
+        memory_pass_s=round(memory_s, 3),
+        memory_peak_mib=round(memory_peak / 2**20, 2),
+        spill_s=round(spill_s, 3),
+        stream_pass_s=round(stream_s, 3),
+        stream_peak_mib=round(stream_peak / 2**20, 2),
+        digest=digest_before,
     )
     print(
         f"\nspill {n_apps:,} apps in {spill_s:.2f}s; "

@@ -20,8 +20,6 @@ the polite baseline's coverage on every market — in practice it
 converges to the bit-identical snapshot digest, which is also asserted.
 """
 
-import json
-import os
 import time
 
 import pytest
@@ -32,6 +30,7 @@ from repro.markets.hostility import HostilityPolicy
 from repro.markets.server import MarketServer
 from repro.markets.store import build_stores
 from repro.net.identity import IdentityPolicy
+from repro.obs.results import BenchResults
 from repro.util.rng import stable_hash32
 from repro.util.simtime import SimClock
 
@@ -39,17 +38,9 @@ BENCH_HOSTILE_SEED = 7
 BENCH_HOSTILE_SCALE = 0.0002
 RECOVERY_FLOOR = 0.90
 
-RESULTS_PATH = "BENCH_hostility.json"
-
-
-def _record(section, **data):
-    results = {}
-    if os.path.exists(RESULTS_PATH):
-        with open(RESULTS_PATH) as handle:
-            results = json.load(handle)
-    results[section] = data
-    with open(RESULTS_PATH, "w") as handle:
-        json.dump(results, handle, indent=2, sort_keys=True)
+_record = BenchResults(
+    "hostility", seed=BENCH_HOSTILE_SEED, scale=BENCH_HOSTILE_SCALE
+).record
 
 
 @pytest.fixture(scope="module")

@@ -28,7 +28,6 @@ run everywhere.
 """
 
 import hashlib
-import json
 import os
 import time
 
@@ -38,6 +37,7 @@ from repro.apk.archive import SegmentCache
 from repro.ecosystem.generator import EcosystemGenerator
 from repro.markets.profiles import ALL_MARKET_IDS
 from repro.markets.store import build_stores
+from repro.obs.results import BenchResults
 
 WORLDGEN_SEED = 21
 #: Scale for the speedup bench: ~9.4K apps, ~8s serial — enough to
@@ -49,14 +49,7 @@ SEGMENT_SCALE = 0.0005
 MIN_PARALLEL_SPEEDUP = 2.0
 MIN_SEGMENT_SPEEDUP = 1.05
 
-RESULTS_PATH = "BENCH_worldgen.json"
-_results = {}
-
-
-def _record(section, **data):
-    _results[section] = data
-    with open(RESULTS_PATH, "w") as handle:
-        json.dump(_results, handle, indent=2, sort_keys=True)
+_record = BenchResults("worldgen", seed=WORLDGEN_SEED, scale=SPEEDUP_SCALE).record
 
 
 def _cpus():

@@ -36,7 +36,6 @@ re-measure it in a subprocess, which also asserts it exceeds the
 ceiling.
 """
 
-import json
 import os
 import resource
 import subprocess
@@ -49,6 +48,7 @@ from repro.ecosystem.sharding import resolve_gen_workers
 from repro.experiments.runner import run_all
 from repro.obs import Observability
 from repro.obs.profiler import StageProfiler
+from repro.obs.results import BenchResults
 
 SEED = 7
 #: 50x the other examples' 0.0004.  ``REPRO_CORPUS_SCALE`` is a dev
@@ -69,9 +69,6 @@ PEAK_CEILING_MIB = 2048
 #: What the in-memory backend measured at calibration time, for the
 #: skip message and the JSON record.
 MEMORY_PEAK_CALIBRATED_MIB = 8315
-
-RESULTS_PATH = "BENCH_corpus.json"
-
 
 def peak_rss_mib() -> float:
     """Kernel-reported peak resident set of this process, in MiB."""
@@ -104,16 +101,6 @@ def _run(backend: str):
     reports = run_all(result)
     wall = time.perf_counter() - start
     return result, reports, obs, wall
-
-
-def _record(section: str, data: dict) -> None:
-    results = {}
-    if os.path.exists(RESULTS_PATH):
-        with open(RESULTS_PATH) as handle:
-            results = json.load(handle)
-    results[section] = data
-    with open(RESULTS_PATH, "w") as handle:
-        json.dump(results, handle, indent=2, sort_keys=True)
 
 
 def _memory_backend_peak() -> float:
@@ -193,7 +180,7 @@ def main() -> int:
               f"pinned its peak at ~{MEMORY_PEAK_CALIBRATED_MIB}MiB — "
               f"over the {PEAK_CEILING_MIB}MiB ceiling.")
 
-    _record("smoke", smoke)
+    BenchResults("corpus", seed=SEED, scale=SCALE).record("smoke", **smoke)
     verdict = "within" if ok else "EXCEEDS"
     print(f"\npeak RSS {peak_mib:.0f}MiB {verdict} the "
           f"{PEAK_CEILING_MIB}MiB ceiling")

@@ -145,6 +145,26 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--profile", action="store_true",
                        help="profile pipeline stages (wall time + peak "
                             "memory) and print the critical-path report")
+        p.add_argument("--profile-out", default=None, metavar="PATH",
+                       help="write the stage profile to PATH (JSONL; "
+                            "implies --profile)")
+        p.add_argument("--run-meta", default=None, metavar="PATH",
+                       help="write the run manifest (config fingerprint, "
+                            "seed/scale, content digests) to PATH for "
+                            "'repro obs ingest'")
+        p.add_argument("--monitor", action="store_true",
+                       help="live campaign monitoring: heartbeat metric "
+                            "samples + lane stall watchdog (digest-"
+                            "invariant; <=3%% overhead)")
+        p.add_argument("--monitor-interval", type=float, default=1.0,
+                       metavar="DAYS",
+                       help="simulated days of fleet progress between "
+                            "heartbeats (default: 1.0)")
+        p.add_argument("--stall-budget", type=float, default=5.0,
+                       metavar="DAYS",
+                       help="simulated days a lane may advance without "
+                            "frontier progress before the watchdog flags "
+                            "it (default: 5.0)")
 
     run_parser = sub.add_parser("run", help="run a study and print a summary")
     add_study_args(run_parser)
@@ -165,6 +185,63 @@ def build_parser() -> argparse.ArgumentParser:
                            help="a --trace-out artifact to summarize")
     rr_parser.add_argument("--metrics", default=None, metavar="PATH",
                            help="a --metrics-out artifact to re-render")
+
+    obs_parser = sub.add_parser(
+        "obs", help="run warehouse: ingest, list, diff, and gate runs")
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    def add_db_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--db", default="warehouse.sqlite", metavar="PATH",
+                       help="warehouse database (default: warehouse.sqlite)")
+
+    ingest_parser = obs_sub.add_parser(
+        "ingest", help="ingest one run's artifacts into the warehouse")
+    add_db_arg(ingest_parser)
+    ingest_parser.add_argument("--meta", default=None, metavar="PATH",
+                               help="the run manifest written by --run-meta")
+    ingest_parser.add_argument("--label", default="run",
+                               help="run label when no --meta is given")
+    ingest_parser.add_argument("--metrics", default=None, metavar="PATH",
+                               help="a --metrics-out artifact")
+    ingest_parser.add_argument("--trace", default=None, metavar="PATH",
+                               help="a --trace-out artifact")
+    ingest_parser.add_argument("--profile", default=None, metavar="PATH",
+                               help="a --profile-out artifact")
+    ingest_parser.add_argument("--bench", action="append", default=[],
+                               metavar="PATH",
+                               help="a BENCH_*.json artifact (repeatable)")
+
+    runs_parser = obs_sub.add_parser(
+        "runs", help="list ingested runs (ingest order)")
+    add_db_arg(runs_parser)
+
+    diff_parser = obs_sub.add_parser(
+        "diff", help="compare two ingested runs (exact for deterministic "
+                     "series, median/MAD baselines for timing)")
+    add_db_arg(diff_parser)
+    diff_parser.add_argument("a", help="run id (prefix), label, or -N index")
+    diff_parser.add_argument("b", help="run id (prefix), label, or -N index")
+    diff_parser.add_argument("--strict", action="store_true",
+                             help="exit nonzero unless the diff is clean")
+
+    check_parser = obs_sub.add_parser(
+        "check", help="evaluate slo.toml rules against a run; exits "
+                      "nonzero on breach")
+    add_db_arg(check_parser)
+    check_parser.add_argument("--rules", default="slo.toml", metavar="PATH",
+                              help="TOML rule file (default: slo.toml)")
+    check_parser.add_argument("--run", default="-1", metavar="REF",
+                              help="run to gate: id (prefix), label, or -N "
+                                   "index (default: -1, the latest)")
+    check_parser.add_argument("--json", default=None, metavar="PATH",
+                              help="also write machine-readable verdicts")
+
+    flame_parser = obs_sub.add_parser(
+        "flame", help="export a trace as folded stacks (flamegraph.pl / "
+                      "speedscope compatible)")
+    flame_parser.add_argument("trace", help="a --trace-out artifact")
+    flame_parser.add_argument("--out", default=None, metavar="PATH",
+                              help="output path (default: <trace>.folded)")
     return parser
 
 
@@ -204,6 +281,11 @@ def _config_from(args: argparse.Namespace) -> StudyConfig:
         trace_out=args.trace_out,
         metrics_out=args.metrics_out,
         profile=args.profile,
+        profile_out=args.profile_out,
+        run_meta=args.run_meta,
+        monitor=args.monitor,
+        monitor_interval=args.monitor_interval,
+        stall_budget=args.stall_budget,
         analysis_workers=resolve_analysis_workers(args.analysis_workers),
         artifact_cache_dir=_artifact_cache_dir(args),
         gen_workers=resolve_gen_workers(args.gen_workers),
@@ -334,10 +416,111 @@ def _cmd_run_report(args, out) -> int:
         return 2
     try:
         print(render_run_report(args.trace, args.metrics), file=out)
-    except (OSError, SchemaError) as exc:
-        print(f"run-report: {exc}", file=sys.stderr)
+    except SchemaError as exc:
+        # Name the artifact so the operator knows which file to re-export;
+        # a schema failure means the artifact, not the renderer, is bad.
+        print(f"run-report: invalid artifact: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        path = exc.filename if exc.filename else "artifact"
+        print(
+            f"run-report: cannot read {path}: "
+            f"{type(exc).__name__}: {exc.strerror or exc}",
+            file=sys.stderr,
+        )
         return 1
     return 0
+
+
+def _cmd_obs(args, out) -> int:
+    from repro.obs.schema import SchemaError
+    from repro.obs.warehouse import RunWarehouse, WarehouseError
+
+    if args.obs_command == "flame":
+        from repro.obs.flame import export_folded
+        from repro.obs.schema import validate_trace_file
+
+        try:
+            records = validate_trace_file(args.trace)
+        except (OSError, SchemaError) as exc:
+            print(f"obs flame: {args.trace}: {exc}", file=sys.stderr)
+            return 1
+        out_path = args.out if args.out else f"{args.trace}.folded"
+        count = export_folded(records, out_path)
+        print(f"wrote {out_path} ({count} stacks)", file=out)
+        return 0
+
+    try:
+        warehouse = RunWarehouse(args.db)
+    except Exception as exc:  # StoreError subclasses vary by backend
+        print(f"obs: cannot open {args.db}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if args.obs_command == "ingest":
+            try:
+                manifest = warehouse.ingest_run(
+                    label=args.label,
+                    meta=args.meta,
+                    metrics=args.metrics,
+                    trace=args.trace,
+                    profile=args.profile,
+                    bench=args.bench,
+                )
+            except (OSError, SchemaError, WarehouseError) as exc:
+                print(f"obs ingest: {exc}", file=sys.stderr)
+                return 1
+            verb = "ingested" if manifest["created"] else "already ingested"
+            print(
+                f"{verb} {manifest['run_id']} "
+                f"label={manifest['label']} "
+                f"fingerprint={manifest['fingerprint'] or '-'}",
+                file=out,
+            )
+            return 0
+        if args.obs_command == "runs":
+            print(RunWarehouse.render_runs(warehouse.runs()), file=out)
+            return 0
+        if args.obs_command == "diff":
+            try:
+                diff = warehouse.diff(args.a, args.b)
+            except WarehouseError as exc:
+                print(f"obs diff: {exc}", file=sys.stderr)
+                return 1
+            print(RunWarehouse.render_diff(diff), file=out)
+            if args.strict and not diff["clean"]:
+                return 1
+            return 0
+        if args.obs_command == "check":
+            from repro.obs.slo import (
+                SloError,
+                check_passed,
+                check_run,
+                load_rules,
+                render_check_report,
+                results_to_json,
+            )
+
+            try:
+                rules = load_rules(args.rules)
+            except (OSError, SloError) as exc:
+                print(f"obs check: {args.rules}: {exc}", file=sys.stderr)
+                return 2
+            try:
+                results, manifest = check_run(warehouse, rules, ref=args.run)
+            except WarehouseError as exc:
+                print(f"obs check: {exc}", file=sys.stderr)
+                return 2
+            print(render_check_report(results, manifest), file=out)
+            if args.json:
+                with open(args.json, "w") as handle:
+                    handle.write(results_to_json(results, manifest))
+                    handle.write("\n")
+                print(f"wrote {args.json}", file=out)
+            return 0 if check_passed(results) else 1
+        raise AssertionError(
+            f"unhandled obs command {args.obs_command}")  # pragma: no cover
+    finally:
+        warehouse.close()
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
@@ -355,4 +538,6 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_report(args, out)
     if args.command == "run-report":
         return _cmd_run_report(args, out)
+    if args.command == "obs":
+        return _cmd_obs(args, out)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

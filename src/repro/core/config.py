@@ -75,6 +75,21 @@ class StudyConfig:
     #: Profile pipeline stages (wall time + tracemalloc peak memory) and
     #: print the critical-path report after the run.
     profile: bool = False
+    #: Write the stage profile to this JSONL path (implies profiling;
+    #: the artifact ``repro obs ingest`` reads).
+    profile_out: Optional[str] = None
+    #: Write the run manifest (config, seed/scale, content digests, the
+    #: artifact paths above) to this JSON path — the ``--run-meta`` file
+    #: ``repro obs ingest`` keys the warehouse on.
+    run_meta: Optional[str] = None
+    #: Live campaign monitoring: heartbeat gauge samples plus the lane
+    #: stall watchdog.  Digest-invariant — the monitor only observes.
+    monitor: bool = False
+    #: Simulated days of fleet progress between heartbeats.
+    monitor_interval: float = 1.0
+    #: Simulated days a lane may advance without frontier progress
+    #: before the watchdog flags it stalled.
+    stall_budget: float = 5.0
     #: Analysis-engine worker width for the post-crawl pipeline (per-APK
     #: library features, VT scans, permission extraction, clone scoring,
     #: experiment renders).  Every analysis artifact is bit-identical at
@@ -184,4 +199,12 @@ class StudyConfig:
         if self.credential_ttl is not None and self.credential_ttl <= 0:
             raise ValueError(
                 f"credential_ttl must be positive, got {self.credential_ttl}"
+            )
+        if self.monitor_interval <= 0:
+            raise ValueError(
+                f"monitor_interval must be positive, got {self.monitor_interval}"
+            )
+        if self.stall_budget <= 0:
+            raise ValueError(
+                f"stall_budget must be positive, got {self.stall_budget}"
             )

@@ -145,7 +145,44 @@ class StudyResult:
         if self.config.metrics_out is not None:
             self.obs.export_metrics(self.config.metrics_out)
             written.append(self.config.metrics_out)
+        if self.config.profile_out is not None:
+            self.obs.export_profile(self.config.profile_out)
+            written.append(self.config.profile_out)
+        if self.config.run_meta is not None:
+            self.write_run_meta(self.config.run_meta)
+            written.append(self.config.run_meta)
         return written
+
+    def write_run_meta(self, path: str) -> None:
+        """Write the run manifest ``repro obs ingest`` keys a run on."""
+        import json
+        from dataclasses import asdict
+
+        from repro.obs.results import current_git_commit
+        from repro.obs.warehouse import RUN_SCHEMA, config_fingerprint
+
+        config = self.config
+        meta = {
+            "schema": RUN_SCHEMA,
+            "label": f"study-seed{config.seed}",
+            "seed": config.seed,
+            "scale": config.scale,
+            "fingerprint": config_fingerprint(config),
+            "git_commit": current_git_commit(),
+            "config": {
+                k: v if isinstance(v, (int, float, str, bool, type(None))) else repr(v)
+                for k, v in asdict(config).items()
+            },
+            "digests": {"snapshot": self.snapshot.content_digest()},
+            "artifacts": {
+                "trace": config.trace_out,
+                "metrics": config.metrics_out,
+                "profile": config.profile_out,
+            },
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
     # -- lazily computed analysis artifacts --------------------------------
 
@@ -245,7 +282,10 @@ class Study:
         self.obs = obs if obs is not None else Observability.from_flags(
             trace=self.config.trace_out is not None,
             metrics=self.config.metrics_out is not None,
-            profile=self.config.profile,
+            profile=self.config.profile or self.config.profile_out is not None,
+            monitor=self.config.monitor,
+            monitor_interval=self.config.monitor_interval,
+            stall_budget=self.config.stall_budget,
         )
 
     def _gp_seeds(self, stores: Mapping[str, MarketStore], clock: SimClock) -> List[str]:

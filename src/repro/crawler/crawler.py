@@ -237,6 +237,9 @@ class CrawlCoordinator:
                     # server, and the first live request continues from
                     # this state.
                     self._restore_checkpoint(market_id, lane.last_state())
+        monitor = self._obs.monitor
+        if monitor is not None:
+            monitor.begin(label, self._engine, telemetry, self._clock)
         snapshot = Snapshot(label, store=self._corpus)
         stats = CrawlStats(telemetry=telemetry)
         pending: List[Tuple[str, str]] = []  # (package, app_name)
@@ -272,6 +275,8 @@ class CrawlCoordinator:
                 dead_letters.append(DeadLetter(
                     market_id, "discovery", "catalog", REASON_QUARANTINED
                 ))
+        if monitor is not None:
+            monitor.tick("discovery")
 
         # Phase 2: cross-market search, round by round until the
         # frontier drains (each round searches everything new at once).
@@ -311,10 +316,14 @@ class CrawlCoordinator:
                     dead_letters.append(
                         DeadLetter(market_id, "search", query, reason)
                     )
+            if monitor is not None:
+                monitor.tick("search")
 
         # Phase 3: batched APK downloads, one lane per market.
         if self._download_apks:
             self._collect_apks(snapshot, stats, telemetry, journal, dead_letters)
+            if monitor is not None:
+                monitor.tick("apk")
 
         # Health: every market gets a verdict, even the clean ones.
         for market_id in self._servers:
@@ -336,6 +345,8 @@ class CrawlCoordinator:
 
         snapshot.stats = stats  # type: ignore[attr-defined]
         self._engine.end_campaign(telemetry)
+        if monitor is not None:
+            monitor.finish()
         telemetry.wall_seconds = time.perf_counter() - started
         campaign_span["records"] = stats.records
         campaign_span["searches"] = stats.searches

@@ -33,6 +33,11 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.monitor import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_STALL_BUDGET,
+    CampaignMonitor,
+)
 from repro.obs.profiler import StageProfiler, StageRecord
 from repro.obs.trace import NULL_SPAN, NullSpan, Span, SpanTracer
 
@@ -50,6 +55,7 @@ __all__ = [
     "Histogram",
     "StageProfiler",
     "StageRecord",
+    "CampaignMonitor",
 ]
 
 
@@ -94,22 +100,48 @@ class Observability:
         tracer: Optional[SpanTracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         profiler: Optional[StageProfiler] = None,
+        monitor: Optional[CampaignMonitor] = None,
     ):
         self.tracer = tracer
         self.metrics = metrics
         self.profiler = profiler
+        self.monitor = monitor
 
     @classmethod
     def from_flags(
-        cls, trace: bool = False, metrics: bool = False, profile: bool = False
+        cls,
+        trace: bool = False,
+        metrics: bool = False,
+        profile: bool = False,
+        monitor: bool = False,
+        monitor_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        stall_budget: float = DEFAULT_STALL_BUDGET,
     ) -> "Observability":
-        """Recorders for exactly what was asked; NULL_OBS when nothing."""
-        if not (trace or metrics or profile):
+        """Recorders for exactly what was asked; NULL_OBS when nothing.
+
+        The monitor snapshots the metrics registry, so ``monitor=True``
+        materializes one even when no ``--metrics-out`` export was
+        requested (the heartbeat samples still reach ``run-report`` and
+        the warehouse through the telemetry's registry).
+        """
+        if not (trace or metrics or profile or monitor):
             return NULL_OBS
+        tracer = SpanTracer() if trace else None
+        registry = MetricsRegistry() if (metrics or monitor) else None
         return cls(
-            tracer=SpanTracer() if trace else None,
-            metrics=MetricsRegistry() if metrics else None,
+            tracer=tracer,
+            metrics=registry,
             profiler=StageProfiler() if profile else None,
+            monitor=(
+                CampaignMonitor(
+                    registry,
+                    tracer=tracer,
+                    interval=monitor_interval,
+                    stall_budget=stall_budget,
+                )
+                if monitor
+                else None
+            ),
         )
 
     @property
@@ -170,6 +202,11 @@ class Observability:
         if self.metrics is None:
             raise ValueError("metrics are not enabled on this run")
         return self.metrics.export_jsonl(path)
+
+    def export_profile(self, path) -> int:
+        if self.profiler is None:
+            raise ValueError("profiling is not enabled on this run")
+        return self.profiler.export_jsonl(path)
 
     def profile_report(self, telemetry=None) -> str:
         if self.profiler is None:

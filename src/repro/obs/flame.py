@@ -1,0 +1,86 @@
+"""Folded-stacks export of a span tree for flamegraph tooling.
+
+``flamegraph.pl`` / speedscope / inferno all eat the *folded* format:
+one ``frame;frame;frame weight`` line per unique stack, weights summed.
+This module renders a trace artifact's span tree into that shape so the
+critical path of a campaign — which phase, which market lane, which
+request tier the wall time actually went to — drops straight into the
+standard tooling.
+
+Weights are **self** wall time in integer microseconds: each span's
+wall minus its children's (clamped at zero — lane spans overlap their
+parent concurrently, so a parent's children can sum past its own wall
+time; inclusive-weight folding would double-count, self-time folding
+degrades gracefully to zero).  Identical stacks fold by summing, and
+lines come out lexicographically sorted, so the export is byte-stable
+for a given trace.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+__all__ = ["folded_stacks", "export_folded"]
+
+
+def _frame(record: dict) -> str:
+    name = str(record.get("name", "?"))
+    market = record.get("market")
+    frame = f"{name}[{market}]" if market else name
+    # The folded format reserves both separators.
+    return frame.replace(";", ",").replace(" ", "_")
+
+
+def folded_stacks(records: Iterable[dict]) -> List[Tuple[str, int]]:
+    """Fold a trace's spans into ``(stack, self_weight_us)`` lines.
+
+    ``records`` is the trace artifact (span and event dicts mixed, as
+    ``SpanTracer.records()`` / ``validate_trace_file`` return); events
+    are ignored.  Orphan parents (spans cut off by a crash) root their
+    children at the top level rather than dropping them.
+    """
+    spans = [r for r in records if r.get("kind") == "span"]
+    by_id: Dict[int, dict] = {}
+    child_wall: Dict[Optional[int], float] = {}
+    for record in spans:
+        by_id[int(record["span_id"])] = record
+    for record in spans:
+        parent = record.get("parent_id")
+        if parent is not None and int(parent) in by_id:
+            key = int(parent)
+            child_wall[key] = child_wall.get(key, 0.0) + float(record["wall_seconds"])
+
+    def stack_of(record: dict) -> str:
+        frames = [_frame(record)]
+        seen = {int(record["span_id"])}
+        parent = record.get("parent_id")
+        while parent is not None:
+            parent = int(parent)
+            if parent in seen:  # defensive: never loop on a cyclic trace
+                break
+            node = by_id.get(parent)
+            if node is None:
+                break
+            seen.add(parent)
+            frames.append(_frame(node))
+            parent = node.get("parent_id")
+        return ";".join(reversed(frames))
+
+    folded: Dict[str, int] = {}
+    for record in spans:
+        span_id = int(record["span_id"])
+        self_wall = float(record["wall_seconds"]) - child_wall.get(span_id, 0.0)
+        weight = max(0, int(round(self_wall * 1_000_000)))
+        stack = stack_of(record)
+        folded[stack] = folded.get(stack, 0) + weight
+    return sorted(folded.items())
+
+
+def export_folded(records: Iterable[dict], path: Union[str, Path]) -> int:
+    """Write the folded-stacks file; returns the line count."""
+    lines = folded_stacks(records)
+    with Path(path).open("w", encoding="utf-8") as handle:
+        for stack, weight in lines:
+            handle.write(f"{stack} {weight}\n")
+    return len(lines)

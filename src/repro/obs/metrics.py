@@ -243,6 +243,8 @@ class MetricsRegistry:
                 lines.append(f"{series.name}_count{labels} {series.count}")
             else:
                 lines.append(f"{series.name}{labels} {_fmt(series.value)}")
+        if not lines:  # an empty registry exposes nothing, not one blank line
+            return ""
         return "\n".join(lines) + "\n"
 
     # -- import (artifact re-hydration) ------------------------------------
@@ -283,7 +285,10 @@ def _fmt(value: float) -> str:
 
 
 def _escape(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"')
+    # Prometheus text format: backslash first, then quote and newline.
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
 
 
 def _format_labels(labels: Mapping[str, str]) -> str:

@@ -112,6 +112,19 @@ class StageProfiler:
     def to_dicts(self) -> List[dict]:
         return [record.to_dict() for record in self.records]
 
+    def export_jsonl(self, path) -> int:
+        """Write one ``kind=stage`` JSON object per record, in recorded
+        order (the profile artifact ``--profile-out`` and the warehouse
+        ingest read); returns the line count."""
+        import json
+        from pathlib import Path
+
+        docs = [{"kind": "stage", **record.to_dict()} for record in self.records]
+        with Path(path).open("w", encoding="utf-8") as handle:
+            for doc in docs:
+                handle.write(json.dumps(doc, separators=(",", ":")) + "\n")
+        return len(docs)
+
     def report(self, telemetry=None) -> str:
         """Render the stage table and the critical-path summary.
 

@@ -21,7 +21,11 @@ from typing import Dict, List, Optional, Set, Union
 
 from repro.obs import counts_from_spans
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.schema import validate_metrics_file, validate_trace_file
+from repro.obs.schema import (
+    HOSTILITY_EVENTS,
+    validate_metrics_file,
+    validate_trace_file,
+)
 
 __all__ = ["render_run_report"]
 
@@ -57,7 +61,40 @@ def _telemetry_section(docs: List[dict]) -> List[str]:
         )
         lines.append(telemetry.stats_report())
         lines.append("")
+        lines.extend(_hostility_section(telemetry))
     lines.extend(_latency_section(registry))
+    return lines
+
+
+def _hostility_section(telemetry) -> List[str]:
+    """Per-market breakdown of the hostile-market counters.
+
+    The totals line in ``stats_report()`` says the fleet fought; this
+    table says *which markets* — the operator view that decides where
+    identity budget goes.  Omitted entirely for a polite campaign.
+    """
+    lanes = [
+        lane for lane in telemetry.markets.values()
+        if lane.logins or lane.token_refreshes or lane.bans_hit
+        or lane.identity_rotations
+    ]
+    if not lanes:
+        return []
+    header = (
+        f"{'market':<14}{'logins':>8}{'refreshes':>11}{'bans':>7}"
+        f"{'rotations':>11}"
+    )
+    lines = [
+        f"hostility by market [{telemetry.label}]:",
+        header,
+        "-" * len(header),
+    ]
+    for lane in sorted(lanes, key=lambda m: (-m.bans_hit, m.market_id)):
+        lines.append(
+            f"{lane.market_id:<14}{lane.logins:>8}{lane.token_refreshes:>11}"
+            f"{lane.bans_hit:>7}{lane.identity_rotations:>11}"
+        )
+    lines.append("")
     return lines
 
 
@@ -103,6 +140,31 @@ def _trace_section(records: List[dict]) -> List[str]:
             "failed spans: "
             + ", ".join(f"{k}={v}" for k, v in sorted(failed.items()))
         )
+    hostile: Dict[str, int] = {}
+    for record in records:
+        if record.get("kind") == "event" and record.get("name") in HOSTILITY_EVENTS:
+            hostile[record["name"]] = hostile.get(record["name"], 0) + 1
+    if hostile:
+        lines.append(
+            "hostility events: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(hostile.items()))
+        )
+    stalls = [
+        r for r in records
+        if r.get("kind") == "event" and r.get("name") == "lane.stalled"
+    ]
+    if stalls:
+        lines.append("stalled lanes:")
+        for event in stalls:
+            attrs = event.get("attrs", {})
+            sim = event.get("sim_time")
+            at = f" @ sim day {sim:.3f}" if sim is not None else ""
+            lines.append(
+                f"  {event.get('market', '?')}: idle "
+                f"{attrs.get('idle_days', 0):.2f}d >= budget "
+                f"{attrs.get('budget', 0):.2f}d "
+                f"({attrs.get('phase', '?')}){at}"
+            )
     transitions = [
         r for r in records
         if r.get("kind") == "event" and r.get("name") == "breaker.transition"

@@ -1,0 +1,148 @@
+"""Shared writer for the ``BENCH_*.json`` benchmark artifacts.
+
+Before the run warehouse, every results-writing bench rolled its own
+``RESULTS_PATH`` + merge-on-disk boilerplate and the artifact shape
+drifted per file (flat section maps, no provenance).  This module is
+the single writer they all use now: one :class:`BenchResults` per
+bench, one ``record(section, **data)`` call per measurement, and every
+artifact comes out in the same self-describing v1 shape::
+
+    {
+      "schema": "repro.bench/1",
+      "schema_version": 1,
+      "bench": "hostility",
+      "seed": 7,
+      "scale": 0.0002,
+      "git_commit": "<sha or null>",
+      "sections": {"recovery": {...}}
+    }
+
+which is exactly what ``repro obs ingest`` expects.  The loader side
+(:func:`load_bench_artifact`) also accepts the legacy flat
+``{section: data}`` shape, so pre-v1 artifacts remain ingestable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCH_SCHEMA_VERSION",
+    "BenchResults",
+    "current_git_commit",
+    "load_bench_artifact",
+]
+
+BENCH_SCHEMA = "repro.bench/1"
+BENCH_SCHEMA_VERSION = 1
+
+
+def current_git_commit() -> Optional[str]:
+    """The commit the artifact was produced from, or None off-repo.
+
+    CI exposes the sha directly (``GITHUB_SHA``); local runs ask git.
+    """
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+class BenchResults:
+    """One bench file's results: sections merged into a v1 artifact.
+
+    ``record`` merges against whatever is already on disk (bench runs
+    within one pytest invocation — and across invocations in CI — each
+    write their own section without clobbering the others), stamping
+    schema version, seed/scale, and the producing git commit.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        seed: Optional[int] = None,
+        scale: Optional[float] = None,
+        path: Optional[Union[str, Path]] = None,
+    ):
+        self.name = name
+        self.seed = seed
+        self.scale = scale
+        self.path = Path(path) if path is not None else Path(f"BENCH_{name}.json")
+
+    def _existing_sections(self) -> Dict[str, dict]:
+        if not self.path.exists():
+            return {}
+        try:
+            with self.path.open("r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        if (
+            isinstance(doc, dict)
+            and doc.get("schema") == BENCH_SCHEMA
+            and doc.get("bench") == self.name
+            and isinstance(doc.get("sections"), dict)
+        ):
+            return dict(doc["sections"])
+        return {}
+
+    def record(self, section: str, **data: object) -> Path:
+        """Write one section (merging existing ones); returns the path."""
+        sections = self._existing_sections()
+        sections[section] = data
+        doc = {
+            "schema": BENCH_SCHEMA,
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "bench": self.name,
+            "seed": self.seed,
+            "scale": self.scale,
+            "git_commit": current_git_commit(),
+            "sections": sections,
+        }
+        with self.path.open("w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return self.path
+
+
+def load_bench_artifact(path: Union[str, Path]) -> Tuple[str, dict, Dict[str, dict]]:
+    """Load one ``BENCH_*.json``; returns ``(bench, meta, sections)``.
+
+    v1 artifacts carry their own name and provenance; legacy flat
+    ``{section: data}`` files get their name from the filename and an
+    empty meta.  Raises ``ValueError`` for anything else.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: bench artifact must be a JSON object")
+    if doc.get("schema") == BENCH_SCHEMA:
+        sections = doc.get("sections")
+        if not isinstance(sections, dict):
+            raise ValueError(f"{path}: v1 bench artifact has no sections map")
+        meta = {k: v for k, v in doc.items() if k != "sections"}
+        return str(doc.get("bench") or _name_from_path(path)), meta, sections
+    # Legacy flat shape: every top-level value is a section.
+    sections = {}
+    for key, value in doc.items():
+        sections[str(key)] = value if isinstance(value, dict) else {"value": value}
+    return _name_from_path(path), {}, sections
+
+
+def _name_from_path(path: Path) -> str:
+    stem = path.stem
+    return stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem

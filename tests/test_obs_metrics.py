@@ -115,6 +115,54 @@ class TestExport:
         registry.counter("c", label='say "hi"\\now').inc()
         assert r'c{label="say \"hi\"\\now"} 1' in registry.render_prometheus()
 
+    def test_prometheus_escapes_newlines_in_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("c", label="line1\nline2").inc()
+        text = registry.render_prometheus()
+        # The exposition format is line-oriented: a raw newline inside a
+        # label value would split the sample across two lines.
+        assert r'c{label="line1\nline2"} 1' in text
+        for line in text.splitlines():
+            assert line.startswith(("#", "c{"))
+
+    def test_prometheus_escape_order_backslash_first(self):
+        # A value that is literally backslash-n must not collide with an
+        # escaped newline: \n (2 chars) renders as \\n, "\n" as \n.
+        registry = MetricsRegistry()
+        registry.counter("c", label="\\n").inc()
+        assert 'c{label="\\\\n"} 1' in registry.render_prometheus()
+
+    def test_prometheus_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_prometheus_inf_bucket_is_cumulative_total(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 100.0, 200.0):
+            hist.observe(value)
+        text = registry.render_prometheus()
+        # +Inf closes the cumulative series at the full observation
+        # count, overflow included.
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+        assert "lat_count 4" in text
+
+    def test_gauge_samples_survive_export_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", campaign="first")
+        gauge.set(5.0, at=0.25)
+        gauge.set(2.0, at=1.75)
+        gauge.set(9.0, at=3.5)
+        path = tmp_path / "metrics.jsonl"
+        registry.export_jsonl(path)
+
+        rehydrated = MetricsRegistry()
+        rehydrated.load_dicts(validate_metrics_file(path))
+        loaded = rehydrated.gauge("depth", campaign="first")
+        assert loaded.value == 9.0
+        assert loaded.samples == [(0.25, 5.0), (1.75, 2.0), (3.5, 9.0)]
+
     def test_load_rejects_unknown_kind(self):
         registry = MetricsRegistry()
         with pytest.raises(ValueError):
