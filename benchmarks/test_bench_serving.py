@@ -1,0 +1,202 @@
+"""Benchmarks for the serving tier and the asyncio crawl client.
+
+The headline number is lane throughput at equal lane count: 17 lanes
+against the socket tier with per-request service latency, the thread
+engine's one-request-in-flight discipline vs the asyncio client
+pipelining ``PIPELINE`` requests per lane.  Latency-bound traffic is
+where pipelining pays — the async client must sustain at least
+``MIN_PIPELINE_RATIO`` (2x) the thread engine's aggregate req/s.
+
+Two companion sections land in ``BENCH_serving.json``:
+
+* ``campaign`` — a full metadata campaign over sockets on both
+  engines.  Campaigns mix serial discovery walks and tier-side CPU
+  (framing + handle dispatch) into the denominator, so the ratio there
+  is informational, not gated; the digests must match exactly.
+* ``loadgen`` — the end-user load generator's latency quantiles and
+  throughput against the same tier (CI smoke writes this section via
+  ``repro loadgen`` instead).
+"""
+
+import time
+
+import pytest
+
+from repro.crawler.aengine import AsyncCrawlEngine
+from repro.crawler.crawler import CrawlCoordinator
+from repro.crawler.engine import CrawlEngine
+from repro.ecosystem.generator import EcosystemGenerator
+from repro.markets.server import MarketServer
+from repro.markets.store import build_stores
+from repro.obs.results import BenchResults
+from repro.serving import LoadGenerator, ServingTier
+from repro.util.simtime import SimClock
+
+BENCH_SERVING_SEED = 7
+BENCH_SERVING_SCALE = 0.0002
+LATENCY_S = 0.02  # tier-injected service latency per request
+REQUESTS_PER_LANE = 80
+PIPELINE = 8
+MIN_PIPELINE_RATIO = 2.0
+
+_record = BenchResults(
+    "serving", seed=BENCH_SERVING_SEED, scale=BENCH_SERVING_SCALE
+).record
+
+
+@pytest.fixture(scope="module")
+def serving_world():
+    return EcosystemGenerator(
+        seed=BENCH_SERVING_SEED, scale=BENCH_SERVING_SCALE
+    ).generate()
+
+
+def _fleet(world):
+    stores = build_stores(world)
+    clock = SimClock()
+    servers = {m: MarketServer(s, clock) for m, s in stores.items()}
+    return stores, clock, servers
+
+
+def _lane_batches(stores):
+    """The same ``/app`` request batch per lane for both engines."""
+    batches = {}
+    for market_id, store in stores.items():
+        packages = [l.package for l in store.iter_live(0.0)][:REQUESTS_PER_LANE]
+        repeated = packages * ((REQUESTS_PER_LANE // max(1, len(packages))) + 1)
+        batches[market_id] = repeated[:REQUESTS_PER_LANE]
+    return batches
+
+
+def _lane_throughput(world, engine_name):
+    """Aggregate req/s of 17 lanes draining equal batches over sockets."""
+    stores, clock, servers = _fleet(world)
+    batches = _lane_batches(stores)
+    tier = ServingTier(servers, latency_s=LATENCY_S).start()
+    try:
+        if engine_name == "thread":
+            engine = CrawlEngine(
+                servers, clock, workers=len(servers),
+                transports=tier.transports(),
+            )
+
+            def make_task(market_id):
+                client = engine.client(market_id)
+
+                def task():
+                    for package in batches[market_id]:
+                        client.get_json("/app", {"package": package})
+
+                return task
+        else:
+            engine = AsyncCrawlEngine(
+                servers, clock, workers=len(servers), pipeline=PIPELINE,
+                transports=tier.async_transports(),
+            )
+
+            def make_task(market_id):
+                client = engine.client(market_id)
+
+                def task():
+                    client.get_json_many(
+                        [("/app", {"package": p}) for p in batches[market_id]]
+                    )
+
+                return task
+
+        tasks = {m: make_task(m) for m in servers}
+        start = time.perf_counter()
+        engine.run(tasks)
+        wall = time.perf_counter() - start
+        engine.close()
+        total = sum(len(batch) for batch in batches.values())
+        return total, wall
+    finally:
+        tier.stop()
+
+
+def _campaign(world, engine_name, pipeline):
+    stores, clock, servers = _fleet(world)
+    tier = ServingTier(servers, latency_s=0.002).start()
+    transports = (tier.async_transports() if engine_name == "asyncio"
+                  else tier.transports())
+    coordinator = CrawlCoordinator(
+        servers, clock, download_apks=False, workers=len(servers),
+        transports=transports, engine=engine_name, pipeline=pipeline,
+    )
+    try:
+        start = time.perf_counter()
+        snapshot = coordinator.crawl("bench-serving", duration_days=15.0)
+        wall = time.perf_counter() - start
+    finally:
+        coordinator.close()
+        tier.stop()
+    requests = sum(s.requests_served for s in servers.values())
+    return snapshot, requests, wall
+
+
+def test_bench_serving_pipeline_throughput(serving_world):
+    thread_total, thread_wall = _lane_throughput(serving_world, "thread")
+    async_total, async_wall = _lane_throughput(serving_world, "asyncio")
+    assert async_total == thread_total
+    thread_rps = thread_total / thread_wall
+    async_rps = async_total / async_wall
+    ratio = async_rps / thread_rps
+    print(
+        f"\n17 lanes x {REQUESTS_PER_LANE} req @ {LATENCY_S * 1000:.0f}ms: "
+        f"thread {thread_rps:.0f} req/s vs async(depth {PIPELINE}) "
+        f"{async_rps:.0f} req/s -> {ratio:.1f}x"
+    )
+    _record(
+        "engine_throughput",
+        lanes=17,
+        requests_per_lane=REQUESTS_PER_LANE,
+        latency_ms=LATENCY_S * 1000,
+        pipeline=PIPELINE,
+        thread_rps=round(thread_rps, 1),
+        async_rps=round(async_rps, 1),
+        ratio=round(ratio, 2),
+    )
+    assert ratio >= MIN_PIPELINE_RATIO, (
+        f"async client only {ratio:.2f}x the thread engine "
+        f"({async_rps:.0f} vs {thread_rps:.0f} req/s)"
+    )
+
+
+def test_bench_serving_campaign_digest_parity(serving_world):
+    thread_snap, thread_req, thread_wall = _campaign(serving_world, "thread", 1)
+    async_snap, async_req, async_wall = _campaign(
+        serving_world, "asyncio", PIPELINE
+    )
+    assert async_snap.content_digest() == thread_snap.content_digest()
+    assert async_req == thread_req
+    thread_rps = thread_req / thread_wall
+    async_rps = async_req / async_wall
+    print(
+        f"\ncampaign over sockets: thread {thread_rps:.0f} req/s, "
+        f"async {async_rps:.0f} req/s (digest-identical)"
+    )
+    _record(
+        "campaign",
+        requests=thread_req,
+        thread_rps=round(thread_rps, 1),
+        async_rps=round(async_rps, 1),
+        ratio=round(async_rps / thread_rps, 2),
+        digest=thread_snap.content_digest(),
+    )
+
+
+def test_bench_serving_loadgen_smoke(serving_world):
+    stores, clock, servers = _fleet(serving_world)
+    with ServingTier(servers, latency_s=0.002) as tier:
+        report = LoadGenerator(
+            tier, servers, users=8, requests_per_user=25,
+            seed=BENCH_SERVING_SEED,
+        ).run()
+    assert report.errors == 0
+    assert report.p99_ms > 0
+    print(
+        f"\nloadgen: {report.rps:.0f} req/s, "
+        f"p50 {report.p50_ms:.2f}ms, p99 {report.p99_ms:.2f}ms"
+    )
+    _record("loadgen", **report.to_dict())

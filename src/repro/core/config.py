@@ -144,6 +144,23 @@ class StudyConfig:
     #: Override hostile markets' session-token TTL in simulated days
     #: (None keeps each policy's own TTL).
     credential_ttl: Optional[float] = None
+    #: How crawl requests reach the market servers.  ``"inprocess"``
+    #: (default) calls ``server.handle`` directly — the fast path.
+    #: ``"socket"`` stands up a :class:`~repro.serving.ServingTier`
+    #: (one asyncio TCP listener per market) and routes every lane
+    #: through it; snapshots are bit-identical either way (the
+    #: transport contract, see DESIGN.md).
+    transport: str = "inprocess"
+    #: Crawl scheduling substrate.  ``"thread"`` (default) runs one
+    #: request-at-a-time lanes on a thread pool; ``"asyncio"``
+    #: multiplexes every lane's requests on one event loop and unlocks
+    #: ``crawl_pipeline``.
+    crawl_engine: str = "thread"
+    #: Per-lane in-flight request depth under the asyncio engine.
+    #: Depth > 1 reorders the request stream each server observes, so
+    #: it requires the asyncio engine and a polite, unjournaled fleet
+    #: (no faults, no hostility, no checkpointing).
+    crawl_pipeline: int = 1
 
     def __post_init__(self) -> None:
         if not 0 < self.scale <= 1:
@@ -200,6 +217,33 @@ class StudyConfig:
             raise ValueError(
                 f"credential_ttl must be positive, got {self.credential_ttl}"
             )
+        if self.transport not in ("inprocess", "socket"):
+            raise ValueError(
+                f"transport must be 'inprocess' or 'socket', "
+                f"got {self.transport!r}"
+            )
+        if self.crawl_engine not in ("thread", "asyncio"):
+            raise ValueError(
+                f"crawl_engine must be 'thread' or 'asyncio', "
+                f"got {self.crawl_engine!r}"
+            )
+        if self.crawl_pipeline < 1:
+            raise ValueError(
+                f"crawl_pipeline must be positive, got {self.crawl_pipeline}"
+            )
+        if self.crawl_pipeline > 1:
+            if self.crawl_engine != "asyncio":
+                raise ValueError("crawl_pipeline > 1 requires crawl_engine='asyncio'")
+            # Pipelined requests reach the server out of order, which
+            # breaks anything keyed on server-side request ordinals:
+            # fault injection, hostility screening, and the journal's
+            # state high-water marks.
+            if self.checkpoint_dir is not None:
+                raise ValueError("crawl_pipeline > 1 is incompatible with checkpointing")
+            if self.fault_plan is not None or self.market_fault_plans:
+                raise ValueError("crawl_pipeline > 1 is incompatible with fault injection")
+            if self.hostility is not None or self.market_hostility:
+                raise ValueError("crawl_pipeline > 1 is incompatible with hostility")
         if self.monitor_interval <= 0:
             raise ValueError(
                 f"monitor_interval must be positive, got {self.monitor_interval}"

@@ -370,6 +370,24 @@ class Study:
             for m, store in stores.items()
         }
 
+        # The socket transport promotes the fleet to a real serving
+        # tier: every lane's traffic crosses a local TCP listener while
+        # checkpointing keeps using direct object references (the tier
+        # lives in-process).  Fresh transports per coordinator — socket
+        # state is connection-scoped and not shared across campaigns.
+        tier = None
+        if config.transport == "socket":
+            from repro.serving import ServingTier
+
+            tier = ServingTier(servers).start()
+
+        def lane_transports():
+            if tier is None:
+                return None
+            if config.crawl_engine == "asyncio":
+                return tier.async_transports()
+            return tier.transports()
+
         journal = (
             CrawlJournal(config.checkpoint_dir, resume=config.resume)
             if config.checkpoint_dir
@@ -380,60 +398,14 @@ class Study:
             if config.download_apks
             else None
         )
-        coordinator = CrawlCoordinator(
-            servers,
-            clock,
-            gp_seeds=self._gp_seeds(stores, clock),
-            backfill=backfill,
-            download_apks=config.download_apks,
-            workers=config.crawl_workers,
-            journal=journal,
-            fail_fast=config.fail_fast,
-            breaker_policy=self._breaker_policy(),
-            obs=obs,
-            corpus=corpus,
-            identity_policy=self._identity_policy(),
-            identity_seed=config.seed,
-        )
-        with obs.stage("crawl.first"):
-            snapshot = coordinator.crawl(
-                "first", duration_days=config.first_crawl_days
-            )
-
-        # Between campaigns: markets clean up flagged apps, developers'
-        # lagged listings catch up, and we advance to April 2018.
-        apply_removals = apply_store_removals(stores, world, rngs.child("cleanup"))
-        updates = apply_catalog_updates(stores, world, rngs.child("evolution"))
-        clock.advance_to(max(clock.now, SECOND_CRAWL_DAY))
-
-        result = StudyResult(
-            config=config,
-            world=world,
-            stores=stores,
-            servers=servers,
-            clock=clock,
-            snapshot=snapshot,
-            presence={},
-            removal_outcome=apply_removals,
-            update_outcome=updates,
-            obs=obs,
-            corpus=corpus,
-        )
-        if config.download_apks:
-            # Second campaign: targeted recheck of every flagged app.
-            with obs.stage("crawl.recheck"):
-                result.presence = coordinator.recheck(
-                    result.flagged_by_market, duration_days=config.second_crawl_days
-                )
-        if config.full_second_crawl:
-            # The paper's one-week April 2018 campaign, in full.  APKs
-            # are skipped: the longitudinal analysis is metadata-driven.
-            second_coordinator = CrawlCoordinator(
+        coordinators = []
+        try:
+            coordinator = CrawlCoordinator(
                 servers,
                 clock,
                 gp_seeds=self._gp_seeds(stores, clock),
-                backfill=None,
-                download_apks=False,
+                backfill=backfill,
+                download_apks=config.download_apks,
                 workers=config.crawl_workers,
                 journal=journal,
                 fail_fast=config.fail_fast,
@@ -442,11 +414,72 @@ class Study:
                 corpus=corpus,
                 identity_policy=self._identity_policy(),
                 identity_seed=config.seed,
+                transports=lane_transports(),
+                engine=config.crawl_engine,
+                pipeline=config.crawl_pipeline,
             )
-            with obs.stage("crawl.second"):
-                result.second_snapshot = second_coordinator.crawl(
-                    "second", duration_days=config.second_crawl_days
+            coordinators.append(coordinator)
+            with obs.stage("crawl.first"):
+                snapshot = coordinator.crawl(
+                    "first", duration_days=config.first_crawl_days
                 )
-        if journal is not None:
-            journal.close()
-        return result
+
+            # Between campaigns: markets clean up flagged apps, developers'
+            # lagged listings catch up, and we advance to April 2018.
+            apply_removals = apply_store_removals(stores, world, rngs.child("cleanup"))
+            updates = apply_catalog_updates(stores, world, rngs.child("evolution"))
+            clock.advance_to(max(clock.now, SECOND_CRAWL_DAY))
+
+            result = StudyResult(
+                config=config,
+                world=world,
+                stores=stores,
+                servers=servers,
+                clock=clock,
+                snapshot=snapshot,
+                presence={},
+                removal_outcome=apply_removals,
+                update_outcome=updates,
+                obs=obs,
+                corpus=corpus,
+            )
+            if config.download_apks:
+                # Second campaign: targeted recheck of every flagged app.
+                with obs.stage("crawl.recheck"):
+                    result.presence = coordinator.recheck(
+                        result.flagged_by_market, duration_days=config.second_crawl_days
+                    )
+            if config.full_second_crawl:
+                # The paper's one-week April 2018 campaign, in full.  APKs
+                # are skipped: the longitudinal analysis is metadata-driven.
+                second_coordinator = CrawlCoordinator(
+                    servers,
+                    clock,
+                    gp_seeds=self._gp_seeds(stores, clock),
+                    backfill=None,
+                    download_apks=False,
+                    workers=config.crawl_workers,
+                    journal=journal,
+                    fail_fast=config.fail_fast,
+                    breaker_policy=self._breaker_policy(),
+                    obs=obs,
+                    corpus=corpus,
+                    identity_policy=self._identity_policy(),
+                    identity_seed=config.seed,
+                    transports=lane_transports(),
+                    engine=config.crawl_engine,
+                    pipeline=config.crawl_pipeline,
+                )
+                coordinators.append(second_coordinator)
+                with obs.stage("crawl.second"):
+                    result.second_snapshot = second_coordinator.crawl(
+                        "second", duration_days=config.second_crawl_days
+                    )
+            if journal is not None:
+                journal.close()
+            return result
+        finally:
+            for active in coordinators:
+                active.close()
+            if tier is not None:
+                tier.stop()

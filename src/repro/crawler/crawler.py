@@ -101,6 +101,11 @@ REASON_RATE_LIMITED = "rate limited"
 #: (5xx / timeout / garbled payloads past the retry budget).
 REASON_RETRY_EXHAUSTED = "retry exhausted"
 
+#: Sentinel: the download task has no prefetched value for a record and
+#: must fetch it live (distinguishes "not prefetched" from "prefetched
+#: None/exception").
+_UNFETCHED = object()
+
 
 @dataclass
 class CrawlStats:
@@ -138,7 +143,29 @@ class CrawlCoordinator:
         corpus=None,
         identity_policy: Optional[IdentityPolicy] = None,
         identity_seed: int = 0,
+        transports: Optional[Mapping[str, object]] = None,
+        engine: str = "thread",
+        pipeline: int = 1,
     ):
+        """``transports`` routes lanes through substitute transports
+        (e.g. a :class:`~repro.serving.ServingTier`'s sockets) instead
+        of the servers' in-process ``handle``.  ``engine`` picks the
+        scheduling substrate: ``"thread"`` (one request in flight per
+        lane) or ``"asyncio"`` (all lanes multiplexed on one event
+        loop).  ``pipeline`` is the per-lane in-flight depth the
+        asyncio engine's bulk fetches may use; depth > 1 reorders the
+        request stream each server observes, so it requires the
+        asyncio engine and is incompatible with checkpoint journaling
+        (a mid-batch kill could leak server-side ordinals past the
+        journal's high-water mark)."""
+        if engine not in ("thread", "asyncio"):
+            raise ValueError(f"unknown crawl engine: {engine!r}")
+        if pipeline < 1:
+            raise ValueError(f"pipeline must be positive, got {pipeline}")
+        if pipeline > 1 and engine != "asyncio":
+            raise ValueError("pipeline > 1 requires the asyncio engine")
+        if pipeline > 1 and journal is not None:
+            raise ValueError("pipeline > 1 is incompatible with journaling")
         self._servers = dict(servers)
         self._clock = clock
         self._gp_seeds = list(gp_seeds)
@@ -150,7 +177,15 @@ class CrawlCoordinator:
         self._fail_fast = fail_fast
         self._obs = obs
         self._corpus = corpus
-        self._engine = CrawlEngine(
+        self._pipeline = pipeline
+        engine_cls = CrawlEngine
+        engine_kwargs: Dict[str, object] = {}
+        if engine == "asyncio":
+            from repro.crawler.aengine import AsyncCrawlEngine
+
+            engine_cls = AsyncCrawlEngine
+            engine_kwargs["pipeline"] = pipeline
+        self._engine = engine_cls(
             self._servers,
             clock,
             workers=workers,
@@ -159,6 +194,8 @@ class CrawlCoordinator:
             obs=obs,
             identity_policy=identity_policy,
             identity_seed=identity_seed,
+            transports=transports,
+            **engine_kwargs,
         )
 
     def client(self, market_id: str) -> HttpClient:
@@ -167,6 +204,10 @@ class CrawlCoordinator:
     @property
     def engine(self) -> CrawlEngine:
         return self._engine
+
+    def close(self) -> None:
+        """Release the engine's transports/loop; idempotent."""
+        self._engine.close()
 
     # -- checkpoint plumbing ----------------------------------------------
 
@@ -438,6 +479,14 @@ class CrawlCoordinator:
                 if cached is not None:
                     span["replayed"] = True
                     return cached
+                if (
+                    self._pipeline > 1
+                    and lane is None
+                    and hasattr(client, "get_json_many")
+                ):
+                    result = self._bulk_search(client, queries)
+                    span["quarantined"] = result["quarantined"]
+                    return result
                 hits: List[List[Metadata]] = []
                 dead: List[List[str]] = []
                 quarantined = False
@@ -476,6 +525,46 @@ class CrawlCoordinator:
                 return result
 
         return run
+
+    def _bulk_search(self, client, queries: Sequence[str]) -> dict:
+        """Pipelined search batch: fetch concurrently, classify per item.
+
+        Mirrors the sequential loop's exception classification exactly —
+        the bulk call hands back results *or exceptions* in submission
+        order, so each query lands in the same ``hits``/``dead`` slot it
+        would have sequentially.  The one semantic difference is
+        quarantine: concurrent in-flight queries cannot be "skipped
+        after" a quarantine the way a sequential loop skips them, so
+        each fast-failed query is classified on its own answer.
+        """
+        values = client.get_json_many(
+            [("/search", {"q": query}) for query in queries]
+        )
+        hits: List[List[Metadata]] = []
+        dead: List[List[str]] = []
+        quarantined = False
+        for query, value in zip(queries, values):
+            if isinstance(value, MarketQuarantinedError):
+                if self._fail_fast:
+                    raise value
+                quarantined = True
+                hits.append([])
+                dead.append([query, REASON_QUARANTINED])
+            elif isinstance(value, ForbiddenError):
+                hits.append([])
+                if value.retry_after is not None:
+                    dead.append([query, REASON_BANNED])
+            elif isinstance(value, RateLimitedError):
+                hits.append([])
+                dead.append([query, REASON_RATE_LIMITED])
+            elif isinstance(value, HttpError):
+                hits.append([])
+                dead.append([query, REASON_RETRY_EXHAUSTED])
+            elif isinstance(value, BaseException):
+                raise value  # not crawl weather: propagate
+            else:
+                hits.append(value)
+        return {"hits": hits, "quarantined": quarantined, "dead": dead}
 
     # ------------------------------------------------------------------
     # APKs
@@ -540,8 +629,20 @@ class CrawlCoordinator:
         lane_clock = self._engine.lane(market_id).clock
         lane = journal.lane(market_id) if journal is not None else None
         store = journal.apks if journal is not None else None
+        # Pipelined prefetch is withheld from quota-limited markets
+        # (Google Play): the download quota is consumed in server
+        # arrival order, and concurrent in-flight requests would make
+        # *which* package hits the exhausted quota nondeterministic.
+        use_bulk = (
+            self._pipeline > 1
+            and lane is None
+            and hasattr(client, "get_bytes_many")
+            and not getattr(self._servers[market_id], "quota_limited", False)
+        )
 
-        def fetch(record: CrawlRecord, quarantined: bool) -> Tuple[dict, object, bool]:
+        def fetch(
+            record: CrawlRecord, quarantined: bool, prefetched: object = _UNFETCHED
+        ) -> Tuple[dict, object, bool]:
             """One live (market, package) fetch -> (doc, parsed, quarantined)."""
             blob: Optional[bytes] = None
             source: Optional[str] = None
@@ -549,7 +650,14 @@ class CrawlCoordinator:
             reason: Optional[str] = None
             if not quarantined:
                 try:
-                    blob = client.get_bytes("/download", {"package": record.package})
+                    if prefetched is _UNFETCHED:
+                        blob = client.get_bytes(
+                            "/download", {"package": record.package}
+                        )
+                    elif isinstance(prefetched, BaseException):
+                        raise prefetched  # classify exactly like a live raise
+                    else:
+                        blob = prefetched
                     source = APK_FROM_MARKET
                 except RateLimitedError:
                     # Quota shedding (Google Play): the backfill archive
@@ -608,7 +716,13 @@ class CrawlCoordinator:
                 reasons: List[Optional[str]] = []
                 rate_limited = False
                 quarantined = False
-                for record in records:
+                prefetched: Optional[List[object]] = None
+                if use_bulk and records:
+                    prefetched = client.get_bytes_many(
+                        [("/download", {"package": r.package}) for r in records]
+                    )
+                    batch_span["pipelined"] = True
+                for index, record in enumerate(records):
                     with self._obs.span(
                         "crawl.apk",
                         market=market_id,
@@ -622,7 +736,13 @@ class CrawlCoordinator:
                             else None
                         )
                         if doc is None:
-                            doc, parsed, quarantined = fetch(record, quarantined)
+                            doc, parsed, quarantined = fetch(
+                                record,
+                                quarantined,
+                                prefetched[index]
+                                if prefetched is not None
+                                else _UNFETCHED,
+                            )
                             if lane is not None:
                                 # The APK doc is in the content store before
                                 # this line lands, so a torn entry never

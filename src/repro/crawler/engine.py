@@ -93,7 +93,7 @@ class MarketLane:
     def __init__(
         self,
         market_id: str,
-        handler,
+        transport,
         base_clock: SimClock,
         retry_policy: Optional[RetryPolicy],
         rate_limiter: Optional[PerMarketRateLimiter],
@@ -103,7 +103,15 @@ class MarketLane:
         obs: Observability = NULL_OBS,
         credentials: Optional[CredentialManager] = None,
         identities: Optional[IdentityPool] = None,
+        client_factory=None,
     ):
+        """``transport`` is whatever the lane's client pushes requests
+        through: the server's bare ``handle`` callable (in-process), a
+        :class:`~repro.net.transport.SocketTransport`, or — under the
+        asyncio engine — an async transport the ``client_factory``
+        knows how to drive.  ``client_factory`` defaults to
+        :class:`~repro.net.client.HttpClient` and receives exactly its
+        constructor signature."""
         self.market_id = market_id
         self.clock = LaneClock(base_clock)
         pacer = rate_limiter.bind(market_id, self.clock) if rate_limiter else None
@@ -119,8 +127,9 @@ class MarketLane:
         )
         self.credentials = credentials
         self.identities = identities
-        self.client = HttpClient(
-            handler,
+        factory = client_factory if client_factory is not None else HttpClient
+        self.client = factory(
+            transport,
             self.clock,
             retry_policy=retry_policy,
             max_rate_limit_waits=max_rate_limit_waits,
@@ -220,26 +229,34 @@ class CrawlEngine:
         obs: Observability = NULL_OBS,
         identity_policy: Optional[IdentityPolicy] = None,
         identity_seed: int = 0,
+        transports: Optional[Mapping[str, object]] = None,
     ):
         """``identity_policy`` equips every lane with an
         :class:`~repro.net.identity.IdentityPool` (identities derived
         from ``(identity_seed, market_id, slot)`` substreams — never
         from worker ids, preserving the determinism contract).  Lanes
         whose server demands authentication additionally get a
-        :class:`~repro.net.credentials.CredentialManager`."""
+        :class:`~repro.net.credentials.CredentialManager`.
+
+        ``transports`` substitutes a lane's transport for the server's
+        in-process ``handle`` (e.g. :meth:`ServingTier.transports`);
+        markets absent from the mapping keep the in-process fast path.
+        The engine owns the transports it is handed and closes them in
+        :meth:`close`."""
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
         self.workers = workers
         self._clock = clock
         self._rate_limiter = rate_limiter
         self.obs = obs
+        self._transports: Dict[str, object] = dict(transports or {})
         self._lanes: Dict[str, MarketLane] = {}
         for market_id, server in servers.items():
             gate = getattr(server, "hostility", None)
             needs_auth = gate is not None and gate.policy.auth
             self._lanes[market_id] = MarketLane(
                 market_id,
-                server.handle,
+                self._lane_transport(market_id, server),
                 clock,
                 retry_policy,
                 rate_limiter,
@@ -253,7 +270,25 @@ class CrawlEngine:
                     if identity_policy is not None
                     else None
                 ),
+                client_factory=self._client_factory(),
             )
+
+    def _lane_transport(self, market_id: str, server) -> object:
+        """The transport one lane's client drives (subclass hook)."""
+        transport = self._transports.get(market_id)
+        return transport if transport is not None else server.handle
+
+    def _client_factory(self):
+        """Per-lane client factory; ``None`` means plain ``HttpClient``."""
+        return None
+
+    def close(self) -> None:
+        """Release transport resources (sockets); idempotent."""
+        transports, self._transports = self._transports, {}
+        for transport in transports.values():
+            close = getattr(transport, "close", None)
+            if close is not None:
+                close()
 
     # -- lanes -------------------------------------------------------------
 
@@ -301,6 +336,8 @@ class CrawlEngine:
             market.fold_client(lane.campaign_delta())
             market.sim_days_paced += lane.campaign_paced(self._rate_limiter)
             market.breaker_trips += lane.campaign_trips()
+            if self._rate_limiter is not None:
+                market.rate_budget = self._rate_limiter.params_for(market_id)[0]
 
     # -- checkpoint plumbing ----------------------------------------------
 

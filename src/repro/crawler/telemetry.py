@@ -67,6 +67,12 @@ LANE_METRICS = {**_INT_COUNTERS, **_FLOAT_COUNTERS}
 #: Gauge marking a market the breaker quarantined (0 ok / 1 degraded).
 DEGRADED_METRIC = "crawl_market_degraded"
 
+#: Gauge holding a market's token-bucket budget (requests per simulated
+#: day; 0 = unlimited).  Set by the engine at campaign end so the
+#: operator table can render each lane's *effective* request rate
+#: against the rate it was allowed — limiter saturation at a glance.
+RATE_BUDGET_METRIC = "crawl_rate_budget"
+
 #: Dead-letter counter broken down by cause.  Labeled ``{campaign,
 #: market, reason}``, so the export answers *why* work was lost (ban
 #: vs. retry exhaustion vs. breaker quarantine), not just how much.
@@ -81,7 +87,7 @@ class MarketTelemetry:
     campaign; plain ``lane.requests += n`` recording keeps working.
     """
 
-    __slots__ = ("market_id", "_series", "_degraded")
+    __slots__ = ("market_id", "_series", "_degraded", "_rate_budget")
 
     def __init__(
         self,
@@ -98,6 +104,9 @@ class MarketTelemetry:
         self._degraded = registry.gauge(
             DEGRADED_METRIC, campaign=campaign, market=market_id
         )
+        self._rate_budget = registry.gauge(
+            RATE_BUDGET_METRIC, campaign=campaign, market=market_id
+        )
 
     @property
     def health(self) -> str:
@@ -107,6 +116,15 @@ class MarketTelemetry:
     @health.setter
     def health(self, value: str) -> None:
         self._degraded.set(0.0 if value == "ok" else 1.0)
+
+    @property
+    def rate_budget(self) -> float:
+        """Token-bucket budget (req/sim-day); 0 when unlimited."""
+        return self._rate_budget.value
+
+    @rate_budget.setter
+    def rate_budget(self, value: float) -> None:
+        self._rate_budget.set(float(value))
 
     def fold_client(self, delta: ClientStats) -> None:
         """Fold one campaign's client-counter movement into the lane.
@@ -395,4 +413,27 @@ class CrawlTelemetry:
                 )
                 line += f" ({breakdown})"
             lines.append(line)
+        budgeted = sorted(
+            (m for m in self.markets.values() if m.rate_budget > 0),
+            key=lambda m: m.market_id,
+        )
+        if budgeted:
+            # Effective rate = requests over the lane's elapsed sim time
+            # (back-off includes pacing sleeps), against the bucket's
+            # budget.  A lane pinned near 100% is limiter-saturated: the
+            # bucket, not the market, is its throughput ceiling.
+            parts = []
+            for lane in budgeted:
+                elapsed = lane.sim_days_backoff
+                if elapsed > 0:
+                    effective = lane.requests / elapsed
+                    parts.append(
+                        f"{lane.market_id} {effective:.1f}/{lane.rate_budget:g} "
+                        f"req/d ({effective / lane.rate_budget:.0%})"
+                    )
+                else:
+                    parts.append(
+                        f"{lane.market_id} burst ({lane.requests} req, no waits)"
+                    )
+            lines.append("limiter: " + ", ".join(parts))
         return "\n".join(lines)

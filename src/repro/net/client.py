@@ -89,6 +89,13 @@ class ClientStats:
     the circuit was open or the market quarantined).  404 is a
     definitive answer, not a failure; it stays in ``not_found``.
 
+    ``cancelled`` counts logical requests torn down mid-flight by
+    cooperative cancellation (the asyncio engine shutting a lane down).
+    A cancelled request is *neither* a retry nor a failure — the caller
+    asked for it to stop, the server did nothing wrong — so the async
+    client classifies ``CancelledError`` here and re-raises instead of
+    letting it fall into the transient-retry accounting.
+
     The hostility counters record countermeasure work: ``logins``
     (session tokens obtained, first login included), ``token_refreshes``
     (the subset of logins that replaced an earlier token),
@@ -100,6 +107,7 @@ class ClientStats:
     retries: int = 0
     rate_limited: int = 0
     timeouts: int = 0
+    cancelled: int = 0
     malformed: int = 0
     not_found: int = 0
     failures: int = 0

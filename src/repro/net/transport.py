@@ -1,0 +1,346 @@
+"""Pluggable transports between crawl clients and market servers.
+
+A *transport* is anything the client can push a
+:class:`~repro.net.http.Request` through to get a
+:class:`~repro.net.http.Response` back.  Three implementations cover
+the repo's needs:
+
+* :class:`InProcessTransport` — a thin callable wrapper over a server's
+  ``handle`` method.  The fast path tests run on; zero copies, zero
+  serialization.
+* :class:`SocketTransport` — one persistent blocking TCP connection to
+  a :class:`~repro.serving.ServingTier` listener.  This is what a
+  thread-engine lane uses against the real serving tier.
+* :class:`AsyncSocketTransport` — a connection *pool* over the same
+  frame protocol for :class:`~repro.net.aclient.AsyncHttpClient`.  Each
+  in-flight request occupies its own connection (the frame protocol is
+  strict request/response per connection), so a pipelining client at
+  depth N holds up to N sockets open.
+
+The frame protocol is deliberately boring: a 4-byte big-endian length
+prefix followed by a :mod:`repro.net.wire` (RW01) payload.  Requests
+and responses are encoded as canonical wire maps, which is what makes
+the digest oracle hold across transports — the wire codec round-trips
+every value shape market metadata uses (ints stay ints, bytes stay
+bytes, ``None`` stays ``None``), and ``Response.json_ok(None)`` — a
+legitimate payload (a removed index slot) — survives because the
+response map carries ``json`` and ``body`` as separate fields rather
+than inferring absence.
+
+Timeouts and connection drops surface as ``Response.timeout()`` (the
+599 convention), so the client's existing retry/backoff machinery —
+not the transport — decides what a flaky link costs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.net import wire
+from repro.net.http import Request, Response
+
+__all__ = [
+    "Transport",
+    "TransportError",
+    "InProcessTransport",
+    "SocketTransport",
+    "AsyncSocketTransport",
+    "AsyncInProcessTransport",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "pack_frame",
+    "read_frame",
+    "FRAME_HEADER_BYTES",
+    "MAX_FRAME_BYTES",
+    "DEFAULT_SOCKET_TIMEOUT",
+]
+
+#: A transport is a ``Request -> Response`` callable (duck-typed; the
+#: in-process path binds ``server.handle`` directly).
+Transport = Callable[[Request], Response]
+
+#: Length-prefix width of one frame.
+FRAME_HEADER_BYTES = 4
+
+#: Hard ceiling on one frame's payload (an APK blob plus headroom); a
+#: larger prefix means a corrupt or misaligned stream, not real data.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: Wall-clock seconds a synchronous transport waits on one response.
+DEFAULT_SOCKET_TIMEOUT = 30.0
+
+
+class TransportError(ConnectionError):
+    """The byte stream broke the frame protocol (not a server answer)."""
+
+
+# ---------------------------------------------------------------------------
+# frame codec
+# ---------------------------------------------------------------------------
+
+
+def encode_request(request: Request) -> bytes:
+    """One request as a canonical wire map."""
+    return wire.encode({
+        "path": request.path,
+        "params": dict(request.params),
+        "headers": dict(request.headers),
+    })
+
+
+def decode_request(payload: bytes) -> Request:
+    doc = wire.decode(payload)
+    if not isinstance(doc, dict) or "path" not in doc:
+        raise TransportError("request frame is not a request map")
+    return Request(
+        path=doc["path"],
+        params=doc.get("params") or {},
+        headers=doc.get("headers") or {},
+    )
+
+
+def encode_response(response: Response) -> bytes:
+    """One response as a canonical wire map.
+
+    ``json`` and ``body`` are both carried explicitly: a 200 whose
+    payload is ``None`` (a removed index slot) must decode back to
+    exactly that, not to a bodyless 200.
+    """
+    return wire.encode({
+        "status": response.status,
+        "json": response.json,
+        "body": response.body,
+        "retry_after": response.retry_after,
+        "malformed": response.malformed,
+    })
+
+
+def decode_response(payload: bytes) -> Response:
+    doc = wire.decode(payload)
+    if not isinstance(doc, dict) or "status" not in doc:
+        raise TransportError("response frame is not a response map")
+    return Response(
+        status=doc["status"],
+        json=doc.get("json"),
+        body=doc.get("body"),
+        retry_after=doc.get("retry_after"),
+        malformed=bool(doc.get("malformed", False)),
+    )
+
+
+def pack_frame(payload: bytes) -> bytes:
+    """Length-prefix one wire payload for the stream."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise TransportError(f"frame too large: {len(payload)} bytes")
+    return len(payload).to_bytes(FRAME_HEADER_BYTES, "big") + payload
+
+
+def frame_length(header: bytes) -> int:
+    """Validate and decode one length prefix."""
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(f"frame too large: {length} bytes")
+    return length
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes:
+    """Read one length-prefixed payload from an asyncio stream."""
+    header = await reader.readexactly(FRAME_HEADER_BYTES)
+    return await reader.readexactly(frame_length(header))
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise TransportError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ---------------------------------------------------------------------------
+# transports
+# ---------------------------------------------------------------------------
+
+
+class InProcessTransport:
+    """The fast path: calls the server's ``handle`` directly.
+
+    Exists mostly to give the in-process path a name next to the socket
+    transports; ``HttpClient`` accepts the bare ``server.handle``
+    callable just as happily.
+    """
+
+    __slots__ = ("_handler",)
+
+    def __init__(self, handler: Transport):
+        self._handler = handler
+
+    def __call__(self, request: Request) -> Response:
+        return self._handler(request)
+
+    def close(self) -> None:  # symmetry with SocketTransport
+        pass
+
+
+class SocketTransport:
+    """One persistent blocking connection to a serving-tier listener.
+
+    Built for the thread engine's lane discipline: one lane, one
+    connection, strictly sequential request/response frames.  A read
+    timeout or connection drop answers ``Response.timeout()`` (and
+    drops the connection, since a half-read stream is unusable), which
+    the client's 599 handling retries on a fresh connection.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = DEFAULT_SOCKET_TIMEOUT,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def __call__(self, request: Request) -> Response:
+        try:
+            sock = self._connect()
+            sock.sendall(pack_frame(encode_request(request)))
+            header = _recv_exactly(sock, FRAME_HEADER_BYTES)
+            payload = _recv_exactly(sock, frame_length(header))
+        except (socket.timeout, TimeoutError):
+            self.close()
+            return Response.timeout()
+        except (TransportError, OSError):
+            # Drops and resets are transient transport weather; surface
+            # them through the same 599 path timeouts use so the retry
+            # budget — not the transport — decides when to give up.
+            self.close()
+            return Response.timeout()
+        return decode_response(payload)
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+
+class AsyncInProcessTransport:
+    """Async facade over an in-process handler (tests, engine parity).
+
+    The ``sleep(0)`` keeps the event loop fair when many lane
+    coroutines share it — without yielding, one lane's burst would run
+    to completion before any other lane gets scheduled.
+    """
+
+    __slots__ = ("_handler",)
+
+    def __init__(self, handler: Transport):
+        self._handler = handler
+
+    async def send(self, request: Request) -> Response:
+        await asyncio.sleep(0)
+        return self._handler(request)
+
+    async def aclose(self) -> None:
+        pass
+
+
+class AsyncSocketTransport:
+    """A pooled asyncio connection set over the frame protocol.
+
+    Each :meth:`send` checks a free connection out of the pool (opening
+    a new one when none is idle), runs one request/response exchange on
+    it, and returns it.  The pool therefore grows to the client's
+    actual concurrency — a pipelining lane at depth 8 holds 8 sockets,
+    a load-generator user holds 1 — and never multiplexes two in-flight
+    requests onto one stream.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = DEFAULT_SOCKET_TIMEOUT,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._idle: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self._opened = 0
+
+    @property
+    def connections_opened(self) -> int:
+        """Sockets this transport has opened over its lifetime."""
+        return self._opened
+
+    async def _checkout(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        while self._idle:
+            reader, writer = self._idle.pop()
+            if not writer.is_closing():
+                return reader, writer
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        self._opened += 1
+        return reader, writer
+
+    async def send(self, request: Request) -> Response:
+        try:
+            reader, writer = await self._checkout()
+        except OSError:
+            return Response.timeout()
+        try:
+            writer.write(pack_frame(encode_request(request)))
+            await writer.drain()
+            payload = await asyncio.wait_for(read_frame(reader), self.timeout)
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                TransportError, OSError):
+            writer.close()
+            return Response.timeout()
+        except asyncio.CancelledError:
+            # A cancelled exchange leaves the stream mid-frame; the
+            # connection cannot be reused.
+            writer.close()
+            raise
+        self._idle.append((reader, writer))
+        return decode_response(payload)
+
+    async def aclose(self) -> None:
+        idle, self._idle = self._idle, []
+        for _reader, writer in idle:
+            writer.close()
+        for _reader, writer in idle:
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):  # pragma: no cover
+                pass
+
+
+def response_to_wire(response: Response) -> bytes:
+    """One response as a ready-to-send frame (serving-tier helper)."""
+    return pack_frame(encode_response(response))
+
+
+def request_to_wire(request: Request) -> bytes:
+    """One request as a ready-to-send frame (client/test helper)."""
+    return pack_frame(encode_request(request))

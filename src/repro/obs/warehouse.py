@@ -66,6 +66,7 @@ DIGEST_INVARIANT_FIELDS = frozenset({
     "store_dir", "segment_cache",
     "trace_out", "metrics_out", "profile", "profile_out", "run_meta",
     "monitor", "monitor_interval", "stall_budget",
+    "transport", "crawl_engine", "crawl_pipeline",
 })
 
 

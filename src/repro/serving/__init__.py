@@ -1,0 +1,25 @@
+"""The asyncio market serving tier and its load generator.
+
+:class:`~repro.serving.tier.ServingTier` promotes the in-process
+market fleet to real socket listeners (one per market) speaking the
+:mod:`repro.net.transport` frame protocol;
+:class:`~repro.serving.loadgen.LoadGenerator` hammers a running tier
+with simulated end-user traffic and reports latency quantiles and
+throughput.
+"""
+
+from repro.serving.loadgen import (
+    DEFAULT_TRAFFIC_MIX,
+    LoadGenerator,
+    LoadReport,
+    TrafficMix,
+)
+from repro.serving.tier import ServingTier
+
+__all__ = [
+    "ServingTier",
+    "LoadGenerator",
+    "LoadReport",
+    "TrafficMix",
+    "DEFAULT_TRAFFIC_MIX",
+]

@@ -1,0 +1,284 @@
+"""Load generation against a running :class:`~repro.serving.ServingTier`.
+
+The paper's markets served real end users while the crawlers worked;
+this module supplies that background traffic and measures what the
+tier can sustain.  A :class:`LoadGenerator` spawns ``users`` simulated
+clients, each holding one socket connection to its (round-robin
+assigned) market and issuing a deterministic stream of requests drawn
+from a :class:`TrafficMix` — the search/detail/download blend end
+users actually produce, as opposed to the crawler's exhaustive sweeps.
+
+Measurement is two-layered on purpose:
+
+* every request's wall latency lands in a
+  ``loadgen_request_wall_seconds`` histogram (labels ``market`` and
+  ``kind``) when a metrics registry is attached, which is what the CI
+  SLO gate quantile-checks;
+* the exact latencies are also kept in memory so the
+  :class:`LoadReport` can report precise (nearest-rank) p50/p99
+  rather than bucket upper bounds.
+
+Determinism: request choice is driven by ``stable_hash64`` rolls over
+``(seed, user, ordinal)``, so two runs against the same world issue
+the same request streams.  Latency and throughput numbers are of
+course wall-clock facts and vary run to run — that is the point.
+
+Google Play sheds downloads by quota (429); the generator counts those
+as *shed*, not errors — the tier answered correctly, the quota is the
+answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.net.http import Request
+from repro.obs.metrics import DEFAULT_WALL_BUCKETS, MetricsRegistry
+from repro.util.rng import stable_hash64
+
+__all__ = [
+    "TrafficMix",
+    "DEFAULT_TRAFFIC_MIX",
+    "LoadGenerator",
+    "LoadReport",
+    "LOADGEN_HIST_METRIC",
+]
+
+#: Histogram metric the generator records request wall latency into.
+LOADGEN_HIST_METRIC = "loadgen_request_wall_seconds"
+
+#: The request kinds a mix weights, in canonical order.
+KINDS = ("search", "detail", "download")
+
+
+@dataclass(frozen=True)
+class TrafficMix:
+    """Relative weights of the end-user request kinds.
+
+    The default 5:3:2 models browse-heavy traffic: half the requests
+    are searches, a third are detail-page views, a fifth are APK
+    downloads.  Weights are relative — ``TrafficMix(50, 30, 20)`` is
+    the same mix.
+    """
+
+    search: float = 5.0
+    detail: float = 3.0
+    download: float = 2.0
+
+    def __post_init__(self) -> None:
+        for kind in KINDS:
+            if getattr(self, kind) < 0:
+                raise ValueError(f"mix weight {kind} must be non-negative")
+        if self.total <= 0:
+            raise ValueError("traffic mix must have positive total weight")
+
+    @property
+    def total(self) -> float:
+        return self.search + self.detail + self.download
+
+    @classmethod
+    def parse(cls, spec: str) -> "TrafficMix":
+        """Parse ``"search=5,detail=3,download=2"`` (kinds may be
+        omitted; omitted kinds weigh 0)."""
+        weights = {kind: 0.0 for kind in KINDS}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep or key not in weights:
+                raise ValueError(f"bad traffic-mix component: {part!r}")
+            try:
+                weights[key] = float(value)
+            except ValueError:
+                raise ValueError(f"bad traffic-mix weight: {part!r}") from None
+        return cls(**weights)
+
+    def pick(self, roll: float) -> str:
+        """Map a roll in ``[0, 1)`` to a kind by cumulative weight."""
+        point = roll * self.total
+        if point < self.search:
+            return "search"
+        if point < self.search + self.detail:
+            return "detail"
+        return "download"
+
+    def describe(self) -> str:
+        return ",".join(f"{kind}={getattr(self, kind):g}" for kind in KINDS)
+
+
+DEFAULT_TRAFFIC_MIX = TrafficMix()
+
+
+@dataclass
+class LoadReport:
+    """One load run's outcome, ready for ``BenchResults.record``."""
+
+    users: int
+    requests_per_user: int
+    mix: str
+    requests: int = 0
+    ok: int = 0
+    shed: int = 0
+    errors: int = 0
+    wall_seconds: float = 0.0
+    rps: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    by_status: Dict[int, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "users": self.users,
+            "requests_per_user": self.requests_per_user,
+            "mix": self.mix,
+            "requests": self.requests,
+            "ok": self.ok,
+            "shed": self.shed,
+            "errors": self.errors,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "rps": round(self.rps, 1),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "by_kind": dict(self.by_kind),
+            "by_status": {str(k): v for k, v in sorted(self.by_status.items())},
+        }
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class LoadGenerator:
+    """Hammers a running serving tier with end-user traffic."""
+
+    def __init__(
+        self,
+        tier,
+        servers: Mapping[str, object],
+        users: int = 8,
+        requests_per_user: int = 25,
+        mix: TrafficMix = DEFAULT_TRAFFIC_MIX,
+        seed: int = 0,
+        day: float = 0.0,
+        catalog_size: int = 64,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        """``servers`` supplies each market's catalog (targets are
+        sampled from listings live at ``day``); the tier supplies the
+        sockets.  Each user owns one pooled async transport — i.e. one
+        connection, since a user's requests are sequential."""
+        if users < 1:
+            raise ValueError(f"users must be positive, got {users}")
+        if requests_per_user < 1:
+            raise ValueError(
+                f"requests_per_user must be positive, got {requests_per_user}"
+            )
+        self._tier = tier
+        self._mix = mix
+        self._users = users
+        self._requests_per_user = requests_per_user
+        self._seed = seed
+        self._day = day
+        self._registry = registry
+        self._hists: Dict[Tuple[str, str], object] = {}
+        # (market, [(package, app_name), ...]) for every market with a
+        # non-empty live catalog; dark or empty markets take no traffic.
+        self._catalogs: Dict[str, List[Tuple[str, str]]] = {}
+        for market_id, server in servers.items():
+            catalog = []
+            for listing in server.store.iter_live(day):
+                catalog.append((listing.package, listing.app_name))
+                if len(catalog) >= catalog_size:
+                    break
+            if catalog:
+                self._catalogs[market_id] = catalog
+        if not self._catalogs:
+            raise ValueError("no market has a live catalog to generate load for")
+        self._markets = list(self._catalogs)
+
+    # -- request stream ----------------------------------------------------
+
+    def _plan_request(self, user: int, ordinal: int, market_id: str) -> Tuple[str, Request]:
+        roll = stable_hash64("loadgen-kind", self._seed, user, ordinal) % 10_000
+        kind = self._mix.pick(roll / 10_000.0)
+        catalog = self._catalogs[market_id]
+        pick = stable_hash64("loadgen-target", self._seed, user, ordinal)
+        package, app_name = catalog[pick % len(catalog)]
+        headers = {"x-sim-time": repr(self._day)}
+        if kind == "search":
+            return kind, Request("/search", {"q": app_name}, headers)
+        if kind == "detail":
+            return kind, Request("/app", {"package": package}, headers)
+        return kind, Request("/download", {"package": package}, headers)
+
+    def _observe(self, market_id: str, kind: str, wall: float) -> None:
+        if self._registry is None:
+            return
+        hist = self._hists.get((market_id, kind))
+        if hist is None:
+            hist = self._hists[(market_id, kind)] = self._registry.histogram(
+                LOADGEN_HIST_METRIC,
+                buckets=DEFAULT_WALL_BUCKETS,
+                market=market_id,
+                kind=kind,
+            )
+        hist.observe(wall)
+
+    async def _user(self, user: int, report: LoadReport, latencies: List[float]) -> None:
+        market_id = self._markets[user % len(self._markets)]
+        transport = self._tier.async_transport(market_id)
+        try:
+            for ordinal in range(self._requests_per_user):
+                kind, request = self._plan_request(user, ordinal, market_id)
+                start = time.perf_counter()
+                response = await transport.send(request)
+                wall = time.perf_counter() - start
+                latencies.append(wall)
+                self._observe(market_id, kind, wall)
+                report.requests += 1
+                report.by_kind[kind] = report.by_kind.get(kind, 0) + 1
+                report.by_status[response.status] = (
+                    report.by_status.get(response.status, 0) + 1
+                )
+                if response.ok:
+                    report.ok += 1
+                elif response.status == 429:
+                    report.shed += 1  # quota shedding is a correct answer
+                else:
+                    report.errors += 1
+        finally:
+            await transport.aclose()
+
+    async def _run(self) -> LoadReport:
+        report = LoadReport(
+            users=self._users,
+            requests_per_user=self._requests_per_user,
+            mix=self._mix.describe(),
+        )
+        latencies: List[float] = []
+        started = time.perf_counter()
+        await asyncio.gather(
+            *(self._user(user, report, latencies) for user in range(self._users))
+        )
+        report.wall_seconds = time.perf_counter() - started
+        if report.wall_seconds > 0:
+            report.rps = report.requests / report.wall_seconds
+        latencies.sort()
+        report.p50_ms = _quantile(latencies, 0.50) * 1000.0
+        report.p99_ms = _quantile(latencies, 0.99) * 1000.0
+        return report
+
+    def run(self) -> LoadReport:
+        """Run the full load profile to completion (blocking)."""
+        return asyncio.run(self._run())

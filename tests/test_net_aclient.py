@@ -1,0 +1,200 @@
+"""The asyncio crawl client: retry parity with the sync client, plus
+the asyncio-only behaviors (cancellation classing, pipelining, auth
+single-flight on the event loop)."""
+
+import asyncio
+
+import pytest
+
+from repro.net.aclient import AsyncHttpClient
+from repro.net.client import RATE_LIMIT_JITTER_MAX, HttpClient
+from repro.net.http import (
+    NotFoundError,
+    RateLimitedError,
+    Request,
+    RequestTimeoutError,
+    Response,
+    ServerError,
+)
+from repro.net.retry import RetryPolicy
+from repro.net.transport import AsyncInProcessTransport
+from repro.util.simtime import SimClock
+
+
+def _handler_sequence(responses):
+    """A handler returning canned responses in order (last one repeats)."""
+    state = {"i": 0}
+
+    def handle(request: Request) -> Response:
+        i = min(state["i"], len(responses) - 1)
+        state["i"] += 1
+        return responses[i]
+
+    return handle
+
+
+def _client(responses, clock=None, **kwargs):
+    return AsyncHttpClient(
+        AsyncInProcessTransport(_handler_sequence(responses)),
+        clock or SimClock(),
+        **kwargs,
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRetryParity:
+    def test_ok(self):
+        client = _client([Response.json_ok(42)])
+        assert run(client.get_json("/x")) == 42
+        assert client.stats.requests == 1
+
+    def test_not_found(self):
+        client = _client([Response.not_found()])
+        with pytest.raises(NotFoundError):
+            run(client.get_json("/x"))
+        assert client.stats.not_found == 1
+
+    def test_server_error_retried(self):
+        client = _client([Response(status=500), Response.json_ok("up")])
+        assert run(client.get_json("/x")) == "up"
+        assert client.stats.retries == 1
+
+    def test_timeout_exhausts_budget(self):
+        client = _client(
+            [Response.timeout()], retry_policy=RetryPolicy(max_retries=2)
+        )
+        with pytest.raises(RequestTimeoutError):
+            run(client.get_json("/x"))
+        assert client.stats.requests == 3
+        assert client.stats.timeouts == 3
+
+    def test_rate_limit_budget(self):
+        client = _client(
+            [Response.rate_limited(0.1)] * 10, max_rate_limit_waits=1
+        )
+        with pytest.raises(RateLimitedError):
+            run(client.get_json("/x"))
+        assert client.stats.rate_limit_aborts == 1
+
+    def test_jitter_matches_sync_client(self):
+        # Same jitter key, same request ordinal -> the async client
+        # sleeps exactly what the sync client would (digest parity).
+        responses = [Response.rate_limited(0.5), Response.json_ok("ok")]
+        sync_clock, async_clock = SimClock(), SimClock()
+        sync_client = HttpClient(
+            _handler_sequence(responses), sync_clock, jitter_key="tencent"
+        )
+        async_client = _client(responses, async_clock, jitter_key="tencent")
+        sync_start, async_start = sync_clock.now, async_clock.now
+        assert sync_client.get_json("/x") == "ok"
+        assert run(async_client.get_json("/x")) == "ok"
+        assert (sync_clock.now - sync_start) == (async_clock.now - async_start)
+        slept = async_clock.now - async_start
+        assert 0.5 <= slept <= 0.5 * (1 + RATE_LIMIT_JITTER_MAX)
+
+    def test_get_bytes(self):
+        client = _client([Response.bytes_ok(b"blob")])
+        assert run(client.get_bytes("/apk")) == b"blob"
+
+    def test_get_bytes_empty_body_is_server_error(self):
+        client = _client(
+            [Response.json_ok(None)], retry_policy=RetryPolicy(max_retries=0)
+        )
+        with pytest.raises(ServerError):
+            run(client.get_bytes("/apk"))
+
+
+class TestCancellation:
+    def test_cancelled_is_classified_not_retried(self):
+        clock = SimClock()
+
+        class HangingTransport:
+            async def send(self, request):
+                await asyncio.sleep(3600)
+
+        client = AsyncHttpClient(HangingTransport(), clock)
+
+        async def go():
+            task = asyncio.ensure_future(client.request("/x"))
+            await asyncio.sleep(0.01)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+
+        run(go())
+        assert client.stats.cancelled == 1
+        assert client.stats.retries == 0
+        assert client.stats.failures == 0
+        assert client.stats.timeouts == 0
+
+
+class TestAuthSingleFlight:
+    def test_concurrent_requests_elect_one_login(self):
+        from repro.net.credentials import CredentialManager
+
+        logins = {"count": 0}
+
+        def handle(request: Request) -> Response:
+            if request.path == "/login":
+                logins["count"] += 1
+                return Response.json_ok({"token": "tok", "ttl": 10.0})
+            assert request.header("authorization") == "tok"
+            return Response.json_ok("data")
+
+        client = AsyncHttpClient(
+            AsyncInProcessTransport(handle),
+            SimClock(),
+            credentials=CredentialManager("tencent"),
+        )
+
+        async def go():
+            return await asyncio.gather(
+                *(client.get_json("/app", {"i": i}) for i in range(8))
+            )
+
+        results = run(go())
+        assert results == ["data"] * 8
+        assert logins["count"] == 1  # single-flight
+        assert client.stats.logins == 1
+
+
+class TestPipelining:
+    def test_results_in_submission_order(self):
+        def handle(request: Request) -> Response:
+            return Response.json_ok(request.param("i"))
+
+        client = AsyncHttpClient(AsyncInProcessTransport(handle), SimClock())
+        items = [("/app", {"i": i}) for i in range(20)]
+        results = run(client.get_json_many(items, depth=4))
+        assert results == list(range(20))
+
+    def test_exceptions_in_place(self):
+        def handle(request: Request) -> Response:
+            if request.param("i") == 2:
+                return Response.not_found()
+            return Response.json_ok(request.param("i"))
+
+        client = AsyncHttpClient(AsyncInProcessTransport(handle), SimClock())
+        items = [("/app", {"i": i}) for i in range(4)]
+        results = run(client.get_json_many(items))
+        assert results[0] == 0 and results[1] == 1 and results[3] == 3
+        assert isinstance(results[2], NotFoundError)
+
+    def test_depth_bounds_in_flight(self):
+        peak = {"now": 0, "max": 0}
+
+        class CountingTransport:
+            async def send(self, request):
+                peak["now"] += 1
+                peak["max"] = max(peak["max"], peak["now"])
+                await asyncio.sleep(0.001)
+                peak["now"] -= 1
+                return Response.json_ok("ok")
+
+        client = AsyncHttpClient(CountingTransport(), SimClock())
+        items = [("/app", {"i": i}) for i in range(16)]
+        run(client.get_json_many(items, depth=3))
+        assert peak["max"] <= 3

@@ -1,0 +1,99 @@
+"""Load generator: traffic mix, quantiles, and an end-to-end run."""
+
+import pytest
+
+from repro.markets.server import MarketServer
+from repro.markets.store import build_stores
+from repro.obs.metrics import MetricsRegistry
+from repro.serving import DEFAULT_TRAFFIC_MIX, LoadGenerator, ServingTier, TrafficMix
+from repro.serving.loadgen import LOADGEN_HIST_METRIC, _quantile
+from repro.util.simtime import SimClock
+
+
+class TestTrafficMix:
+    def test_parse_round_trips_describe(self):
+        mix = TrafficMix.parse("search=5,detail=3,download=2")
+        assert mix == DEFAULT_TRAFFIC_MIX
+        assert TrafficMix.parse(mix.describe()) == mix
+
+    def test_parse_omitted_kind_weighs_zero(self):
+        mix = TrafficMix.parse("search=1")
+        assert mix.detail == 0.0 and mix.download == 0.0
+        assert mix.pick(0.0) == "search"
+        assert mix.pick(0.999) == "search"
+
+    def test_parse_rejects_junk(self):
+        with pytest.raises(ValueError):
+            TrafficMix.parse("search=lots")
+        with pytest.raises(ValueError):
+            TrafficMix.parse("uploads=3")
+        with pytest.raises(ValueError):
+            TrafficMix.parse("search=0,detail=0,download=0")
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficMix(search=-1)
+
+    def test_pick_follows_cumulative_weights(self):
+        mix = TrafficMix(5, 3, 2)
+        assert mix.pick(0.0) == "search"
+        assert mix.pick(0.49) == "search"
+        assert mix.pick(0.5) == "detail"
+        assert mix.pick(0.79) == "detail"
+        assert mix.pick(0.8) == "download"
+
+
+class TestQuantile:
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert _quantile(values, 0.50) == 50.0
+        assert _quantile(values, 0.99) == 99.0
+        assert _quantile(values, 1.0) == 100.0
+
+    def test_empty_sample(self):
+        assert _quantile([], 0.99) == 0.0
+
+
+class TestLoadRun:
+    @pytest.fixture(scope="class")
+    def servers(self):
+        from repro.ecosystem.generator import EcosystemGenerator
+
+        world = EcosystemGenerator(seed=17, scale=0.0002).generate()
+        clock = SimClock()
+        return {m: MarketServer(s, clock) for m, s in build_stores(world).items()}
+
+    def test_run_reports_and_records_histograms(self, servers):
+        registry = MetricsRegistry()
+        with ServingTier(servers) as tier:
+            report = LoadGenerator(
+                tier, servers, users=4, requests_per_user=6,
+                seed=3, registry=registry,
+            ).run()
+        assert report.requests == 24
+        assert report.ok + report.shed + report.errors == 24
+        assert report.errors == 0
+        assert report.p99_ms >= report.p50_ms > 0
+        assert sum(report.by_kind.values()) == 24
+        hists = [d for d in registry.to_dicts()
+                 if d["name"] == LOADGEN_HIST_METRIC]
+        assert hists  # the SLO gate's metric exists
+        assert sum(d["count"] for d in hists) == 24
+
+    def test_request_streams_are_deterministic(self, servers):
+        with ServingTier(servers) as tier:
+            a = LoadGenerator(tier, servers, users=3, requests_per_user=8,
+                              seed=9).run()
+            b = LoadGenerator(tier, servers, users=3, requests_per_user=8,
+                              seed=9).run()
+        assert a.by_kind == b.by_kind  # same rolls, same plan
+        assert a.by_status == b.by_status
+
+    def test_rejects_empty_fleet_and_bad_counts(self, servers):
+        with ServingTier(servers) as tier:
+            with pytest.raises(ValueError):
+                LoadGenerator(tier, servers, users=0)
+            with pytest.raises(ValueError):
+                LoadGenerator(tier, servers, requests_per_user=0)
+            with pytest.raises(ValueError):
+                LoadGenerator(tier, {}, users=2)
