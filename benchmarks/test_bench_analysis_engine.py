@@ -15,7 +15,14 @@ bench job next to ``BENCH_crawl.json``):
 * serial vs. 8-worker ``run_all`` wall time and speedup,
 * cold-cache vs. warm-cache wall time and speedup (at 1 worker, so the
   cache effect is isolated from threading),
-* clone candidate-pair counts, exhaustive vs. prefix-filtered blocking.
+* clone candidate-pair counts and wall time for all three candidate
+  strategies (exhaustive, prefix, minhash) plus the minhash strategy's
+  measured pair recall against the exhaustive reference,
+* the adversarial-families contrast: on a hostile corpus (repackaging
+  chains + app-factory template spam via ``clone_families=
+  "adversarial"``) MinHash-LSH candidate generation must beat prefix
+  blocking by ``MIN_MINHASH_SPEEDUP`` while keeping
+  ``MIN_MINHASH_RECALL`` of the exhaustive strategy's reported pairs.
 
 The scale is pinned (independent of REPRO_BENCH_SCALE) so the latency
 budget — and therefore the speedup floors — is stable in CI smoke runs.
@@ -23,12 +30,13 @@ Every timed variant must also produce bit-identical report digests;
 a fast wrong answer fails the bench.
 """
 
+import dataclasses
 import time
 
 import pytest
 
 from repro import Study, StudyConfig
-from repro.analysis.clones import CodeCloneDetector
+from repro.analysis.clones import CodeCloneDetector, measure_strategy_recall
 from repro.analysis.engine import AnalysisEngine, ArtifactCache
 from repro.analysis.virustotal import VirusTotalService
 from repro.core.study import StudyResult
@@ -40,6 +48,8 @@ BENCH_ANALYSIS_SCALE = 0.0003
 SCAN_LATENCY_S = 0.004  # per-APK upload latency; ~1.3K scans ≈ 5s serial
 MIN_PARALLEL_SPEEDUP = 2.0
 MIN_CACHE_SPEEDUP = 5.0
+MIN_MINHASH_SPEEDUP = 3.0  # vs prefix, adversarial corpus, best-of-3
+MIN_MINHASH_RECALL = 0.99  # of the exhaustive strategy's reported pairs
 
 _record = BenchResults(
     "analysis", seed=BENCH_ANALYSIS_SEED, scale=BENCH_ANALYSIS_SCALE
@@ -70,10 +80,10 @@ def base_result():
     return Study(config).run()
 
 
-def _fresh(base, engine=None, slow_vt=True):
+def _fresh(base, engine=None, slow_vt=True, config=None):
     """A StudyResult over the shared crawl with cold analysis artifacts."""
     result = StudyResult(
-        config=base.config,
+        config=config or base.config,
         world=base.world,
         stores=base.stores,
         servers=base.servers,
@@ -171,43 +181,147 @@ def test_bench_candidate_blocking(base_result):
     units = base_result.units
     lib = base_result.library_detection
     detector = CodeCloneDetector()
-    eligible = [u for u in units if u.apk is not None and u.signer is not None]
-    residual_blocks = []
-    for unit in eligible:
-        blocks = []
-        for pkg in unit.apk.packages:
-            if pkg.feature_digest in lib.library_digests:
-                continue
-            blocks.extend(pkg.blocks)
-        residual_blocks.append(tuple(blocks))
+    corpus = detector.extract(units, lib)
+    engine = AnalysisEngine(workers=1)
 
     start = time.perf_counter()
-    exhaustive = detector._candidate_pairs_exhaustive(residual_blocks)
+    exhaustive = detector._candidate_pairs_exhaustive(corpus.residual_blocks)
     exhaustive_s = time.perf_counter() - start
 
     start = time.perf_counter()
-    prefix = detector._candidate_pairs_prefix(residual_blocks)
+    prefix = detector._candidate_pairs_prefix(corpus.residual_blocks)
     prefix_s = time.perf_counter() - start
 
-    # Both strategies must report the identical clone set end-to-end.
+    minhash_det = CodeCloneDetector(candidate_strategy="minhash")
+    start = time.perf_counter()
+    minhash = minhash_det._candidate_pairs_minhash(corpus, engine)
+    minhash_s = time.perf_counter() - start
+
+    # All three strategies must report the identical clone set end-to-end.
     pairs_prefix = CodeCloneDetector(candidate_strategy="prefix").detect(
         units, lib).clone_units
     pairs_exhaustive = CodeCloneDetector(candidate_strategy="exhaustive").detect(
         units, lib).clone_units
+    pairs_minhash = minhash_det.detect(units, lib).clone_units
     assert pairs_prefix >= pairs_exhaustive
+    assert pairs_minhash == pairs_exhaustive
+
+    recall = measure_strategy_recall(units, lib)
+    assert recall.recall >= MIN_MINHASH_RECALL
 
     reduction = 1 - len(prefix) / max(1, len(exhaustive))
     _record(
         "candidate_blocking",
-        units=len(eligible),
+        units=len(corpus.units),
         candidates_exhaustive=len(exhaustive),
         candidates_prefix=len(prefix),
+        candidates_minhash=len(minhash),
         reduction=round(reduction, 4),
         exhaustive_s=round(exhaustive_s, 4),
         prefix_s=round(prefix_s, 4),
+        minhash_s=round(minhash_s, 4),
         clones_prefix=len(pairs_prefix),
         clones_exhaustive=len(pairs_exhaustive),
+        clones_minhash=len(pairs_minhash),
+        minhash_recall=round(recall.recall, 4),
     )
     print(f"\ncandidates: exhaustive {len(exhaustive)} vs prefix {len(prefix)} "
-          f"({reduction:.1%} pruned), clones identical: "
-          f"{pairs_prefix == pairs_exhaustive}")
+          f"vs minhash {len(minhash)} ({reduction:.1%} pruned), "
+          f"minhash recall {recall.recall:.4f}")
+
+
+def test_bench_strategy_digests_identical(base_result):
+    """``digest_reports`` is bit-identical across candidate strategies
+    (on the default bench corpus) and across minhash worker counts —
+    strategy and parallelism are pure performance knobs."""
+    digests = {}
+    for strategy in CodeCloneDetector.STRATEGIES:
+        config = dataclasses.replace(base_result.config, clone_strategy=strategy)
+        result = _fresh(
+            base_result, engine=AnalysisEngine(workers=4),
+            slow_vt=False, config=config,
+        )
+        digests[strategy] = digest_reports(run_all(result))
+    assert digests["prefix"] == digests["exhaustive"] == digests["minhash"]
+
+    minhash_config = dataclasses.replace(
+        base_result.config, clone_strategy="minhash"
+    )
+    per_width = {}
+    for workers in (1, 4, 8):
+        result = _fresh(
+            base_result, engine=AnalysisEngine(workers=workers),
+            slow_vt=False, config=minhash_config,
+        )
+        per_width[workers] = digest_reports(run_all(result))
+    assert per_width[1] == per_width[4] == per_width[8]
+    _record(
+        "strategy_digests",
+        strategies=sorted(digests),
+        identical=True,
+        minhash_worker_widths=[1, 4, 8],
+    )
+
+
+@pytest.fixture(scope="module")
+def adversarial_result():
+    """A hostile corpus: boosted repackaging families, clone chains,
+    shared-signing-key clusters, and app-factory template spam."""
+    config = StudyConfig(
+        seed=BENCH_ANALYSIS_SEED,
+        scale=BENCH_ANALYSIS_SCALE,
+        clone_families="adversarial",
+    )
+    return Study(config).run()
+
+
+def test_bench_adversarial_families(adversarial_result):
+    """The tentpole contract: on the adversarial corpus, MinHash-LSH
+    candidate generation beats prefix blocking by >= 3x wall-clock while
+    recovering >= 99% of the exhaustive strategy's reported pairs."""
+    units = adversarial_result.units
+    lib = adversarial_result.library_detection
+    detector = CodeCloneDetector(candidate_strategy="minhash")
+    corpus = detector.extract(units, lib)
+    engine = AnalysisEngine(workers=1)
+
+    prefix_s, minhash_s = [], []
+    for _ in range(3):
+        start = time.perf_counter()
+        prefix = detector._candidate_pairs_prefix(corpus.residual_blocks)
+        prefix_s.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        minhash = detector._candidate_pairs_minhash(corpus, engine)
+        minhash_s.append(time.perf_counter() - start)
+
+    recall = measure_strategy_recall(units, lib)
+    speedup = min(prefix_s) / min(minhash_s)
+    spam = adversarial_result.world.summary()["template_spam"]
+    _record(
+        "adversarial_families",
+        units=len(corpus.units),
+        template_spam_apps=spam,
+        cb_clones=adversarial_result.world.summary()["cb_clones"],
+        candidates_prefix=len(prefix),
+        candidates_minhash=len(minhash),
+        candidates_exhaustive=recall.reference_candidates,
+        prefix_s=round(min(prefix_s), 4),
+        minhash_s=round(min(minhash_s), 4),
+        speedup=round(speedup, 2),
+        reference_pairs=recall.reference_pairs,
+        recovered_pairs=recall.recovered_pairs,
+        recall=round(recall.recall, 4),
+    )
+    print(f"\nadversarial corpus ({len(corpus.units)} units, {spam} spam): "
+          f"prefix {min(prefix_s):.3f}s ({len(prefix)} candidates) vs "
+          f"minhash {min(minhash_s):.3f}s ({len(minhash)}) -> {speedup:.1f}x, "
+          f"recall {recall.recall:.4f}")
+    assert recall.reference_pairs > 0
+    assert recall.recall >= MIN_MINHASH_RECALL, (
+        f"minhash recovered only {recall.recall:.2%} of exhaustive pairs"
+    )
+    assert speedup >= MIN_MINHASH_SPEEDUP, (
+        f"minhash only {speedup:.1f}x faster than prefix on the "
+        f"adversarial corpus ({min(prefix_s):.3f}s vs {min(minhash_s):.3f}s)"
+    )

@@ -13,14 +13,34 @@ Two detectors, as in the paper:
   Manhattan distance of 0.05 (95% similarity), refined by a second
   phase requiring >=85% shared code segments.
 
-Candidate pairing for the code-based phase uses **prefix-filtered
-blocking** over code-segment hashes (library segments removed): each
-app indexes only a short, rarest-first prefix of its block set, sized
-so that any pair meeting the overlap and shared-block thresholds
-provably collides on at least one indexed block.  This keeps the search
-near-linear — the same engineering need WuKong's two-phase design
-addresses at 6M-app scale — and candidate scoring fans out across the
-analysis engine's worker pool with a deterministic merge.
+Candidate pairing for the code-based phase offers three strategies:
+
+* ``"prefix"`` (default) — **prefix-filtered blocking** over
+  code-segment hashes: each app indexes only a short, rarest-first
+  prefix of its block set, sized so that any pair meeting the overlap
+  and shared-block thresholds provably collides on at least one indexed
+  block.  Exact (a provable superset of every reportable pair), but a
+  block shared across a large near-duplicate family lands inside every
+  member's prefix, so posting lists — and candidate counts — degrade
+  back toward O(family²) on repackaging-heavy corpora.
+* ``"minhash"`` — **MinHash signatures + banded LSH**: fixed-seed
+  k-permutation MinHash over each unit's distinct residual block set,
+  with (bands, rows) derived from ``overlap_threshold`` so the
+  collision curve is steep around the reporting threshold (see
+  :func:`derive_lsh_params`).  Probabilistic — recall against the
+  exhaustive reference is a *measured* contract, enforced in the bench
+  via :func:`measure_strategy_recall` — but candidate generation is
+  fully vectorized, which is what keeps it sub-quadratic in practice on
+  adversarial near-duplicate families.  Signatures fan out over the
+  analysis engine's worker pool and persist in the artifact cache.
+* ``"exhaustive"`` — the original inverted-index pair enumeration,
+  kept as the reference implementation for benchmarks, superset
+  checks, and recall measurement.
+
+Candidate scoring fans out across the analysis engine's worker pool
+with a deterministic merge, and every strategy returns its candidates
+in canonical sorted order — so reports are bit-identical at any worker
+width regardless of strategy.
 """
 
 from __future__ import annotations
@@ -28,24 +48,52 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.analysis.corpus import AppUnit
 from repro.analysis.engine import INLINE_ENGINE, AnalysisEngine
 from repro.analysis.libraries import LibraryDetection
 from repro.crawler.snapshot import Snapshot
+from repro.util.rng import stable_hash64
 
 __all__ = [
     "feature_distance",
     "block_overlap",
+    "clone_market_rates",
     "SignatureCloneAnalysis",
     "detect_signature_clones",
     "ClonePair",
+    "CloneCorpus",
     "CodeCloneAnalysis",
     "CodeCloneDetector",
+    "derive_lsh_params",
+    "overlap_to_jaccard",
+    "minhash_signature",
+    "minhash_jaccard_estimate",
+    "StrategyRecall",
+    "measure_strategy_recall",
 ]
 
 UnitKey = Tuple[str, Optional[str]]
+
+#: Bump to invalidate cached MinHash signatures when the algorithm changes.
+MINHASH_VERSION = "1"
+
+#: Default MinHash signature length (k permutations).
+DEFAULT_MINHASH_PERMUTATIONS = 128
+
+#: Predicted collision probability a true-positive pair must reach at
+#: the overlap threshold's Jaccard equivalent when deriving (bands,
+#: rows).  The *measured* floor lives in the bench; this is the design
+#: margin the derivation aims for.
+LSH_TARGET_RECALL = 0.999
+
+#: Signature value for a unit with no residual blocks at all.  Empty
+#: units are excluded from LSH banding (they can never reach a nonzero
+#: overlap), matching the prefix strategy's behavior.
+_EMPTY_SIGNATURE = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 
 def feature_distance(a: Dict[int, int], b: Dict[int, int]) -> float:
@@ -68,10 +116,41 @@ def feature_distance(a: Dict[int, int], b: Dict[int, int]) -> float:
 
 def block_overlap(a: Sequence[int], b: Sequence[int]) -> float:
     """Shared code-segment ratio (against the larger segment set)."""
-    sa, sb = set(a), set(b)
+    return _set_overlap(set(a), set(b))
+
+
+def _set_overlap(sa: FrozenSet[int], sb: FrozenSet[int]) -> float:
+    """:func:`block_overlap` over pre-built sets (the scoring hot path
+    builds one frozenset per unit up front instead of two per pair)."""
     if not sa or not sb:
         return 0.0
     return len(sa & sb) / max(len(sa), len(sb))
+
+
+def clone_market_rates(
+    clone_units: Set[UnitKey], snapshot: Snapshot
+) -> Dict[str, float]:
+    """Table 3 rates: share of each market's listings whose
+    ``(package, signer)`` identity is in ``clone_units``.
+
+    Shared by the SB and CB columns — both analyses flag clones as unit
+    keys and rate them against the same listing denominators.
+    """
+    rates: Dict[str, float] = {}
+    clone_index: Dict[str, Set[Optional[str]]] = {}
+    for package, signer in clone_units:
+        clone_index.setdefault(package, set()).add(signer)
+    for market in snapshot.markets():
+        records = snapshot.in_market(market)
+        if not records:
+            rates[market] = 0.0
+            continue
+        clones = sum(
+            1 for record in records
+            if record.signer in clone_index.get(record.package, ())
+        )
+        rates[market] = clones / len(records)
+    return rates
 
 
 # ---------------------------------------------------------------------------
@@ -90,22 +169,7 @@ class SignatureCloneAnalysis:
     def market_rates(self, snapshot: Snapshot) -> Dict[str, float]:
         """Table 3's SB column: share of each market's listings that are
         signature-based clones (non-original cluster members)."""
-        rates: Dict[str, float] = {}
-        clone_index: Dict[str, Set[Optional[str]]] = {}
-        for package, signer in self.clone_units:
-            clone_index.setdefault(package, set()).add(signer)
-        for market in snapshot.markets():
-            records = snapshot.in_market(market)
-            if not records:
-                rates[market] = 0.0
-                continue
-            clones = 0
-            for record in records:
-                signers = clone_index.get(record.package)
-                if signers and record.signer in signers:
-                    clones += 1
-            rates[market] = clones / len(records)
-        return rates
+        return clone_market_rates(self.clone_units, snapshot)
 
     def developers_per_package(self) -> List[int]:
         """Figure 8(c)'s data: signer count per multi-signature package."""
@@ -156,6 +220,24 @@ class ClonePair:
 
 
 @dataclass
+class CloneCorpus:
+    """Per-unit inputs of the code-based phase, extracted once.
+
+    ``block_sets`` carries one frozenset per unit so scoring a candidate
+    is a single O(min) set intersection — no per-pair set rebuilds — and
+    the recall harness reuses the same extraction across strategies.
+    """
+
+    units: List[AppUnit]
+    keys: List[UnitKey]
+    residual_features: List[Dict[int, int]]
+    residual_blocks: List[Tuple[int, ...]]
+    block_sets: List[FrozenSet[int]]
+    downloads: List[int]
+    library_digests: FrozenSet[object]
+
+
+@dataclass
 class CodeCloneAnalysis:
     pairs: List[ClonePair]
     clone_units: Set[UnitKey]
@@ -163,21 +245,7 @@ class CodeCloneAnalysis:
 
     def market_rates(self, snapshot: Snapshot) -> Dict[str, float]:
         """Table 3's CB column."""
-        rates: Dict[str, float] = {}
-        clone_index: Dict[str, Set[Optional[str]]] = {}
-        for package, signer in self.clone_units:
-            clone_index.setdefault(package, set()).add(signer)
-        for market in snapshot.markets():
-            records = snapshot.in_market(market)
-            if not records:
-                rates[market] = 0.0
-                continue
-            clones = sum(
-                1 for record in records
-                if record.signer in clone_index.get(record.package, ())
-            )
-            rates[market] = clones / len(records)
-        return rates
+        return clone_market_rates(self.clone_units, snapshot)
 
     def heatmap(
         self, units_by_key: Dict[UnitKey, AppUnit], markets: Sequence[str]
@@ -212,17 +280,197 @@ class CodeCloneAnalysis:
         return counts
 
 
+# -- MinHash / LSH machinery -------------------------------------------------
+
+
+def overlap_to_jaccard(overlap: float) -> float:
+    """The Jaccard similarity implied by the detector's overlap metric.
+
+    The detector scores ``|A ∩ B| / max(|A|, |B|)``, which upper-bounds
+    Jaccard; overlap >= t implies ``J >= t / (2 - t)`` (worst case at
+    ``|A| = |B|``).  LSH parameters must guarantee collisions down at
+    this Jaccard level, not at ``t`` itself.
+    """
+    return overlap / (2.0 - overlap)
+
+
+def derive_lsh_params(
+    overlap_threshold: float,
+    num_perm: int = DEFAULT_MINHASH_PERMUTATIONS,
+    target_recall: float = LSH_TARGET_RECALL,
+) -> Tuple[int, int]:
+    """Derive ``(bands, rows)`` from the reporting threshold.
+
+    A pair at Jaccard ``j`` collides in at least one band with
+    probability ``1 - (1 - j^rows)^bands``.  Larger ``rows`` steepens
+    the collision curve (fewer sub-threshold candidates) at the cost of
+    recall near the threshold, so the contract is: pick the *largest*
+    ``rows`` (with ``bands = num_perm // rows``) whose predicted
+    collision probability at ``overlap_to_jaccard(overlap_threshold)``
+    still reaches ``target_recall``.  For the defaults (t=0.85, 128
+    permutations) this lands on 32 bands x 4 rows.
+    """
+    if not 0 < overlap_threshold <= 1:
+        raise ValueError(
+            f"overlap_threshold must be in (0, 1], got {overlap_threshold}"
+        )
+    if num_perm < 1:
+        raise ValueError(f"num_perm must be positive, got {num_perm}")
+    jaccard = overlap_to_jaccard(overlap_threshold)
+    for rows in range(num_perm, 0, -1):
+        bands = num_perm // rows
+        collision = 1.0 - (1.0 - jaccard**rows) ** bands
+        if collision >= target_recall:
+            return bands, rows
+    return num_perm, 1
+
+
+def _minhash_coeffs(seed: int, num_perm: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Fixed-seed multiply-add hash family over uint64 (odd multipliers,
+    natural mod-2^64 wraparound)."""
+    a = np.asarray(
+        [stable_hash64("minhash-a", seed, i) | 1 for i in range(num_perm)],
+        dtype=np.uint64,
+    )
+    b = np.asarray(
+        [stable_hash64("minhash-b", seed, i) for i in range(num_perm)],
+        dtype=np.uint64,
+    )
+    return a, b
+
+
+def minhash_signature(
+    blocks: Sequence[int], coeffs: Tuple[np.ndarray, np.ndarray]
+) -> np.ndarray:
+    """k-permutation MinHash signature of a block set.
+
+    ``sig[i] = min over blocks x of (a_i * x + b_i) mod 2^64`` — the
+    standard universal-hash approximation of row permutations.  Two
+    signatures agree at position i with probability equal to the sets'
+    Jaccard similarity.
+    """
+    a, b = coeffs
+    if not blocks:
+        return np.full(len(a), _EMPTY_SIGNATURE, dtype=np.uint64)
+    # No dedup needed: the min over a multiset equals the min over its
+    # distinct values, so repeated blocks cannot change the signature.
+    x = np.asarray(blocks, dtype=np.uint64)
+    hashed = x[None, :] * a[:, None] + b[:, None]
+    return hashed.min(axis=1)
+
+
+def minhash_jaccard_estimate(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+    """The unbiased Jaccard estimate: share of agreeing positions."""
+    return float(np.mean(sig_a == sig_b))
+
+
+def _ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(c) for c in counts])`` without the loop."""
+    ends = np.cumsum(counts)
+    return np.arange(ends[-1]) - np.repeat(ends - counts, counts)
+
+
+def _run_pairs(starts: np.ndarray, widths: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """All within-run position pairs (p, q), p < q, for ragged runs.
+
+    Given runs ``[starts[r], starts[r] + widths[r])`` of a sorted array,
+    returns two flat position arrays enumerating every unordered pair
+    inside every run — pure integer cumsum/repeat arithmetic, no
+    per-run Python loop (buckets number in the thousands; per-bucket
+    numpy calls would dominate the whole candidate stage).
+    """
+    # Left element p of run r takes every q in (p, widths[r]).
+    lefts = _ragged_arange(widths - 1)  # one entry per (run, p)
+    run_of_left = np.repeat(np.arange(len(widths)), widths - 1)
+    partners = widths[run_of_left] - 1 - lefts  # q count for each p
+    base = np.repeat(starts[run_of_left], partners)
+    p = np.repeat(lefts, partners)
+    q = p + 1 + _ragged_arange(partners)
+    return base + p, base + q
+
+
+def _lsh_candidate_pairs(
+    signatures: Sequence[np.ndarray],
+    block_sets: Sequence[FrozenSet[int]],
+    bands: int,
+    rows: int,
+) -> List[Tuple[int, int]]:
+    """Banded LSH bucketing with vectorized pair generation.
+
+    Within a genuine near-duplicate family every exact strategy must
+    emit ~|family|² candidates too — the speed win here is constant
+    factor, not asymptotic: band keys, bucket grouping, pair encoding,
+    and dedup all run as array operations instead of per-element Python
+    set updates.
+    """
+    n = len(signatures)
+    active = np.asarray(
+        [i for i in range(n) if block_sets[i]], dtype=np.int64
+    )
+    if len(active) < 2:
+        return []
+    sig = np.vstack([signatures[int(i)] for i in active])
+    # Collapse each band's rows into one 64-bit key via a multiply-add
+    # chain.  A key collision between distinct row vectors only adds a
+    # spurious candidate (scoring filters it); it can never lose a pair.
+    mult = np.uint64(0x9E3779B97F4A7C15)
+    banded = sig[:, : bands * rows].reshape(len(active), bands, rows)
+    keys = np.zeros((len(active), bands), dtype=np.uint64)
+    for r in range(rows):
+        keys = keys * mult + banded[:, :, r]
+
+    stride = np.int64(n)
+    encoded: List[np.ndarray] = []
+    for band in range(bands):
+        col = keys[:, band]
+        # Bucket membership is an equality grouping, so any sort order
+        # works; pairs are canonicalized (lo, hi) below and the final
+        # np.unique fixes the global order — output is sort-agnostic.
+        order = np.argsort(col)
+        ordered = col[order]
+        edges = np.flatnonzero(np.r_[True, ordered[1:] != ordered[:-1], True])
+        widths = np.diff(edges)
+        multi = widths >= 2
+        if not multi.any():
+            continue
+        ii, jj = _run_pairs(edges[:-1][multi], widths[multi])
+        u = active[order[ii]]
+        v = active[order[jj]]
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        encoded.append(lo * stride + hi)
+    if not encoded:
+        return []
+    # One global sort+dedup yields the canonical (i, j) order directly:
+    # codes i*n+j sort exactly like tuples (i, j).
+    codes = np.unique(np.concatenate(encoded))
+    return list(zip((codes // stride).tolist(), (codes % stride).tolist()))
+
+
 class CodeCloneDetector:
-    """WuKong-style two-phase detector with prefix-filtered candidates.
+    """WuKong-style two-phase detector with pluggable candidate blocking.
 
     ``candidate_strategy`` selects the candidate generator: ``"prefix"``
-    (the default) uses prefix-filtered blocking; ``"exhaustive"`` keeps
-    the original inverted-index pair enumeration as a reference
-    implementation for benchmarks and superset checks.  The prefix
-    strategy generates a provable superset of every pair the exhaustive
-    strategy would ultimately report, so switching strategies can only
-    add detections, never lose them.
+    (the default) uses prefix-filtered blocking; ``"minhash"`` uses
+    MinHash-LSH banding (vectorized, sub-quadratic in practice on
+    near-duplicate families, recall measured against the reference);
+    ``"exhaustive"`` keeps the original inverted-index pair enumeration
+    as the reference implementation.  The prefix strategy generates a
+    provable superset of every pair the exhaustive strategy would
+    ultimately report; the minhash strategy's recall is enforced
+    empirically by the benchmark suite (>=99% of exhaustive pairs).
+
+    ``max_block_bucket`` is honored **only by the exhaustive strategy**
+    (it drops stop-word blocks whose posting lists exceed the cutoff
+    before enumerating pairs).  The prefix strategy deliberately ignores
+    it: dropping giant posting lists there would break the superset
+    proof (a reportable pair may collide *only* on a popular block),
+    and the minhash strategy never builds posting lists at all.  The
+    asymmetry is intentional — the exhaustive generator is the only one
+    that would otherwise go quadratic on every popular block.
     """
+
+    STRATEGIES = ("prefix", "exhaustive", "minhash")
 
     def __init__(
         self,
@@ -231,14 +479,24 @@ class CodeCloneDetector:
         min_shared_blocks: int = 8,
         max_block_bucket: int = 200,
         candidate_strategy: str = "prefix",
+        minhash_permutations: int = DEFAULT_MINHASH_PERMUTATIONS,
+        minhash_seed: int = 0,
     ):
-        if candidate_strategy not in ("prefix", "exhaustive"):
+        if candidate_strategy not in self.STRATEGIES:
             raise ValueError(f"unknown candidate strategy {candidate_strategy!r}")
+        if minhash_permutations < 1:
+            raise ValueError(
+                f"minhash_permutations must be positive, got {minhash_permutations}"
+            )
         self.distance_threshold = distance_threshold
         self.overlap_threshold = overlap_threshold
         self.min_shared_blocks = min_shared_blocks
+        #: Stop-word cutoff for the exhaustive strategy only — see the
+        #: class docstring for why prefix and minhash ignore it.
         self.max_block_bucket = max_block_bucket
         self.candidate_strategy = candidate_strategy
+        self.minhash_permutations = minhash_permutations
+        self.minhash_seed = minhash_seed
 
     def detect(
         self,
@@ -247,12 +505,27 @@ class CodeCloneDetector:
         engine: Optional[AnalysisEngine] = None,
     ) -> CodeCloneAnalysis:
         engine = engine or INLINE_ENGINE
-        lib_digests = (
-            library_detection.library_digests if library_detection else set()
+        corpus = self.extract(units, library_detection, engine)
+        return self.detect_extracted(corpus, engine)
+
+    def extract(
+        self,
+        units: Sequence[AppUnit],
+        library_detection: Optional[LibraryDetection] = None,
+        engine: Optional[AnalysisEngine] = None,
+    ) -> CloneCorpus:
+        """Library removal + per-unit feature/block extraction.
+
+        Strategy-independent: the recall harness and the benches extract
+        once and run several candidate strategies over the same corpus.
+        """
+        engine = engine or INLINE_ENGINE
+        lib_digests = frozenset(
+            library_detection.library_digests if library_detection else ()
         )
         eligible = [u for u in units if u.apk is not None and u.signer is not None]
 
-        def extract(unit: AppUnit) -> Tuple[Dict[int, int], Tuple[int, ...]]:
+        def extract_one(unit: AppUnit) -> Tuple[Dict[int, int], Tuple[int, ...]]:
             features: Dict[int, int] = {}
             blocks: List[int] = []
             for pkg in unit.apk.packages:
@@ -263,13 +536,31 @@ class CodeCloneDetector:
                 blocks.extend(pkg.blocks)
             return features, tuple(blocks)
 
-        extracted = engine.map(eligible, extract, stage="analysis.clones.extract")
-        keys: List[UnitKey] = [(u.package, u.signer) for u in eligible]
-        residual_features = [features for features, _ in extracted]
-        residual_blocks = [blocks for _, blocks in extracted]
-        downloads = [u.max_downloads or 0 for u in eligible]
+        extracted = engine.map(eligible, extract_one, stage="analysis.clones.extract")
+        return CloneCorpus(
+            units=eligible,
+            keys=[(u.package, u.signer) for u in eligible],
+            residual_features=[features for features, _ in extracted],
+            residual_blocks=[blocks for _, blocks in extracted],
+            block_sets=[frozenset(blocks) for _, blocks in extracted],
+            downloads=[u.max_downloads or 0 for u in eligible],
+            library_digests=lib_digests,
+        )
 
-        candidates = self._candidate_pairs(residual_blocks)
+    def detect_extracted(
+        self,
+        corpus: CloneCorpus,
+        engine: Optional[AnalysisEngine] = None,
+        candidates: Optional[List[Tuple[int, int]]] = None,
+    ) -> CodeCloneAnalysis:
+        """Candidate generation + scoring over an extracted corpus."""
+        engine = engine or INLINE_ENGINE
+        if candidates is None:
+            candidates = self._candidate_pairs(corpus, engine)
+        keys = corpus.keys
+        block_sets = corpus.block_sets
+        residual_features = corpus.residual_features
+        downloads = corpus.downloads
 
         def score(pair: Tuple[int, int]) -> Optional[Tuple[int, int, float, float]]:
             i, j = pair
@@ -278,7 +569,7 @@ class CodeCloneDetector:
                 return None  # same package: signature-based territory
             if key_i[1] == key_j[1]:
                 return None  # same developer: legitimate reuse
-            overlap = block_overlap(residual_blocks[i], residual_blocks[j])
+            overlap = _set_overlap(block_sets[i], block_sets[j])
             if overlap < self.overlap_threshold:
                 return None
             distance = feature_distance(residual_features[i], residual_features[j])
@@ -317,12 +608,66 @@ class CodeCloneDetector:
         )
 
     def _candidate_pairs(
-        self, residual_blocks: Sequence[Tuple[int, ...]]
+        self, corpus: CloneCorpus, engine: Optional[AnalysisEngine] = None
     ) -> List[Tuple[int, int]]:
         """Pairs worth scoring, in canonical sorted order."""
         if self.candidate_strategy == "exhaustive":
-            return sorted(self._candidate_pairs_exhaustive(residual_blocks))
-        return self._candidate_pairs_prefix(residual_blocks)
+            return sorted(self._candidate_pairs_exhaustive(corpus.residual_blocks))
+        if self.candidate_strategy == "minhash":
+            return self._candidate_pairs_minhash(corpus, engine or INLINE_ENGINE)
+        return self._candidate_pairs_prefix(corpus.residual_blocks)
+
+    def _candidate_pairs_minhash(
+        self, corpus: CloneCorpus, engine: AnalysisEngine
+    ) -> List[Tuple[int, int]]:
+        """MinHash signatures + banded LSH candidate generation.
+
+        Signatures fan out over the engine's worker pool and land in the
+        artifact cache.  A cached signature is a pure function of the
+        APK bytes *given* the library set and the strategy parameters,
+        so the version string folds in the MinHash seed, permutation
+        count, threshold, and a fingerprint of the library digests —
+        any of those changing is a cache miss, never a wrong hit.
+        """
+        bands, rows = derive_lsh_params(
+            self.overlap_threshold, self.minhash_permutations
+        )
+        num_perm = bands * rows
+        coeffs = _minhash_coeffs(self.minhash_seed, num_perm)
+        lib_fp = stable_hash64(
+            "clone-lib-set", tuple(sorted(map(repr, corpus.library_digests)))
+        )
+        version = (
+            f"{MINHASH_VERSION}-k{num_perm}-s{self.minhash_seed}"
+            f"-t{self.overlap_threshold}-lib{lib_fp:016x}"
+        )
+        lib_digests = corpus.library_digests
+
+        def compute(apk) -> np.ndarray:
+            blocks = [
+                block
+                for pkg in apk.packages
+                if pkg.feature_digest not in lib_digests
+                for block in pkg.blocks
+            ]
+            return minhash_signature(blocks, coeffs)
+
+        def decode(payload: object) -> np.ndarray:
+            sig = np.asarray(payload, dtype=np.uint64)
+            if sig.shape != (num_perm,):
+                raise ValueError("minhash signature shape mismatch")
+            return sig
+
+        signatures = engine.map_units_cached(
+            "clone_minhash",
+            version,
+            corpus.units,
+            compute,
+            encode=lambda sig: [int(v) for v in sig],
+            decode=decode,
+            stage="analysis.clones.minhash",
+        )
+        return _lsh_candidate_pairs(signatures, corpus.block_sets, bands, rows)
 
     def _candidate_pairs_prefix(
         self, residual_blocks: Sequence[Tuple[int, ...]]
@@ -388,3 +733,82 @@ class CodeCloneDetector:
                 for b in range(a + 1, len(members)):
                     shared[(members[a], members[b])] += 1
         return [pair for pair, n in shared.items() if n >= self.min_shared_blocks]
+
+
+# ---------------------------------------------------------------------------
+# measured-recall harness
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StrategyRecall:
+    """One strategy's measured recall against a reference strategy."""
+
+    strategy: str
+    reference: str
+    candidates: int
+    reference_candidates: int
+    reference_pairs: int
+    recovered_pairs: int
+
+    @property
+    def recall(self) -> float:
+        """Share of the reference's reported clone pairs the probed
+        strategy also reported (1.0 when the reference found none)."""
+        if self.reference_pairs == 0:
+            return 1.0
+        return self.recovered_pairs / self.reference_pairs
+
+
+def measure_strategy_recall(
+    units: Sequence[AppUnit],
+    library_detection: Optional[LibraryDetection] = None,
+    engine: Optional[AnalysisEngine] = None,
+    strategy: str = "minhash",
+    reference: str = "exhaustive",
+    detector: Optional[CodeCloneDetector] = None,
+) -> StrategyRecall:
+    """Measure one candidate strategy's end-to-end pair recall.
+
+    Extraction happens once; both strategies run over the same
+    :class:`CloneCorpus` (reusing its per-unit frozensets), and recall
+    is computed over *reported clone pairs*, not raw candidates — a
+    candidate either strategy would discard in scoring costs nothing.
+    This is the probabilistic strategy's quality guardrail: the bench
+    enforces a floor on ``recall`` and records it in the bench artifact.
+    """
+    engine = engine or INLINE_ENGINE
+    base = detector or CodeCloneDetector()
+
+    def configured(name: str) -> CodeCloneDetector:
+        return CodeCloneDetector(
+            distance_threshold=base.distance_threshold,
+            overlap_threshold=base.overlap_threshold,
+            min_shared_blocks=base.min_shared_blocks,
+            max_block_bucket=base.max_block_bucket,
+            candidate_strategy=name,
+            minhash_permutations=base.minhash_permutations,
+            minhash_seed=base.minhash_seed,
+        )
+
+    probe_det = configured(strategy)
+    ref_det = configured(reference)
+    corpus = probe_det.extract(units, library_detection, engine)
+    probe_candidates = probe_det._candidate_pairs(corpus, engine)
+    ref_candidates = ref_det._candidate_pairs(corpus, engine)
+    probe_pairs = {
+        (p.original, p.clone)
+        for p in probe_det.detect_extracted(corpus, engine, probe_candidates).pairs
+    }
+    ref_pairs = {
+        (p.original, p.clone)
+        for p in ref_det.detect_extracted(corpus, engine, ref_candidates).pairs
+    }
+    return StrategyRecall(
+        strategy=strategy,
+        reference=reference,
+        candidates=len(probe_candidates),
+        reference_candidates=len(ref_candidates),
+        reference_pairs=len(ref_pairs),
+        recovered_pairs=len(ref_pairs & probe_pairs),
+    )

@@ -154,6 +154,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="in-flight requests per lane under the asyncio "
                             "engine (requires a polite, unjournaled fleet; "
                             "default: 1)")
+        p.add_argument("--clone-strategy",
+                       choices=("prefix", "exhaustive", "minhash"),
+                       default="prefix",
+                       help="candidate blocking for code-clone detection: "
+                            "'prefix' (exact prefix filter), 'minhash' "
+                            "(MinHash-LSH, vectorized, >=99%% measured "
+                            "recall), or 'exhaustive' (quadratic "
+                            "reference)")
+        p.add_argument("--clone-families", choices=("default", "adversarial"),
+                       default="default",
+                       help="repackaging profile for world generation: "
+                            "'default' matches the paper's clone rates, "
+                            "'adversarial' builds deep repackaging chains "
+                            "and boosted near-duplicate families")
         p.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write the campaign span trace to PATH (JSONL)")
         p.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -351,6 +365,8 @@ def _config_from(args: argparse.Namespace) -> StudyConfig:
         transport=args.transport,
         crawl_engine=args.crawl_engine,
         crawl_pipeline=args.pipeline,
+        clone_strategy=args.clone_strategy,
+        clone_families=args.clone_families,
     )
 
 

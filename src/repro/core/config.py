@@ -156,6 +156,17 @@ class StudyConfig:
     #: multiplexes every lane's requests on one event loop and unlocks
     #: ``crawl_pipeline``.
     crawl_engine: str = "thread"
+    #: Candidate-generation strategy for the code-based clone detector:
+    #: ``"prefix"`` (default, exact prefix-filtered blocking),
+    #: ``"minhash"`` (MinHash-LSH, vectorized, recall measured against
+    #: the exhaustive reference), or ``"exhaustive"`` (the quadratic
+    #: reference enumeration).
+    clone_strategy: str = "prefix"
+    #: Repackaging profile for world generation: ``"default"``
+    #: reproduces the paper's Table 3 clone rates; ``"adversarial"``
+    #: builds deep repackaging chains and boosted near-duplicate
+    #: families — the corpus shape the clone benchmarks stress.
+    clone_families: str = "default"
     #: Per-lane in-flight request depth under the asyncio engine.
     #: Depth > 1 reorders the request stream each server observes, so
     #: it requires the asyncio engine and a polite, unjournaled fleet
@@ -244,6 +255,19 @@ class StudyConfig:
                 raise ValueError("crawl_pipeline > 1 is incompatible with fault injection")
             if self.hostility is not None or self.market_hostility:
                 raise ValueError("crawl_pipeline > 1 is incompatible with hostility")
+        from repro.analysis.clones import CodeCloneDetector
+        from repro.ecosystem.threats import RepackagingModel
+
+        if self.clone_strategy not in CodeCloneDetector.STRATEGIES:
+            raise ValueError(
+                f"clone_strategy must be one of {CodeCloneDetector.STRATEGIES}, "
+                f"got {self.clone_strategy!r}"
+            )
+        if self.clone_families not in RepackagingModel.PROFILES:
+            raise ValueError(
+                f"clone_families must be one of {RepackagingModel.PROFILES}, "
+                f"got {self.clone_families!r}"
+            )
         if self.monitor_interval <= 0:
             raise ValueError(
                 f"monitor_interval must be positive, got {self.monitor_interval}"

@@ -217,7 +217,10 @@ class StudyResult:
     @cached_property
     def code_clones(self) -> CodeCloneAnalysis:
         with self.obs.stage("analysis.code_clones"):
-            return CodeCloneDetector().detect(
+            detector = CodeCloneDetector(
+                candidate_strategy=self.config.clone_strategy
+            )
+            return detector.detect(
                 self.units, self.library_detection, engine=self.engine
             )
 
@@ -342,12 +345,15 @@ class Study:
         corpus = CorpusStore.from_config(config)
 
         with obs.stage("ecosystem"):
+            from repro.ecosystem.threats import RepackagingModel
+
             world = EcosystemGenerator(
                 seed=config.seed,
                 scale=config.scale,
                 min_market_size=config.min_market_size,
                 gen_workers=config.gen_workers,
                 obs=obs,
+                repackaging=RepackagingModel.for_profile(config.clone_families),
             ).generate()
             if corpus is not None and len(world.apps) > corpus.spill_threshold:
                 # Past the threshold the app list moves to the segment

@@ -33,6 +33,7 @@ __all__ = [
     "AppBlueprint",
     "generate_own_code",
     "perturb_own_code",
+    "template_spam_code",
     "build_apk",
 ]
 
@@ -40,6 +41,7 @@ PROVENANCE_LEGIT = "legit"
 PROVENANCE_FAKE = "fake"
 PROVENANCE_SB_CLONE = "sb_clone"
 PROVENANCE_CB_CLONE = "cb_clone"
+PROVENANCE_TEMPLATE_SPAM = "template_spam"
 
 
 @dataclass(frozen=True)
@@ -111,6 +113,10 @@ class AppBlueprint:
     threat: Optional[ThreatProfile] = None
     provenance: str = PROVENANCE_LEGIT
     related_app_id: Optional[int] = None  # fake target / clone source
+    #: Repackaging-chain position: 0 = not a repack, 1 = direct clone,
+    #: 2 = clone of a clone, ...  ``related_app_id`` points one link up
+    #: the chain, so full provenance (A -> B -> C) is walkable.
+    clone_depth: int = 0
     template_id: Optional[int] = None  # shared code template, if any
 
     @property
@@ -199,6 +205,42 @@ def perturb_own_code(
 
     main = _main_package_of(new_package) if new_package else source.main_package
     return OwnCode(main_package=main, features=features, blocks=tuple(kept))
+
+
+def template_spam_code(
+    rng: np.random.Generator,
+    package: str,
+    pool: Tuple[int, ...],
+    sample_ratio: float,
+) -> OwnCode:
+    """Own code for one app-factory ("studio") boilerplate app.
+
+    Each spam app carries a random ``sample_ratio`` subset of its
+    studio's shared block pool plus a short unique tail, so any two
+    studio-mates share a moderate slab of code — far below the
+    clone-reporting overlap threshold, but enough shared rare-ish
+    blocks to flood posting-list-based candidate blocking.  Features
+    are app-unique, so no two spam apps ever share a package feature
+    digest (the library detector must not absorb the pool).
+    """
+    api_lo, api_hi = API_FEATURE_RANGE
+    unguarded_hi = api_lo + (api_hi - api_lo) // 2
+    size = int(rng.integers(16, 34))
+    ids = rng.choice(np.arange(api_lo, unguarded_hi), size=size, replace=False)
+    features: Dict[int, int] = {int(f): int(rng.integers(4, 20)) for f in ids}
+    take = max(2, int(round(sample_ratio * len(pool))))
+    picked = rng.choice(len(pool), size=min(take, len(pool)), replace=False)
+    blocks = [pool[int(i)] for i in np.sort(picked)]
+    # A short unique tail: enough to vary prefix contents, small enough
+    # that pool blocks still reach every unit's blocking prefix.
+    blocks.extend(
+        int(rng.integers(0, 2**32)) for _ in range(int(rng.integers(0, 4)))
+    )
+    return OwnCode(
+        main_package=_main_package_of(package),
+        features=features,
+        blocks=tuple(blocks),
+    )
 
 
 def _main_package_of(app_package: str) -> str:

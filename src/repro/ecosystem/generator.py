@@ -12,7 +12,10 @@
 5. **Fake apps** (Table 3) — same-name masquerades of popular officials.
 6. **Signature-based clones** (Table 3) — same package, different key.
 7. **Code-based clones** (Table 3, Figure 10) — repackaged code under a
-   new package name.
+   new package name, produced by a :class:`~repro.ecosystem.threats.
+   RepackagingModel`: market-specific cloner personas, shared-signing-key
+   developer clusters, and repackaging chains (clone-of-a-clone, with
+   ``clone_depth``/``related_app_id`` provenance).
 8. **Threats** (Table 4) — malware payload assignment (38.3% onto
    clones, per Section 6.4) and grayware (aggressive ad SDK) top-up,
    both passing through each market's vetting pipeline.
@@ -51,8 +54,10 @@ from repro.ecosystem.apps import (
     PROVENANCE_FAKE,
     PROVENANCE_LEGIT,
     PROVENANCE_SB_CLONE,
+    PROVENANCE_TEMPLATE_SPAM,
     OwnCode,
     perturb_own_code,
+    template_spam_code,
 )
 from repro.ecosystem.calibration import (
     CELEBRITY_MALWARE,
@@ -72,7 +77,13 @@ from repro.ecosystem.sharding import (
     _build_chunk,
     _finalize_chunk,
 )
-from repro.ecosystem.threats import CHINESE_FAMILY_WEIGHTS, GP_FAMILY_WEIGHTS, ThreatProfile
+from repro.ecosystem.threats import (
+    CHINESE_FAMILY_WEIGHTS,
+    GP_FAMILY_WEIGHTS,
+    ClonerPersona,
+    RepackagingModel,
+    ThreatProfile,
+)
 from repro.ecosystem.world import VettingRecord, World
 from repro.markets.profiles import (
     ALL_MARKET_IDS,
@@ -112,6 +123,7 @@ class EcosystemGenerator:
         min_market_size: int = 40,
         gen_workers: int = 1,
         obs: Observability = NULL_OBS,
+        repackaging: Optional[RepackagingModel] = None,
     ):
         if not 0 < scale <= 1:
             raise ValueError(f"scale must be in (0, 1], got {scale}")
@@ -124,6 +136,8 @@ class EcosystemGenerator:
         self._min_market_size = min_market_size
         self._gen_workers = gen_workers
         self._obs = obs
+        self._repackaging = repackaging or RepackagingModel.default()
+        self._persona_devs: Dict[str, Developer] = {}
 
         self._world = World(seed=seed, scale=scale, catalog=self._catalog)
         self._package_markets: Dict[str, Set[str]] = {}
@@ -164,6 +178,7 @@ class EcosystemGenerator:
                 self._inject_fakes()
                 self._inject_sb_clones()
                 self._inject_cb_clones()
+                self._inject_template_spam()
             with obs.stage("ecosystem.threats"):
                 self._inject_threats()
             with obs.stage("ecosystem.finalize"):
@@ -341,6 +356,8 @@ class EcosystemGenerator:
         package: Optional[str] = None,
         provenance: str = PROVENANCE_LEGIT,
         related_app_id: Optional[int] = None,
+        clone_depth: int = 0,
+        template_id: Optional[int] = None,
         own_code: Optional[OwnCode] = None,
         libraries: Optional[Tuple[Tuple[str, int], ...]] = None,
         threat: Optional[ThreatProfile] = None,
@@ -378,6 +395,8 @@ class EcosystemGenerator:
             body=body,
             provenance=provenance,
             related_app_id=related_app_id,
+            clone_depth=clone_depth,
+            template_id=template_id,
             threat=threat,
             developer=developer,
             forced=forced,
@@ -394,6 +413,8 @@ class EcosystemGenerator:
         body: AppBody,
         provenance: str = PROVENANCE_LEGIT,
         related_app_id: Optional[int] = None,
+        clone_depth: int = 0,
+        template_id: Optional[int] = None,
         threat: Optional[ThreatProfile] = None,
         developer: Optional[Developer] = None,
         forced: bool = False,
@@ -422,6 +443,8 @@ class EcosystemGenerator:
             threat=threat,
             provenance=provenance,
             related_app_id=related_app_id,
+            clone_depth=clone_depth,
+            template_id=template_id,
         )
         accepted_any = False
         for market_id in markets:
@@ -692,6 +715,7 @@ class EcosystemGenerator:
                 package=victim.package,
                 provenance=PROVENANCE_SB_CLONE,
                 related_app_id=victim.app_id,
+                clone_depth=1,
                 own_code=own,
                 libraries=victim.libraries,
                 developer=dev,
@@ -702,7 +726,50 @@ class EcosystemGenerator:
             for m in app.placements:
                 deficits[m] -= 1
 
+    def _persona_for(
+        self, rng: np.random.Generator, market: str
+    ) -> ClonerPersona:
+        """The cloner persona operating this market's top-up attempt.
+
+        A single-persona model consumes no RNG draw — the default
+        profile must leave the ``cb-clones`` stream's draw sequence
+        exactly as the Table 3 calibration was tuned against.
+        """
+        personas = [
+            p for p in self._repackaging.personas if p.operates_in(market)
+        ]
+        if not personas:
+            personas = list(self._repackaging.personas)
+        if len(personas) == 1:
+            return personas[0]
+        return personas[int(rng.integers(len(personas)))]
+
+    def _persona_developer(
+        self,
+        rng: np.random.Generator,
+        persona: ClonerPersona,
+        victim_dev: Optional[Developer],
+    ) -> Developer:
+        """The signing identity for one of the persona's clones.
+
+        Persona key reuse builds shared-signing-key developer clusters,
+        but a chain link must never share its parent's key — same-signer
+        pairs read as legitimate reuse, which would hide the repack.
+        """
+        if persona.key_reuse > 0 and rng.random() < persona.key_reuse:
+            dev = self._persona_devs.get(persona.name)
+            if dev is None:
+                dev = self._new_developer(rng, "china")
+                self._persona_devs[persona.name] = dev
+            if victim_dev is None or dev.fingerprint != victim_dev.fingerprint:
+                return dev
+        return self._new_developer(rng, "china")
+
     def _inject_cb_clones(self) -> None:
+        """Code-based clones, produced by the repackaging model's
+        personas: mostly direct repacks of popular legit apps, plus
+        repackaging chains (clone-of-a-clone, ``clone_depth`` tracking
+        the hop count and ``related_app_id`` one link up)."""
         rng = self._rngs.stream("cb-clones")
         victims = [
             app for app in self._world.apps
@@ -715,12 +782,15 @@ class EcosystemGenerator:
             for app in victims
         ])
         weights = weights / weights.sum()
+        boost = self._repackaging.family_boost
         deficits = {
             m: self._bernoulli_round(
-                rng, self._misbehavior_target(m, get_profile(m).cb_clone_rate)
+                rng,
+                boost * self._misbehavior_target(m, get_profile(m).cb_clone_rate),
             )
             for m in ALL_MARKET_IDS
         }
+        repacks: List[AppBlueprint] = []  # this stage's clones: chain fodder
         attempts = 0
         budget = 30 * (sum(deficits.values()) + 1)
         while any(d > 0 for d in deficits.values()) and attempts < budget:
@@ -728,12 +798,25 @@ class EcosystemGenerator:
             market = max(deficits, key=deficits.get)
             if deficits[market] <= 0:
                 break
-            victim = victims[int(rng.choice(len(victims), p=weights))]
+            persona = self._persona_for(rng, market)
+            chain_pool = [
+                a for a in repacks if a.clone_depth < persona.max_chain_depth
+            ]
+            # Guarded draws: an inert persona (no chains, no key reuse)
+            # consumes nothing, keeping the stream calibration-identical.
+            if (
+                persona.chain_share > 0
+                and chain_pool
+                and rng.random() < persona.chain_share
+            ):
+                victim = chain_pool[int(rng.integers(len(chain_pool)))]
+            else:
+                victim = victims[int(rng.choice(len(victims), p=weights))]
             targets = [market] + [
                 m for m in ALL_MARKET_IDS
                 if deficits[m] > 0 and m != market and rng.random() < 0.3
             ][:3]
-            dev = self._new_developer(rng, "china")
+            dev = self._persona_developer(rng, persona, victim.developer)
             package = self._unique_package(rng)
             own = perturb_own_code(rng, victim.own_code, new_package=package)
             if rng.random() < 0.5:
@@ -749,6 +832,7 @@ class EcosystemGenerator:
                 package=package,
                 provenance=PROVENANCE_CB_CLONE,
                 related_app_id=victim.app_id,
+                clone_depth=victim.clone_depth + 1,
                 own_code=own,
                 libraries=victim.libraries,
                 developer=dev,
@@ -756,8 +840,58 @@ class EcosystemGenerator:
             )
             if app is None:
                 continue
+            repacks.append(app)
             for m in app.placements:
                 deficits[m] -= 1
+
+    def _inject_template_spam(self) -> None:
+        """App-factory template spam (adversarial profiles only).
+
+        Each studio signs all of its output with one key and stamps out
+        apps carrying a random sample of the studio's shared block pool
+        — pairwise overlap far below the clone threshold, so nothing
+        here is a reportable clone; the point is the blocking-layer
+        pressure (see :class:`RepackagingModel`).  The default model has
+        no studios, so this stage creates no stream and no draws.
+        """
+        model = self._repackaging
+        if model.template_studios <= 0 or model.template_spam_rate <= 0:
+            return
+        rng = self._rngs.stream("template-spam")
+        base = sum(
+            1 for a in self._world.apps if a.provenance == PROVENANCE_LEGIT
+        )
+        total = int(round(model.template_spam_rate * base))
+        per_studio = max(1, total // model.template_studios)
+        for studio in range(model.template_studios):
+            pool = tuple(
+                int(rng.integers(0, 2**32))
+                for _ in range(model.template_pool_blocks)
+            )
+            dev = self._new_developer(rng, "china")
+            for _ in range(per_studio):
+                package = self._unique_package(rng)
+                own = template_spam_code(
+                    rng, package, pool, model.template_sample_ratio
+                )
+                markets = [
+                    str(m) for m in rng.choice(
+                        np.asarray(CHINESE_MARKET_IDS),
+                        size=int(rng.integers(1, 4)),
+                        replace=False,
+                    )
+                ]
+                self._new_app(
+                    rng,
+                    scope="china",
+                    popularity=float(rng.uniform(0.0, 0.2)),
+                    markets=markets,
+                    package=package,
+                    provenance=PROVENANCE_TEMPLATE_SPAM,
+                    template_id=studio,
+                    own_code=own,
+                    developer=dev,
+                )
 
     # ------------------------------------------------------------------
     # stage 8: threats

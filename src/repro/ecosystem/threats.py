@@ -36,6 +36,8 @@ __all__ = [
     "ThreatProfile",
     "ThreatFeed",
     "payload_code",
+    "ClonerPersona",
+    "RepackagingModel",
     "GRAYWARE_BREADTH",
     "JIAGU_HEURISTIC_BREADTH",
 ]
@@ -124,6 +126,151 @@ GP_FAMILY_WEIGHTS: Dict[str, float] = {
     "feiwo": 0.012, "utchi": 0.010, "adwo": 0.015, "domob": 0.015,
     "commplat": 0.010, "adend": 0.008, "ramnit": 0.004, "mofin": 0.001,
 }
+
+
+@dataclass(frozen=True)
+class ClonerPersona:
+    """One repackaging operation's behavior profile.
+
+    Real repackaging is organized: a handful of operations push clones
+    into the markets they know how to game, re-sign batches of repacks
+    under a shared key, and repackage whatever is circulating — which
+    includes *other repacks*, producing clone-of-a-clone chains.
+    """
+
+    name: str
+    #: Markets this persona pushes clones into; empty = everywhere.
+    home_markets: Tuple[str, ...] = ()
+    #: P(the victim is an existing repack instead of a legit app) —
+    #: extends a repackaging chain (A -> B -> C) when one is available.
+    chain_share: float = 0.0
+    #: Longest chain the persona builds (depth 1 = direct clone of a
+    #: legit app, depth 2 = clone of a clone, ...).
+    max_chain_depth: int = 1
+    #: P(the clone is signed with the persona's shared key instead of a
+    #: throwaway one) — shared-signing-key developer clusters.
+    key_reuse: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.chain_share <= 1:
+            raise ValueError(f"{self.name}: chain_share must be in [0, 1]")
+        if not 0 <= self.key_reuse <= 1:
+            raise ValueError(f"{self.name}: key_reuse must be in [0, 1]")
+        if self.max_chain_depth < 1:
+            raise ValueError(f"{self.name}: max_chain_depth must be >= 1")
+
+    def operates_in(self, market_id: str) -> bool:
+        return not self.home_markets or market_id in self.home_markets
+
+
+@dataclass(frozen=True)
+class RepackagingModel:
+    """How code-based clones are produced in a generated world.
+
+    ``family_boost`` multiplies the per-market code-clone injection
+    targets: 1.0 reproduces the paper's Table 3 rates, larger values
+    synthesize the adversarial near-duplicate-family corpora the clone
+    detector's candidate-generation benchmarks stress.
+
+    The ``template_*`` knobs add app-factory "studios": groups of
+    boilerplate apps stamped out from a shared code-block pool.  Any
+    two studio-mates share a moderate slab of code — well below the
+    clone-reporting threshold, so recall is untouched — but those
+    shared rare-ish blocks land in blocking prefixes, degrading
+    posting-list candidate generation toward O(group²) on pairs that
+    scoring then rejects.  MinHash-LSH's steep collision curve skips
+    almost all of them, which is the separation the adversarial bench
+    measures.
+    """
+
+    personas: Tuple[ClonerPersona, ...]
+    family_boost: float = 1.0
+    #: Number of app-factory studios (0 disables template spam).
+    template_studios: int = 0
+    #: Spam apps per legitimate base app (may exceed 1 in a flooded
+    #: hostile corpus); scaled by the generator's world scale.
+    template_spam_rate: float = 0.0
+    #: Code blocks in each studio's shared pool.
+    template_pool_blocks: int = 96
+    #: Fraction of the pool each spam app samples.
+    template_sample_ratio: float = 0.32
+
+    def __post_init__(self) -> None:
+        if not self.personas:
+            raise ValueError("RepackagingModel needs at least one persona")
+        if self.family_boost <= 0:
+            raise ValueError(
+                f"family_boost must be positive, got {self.family_boost}"
+            )
+        if self.template_studios < 0:
+            raise ValueError(
+                f"template_studios must be >= 0, got {self.template_studios}"
+            )
+        if self.template_spam_rate < 0:
+            raise ValueError(
+                f"template_spam_rate must be >= 0, got {self.template_spam_rate}"
+            )
+        if self.template_pool_blocks < 2:
+            raise ValueError(
+                f"template_pool_blocks must be >= 2, got {self.template_pool_blocks}"
+            )
+        if not 0 < self.template_sample_ratio <= 1:
+            raise ValueError(
+                "template_sample_ratio must be in (0, 1], "
+                f"got {self.template_sample_ratio}"
+            )
+
+    PROFILES = ("default", "adversarial")
+
+    @classmethod
+    def for_profile(cls, profile: str) -> "RepackagingModel":
+        if profile == "default":
+            return cls.default()
+        if profile == "adversarial":
+            return cls.adversarial()
+        raise ValueError(f"unknown repackaging profile {profile!r}")
+
+    @classmethod
+    def default(cls) -> "RepackagingModel":
+        """Paper-calibrated behavior: independent one-off cloners, no
+        chains, no shared keys.  A single inert persona keeps the
+        generator's RNG draw sequence — and therefore the default world
+        — exactly what Table 3's calibration was tuned against."""
+        return cls(personas=(ClonerPersona("freelance-cloner"),))
+
+    @classmethod
+    def adversarial(cls) -> "RepackagingModel":
+        """Hostile corpus shape: industrialized cloners building deep
+        repackaging chains, shared-signing-key clusters, boosted
+        near-duplicate families, and app-factory template spam — the
+        shape that degrades prefix blocking toward O(group²)."""
+        return cls(
+            template_studios=2,
+            template_spam_rate=1.6,
+            personas=(
+                ClonerPersona(
+                    "clone-factory",
+                    chain_share=0.65,
+                    max_chain_depth=5,
+                    key_reuse=0.5,
+                ),
+                ClonerPersona(
+                    "baidu-chain-forge",
+                    home_markets=("baidu", "hiapk", "anzhi", "liqu", "sougou"),
+                    chain_share=0.5,
+                    max_chain_depth=4,
+                    key_reuse=0.35,
+                ),
+                ClonerPersona(
+                    "tencent-repack-mill",
+                    home_markets=("tencent", "pp25", "wandoujia", "appchina"),
+                    chain_share=0.5,
+                    max_chain_depth=4,
+                    key_reuse=0.35,
+                ),
+            ),
+            family_boost=4.0,
+        )
 
 
 @dataclass(frozen=True)

@@ -156,6 +156,8 @@ class World:
                 else None,
                 app.provenance,
                 app.related_app_id,
+                app.clone_depth,
+                app.template_id,
                 app.developer.dev_id if app.developer is not None else None,
             )
             for market_id in sorted(app.placements):
@@ -183,6 +185,7 @@ class World:
         n_fake = sum(1 for a in self.apps if a.provenance == "fake")
         n_sb = sum(1 for a in self.apps if a.provenance == "sb_clone")
         n_cb = sum(1 for a in self.apps if a.provenance == "cb_clone")
+        n_spam = sum(1 for a in self.apps if a.provenance == "template_spam")
         return {
             "apps": len(self.apps),
             "developers": len(self.developers),
@@ -191,4 +194,5 @@ class World:
             "fake_apps": n_fake,
             "sb_clones": n_sb,
             "cb_clones": n_cb,
+            "template_spam": n_spam,
         }

@@ -1,14 +1,23 @@
 """Tests for signature- and code-based clone detection."""
 
+import numpy as np
 import pytest
 
 from repro.analysis.clones import (
     CodeCloneDetector,
     block_overlap,
+    clone_market_rates,
+    derive_lsh_params,
     detect_signature_clones,
     feature_distance,
+    measure_strategy_recall,
+    minhash_jaccard_estimate,
+    minhash_signature,
+    overlap_to_jaccard,
+    _minhash_coeffs,
 )
 from repro.analysis.corpus import build_units
+from repro.analysis.engine import AnalysisEngine
 from repro.apk.models import CodePackage
 from repro.crawler.snapshot import Snapshot
 
@@ -305,3 +314,288 @@ class TestCandidateBlocking:
 
         with pytest.raises(ValueError):
             CodeCloneDetector(candidate_strategy="bogus")
+
+    def test_bad_permutation_count_rejected(self):
+        with pytest.raises(ValueError):
+            CodeCloneDetector(minhash_permutations=0)
+
+
+class TestMinHashEstimator:
+    """The MinHash signature must estimate Jaccard similarity."""
+
+    def _random_pair(self, rng, universe=5000):
+        a = {rng.randrange(universe) for _ in range(rng.randint(30, 200))}
+        shared = rng.random()
+        b = {x for x in a if rng.random() < shared}
+        b |= {rng.randrange(universe) for _ in range(rng.randint(0, 80))}
+        return a, b
+
+    def test_estimate_converges_to_true_jaccard(self):
+        # Each signature position agrees with probability J, so the
+        # estimate is a mean of k Bernoulli(J) draws: sd = sqrt(J(1-J)/k).
+        # With k=256, a 5-sigma band (~0.16 worst case) never trips on a
+        # fixed seed while still catching a broken hash family.
+        import random
+
+        k = 256
+        coeffs = _minhash_coeffs(seed=0, num_perm=k)
+        rng = random.Random(7)
+        for _ in range(25):
+            a, b = self._random_pair(rng)
+            true_j = len(a & b) / len(a | b) if a | b else 1.0
+            est = minhash_jaccard_estimate(
+                minhash_signature(tuple(a), coeffs),
+                minhash_signature(tuple(b), coeffs),
+            )
+            sigma = max((true_j * (1 - true_j) / k) ** 0.5, 1e-9)
+            assert abs(est - true_j) <= max(5 * sigma, 0.02), (
+                f"estimate {est:.3f} vs true {true_j:.3f}"
+            )
+
+    def test_identical_sets_estimate_one(self):
+        coeffs = _minhash_coeffs(seed=0, num_perm=64)
+        sig = minhash_signature((1, 2, 3, 4, 5), coeffs)
+        assert minhash_jaccard_estimate(sig, sig) == 1.0
+
+    def test_disjoint_sets_estimate_near_zero(self):
+        coeffs = _minhash_coeffs(seed=0, num_perm=128)
+        a = minhash_signature(tuple(range(100)), coeffs)
+        b = minhash_signature(tuple(range(10_000, 10_100)), coeffs)
+        assert minhash_jaccard_estimate(a, b) < 0.05
+
+    def test_signature_ignores_block_order_and_multiplicity(self):
+        coeffs = _minhash_coeffs(seed=0, num_perm=64)
+        a = minhash_signature((3, 1, 2, 2, 1), coeffs)
+        b = minhash_signature((1, 2, 3), coeffs)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_signature(self):
+        blocks = tuple(range(50))
+        a = minhash_signature(blocks, _minhash_coeffs(seed=0, num_perm=64))
+        b = minhash_signature(blocks, _minhash_coeffs(seed=1, num_perm=64))
+        assert not np.array_equal(a, b)
+
+    def test_overlap_to_jaccard_bound(self):
+        # overlap t guarantees J >= t/(2-t); equality at |A| = |B|.
+        assert overlap_to_jaccard(1.0) == 1.0
+        assert overlap_to_jaccard(0.85) == pytest.approx(0.85 / 1.15)
+        a = frozenset(range(100))
+        b = frozenset(range(15, 115))  # |A∩B|=85, overlap 0.85
+        jac = len(a & b) / len(a | b)
+        assert jac == pytest.approx(overlap_to_jaccard(0.85))
+
+
+class TestLSHParams:
+    def test_default_derivation(self):
+        assert derive_lsh_params(0.85, num_perm=128) == (32, 4)
+
+    def test_band_budget_respected(self):
+        for t in (0.5, 0.7, 0.85, 0.95):
+            bands, rows = derive_lsh_params(t, num_perm=128)
+            assert bands * rows <= 128
+
+    def test_collision_probability_meets_target(self):
+        for t in (0.5, 0.7, 0.85, 0.95):
+            bands, rows = derive_lsh_params(t, num_perm=128)
+            j = overlap_to_jaccard(t)
+            assert 1 - (1 - j**rows) ** bands >= 0.999
+
+    def test_rows_maximal_for_target(self):
+        # The contract: the next-steeper configuration must miss the
+        # recall target (otherwise derive should have picked it).
+        bands, rows = derive_lsh_params(0.85, num_perm=128)
+        j = overlap_to_jaccard(0.85)
+        steeper_rows = rows + 1
+        steeper_bands = 128 // steeper_rows
+        assert 1 - (1 - j**steeper_rows) ** steeper_bands < 0.999
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            derive_lsh_params(0.0)
+        with pytest.raises(ValueError):
+            derive_lsh_params(0.85, num_perm=0)
+
+
+def _family_snapshot(n_families=6, family_size=5, seed=3):
+    """A snapshot of near-duplicate families plus unrelated filler —
+    big enough that worker-count determinism is non-trivial."""
+    import random
+
+    rng = random.Random(seed)
+    snap = Snapshot("t")
+    for fam in range(n_families):
+        base_features = {fam * 50 + i: 10 for i in range(30)}
+        base_blocks = list(range(fam * 10_000, fam * 10_000 + 40))
+        for member in range(family_size):
+            blocks = list(base_blocks)
+            for _ in range(min(3, member)):
+                blocks[rng.randrange(len(blocks))] = rng.randrange(10**6)
+            features = dict(base_features)
+            features[9_000 + member] = 1
+            snap.add(_record(
+                f"com.fam{fam}.m{member}", f"{fam:02d}{member:02d}" * 4,
+                features, tuple(blocks),
+                market="tencent" if member else "google_play",
+                downloads=10**6 if member == 0 else rng.randint(10, 500),
+            ))
+    for i in range(20):
+        snap.add(_record(
+            f"com.noise{i}", f"ee{i:02d}" * 4,
+            {5_000 + i * 11 + k: 2 for k in range(10)},
+            tuple(range(500_000 + i * 97, 500_000 + i * 97 + 12)),
+            market="baidu", downloads=100,
+        ))
+    return snap
+
+
+class TestMinHashCandidates:
+    def test_minhash_detects_identically_to_exhaustive(self):
+        units = build_units(_family_snapshot())
+        minhash = CodeCloneDetector(candidate_strategy="minhash").detect(units)
+        exhaustive = CodeCloneDetector(candidate_strategy="exhaustive").detect(units)
+        assert minhash.pairs == exhaustive.pairs
+        assert minhash.clone_units == exhaustive.clone_units
+        assert minhash.original_of == exhaustive.original_of
+        assert len(minhash.pairs) > 0
+
+    def test_candidates_identical_across_worker_counts(self):
+        detector = CodeCloneDetector(candidate_strategy="minhash")
+        corpus = detector.extract(build_units(_family_snapshot()))
+        per_width = [
+            detector._candidate_pairs(corpus, AnalysisEngine(workers=w))
+            for w in (1, 4, 8)
+        ]
+        assert per_width[0] == per_width[1] == per_width[2]
+        assert per_width[0] == sorted(per_width[0])  # canonical order
+
+    def test_reports_identical_across_worker_counts(self):
+        units = build_units(_family_snapshot())
+        detector = CodeCloneDetector(candidate_strategy="minhash")
+        reports = [
+            detector.detect(units, engine=AnalysisEngine(workers=w))
+            for w in (1, 4, 8)
+        ]
+        assert reports[0].pairs == reports[1].pairs == reports[2].pairs
+        assert reports[0].clone_units == reports[1].clone_units
+
+    def test_same_seed_reproduces_candidates(self):
+        corpus = CodeCloneDetector().extract(build_units(_family_snapshot()))
+        runs = [
+            CodeCloneDetector(
+                candidate_strategy="minhash", minhash_seed=9
+            )._candidate_pairs(corpus, AnalysisEngine(workers=4))
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_detection_stable_across_minhash_seeds(self):
+        # Different seeds permute the hash family (candidate sets may
+        # differ) but every reportable pair must still be recovered.
+        units = build_units(_family_snapshot())
+        reference = CodeCloneDetector(candidate_strategy="exhaustive").detect(units)
+        for seed in (0, 1):
+            probe = CodeCloneDetector(
+                candidate_strategy="minhash", minhash_seed=seed
+            ).detect(units)
+            assert set(probe.pairs) == set(reference.pairs)
+
+    def test_empty_block_units_never_pair(self):
+        snap = _family_snapshot(n_families=2)
+        snap.add(_record("com.empty", "aa" * 8, {1: 1}, (), market="tencent"))
+        units = build_units(snap)
+        analysis = CodeCloneDetector(candidate_strategy="minhash").detect(units)
+        flagged = {key for pair in analysis.pairs for key in (pair.original, pair.clone)}
+        assert ("com.empty", "aa" * 8) not in flagged
+
+
+class TestStrategyRecallHarness:
+    def test_full_recall_on_synthetic_families(self):
+        units = build_units(_family_snapshot())
+        recall = measure_strategy_recall(units)
+        assert recall.strategy == "minhash"
+        assert recall.reference == "exhaustive"
+        assert recall.reference_pairs > 0
+        assert recall.recall == 1.0
+
+    def test_recall_defaults_to_one_when_reference_empty(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.solo", "1" * 16, BASE_FEATURES, BASE_BLOCKS))
+        recall = measure_strategy_recall(build_units(snap))
+        assert recall.reference_pairs == 0
+        assert recall.recall == 1.0
+
+    def test_recall_on_repackaging_chain_world(self):
+        # End-to-end guardrail on a generated adversarial world: deep
+        # repackaging chains and shared-key clusters, the corpus shape
+        # the LSH strategy exists for.
+        from repro.core.config import StudyConfig
+        from repro.core.study import Study
+
+        result = Study(StudyConfig(
+            seed=7, scale=0.0002, clone_families="adversarial",
+        )).run()
+        depths = {app.clone_depth for app in result.world.apps}
+        assert max(depths) >= 3, "adversarial world should build chains"
+        recall = measure_strategy_recall(result.units, result.library_detection)
+        assert recall.reference_pairs > 50
+        assert recall.recall >= 0.99
+
+
+class TestMarketRatesHelper:
+    """Both Table 3 columns rate clones through one shared helper."""
+
+    def _mixed_snapshot(self):
+        snap = Snapshot("t")
+        # Signature-based clone: same package, two signers.
+        snap.add(_record("com.sb", "1" * 16, BASE_FEATURES, BASE_BLOCKS,
+                         market="google_play", downloads=10**7))
+        snap.add(_record("com.sb", "2" * 16, BASE_FEATURES, BASE_BLOCKS,
+                         market="tencent", downloads=50))
+        # Code-based clone: different package, near-identical code —
+        # distinct from the SB pair's code so the groups never cross-pair.
+        cb_features = {i: 10 for i in range(200, 230)}
+        cb_blocks = tuple(range(2000, 2040))
+        cb_copy_features = {**cb_features, 300: 2}
+        cb_copy_blocks = cb_blocks[:37] + tuple(range(6000, 6003))
+        snap.add(_record("com.cb.orig", "3" * 16, cb_features, cb_blocks,
+                         market="google_play", downloads=10**6))
+        snap.add(_record("com.cb.copy", "4" * 16, cb_copy_features,
+                         cb_copy_blocks, market="tencent", downloads=10))
+        # Clean filler in both markets.
+        snap.add(_record("com.clean", "5" * 16, {900: 3}, (42, 43),
+                         market="tencent", downloads=10))
+        snap.add(_record("com.clean2", "6" * 16, {901: 3}, (44, 45),
+                         market="baidu", downloads=10))
+        return snap
+
+    def test_regression_pin_both_columns(self):
+        # Pinned outputs: tencent hosts 3 listings (1 SB clone, 1 CB
+        # clone), google_play hosts the originals, baidu only filler.
+        snap = self._mixed_snapshot()
+        units = build_units(snap)
+        sb = detect_signature_clones(units).market_rates(snap)
+        cb = CodeCloneDetector().detect(units).market_rates(snap)
+        assert sb == {
+            "google_play": 0.0,
+            "tencent": pytest.approx(1 / 3),
+            "baidu": 0.0,
+        }
+        assert cb == {
+            "google_play": 0.0,
+            "tencent": pytest.approx(1 / 3),
+            "baidu": 0.0,
+        }
+
+    def test_analyses_delegate_to_shared_helper(self):
+        snap = self._mixed_snapshot()
+        units = build_units(snap)
+        sig = detect_signature_clones(units)
+        code = CodeCloneDetector().detect(units)
+        assert sig.market_rates(snap) == clone_market_rates(sig.clone_units, snap)
+        assert code.market_rates(snap) == clone_market_rates(code.clone_units, snap)
+
+    def test_empty_market_rates_zero(self):
+        snap = Snapshot("t")
+        snap.add(_record("com.a", "1" * 16, BASE_FEATURES, BASE_BLOCKS,
+                         market="tencent"))
+        assert clone_market_rates(set(), snap) == {"tencent": 0.0}

@@ -180,3 +180,137 @@ class TestMetadata:
             for placement in app.placements.values():
                 if placement.downloads is not None:
                     assert placement.downloads < 1000
+
+
+class TestRepackagingChains:
+    """Adversarial repackaging: chains, shared keys, boosted families."""
+
+    @pytest.fixture(scope="class")
+    def adversarial(self):
+        from repro.ecosystem.threats import RepackagingModel
+
+        return EcosystemGenerator(
+            seed=7, scale=0.0004, repackaging=RepackagingModel.adversarial()
+        ).generate()
+
+    def test_default_world_has_no_chains(self, world):
+        # The paper-calibrated model clones legit apps only: every
+        # repack sits at depth 1, everything else at depth 0.
+        for app in world.apps:
+            if app.provenance in (PROVENANCE_SB_CLONE, PROVENANCE_CB_CLONE):
+                assert app.clone_depth == 1
+            else:
+                assert app.clone_depth == 0
+
+    def test_explicit_default_model_is_bit_identical(self):
+        # RepackagingModel.default() must consume the same RNG stream as
+        # passing nothing — the calibrated world cannot drift.
+        from repro.ecosystem.threats import RepackagingModel
+
+        implicit = EcosystemGenerator(seed=3, scale=0.0002).generate()
+        explicit = EcosystemGenerator(
+            seed=3, scale=0.0002, repackaging=RepackagingModel.default()
+        ).generate()
+        assert implicit.content_digest() == explicit.content_digest()
+
+    def test_adversarial_builds_deep_chains(self, adversarial):
+        depths = {}
+        for app in adversarial.apps:
+            depths[app.clone_depth] = depths.get(app.clone_depth, 0) + 1
+        assert max(depths) >= 3
+        # Chains thin out monotonically: every B -> C needs an A -> B.
+        for depth in range(2, max(depths) + 1):
+            assert depths[depth] <= depths[depth - 1]
+
+    def test_chain_provenance_walkable(self, adversarial):
+        # related_app_id points one link up; following it must land on
+        # an app exactly one depth shallower, all the way to a legit root.
+        for app in adversarial.apps:
+            if app.clone_depth == 0:
+                continue
+            parent = adversarial.app(app.related_app_id)
+            assert parent.clone_depth == app.clone_depth - 1
+            if app.provenance == PROVENANCE_CB_CLONE and app.clone_depth > 1:
+                assert parent.provenance == PROVENANCE_CB_CLONE
+
+    def test_adjacent_chain_links_never_share_keys(self, adversarial):
+        # A repack signed with its victim's key would read as legitimate
+        # reuse and hide the clone from both detectors.
+        for app in adversarial.apps:
+            if app.provenance != PROVENANCE_CB_CLONE:
+                continue
+            victim = adversarial.app(app.related_app_id)
+            assert app.developer.fingerprint != victim.developer.fingerprint
+
+    def test_shared_signing_key_clusters(self, adversarial):
+        # Persona key reuse concentrates many clones under few keys.
+        by_key = {}
+        for app in adversarial.apps:
+            if app.provenance == PROVENANCE_CB_CLONE:
+                fp = app.developer.fingerprint
+                by_key[fp] = by_key.get(fp, 0) + 1
+        assert max(by_key.values()) >= 20
+
+    def test_family_boost_multiplies_clone_supply(self, world, adversarial):
+        # Same scale (0.0004): the adversarial model's 4x family boost
+        # must produce several times the default world's CB clones.
+        default_cb = world.summary()["cb_clones"]
+        boosted_cb = adversarial.summary()["cb_clones"]
+        assert boosted_cb >= 2.5 * default_cb
+
+    def test_adversarial_world_deterministic(self):
+        from repro.ecosystem.threats import RepackagingModel
+
+        a = EcosystemGenerator(
+            seed=5, scale=0.0002, repackaging=RepackagingModel.adversarial()
+        ).generate()
+        b = EcosystemGenerator(
+            seed=5, scale=0.0002, repackaging=RepackagingModel.adversarial()
+        ).generate()
+        assert a.content_digest() == b.content_digest()
+
+
+class TestTemplateSpam:
+    """App-factory spam: sub-threshold shared code, adversarial only."""
+
+    @pytest.fixture(scope="class")
+    def adversarial(self):
+        from repro.ecosystem.threats import RepackagingModel
+
+        return EcosystemGenerator(
+            seed=7, scale=0.0004, repackaging=RepackagingModel.adversarial()
+        ).generate()
+
+    def test_absent_from_default_world(self, world):
+        assert world.summary()["template_spam"] == 0
+
+    def test_present_in_adversarial_world(self, adversarial):
+        assert adversarial.summary()["template_spam"] > 0
+
+    def test_each_studio_signs_with_one_key(self, adversarial):
+        keys_by_studio = {}
+        for app in adversarial.apps:
+            if app.provenance == "template_spam":
+                assert app.template_id is not None
+                keys_by_studio.setdefault(app.template_id, set()).add(
+                    app.developer.fingerprint
+                )
+        assert keys_by_studio
+        for fingerprints in keys_by_studio.values():
+            assert len(fingerprints) == 1
+
+    def test_studio_mates_share_sub_threshold_code(self, adversarial):
+        # The whole point: enough shared blocks to collide in posting
+        # lists, never enough overlap to be a reportable clone.
+        from repro.analysis.clones import block_overlap
+
+        by_studio = {}
+        for app in adversarial.apps:
+            if app.provenance == "template_spam":
+                by_studio.setdefault(app.template_id, []).append(app)
+        for mates in by_studio.values():
+            for a, b in zip(mates[:30], mates[1:31]):
+                overlap = block_overlap(a.own_code.blocks, b.own_code.blocks)
+                assert overlap < 0.7
+                shared = set(a.own_code.blocks) & set(b.own_code.blocks)
+                assert shared  # but they do share template code

@@ -88,3 +88,76 @@ class TestThreatFeed:
         profile = ThreatProfile("ramnit", 5, repackaged=True)
         assert profile.family_def.kind == "high_profile"
         assert profile.repackaged
+
+
+class TestClonerPersona:
+    def test_validation(self):
+        from repro.ecosystem.threats import ClonerPersona
+
+        with pytest.raises(ValueError):
+            ClonerPersona("x", chain_share=1.5)
+        with pytest.raises(ValueError):
+            ClonerPersona("x", key_reuse=-0.1)
+        with pytest.raises(ValueError):
+            ClonerPersona("x", max_chain_depth=0)
+
+    def test_operates_everywhere_by_default(self):
+        from repro.ecosystem.threats import ClonerPersona
+
+        persona = ClonerPersona("x")
+        assert persona.operates_in("tencent")
+        assert persona.operates_in("google_play")
+
+    def test_home_markets_restrict(self):
+        from repro.ecosystem.threats import ClonerPersona
+
+        persona = ClonerPersona("x", home_markets=("baidu",))
+        assert persona.operates_in("baidu")
+        assert not persona.operates_in("tencent")
+
+
+class TestRepackagingModel:
+    def test_profiles_dispatch(self):
+        from repro.ecosystem.threats import RepackagingModel
+
+        for profile in RepackagingModel.PROFILES:
+            model = RepackagingModel.for_profile(profile)
+            assert model.personas
+
+    def test_unknown_profile_rejected(self):
+        from repro.ecosystem.threats import RepackagingModel
+
+        with pytest.raises(ValueError):
+            RepackagingModel.for_profile("bogus")
+
+    def test_default_is_inert(self):
+        # The default persona must never branch into chain or key-reuse
+        # draws — that would perturb the calibrated RNG stream.
+        from repro.ecosystem.threats import RepackagingModel
+
+        model = RepackagingModel.default()
+        assert model.family_boost == 1.0
+        assert len(model.personas) == 1
+        (persona,) = model.personas
+        assert persona.chain_share == 0.0
+        assert persona.key_reuse == 0.0
+        assert not persona.home_markets
+
+    def test_adversarial_shape(self):
+        from repro.ecosystem.threats import RepackagingModel
+
+        model = RepackagingModel.adversarial()
+        assert model.family_boost > 1.0
+        assert any(p.chain_share > 0 for p in model.personas)
+        assert any(p.key_reuse > 0 for p in model.personas)
+        assert any(p.max_chain_depth >= 3 for p in model.personas)
+
+    def test_needs_personas(self):
+        from repro.ecosystem.threats import RepackagingModel
+
+        with pytest.raises(ValueError):
+            RepackagingModel(personas=())
+        with pytest.raises(ValueError):
+            RepackagingModel.default().__class__(
+                personas=RepackagingModel.default().personas, family_boost=0.0
+            )
